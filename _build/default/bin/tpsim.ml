@@ -1,0 +1,251 @@
+(* tpsim: run the time-protection reproduction experiments from the
+   command line.  Every paper table/figure is a subcommand; `all` runs
+   the full evaluation. *)
+
+open Cmdliner
+open Tp_core
+
+let platforms_of = function
+  | "haswell" -> [ Tp_hw.Platform.haswell ]
+  | "sabre" -> [ Tp_hw.Platform.sabre ]
+  | "armv8" -> [ Tp_hw.Platform.armv8 ]
+  | "both" -> [ Tp_hw.Platform.haswell; Tp_hw.Platform.sabre ]
+  | "all" -> Tp_hw.Platform.all
+  | s -> invalid_arg ("unknown platform: " ^ s)
+
+let platform_arg =
+  let doc =
+    "Platform: haswell, sabre, armv8, both (the paper's two) or all."
+  in
+  Arg.(value & opt string "both" & info [ "p"; "platform" ] ~docv:"PLATFORM" ~doc)
+
+let quality_arg =
+  let doc = "Experiment size: quick or full." in
+  Arg.(value & opt string "quick" & info [ "q"; "quality" ] ~docv:"QUALITY" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (experiments are deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let verbose_arg =
+  let doc = "Log kernel events (clone/destroy/switch) to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logging verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+let quality_of s =
+  match Quality.of_string s with
+  | Some q -> q
+  | None -> invalid_arg ("unknown quality: " ^ s)
+
+let run_over plats f = List.iter f (platforms_of plats)
+
+let cmd_platforms =
+  let run () =
+    List.iter
+      (fun p ->
+        Format.printf "%a@.@." Tp_hw.Platform.pp p)
+      Tp_hw.Platform.all
+  in
+  Cmd.v (Cmd.info "platforms" ~doc:"Describe the modelled platforms (Table 1).")
+    Term.(const run $ const ())
+
+let mk_cmd name doc f =
+  let run plats quality seed verbose =
+    setup_logging verbose;
+    let q = quality_of quality in
+    run_over plats (fun p -> f q ~seed p)
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ platform_arg $ quality_arg $ seed_arg $ verbose_arg)
+
+let table2 _q ~seed:_ p = Report.table2 (Exp_table2.run p)
+let fig3 q ~seed p = Report.fig3 (Exp_fig3.run q ~seed p)
+let table3 q ~seed p = Report.table3 (Exp_table3.run q ~seed p)
+
+let table4 q ~seed p =
+  let r = Exp_table4.run q ~seed p in
+  Report.fig5 r;
+  Report.table4 r
+
+let fig4 q ~seed p = Report.fig4 (Exp_fig4.run q ~seed p)
+let fig6 q ~seed p = Report.fig6 (Exp_fig6.run q ~seed p)
+let table5 q ~seed:_ p = Report.table5 (Exp_table5.run q p)
+let table6 q ~seed:_ p = Report.table6 (Exp_table6.run q p)
+let table7 q ~seed:_ p = Report.table7 (Exp_table7.run q p)
+let fig7 q ~seed p = Report.fig7 (Exp_fig7.run_fig7 q ~seed p)
+let table8 q ~seed p = Report.table8 (Exp_fig7.run_table8 q ~seed p)
+
+let bus q ~seed p =
+  (* Beyond-paper demo: the interconnect channel the paper's threat
+     model excludes, and the hypothetical hardware fix. *)
+  let rng = Tp_util.Rng.create ~seed in
+  let samples = Quality.samples q in
+  let open_chan =
+    Tp_attacks.Bus_chan.run (Scenario.boot Scenario.Protected p) ~samples
+      ~partitioned:false ~rng
+  in
+  let closed =
+    Tp_attacks.Bus_chan.run (Scenario.boot Scenario.Protected p) ~samples
+      ~partitioned:true ~rng
+  in
+  Format.printf
+    "Interconnect channel on %s (cross-core, concurrent):@.  time \
+     protection alone: %a@.  with hypothetical bandwidth partition: %a@.@."
+    p.Tp_hw.Platform.name Tp_channel.Leakage.pp_result open_chan
+    Tp_channel.Leakage.pp_result closed
+
+let dram q ~seed p =
+  (* Beyond-paper demo: the DRAM row-buffer channel from the §2.2
+     taxonomy, which survives time protection (no architected row
+     flush) and closes only with hypothetical hardware support. *)
+  let open Tp_kernel in
+  let samples = Quality.samples q / 2 in
+  let run config ~close =
+    let b = Boot.boot ~platform:p ~config ~domains:2 () in
+    let rng = Tp_util.Rng.create ~seed in
+    Tp_attacks.Dram_chan.run b ~samples ~close_rows_on_switch:close ~rng
+  in
+  Format.printf "DRAM row-buffer channel on %s (intra-core):@."
+    p.Tp_hw.Platform.name;
+  Format.printf "  raw:                              %a@."
+    Tp_channel.Leakage.pp_result
+    (run Config.raw ~close:false);
+  Format.printf "  full time protection:             %a@."
+    Tp_channel.Leakage.pp_result
+    (run (Config.protected_ p) ~close:false);
+  Format.printf "  + hypothetical precharge-on-switch: %a@.@."
+    Tp_channel.Leakage.pp_result
+    (run { (Config.protected_ p) with Config.close_dram_rows = true } ~close:true)
+
+let cat q ~seed p =
+  (* §2.3's hardware alternative: way-partition the LLC with CAT.  It
+     closes the cross-core LLC side channel without colouring, but
+     being LLC-only it leaves every on-core channel open — the paper's
+     case for mandatory kernel-level time protection. *)
+  let rng = Tp_util.Rng.create ~seed in
+  Format.printf "Intel CAT way-partitioned LLC on %s:@." p.Tp_hw.Platform.name;
+  (match
+     Tp_attacks.Crypto.run (Scenario.boot Scenario.Cat_llc p) ~key_bits:48 ~rng
+   with
+  | Some t when Array.exists (fun a -> a > 0) t.Tp_attacks.Crypto.activity ->
+      Format.printf "  LLC attack: still open (unexpected)@."
+  | Some _ | None -> Format.printf "  LLC side channel vs ElGamal: closed@.");
+  let chan = Tp_attacks.Cache_channels.l1d in
+  let b = Scenario.boot Scenario.Cat_llc p in
+  let sender, receiver = chan.Tp_attacks.Cache_channels.prepare b in
+  let spec =
+    {
+      (Tp_attacks.Harness.default_spec p) with
+      Tp_attacks.Harness.samples = Quality.samples q / 2;
+      symbols = chan.Tp_attacks.Cache_channels.symbols;
+    }
+  in
+  let l1 = Tp_attacks.Harness.measure_leak b ~sender ~receiver spec ~rng in
+  Format.printf "  but the on-core L1-D channel:  %a@.@."
+    Tp_channel.Leakage.pp_result l1
+
+let cosched q ~seed p =
+  (* §3.1.1's confinement mitigation for cross-core channels: gang
+     scheduling so only one domain ever executes. *)
+  let samples = Quality.samples q / 3 in
+  let run ~cosched =
+    let b = Scenario.boot Scenario.Protected p in
+    let sender, receiver = Tp_attacks.Cosched_chan.prepare b in
+    let spec =
+      {
+        (Tp_attacks.Harness.default_spec p) with
+        Tp_attacks.Harness.samples;
+        symbols = Tp_attacks.Cosched_chan.symbols;
+      }
+    in
+    let rng = Tp_util.Rng.create ~seed in
+    let s =
+      Tp_attacks.Harness.run_pair_cross_core b ~sender ~receiver ~cosched spec
+        ~rng
+    in
+    Tp_channel.Leakage.test ~rng s
+  in
+  Format.printf "Cross-core bandwidth channel on %s, time protection on:@."
+    p.Tp_hw.Platform.name;
+  Format.printf "  free-running concurrency: %a@." Tp_channel.Leakage.pp_result
+    (run ~cosched:false);
+  Format.printf "  gang-scheduled domains:   %a@.@."
+    Tp_channel.Leakage.pp_result (run ~cosched:true)
+
+let mls q ~seed p =
+  let samples = Quality.samples q / 2 in
+  let r = Mls.demo ~samples ~seed p in
+  Format.printf "Bell-LaPadula padding policy on %s:@." p.Tp_hw.Platform.name;
+  Format.printf "  High -> Low (forbidden):   %a@." Tp_channel.Leakage.pp_result
+    r.Mls.high_to_low;
+  Format.printf "  Low  -> High (authorised): %a@.@."
+    Tp_channel.Leakage.pp_result r.Mls.low_to_high
+
+let calibrate _q ~seed:_ p =
+  let c = Calibrate.switch_pad p in
+  Format.printf
+    "%s: worst unpadded switch %d cycles over %d adversarial trials;@."
+    p.Tp_hw.Platform.name c.Calibrate.worst_observed_cycles c.Calibrate.trials;
+  Format.printf "calibrated pad %.1f us (+25%% margin); validates: %b@.@."
+    c.Calibrate.pad_us
+    (Calibrate.covers c p ~trials:8)
+
+let all q ~seed p =
+  Format.printf "==================== %s ====================@.@."
+    p.Tp_hw.Platform.name;
+  table2 q ~seed p;
+  fig3 q ~seed p;
+  table3 q ~seed p;
+  fig4 q ~seed p;
+  table4 q ~seed p;
+  fig6 q ~seed p;
+  table5 q ~seed p;
+  table6 q ~seed p;
+  table7 q ~seed p;
+  fig7 q ~seed p;
+  table8 q ~seed p;
+  bus q ~seed p;
+  dram q ~seed p;
+  cosched q ~seed p;
+  cat q ~seed p;
+  mls q ~seed p;
+  calibrate q ~seed p
+
+let cmds =
+  [
+    cmd_platforms;
+    mk_cmd "table2" "Worst-case cache flush costs (Table 2)." table2;
+    mk_cmd "fig3" "Kernel-image covert channel matrix (Figure 3)." fig3;
+    mk_cmd "table3" "Intra-core timing channels (Table 3)." table3;
+    mk_cmd "fig4" "Cross-core LLC side channel vs ElGamal (Figure 4)." fig4;
+    mk_cmd "table4" "Cache-flush latency channel incl. Figure 5 (Table 4)."
+      table4;
+    mk_cmd "fig6" "Timer-interrupt channel (Figure 6)." fig6;
+    mk_cmd "table5" "IPC microbenchmark (Table 5)." table5;
+    mk_cmd "table6" "Domain-switch cost (Table 6)." table6;
+    mk_cmd "table7" "Kernel clone/destroy cost (Table 7)." table7;
+    mk_cmd "fig7" "Splash-2 colouring slowdowns (Figure 7)." fig7;
+    mk_cmd "table8" "Time-shared Splash-2 overhead (Table 8)." table8;
+    mk_cmd "bus" "Interconnect covert channel demo (beyond paper)." bus;
+    mk_cmd "dram" "DRAM row-buffer channel demo (beyond paper)." dram;
+    mk_cmd "cosched" "Gang-scheduling mitigation demo (Sec. 3.1.1)." cosched;
+    mk_cmd "cat" "Intel CAT way-partitioning demo (Sec. 2.3)." cat;
+    mk_cmd "mls" "Bell-LaPadula padding policy demo (Sec. 4.3)." mls;
+    mk_cmd "calibrate" "Empirical worst-case pad calibration (Sec. 4.3)."
+      calibrate;
+    mk_cmd "all" "Run the complete evaluation." all;
+  ]
+
+let () =
+  let info =
+    Cmd.info "tpsim" ~version:"1.0"
+      ~doc:
+        "Reproduction of 'Time Protection: The Missing OS Abstraction' \
+         (EuroSys 2019) on a simulated microarchitecture."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/channel_analysis.ml: Array Format Tp_channel Tp_util

@@ -1,0 +1,1 @@
+examples/channel_analysis.mli:

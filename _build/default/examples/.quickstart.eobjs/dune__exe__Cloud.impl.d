@@ -1,0 +1,1 @@
+examples/cloud.ml: Array Format Scenario Tp_attacks Tp_core Tp_hw Tp_util

@@ -1,0 +1,1 @@
+examples/confinement.ml: Format Scenario Tp_attacks Tp_channel Tp_core Tp_hw Tp_util

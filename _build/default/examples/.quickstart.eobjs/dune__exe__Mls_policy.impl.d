@@ -1,0 +1,1 @@
+examples/mls_policy.ml: Format Tp_channel Tp_core Tp_hw

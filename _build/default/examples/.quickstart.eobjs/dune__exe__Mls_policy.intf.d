@@ -1,0 +1,1 @@
+examples/mls_policy.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Boot Clone Colour Config Exec Format List System Tp_hw Tp_kernel Types Uctx

@@ -1,0 +1,1 @@
+examples/repartition.ml: Array Boot Clone Colour Config Exec Format List Objects Printf Retype String System Tp_hw Tp_kernel Types

@@ -1,0 +1,64 @@
+(* Using the channel-measurement toolchain on its own (§5.1): estimate
+   mutual information with KDE + the rectangle method, and apply the
+   shuffle-based zero-leakage test, on synthetic channels with known
+   ground truth.
+
+   Run with: dune exec examples/channel_analysis.exe *)
+
+let rng = Tp_util.Rng.create ~seed:42
+
+let show name samples =
+  let r = Tp_channel.Leakage.test ~rng samples in
+  Format.printf "%-34s %a@." name Tp_channel.Leakage.pp_result r
+
+let () =
+  Format.printf
+    "Channel analysis toolchain demo: M is the MI estimate, M0 the 95%%\n\
+     zero-leakage bound from 100 output shuffles (1 mb = 0.001 bit).@.@.";
+
+  (* A perfect 2-symbol channel: exactly 1 bit. *)
+  let n = 2000 in
+  show "perfect binary channel"
+    {
+      Tp_channel.Mi.input = Array.init n (fun i -> i land 1);
+      output = Array.init n (fun i -> if i land 1 = 0 then 0.0 else 100.0);
+    };
+
+  (* A noisy channel: Gaussian conditionals one sigma apart. *)
+  let input = Array.init n (fun _ -> Tp_util.Rng.int rng 2) in
+  let output =
+    Array.map
+      (fun i -> Tp_util.Rng.gaussian rng ~mu:(float_of_int i) ~sigma:1.0)
+      input
+  in
+  show "noisy binary channel (d'=1)" { Tp_channel.Mi.input = input; output };
+
+  (* No channel at all: outputs independent of inputs.  The MI
+     estimate is still non-zero (sampling noise) — the shuffle test is
+     what tells us it is consistent with zero. *)
+  let input = Array.init n (fun _ -> Tp_util.Rng.int rng 4) in
+  let output = Array.init n (fun _ -> Tp_util.Rng.gaussian rng ~mu:50.0 ~sigma:5.0) in
+  show "no channel (independent)" { Tp_channel.Mi.input = input; output };
+
+  (* A tiny real leak, of the order the paper's tool can resolve. *)
+  let input = Array.init n (fun _ -> Tp_util.Rng.int rng 2) in
+  let output =
+    Array.map
+      (fun i ->
+        Tp_util.Rng.gaussian rng ~mu:(0.35 *. float_of_int i) ~sigma:1.0)
+      input
+  in
+  show "weak leak (d'=0.35)" { Tp_channel.Mi.input = input; output };
+
+  Format.printf
+    "@.The channel matrix of the noisy channel (conditional probability of\n\
+     each output bin given the input symbol):@.@.";
+  let input = Array.init n (fun _ -> Tp_util.Rng.int rng 2) in
+  let output =
+    Array.map
+      (fun i -> Tp_util.Rng.gaussian rng ~mu:(2.0 *. float_of_int i) ~sigma:1.0)
+      input
+  in
+  let m = Tp_channel.Matrix.of_samples ~bins:16 { Tp_channel.Mi.input = input; output } in
+  Tp_channel.Matrix.pp Format.std_formatter m;
+  Format.printf "done.@."

@@ -1,0 +1,32 @@
+(* Policy-mechanism separation in action (§4.3): a Bell-LaPadula
+   system built entirely at user level on top of the kernel's
+   per-image padding attribute.
+
+   Padding is the expensive mechanism, and under a hierarchical policy
+   it is only needed where a leak would flow *down*.  The kernel knows
+   nothing about classification levels — the initial task just writes
+   each kernel image's pad attribute via Kernel_SetPad.
+
+   Run with: dune exec examples/mls_policy.exe *)
+
+let () =
+  let p = Tp_hw.Platform.haswell in
+  Format.printf
+    "Bell-LaPadula padding policy over the cache-flush-latency channel@.@.";
+  Format.printf
+    "Two domains: Low (unclassified) and High (secret).  BLP permits\n\
+     information flow upwards; the flush-latency channel flows from the\n\
+     outgoing domain to the next one, so only High's kernel pads.@.@.";
+  let labels = [| 0; 1 |] in
+  Format.printf "padding cost vs symmetric policy: %.0f%% of the domains pad@.@."
+    (100.0 *. Tp_core.Mls.padded_fraction ~labels);
+  let r = Tp_core.Mls.demo ~seed:7 p in
+  Format.printf "High -> Low (forbidden flow):  %a@." Tp_channel.Leakage.pp_result
+    r.Tp_core.Mls.high_to_low;
+  Format.printf "Low  -> High (authorised flow): %a@.@."
+    Tp_channel.Leakage.pp_result r.Tp_core.Mls.low_to_high;
+  Format.printf
+    "The forbidden direction is closed; the authorised one still carries\n\
+     (which BLP allows) and no padding latency was spent suppressing it.\n\
+     The kernel mechanisms never saw the policy — only pad attributes.@.";
+  Format.printf "done.@."

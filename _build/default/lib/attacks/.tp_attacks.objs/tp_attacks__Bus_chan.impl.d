@@ -1,0 +1,1 @@
+lib/attacks/bus_chan.ml: Array Boot Sched System Tp_channel Tp_hw Tp_kernel Tp_util

@@ -1,0 +1,1 @@
+lib/attacks/bus_chan.mli: Tp_channel Tp_hw Tp_kernel Tp_util

@@ -1,0 +1,1 @@
+lib/attacks/cache_channels.ml: Array Boot Colour System Tp_hw Tp_kernel Uctx

@@ -1,0 +1,1 @@
+lib/attacks/cache_channels.mli: Tp_hw Tp_kernel

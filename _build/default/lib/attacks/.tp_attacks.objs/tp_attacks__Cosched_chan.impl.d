@@ -1,0 +1,1 @@
+lib/attacks/cosched_chan.ml: Array Boot System Tp_hw Tp_kernel Uctx

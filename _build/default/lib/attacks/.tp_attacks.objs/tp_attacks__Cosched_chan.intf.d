@@ -1,0 +1,1 @@
+lib/attacks/cosched_chan.mli: Tp_kernel

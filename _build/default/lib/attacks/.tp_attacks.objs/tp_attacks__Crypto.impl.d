@@ -1,0 +1,1 @@
+lib/attacks/crypto.ml: Array Boot Format Fun List Option Sched Stdlib System Tp_hw Tp_kernel Tp_util Types

@@ -1,0 +1,1 @@
+lib/attacks/crypto.mli: Format Tp_kernel Tp_util

@@ -1,0 +1,1 @@
+lib/attacks/dram_chan.ml: Array Boot Config Harness System Tp_hw Tp_kernel Uctx

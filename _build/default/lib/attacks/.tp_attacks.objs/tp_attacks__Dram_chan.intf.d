@@ -1,0 +1,1 @@
+lib/attacks/dram_chan.mli: Tp_channel Tp_kernel Tp_util

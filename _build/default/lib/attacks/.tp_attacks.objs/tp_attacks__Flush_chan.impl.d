@@ -1,0 +1,1 @@
+lib/attacks/flush_chan.ml: Array Boot Stdlib System Tp_hw Tp_kernel Uctx

@@ -1,0 +1,1 @@
+lib/attacks/flush_chan.mli: Tp_kernel

@@ -1,0 +1,1 @@
+lib/attacks/harness.ml: Array Boot Exec List Stdlib Tp_channel Tp_hw Tp_kernel Tp_util Uctx

@@ -1,0 +1,1 @@
+lib/attacks/harness.mli: Tp_channel Tp_hw Tp_kernel Tp_util

@@ -1,0 +1,1 @@
+lib/attacks/irq_chan.ml: Array Boot Clone Config Syscalls System Tp_hw Tp_kernel Uctx

@@ -1,0 +1,1 @@
+lib/attacks/irq_chan.mli: Tp_kernel

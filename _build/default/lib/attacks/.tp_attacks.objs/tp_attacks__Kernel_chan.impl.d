@@ -1,0 +1,1 @@
+lib/attacks/kernel_chan.ml: Array Boot Colour Retype Syscalls System Tp_hw Tp_kernel Types Uctx

@@ -1,0 +1,1 @@
+lib/attacks/kernel_chan.mli: Tp_kernel

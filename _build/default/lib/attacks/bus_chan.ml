@@ -1,0 +1,103 @@
+open Tp_kernel
+
+let symbols = 8
+
+let page = Tp_hw.Defs.page_size
+
+let run_mode b ~samples ~mode ~rng =
+  let sys = b.Boot.sys in
+  let p = System.platform sys in
+  let bus = Tp_hw.Machine.bus (System.machine sys) in
+  Tp_hw.Interconnect.set_mode bus mode;
+  let line = p.Tp_hw.Platform.line in
+  let llc_bytes = p.Tp_hw.Platform.llc.Tp_hw.Cache.size in
+  (* Both parties stream over buffers twice the LLC, so (after warmup)
+     every access misses the whole hierarchy and is a memory-bus
+     transaction: the sender's rate is the signal, the receiver's
+     latency the sensor.  Frames are constrained to disjoint DRAM bank
+     groups so the demo isolates the interconnect from the (stateful,
+     separately partitionable) row-buffer channel. *)
+  let s_pages = 2 * llc_bytes / page in
+  let r_pages = 2 * llc_bytes / page in
+  let mk dom core ~bank_high ~pages =
+    let tcb = Boot.spawn b dom ~core (fun _ -> ()) in
+    Sched.remove (System.sched sys) ~core tcb;
+    let buf =
+      Boot.alloc_pages_where b dom
+        ~pred:(fun f -> (f lsr 3) land 1 = if bank_high then 1 else 0)
+        ~pages
+    in
+    (tcb, buf)
+  in
+  let s_tcb, s_buf = mk b.Boot.domains.(0) 0 ~bank_high:false ~pages:s_pages in
+  let r_tcb, r_buf = mk b.Boot.domains.(1) 1 ~bank_high:true ~pages:r_pages in
+  let s_lines = s_pages * page / line in
+  let r_lines = r_pages * page / line in
+  let s_pos = ref 0 and r_pos = ref 0 in
+  (* The sender encodes its symbol in its issue rate: [spacing] extra
+     compute cycles between consecutive transactions. *)
+  let s_burst ?(spacing = 0) n =
+    for _ = 1 to n do
+      ignore
+        (System.user_access sys ~core:0 s_tcb ~vaddr:(s_buf + (!s_pos * line))
+           ~kind:Tp_hw.Defs.Read);
+      if spacing > 0 then
+        Tp_hw.Machine.add_cycles (System.machine sys) ~core:0 spacing;
+      s_pos := (!s_pos + 17) mod s_lines
+    done
+  in
+  (* Returns the summed latency of its own accesses, so clock
+     re-alignment between bursts cannot pollute the measurement. *)
+  let r_burst n =
+    let acc = ref 0 in
+    for _ = 1 to n do
+      acc :=
+        !acc
+        + System.user_access sys ~core:1 r_tcb ~vaddr:(r_buf + (!r_pos * line))
+            ~kind:Tp_hw.Defs.Read;
+      r_pos := (!r_pos + 17) mod r_lines
+    done;
+    !acc
+  in
+  (* The two cores run concurrently: keep their (independent) clocks
+     aligned so bus-timestamp comparisons mean global time. *)
+  let m = System.machine sys in
+  let sync () =
+    let c0 = Tp_hw.Machine.cycles m ~core:0
+    and c1 = Tp_hw.Machine.cycles m ~core:1 in
+    if c0 < c1 then Tp_hw.Machine.add_cycles m ~core:0 (c1 - c0)
+    else if c1 < c0 then Tp_hw.Machine.add_cycles m ~core:1 (c0 - c1)
+  in
+  (* Warm caches, TLBs and DRAM rows into steady state before
+     recording. *)
+  for _ = 1 to 8 do
+    s_burst 256;
+    ignore (r_burst 2048)
+  done;
+  let chunk = 128 in
+  let inputs = Array.make samples 0 in
+  let outputs = Array.make samples 0.0 in
+  for i = 0 to samples - 1 do
+    let sym = Tp_util.Rng.int rng symbols in
+    inputs.(i) <- sym;
+    (* Samples are separated by gaps much longer than the bus queue's
+       memory; drop the residual load so symbols do not smear. *)
+    Tp_hw.Interconnect.drain bus;
+    sync ();
+    let lat = ref 0 in
+    let spacing = (symbols - 1 - sym) * 40 in
+    for _ = 1 to 8 do
+      s_burst ~spacing 16;
+      lat := !lat + r_burst chunk;
+      sync ()
+    done;
+    outputs.(i) <- float_of_int !lat
+  done;
+  Tp_channel.Leakage.test ~rng { Tp_channel.Mi.input = inputs; output = outputs }
+
+let run b ~samples ~partitioned ~rng =
+  run_mode b ~samples
+    ~mode:
+      (if partitioned then Tp_hw.Interconnect.Partitioned
+       else Tp_hw.Interconnect.Open)
+    ~rng

@@ -1,0 +1,33 @@
+(** Cross-core interconnect (bus) covert channel — the §2.2/§6.1
+    taxonomy item the paper's threat model must exclude because
+    contemporary hardware cannot partition interconnect bandwidth.
+
+    The sender modulates its memory-bus traffic from one core; the
+    receiver, streaming on another core, senses the remaining
+    bandwidth as its own access latency.  Time protection cannot close
+    this channel (nothing is time-multiplexed); only the hypothetical
+    hardware bandwidth partition ({!Tp_hw.Interconnect.set_partitioned})
+    does — which is exactly the paper's argument for a new
+    hardware-software contract. *)
+
+val symbols : int
+
+val run :
+  Tp_kernel.Boot.booted ->
+  samples:int ->
+  partitioned:bool ->
+  rng:Tp_util.Rng.t ->
+  Tp_channel.Leakage.result
+(** Concurrent two-core run; domain 0 sends, domain 1 receives.
+    [partitioned] enables the hypothetical hardware bandwidth
+    partition. *)
+
+val run_mode :
+  Tp_kernel.Boot.booted ->
+  samples:int ->
+  mode:Tp_hw.Interconnect.mode ->
+  rng:Tp_util.Rng.t ->
+  Tp_channel.Leakage.result
+(** Like {!run} but with an explicit bus mode — including
+    [Mba]-style approximate throttling, which the paper's footnote 5
+    predicts will reduce but not close the channel. *)

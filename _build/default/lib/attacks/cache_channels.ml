@@ -1,0 +1,317 @@
+open Tp_kernel
+
+type t = {
+  name : string;
+  symbols : int;
+  prepare :
+    Boot.booted -> (Uctx.t -> int -> unit) * (Uctx.t -> float option);
+}
+
+let page = Tp_hw.Defs.page_size
+
+let platform b = System.platform b.Boot.sys
+
+(* A buffer the size of a cache, accessed line-sequentially, touches
+   every set exactly [ways] times whatever the line/page geometry. *)
+let cache_buffer b dom (g : Tp_hw.Cache.geometry) =
+  Boot.alloc_pages b dom ~pages:(g.Tp_hw.Cache.size / page)
+
+let sets_of g = Tp_hw.Cache.sets g
+
+(* Touch the first [k] sets (all ways) of a cache-sized buffer through
+   the chosen port (I-side fetches for the L1-I channel). *)
+let touch_sets ctx ~base ~(g : Tp_hw.Cache.geometry) ~k ~kind =
+  let line = g.Tp_hw.Cache.line in
+  let sets = sets_of g in
+  let total_lines = g.Tp_hw.Cache.size / line in
+  for i = 0 to total_lines - 1 do
+    if i mod sets < k then begin
+      let a = base + (i * line) in
+      match kind with
+      | `Write -> Uctx.write ctx a
+      | `Read -> Uctx.read ctx a
+      | `Fetch -> Uctx.fetch ctx a
+    end
+  done
+
+(* Probe a cache-sized buffer and count accesses slower than
+   [threshold] — the receivers of §5.3.2 report miss counts, which is
+   also what makes them immune to latency modulation below the
+   threshold (e.g. DRAM row-buffer state). *)
+let count_probe ctx ~base ~lines ~line ~threshold ~fetch =
+  let misses = ref 0 in
+  for i = 0 to lines - 1 do
+    let a = base + (i * line) in
+    let t0 = Uctx.now ctx in
+    if fetch then Uctx.fetch ctx a else Uctx.read ctx a;
+    if Uctx.now ctx - t0 > threshold then incr misses
+  done;
+  float_of_int !misses
+
+let n_symbols = 16
+
+(* Threshold separating an L1 hit from anything deeper. *)
+let l1_threshold p = p.Tp_hw.Platform.lat_l1 + 2
+
+let l1_channel ~name ~geom ~kind ~fetch =
+  {
+    name;
+    symbols = n_symbols;
+    prepare =
+      (fun b ->
+        let p = platform b in
+        let g = geom p in
+        let sbuf = cache_buffer b b.Boot.domains.(0) g in
+        let rbuf = cache_buffer b b.Boot.domains.(1) g in
+        let sets = sets_of g in
+        let line = g.Tp_hw.Cache.line in
+        let lines = g.Tp_hw.Cache.size / line in
+        let threshold = l1_threshold p in
+        let sender ctx sym =
+          let k = sym * sets / n_symbols in
+          for _ = 1 to 4 do
+            touch_sets ctx ~base:sbuf ~g ~k ~kind
+          done;
+          Uctx.idle_rest ctx
+        in
+        let receiver ctx =
+          Some (count_probe ctx ~base:rbuf ~lines ~line ~threshold ~fetch)
+        in
+        (sender, receiver));
+  }
+
+let l1d =
+  l1_channel ~name:"L1-D"
+    ~geom:(fun p -> p.Tp_hw.Platform.l1d)
+    ~kind:`Write ~fetch:false
+
+let l1i =
+  l1_channel ~name:"L1-I"
+    ~geom:(fun p -> p.Tp_hw.Platform.l1i)
+    ~kind:`Fetch ~fetch:true
+
+(* The L2 is physically indexed: buffers are share-scaled; under
+   colouring each domain's buffer only reaches its own partition.  The
+   receiver's probe is deliberately {e sequential}: the stream
+   prefetcher reacts to it, and because prefetcher tracker state
+   survives domain switches (no architected flush exists), the point
+   at which prefetching kicks in on each page — and therefore the
+   L2-miss count — retains a dependence on the previous domain's
+   streaming, the §5.3.2 residual channel. *)
+let l2 =
+  {
+    name = "L2";
+    symbols = n_symbols;
+    prepare =
+      (fun b ->
+        let p = platform b in
+        let g =
+          match p.Tp_hw.Platform.l2 with
+          | Some g -> g
+          | None -> p.Tp_hw.Platform.llc
+        in
+        let n_colours = Colour.n_colours p in
+        let pages_for dom =
+          g.Tp_hw.Cache.size / page * Colour.count dom.Boot.dom_colours
+          / n_colours
+        in
+        let s_pages = pages_for b.Boot.domains.(0) in
+        (* "with a probing set large enough to cover that cache"
+           (§5.3.2): the receiver's buffer is full-cache-sized even
+           under colouring, so the probe over-subscribes its partition
+           and self-thrashes.  That self-thrash is the carrier of the
+           residual prefetcher channel: every probe line misses unless
+           the prefetcher covered it, and the prefetcher's coverage
+           depends on tracker state left by the previous domain. *)
+        let r_pages = g.Tp_hw.Cache.size / page in
+        let sbuf = Boot.alloc_pages b b.Boot.domains.(0) ~pages:s_pages in
+        let rbuf = Boot.alloc_pages b b.Boot.domains.(1) ~pages:r_pages in
+        let line = g.Tp_hw.Cache.line in
+        let s_lines = s_pages * page / line in
+        let r_lines = r_pages * page / line in
+        let threshold =
+          p.Tp_hw.Platform.lat_l1 + p.Tp_hw.Platform.lat_l2
+          + (p.Tp_hw.Platform.lat_llc / 2)
+        in
+        let sender ctx sym =
+          (* Sweep the first sym/n of the buffer with a stride of two
+             lines: the footprint modulates the L2 directly (the raw
+             channel) and, because a stride-2 pattern never confirms a
+             stream, it leaves aliasing prefetcher trackers in a
+             low-confidence state that differs measurably from the
+             end-of-page state the receiver's own probe leaves — the
+             carrier of the residual protected-mode channel. *)
+          let lines_to_touch = sym * s_lines / n_symbols in
+          let i = ref 0 in
+          while !i < lines_to_touch do
+            Uctx.write ctx (sbuf + (!i * line));
+            i := !i + 2
+          done;
+          Uctx.idle_rest ctx
+        in
+        let receiver ctx =
+          Some
+            (count_probe ctx ~base:rbuf ~lines:r_lines ~line ~threshold
+               ~fetch:false)
+        in
+        (sender, receiver));
+  }
+
+(* The receiver's page array must fit its first-level TLB (otherwise it
+   thrashes itself and measures nothing); the sender sweeps a larger
+   range to press on the shared capacity. *)
+let tlb_receiver_pages = 48
+let tlb_sender_pages = 128
+
+let tlb =
+  {
+    name = "TLB";
+    symbols = n_symbols;
+    prepare =
+      (fun b ->
+        let p = platform b in
+        let sbuf = Boot.alloc_pages b b.Boot.domains.(0) ~pages:tlb_sender_pages in
+        let rbuf = Boot.alloc_pages b b.Boot.domains.(1) ~pages:tlb_receiver_pages in
+        (* A TLB miss that hits the L2 TLB still adds a visible delay;
+           count anything above an L1-hit with a first-level TLB hit.
+           The per-page read offsets are staggered so the probe's own
+           lines land in distinct L1-D sets (one fixed offset per page
+           would alias them all into set 0 and measure the L1, not the
+           TLB). *)
+        let threshold = p.Tp_hw.Platform.lat_l1 + 4 in
+        let line = p.Tp_hw.Platform.line in
+        let sets = p.Tp_hw.Platform.l1d.Tp_hw.Cache.size
+                   / (p.Tp_hw.Platform.l1d.Tp_hw.Cache.ways * line) in
+        let stagger i = i mod sets * line in
+        let sender ctx sym =
+          let k = sym * tlb_sender_pages / n_symbols in
+          for _ = 1 to 8 do
+            for i = 0 to k - 1 do
+              Uctx.read ctx (sbuf + (i * page) + stagger i)
+            done
+          done;
+          Uctx.idle_rest ctx
+        in
+        let receiver ctx =
+          let misses = ref 0 in
+          for i = 0 to tlb_receiver_pages - 1 do
+            let t0 = Uctx.now ctx in
+            Uctx.read ctx (rbuf + (i * page) + stagger i);
+            if Uctx.now ctx - t0 > threshold then incr misses
+          done;
+          Some (float_of_int !misses)
+        in
+        (sender, receiver));
+  }
+
+let btb p =
+  (* Branch-slot ranges as probed in §5.3.2. *)
+  let lo, hi =
+    match p.Tp_hw.Platform.arch with
+    | Tp_hw.Platform.X86 -> (3584, 3712)
+    | Tp_hw.Platform.Arm -> (0, 512)
+  in
+  let slots = hi - lo in
+  let slot_stride = 16 in
+  {
+    name = "BTB";
+    symbols = n_symbols;
+    prepare =
+      (fun b ->
+        let pp = platform b in
+        let span_pages = ((hi + 1) * slot_stride / page) + 2 in
+        let sbuf = Boot.alloc_pages b b.Boot.domains.(0) ~pages:span_pages in
+        let rbuf = Boot.alloc_pages b b.Boot.domains.(1) ~pages:span_pages in
+        (* Count mispredicted jumps: anything slower than a predicted
+           L1-resident jump. *)
+        let threshold =
+          pp.Tp_hw.Platform.lat_l1 + (pp.Tp_hw.Platform.mispredict_penalty / 2)
+        in
+        let sender ctx sym =
+          let k = sym * slots / n_symbols in
+          for _ = 1 to 8 do
+            for i = 0 to k - 1 do
+              let src = sbuf + ((lo + i) * slot_stride) in
+              (* The sender's target differs from the receiver's for
+                 the same slot, so its training evicts/corrupts rather
+                 than helpfully installing the receiver's entries. *)
+              Uctx.jump ctx ~src ~target:(src + slot_stride)
+            done
+          done;
+          Uctx.idle_rest ctx
+        in
+        let receiver ctx =
+          let misses = ref 0 in
+          for i = 0 to slots - 1 do
+            let src = rbuf + ((lo + i) * slot_stride) in
+            let t0 = Uctx.now ctx in
+            Uctx.jump ctx ~src ~target:(src + (2 * slot_stride));
+            if Uctx.now ctx - t0 > threshold then incr misses
+          done;
+          Some (float_of_int !misses)
+        in
+        (sender, receiver));
+  }
+
+(* The sender's pollution shows in the retraining transient, so the
+   receiver measures a short chain rather than a long steady state. *)
+let bhb_chain = 256
+
+let bhb =
+  {
+    name = "BHB";
+    symbols = n_symbols;
+    prepare =
+      (fun b ->
+        let p = platform b in
+        let sbuf = Boot.alloc_pages b b.Boot.domains.(0) ~pages:4 in
+        let rbuf = Boot.alloc_pages b b.Boot.domains.(1) ~pages:4 in
+        let threshold =
+          p.Tp_hw.Platform.lat_l1 + (p.Tp_hw.Platform.mispredict_penalty / 2)
+        in
+        let history_bits = p.Tp_hw.Platform.bhb.Tp_hw.Bhb.history_bits in
+        let sender ctx sym =
+          (* Targeted PHT poisoning à la Evtyushkin et al.: the global
+             history register is under attacker control, so a run of
+             taken filler branches pins it to all-ones — the same
+             history the receiver's always-taken chain runs under —
+             and the following not-taken branch at a chosen address
+             then decrements exactly the receiver's PHT entry.  Two
+             pokes drive the counter below the taken threshold; the
+             number of poisoned addresses encodes the symbol. *)
+          let poison addr =
+            for _ = 1 to 2 do
+              for f = 0 to history_bits - 1 do
+                Uctx.cond_branch ctx ~addr:(sbuf + 4096 + (f * 64)) ~taken:true
+              done;
+              Uctx.cond_branch ctx ~addr ~taken:false
+            done
+          in
+          let targets = sym * 64 / n_symbols in
+          for j = 0 to targets - 1 do
+            poison (sbuf + (j * 64))
+          done;
+          Uctx.idle_rest ctx
+        in
+        let receiver ctx =
+          (* An always-taken chain is perfectly learnable: in steady
+             state every counter saturates taken and the baseline
+             misprediction count is zero, so any mispredict reads back
+             foreign pollution of the aliased PHT entries. *)
+          let misses = ref 0 in
+          for i = 0 to bhb_chain - 1 do
+            let addr = rbuf + (i mod 64 * 64) in
+            let t0 = Uctx.now ctx in
+            Uctx.cond_branch ctx ~addr ~taken:true;
+            if Uctx.now ctx - t0 > threshold then incr misses
+          done;
+          Some (float_of_int !misses)
+        in
+        (sender, receiver));
+  }
+
+let all p =
+  let base = [ l1d; l1i; tlb; btb p; bhb ] in
+  match p.Tp_hw.Platform.arch with
+  | Tp_hw.Platform.X86 -> base @ [ l2 ]
+  | Tp_hw.Platform.Arm -> base

@@ -1,0 +1,57 @@
+open Tp_kernel
+
+let symbols = 8
+
+let page = Tp_hw.Defs.page_size
+
+let prepare b =
+  let sys = b.Boot.sys in
+  let p = System.platform sys in
+  let line = p.Tp_hw.Platform.line in
+  (* Same instruments as {!Bus_chan}: both parties stream buffers
+     larger than the LLC so every access is a memory-bus transaction.
+     DRAM banks are kept disjoint to isolate the interconnect. *)
+  let s_pages = 2 * p.Tp_hw.Platform.llc.Tp_hw.Cache.size / page in
+  let r_pages = 2 * p.Tp_hw.Platform.llc.Tp_hw.Cache.size / page in
+  let s_buf =
+    Boot.alloc_pages_where b b.Boot.domains.(0)
+      ~pred:(fun f -> (f lsr 3) land 1 = 0)
+      ~pages:s_pages
+  in
+  let r_buf =
+    Boot.alloc_pages_where b b.Boot.domains.(1)
+      ~pred:(fun f -> (f lsr 3) land 1 = 1)
+      ~pages:r_pages
+  in
+  let s_lines = s_pages * page / line in
+  let r_lines = r_pages * page / line in
+  let s_pos = ref 0 in
+  let sender ctx sym =
+    (* Modulate bus bandwidth across the whole slice (a real sender
+       holds its rate for the receiver to sample concurrently): bursts
+       of [sym] transactions interleaved with fixed compute. *)
+    while true do
+      for _ = 1 to sym do
+        Uctx.read ctx (s_buf + (!s_pos * line));
+        s_pos := (!s_pos + 17) mod s_lines
+      done;
+      Uctx.compute ctx 300
+    done
+  in
+  let r_pos = ref 0 in
+  let receiver ctx =
+    (* Probe mid-slice: under concurrency the sender is then mid-burst
+       on the other core; under gang scheduling it has been quiescent
+       for half a slice and the bus queue is long drained.  The rolling
+       cursor keeps each probe line cold in the private caches (the
+       buffer is twice their size), so every probe access reaches the
+       bus. *)
+    Uctx.compute ctx (Uctx.remaining ctx * 2 / 5);
+    let t0 = Uctx.now ctx in
+    for _ = 1 to 1024 do
+      Uctx.read ctx (r_buf + (!r_pos * line));
+      r_pos := (!r_pos + 17) mod r_lines
+    done;
+    Some (float_of_int (Uctx.now ctx - t0))
+  in
+  (sender, receiver)

@@ -1,0 +1,230 @@
+open Tp_kernel
+
+type trace = {
+  slots : int;
+  monitored_region : int;
+  activity : int array;
+  square_slots : bool array;
+  recovered_bits : bool list;
+  true_bits : bool list;
+}
+
+let page = Tp_hw.Defs.page_size
+
+(* The victim's modular-exponentiation "routines": a code page each for
+   square and multiply.  Executing a routine fetches its lines several
+   times (loop iterations), exactly the footprint Mastik's spy sees. *)
+type victim = {
+  v_tcb : Types.tcb;
+  v_square : int;  (** vaddr of the square routine's page *)
+  v_multiply : int;
+  v_data : int;
+  v_square_frame : int;  (** physical frame of the square page *)
+}
+
+let op_reps = 4
+
+let run_victim_op sys ~core v ~op =
+  let base = match op with `Square -> v.v_square | `Multiply -> v.v_multiply in
+  let line = (System.platform sys).Tp_hw.Platform.line in
+  let lines = page / line in
+  for _ = 1 to op_reps do
+    for i = 0 to lines - 1 do
+      ignore
+        (System.user_access sys ~core v.v_tcb ~vaddr:(base + (i * line))
+           ~kind:Tp_hw.Defs.Fetch)
+    done
+  done;
+  (* A few data touches (operands). *)
+  for i = 0 to 7 do
+    ignore
+      (System.user_access sys ~core v.v_tcb ~vaddr:(v.v_data + (i * line))
+         ~kind:Tp_hw.Defs.Read)
+  done
+
+type spy = {
+  s_tcb : Types.tcb;
+  s_region : int;
+  s_buf : int;  (** eviction buffer base vaddr *)
+  s_lines : int;
+  s_line : int;
+  s_threshold : int;
+  mutable s_baseline : int;
+      (** probe misses with the victim idle (self-thrash etc.);
+          "activity" means misses above this *)
+}
+
+(* Build an eviction buffer for one LLC page-group: [ways] frames whose
+   frame number is congruent to [region] modulo the LLC colour count. *)
+let build_spy_buffer b dom ~region ~llc_colours ~ways =
+  match
+    Boot.alloc_pages_where b dom
+      ~pred:(fun f -> f mod llc_colours = region)
+      ~pages:ways
+  with
+  | base -> Some base
+  | exception Types.Kernel_error Types.Insufficient_untyped -> None
+
+let prime sys ~core spy =
+  for i = 0 to spy.s_lines - 1 do
+    ignore
+      (System.user_access sys ~core spy.s_tcb ~vaddr:(spy.s_buf + (i * spy.s_line))
+         ~kind:Tp_hw.Defs.Read)
+  done
+
+let probe sys ~core spy =
+  let misses = ref 0 in
+  for i = 0 to spy.s_lines - 1 do
+    let t0 = System.now sys ~core in
+    ignore
+      (System.user_access sys ~core spy.s_tcb ~vaddr:(spy.s_buf + (i * spy.s_line))
+         ~kind:Tp_hw.Defs.Read);
+    if System.now sys ~core - t0 > spy.s_threshold then incr misses
+  done;
+  !misses
+
+let mk_victim b ~rng:_ =
+  let sys = b.Boot.sys in
+  let dom = b.Boot.domains.(0) in
+  let tcb = Boot.spawn b dom ~core:0 (fun _ -> ()) in
+  Sched.remove (System.sched sys) ~core:0 tcb;
+  let square = Boot.alloc_pages b dom ~pages:1 in
+  let multiply = Boot.alloc_pages b dom ~pages:1 in
+  let data = Boot.alloc_pages b dom ~pages:1 in
+  let square_frame = System.translate dom.Boot.dom_vspace square / page in
+  { v_tcb = tcb; v_square = square; v_multiply = multiply; v_data = data;
+    v_square_frame = square_frame }
+
+let mk_spy_for_region b ~region =
+  let sys = b.Boot.sys in
+  let p = System.platform sys in
+  let dom = b.Boot.domains.(1) in
+  let llc = p.Tp_hw.Platform.llc in
+  let llc_colours = Tp_hw.Cache.colours llc in
+  let ways = llc.Tp_hw.Cache.ways in
+  match build_spy_buffer b dom ~region ~llc_colours ~ways with
+  | None -> None
+  | Some buf ->
+      let tcb = Boot.spawn b dom ~core:1 (fun _ -> ()) in
+      Sched.remove (System.sched sys) ~core:1 tcb;
+      Some
+        {
+          s_tcb = tcb;
+          s_region = region;
+          s_buf = buf;
+          s_lines = ways * page / llc.Tp_hw.Cache.line;
+          s_line = llc.Tp_hw.Cache.line;
+          s_threshold =
+            p.Tp_hw.Platform.lat_l1 + p.Tp_hw.Platform.lat_l2
+            + p.Tp_hw.Platform.lat_llc
+            + (p.Tp_hw.Platform.dram.Tp_hw.Dram.t_hit / 2);
+          s_baseline = 0;
+        }
+
+(* Calibration: try candidate regions, measuring probe misses with the
+   victim idle (the spy's own baseline: self-thrash, CAT-induced
+   misses, ...) and with the victim squaring; pick the region with the
+   largest differential.  The spy does not know the victim's layout —
+   it scans, as the paper's spy scans cache sets. *)
+let calibrate b victim =
+  let sys = b.Boot.sys in
+  let p = System.platform sys in
+  let llc_colours = Tp_hw.Cache.colours p.Tp_hw.Platform.llc in
+  let best = ref None in
+  for region = 0 to llc_colours - 1 do
+    match mk_spy_for_region b ~region with
+    | None -> ()
+    | Some spy ->
+        let baseline = ref 0 and active = ref 0 in
+        for _ = 1 to 4 do
+          prime sys ~core:1 spy;
+          ignore (probe sys ~core:1 spy) (* settle *)
+        done;
+        for _ = 1 to 4 do
+          prime sys ~core:1 spy;
+          baseline := !baseline + probe sys ~core:1 spy
+        done;
+        for _ = 1 to 4 do
+          prime sys ~core:1 spy;
+          run_victim_op sys ~core:0 victim ~op:`Square;
+          active := !active + probe sys ~core:1 spy
+        done;
+        spy.s_baseline <- (!baseline + 3) / 4;
+        let diff = !active - !baseline in
+        (match !best with
+        | Some (_, d) when d >= diff -> ()
+        | _ -> if diff > 0 then best := Some (spy, diff))
+  done;
+  Option.map fst !best
+
+(* Square-and-multiply: one operation per time slot. *)
+let op_sequence bits =
+  List.concat_map (fun bit -> if bit then [ `Square; `Multiply ] else [ `Square ]) bits
+
+let recover_bits activity =
+  (* Active slots are squares; a single inactive slot between two
+     squares is a multiply (bit 1), adjacency is bit 0. *)
+  let n = Array.length activity in
+  let actives =
+    List.filter (fun i -> activity.(i) > 0) (List.init n Fun.id)
+  in
+  let rec gaps = function
+    | a :: (b :: _ as rest) ->
+        (if b = a + 1 then Some false else if b = a + 2 then Some true else None)
+        :: gaps rest
+    | _ -> []
+  in
+  List.filter_map Fun.id (gaps actives)
+
+let run b ~key_bits ~rng =
+  let sys = b.Boot.sys in
+  let victim = mk_victim b ~rng in
+  match calibrate b victim with
+  | None -> None
+  | Some spy ->
+      let true_bits = List.init key_bits (fun _ -> Tp_util.Rng.bool rng) in
+      let ops = op_sequence true_bits in
+      let slots = List.length ops + 4 in
+      let activity = Array.make slots 0 in
+      let square_slots = Array.make slots false in
+      List.iteri
+        (fun slot op ->
+          prime sys ~core:1 spy;
+          run_victim_op sys ~core:0 victim ~op;
+          square_slots.(slot) <- op = `Square;
+          activity.(slot) <-
+            Stdlib.max 0 (probe sys ~core:1 spy - spy.s_baseline))
+        ops;
+      let recovered_bits = recover_bits activity in
+      Some
+        {
+          slots;
+          monitored_region = spy.s_region;
+          activity;
+          square_slots;
+          recovered_bits;
+          true_bits;
+        }
+
+let recovery_rate t =
+  let rec score acc n r tbits =
+    match (r, tbits) with
+    | rb :: r', tb :: t' -> score (acc + if rb = tb then 1 else 0) (n + 1) r' t'
+    | _, [] | [], _ -> if n = 0 then 0.0 else float_of_int acc /. float_of_int n
+  in
+  score 0 0 t.recovered_bits t.true_bits
+
+let pp_trace ppf t =
+  Format.fprintf ppf "monitored LLC page-group %d, %d time slots@."
+    t.monitored_region t.slots;
+  Format.fprintf ppf "spy activity:   ";
+  Array.iter
+    (fun a -> Format.pp_print_char ppf (if a > 0 then '*' else '.'))
+    t.activity;
+  Format.fprintf ppf "@.victim squares: ";
+  Array.iter
+    (fun s -> Format.pp_print_char ppf (if s then 'S' else ' '))
+    t.square_slots;
+  Format.fprintf ppf "@.recovered %d/%d key bits (%.0f%%)@."
+    (List.length t.recovered_bits) (List.length t.true_bits)
+    (100.0 *. recovery_rate t)

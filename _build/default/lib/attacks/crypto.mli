@@ -1,0 +1,43 @@
+(** The cross-core LLC side channel of §5.3.3 / Figure 4: the Liu et
+    al. prime&probe attack against GnuPG's square-and-multiply modular
+    exponentiation (ElGamal decryption).
+
+    The victim runs on one core, repeatedly decrypting: for each
+    exponent bit it executes the [square] routine (instruction fetches
+    from the square code page) and, when the bit is 1, the [multiply]
+    routine.  The spy runs concurrently on another core, slicing time
+    into slots; in each slot it primes a monitored group of LLC sets
+    with an eviction buffer and probes it afterwards, recording the
+    miss count.  The dots in the trace (slots with activity in the
+    square-code set group) mark square invocations; the gaps between
+    them encode the key bits.
+
+    Under page colouring the victim's code pages live in colours the
+    spy's pool does not contain, so the spy cannot even build an
+    eviction set for those LLC sets — the channel closes. *)
+
+type trace = {
+  slots : int;
+  monitored_region : int;  (** LLC page-group index the spy settled on *)
+  activity : int array;  (** per-slot probe miss counts *)
+  square_slots : bool array;  (** ground truth: victim squared in slot *)
+  recovered_bits : bool list;  (** spy's key-bit guesses from gap lengths *)
+  true_bits : bool list;  (** actual exponent bits (for scoring) *)
+}
+
+val run :
+  Tp_kernel.Boot.booted ->
+  key_bits:int ->
+  rng:Tp_util.Rng.t ->
+  trace option
+(** Run the attack; [None] when the spy cannot construct any eviction
+    set that observes victim activity (the protected outcome).
+    Domain 0 is the victim (core 0), domain 1 the spy (core 1). *)
+
+val recovery_rate : trace -> float
+(** Fraction of key bits the spy recovered correctly; ~1.0 for a
+    working attack, meaningless when [run] returns [None]. *)
+
+val pp_trace : Format.formatter -> trace -> unit
+(** Figure 4-style dot strip: time slots on the x axis, a mark where
+    the spy saw cache activity. *)

@@ -1,0 +1,51 @@
+open Tp_kernel
+
+type observable = Online | Offline
+
+let symbols = 16
+
+let page = Tp_hw.Defs.page_size
+
+let prepare observable b =
+  let p = System.platform b.Boot.sys in
+  let g = p.Tp_hw.Platform.l1d in
+  let line = g.Tp_hw.Cache.line in
+  let total_lines = g.Tp_hw.Cache.size / line in
+  let sbuf = Boot.alloc_pages b b.Boot.domains.(0) ~pages:(g.Tp_hw.Cache.size / page) in
+  let sender ctx sym =
+    let k = sym * total_lines / symbols in
+    (* Dirty exactly k lines; their write-back during the L1 flush is
+       what the receiver times. *)
+    for i = 0 to k - 1 do
+      Uctx.write ctx (sbuf + (i * line))
+    done;
+    Uctx.idle_rest ctx
+  in
+  (* The receiver reads its clock at the first instant of its slice
+     and spins to exactly the preemption point, so the gap between
+     the preemption of one slice and the start of the next — the
+     offline time — is measured without quantisation.  An attacker
+     calibrates to the tick the same way. *)
+  let last_preempt = ref (-1) in
+  let receiver ctx =
+    let start = Uctx.now ctx in
+    let offline =
+      if !last_preempt >= 0 then Some (float_of_int (start - !last_preempt))
+      else None
+    in
+    let result = ref None in
+    (try
+       while true do
+         let r = Uctx.remaining ctx in
+         Uctx.compute ctx (Stdlib.max 1 r)
+       done
+     with Uctx.Preempted ->
+       let t = Uctx.now ctx in
+       last_preempt := t;
+       result :=
+         (match observable with
+         | Offline -> offline
+         | Online -> Some (float_of_int (t - start))));
+    !result
+  in
+  (sender, receiver)

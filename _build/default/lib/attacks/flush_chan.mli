@@ -1,0 +1,24 @@
+(** The cache-flush latency channel of §5.3.4 / Figure 5 / Table 4.
+
+    Flushing the L1-D on a domain switch writes back every dirty line,
+    so the switch latency depends on how much dirty data the outgoing
+    domain left — execution history leaks through the flush itself.
+    The sender modulates the number of cache sets it dirties per
+    slice; the receiver watches its cycle counter for the large jump
+    that marks preemption: the jump length ("offline time") varies
+    with the sender's dirty footprint, and the uninterrupted period
+    ("online time") is the complementary observable.
+
+    Padding the switch to a configured worst case (Requirement 4)
+    makes both observables constant. *)
+
+type observable = Online | Offline
+
+val symbols : int
+
+val prepare :
+  observable ->
+  Tp_kernel.Boot.booted ->
+  (Tp_kernel.Uctx.t -> int -> unit) * (Tp_kernel.Uctx.t -> float option)
+(** Sender dirties [sym/symbols] of the L1-D; receiver reports the
+    chosen observable in cycles. *)

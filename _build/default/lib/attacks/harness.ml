@@ -1,0 +1,126 @@
+open Tp_kernel
+
+type spec = {
+  samples : int;
+  symbols : int;
+  slice_cycles : int;
+  noise_sigma : float;
+  warmup : int;
+}
+
+let default_spec p =
+  {
+    samples = 1500;
+    symbols = 4;
+    slice_cycles = Tp_hw.Platform.us_to_cycles p 1000.0 (* 1 ms, as in §5.3.1 *);
+    noise_sigma = 8.0;
+    warmup = 4;
+  }
+
+let run_pair b ~sender ~receiver spec ~rng =
+  let sys = b.Boot.sys in
+  let sym_rng = Tp_util.Rng.split rng in
+  let noise_rng = Tp_util.Rng.split rng in
+  let cur_sym = ref (-1) in
+  let iteration = ref 0 in
+  let inputs = ref [] and outputs = ref [] in
+  let recorded = ref 0 in
+  let sender_body ctx =
+    let s = Tp_util.Rng.int sym_rng spec.symbols in
+    cur_sym := s;
+    sender ctx s
+  in
+  let receiver_body ctx =
+    let m = receiver ctx in
+    (match m with
+    | Some y when !cur_sym >= 0 && !iteration >= spec.warmup ->
+        inputs := !cur_sym :: !inputs;
+        outputs :=
+          (y +. Tp_util.Rng.gaussian noise_rng ~mu:0.0 ~sigma:spec.noise_sigma)
+          :: !outputs;
+        incr recorded
+    | Some _ | None -> ());
+    incr iteration
+  in
+  ignore (Boot.spawn b b.Boot.domains.(0) sender_body);
+  ignore (Boot.spawn b b.Boot.domains.(1) receiver_body);
+  (* Two slices per iteration (sender then receiver), plus slack for
+     warmup and the first scheduling round. *)
+  let slices = 2 * (spec.samples + spec.warmup + 2) in
+  Exec.run_slices sys ~core:0 ~slice_cycles:spec.slice_cycles ~slices ();
+  let input = Array.of_list (List.rev !inputs) in
+  let output = Array.of_list (List.rev !outputs) in
+  if Array.length input = 0 then
+    invalid_arg
+      "Harness.run_pair: no samples collected — the receiver never completed \
+       a measurement within its slice (slice_cycles too small for the probe?)";
+  (* Trim to the requested sample count for reproducible dataset sizes. *)
+  let n = Stdlib.min spec.samples (Array.length input) in
+  { Tp_channel.Mi.input = Array.sub input 0 n; output = Array.sub output 0 n }
+
+let run_pair_cross_core b ~sender ~receiver ~cosched spec ~rng =
+  let sys = b.Boot.sys in
+  let sym_rng = Tp_util.Rng.split rng in
+  let noise_rng = Tp_util.Rng.split rng in
+  let cur_sym = ref (-1) in
+  let iteration = ref 0 in
+  let inputs = ref [] and outputs = ref [] in
+  let sender_body ctx =
+    let s = Tp_util.Rng.int sym_rng spec.symbols in
+    cur_sym := s;
+    sender ctx s
+  in
+  let receiver_body ctx =
+    (match receiver ctx with
+    | Some y when !cur_sym >= 0 && !iteration >= spec.warmup ->
+        inputs := !cur_sym :: !inputs;
+        outputs :=
+          (y +. Tp_util.Rng.gaussian noise_rng ~mu:0.0 ~sigma:spec.noise_sigma)
+          :: !outputs
+    | Some _ | None -> ());
+    incr iteration
+  in
+  ignore (Boot.spawn b b.Boot.domains.(0) ~core:0 sender_body);
+  ignore (Boot.spawn b b.Boot.domains.(1) ~core:1 receiver_body);
+  let cores = [ 0; 1 ] in
+  let rounds =
+    (* Concurrent: one round = one sender + one receiver slice.
+       Co-scheduled: the domain rotation needs two rounds per sample. *)
+    (if cosched then 2 else 1) * (spec.samples + spec.warmup + 2)
+  in
+  (if cosched then
+     Tp_kernel.Exec.run_coscheduled sys ~cores ~slice_cycles:spec.slice_cycles
+       ~rounds ()
+   else
+     Tp_kernel.Exec.run_concurrent sys ~cores ~slice_cycles:spec.slice_cycles
+       ~rounds ());
+  let input = Array.of_list (List.rev !inputs) in
+  let output = Array.of_list (List.rev !outputs) in
+  if Array.length input = 0 then
+    invalid_arg "Harness.run_pair_cross_core: no samples collected";
+  let n = Stdlib.min spec.samples (Array.length input) in
+  { Tp_channel.Mi.input = Array.sub input 0 n; output = Array.sub output 0 n }
+
+let measure_leak b ~sender ~receiver spec ~rng =
+  let samples = run_pair b ~sender ~receiver spec ~rng in
+  Tp_channel.Leakage.test ~rng samples
+
+let timed ctx f =
+  let t0 = Uctx.now ctx in
+  f ();
+  Uctx.now ctx - t0
+
+let probe_reads ctx ~base ~stride ~count =
+  timed ctx (fun () ->
+      for i = 0 to count - 1 do
+        Uctx.read ctx (base + (i * stride))
+      done)
+
+let probe_read_misses ctx ~base ~stride ~count ~threshold =
+  let misses = ref 0 in
+  for i = 0 to count - 1 do
+    let t0 = Uctx.now ctx in
+    Uctx.read ctx (base + (i * stride));
+    if Uctx.now ctx - t0 > threshold then incr misses
+  done;
+  !misses

@@ -1,0 +1,77 @@
+(** Covert-channel measurement harness.
+
+    Runs a Trojan (sender) and a spy (receiver) time-sharing one core
+    in two security domains, exactly as in §5.3: each iteration the
+    sender encodes a uniformly random symbol during its slice, then the
+    receiver measures during its own slice; the pair (symbol,
+    measurement) is one channel use.  The resulting dataset feeds
+    {!Tp_channel.Leakage.test}.
+
+    The simulated machine is deterministic; real measurements are not.
+    [noise_sigma] adds Gaussian measurement noise (cycles) to the
+    receiver's outputs, modelling timer granularity and platform
+    jitter, so the statistical test operates under realistic
+    conditions (and so "no leak" results genuinely exercise the
+    shuffle bound instead of comparing exact constants). *)
+
+type spec = {
+  samples : int;  (** channel uses to record *)
+  symbols : int;  (** input alphabet size *)
+  slice_cycles : int;  (** time-slice length *)
+  noise_sigma : float;  (** receiver measurement noise, cycles *)
+  warmup : int;  (** initial iterations to discard *)
+}
+
+val default_spec : Tp_hw.Platform.t -> spec
+(** 1 ms slices, 1500 samples, 4 symbols, small noise. *)
+
+val run_pair :
+  Tp_kernel.Boot.booted ->
+  sender:(Tp_kernel.Uctx.t -> int -> unit) ->
+  receiver:(Tp_kernel.Uctx.t -> float option) ->
+  spec ->
+  rng:Tp_util.Rng.t ->
+  Tp_channel.Mi.samples
+(** [run_pair b ~sender ~receiver spec ~rng] runs the pair in domains
+    0 (sender) and 1 (receiver) of [b] on core 0 and returns the
+    collected dataset.  The receiver returns [None] for slices that
+    should not produce a sample (e.g. calibration). *)
+
+val run_pair_cross_core :
+  Tp_kernel.Boot.booted ->
+  sender:(Tp_kernel.Uctx.t -> int -> unit) ->
+  receiver:(Tp_kernel.Uctx.t -> float option) ->
+  cosched:bool ->
+  spec ->
+  rng:Tp_util.Rng.t ->
+  Tp_channel.Mi.samples
+(** Cross-core variant: the sender runs in domain 0 on core 0 and the
+    receiver in domain 1 on core 1.  With [cosched:false] both domains
+    execute concurrently ({!Tp_kernel.Exec.run_concurrent}); with
+    [cosched:true] they are gang-scheduled so only one domain is ever
+    executing ({!Tp_kernel.Exec.run_coscheduled}, the §3.1.1
+    confinement mitigation). *)
+
+val measure_leak :
+  Tp_kernel.Boot.booted ->
+  sender:(Tp_kernel.Uctx.t -> int -> unit) ->
+  receiver:(Tp_kernel.Uctx.t -> float option) ->
+  spec ->
+  rng:Tp_util.Rng.t ->
+  Tp_channel.Leakage.result
+(** [run_pair] followed by the shuffle test. *)
+
+(** {1 Receiver helpers} *)
+
+val timed : Tp_kernel.Uctx.t -> (unit -> unit) -> int
+(** Cycle-counter time of running a thunk. *)
+
+val probe_reads : Tp_kernel.Uctx.t -> base:int -> stride:int -> count:int -> int
+(** Read [count] addresses [base, base+stride, ...]; returns total
+    cycles — the basic prime/probe traversal. *)
+
+val probe_read_misses :
+  Tp_kernel.Uctx.t -> base:int -> stride:int -> count:int -> threshold:int -> int
+(** Like {!probe_reads} but returns how many individual accesses took
+    longer than [threshold] cycles (a miss count, as the paper's
+    receivers report). *)

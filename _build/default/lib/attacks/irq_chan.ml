@@ -1,0 +1,44 @@
+open Tp_kernel
+
+let symbols = 5
+let timer_irq = 4
+
+let prepare b =
+  let sys = b.Boot.sys in
+  let p = System.platform sys in
+  let cfg = System.cfg sys in
+  (* Under partitioning, the Trojan (domain 0) legitimately owns the
+     timer IRQ: it is associated with the Trojan's kernel image, which
+     is precisely what keeps it masked during the spy's slices. *)
+  if cfg.Config.partition_irqs then
+    Clone.set_int sys ~image:b.Boot.domains.(0).Boot.dom_kernel_cap ~irq:timer_irq;
+  let ms_cycles = Tp_hw.Platform.us_to_cycles p 1000.0 in
+  (* Spin granularity: coarse enough to keep the simulation tractable
+     over 10 ms slices, fine enough (~half a microsecond) to resolve a
+     millisecond-scale signal. *)
+  let step = 2_000 in
+  let jump_threshold = step + 4_000 in
+  let sender ctx sym =
+    (* Fire 13..17 ms from the start of our slice: 3..7 ms into the
+       spy's following slice (10 ms slices). *)
+    Uctx.syscall ctx (Syscalls.Set_timeout { irq = timer_irq; after = (13 + sym) * ms_cycles });
+    Uctx.idle_rest ctx
+  in
+  let receiver ctx =
+    let start = Uctx.now ctx in
+    let last = ref start in
+    let first_online = ref None in
+    (try
+       while true do
+         Uctx.compute ctx step;
+         let n = Uctx.now ctx in
+         if n - !last > jump_threshold && !first_online = None then
+           first_online := Some (float_of_int (!last - start));
+         last := n
+       done
+     with Uctx.Preempted ->
+       if !first_online = None then
+         first_online := Some (float_of_int (!last - start)));
+    !first_online
+  in
+  (sender, receiver)

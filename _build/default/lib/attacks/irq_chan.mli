@@ -1,0 +1,25 @@
+(** The interrupt covert channel of §5.3.5 / Figure 6.
+
+    The Trojan owns a timer device (an IRQ line).  Each of its slices
+    it programs the timer to fire 13–17 ms later — i.e. 3–7 ms into
+    the spy's following 10 ms slice — encoding its symbol in the
+    position of the interrupt.  The spy observes its own progress: the
+    kernel's mid-slice IRQ handling shows as a cycle-counter jump that
+    splits the slice into two online periods, and the length of the
+    first one is the received symbol.
+
+    With IRQ partitioning (Requirement 5, [Kernel_SetInt]) the
+    Trojan's IRQ is masked while the spy's kernel runs, the spy sees
+    one uninterrupted slice, and the channel closes. *)
+
+val symbols : int
+(** 5: timer values 13, 14, 15, 16, 17 ms. *)
+
+val timer_irq : int
+
+val prepare :
+  Tp_kernel.Boot.booted ->
+  (Tp_kernel.Uctx.t -> int -> unit) * (Tp_kernel.Uctx.t -> float option)
+(** The spy's output is the length of its first online period in
+    cycles.  [prepare] associates {!timer_irq} with the Trojan's
+    kernel when the configuration partitions IRQs. *)

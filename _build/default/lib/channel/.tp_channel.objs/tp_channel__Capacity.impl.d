@@ -1,0 +1,1 @@
+lib/channel/capacity.ml: Array Float List Matrix

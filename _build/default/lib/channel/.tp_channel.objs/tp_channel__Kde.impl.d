@@ -1,0 +1,1 @@
+lib/channel/kde.ml: Array Float Stdlib Tp_util

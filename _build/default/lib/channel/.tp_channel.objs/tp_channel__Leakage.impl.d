@@ -1,0 +1,1 @@
+lib/channel/leakage.ml: Array Format Mi Tp_util

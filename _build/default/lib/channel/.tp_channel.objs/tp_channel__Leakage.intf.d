@@ -1,0 +1,1 @@
+lib/channel/leakage.mli: Format Mi Tp_util

@@ -1,0 +1,1 @@
+lib/channel/matrix.ml: Array Format Hashtbl List Mi String Tp_util

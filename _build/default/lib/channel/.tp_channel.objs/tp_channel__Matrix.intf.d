@@ -1,0 +1,1 @@
+lib/channel/matrix.mli: Format Mi

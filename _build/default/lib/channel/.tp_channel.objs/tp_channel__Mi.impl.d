@@ -1,0 +1,1 @@
+lib/channel/mi.ml: Array Fun Hashtbl Kde List Stdlib Tp_util

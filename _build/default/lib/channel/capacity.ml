@@ -1,0 +1,73 @@
+let log2 x = log x /. log 2.0
+
+let blahut_arimoto ?(epsilon = 1e-6) ?(max_iters = 1000) w =
+  let nx = Array.length w in
+  if nx = 0 then invalid_arg "blahut_arimoto: empty matrix";
+  let ny = Array.length w.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> ny then
+        invalid_arg "blahut_arimoto: ragged matrix";
+      let s = Array.fold_left ( +. ) 0.0 row in
+      if Float.abs (s -. 1.0) > 1e-6 then
+        invalid_arg "blahut_arimoto: rows must sum to 1")
+    w;
+  let p = Array.make nx (1.0 /. float_of_int nx) in
+  let capacity = ref 0.0 in
+  (try
+     for _ = 1 to max_iters do
+       (* q.(y): output distribution under p. *)
+       let q = Array.make ny 0.0 in
+       for x = 0 to nx - 1 do
+         for y = 0 to ny - 1 do
+           q.(y) <- q.(y) +. (p.(x) *. w.(x).(y))
+         done
+       done;
+       (* c.(x) = exp Σ_y w(y|x) ln (w(y|x)/q(y)) — the per-input
+          divergence that drives the reweighting. *)
+       let c =
+         Array.init nx (fun x ->
+             let acc = ref 0.0 in
+             for y = 0 to ny - 1 do
+               if w.(x).(y) > 0.0 && q.(y) > 0.0 then
+                 acc := !acc +. (w.(x).(y) *. log (w.(x).(y) /. q.(y)))
+             done;
+             exp !acc)
+       in
+       let z = ref 0.0 in
+       for x = 0 to nx - 1 do
+         z := !z +. (p.(x) *. c.(x))
+       done;
+       (* Capacity bounds: log z is the lower bound, log max c the
+          upper; stop when they meet. *)
+       let upper = Array.fold_left Float.max 0.0 c in
+       let lo = log2 !z and hi = log2 upper in
+       capacity := lo;
+       if hi -. lo < epsilon then raise Exit;
+       for x = 0 to nx - 1 do
+         p.(x) <- p.(x) *. c.(x) /. !z
+       done
+     done
+   with Exit -> ());
+  (Float.max 0.0 !capacity, p)
+
+let of_samples ?(bins = 32) s =
+  let m = Matrix.of_samples ~bins s in
+  let nx = Array.length m.Matrix.symbols in
+  if nx < 2 then 0.0
+  else begin
+    (* Matrix.prob is [bin].(symbol); transpose into rows-per-input. *)
+    let w =
+      Array.init nx (fun x ->
+          Array.init m.Matrix.bins (fun y -> m.Matrix.prob.(y).(x)))
+    in
+    (* Guard against empty rows (symbols with no samples). *)
+    let w =
+      Array.of_list
+        (List.filter
+           (fun row -> Array.fold_left ( +. ) 0.0 row > 0.5)
+           (Array.to_list w))
+    in
+    if Array.length w < 2 then 0.0
+    else fst (blahut_arimoto w)
+  end

@@ -1,0 +1,26 @@
+(** Discrete channel capacity via Blahut–Arimoto.
+
+    §5.1 relates the paper's continuous MI to "other similar measures,
+    such as discrete capacity [Shannon 1948]": for a uniform input
+    distribution, zero continuous MI implies zero discrete capacity.
+    Capacity is the MI maximised over input distributions — an upper
+    bound on what {e any} encoding could extract per channel use, where
+    the reported [M] is the rate of the specific uniform encoding.
+
+    The estimator discretises the outputs into bins (the empirical
+    channel matrix of {!Matrix}) and runs the classical Blahut–Arimoto
+    iteration. *)
+
+val blahut_arimoto :
+  ?epsilon:float -> ?max_iters:int -> float array array -> float * float array
+(** [blahut_arimoto w] for a channel matrix [w.(x).(y)] = P(y|x)
+    (rows = inputs, each row summing to 1) returns the capacity in
+    bits and the maximising input distribution.
+    @raise Invalid_argument on an empty or non-stochastic matrix. *)
+
+val of_samples : ?bins:int -> Mi.samples -> float
+(** Estimate the channel's discrete capacity from observations:
+    histogram outputs per input symbol into [bins] (default 32), then
+    Blahut–Arimoto on the empirical matrix.  Upper-bounds (up to
+    discretisation and sampling error) the uniform-input MI that
+    {!Mi.estimate} reports. *)

@@ -1,0 +1,65 @@
+type grid = { lo : float; hi : float; points : int }
+
+let grid_step g =
+  assert (g.points > 1);
+  (g.hi -. g.lo) /. float_of_int (g.points - 1)
+
+let grid_position g i = g.lo +. (float_of_int i *. grid_step g)
+
+let silverman_bandwidth samples =
+  let n = Array.length samples in
+  assert (n > 0);
+  if n = 1 then 0.0
+  else begin
+    let sd = Tp_util.Stats.std samples in
+    let iqr =
+      Tp_util.Stats.percentile samples 75.0 -. Tp_util.Stats.percentile samples 25.0
+    in
+    let spread =
+      if iqr > 0.0 then Stdlib.min sd (iqr /. 1.34)
+      else sd (* discrete-ish data: fall back to sd alone *)
+    in
+    0.9 *. spread *. (float_of_int n ** -0.2)
+  end
+
+let estimate g ?bandwidth samples =
+  assert (Array.length samples > 0);
+  assert (g.points > 1);
+  let step = grid_step g in
+  let h =
+    match bandwidth with
+    | Some h -> Stdlib.max h step
+    | None -> Stdlib.max (silverman_bandwidth samples) step
+  in
+  (* Bin the samples onto the grid (nearest grid position, clamped). *)
+  let counts = Array.make g.points 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float (Float.round ((x -. g.lo) /. step)) in
+      let i = if i < 0 then 0 else if i >= g.points then g.points - 1 else i in
+      counts.(i) <- counts.(i) + 1)
+    samples;
+  (* Precompute the kernel over the window where it is non-negligible. *)
+  let half_window = int_of_float (Float.ceil (4.0 *. h /. step)) in
+  let norm = 1.0 /. (h *. sqrt (2.0 *. Float.pi)) in
+  let kernel =
+    Array.init
+      ((2 * half_window) + 1)
+      (fun k ->
+        let d = float_of_int (k - half_window) *. step /. h in
+        norm *. exp (-0.5 *. d *. d))
+  in
+  let n = float_of_int (Array.length samples) in
+  let density = Array.make g.points 0.0 in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let w = float_of_int c /. n in
+        let lo = Stdlib.max 0 (i - half_window) in
+        let hi = Stdlib.min (g.points - 1) (i + half_window) in
+        for j = lo to hi do
+          density.(j) <- density.(j) +. (w *. kernel.(j - i + half_window))
+        done
+      end)
+    counts;
+  density

@@ -1,0 +1,69 @@
+type t = {
+  symbols : int array;
+  bin_lo : float;
+  bin_hi : float;
+  bins : int;
+  prob : float array array;
+}
+
+let of_samples ?(bins = 24) s =
+  let n = Array.length s.Mi.input in
+  assert (n > 0 && Array.length s.Mi.output = n);
+  let symbols =
+    Array.of_seq
+      (List.to_seq
+         (List.sort_uniq compare (Array.to_list s.Mi.input)))
+  in
+  let sym_index = Hashtbl.create 8 in
+  Array.iteri (fun i sym -> Hashtbl.replace sym_index sym i) symbols;
+  let lo = Tp_util.Stats.min s.Mi.output and hi = Tp_util.Stats.max s.Mi.output in
+  let hi = if hi > lo then hi else lo +. 1.0 in
+  let counts = Array.make_matrix bins (Array.length symbols) 0 in
+  let totals = Array.make (Array.length symbols) 0 in
+  Array.iteri
+    (fun i sym ->
+      let y = s.Mi.output.(i) in
+      let b =
+        int_of_float ((y -. lo) /. (hi -. lo) *. float_of_int bins)
+      in
+      let b = if b >= bins then bins - 1 else if b < 0 then 0 else b in
+      let j = Hashtbl.find sym_index sym in
+      counts.(b).(j) <- counts.(b).(j) + 1;
+      totals.(j) <- totals.(j) + 1)
+    s.Mi.input;
+  let prob =
+    Array.map
+      (fun row ->
+        Array.mapi
+          (fun j c ->
+            if totals.(j) = 0 then 0.0 else float_of_int c /. float_of_int totals.(j))
+          row)
+      counts
+  in
+  { symbols; bin_lo = lo; bin_hi = hi; bins; prob }
+
+let intensity_chars = " .:-=+*#%@"
+
+let cell p =
+  if p <= 0.0 then ' '
+  else begin
+    (* Log scale from 1e-5 to 1, like the paper's colour bar. *)
+    let v = (log10 p +. 5.0) /. 5.0 in
+    let v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v in
+    let i = int_of_float (v *. float_of_int (String.length intensity_chars - 1)) in
+    intensity_chars.[i]
+  end
+
+let pp ppf t =
+  let w = (t.bin_hi -. t.bin_lo) /. float_of_int t.bins in
+  for b = t.bins - 1 downto 0 do
+    let center = t.bin_lo +. ((float_of_int b +. 0.5) *. w) in
+    Format.fprintf ppf "%12.1f |" center;
+    Array.iteri (fun j _ -> Format.fprintf ppf "  %c " (cell t.prob.(b).(j))) t.symbols;
+    Format.fprintf ppf "@."
+  done;
+  Format.fprintf ppf "%12s +" "";
+  Array.iter (fun _ -> Format.fprintf ppf "----") t.symbols;
+  Format.fprintf ppf "@.%12s  " "";
+  Array.iter (fun sym -> Format.fprintf ppf "%3d " sym) t.symbols;
+  Format.fprintf ppf "  (input symbol)@."

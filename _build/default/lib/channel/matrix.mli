@@ -1,0 +1,22 @@
+(** Channel-matrix estimation and text rendering (Figure 3 style).
+
+    The channel matrix gives the conditional probability of observing
+    an output (binned) given each input symbol.  The paper renders it
+    as a heat map; we render rows of intensity characters, one column
+    per input symbol, log-scaled like the paper's colour bar. *)
+
+type t = {
+  symbols : int array;  (** distinct input symbols, ascending *)
+  bin_lo : float;
+  bin_hi : float;
+  bins : int;
+  prob : float array array;  (** [prob.(bin).(symbol_idx)] = P(bin | symbol) *)
+}
+
+val of_samples : ?bins:int -> Mi.samples -> t
+(** Histogram the outputs per input symbol over a common range.
+    [bins] defaults to 24 (a readable terminal heat map). *)
+
+val pp : Format.formatter -> t -> unit
+(** Rows are output bins (highest value on top, as in Figure 3),
+    columns are input symbols, cells are log-scaled intensity. *)

@@ -1,0 +1,1 @@
+lib/core/calibrate.ml: Array Boot Domain_switch List Scenario Sched System Tp_hw Tp_kernel Uctx

@@ -1,0 +1,1 @@
+lib/core/calibrate.mli: Tp_hw

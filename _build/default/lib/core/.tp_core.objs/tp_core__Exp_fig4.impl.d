@@ -1,0 +1,1 @@
+lib/core/exp_fig4.ml: Quality Scenario Tp_attacks Tp_hw Tp_util

@@ -1,0 +1,1 @@
+lib/core/exp_fig4.mli: Quality Tp_attacks Tp_hw

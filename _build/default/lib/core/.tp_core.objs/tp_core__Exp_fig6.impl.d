@@ -1,0 +1,1 @@
+lib/core/exp_fig6.ml: Array Quality Scenario Tp_attacks Tp_channel Tp_hw Tp_util

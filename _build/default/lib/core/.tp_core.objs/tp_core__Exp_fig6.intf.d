@@ -1,0 +1,1 @@
+lib/core/exp_fig6.mli: Quality Tp_channel Tp_hw

@@ -1,0 +1,1 @@
+lib/core/exp_fig7.ml: Array Boot Config Exec List Quality System Tp_hw Tp_kernel Tp_util Tp_workloads

@@ -1,0 +1,1 @@
+lib/core/exp_fig7.mli: Quality Tp_hw

@@ -1,0 +1,1 @@
+lib/core/exp_table2.ml: Array Boot Config Domain_switch System Tp_hw Tp_kernel Types

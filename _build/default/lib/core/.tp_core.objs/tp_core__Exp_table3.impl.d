@@ -1,0 +1,1 @@
+lib/core/exp_table3.ml: List Quality Scenario Tp_attacks Tp_channel Tp_hw Tp_util

@@ -1,0 +1,1 @@
+lib/core/exp_table4.ml: Array List Quality Scenario Tp_attacks Tp_channel Tp_hw Tp_kernel Tp_util

@@ -1,0 +1,1 @@
+lib/core/exp_table5.ml: Array Boot Config Ipc Quality Retype Sched System Tp_hw Tp_kernel Types

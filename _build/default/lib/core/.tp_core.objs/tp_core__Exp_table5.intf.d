@@ -1,0 +1,1 @@
+lib/core/exp_table5.mli: Quality Tp_hw

@@ -1,0 +1,1 @@
+lib/core/exp_table6.ml: Array Boot Domain_switch List Quality Scenario Sched System Tp_hw Tp_kernel Tp_util Uctx

@@ -1,0 +1,1 @@
+lib/core/exp_table7.ml: Array Boot Clone Config Quality Retype Syscalls System Tp_hw Tp_kernel Tp_util Types

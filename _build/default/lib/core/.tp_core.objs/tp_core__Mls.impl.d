@@ -1,0 +1,1 @@
+lib/core/mls.ml: Array Boot Clone Config Scenario Stdlib Tp_attacks Tp_channel Tp_hw Tp_kernel Tp_util

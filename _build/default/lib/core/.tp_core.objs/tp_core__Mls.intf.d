@@ -1,0 +1,1 @@
+lib/core/mls.mli: Tp_channel Tp_hw Tp_kernel

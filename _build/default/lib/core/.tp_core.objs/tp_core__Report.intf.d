@@ -1,0 +1,1 @@
+lib/core/report.mli: Exp_fig3 Exp_fig4 Exp_fig6 Exp_fig7 Exp_table2 Exp_table3 Exp_table4 Exp_table5 Exp_table6 Exp_table7 Tp_channel

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Config Tp_kernel

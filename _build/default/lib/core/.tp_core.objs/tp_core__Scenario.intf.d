@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Tp_hw Tp_kernel

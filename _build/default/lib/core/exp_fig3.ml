@@ -1,0 +1,44 @@
+type side = {
+  scenario : string;
+  matrix : Tp_channel.Matrix.t;
+  leak : Tp_channel.Leakage.result;
+  capacity_bits : float;
+}
+
+type result = { platform : string; coloured_only : side; protected_ : side }
+
+let run_side q ~seed kind p =
+  let rng = Tp_util.Rng.create ~seed in
+  let b = Scenario.boot kind p in
+  let sender, receiver = Tp_attacks.Kernel_chan.prepare b in
+  (* The receiver's three probe passes over its LLC share must fit the
+     slice; the Sabre's low clock and large share need a longer tick
+     than the 1 ms used on x86 (§5.3.1). *)
+  let slice_us =
+    match p.Tp_hw.Platform.arch with
+    | Tp_hw.Platform.X86 -> 1_000.0
+    | Tp_hw.Platform.Arm -> 10_000.0
+  in
+  let spec =
+    {
+      (Tp_attacks.Harness.default_spec p) with
+      Tp_attacks.Harness.samples = Quality.samples q;
+      symbols = Tp_attacks.Kernel_chan.symbols;
+      slice_cycles = Tp_hw.Platform.us_to_cycles p slice_us;
+    }
+  in
+  let samples = Tp_attacks.Harness.run_pair b ~sender ~receiver spec ~rng in
+  let leak = Tp_channel.Leakage.test ~rng samples in
+  {
+    scenario = Scenario.name kind;
+    matrix = Tp_channel.Matrix.of_samples samples;
+    leak;
+    capacity_bits = Tp_channel.Capacity.of_samples samples;
+  }
+
+let run q ~seed p =
+  {
+    platform = p.Tp_hw.Platform.name;
+    coloured_only = run_side q ~seed Scenario.Coloured_only p;
+    protected_ = run_side q ~seed:(seed + 1) Scenario.Protected p;
+  }

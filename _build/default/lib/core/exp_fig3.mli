@@ -1,0 +1,18 @@
+(** Figure 3: the kernel-image covert channel, with coloured userland
+    only (shared kernel) vs. full time protection (cloned kernels).
+    Reports the channel matrix and the leakage test result for both
+    configurations. *)
+
+type side = {
+  scenario : string;
+  matrix : Tp_channel.Matrix.t;
+  leak : Tp_channel.Leakage.result;
+  capacity_bits : float;
+      (** discrete channel capacity (Blahut–Arimoto) of the empirical
+          matrix — the §5.1 companion measure: an upper bound on any
+          encoding's rate, vs. [leak.m]'s uniform-input rate *)
+}
+
+type result = { platform : string; coloured_only : side; protected_ : side }
+
+val run : Quality.t -> seed:int -> Tp_hw.Platform.t -> result

@@ -1,0 +1,28 @@
+type result = {
+  platform : string;
+  raw_trace : Tp_attacks.Crypto.trace option;
+  protected_trace : Tp_attacks.Crypto.trace option;
+  raw_recovery : float;
+}
+
+let key_bits = function Quality.Quick -> 48 | Quality.Full -> 160
+
+let run q ~seed p =
+  let bits = key_bits q in
+  let raw_trace =
+    let rng = Tp_util.Rng.create ~seed in
+    Tp_attacks.Crypto.run (Scenario.boot Scenario.Raw p) ~key_bits:bits ~rng
+  in
+  let protected_trace =
+    let rng = Tp_util.Rng.create ~seed:(seed + 1) in
+    Tp_attacks.Crypto.run (Scenario.boot Scenario.Protected p) ~key_bits:bits ~rng
+  in
+  {
+    platform = p.Tp_hw.Platform.name;
+    raw_trace;
+    protected_trace;
+    raw_recovery =
+      (match raw_trace with
+      | Some t -> Tp_attacks.Crypto.recovery_rate t
+      | None -> 0.0);
+  }

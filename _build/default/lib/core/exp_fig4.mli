@@ -1,0 +1,14 @@
+(** Figure 4: the cross-core LLC side channel against square-and-
+    multiply ElGamal (GnuPG), raw vs. protected.  In the raw system
+    the spy's trace shows the square-function dots and recovers the
+    key; under colouring the spy cannot build an eviction set that
+    observes the victim, and the trace is empty. *)
+
+type result = {
+  platform : string;
+  raw_trace : Tp_attacks.Crypto.trace option;
+  protected_trace : Tp_attacks.Crypto.trace option;
+  raw_recovery : float;  (** fraction of key bits recovered, raw *)
+}
+
+val run : Quality.t -> seed:int -> Tp_hw.Platform.t -> result

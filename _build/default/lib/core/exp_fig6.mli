@@ -1,0 +1,14 @@
+(** Figure 6: the timer-interrupt channel (Trojan-programmed timer
+    firing inside the spy's slice) raw vs. with IRQ partitioning.
+    Returns the raw scatter (timer symbol vs. spy's first online
+    period) plus the leakage verdicts. *)
+
+type result = {
+  platform : string;
+  raw_leak : Tp_channel.Leakage.result;
+  protected_leak : Tp_channel.Leakage.result;
+  raw_series : (int * float) array;
+      (** (timer value bucket 0..4 = 13..17 ms, first online period) *)
+}
+
+val run : Quality.t -> seed:int -> Tp_hw.Platform.t -> result

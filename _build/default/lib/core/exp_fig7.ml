@@ -1,0 +1,151 @@
+open Tp_kernel
+
+type fig7_row = {
+  workload : string;
+  base_75 : float;
+  base_50 : float;
+  clone_100 : float;
+  clone_75 : float;
+  clone_50 : float;
+}
+
+type fig7_result = {
+  platform : string;
+  rows : fig7_row list;
+  geomean : float * float * float * float * float;
+}
+
+let selected workloads =
+  match workloads with
+  | None -> Tp_workloads.Splash.all
+  | Some names ->
+      List.filter_map Tp_workloads.Splash.by_name names
+
+(* Cycles for one solo run of a workload under a configuration. *)
+let solo_cycles ~seed p config ~colour_percent w ~accesses =
+  let b = Boot.boot ~colour_percent ~domains:1 ~platform:p ~config () in
+  let rng = Tp_util.Rng.create ~seed in
+  Tp_workloads.Splash.run_alone b b.Boot.domains.(0) w ~accesses ~rng
+
+let pct base v = 100.0 *. (float_of_int v /. float_of_int base -. 1.0)
+
+let ratio_geomean xs =
+  (* Geometric mean over slowdown ratios, reported back as a %. *)
+  let ratios = Array.of_list (List.map (fun s -> 1.0 +. (s /. 100.0)) xs) in
+  100.0 *. (Tp_util.Stats.geomean ratios -. 1.0)
+
+let run_fig7 ?workloads q ~seed p =
+  let accesses = Quality.workload_accesses q in
+  let coloured = { Config.raw with Config.colour_user = true } in
+  let cloned = { Config.raw with Config.colour_user = true; clone_kernel = true } in
+  let rows =
+    List.map
+      (fun w ->
+        let base =
+          solo_cycles ~seed p Config.raw ~colour_percent:100 w ~accesses
+        in
+        let s config cp = pct base (solo_cycles ~seed p config ~colour_percent:cp w ~accesses) in
+        {
+          workload = w.Tp_workloads.Splash.name;
+          base_75 = s coloured 75;
+          base_50 = s coloured 50;
+          clone_100 = s cloned 100;
+          clone_75 = s cloned 75;
+          clone_50 = s cloned 50;
+        })
+      (selected workloads)
+  in
+  let gm f = ratio_geomean (List.map f rows) in
+  {
+    platform = p.Tp_hw.Platform.name;
+    rows;
+    geomean =
+      ( gm (fun r -> r.base_75),
+        gm (fun r -> r.base_50),
+        gm (fun r -> r.clone_100),
+        gm (fun r -> r.clone_75),
+        gm (fun r -> r.clone_50) );
+  }
+
+type table8_row = { workload : string; no_pad_pct : float; pad_pct : float }
+
+type table8_result = {
+  platform : string;
+  rows : table8_row list;
+  max_ : float * float;
+  min_ : float * float;
+  mean : float * float;
+}
+
+(* Time-shared run: the workload shares the core with an idle domain
+   and we measure its steady-state throughput (accesses per cycle over
+   a fixed window of slices) — wall-clock ratios would quantise to
+   whole slice pairs at simulatable run lengths.  Note the tick: we
+   use a 1 ms slice to keep the simulation tractable (the paper uses
+   10 ms); per-switch costs amortise over the slice, so switch-related
+   overheads here are ~10x the paper's, with the same ordering (see
+   EXPERIMENTS.md). *)
+let timeshare_slice_us = 1000.0
+let warmup_slices = 4
+let measured_slices = 12
+
+let timeshared_throughput ~seed p config w =
+  let b = Boot.boot ~domains:2 ~platform:p ~config () in
+  let sys = b.Boot.sys in
+  let dom = b.Boot.domains.(0) in
+  let idle_dom = b.Boot.domains.(1) in
+  let pages = w.Tp_workloads.Splash.ws_kib * 1024 / Tp_hw.Defs.page_size in
+  let buf = Boot.alloc_pages b dom ~pages in
+  let done_accesses = ref 0 in
+  let rng = Tp_util.Rng.create ~seed in
+  ignore
+    (Boot.spawn b dom
+       (Tp_workloads.Splash.body w ~buf ~rng ~accesses:done_accesses ()));
+  ignore (Boot.spawn b idle_dom (fun _ -> ()));
+  let slice = Tp_hw.Platform.us_to_cycles p timeshare_slice_us in
+  Exec.run_slices sys ~core:0 ~slice_cycles:slice ~slices:(2 * warmup_slices) ();
+  let a0 = !done_accesses in
+  let t0 = System.now sys ~core:0 in
+  Exec.run_slices sys ~core:0 ~slice_cycles:slice ~slices:(2 * measured_slices) ();
+  float_of_int (!done_accesses - a0) /. float_of_int (System.now sys ~core:0 - t0)
+
+let run_table8 ?workloads q ~seed p =
+  ignore (Quality.workload_accesses q);
+  let pad_cycles = Tp_hw.Platform.us_to_cycles p (Config.pad_us p) in
+  let protected_nopad =
+    { (Config.protected_ p) with Config.pad_cycles = 0 }
+  in
+  let protected_pad =
+    { (Config.protected_ p) with Config.pad_cycles = pad_cycles }
+  in
+  (* Overhead = throughput loss vs. the raw time-shared system. *)
+  let pct_thr base v = 100.0 *. ((base /. v) -. 1.0) in
+  let rows =
+    List.map
+      (fun w ->
+        let base = timeshared_throughput ~seed p Config.raw w in
+        let no_pad = timeshared_throughput ~seed p protected_nopad w in
+        let pad = timeshared_throughput ~seed p protected_pad w in
+        {
+          workload = w.Tp_workloads.Splash.name;
+          no_pad_pct = pct_thr base no_pad;
+          pad_pct = pct_thr base pad;
+        })
+      (selected workloads)
+  in
+  let by f = List.map f rows in
+  let pick cmp sel =
+    List.fold_left
+      (fun acc r -> if cmp (sel r) (sel acc) then r else acc)
+      (List.hd rows) rows
+  in
+  let worst = pick ( > ) (fun r -> r.no_pad_pct) in
+  let best = pick ( < ) (fun r -> r.no_pad_pct) in
+  {
+    platform = p.Tp_hw.Platform.name;
+    rows;
+    max_ = (worst.no_pad_pct, worst.pad_pct);
+    min_ = (best.no_pad_pct, best.pad_pct);
+    mean = (ratio_geomean (by (fun r -> r.no_pad_pct)),
+            ratio_geomean (by (fun r -> r.pad_pct)));
+  }

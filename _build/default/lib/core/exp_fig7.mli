@@ -1,0 +1,43 @@
+(** Figure 7 and Table 8: SPLASH-2-signature workload performance
+    under cache colouring and kernel cloning.
+
+    Figure 7: each workload runs alone; slowdown vs. the unpartitioned
+    baseline for 75% / 50% colour shares on the standard kernel
+    ("base") and 100% / 75% / 50% on a cloned kernel.
+
+    Table 8: the 50%-colour protected configuration re-run while
+    time-sharing the core with an idle domain, with and without
+    padding — the full end-to-end cost of time protection. *)
+
+type fig7_row = {
+  workload : string;
+  base_75 : float;  (** slowdown %, standard kernel, 75% colours *)
+  base_50 : float;
+  clone_100 : float;
+  clone_75 : float;
+  clone_50 : float;
+}
+
+type fig7_result = {
+  platform : string;
+  rows : fig7_row list;
+  geomean : float * float * float * float * float;
+}
+
+val run_fig7 :
+  ?workloads:string list -> Quality.t -> seed:int -> Tp_hw.Platform.t ->
+  fig7_result
+
+type table8_row = { workload : string; no_pad_pct : float; pad_pct : float }
+
+type table8_result = {
+  platform : string;
+  rows : table8_row list;
+  max_ : float * float;  (** (no-pad, pad) of the worst workload *)
+  min_ : float * float;
+  mean : float * float;  (** geometric means *)
+}
+
+val run_table8 :
+  ?workloads:string list -> Quality.t -> seed:int -> Tp_hw.Platform.t ->
+  table8_result

@@ -1,0 +1,18 @@
+(** Table 2: worst-case direct and indirect cost of flushing the L1
+    caches vs. the complete cache hierarchy.
+
+    Direct cost: the flush operation itself with every L1-D line
+    dirty.  Indirect cost: the one-off slowdown of an application
+    whose working set is the size of the flushed cache, measured as
+    the extra time of its first pass after the flush. *)
+
+type row = {
+  which : string;  (** "L1 only" or "Full flush" *)
+  direct_us : float;
+  indirect_us : float;
+  total_us : float;
+}
+
+type result = { platform : string; rows : row list }
+
+val run : Tp_hw.Platform.t -> result

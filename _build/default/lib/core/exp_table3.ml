@@ -1,0 +1,52 @@
+type cell = { scenario : string; leak : Tp_channel.Leakage.result }
+
+type row = { channel : string; cells : cell list }
+
+type result = { platform : string; rows : row list }
+
+let measure q ~seed kind p (chan : Tp_attacks.Cache_channels.t) =
+  let rng = Tp_util.Rng.create ~seed in
+  let b = Scenario.boot kind p in
+  let sender, receiver = chan.Tp_attacks.Cache_channels.prepare b in
+  let spec =
+    {
+      (Tp_attacks.Harness.default_spec p) with
+      Tp_attacks.Harness.samples = Quality.samples q;
+      symbols = chan.Tp_attacks.Cache_channels.symbols;
+    }
+  in
+  let leak = Tp_attacks.Harness.measure_leak b ~sender ~receiver spec ~rng in
+  { scenario = Scenario.name kind; leak }
+
+let run ?channels q ~seed p =
+  let chans = Tp_attacks.Cache_channels.all p in
+  let chans =
+    match channels with
+    | None -> chans
+    | Some names ->
+        List.filter
+          (fun c -> List.mem c.Tp_attacks.Cache_channels.name names)
+          chans
+  in
+  let rows =
+    List.mapi
+      (fun i chan ->
+        let name = chan.Tp_attacks.Cache_channels.name in
+        let scenarios =
+          Scenario.table3_set
+          @
+          (* The paper's diagnosis of the x86 L2 residual channel:
+             disabling the prefetcher (§5.3.2). *)
+          if name = "L2" && p.Tp_hw.Platform.prefetcher_slots > 0 then
+            [ Scenario.Protected_no_prefetcher ]
+          else []
+        in
+        let cells =
+          List.mapi
+            (fun j kind -> measure q ~seed:(seed + (i * 13) + j) kind p chan)
+            scenarios
+        in
+        { channel = name; cells })
+      chans
+  in
+  { platform = p.Tp_hw.Platform.name; rows }

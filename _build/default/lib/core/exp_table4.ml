@@ -1,0 +1,57 @@
+type cell = {
+  observable : string;
+  padded : bool;
+  leak : Tp_channel.Leakage.result;
+}
+
+type result = {
+  platform : string;
+  pad_us : float;
+  cells : cell list;
+  fig5_series : (int * float) array;
+}
+
+let measure q ~seed ~padded observable p =
+  let rng = Tp_util.Rng.create ~seed in
+  let kind = if padded then Scenario.Protected else Scenario.Protected_no_pad in
+  let b = Scenario.boot kind p in
+  let sender, receiver = Tp_attacks.Flush_chan.prepare observable b in
+  let spec =
+    {
+      (Tp_attacks.Harness.default_spec p) with
+      Tp_attacks.Harness.samples = Quality.samples q;
+      symbols = Tp_attacks.Flush_chan.symbols;
+    }
+  in
+  let samples = Tp_attacks.Harness.run_pair b ~sender ~receiver spec ~rng in
+  (samples, Tp_channel.Leakage.test ~rng samples)
+
+let obs_name = function
+  | Tp_attacks.Flush_chan.Online -> "Online"
+  | Tp_attacks.Flush_chan.Offline -> "Offline"
+
+let run q ~seed p =
+  let cells = ref [] in
+  let fig5 = ref [||] in
+  List.iteri
+    (fun i (padded, obs) ->
+      let samples, leak = measure q ~seed:(seed + i) ~padded obs p in
+      cells := { observable = obs_name obs; padded; leak } :: !cells;
+      if (not padded) && obs = Tp_attacks.Flush_chan.Offline then
+        fig5 :=
+          Array.init
+            (Array.length samples.Tp_channel.Mi.input)
+            (fun k ->
+              (samples.Tp_channel.Mi.input.(k), samples.Tp_channel.Mi.output.(k))))
+    [
+      (false, Tp_attacks.Flush_chan.Online);
+      (false, Tp_attacks.Flush_chan.Offline);
+      (true, Tp_attacks.Flush_chan.Online);
+      (true, Tp_attacks.Flush_chan.Offline);
+    ];
+  {
+    platform = p.Tp_hw.Platform.name;
+    pad_us = Tp_kernel.Config.pad_us p;
+    cells = List.rev !cells;
+    fig5_series = !fig5;
+  }

@@ -1,0 +1,21 @@
+(** Table 4 and Figure 5: the cache-flush latency channel, online and
+    offline observables, with and without switch padding.  Also
+    returns the Figure 5 scatter series (sender cache footprint vs.
+    receiver-observed offline time) for the unpadded system. *)
+
+type cell = {
+  observable : string;  (** "Online" / "Offline" *)
+  padded : bool;
+  leak : Tp_channel.Leakage.result;
+}
+
+type result = {
+  platform : string;
+  pad_us : float;  (** the pad used by the protected rows *)
+  cells : cell list;
+  fig5_series : (int * float) array;
+      (** (sender symbol = sets dirtied bucket, offline cycles) for
+          the unpadded offline channel — Figure 5's scatter *)
+}
+
+val run : Quality.t -> seed:int -> Tp_hw.Platform.t -> result

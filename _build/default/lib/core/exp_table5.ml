@@ -1,0 +1,75 @@
+open Tp_kernel
+
+type row = { variant : string; cycles : int; slowdown_pct : float }
+
+type result = { platform : string; rows : row list }
+
+(* Steady-state one-way IPC cost between two threads with distinct
+   address spaces, optionally on distinct kernels. *)
+let measure_pair q sys b dom_a dom_b ~use_initial_kernel =
+  let ep = Boot.new_endpoint b dom_a in
+  let t1 = Boot.spawn b dom_a (fun _ -> ()) in
+  let t2 = Boot.spawn b dom_b (fun _ -> ()) in
+  Sched.remove (System.sched sys) ~core:0 t1;
+  Sched.remove (System.sched sys) ~core:0 t2;
+  (* Distinct address spaces even within one domain. *)
+  if dom_a == dom_b then begin
+    let asid = System.alloc_asid sys in
+    let vs_cap = Retype.retype_vspace dom_a.Boot.dom_pool ~asid in
+    match vs_cap.Types.target with
+    | Types.Obj_vspace vs -> t2.Types.t_vspace <- Some vs
+    | _ -> assert false
+  end;
+  if use_initial_kernel then begin
+    t1.Types.t_kernel <- Some (System.initial_kernel sys);
+    t2.Types.t_kernel <- Some (System.initial_kernel sys)
+  end;
+  let reps = Quality.repeats q * 4 in
+  for _ = 1 to 10 do
+    ignore (Ipc.one_way sys ~core:0 ~ep ~from:t1 ~to_:t2);
+    ignore (Ipc.one_way sys ~core:0 ~ep ~from:t2 ~to_:t1)
+  done;
+  let t0 = System.now sys ~core:0 in
+  for _ = 1 to reps do
+    ignore (Ipc.one_way sys ~core:0 ~ep ~from:t1 ~to_:t2);
+    ignore (Ipc.one_way sys ~core:0 ~ep ~from:t2 ~to_:t1)
+  done;
+  (System.now sys ~core:0 - t0) / (2 * reps)
+
+let run q p =
+  let original =
+    let b = Boot.boot ~platform:p ~config:Config.raw ~domains:1 () in
+    measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(0)
+      ~use_initial_kernel:true
+  in
+  let colour_ready =
+    (* Kernel built for time protection (no global kernel mappings) but
+       not using it: everything still runs on the initial kernel. *)
+    let cfg = { Config.raw with Config.clone_kernel = true } in
+    let b = Boot.boot ~platform:p ~config:cfg ~domains:1 () in
+    measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(0)
+      ~use_initial_kernel:true
+  in
+  let intra_colour =
+    let b = Boot.boot ~platform:p ~config:(Config.protected_ p) ~domains:1 () in
+    measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(0)
+      ~use_initial_kernel:false
+  in
+  let inter_colour =
+    let b = Boot.boot ~platform:p ~config:(Config.protected_ p) ~domains:2 () in
+    measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(1)
+      ~use_initial_kernel:false
+  in
+  let pct v =
+    100.0 *. (float_of_int v -. float_of_int original) /. float_of_int original
+  in
+  {
+    platform = p.Tp_hw.Platform.name;
+    rows =
+      [
+        { variant = "original"; cycles = original; slowdown_pct = 0.0 };
+        { variant = "colour-ready"; cycles = colour_ready; slowdown_pct = pct colour_ready };
+        { variant = "intra-colour"; cycles = intra_colour; slowdown_pct = pct intra_colour };
+        { variant = "inter-colour"; cycles = inter_colour; slowdown_pct = pct inter_colour };
+      ];
+  }

@@ -1,0 +1,15 @@
+(** Table 5: cross-address-space IPC microbenchmark.
+
+    Four kernel variants: [original] (single kernel, global kernel
+    mappings), [colour-ready] (kernel supports time protection — so no
+    global mappings — but runs as the single kernel), [intra-colour]
+    (both threads on one cloned, coloured kernel) and [inter-colour]
+    (threads on different cloned kernels; kernel hand-over on the IPC
+    path, no padding).  The paper's headline here is the 14% Arm
+    colour-ready overhead from TLB pressure. *)
+
+type row = { variant : string; cycles : int; slowdown_pct : float }
+
+type result = { platform : string; rows : row list }
+
+val run : Quality.t -> Tp_hw.Platform.t -> result

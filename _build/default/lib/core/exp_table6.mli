@@ -1,0 +1,12 @@
+(** Table 6: absolute domain-switch cost (no padding) when switching
+    away from a domain that just ran one of the §5.3.2 attack
+    receivers (idle, L1-D, L1-I, L2, L3 prime&probe), under raw, full
+    flush and protected modes.  The paper's point: the defended
+    systems' latency is workload-independent even before padding, and
+    protected is an order of magnitude cheaper than the full flush. *)
+
+type row = { mode : string; us_by_workload : (string * float) list }
+
+type result = { platform : string; workloads : string list; rows : row list }
+
+val run : Quality.t -> Tp_hw.Platform.t -> result

@@ -1,0 +1,16 @@
+(** Table 7: cost of kernel clone and destruction vs. conventional
+    process creation.
+
+    The comparison baseline is a simulated fork+exec: allocate an
+    address space, populate page tables, and copy a process image an
+    order of magnitude larger than the kernel image — the reason the
+    paper's clone is a fraction of Linux process creation. *)
+
+type result = {
+  platform : string;
+  clone_us : float;
+  destroy_us : float;
+  fork_exec_us : float;
+}
+
+val run : Quality.t -> Tp_hw.Platform.t -> result

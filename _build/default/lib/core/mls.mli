@@ -1,0 +1,42 @@
+(** Hierarchical (Bell-LaPadula style) padding policy — §4.3's
+    policy-freedom argument made executable.
+
+    Padding the domain switch is the most expensive time-protection
+    mechanism, and the paper makes the switch-latency pad a
+    {e user-controlled kernel-image attribute} precisely so the
+    security policy can decide where it is needed: "with a hierarchical
+    security policy such as Bell-LaPadula, flushing may not be needed
+    when switching to a higher classification level".
+
+    Under BLP, information may flow from Low to High.  The flush-
+    latency channel flows from the {e outgoing} domain to the incoming
+    one, and the pad is taken from the outgoing kernel — so a Low
+    kernel needs no pad (a Low→High leak is an authorised flow), while
+    every kernel with somebody below it must pad.  This module is pure
+    policy: it only writes per-image pad attributes through
+    [Kernel_SetPad]; the kernel mechanisms are untouched. *)
+
+type label = int
+(** Classification level; higher = more secret. *)
+
+val apply : Tp_kernel.Boot.booted -> labels:label array -> pad_cycles:int -> unit
+(** Assign each domain's kernel pad according to its label:
+    [pad_cycles] for any domain that dominates another (its outgoing
+    switches could leak downwards), zero for the minimum level.
+    [labels.(i)] labels domain [i]; lengths must match. *)
+
+val padded_fraction : labels:label array -> float
+(** Fraction of domains that must pad — the policy's cost relative to
+    symmetric padding (1.0). *)
+
+type result = {
+  high_to_low : Tp_channel.Leakage.result;
+      (** the forbidden flow: must be closed *)
+  low_to_high : Tp_channel.Leakage.result;
+      (** the authorised flow: remains open, and that is the point —
+          no padding was spent preventing it *)
+}
+
+val demo : ?samples:int -> seed:int -> Tp_hw.Platform.t -> result
+(** Run the flush-latency channel in both directions between a Low and
+    a High domain under the BLP padding policy. *)

@@ -1,0 +1,11 @@
+type t = Quick | Full
+
+let samples = function Quick -> 600 | Full -> 2500
+let irq_samples = function Quick -> 200 | Full -> 800
+let workload_accesses = function Quick -> 150_000 | Full -> 1_000_000
+let repeats = function Quick -> 30 | Full -> 320
+
+let of_string = function
+  | "quick" -> Some Quick
+  | "full" -> Some Full
+  | _ -> None

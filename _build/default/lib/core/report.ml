@@ -1,0 +1,306 @@
+open Tp_util
+
+let mb bits = Printf.sprintf "%.1f" (Tp_channel.Mi.bits_to_millibits bits)
+
+let verdict_cell (r : Tp_channel.Leakage.result) =
+  let tag =
+    match r.Tp_channel.Leakage.verdict with
+    | Tp_channel.Leakage.Leak -> "LEAK"
+    | Tp_channel.Leakage.No_evidence -> "ok"
+    | Tp_channel.Leakage.Negligible -> "ok(<1mb)"
+  in
+  Printf.sprintf "M=%s M0=%s %s" (mb r.Tp_channel.Leakage.m)
+    (mb r.Tp_channel.Leakage.m0) tag
+
+let table2 (r : Exp_table2.result) =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Table 2: worst-case cache flush cost (us) — %s [paper: x86 L1 \
+            27 total / full 520; Arm L1 45 / full 1150]"
+           r.Exp_table2.platform)
+      ~headers:[ "Cache"; "direct"; "indirect"; "total" ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row t
+        [
+          row.Exp_table2.which;
+          Table.cell_f row.Exp_table2.direct_us;
+          Table.cell_f row.Exp_table2.indirect_us;
+          Table.cell_f row.Exp_table2.total_us;
+        ])
+    r.Exp_table2.rows;
+  Table.print t
+
+let fig3_side (s : Exp_fig3.side) =
+  Format.printf "--- %s ---@." s.Exp_fig3.scenario;
+  Tp_channel.Matrix.pp Format.std_formatter s.Exp_fig3.matrix;
+  Format.printf "%a;  discrete capacity C = %s mb@.@."
+    Tp_channel.Leakage.pp_result s.Exp_fig3.leak
+    (mb s.Exp_fig3.capacity_bits)
+
+let fig3 (r : Exp_fig3.result) =
+  Format.printf
+    "Figure 3: kernel timing-channel matrix on %s (rows: probe misses; \
+     columns: syscall symbol)@.[paper: coloured-only M=0.79b (x86) / 20mb \
+     (Arm); protected M<=0.6mb]@.@."
+    r.Exp_fig3.platform;
+  fig3_side r.Exp_fig3.coloured_only;
+  fig3_side r.Exp_fig3.protected_
+
+let table3 (r : Exp_table3.result) =
+  (* Rows can have extra ablation columns (the x86 L2 prefetcher-off
+     cell); build the header set as the union in order of appearance. *)
+  let scenarios =
+    List.fold_left
+      (fun acc row ->
+        List.fold_left
+          (fun acc c ->
+            if List.mem c.Exp_table3.scenario acc then acc
+            else acc @ [ c.Exp_table3.scenario ])
+          acc row.Exp_table3.cells)
+      [] r.Exp_table3.rows
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Table 3: intra-core channel MI (mb) — %s [paper: raw large; \
+            full-flush/protected closed, except x86 L2 residual 50mb from \
+            the prefetcher]"
+           r.Exp_table3.platform)
+      ~headers:("Channel" :: scenarios)
+  in
+  List.iter
+    (fun row ->
+      let cell_for s =
+        match
+          List.find_opt (fun c -> c.Exp_table3.scenario = s) row.Exp_table3.cells
+        with
+        | Some c -> verdict_cell c.Exp_table3.leak
+        | None -> ""
+      in
+      Table.add_row t (row.Exp_table3.channel :: List.map cell_for scenarios))
+    r.Exp_table3.rows;
+  Table.print t
+
+let table4 (r : Exp_table4.result) =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Table 4: cache-flush latency channel (pad = %.1f us) — %s \
+            [paper: no-pad leaks, padded closed]"
+           r.Exp_table4.pad_us r.Exp_table4.platform)
+      ~headers:[ "Timing"; "Padding"; "Result" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          c.Exp_table4.observable;
+          (if c.Exp_table4.padded then "padded" else "no pad");
+          verdict_cell c.Exp_table4.leak;
+        ])
+    r.Exp_table4.cells;
+  Table.print t
+
+let fig5 (r : Exp_table4.result) =
+  Format.printf
+    "Figure 5: unmitigated cache-flush channel on %s — offline time vs \
+     sender cache footprint@."
+    r.Exp_table4.platform;
+  if Array.length r.Exp_table4.fig5_series = 0 then
+    Format.printf "(no series recorded)@."
+  else begin
+    (* Mean offline time per sender symbol, as an ASCII series. *)
+    let by_sym = Hashtbl.create 16 in
+    Array.iter
+      (fun (s, y) ->
+        let prev = try Hashtbl.find by_sym s with Not_found -> [] in
+        Hashtbl.replace by_sym s (y :: prev))
+      r.Exp_table4.fig5_series;
+    let syms = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_sym []) in
+    let means =
+      List.map
+        (fun s -> (s, Stats.mean (Array.of_list (Hashtbl.find by_sym s))))
+        syms
+    in
+    let lo = List.fold_left (fun a (_, m) -> Stdlib.min a m) infinity means in
+    let hi = List.fold_left (fun a (_, m) -> Stdlib.max a m) neg_infinity means in
+    List.iter
+      (fun (s, m) ->
+        let bar =
+          if hi > lo then int_of_float ((m -. lo) /. (hi -. lo) *. 50.0) else 0
+        in
+        Format.printf "  sets bucket %2d | %s %.0f cycles@." s
+          (String.make bar '#') m)
+      means
+  end;
+  Format.printf "@."
+
+let fig4 (r : Exp_fig4.result) =
+  Format.printf
+    "Figure 4: cross-core LLC side channel vs square-and-multiply — %s@."
+    r.Exp_fig4.platform;
+  (match r.Exp_fig4.raw_trace with
+  | Some t ->
+      Format.printf "raw system: spy observes the victim —@.";
+      Tp_attacks.Crypto.pp_trace Format.std_formatter t
+  | None -> Format.printf "raw system: spy found no observable sets (!)@.");
+  (match r.Exp_fig4.protected_trace with
+  | Some t when Array.exists (fun a -> a > 0) t.Tp_attacks.Crypto.activity ->
+      Format.printf "protected: channel still open (unexpected) —@.";
+      Tp_attacks.Crypto.pp_trace Format.std_formatter t
+  | Some _ | None ->
+      Format.printf
+        "protected: the spy can no longer detect any cache activity of the \
+         victim; channel closed (as in the paper).@.");
+  Format.printf "@."
+
+let fig6 (r : Exp_fig6.result) =
+  Format.printf
+    "Figure 6: interrupt channel — %s [paper: raw M=902mb; partitioned \
+     closed]@."
+    r.Exp_fig6.platform;
+  (* Mean first-online period per timer symbol. *)
+  let by_sym = Hashtbl.create 8 in
+  Array.iter
+    (fun (s, y) ->
+      let prev = try Hashtbl.find by_sym s with Not_found -> [] in
+      Hashtbl.replace by_sym s (y :: prev))
+    r.Exp_fig6.raw_series;
+  let syms = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_sym []) in
+  List.iter
+    (fun s ->
+      let m = Stats.mean (Array.of_list (Hashtbl.find by_sym s)) in
+      Format.printf "  timer %2d ms -> first online period %.2f Mcycles@."
+        (13 + s) (m /. 1e6))
+    syms;
+  Format.printf "raw:        %a@." Tp_channel.Leakage.pp_result r.Exp_fig6.raw_leak;
+  Format.printf "partitioned: %a@.@." Tp_channel.Leakage.pp_result
+    r.Exp_fig6.protected_leak
+
+let table5 (r : Exp_table5.result) =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Table 5: IPC microbenchmark — %s [paper: x86 381/386/380/378; \
+            Arm 344/391/395/389 (+14%% colour-ready)]"
+           r.Exp_table5.platform)
+      ~headers:[ "Version"; "Cycles"; "Slowdown" ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row t
+        [
+          row.Exp_table5.variant;
+          Table.cell_i row.Exp_table5.cycles;
+          Table.cell_pct row.Exp_table5.slowdown_pct;
+        ])
+    r.Exp_table5.rows;
+  Table.print t
+
+let table6 (r : Exp_table6.result) =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Table 6: switch-away cost, no padding (us) — %s [paper x86: raw \
+            ~0.2, full flush 271, protected 30]"
+           r.Exp_table6.platform)
+      ~headers:("Mode" :: r.Exp_table6.workloads)
+  in
+  List.iter
+    (fun row ->
+      Table.add_row t
+        (row.Exp_table6.mode
+        :: List.map (fun (_, us) -> Table.cell_f us) row.Exp_table6.us_by_workload))
+    r.Exp_table6.rows;
+  Table.print t
+
+let table7 (r : Exp_table7.result) =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Table 7: clone/destroy vs process creation (us) — %s [paper: \
+            x86 79/0.6/257; Arm 608/67/4300]"
+           r.Exp_table7.platform)
+      ~headers:[ "clone"; "destroy"; "fork+exec" ]
+  in
+  Table.add_row t
+    [
+      Table.cell_f r.Exp_table7.clone_us;
+      Table.cell_f r.Exp_table7.destroy_us;
+      Table.cell_f r.Exp_table7.fork_exec_us;
+    ];
+  Table.print t
+
+let fig7 (r : Exp_fig7.fig7_result) =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Figure 7: Splash-2 slowdown vs unpartitioned baseline (%%) — %s \
+            [paper: mostly <2%%, raytrace worst; cloning ~free]"
+           r.Exp_fig7.platform)
+      ~headers:
+        [ "Workload"; "75% base"; "50% base"; "100% clone"; "75% clone"; "50% clone" ]
+  in
+  List.iter
+    (fun (row : Exp_fig7.fig7_row) ->
+      Table.add_row t
+        [
+          row.Exp_fig7.workload;
+          Table.cell_pct row.Exp_fig7.base_75;
+          Table.cell_pct row.Exp_fig7.base_50;
+          Table.cell_pct row.Exp_fig7.clone_100;
+          Table.cell_pct row.Exp_fig7.clone_75;
+          Table.cell_pct row.Exp_fig7.clone_50;
+        ])
+    r.Exp_fig7.rows;
+  Table.add_sep t;
+  let g75, g50, c100, c75, c50 = r.Exp_fig7.geomean in
+  Table.add_row t
+    [
+      "GEOMEAN";
+      Table.cell_pct g75;
+      Table.cell_pct g50;
+      Table.cell_pct c100;
+      Table.cell_pct c75;
+      Table.cell_pct c50;
+    ];
+  Table.print t
+
+let table8 (r : Exp_fig7.table8_result) =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Table 8: time-shared Splash-2 under 50%% colours (%%) — %s \
+            [1 ms tick here vs paper's 10 ms: switch overheads ~10x the \
+            paper's, same ordering]"
+           r.Exp_fig7.platform)
+      ~headers:[ "Workload"; "no pad"; "padded" ]
+  in
+  List.iter
+    (fun (row : Exp_fig7.table8_row) ->
+      Table.add_row t
+        [
+          row.Exp_fig7.workload;
+          Table.cell_pct row.Exp_fig7.no_pad_pct;
+          Table.cell_pct row.Exp_fig7.pad_pct;
+        ])
+    r.Exp_fig7.rows;
+  Table.add_sep t;
+  let mx_np, mx_p = r.Exp_fig7.max_ in
+  let mn_np, mn_p = r.Exp_fig7.min_ in
+  let me_np, me_p = r.Exp_fig7.mean in
+  Table.add_row t [ "MAX"; Table.cell_pct mx_np; Table.cell_pct mx_p ];
+  Table.add_row t [ "MIN"; Table.cell_pct mn_np; Table.cell_pct mn_p ];
+  Table.add_row t [ "GEOMEAN"; Table.cell_pct me_np; Table.cell_pct me_p ];
+  Table.print t

@@ -1,0 +1,24 @@
+(** Text rendering of experiment results, shared by the [tpsim] CLI
+    and the benchmark harness.  Each printer reproduces the layout of
+    the corresponding paper table/figure, plus the paper's numbers for
+    eyeball comparison where useful. *)
+
+val table2 : Exp_table2.result -> unit
+val fig3 : Exp_fig3.result -> unit
+val table3 : Exp_table3.result -> unit
+val table4 : Exp_table4.result -> unit
+val fig4 : Exp_fig4.result -> unit
+val fig5 : Exp_table4.result -> unit
+
+val fig6 : Exp_fig6.result -> unit
+val table5 : Exp_table5.result -> unit
+val table6 : Exp_table6.result -> unit
+val table7 : Exp_table7.result -> unit
+val fig7 : Exp_fig7.fig7_result -> unit
+val table8 : Exp_fig7.table8_result -> unit
+
+val mb : float -> string
+(** Format bits as millibits, 1 decimal. *)
+
+val verdict_cell : Tp_channel.Leakage.result -> string
+(** ["M=… mb (M0=… mb) LEAK"]-style cell. *)

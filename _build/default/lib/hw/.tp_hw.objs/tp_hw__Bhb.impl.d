@@ -1,0 +1,1 @@
+lib/hw/bhb.ml: Array Defs

@@ -1,0 +1,1 @@
+lib/hw/btb.ml: Array Defs

@@ -1,0 +1,1 @@
+lib/hw/cache.ml: Array Defs Format

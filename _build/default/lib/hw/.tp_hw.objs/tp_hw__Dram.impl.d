@@ -1,0 +1,1 @@
+lib/hw/dram.ml: Array Defs

@@ -1,0 +1,1 @@
+lib/hw/dram.mli:

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Bhb Btb Cache Defs Dram Interconnect List Option Platform Prefetcher Tlb

@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Bhb Btb Cache Defs Dram Interconnect Platform Prefetcher Tlb

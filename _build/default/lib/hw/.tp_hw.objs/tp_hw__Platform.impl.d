@@ -1,0 +1,1 @@
+lib/hw/platform.ml: Bhb Btb Cache Dram Format List String Tlb

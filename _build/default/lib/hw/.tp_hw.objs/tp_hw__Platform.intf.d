@@ -1,0 +1,1 @@
+lib/hw/platform.mli: Bhb Btb Cache Dram Format Tlb

@@ -1,0 +1,1 @@
+lib/hw/prefetcher.ml: Array Defs List

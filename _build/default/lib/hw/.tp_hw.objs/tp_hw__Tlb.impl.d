@@ -1,0 +1,1 @@
+lib/hw/tlb.ml: Array Defs

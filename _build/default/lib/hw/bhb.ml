@@ -1,0 +1,32 @@
+type geometry = { history_bits : int; pht_entries : int }
+
+type t = {
+  g : geometry;
+  pht : int array; (* 2-bit saturating counters, 0..3; >=2 predicts taken *)
+  mutable history : int;
+}
+
+let create g =
+  assert (Defs.is_pow2 g.pht_entries);
+  assert (g.history_bits > 0 && g.history_bits < 30);
+  { g; pht = Array.make g.pht_entries 1; history = 0 }
+
+type result = Predicted | Mispredicted
+
+let index t addr =
+  (t.history lxor (addr lsr 2)) land (t.g.pht_entries - 1)
+
+let branch t ~addr ~taken =
+  let i = index t addr in
+  let c = t.pht.(i) in
+  let predicted_taken = c >= 2 in
+  let result = if predicted_taken = taken then Predicted else Mispredicted in
+  t.pht.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1));
+  t.history <-
+    ((t.history lsl 1) lor (if taken then 1 else 0))
+    land ((1 lsl t.g.history_bits) - 1);
+  result
+
+let flush t =
+  Array.fill t.pht 0 (Array.length t.pht) 1;
+  t.history <- 0

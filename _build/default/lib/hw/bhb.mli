@@ -1,0 +1,25 @@
+(** Branch history buffer / direction predictor model (gshare).
+
+    A global history register of recent branch outcomes indexes (XORed
+    with the branch address) a pattern history table of 2-bit saturating
+    counters.  The BHB covert channel of Evtyushkin et al. (reproduced
+    in §5.3.2) works because the sender's taken/not-taken pattern trains
+    counters that the receiver's conditional branches then alias with,
+    changing the receiver's misprediction count. *)
+
+type geometry = {
+  history_bits : int;  (** length of the global history register *)
+  pht_entries : int;  (** pattern history table size; power of two *)
+}
+
+type t
+
+val create : geometry -> t
+
+type result = Predicted | Mispredicted
+
+val branch : t -> addr:int -> taken:bool -> result
+(** Predict-then-update a conditional branch at [addr]. *)
+
+val flush : t -> unit
+(** Clear history and reset all counters to weakly-not-taken. *)

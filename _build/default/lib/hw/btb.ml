@@ -1,0 +1,75 @@
+type geometry = { entries : int; ways : int }
+
+type t = {
+  g : geometry;
+  n_sets : int;
+  tags : int array; (* branch address; -1 = invalid *)
+  targets : int array;
+  age : int array;
+  mutable clock : int;
+  mutable n_valid : int;
+}
+
+(* Branch addresses are instruction-granular; use 4-byte granularity for
+   the index so consecutive branch slots map to consecutive sets. *)
+let index_shift = 2
+
+let create g =
+  assert (Defs.is_pow2 g.entries && Defs.is_pow2 g.ways);
+  let n_sets = g.entries / g.ways in
+  {
+    g;
+    n_sets;
+    tags = Array.make g.entries (-1);
+    targets = Array.make g.entries 0;
+    age = Array.make g.entries 0;
+    clock = 0;
+    n_valid = 0;
+  }
+
+type result = Predicted | Mispredicted
+
+let set_of t addr = (addr lsr index_shift) land (t.n_sets - 1)
+
+let find t addr =
+  let base = set_of t addr * t.g.ways in
+  let rec go w =
+    if w = t.g.ways then -1
+    else if t.tags.(base + w) = addr then base + w
+    else go (w + 1)
+  in
+  go 0
+
+let lru_way t set =
+  let base = set * t.g.ways in
+  let best = ref base in
+  for w = 1 to t.g.ways - 1 do
+    let i = base + w in
+    if t.tags.(i) = -1 then begin
+      if t.tags.(!best) <> -1 || t.age.(i) < t.age.(!best) then best := i
+    end
+    else if t.tags.(!best) <> -1 && t.age.(i) < t.age.(!best) then best := i
+  done;
+  !best
+
+let branch t ~addr ~target =
+  t.clock <- t.clock + 1;
+  let i = find t addr in
+  if i >= 0 && t.targets.(i) = target then begin
+    t.age.(i) <- t.clock;
+    Predicted
+  end
+  else begin
+    let i = if i >= 0 then i else lru_way t (set_of t addr) in
+    if t.tags.(i) = -1 then t.n_valid <- t.n_valid + 1;
+    t.tags.(i) <- addr;
+    t.targets.(i) <- target;
+    t.age.(i) <- t.clock;
+    Mispredicted
+  end
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.n_valid <- 0
+
+let valid_entries t = t.n_valid

@@ -1,0 +1,24 @@
+(** Branch target buffer model.
+
+    A set-associative structure keyed by branch instruction address,
+    storing the predicted target.  A taken branch whose entry is absent
+    (or whose stored target differs) costs a misprediction; executing a
+    branch installs/updates its entry.  The receiver of the BTB channel
+    (§5.3.2) senses the sender's footprint as extra mispredictions on
+    its own probe branches. *)
+
+type geometry = { entries : int; ways : int }
+
+type t
+
+val create : geometry -> t
+
+type result = Predicted | Mispredicted
+
+val branch : t -> addr:int -> target:int -> result
+(** Execute a taken branch at [addr] jumping to [target]. *)
+
+val flush : t -> unit
+(** Model of an indirect-branch-control (IBC) style BTB invalidation. *)
+
+val valid_entries : t -> int

@@ -1,0 +1,168 @@
+type indexing = Virtual | Physical
+
+type geometry = { size : int; ways : int; line : int; indexing : indexing }
+
+let sets g = g.size / (g.ways * g.line)
+let colours g = max 1 (sets g * g.line / Defs.page_size)
+
+type t = {
+  g : geometry;
+  n_sets : int;
+  line_bits : int;
+  (* Flat arrays indexed by set * ways + way. tag = -1 means invalid. *)
+  tags : int array;
+  dirty : bool array;
+  age : int array;
+  mutable clock : int;
+  mutable n_dirty : int;
+  mutable n_valid : int;
+}
+
+let create g =
+  assert (Defs.is_pow2 g.size && Defs.is_pow2 g.ways && Defs.is_pow2 g.line);
+  assert (g.size >= g.ways * g.line);
+  let n_sets = sets g in
+  let n = n_sets * g.ways in
+  {
+    g;
+    n_sets;
+    line_bits = Defs.log2 g.line;
+    tags = Array.make n (-1);
+    dirty = Array.make n false;
+    age = Array.make n 0;
+    clock = 0;
+    n_dirty = 0;
+    n_valid = 0;
+  }
+
+let geometry t = t.g
+
+let set_of t ~vaddr ~paddr =
+  let index_addr = match t.g.indexing with Virtual -> vaddr | Physical -> paddr in
+  (index_addr lsr t.line_bits) land (t.n_sets - 1)
+
+(* The tag is the full physical line address; since we never need to
+   reconstruct set/tag splits this is simplest and collision-free. *)
+let tag_of t ~paddr = paddr lsr t.line_bits
+
+type result = Hit | Miss of { evicted_dirty : bool; evicted : int }
+
+let find_way t set tag =
+  let base = set * t.g.ways in
+  let rec go w =
+    if w = t.g.ways then -1
+    else if t.tags.(base + w) = tag then base + w
+    else go (w + 1)
+  in
+  go 0
+
+(* LRU victim within the ways allowed by [mask] (a bitmask over way
+   indices); invalid allowed ways are preferred outright. *)
+let lru_way t set mask =
+  let base = set * t.g.ways in
+  let best = ref (-1) in
+  for w = 0 to t.g.ways - 1 do
+    if mask land (1 lsl w) <> 0 then begin
+      let i = base + w in
+      if !best = -1 then best := i
+      else if t.tags.(i) = -1 then begin
+        if t.tags.(!best) <> -1 || t.age.(i) < t.age.(!best) then best := i
+      end
+      else if t.tags.(!best) <> -1 && t.age.(i) < t.age.(!best) then best := i
+    end
+  done;
+  assert (!best >= 0);
+  !best
+
+let touch t i =
+  t.clock <- t.clock + 1;
+  t.age.(i) <- t.clock
+
+let alloc t set tag ~dirty ~mask =
+  let i = lru_way t set mask in
+  let evicted_dirty = t.tags.(i) <> -1 && t.dirty.(i) in
+  let evicted = if t.tags.(i) = -1 then -1 else t.tags.(i) lsl t.line_bits in
+  if t.tags.(i) = -1 then t.n_valid <- t.n_valid + 1;
+  if evicted_dirty then t.n_dirty <- t.n_dirty - 1;
+  t.tags.(i) <- tag;
+  t.dirty.(i) <- dirty;
+  if dirty then t.n_dirty <- t.n_dirty + 1;
+  touch t i;
+  (evicted_dirty, evicted)
+
+let access_masked t ~alloc_ways ~vaddr ~paddr ~write =
+  let mask =
+    let m = alloc_ways land ((1 lsl t.g.ways) - 1) in
+    assert (m <> 0);
+    m
+  in
+  let set = set_of t ~vaddr ~paddr in
+  let tag = tag_of t ~paddr in
+  let i = find_way t set tag in
+  if i >= 0 then begin
+    touch t i;
+    if write && not t.dirty.(i) then begin
+      t.dirty.(i) <- true;
+      t.n_dirty <- t.n_dirty + 1
+    end;
+    Hit
+  end
+  else begin
+    let evicted_dirty, evicted = alloc t set tag ~dirty:write ~mask in
+    Miss { evicted_dirty; evicted }
+  end
+
+let access t ~vaddr ~paddr ~write =
+  access_masked t ~alloc_ways:max_int ~vaddr ~paddr ~write
+
+let probe t ~vaddr ~paddr =
+  let set = set_of t ~vaddr ~paddr in
+  find_way t set (tag_of t ~paddr) >= 0
+
+let insert_clean t ~vaddr ~paddr =
+  let set = set_of t ~vaddr ~paddr in
+  let tag = tag_of t ~paddr in
+  let i = find_way t set tag in
+  if i >= 0 then Hit
+  else begin
+    let mask = (1 lsl t.g.ways) - 1 in
+    let evicted_dirty, evicted = alloc t set tag ~dirty:false ~mask in
+    Miss { evicted_dirty; evicted }
+  end
+
+let invalidate_line t ~vaddr ~paddr =
+  let set = set_of t ~vaddr ~paddr in
+  let i = find_way t set (tag_of t ~paddr) in
+  if i >= 0 then begin
+    if t.dirty.(i) then t.n_dirty <- t.n_dirty - 1;
+    t.dirty.(i) <- false;
+    t.tags.(i) <- -1;
+    t.n_valid <- t.n_valid - 1
+  end
+
+let flush t =
+  let wb = t.n_dirty in
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.age 0 (Array.length t.age) 0;
+  t.n_dirty <- 0;
+  t.n_valid <- 0;
+  wb
+
+let dirty_lines t = t.n_dirty
+let valid_lines t = t.n_valid
+
+let lines_in_set t set =
+  let base = set * t.g.ways in
+  let c = ref 0 in
+  for w = 0 to t.g.ways - 1 do
+    if t.tags.(base + w) <> -1 then incr c
+  done;
+  !c
+
+let capacity_lines t = t.n_sets * t.g.ways
+
+let pp_geometry ppf g =
+  Format.fprintf ppf "%dKiB %d-way %dB-line (%d sets, %d colours, %s-indexed)"
+    (g.size / 1024) g.ways g.line (sets g) (colours g)
+    (match g.indexing with Virtual -> "virtually" | Physical -> "physically")

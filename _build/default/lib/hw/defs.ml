@@ -1,0 +1,19 @@
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type access_kind = Read | Write | Fetch
+
+let pp_access_kind ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+  | Fetch -> Format.pp_print_string ppf "fetch"
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  assert (is_pow2 n);
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let page_of addr = addr lsr page_bits
+let page_offset addr = addr land (page_size - 1)

@@ -1,0 +1,23 @@
+(** Shared hardware constants and access kinds. *)
+
+val page_size : int
+(** 4 KiB pages on both modelled architectures. *)
+
+val page_bits : int
+
+type access_kind =
+  | Read  (** data load, through the D-side *)
+  | Write  (** data store, through the D-side, sets dirty bits *)
+  | Fetch  (** instruction fetch, through the I-side *)
+
+val pp_access_kind : Format.formatter -> access_kind -> unit
+
+val is_pow2 : int -> bool
+
+val log2 : int -> int
+(** [log2 n] for a positive power of two [n]. *)
+
+val page_of : int -> int
+(** Page number of an address. *)
+
+val page_offset : int -> int

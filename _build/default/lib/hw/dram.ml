@@ -1,0 +1,27 @@
+type config = { banks : int; row_bits : int; t_hit : int; t_miss : int }
+
+type t = { cfg : config; open_rows : int array (* -1 = closed *) }
+
+let create cfg =
+  assert (Defs.is_pow2 cfg.banks);
+  { cfg; open_rows = Array.make cfg.banks (-1) }
+
+(* Memory controllers hash many address bits into the bank selector to
+   spread conflicts; consequently page colouring (which constrains only
+   the low page-number bits) cannot partition the banks — DRAM rows are
+   microarchitectural state outside OS control, like the prefetcher. *)
+let bank_of_row cfg row =
+  (row lxor (row lsr 3) lxor (row lsr 7)) land (cfg.banks - 1)
+
+let bank_of cfg ~paddr = bank_of_row cfg (paddr lsr cfg.row_bits)
+
+let access t ~paddr =
+  let row = paddr lsr t.cfg.row_bits in
+  let bank = bank_of_row t.cfg row in
+  if t.open_rows.(bank) = row then t.cfg.t_hit
+  else begin
+    t.open_rows.(bank) <- row;
+    t.cfg.t_miss
+  end
+
+let close_all t = Array.fill t.open_rows 0 (Array.length t.open_rows) (-1)

@@ -1,0 +1,119 @@
+type mode = Open | Partitioned | Mba of float
+
+type t = {
+  cores : int;
+  rate : float array; (* per-core issue rate, transactions/cycle (EWMA) *)
+  slow_rate : float array; (* long-horizon average, the MBA meter *)
+  last : int array; (* per-core cycle of the previous transaction *)
+  run_start : int array; (* start of the core's current activity run *)
+  service : float; (* bus service rate, transactions/cycle *)
+  mutable mode : mode;
+}
+
+let ewma_alpha = 0.2
+let slow_alpha = 0.01
+let delay_scale = 50.0
+
+(* A core's traffic only contends with transactions that are actually
+   in flight around the same time: another core whose last issue is
+   older than this window is quiescent — a bus queue drains within a
+   few service periods.  (Per-core clocks are comparable as global
+   time because the execution drivers advance every core each round;
+   manual cross-core drivers keep them aligned explicitly.) *)
+let active_window = 3_000
+
+(* A gap longer than this ends an activity run (the core went quiet —
+   preempted, sleeping, compute-bound). *)
+let run_gap = 50_000
+
+let create ~cores ~window ~slots_per_window =
+  assert (cores > 0 && window > 0 && slots_per_window > 0);
+  {
+    cores;
+    rate = Array.make cores 0.0;
+    slow_rate = Array.make cores 0.0;
+    last = Array.make cores (-1);
+    run_start = Array.make cores (-1);
+    service = float_of_int slots_per_window /. float_of_int window;
+    mode = Open;
+  }
+
+let set_mode t m = t.mode <- m
+let set_partitioned t b = t.mode <- (if b then Partitioned else Open)
+
+(* Cores have independent clocks, so each core's issue rate is derived
+   from its own inter-transaction gaps; the queueing delay of a
+   transaction grows with the total offered rate beyond the bus's
+   service rate (a linear M/D/1 flavour).  Under the hypothetical
+   bandwidth partition each core is measured against its own share
+   only, so other cores' traffic cannot influence its delay. *)
+let record t ~core ~now =
+  assert (core >= 0 && core < t.cores);
+  let dt =
+    if t.last.(core) < 0 then max_int else Stdlib.max 1 (now - t.last.(core))
+  in
+  if dt > run_gap then t.run_start.(core) <- now;
+  t.last.(core) <- now;
+  let inst = if dt = max_int then 0.0 else 1.0 /. float_of_int dt in
+  (* The fast estimator tracks the within-burst issue rate: a gap
+     longer than the queueing horizon means the core was descheduled
+     or computing, not that the bus saw a slower stream, so it leaves
+     the estimate alone.  The MBA meter, by contrast, is charged for
+     gaps — it measures sustained bandwidth. *)
+  if dt <= active_window then
+    t.rate.(core) <- ((1.0 -. ewma_alpha) *. t.rate.(core)) +. (ewma_alpha *. inst);
+  t.slow_rate.(core) <-
+    ((1.0 -. slow_alpha) *. t.slow_rate.(core)) +. (slow_alpha *. inst);
+  (* Sum of the offered rates of cores whose current activity run
+     covers this instant: a run is [run_start, last], padded by the
+     queue-drain window on both sides. *)
+  let live_sum () =
+    let acc = ref 0.0 in
+    for j = 0 to t.cores - 1 do
+      if
+        j = core
+        || (t.last.(j) >= 0
+           && now >= t.run_start.(j) - active_window
+           && now <= t.last.(j) + active_window)
+      then acc := !acc +. t.rate.(j)
+    done;
+    !acc
+  in
+  match t.mode with
+  | Partitioned ->
+      let offered = t.rate.(core) *. float_of_int t.cores in
+      let overload = offered -. t.service in
+      if overload > 0.0 then int_of_float (overload /. t.service *. delay_scale)
+      else 0
+  | Open ->
+      let overload = live_sum () -. t.service in
+      if overload > 0.0 then int_of_float (overload /. t.service *. delay_scale)
+      else 0
+  | Mba limit ->
+      (* Approximate enforcement: the MBA meter is a slow average, so a
+         core pays its throttle penalty only when its {e sustained}
+         rate exceeds the cap — instantaneous bursts pass straight
+         through, and the shared queue is still shared, so the
+         contention term computed from everyone's instantaneous rate
+         remains.  That residue is why the paper's footnote 5 deems
+         MBA insufficient against covert channels. *)
+      let cap = limit *. t.service in
+      let throttle =
+        let over = t.slow_rate.(core) -. cap in
+        if over > 0.0 then int_of_float (over /. t.service *. delay_scale *. 2.0)
+        else 0
+      in
+      let overload = live_sum () -. t.service in
+      throttle
+      + (if overload > 0.0 then int_of_float (overload /. t.service *. delay_scale)
+         else 0)
+
+let window_traffic t ~core =
+  (* Scaled to a per-mille utilisation figure for diagnostics. *)
+  int_of_float (t.rate.(core) /. t.service *. 1000.0)
+
+let drain t =
+  Array.fill t.rate 0 t.cores 0.0;
+  Array.fill t.slow_rate 0 t.cores 0.0;
+  Array.fill t.last 0 t.cores (-1);
+  Array.fill t.run_start 0 t.cores (-1)

@@ -1,0 +1,302 @@
+type core_state = {
+  l1d : Cache.t;
+  l1i : Cache.t;
+  l2 : Cache.t option;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+  l2tlb : Tlb.t;
+  btb : Btb.t;
+  bhb : Bhb.t;
+  prefetcher : Prefetcher.t option;
+  mutable cycles : int;
+}
+
+type t = {
+  platform : Platform.t;
+  cores : core_state array;
+  llc : Cache.t;
+  dram : Dram.t;
+  bus : Interconnect.t;
+}
+
+(* Flush cost model, calibrated so the Table 2 shapes hold: invalidating
+   a line costs a few cycles of tag-walk, writing back a dirty line a
+   burst-amortised store.  See EXPERIMENTS.md for the calibration. *)
+let inval_cost_per_line = 5
+let wb_cost_per_line = 10
+let tlb_flush_cost = 200
+let bp_flush_cost = 400
+let l2_tlb_hit_extra = 7
+let prefetch_issue_cost = 1
+
+let create platform =
+  let open Platform in
+  let mk_core _ =
+    {
+      l1d = Cache.create platform.l1d;
+      l1i = Cache.create platform.l1i;
+      l2 = Option.map Cache.create platform.l2;
+      itlb = Tlb.create platform.itlb;
+      dtlb = Tlb.create platform.dtlb;
+      l2tlb = Tlb.create platform.l2tlb;
+      btb = Btb.create platform.btb;
+      bhb = Bhb.create platform.bhb;
+      prefetcher =
+        (if platform.prefetcher_slots > 0 then
+           Some
+             (Prefetcher.create ~slots:platform.prefetcher_slots
+                ~degree:platform.prefetcher_degree)
+         else None);
+      cycles = 0;
+    }
+  in
+  {
+    platform;
+    cores = Array.init platform.cores mk_core;
+    llc = Cache.create platform.llc;
+    dram = Dram.create platform.dram;
+    (* Memory-bus service rate scaled to the platform: 1.3x the rate of
+       a single latency-bound DRAM stream, so one stream fits and two
+       concurrent ones contend. *)
+    bus =
+      (let stream_latency =
+         platform.lat_l1 + platform.lat_l2 + platform.lat_llc
+         + platform.dram.Dram.t_hit
+       in
+       Interconnect.create ~cores:platform.cores ~window:(10 * stream_latency)
+         ~slots_per_window:13);
+  }
+
+let platform t = t.platform
+let n_cores t = Array.length t.cores
+
+let core t i =
+  assert (i >= 0 && i < Array.length t.cores);
+  t.cores.(i)
+
+let cycles t ~core:i = (core t i).cycles
+let add_cycles t ~core:i n = (core t i).cycles <- (core t i).cycles + n
+
+(* Invalidate a physical line from every core's private caches; the
+   shared LLC is inclusive, so an LLC eviction must purge inner copies.
+   For virtually-indexed L1s every alias set would need checking on real
+   hardware; our L1 index uses the vaddr, so we conservatively scan all
+   L1 sets via the physical tag by probing each possible index page
+   offset — in practice user mappings here are vaddr=colour-preserving,
+   so invalidating with vaddr=paddr covers the common case and the
+   over-approximation only loses a little timing fidelity. *)
+let back_invalidate t line_paddr =
+  if line_paddr >= 0 then
+    Array.iter
+      (fun c ->
+        Cache.invalidate_line c.l1d ~vaddr:line_paddr ~paddr:line_paddr;
+        Cache.invalidate_line c.l1i ~vaddr:line_paddr ~paddr:line_paddr;
+        match c.l2 with
+        | Some l2 -> Cache.invalidate_line l2 ~vaddr:line_paddr ~paddr:line_paddr
+        | None -> ())
+      t.cores
+
+(* Access the shared levels (LLC then DRAM) for one physical line;
+   returns latency.  LLC misses are memory-bus transactions — the
+   bandwidth-limited, contended resource; LLC hits are served by the
+   (much wider) on-chip fabric and are not bus-accounted. *)
+let shared_access t ~core_id ~llc_ways ~paddr ~write =
+  let c = core t core_id in
+  let p = t.platform in
+  match Cache.access_masked t.llc ~alloc_ways:llc_ways ~vaddr:paddr ~paddr ~write with
+  | Cache.Hit -> p.Platform.lat_llc
+  | Cache.Miss { evicted_dirty; evicted } ->
+      back_invalidate t evicted;
+      let bus_delay = Interconnect.record t.bus ~core:core_id ~now:c.cycles in
+      let wb = if evicted_dirty then wb_cost_per_line else 0 in
+      p.Platform.lat_llc + Dram.access t.dram ~paddr + wb + bus_delay
+
+(* Issue prefetches suggested by the stream prefetcher: insert into the
+   private L2 and the (inclusive) LLC. *)
+let issue_prefetches t ~core_id ~llc_ways pf_addrs =
+  let c = core t core_id in
+  List.fold_left
+    (fun cost pf ->
+      (match c.l2 with
+      | Some l2 -> begin
+          match Cache.insert_clean l2 ~vaddr:pf ~paddr:pf with
+          | Cache.Hit | Cache.Miss _ -> ()
+        end
+      | None -> ());
+      (* Prefetches allocate under the issuing core's CAT class too. *)
+      (match
+         Cache.access_masked t.llc ~alloc_ways:llc_ways ~vaddr:pf ~paddr:pf
+           ~write:false
+       with
+      | Cache.Hit -> ()
+      | Cache.Miss { evicted; _ } -> back_invalidate t evicted);
+      cost + prefetch_issue_cost)
+    0 pf_addrs
+
+(* Returns (latency to report, cycles of it already charged by the
+   walk's own memory accesses). *)
+let tlb_latency t ~core_id ~asid ~vpn ~kind ~global ~walk =
+  let c = core t core_id in
+  let p = t.platform in
+  let first = match kind with Defs.Fetch -> c.itlb | Defs.Read | Defs.Write -> c.dtlb in
+  match Tlb.access first ~asid ~vpn ~global with
+  | Tlb.Hit -> (0, 0)
+  | Tlb.Miss -> begin
+      match Tlb.access c.l2tlb ~asid ~vpn ~global with
+      | Tlb.Hit -> (l2_tlb_hit_extra, 0)
+      | Tlb.Miss -> begin
+          match walk with
+          | Some f ->
+              (* The walk's PT reads charge the core as they run; a
+                 small fixed TLB-refill overhead comes on top. *)
+              let w = f () in
+              (w + 10, w)
+          | None -> (p.Platform.tlb_walk, 0)
+        end
+    end
+
+let access t ~core:core_id ~asid ?(global = false) ?(llc_ways = max_int) ?walk
+    ~vaddr ~paddr ~kind () =
+  let c = core t core_id in
+  let p = t.platform in
+  let write = match kind with Defs.Write -> true | Defs.Read | Defs.Fetch -> false in
+  let vpn = Defs.page_of vaddr in
+  let lat_tlb, already_charged =
+    tlb_latency t ~core_id ~asid ~vpn ~kind ~global ~walk
+  in
+  let l1 = match kind with Defs.Fetch -> c.l1i | Defs.Read | Defs.Write -> c.l1d in
+  let lat =
+    match Cache.access l1 ~vaddr ~paddr ~write with
+    | Cache.Hit -> p.Platform.lat_l1
+    | Cache.Miss { evicted_dirty; evicted = _ } ->
+        let l1_wb = if evicted_dirty then wb_cost_per_line else 0 in
+        let inner =
+          match c.l2 with
+          | Some l2 -> begin
+              (* The stream prefetcher observes L2 traffic (L1 misses). *)
+              let pf_cost =
+                match c.prefetcher with
+                | Some pf ->
+                    let suggestions =
+                      Prefetcher.on_access pf ~paddr ~line:p.Platform.line
+                    in
+                    issue_prefetches t ~core_id ~llc_ways suggestions
+                | None -> 0
+              in
+              match Cache.access l2 ~vaddr:paddr ~paddr ~write:false with
+              | Cache.Hit -> p.Platform.lat_l2 + pf_cost
+              | Cache.Miss { evicted_dirty = l2_dirty; evicted = _ } ->
+                  let l2_wb = if l2_dirty then wb_cost_per_line else 0 in
+                  p.Platform.lat_l2 + l2_wb + pf_cost
+                  + shared_access t ~core_id ~llc_ways ~paddr ~write:false
+            end
+          | None -> shared_access t ~core_id ~llc_ways ~paddr ~write:false
+        in
+        p.Platform.lat_l1 + l1_wb + inner
+  in
+  let total = lat_tlb + lat in
+  c.cycles <- c.cycles + total - already_charged;
+  total
+
+let cond_branch t ~core:core_id ~asid ~vaddr ~paddr ~taken =
+  let c = core t core_id in
+  let p = t.platform in
+  let fetch = access t ~core:core_id ~asid ~vaddr ~paddr ~kind:Defs.Fetch () in
+  let penalty =
+    match Bhb.branch c.bhb ~addr:vaddr ~taken with
+    | Bhb.Predicted -> 0
+    | Bhb.Mispredicted -> p.Platform.mispredict_penalty
+  in
+  c.cycles <- c.cycles + penalty;
+  fetch + penalty
+
+let jump t ~core:core_id ~asid ~vaddr ~paddr ~target =
+  let c = core t core_id in
+  let p = t.platform in
+  let fetch = access t ~core:core_id ~asid ~vaddr ~paddr ~kind:Defs.Fetch () in
+  let penalty =
+    match Btb.branch c.btb ~addr:vaddr ~target with
+    | Btb.Predicted -> 0
+    | Btb.Mispredicted -> p.Platform.mispredict_penalty
+  in
+  c.cycles <- c.cycles + penalty;
+  fetch + penalty
+
+(* A flush instruction walks the whole tag array (cost per capacity
+   line, independent of occupancy) and writes back what is dirty. *)
+let clflush_cost = 40
+
+let clflush t ~core:core_id ~paddr =
+  let line_mask = lnot (t.platform.Platform.line - 1) in
+  let la = paddr land line_mask in
+  back_invalidate t la;
+  Cache.invalidate_line t.llc ~vaddr:la ~paddr:la;
+  let c = core t core_id in
+  c.cycles <- c.cycles + clflush_cost;
+  clflush_cost
+
+let flush_cache_cost cache =
+  let lines = Cache.capacity_lines cache in
+  let dirty = Cache.flush cache in
+  (lines * inval_cost_per_line) + (dirty * wb_cost_per_line)
+
+let flush_l1_hw t ~core:core_id =
+  let c = core t core_id in
+  let cost = flush_cache_cost c.l1d + flush_cache_cost c.l1i in
+  c.cycles <- c.cycles + cost;
+  cost
+
+let flush_l2_private t ~core:core_id =
+  let c = core t core_id in
+  match c.l2 with
+  | None -> 0
+  | Some l2 ->
+      let cost = flush_cache_cost l2 in
+      c.cycles <- c.cycles + cost;
+      cost
+
+let flush_llc t ~core:core_id =
+  let c = core t core_id in
+  let cost = flush_cache_cost t.llc in
+  (* Inclusive hierarchy: private copies are gone too. *)
+  Array.iter
+    (fun cc ->
+      ignore (Cache.flush cc.l1d);
+      ignore (Cache.flush cc.l1i);
+      match cc.l2 with Some l2 -> ignore (Cache.flush l2) | None -> ())
+    t.cores;
+  c.cycles <- c.cycles + cost;
+  cost
+
+let flush_tlbs t ~core:core_id =
+  let c = core t core_id in
+  Tlb.flush_all c.itlb;
+  Tlb.flush_all c.dtlb;
+  Tlb.flush_all c.l2tlb;
+  c.cycles <- c.cycles + tlb_flush_cost;
+  tlb_flush_cost
+
+let flush_branch_predictor t ~core:core_id =
+  let c = core t core_id in
+  Btb.flush c.btb;
+  Bhb.flush c.bhb;
+  c.cycles <- c.cycles + bp_flush_cost;
+  bp_flush_cost
+
+let l1d t ~core:i = (core t i).l1d
+let l1i t ~core:i = (core t i).l1i
+let l2 t ~core:i = (core t i).l2
+let llc t = t.llc
+let dtlb t ~core:i = (core t i).dtlb
+let itlb t ~core:i = (core t i).itlb
+let l2tlb t ~core:i = (core t i).l2tlb
+let btb t ~core:i = (core t i).btb
+let bhb t ~core:i = (core t i).bhb
+let prefetcher t ~core:i = (core t i).prefetcher
+let bus t = t.bus
+let dram t = t.dram
+
+let set_prefetcher_enabled t ~core:i b =
+  match (core t i).prefetcher with
+  | Some pf -> Prefetcher.set_enabled pf b
+  | None -> ()

@@ -1,0 +1,111 @@
+(** Whole-machine composition: cores, private caches, shared LLC, bus,
+    DRAM, and cycle accounting.
+
+    All simulated execution goes through this module: a memory access
+    walks TLBs and the cache hierarchy, consumes cycles on the issuing
+    core, triggers the prefetcher, records bus traffic, and — for the
+    inclusive shared LLC — back-invalidates evicted lines from every
+    core's private caches (which is what makes cross-core prime&probe
+    work, §5.3.3).
+
+    The machine is fully deterministic.  Measurement noise, where an
+    experiment wants it, is added by the attack harness on top of the
+    cycle-counter readings, never here. *)
+
+type t
+
+val create : Platform.t -> t
+
+val platform : t -> Platform.t
+
+val n_cores : t -> int
+
+(** {1 Time} *)
+
+val cycles : t -> core:int -> int
+(** The core's cycle counter (the attacker's clock). *)
+
+val add_cycles : t -> core:int -> int -> unit
+(** Advance a core's clock without memory traffic (pure compute). *)
+
+(** {1 Execution} *)
+
+val access :
+  t ->
+  core:int ->
+  asid:int ->
+  ?global:bool ->
+  ?llc_ways:int ->
+  ?walk:(unit -> int) ->
+  vaddr:int ->
+  paddr:int ->
+  kind:Defs.access_kind ->
+  unit ->
+  int
+(** Perform one memory access; returns its latency in cycles, which has
+    already been added to the core's clock.  [global] marks the page's
+    TLB entry as a global mapping (kernel windows in the unmodified
+    kernel).  [llc_ways] is the issuer's CAT class-of-service mask:
+    LLC misses may only allocate into those ways (default: all).
+    [walk] performs the page-table walk on a full TLB miss and returns
+    its latency — the caller supplies it so the walk's memory accesses
+    hit the real page-table lines (making page-table cache footprints,
+    and hence van-Schaik-style PT side channels, emerge); without it a
+    flat platform walk cost is charged. *)
+
+val cond_branch :
+  t -> core:int -> asid:int -> vaddr:int -> paddr:int -> taken:bool -> int
+(** A conditional branch: instruction fetch plus direction prediction
+    through the BHB; returns total latency (added to the clock). *)
+
+val jump :
+  t -> core:int -> asid:int -> vaddr:int -> paddr:int -> target:int -> int
+(** A taken direct/indirect jump: instruction fetch plus BTB lookup. *)
+
+(** {1 Flush operations (invoked by the kernel model)} *)
+
+val clflush : t -> core:int -> paddr:int -> int
+(** Architected single-line flush (x86 [clflush] / Arm v8 [DC CIVAC]):
+    evict the line from every cache level on every core (coherence
+    makes it global).  Returns the cycles consumed (added to the
+    issuing core's clock).  Available to user mode on both modelled
+    ISAs — which is what makes Flush+Reload and DRAMA-style attacks
+    practical. *)
+
+val flush_l1_hw : t -> core:int -> int
+(** Architected L1 I+D flush (Arm DCCISW/ICIALLU).  Returns the cycles
+    consumed (invalidate cost + write-back of dirty lines), already
+    added to the clock.  Only meaningful when the platform
+    [has_l1_flush_instr]. *)
+
+val flush_l2_private : t -> core:int -> int
+(** Flush the core's private L2 if it has one (part of a full flush). *)
+
+val flush_llc : t -> core:int -> int
+(** Write back and invalidate the shared LLC (the expensive part of
+    x86 [wbinvd]); also back-invalidates all cores' private caches. *)
+
+val flush_tlbs : t -> core:int -> int
+(** Full TLB invalidation (TLBIALL / invpcid). *)
+
+val flush_branch_predictor : t -> core:int -> int
+(** BTB + BHB reset (x86 IBC / Arm BPIALL). *)
+
+(** {1 Component access (kernel model, tests, diagnostics)} *)
+
+val l1d : t -> core:int -> Cache.t
+val l1i : t -> core:int -> Cache.t
+val l2 : t -> core:int -> Cache.t option
+val llc : t -> Cache.t
+val dtlb : t -> core:int -> Tlb.t
+val itlb : t -> core:int -> Tlb.t
+val l2tlb : t -> core:int -> Tlb.t
+val btb : t -> core:int -> Btb.t
+val bhb : t -> core:int -> Bhb.t
+val prefetcher : t -> core:int -> Prefetcher.t option
+val bus : t -> Interconnect.t
+val dram : t -> Dram.t
+
+val set_prefetcher_enabled : t -> core:int -> bool -> unit
+(** Model of the MSR 0x1A4 prefetcher disable (no-op if the platform
+    has no prefetcher). *)

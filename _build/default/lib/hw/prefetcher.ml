@@ -1,0 +1,114 @@
+type tracker = {
+  mutable ptag : int; (* partial page tag, 2 bits; -1 = invalid *)
+  mutable last_line : int; (* last line offset seen within the page *)
+  mutable dir : int; (* +1 / -1 *)
+  mutable confidence : int; (* saturates at [confirm] *)
+}
+
+type t = {
+  slots : int;
+  degree : int;
+  table : tracker array;
+  mutable enabled : bool;
+}
+
+let confirm = 2
+let partial_tag_bits = 2
+
+let create ~slots ~degree =
+  assert (Defs.is_pow2 slots);
+  assert (degree > 0);
+  {
+    slots;
+    degree;
+    table =
+      Array.init slots (fun _ ->
+          { ptag = -1; last_line = 0; dir = 1; confidence = 0 });
+    enabled = true;
+  }
+
+(* Tracker index: a hash over the page number, not its low bits.  Real
+   prefetchers fold higher address bits into their indexing, so page
+   colouring — which fixes only the low page bits — cannot partition
+   the tracker table.  (If the index were [page mod slots], disjoint
+   colour sets would imply disjoint slot sets and the §5.3.2 residual
+   channel could not exist.) *)
+let slot_of t ~page =
+  (page lxor (page lsr 4) lxor (page lsr 9)) land (t.slots - 1)
+
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled
+
+let on_access t ~paddr ~line =
+  if not t.enabled then []
+  else begin
+    let page = paddr / Defs.page_size in
+    let line_off = Defs.page_offset paddr / line in
+    let slot = slot_of t ~page in
+    let ptag = (page lsr Defs.log2 t.slots) land ((1 lsl partial_tag_bits) - 1) in
+    let tr = t.table.(slot) in
+    let lines_per_page = Defs.page_size / line in
+    if tr.ptag = ptag then begin
+      let delta = line_off - tr.last_line in
+      if delta = tr.dir && delta <> 0 then
+        tr.confidence <- min confirm (tr.confidence + 1)
+      else if delta = -tr.dir && delta <> 0 then begin
+        tr.dir <- -tr.dir;
+        tr.confidence <- 1
+      end
+      else if delta <> 0 then tr.confidence <- max 0 (tr.confidence - 1);
+      tr.last_line <- line_off;
+      if tr.confidence >= confirm then begin
+        (* Confirmed stream: prefetch [degree] lines ahead, staying
+           within the page (real prefetchers stop at page boundaries). *)
+        let rec fetch k acc =
+          if k > t.degree then List.rev acc
+          else begin
+            let next = line_off + (k * tr.dir) in
+            if next < 0 || next >= lines_per_page then List.rev acc
+            else begin
+              let pf = (page * Defs.page_size) + (next * line) in
+              fetch (k + 1) (pf :: acc)
+            end
+          end
+        in
+        fetch 1 []
+      end
+      else []
+    end
+    else begin
+      (* Allocation filter: an incumbent stream with confidence resists
+         immediate replacement (real prefetchers require repeated
+         misses in a new region before stealing a trained tracker).
+         The filter is what makes tracker state observable across a
+         domain switch: a tracker the previous domain degraded to zero
+         confidence re-allocates instantly, while an intact one costs
+         extra unprefetched accesses to displace — a per-page timing
+         difference the next domain can read back. *)
+      if tr.ptag <> -1 && tr.confidence > 0 then begin
+        tr.confidence <- tr.confidence - 1;
+        []
+      end
+      else begin
+        tr.ptag <- ptag;
+        tr.last_line <- line_off;
+        tr.dir <- 1;
+        tr.confidence <- 0;
+        []
+      end
+    end
+  end
+
+let trained_slots t =
+  Array.fold_left
+    (fun acc tr -> if tr.ptag <> -1 && tr.confidence >= confirm then acc + 1 else acc)
+    0 t.table
+
+let hard_reset t =
+  Array.iter
+    (fun tr ->
+      tr.ptag <- -1;
+      tr.last_line <- 0;
+      tr.dir <- 1;
+      tr.confidence <- 0)
+    t.table

@@ -1,0 +1,93 @@
+type geometry = { entries : int; ways : int }
+
+type t = {
+  g : geometry;
+  n_sets : int;
+  vpns : int array; (* -1 = invalid *)
+  asids : int array;
+  globals : bool array;
+  age : int array;
+  mutable clock : int;
+  mutable n_valid : int;
+}
+
+let create g =
+  assert (Defs.is_pow2 g.entries && Defs.is_pow2 g.ways);
+  assert (g.entries >= g.ways);
+  let n_sets = g.entries / g.ways in
+  {
+    g;
+    n_sets;
+    vpns = Array.make g.entries (-1);
+    asids = Array.make g.entries (-1);
+    globals = Array.make g.entries false;
+    age = Array.make g.entries 0;
+    clock = 0;
+    n_valid = 0;
+  }
+
+let geometry t = t.g
+let sets t = t.n_sets
+
+type result = Hit | Miss
+
+let set_of t vpn = vpn land (t.n_sets - 1)
+
+let find t ~asid ~vpn =
+  let base = set_of t vpn * t.g.ways in
+  let rec go w =
+    if w = t.g.ways then -1
+    else begin
+      let i = base + w in
+      if t.vpns.(i) = vpn && (t.globals.(i) || t.asids.(i) = asid) then i
+      else go (w + 1)
+    end
+  in
+  go 0
+
+let lru_way t set =
+  let base = set * t.g.ways in
+  let best = ref base in
+  for w = 1 to t.g.ways - 1 do
+    let i = base + w in
+    if t.vpns.(i) = -1 then begin
+      if t.vpns.(!best) <> -1 || t.age.(i) < t.age.(!best) then best := i
+    end
+    else if t.vpns.(!best) <> -1 && t.age.(i) < t.age.(!best) then best := i
+  done;
+  !best
+
+let access t ~asid ~vpn ~global =
+  let i = find t ~asid ~vpn in
+  t.clock <- t.clock + 1;
+  if i >= 0 then begin
+    t.age.(i) <- t.clock;
+    Hit
+  end
+  else begin
+    let i = lru_way t (set_of t vpn) in
+    if t.vpns.(i) = -1 then t.n_valid <- t.n_valid + 1;
+    t.vpns.(i) <- vpn;
+    t.asids.(i) <- asid;
+    t.globals.(i) <- global;
+    t.age.(i) <- t.clock;
+    Miss
+  end
+
+let probe t ~asid ~vpn = find t ~asid ~vpn >= 0
+
+let flush_all t =
+  Array.fill t.vpns 0 (Array.length t.vpns) (-1);
+  Array.fill t.globals 0 (Array.length t.globals) false;
+  t.n_valid <- 0
+
+let flush_asid t asid =
+  Array.iteri
+    (fun i vpn ->
+      if vpn <> -1 && (not t.globals.(i)) && t.asids.(i) = asid then begin
+        t.vpns.(i) <- -1;
+        t.n_valid <- t.n_valid - 1
+      end)
+    t.vpns
+
+let valid_entries t = t.n_valid

@@ -1,0 +1,1 @@
+lib/kernel/audit.ml: Format Fun Hashtbl Layout List System Tp_hw

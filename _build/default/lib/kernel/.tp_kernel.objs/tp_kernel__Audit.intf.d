@@ -1,0 +1,1 @@
+lib/kernel/audit.mli: Format Layout System Tp_hw

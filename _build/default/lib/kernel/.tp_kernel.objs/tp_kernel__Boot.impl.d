@@ -1,0 +1,1 @@
+lib/kernel/boot.ml: Array Capability Clone Colour Config Exec List Phys Retype Stdlib System Tp_hw Types

@@ -1,0 +1,1 @@
+lib/kernel/boot.mli: Colour Config Exec System Tp_hw Types

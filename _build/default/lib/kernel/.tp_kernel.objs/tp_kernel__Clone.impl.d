@@ -1,0 +1,1 @@
+lib/kernel/clone.ml: Array Capability Config Irq Klog Layout List Sched System Tp_hw Types

@@ -1,0 +1,1 @@
+lib/kernel/clone.mli: System Types

@@ -1,0 +1,1 @@
+lib/kernel/colour.ml: Format Fun List Stdlib String Tp_hw

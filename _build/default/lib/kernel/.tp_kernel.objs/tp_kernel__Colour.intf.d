@@ -1,0 +1,1 @@
+lib/kernel/colour.mli: Format Tp_hw

@@ -1,0 +1,1 @@
+lib/kernel/config.ml: Format Fun List Printf String Tp_hw

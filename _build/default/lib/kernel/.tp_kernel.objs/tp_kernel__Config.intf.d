@@ -1,0 +1,1 @@
+lib/kernel/config.mli: Format Tp_hw

@@ -1,0 +1,1 @@
+lib/kernel/cspace.ml: Array Capability Objects Retype Tp_hw Types

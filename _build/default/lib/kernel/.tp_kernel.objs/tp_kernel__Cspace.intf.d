@@ -1,0 +1,1 @@
+lib/kernel/cspace.mli: System Types

@@ -1,0 +1,1 @@
+lib/kernel/domain_switch.ml: Array Config Irq Klog Layout List Phys System Tp_hw Types

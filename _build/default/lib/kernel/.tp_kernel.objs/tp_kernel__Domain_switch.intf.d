@@ -1,0 +1,1 @@
+lib/kernel/domain_switch.mli: System Types

@@ -1,0 +1,1 @@
+lib/kernel/exec.ml: Domain_switch Hashtbl List Option Sched Stdlib System Tp_hw Types Uctx

@@ -1,0 +1,1 @@
+lib/kernel/exec.mli: System Types Uctx

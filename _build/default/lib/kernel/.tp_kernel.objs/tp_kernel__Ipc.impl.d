@@ -1,0 +1,1 @@
+lib/kernel/ipc.ml: Array Layout Phys Sched Syscalls System Tp_hw Types

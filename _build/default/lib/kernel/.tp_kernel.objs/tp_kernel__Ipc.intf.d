@@ -1,0 +1,1 @@
+lib/kernel/ipc.mli: System Types

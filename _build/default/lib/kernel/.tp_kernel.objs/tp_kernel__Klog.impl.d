@@ -1,0 +1,1 @@
+lib/kernel/klog.ml: Logs Printf Types

@@ -1,0 +1,1 @@
+lib/kernel/layout.ml: List Stdlib Tp_hw

@@ -1,0 +1,1 @@
+lib/kernel/layout.mli: Tp_hw

@@ -1,0 +1,1 @@
+lib/kernel/objects.ml: Array Capability Clone Hashtbl List Sched System Types

@@ -1,0 +1,1 @@
+lib/kernel/objects.mli: System Types

@@ -1,0 +1,1 @@
+lib/kernel/phys.ml: Array Colour List Tp_hw

@@ -1,0 +1,1 @@
+lib/kernel/phys.mli: Colour Tp_hw

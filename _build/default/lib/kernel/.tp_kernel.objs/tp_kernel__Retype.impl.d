@@ -1,0 +1,1 @@
+lib/kernel/retype.ml: Capability Colour Hashtbl Layout List Tp_hw Types

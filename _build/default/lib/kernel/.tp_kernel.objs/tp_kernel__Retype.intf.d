@@ -1,0 +1,1 @@
+lib/kernel/retype.mli: Colour Tp_hw Types

@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Array Hashtbl List Queue Types

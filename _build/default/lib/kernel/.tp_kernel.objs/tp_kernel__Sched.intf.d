@@ -1,0 +1,1 @@
+lib/kernel/sched.mli: Types

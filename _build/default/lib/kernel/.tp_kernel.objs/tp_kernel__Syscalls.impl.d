@@ -1,0 +1,1 @@
+lib/kernel/syscalls.ml: Irq Layout List Phys Sched System Tp_hw Types

@@ -1,0 +1,1 @@
+lib/kernel/syscalls.mli: System Types

@@ -1,0 +1,1 @@
+lib/kernel/system.ml: Array Config Hashtbl Irq Layout List Phys Sched Tp_hw Types

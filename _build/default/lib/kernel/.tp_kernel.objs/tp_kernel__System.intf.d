@@ -1,0 +1,1 @@
+lib/kernel/system.mli: Config Irq Layout Phys Sched Tp_hw Types

@@ -1,0 +1,1 @@
+lib/kernel/types.ml: Array Colour Hashtbl

@@ -1,0 +1,1 @@
+lib/kernel/uctx.ml: Config Irq List Stdlib Syscalls System Tp_hw Types

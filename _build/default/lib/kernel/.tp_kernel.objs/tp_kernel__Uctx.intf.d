@@ -1,0 +1,1 @@
+lib/kernel/uctx.mli: Syscalls System Types

@@ -1,0 +1,51 @@
+type event = {
+  region : Layout.shared_region;
+  off : int;
+  len : int;
+  kind : Tp_hw.Defs.access_kind;
+}
+
+type trace = event list
+
+let capture sys f =
+  let events = ref [] in
+  System.set_shared_audit sys
+    (Some (fun region ~off ~len ~kind -> events := { region; off; len; kind } :: !events));
+  Fun.protect
+    ~finally:(fun () -> System.set_shared_audit sys None)
+    f;
+  List.rev !events
+
+let equal_traces a b = a = b
+
+let lines_touched p trace =
+  let line = p.Tp_hw.Platform.line in
+  let lines = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let base = Layout.shared_region_off e.region + e.off in
+      let first = base / line and last = (base + e.len - 1) / line in
+      for l = first to last do
+        Hashtbl.replace lines l ()
+      done)
+    trace;
+  Hashtbl.length lines
+
+let region_name = function
+  | Layout.Sched_queues -> "sched-queues"
+  | Layout.Sched_bitmap -> "sched-bitmap"
+  | Layout.Cur_decision -> "cur-decision"
+  | Layout.Irq_tables -> "irq-tables"
+  | Layout.Cur_irq -> "cur-irq"
+  | Layout.Asid_table -> "asid-table"
+  | Layout.Ioport_table -> "ioport-table"
+  | Layout.Cur_pointers -> "cur-pointers"
+  | Layout.Big_lock -> "big-lock"
+  | Layout.Ipi_barrier -> "ipi-barrier"
+
+let pp_trace ppf trace =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%s[%d..%d] %a@." (region_name e.region) e.off
+        (e.off + e.len - 1) Tp_hw.Defs.pp_access_kind e.kind)
+    trace

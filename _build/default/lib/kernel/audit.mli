@@ -1,0 +1,34 @@
+(** Mechanised audit of the residual shared kernel data (§4.1).
+
+    The paper's audit: "we determine for all such data the
+    circumstances (interrupt handling, context switch) under which the
+    kernel will access it.  We then establish that none of the cache
+    lines involved contain or are accessed through private user
+    information."  This module captures shared-data access traces for
+    arbitrary operations and provides the determinism comparison: if
+    the trace of a domain switch is identical whatever the outgoing
+    domain did, the shared data cannot carry a channel across it
+    (given the Requirement-3 prefetch normalises residency). *)
+
+type event = {
+  region : Layout.shared_region;
+  off : int;
+  len : int;
+  kind : Tp_hw.Defs.access_kind;
+}
+
+type trace = event list
+
+val capture : System.t -> (unit -> unit) -> trace
+(** Record every shared-data access performed while the thunk runs.
+    Nesting is not supported; any previously installed audit hook is
+    restored afterwards. *)
+
+val equal_traces : trace -> trace -> bool
+
+val lines_touched : Tp_hw.Platform.t -> trace -> int
+(** Number of distinct shared-region cache lines the trace covers. *)
+
+val pp_trace : Format.formatter -> trace -> unit
+
+val region_name : Layout.shared_region -> string

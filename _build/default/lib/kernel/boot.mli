@@ -1,0 +1,88 @@
+(** System assembly: boot, partition into coloured domains, clone
+    kernels, spawn threads.
+
+    This plays the role of the paper's initial user process (§3.3): it
+    receives all free memory as Untyped plus the Kernel_Image master
+    capability, splits memory into per-domain coloured pools, clones a
+    kernel for each partition out of the domain's own pool, and starts
+    threads bound to those kernels.  Everything it does goes through
+    the same capability operations userland would use. *)
+
+type domain = {
+  dom_id : int;
+  dom_colours : Colour.set;
+  dom_pool : Types.cap;  (** the domain's Untyped pool *)
+  dom_kernel_cap : Types.cap;
+  dom_kernel : Types.kimage;
+  dom_vspace : Types.vspace;
+  mutable dom_threads : Types.tcb list;
+}
+
+type booted = {
+  sys : System.t;
+  root : Types.cap;  (** root Untyped (whatever was not given to domains) *)
+  master : Types.cap;  (** Kernel_Image master capability *)
+  domains : domain array;
+}
+
+val boot :
+  ?colour_percent:int ->
+  ?domains:int ->
+  platform:Tp_hw.Platform.t ->
+  config:Config.t ->
+  unit ->
+  booted
+(** Boot and build [domains] (default 2) security domains.
+
+    With [config.colour_user] the available colours (restricted to the
+    first [colour_percent]%, default 100) are split evenly between
+    domains; otherwise domains share all colours (frames split by
+    count).  With [config.clone_kernel] each domain gets a kernel
+    cloned from the master into its own pool; otherwise all domains
+    run on the initial kernel. *)
+
+val spawn :
+  booted -> domain -> ?prio:int -> ?core:int -> Exec.body -> Types.tcb
+(** Create a thread in the domain (TCB from the domain's pool), bind
+    its VSpace, kernel and domain tag, attach the body and make it
+    runnable. *)
+
+val alloc_pages : booted -> domain -> pages:int -> int
+(** Allocate and map [pages] pages from the domain's pool into its
+    VSpace; returns the (page-aligned) base virtual address.
+    @raise Types.Kernel_error [Insufficient_untyped] *)
+
+val alloc_pages_where :
+  booted -> domain -> pred:(int -> bool) -> pages:int -> int
+(** Like {!alloc_pages} but only frames satisfying [pred] (frame
+    number), e.g. attacker-chosen LLC set groups.
+    @raise Types.Kernel_error [Insufficient_untyped] when the pool has
+    too few matching frames — which is exactly what happens to a spy in
+    a coloured system. *)
+
+val map_shared : booted -> from_dom:domain -> to_dom:domain -> pages:int -> int * int
+(** Set up user-level shared memory between two domains (§6.1: "shared
+    memory can be set up with a dedicated colour").  Takes [pages]
+    frames from [from_dom]'s pool — so they carry that domain's
+    colours, the "dedicated colour" being the sharer's — and maps them
+    into both VSpaces; returns the two base virtual addresses.  The
+    paper's caveat applies: the resulting channel must be handled by
+    deterministic user-level access; the kernel only provides the
+    mapping. *)
+
+val subdivide :
+  booted -> domain -> parts:int -> core:int -> domain list
+(** Nested partitioning (§3.3: "a partition can sub-divide with new
+    kernel clones, as long as it has sufficient Untyped memory and
+    more than one page colour left").  Splits the domain's remaining
+    pool by colour into [parts] sub-pools, clones a kernel for each
+    from the domain's own kernel capability (which must carry the
+    clone right), and returns the new sub-domains.
+    @raise Types.Kernel_error [Insufficient_colours] with fewer
+    colours than [parts], [No_clone_right] if the domain's kernel
+    capability cannot clone. *)
+
+val new_notification : booted -> domain -> Types.notification
+(** Retype a notification object from the domain's pool. *)
+
+val new_endpoint : booted -> domain -> Types.endpoint

@@ -1,0 +1,45 @@
+let mk_root ?(clone_right = false) target =
+  {
+    Types.cap_id = Types.fresh_id ();
+    target;
+    rights = Types.full_rights;
+    clone_right;
+    parent = None;
+    children = [];
+    valid = true;
+  }
+
+let is_valid c = c.Types.valid
+
+let ensure_valid c =
+  if not c.Types.valid then raise (Types.Kernel_error Types.Invalid_capability)
+
+let derive ?rights ?(clone_right = false) parent =
+  ensure_valid parent;
+  let rights = Option.value rights ~default:parent.Types.rights in
+  let child =
+    {
+      Types.cap_id = Types.fresh_id ();
+      target = parent.Types.target;
+      rights;
+      clone_right = clone_right && parent.Types.clone_right;
+      parent = Some parent;
+      children = [];
+      valid = true;
+    }
+  in
+  parent.Types.children <- child :: parent.Types.children;
+  child
+
+(* Post-order: leaves precede ancestors, the order revocation needs. *)
+let descendants cap =
+  let rec post c = List.concat_map post c.Types.children @ [ c ] in
+  List.concat_map post cap.Types.children
+
+let invalidate c =
+  c.Types.valid <- false;
+  match c.Types.parent with
+  | None -> ()
+  | Some p ->
+      p.Types.children <-
+        List.filter (fun k -> k.Types.cap_id <> c.Types.cap_id) p.Types.children

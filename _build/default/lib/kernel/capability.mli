@@ -1,0 +1,31 @@
+(** Capability creation and the capability derivation tree (CDT).
+
+    Pure tree bookkeeping: minting root capabilities, deriving children
+    with (possibly) reduced rights, and walking/pruning the tree.
+    Object destruction semantics (what happens to the object when its
+    capabilities go away) live in {!Objects}, which layers revocation
+    on top of these primitives. *)
+
+val mk_root : ?clone_right:bool -> Types.obj -> Types.cap
+(** A fresh root capability with full rights. *)
+
+val derive :
+  ?rights:Types.rights -> ?clone_right:bool -> Types.cap -> Types.cap
+(** [derive parent] mints a child capability in the CDT.  Rights
+    default to the parent's; the clone right can only be kept if the
+    parent has it (stripping it is how the initial process prevents
+    others from cloning kernels, §4.1).
+    @raise Types.Kernel_error [Invalid_capability] if the parent is no
+    longer valid. *)
+
+val is_valid : Types.cap -> bool
+
+val ensure_valid : Types.cap -> unit
+(** @raise Types.Kernel_error [Invalid_capability] *)
+
+val descendants : Types.cap -> Types.cap list
+(** All transitive children, depth-first, leaves before ancestors (the
+    order in which revocation must invalidate them). *)
+
+val invalidate : Types.cap -> unit
+(** Mark one capability invalid and detach it from its parent. *)

@@ -1,0 +1,183 @@
+let last_clone_cost = ref 0
+
+let master_cap sys =
+  Capability.mk_root ~clone_right:true
+    (Types.Obj_kernel_image (System.initial_kernel sys))
+
+let the_image cap =
+  Capability.ensure_valid cap;
+  match cap.Types.target with
+  | Types.Obj_kernel_image ki -> ki
+  | _ -> raise (Types.Kernel_error Types.Wrong_object_type)
+
+let the_kmem cap =
+  Capability.ensure_valid cap;
+  match cap.Types.target with
+  | Types.Obj_kernel_memory km -> km
+  | _ -> raise (Types.Kernel_error Types.Wrong_object_type)
+
+(* Copy [len] bytes at image offset [off] from one image's frames to
+   another's, as simulated memory traffic through the kernel's physical
+   window (vaddr = paddr, global mapping where the layout allows). *)
+let copy_region sys ~core ~src_pa_of ~dst_pa_of ~off ~len =
+  let m = System.machine sys in
+  let p = System.platform sys in
+  let line = p.Tp_hw.Platform.line in
+  let asid = System.current_asid sys ~core in
+  let global = System.kernel_mappings_global sys in
+  let n_lines = (len + line - 1) / line in
+  for i = 0 to n_lines - 1 do
+    let o = off + (i * line) in
+    let src = src_pa_of o and dst = dst_pa_of o in
+    ignore
+      (Tp_hw.Machine.access m ~core ~asid ~global ~vaddr:src ~paddr:src
+         ~kind:Tp_hw.Defs.Read ());
+    ignore
+      (Tp_hw.Machine.access m ~core ~asid ~global ~vaddr:dst ~paddr:dst
+         ~kind:Tp_hw.Defs.Write ())
+  done
+
+let clone sys ~core ~src ~kmem =
+  let src_ki = the_image src in
+  if not src.Types.clone_right then raise (Types.Kernel_error Types.No_clone_right);
+  if src_ki.Types.ki_state <> Types.Ki_active then
+    raise (Types.Kernel_error Types.Zombie_object);
+  let km = the_kmem kmem in
+  if km.Types.km_image <> None then raise (Types.Kernel_error Types.Wrong_object_type);
+  let p = System.platform sys in
+  let lay = Layout.image_layout p in
+  let needed = Layout.image_frames p in
+  if List.length km.Types.km_frames < needed then
+    raise (Types.Kernel_error Types.Insufficient_untyped);
+  let start = System.now sys ~core in
+  let asid = System.alloc_asid sys in
+  (* The image occupies the Kernel_Memory frames in offset order.  The
+     frames come from the caller's (coloured) pool, so a cloned kernel
+     is exactly as coloured as the domain that created it. *)
+  let frame_arr = Array.of_list km.Types.km_frames in
+  let ki =
+    {
+      Types.ki_id = Types.fresh_id ();
+      ki_state = Types.Ki_active;
+      ki_asid = asid;
+      ki_is_initial = false;
+      ki_frames = frame_arr;
+      ki_idle = None;
+      ki_running_on = Array.make (Tp_hw.Machine.n_cores (System.machine sys)) false;
+      ki_irqs = [];
+      ki_pad_cycles = (System.cfg sys).Config.pad_cycles;
+    }
+  in
+  (* Kernel_Clone copies code, read-only data and stack; the replicated
+     globals are initialised from the source's values (a copy too). *)
+  let copy ~off ~len =
+    copy_region sys ~core
+      ~src_pa_of:(fun o -> System.image_pa src_ki ~off:o)
+      ~dst_pa_of:(fun o -> System.image_pa ki ~off:o)
+      ~off ~len
+  in
+  copy ~off:lay.Layout.text_off ~len:lay.Layout.text_size;
+  copy ~off:lay.Layout.stack_off ~len:lay.Layout.stack_size;
+  copy ~off:lay.Layout.data_off ~len:lay.Layout.data_size;
+  (* Clone handler's own text execution. *)
+  ignore
+    (System.touch_image sys ~core src_ki ~region:System.Text
+       ~off:Layout.handler_clone.Layout.t_off ~len:Layout.handler_clone.Layout.t_len
+       ~kind:Tp_hw.Defs.Fetch);
+  (* New idle thread and kernel address space root. *)
+  ki.Types.ki_idle <-
+    Some
+      {
+        Types.t_id = Types.fresh_id ();
+        t_prio = 0;
+        t_state = Types.Ts_ready;
+        t_vspace = None;
+        t_kernel = Some ki;
+        t_core = core;
+      t_sc = None;
+        t_domain = -1;
+        t_frames = [];
+        t_is_idle = true;
+      };
+  km.Types.km_image <- Some ki;
+  System.register_kernel sys ki;
+  last_clone_cost := System.now sys ~core - start;
+  Klog.clone ki ~cost_cycles:!last_clone_cost;
+  (* CDT: the new image hangs off the source image capability. *)
+  let cap =
+    {
+      Types.cap_id = Types.fresh_id ();
+      target = Types.Obj_kernel_image ki;
+      rights = Types.full_rights;
+      clone_right = src.Types.clone_right;
+      parent = Some src;
+      children = [];
+      valid = true;
+    }
+  in
+  src.Types.children <- cap :: src.Types.children;
+  cap
+
+let ipi_cost = 1500 (* cycles: send + remote acknowledge, cf. TLB shoot-down *)
+
+let destroy sys ~core cap =
+  let ki = the_image cap in
+  if ki.Types.ki_is_initial then
+    raise (Types.Kernel_error Types.Invalid_capability);
+  if ki.Types.ki_state = Types.Ki_destroyed then
+    raise (Types.Kernel_error Types.Zombie_object);
+  let m = System.machine sys in
+  (* 1. Invalidate the capability: the kernel becomes a zombie. *)
+  Capability.invalidate cap;
+  ki.Types.ki_state <- Types.Ki_zombie;
+  (* 2. Suspend all threads bound to the zombie. *)
+  List.iter
+    (fun tcb ->
+      match tcb.Types.t_kernel with
+      | Some k when k.Types.ki_id = ki.Types.ki_id ->
+          tcb.Types.t_state <- Types.Ts_suspended;
+          Sched.remove (System.sched sys) ~core:tcb.Types.t_core tcb
+      | Some _ | None -> ())
+    (System.all_tcbs sys);
+  (* 3. system_stall + TLB_invalidate IPIs to cores running the zombie;
+     they fall back to the initial kernel's idle thread. *)
+  Array.iteri
+    (fun c running ->
+      if running then begin
+        ignore
+          (System.touch_shared sys ~core Layout.Ipi_barrier ~kind:Tp_hw.Defs.Write ());
+        Tp_hw.Machine.add_cycles m ~core ipi_cost;
+        Tp_hw.Machine.add_cycles m ~core:c ipi_cost;
+        ignore (Tp_hw.Machine.flush_tlbs m ~core:c);
+        let pc = System.per_core sys c in
+        pc.System.cur_kernel <- System.initial_kernel sys;
+        pc.System.cur_thread <- (System.initial_kernel sys).Types.ki_idle;
+        ki.Types.ki_running_on.(c) <- false
+      end)
+    ki.Types.ki_running_on;
+  (* 4. Release IRQ associations and the ASID; complete the cleanup. *)
+  List.iter (fun irq -> Irq.clear_int (System.irq sys) ~irq) ki.Types.ki_irqs;
+  ki.Types.ki_irqs <- [];
+  System.free_asid sys ki.Types.ki_asid;
+  ki.Types.ki_state <- Types.Ki_destroyed;
+  Klog.destroy ki;
+  System.unregister_kernel sys ki;
+  (* Fixed bookkeeping cost of the destruction path itself. *)
+  ignore
+    (System.touch_shared sys ~core Layout.Cur_pointers ~kind:Tp_hw.Defs.Write ());
+  Tp_hw.Machine.add_cycles m ~core 400
+
+let set_int sys ~image ~irq =
+  let ki = the_image image in
+  if ki.Types.ki_state <> Types.Ki_active then
+    raise (Types.Kernel_error Types.Zombie_object);
+  Irq.set_int (System.irq sys) ~irq ki;
+  Klog.set_int ki ~irq;
+  if not (List.mem irq ki.Types.ki_irqs) then
+    ki.Types.ki_irqs <- irq :: ki.Types.ki_irqs
+
+let set_pad _sys ~image ~cycles =
+  let ki = the_image image in
+  ki.Types.ki_pad_cycles <- cycles
+
+let clone_cost_cycles _sys = !last_clone_cost

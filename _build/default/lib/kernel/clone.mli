@@ -1,0 +1,52 @@
+(** Kernel clone and destruction (§4.1, §4.4) — the paper's core
+    mechanism.
+
+    Cloning copies the source kernel's text, read-only data and stack
+    into user-supplied [Kernel_Memory], replicates the replicable
+    globals, creates a fresh idle thread and kernel address space
+    (ASID), and returns a capability to the new [Kernel_Image].  The
+    copy is performed as real simulated memory traffic, so its cost
+    (Table 7) emerges from the memory system rather than being a
+    constant.
+
+    Destruction follows §4.4: the image becomes a zombie, threads bound
+    to it are suspended, [system_stall] and [TLB_invalidate] IPIs are
+    sent to every core the zombie is running on (those cores fall back
+    to the initial kernel's idle thread), and only then is the object
+    reclaimed.  The initial kernel can never be destroyed because its
+    [Kernel_Memory] is never handed to userland. *)
+
+val master_cap : System.t -> Types.cap
+(** The boot-time Kernel_Image master capability: refers to the
+    initial kernel and carries the clone right (§4.1). *)
+
+val clone : System.t -> core:int -> src:Types.cap -> kmem:Types.cap -> Types.cap
+(** [clone sys ~core ~src ~kmem] runs Kernel_Clone on the calling
+    core.  [src] must be a valid Kernel_Image capability with the
+    clone right; [kmem] a valid, unbound Kernel_Memory capability.
+    The new image's capability is a CDT child of [src], so revoking a
+    Kernel_Image capability destroys all kernels cloned from it.
+    @raise Types.Kernel_error [No_clone_right | Wrong_object_type |
+    Invalid_capability | Zombie_object | Out_of_asids] *)
+
+val destroy : System.t -> core:int -> Types.cap -> unit
+(** Destroy the Kernel_Image behind the capability (also invalidates
+    the capability and, transitively, its CDT descendants' view of the
+    kernel).  Destroying the initial kernel is rejected with
+    [Invalid_capability]. *)
+
+val set_int : System.t -> image:Types.cap -> irq:int -> unit
+(** Kernel_SetInt: associate an IRQ source with a kernel image
+    (§4.2).  @raise Types.Kernel_error [Irq_in_use] if the IRQ is
+    partitioned to a different live kernel. *)
+
+val set_pad : System.t -> image:Types.cap -> cycles:int -> unit
+(** Configure the image's domain-switch padding latency (§4.3: a
+    user-controlled kernel-image attribute, for policy freedom). *)
+
+val the_image : Types.cap -> Types.kimage
+(** @raise Types.Kernel_error [Wrong_object_type | Invalid_capability] *)
+
+val clone_cost_cycles : System.t -> int
+(** Cycles consumed by the most recent [clone] on this system
+    (diagnostic for Table 7). *)

@@ -1,0 +1,50 @@
+type set = int
+
+let n_colours p = Tp_hw.Platform.colours p
+
+let colour_of_frame ~n_colours frame = frame mod n_colours
+
+let all ~n_colours = (1 lsl n_colours) - 1
+let empty = 0
+let mem s c = s land (1 lsl c) <> 0
+let add s c = s lor (1 lsl c)
+
+let count s =
+  let rec go acc s = if s = 0 then acc else go (acc + (s land 1)) (s lsr 1) in
+  go 0 s
+
+let inter a b = a land b
+let union a b = a lor b
+let disjoint a b = a land b = 0
+
+let of_list l = List.fold_left add empty l
+
+let to_list s =
+  let rec go acc c s =
+    if s = 0 then List.rev acc
+    else go (if s land 1 <> 0 then c :: acc else acc) (c + 1) (s lsr 1)
+  in
+  go [] 0 s
+
+let split ~n_colours ~parts =
+  assert (parts > 0 && parts <= n_colours);
+  let per = n_colours / parts in
+  let extra = n_colours mod parts in
+  let rec build part start acc =
+    if part = parts then List.rev acc
+    else begin
+      let size = per + if part < extra then 1 else 0 in
+      let s = of_list (List.init size (fun i -> start + i)) in
+      build (part + 1) (start + size) (s :: acc)
+    end
+  in
+  build 0 0 []
+
+let fraction ~n_colours ~percent =
+  assert (percent > 0 && percent <= 100);
+  let k = Stdlib.max 1 (n_colours * percent / 100) in
+  of_list (List.init k Fun.id)
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (to_list s)))

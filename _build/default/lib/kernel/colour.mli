@@ -1,0 +1,52 @@
+(** Page colours and colour sets.
+
+    A frame's colour is determined by the physical-address bits that
+    select the set of the partitioning cache (§2.3): with page size
+    [P], cache size [S] and associativity [w] there are [S/(wP)]
+    colours, and a frame of colour [c] can only ever occupy the
+    corresponding 1/colours slice of that cache.  On the Haswell the
+    partitioning cache is the private L2 (8 colours), which implicitly
+    partitions the LLC; on the Sabre it is the shared 1 MiB L2
+    (16 colours).
+
+    A colour set is a bitmask over colours; security domains receive
+    disjoint sets. *)
+
+type set = int
+(** Bitmask; bit [c] = colour [c] is in the set. *)
+
+val n_colours : Tp_hw.Platform.t -> int
+
+val colour_of_frame : n_colours:int -> int -> int
+(** Colour of a physical frame number. *)
+
+val all : n_colours:int -> set
+
+val empty : set
+
+val mem : set -> int -> bool
+
+val add : set -> int -> set
+
+val count : set -> int
+
+val inter : set -> set -> set
+
+val union : set -> set -> set
+
+val disjoint : set -> set -> bool
+
+val of_list : int list -> set
+
+val to_list : set -> int list
+
+val split : n_colours:int -> parts:int -> set list
+(** Partition all colours into [parts] near-equal disjoint sets, in
+    ascending colour order (the "50% of available colours" split of
+    §5.2 is [split ~parts:2]). *)
+
+val fraction : n_colours:int -> percent:int -> set
+(** The first [percent]% of colours, at least one (the 75%/50% cache
+    shares of Figure 7). *)
+
+val pp : Format.formatter -> set -> unit

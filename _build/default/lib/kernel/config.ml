@@ -1,0 +1,93 @@
+type t = {
+  colour_user : bool;
+  clone_kernel : bool;
+  flush_l1 : bool;
+  flush_tlb : bool;
+  flush_bp : bool;
+  flush_l2 : bool;
+  flush_llc : bool;
+  disable_prefetcher : bool;
+  pad_cycles : int;
+  partition_irqs : bool;
+  prefetch_shared : bool;
+  close_dram_rows : bool;
+  cat_llc : bool;
+}
+
+let raw =
+  {
+    colour_user = false;
+    clone_kernel = false;
+    flush_l1 = false;
+    flush_tlb = false;
+    flush_bp = false;
+    flush_l2 = false;
+    flush_llc = false;
+    disable_prefetcher = false;
+    pad_cycles = 0;
+    partition_irqs = false;
+    prefetch_shared = false;
+    close_dram_rows = false;
+    cat_llc = false;
+  }
+
+(* Table 4's padding values: 58.8 us (x86), 62.5 us (Arm). *)
+let pad_us p =
+  match p.Tp_hw.Platform.arch with Tp_hw.Platform.X86 -> 58.8 | Tp_hw.Platform.Arm -> 62.5
+
+let protected_ p =
+  {
+    colour_user = true;
+    clone_kernel = true;
+    flush_l1 = true;
+    flush_tlb = true;
+    flush_bp = true;
+    flush_l2 = false;
+    flush_llc = false;
+    disable_prefetcher = false;
+    pad_cycles = Tp_hw.Platform.us_to_cycles p (pad_us p);
+    partition_irqs = true;
+    prefetch_shared = true;
+    close_dram_rows = false;
+    cat_llc = false;
+  }
+
+let full_flush _p =
+  {
+    colour_user = false;
+    clone_kernel = false;
+    flush_l1 = true;
+    flush_tlb = true;
+    flush_bp = true;
+    flush_l2 = true;
+    flush_llc = true;
+    disable_prefetcher = true;
+    pad_cycles = 0;
+    partition_irqs = false;
+    prefetch_shared = false;
+    close_dram_rows = false;
+    cat_llc = false;
+  }
+
+let pp ppf c =
+  let flag name b = if b then Some name else None in
+  let flags =
+    List.filter_map Fun.id
+      [
+        flag "colour" c.colour_user;
+        flag "clone" c.clone_kernel;
+        flag "flush-L1" c.flush_l1;
+        flag "flush-TLB" c.flush_tlb;
+        flag "flush-BP" c.flush_bp;
+        flag "flush-L2" c.flush_l2;
+        flag "flush-LLC" c.flush_llc;
+        flag "no-prefetcher" c.disable_prefetcher;
+        flag "irq-partition" c.partition_irqs;
+        flag "prefetch-shared" c.prefetch_shared;
+        flag "close-dram-rows" c.close_dram_rows;
+        flag "cat-llc" c.cat_llc;
+        (if c.pad_cycles > 0 then Some (Printf.sprintf "pad=%d" c.pad_cycles)
+         else None);
+      ]
+  in
+  Format.fprintf ppf "{%s}" (String.concat " " flags)

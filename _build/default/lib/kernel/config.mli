@@ -1,0 +1,47 @@
+(** Time-protection configuration: which mechanisms are active.
+
+    The evaluation (§5.2) compares three scenarios; each is a value of
+    this record so experiments can also ablate individual mechanisms
+    (e.g. padding off, prefetcher on — the knobs behind Tables 3/4 and
+    the §5.3.2 prefetcher diagnosis). *)
+
+type t = {
+  colour_user : bool;  (** allocate user pools with disjoint colours *)
+  clone_kernel : bool;  (** one cloned kernel image per domain (Req 2) *)
+  flush_l1 : bool;  (** flush L1 I+D on domain switch (Req 1) *)
+  flush_tlb : bool;  (** flush TLBs on domain switch (Req 1) *)
+  flush_bp : bool;  (** flush BTB+BHB on domain switch (Req 1) *)
+  flush_l2 : bool;  (** full-flush scenario: flush private L2 *)
+  flush_llc : bool;  (** full-flush scenario: flush whole hierarchy *)
+  disable_prefetcher : bool;  (** full-flush scenario: MSR prefetcher off *)
+  pad_cycles : int;  (** pad domain switch to this latency; 0 = no pad (Req 4) *)
+  partition_irqs : bool;  (** mask other kernels' IRQs (Req 5) *)
+  prefetch_shared : bool;  (** prefetch residual shared data on switch (Req 3) *)
+  close_dram_rows : bool;
+      (** hypothetical hardware fix: precharge all DRAM banks on the
+          domain switch, closing the row-buffer channel the current
+          contract cannot (ablation; no real ISA offers this) *)
+  cat_llc : bool;
+      (** partition the LLC by ways with Intel CAT instead of (or in
+          addition to) page colouring — the §2.3/CATalyst mechanism.
+          Domains get disjoint class-of-service way masks. *)
+}
+
+val raw : t
+(** No mitigation at all: the unmitigated-channel baseline. *)
+
+val protected_ : Tp_hw.Platform.t -> t
+(** The paper's time-protection implementation: coloured userland,
+    cloned kernels, on-core flush, deterministic shared-data prefetch,
+    IRQ partitioning, and padding set to a measured worst case
+    (58.8 µs on x86, 62.5 µs on Arm — Table 4's pad values). *)
+
+val full_flush : Tp_hw.Platform.t -> t
+(** Maximal architected reset: flush the complete cache hierarchy and
+    disable the prefetcher; no colouring, no cloning.  The expensive
+    comparison point of §5.2/§5.3. *)
+
+val pad_us : Tp_hw.Platform.t -> float
+(** The per-platform default padding latency used by [protected_]. *)
+
+val pp : Format.formatter -> t -> unit

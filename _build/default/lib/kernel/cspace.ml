@@ -1,0 +1,116 @@
+let the_cnode cap =
+  Capability.ensure_valid cap;
+  match cap.Types.target with
+  | Types.Obj_cnode cn -> cn
+  | _ -> raise (Types.Kernel_error Types.Wrong_object_type)
+
+let slot_bytes = 32
+
+let retype_cnode ucap ~radix ?(guard = 0) ?(guard_bits = 0) () =
+  assert (radix > 0 && radix < 20);
+  assert (guard_bits >= 0 && guard >= 0);
+  let bytes = (1 lsl radix) * slot_bytes in
+  let frames_needed = max 1 ((bytes + Tp_hw.Defs.page_size - 1) / Tp_hw.Defs.page_size) in
+  let frames = Retype.take_frames ucap frames_needed in
+  let cn =
+    {
+      Types.cn_id = Types.fresh_id ();
+      cn_radix = radix;
+      cn_guard = guard;
+      cn_guard_bits = guard_bits;
+      cn_slots = Array.make (1 lsl radix) None;
+      cn_frames = frames;
+    }
+  in
+  let u = Retype.the_untyped ucap in
+  u.Types.u_retyped <- Types.Obj_cnode cn :: u.Types.u_retyped;
+  let cap =
+    {
+      Types.cap_id = Types.fresh_id ();
+      target = Types.Obj_cnode cn;
+      rights = Types.full_rights;
+      clone_right = false;
+      parent = Some ucap;
+      children = [];
+      valid = true;
+    }
+  in
+  ucap.Types.children <- cap :: ucap.Types.children;
+  cap
+
+let invalid () = raise (Types.Kernel_error Types.Invalid_address)
+
+let rec resolve cn ~addr ~depth =
+  let consumed = cn.Types.cn_guard_bits + cn.Types.cn_radix in
+  if depth < consumed then invalid ();
+  (* Guard check on the top guard_bits of the remaining address. *)
+  let guard = (addr lsr (depth - cn.Types.cn_guard_bits)) land ((1 lsl cn.Types.cn_guard_bits) - 1) in
+  if guard <> cn.Types.cn_guard then invalid ();
+  let index =
+    (addr lsr (depth - consumed)) land ((1 lsl cn.Types.cn_radix) - 1)
+  in
+  let remaining = depth - consumed in
+  if remaining = 0 then (cn, index)
+  else begin
+    match cn.Types.cn_slots.(index) with
+    | Some { Types.target = Types.Obj_cnode next; valid = true; _ } ->
+        resolve next ~addr ~depth:remaining
+    | Some _ | None -> invalid ()
+  end
+
+let lookup cn ~addr ~depth =
+  let node, i = resolve cn ~addr ~depth in
+  node.Types.cn_slots.(i)
+
+let insert cn ~addr ~depth cap =
+  let node, i = resolve cn ~addr ~depth in
+  match node.Types.cn_slots.(i) with
+  | Some _ -> raise (Types.Kernel_error Types.Slot_occupied)
+  | None -> node.Types.cn_slots.(i) <- Some cap
+
+let slot (cn, i) = cn.Types.cn_slots.(i)
+
+let src_cap (cn, i) =
+  match cn.Types.cn_slots.(i) with
+  | Some c when Capability.is_valid c -> c
+  | Some _ | None -> raise (Types.Kernel_error Types.Invalid_address)
+
+let put_empty (cn, i) cap =
+  match cn.Types.cn_slots.(i) with
+  | Some _ -> raise (Types.Kernel_error Types.Slot_occupied)
+  | None -> cn.Types.cn_slots.(i) <- Some cap
+
+let copy ~src ~dst () =
+  let c = src_cap src in
+  let child = Capability.derive ~clone_right:c.Types.clone_right c in
+  put_empty dst child;
+  child
+
+let mint ~src ~dst ~rights () =
+  let c = src_cap src in
+  let reduce a b =
+    Types.
+      {
+        read = a.read && b.read;
+        write = a.write && b.write;
+        grant = a.grant && b.grant;
+      }
+  in
+  let child =
+    Capability.derive ~rights:(reduce rights c.Types.rights) ~clone_right:false c
+  in
+  put_empty dst child;
+  child
+
+let move ~src ~dst () =
+  let c = src_cap src in
+  put_empty dst c;
+  let cn, i = src in
+  cn.Types.cn_slots.(i) <- None
+
+let delete_slot sys ~core (cn, i) =
+  match cn.Types.cn_slots.(i) with
+  | Some c ->
+      if Capability.is_valid c then Objects.delete sys ~core c;
+      cn.Types.cn_slots.(i) <- None
+  | None -> ()

@@ -1,0 +1,60 @@
+(** CSpace operations: capability storage and guarded addressing.
+
+    seL4 stores capabilities in CNodes — arrays of slots — arranged as
+    a guarded page table.  A capability address is a word resolved
+    MSB-first through the tree: each CNode consumes its guard bits
+    (which must match its configured guard) and then [cn_radix] index
+    bits; interior slots must hold CNode capabilities.  All of seL4's
+    capability transfer is slot-to-slot: copy (same rights), mint
+    (reduced rights, CDT child), move (no CDT change) and delete.
+
+    The model matches the paper's usage: the initial task hands
+    domains their (possibly clone-right-stripped) Kernel_Image
+    capabilities by minting into their CSpaces. *)
+
+val retype_cnode :
+  Types.cap -> radix:int -> ?guard:int -> ?guard_bits:int -> unit -> Types.cap
+(** A CNode with [2^radix] empty slots from an Untyped capability;
+    frames charged are [max 1 (2^radix * 32 / page_size)] (32-byte
+    slots, as in seL4).
+    @raise Types.Kernel_error [Insufficient_untyped | Wrong_object_type] *)
+
+val the_cnode : Types.cap -> Types.cnode
+(** @raise Types.Kernel_error [Wrong_object_type | Invalid_capability] *)
+
+val resolve : Types.cnode -> addr:int -> depth:int -> Types.cnode * int
+(** Resolve a capability address to its final (cnode, slot index).
+    [depth] is the number of significant bits in [addr], consumed
+    MSB-first.  Fails with [Invalid_address] on a guard mismatch, a
+    depth underflow/overflow, or an interior slot that is empty or not
+    a CNode. *)
+
+val lookup : Types.cnode -> addr:int -> depth:int -> Types.cap option
+(** The capability at the address, if any. *)
+
+val insert : Types.cnode -> addr:int -> depth:int -> Types.cap -> unit
+(** Place an existing capability into an empty slot.
+    @raise Types.Kernel_error [Slot_occupied | Invalid_address] *)
+
+val copy :
+  src:Types.cnode * int -> dst:Types.cnode * int -> unit -> Types.cap
+(** Copy the capability in [src] into the empty [dst] slot: a CDT
+    child with the same rights.  Returns the new capability. *)
+
+val mint :
+  src:Types.cnode * int ->
+  dst:Types.cnode * int ->
+  rights:Types.rights ->
+  unit ->
+  Types.cap
+(** Like {!copy} but with (possibly) reduced rights and the clone
+    right always stripped — the §4.1 hand-out pattern. *)
+
+val move : src:Types.cnode * int -> dst:Types.cnode * int -> unit -> unit
+(** Relocate a capability between slots; no CDT change. *)
+
+val delete_slot : System.t -> core:int -> Types.cnode * int -> unit
+(** Delete the capability in the slot ({!Objects.delete} semantics)
+    and empty the slot; a no-op on an empty slot. *)
+
+val slot : Types.cnode * int -> Types.cap option

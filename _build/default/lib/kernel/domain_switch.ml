@@ -1,0 +1,219 @@
+type cost = {
+  total : int;
+  flush : int;
+  pad_wait : int;
+  kernel_switched : bool;
+}
+
+let lock_cost = 30
+
+(* x86 "manual" L1 flush (§4.3): the kernel loads one word per line of
+   an L1-D-sized buffer, then follows a chain of jumps through an
+   L1-I-sized buffer (each chained jump is BTB-mispredicted, which is
+   why the paper's manual flush is so much more expensive than a real
+   flush instruction would be).  The buffers are per-image, so their
+   contents are the same deterministic lines every time. *)
+let manual_l1_flush sys ~core ki =
+  let p = System.platform sys in
+  let line = p.Tp_hw.Platform.line in
+  let m = System.machine sys in
+  let asid = System.current_asid sys ~core in
+  let global = System.kernel_mappings_global sys in
+  let lay = Layout.image_layout p in
+  let d_size = p.Tp_hw.Platform.l1d.Tp_hw.Cache.size in
+  let i_size = p.Tp_hw.Platform.l1i.Tp_hw.Cache.size in
+  let start = System.now sys ~core in
+  (* D side: one load per line. *)
+  for l = 0 to (d_size / line) - 1 do
+    let off = lay.Layout.flushbuf_off + (l * line) in
+    let pa = System.image_pa ki ~off in
+    ignore
+      (Tp_hw.Machine.access m ~core ~asid ~global
+         ~vaddr:(Layout.kernel_base_vaddr + off) ~paddr:pa ~kind:Tp_hw.Defs.Read ())
+  done;
+  (* I side: chained jumps, one per line; also scrubs the BTB. *)
+  for l = 0 to (i_size / line) - 1 do
+    let off = lay.Layout.flushbuf_off + d_size + (l * line) in
+    let pa = System.image_pa ki ~off in
+    let va = Layout.kernel_base_vaddr + off in
+    ignore (Tp_hw.Machine.jump m ~core ~asid ~vaddr:va ~paddr:pa ~target:(va + line))
+  done;
+  System.now sys ~core - start
+
+let l1_flush_cost sys ~core =
+  let p = System.platform sys in
+  let m = System.machine sys in
+  if p.Tp_hw.Platform.has_l1_flush_instr then Tp_hw.Machine.flush_l1_hw m ~core
+  else begin
+    (* The manual flush displaces rather than invalidates: after the
+       loop the L1 holds exactly the flush buffer — deterministic
+       content, which is all the defence needs. *)
+    let ki = (System.per_core sys core).System.cur_kernel in
+    manual_l1_flush sys ~core ki
+  end
+
+let full_flush_cost sys ~core =
+  let m = System.machine sys in
+  let c1 = Tp_hw.Machine.flush_l1_hw m ~core in
+  let c2 = Tp_hw.Machine.flush_l2_private m ~core in
+  let c3 = Tp_hw.Machine.flush_llc m ~core in
+  let c4 = Tp_hw.Machine.flush_tlbs m ~core in
+  let c5 = Tp_hw.Machine.flush_branch_predictor m ~core in
+  c1 + c2 + c3 + c4 + c5
+
+let do_flushes sys ~core ki =
+  let cfg = System.cfg sys in
+  let m = System.machine sys in
+  let p = System.platform sys in
+  let acc = ref 0 in
+  if cfg.Config.flush_llc then begin
+    (* wbinvd covers the whole hierarchy in one go. *)
+    acc := !acc + Tp_hw.Machine.flush_l1_hw m ~core;
+    acc := !acc + Tp_hw.Machine.flush_l2_private m ~core;
+    acc := !acc + Tp_hw.Machine.flush_llc m ~core
+  end
+  else if cfg.Config.flush_l1 then begin
+    if p.Tp_hw.Platform.has_l1_flush_instr then
+      acc := !acc + Tp_hw.Machine.flush_l1_hw m ~core
+    else acc := !acc + manual_l1_flush sys ~core ki;
+    if cfg.Config.flush_l2 then acc := !acc + Tp_hw.Machine.flush_l2_private m ~core
+  end;
+  if cfg.Config.flush_tlb then acc := !acc + Tp_hw.Machine.flush_tlbs m ~core;
+  if cfg.Config.flush_bp then
+    acc := !acc + Tp_hw.Machine.flush_branch_predictor m ~core;
+  if cfg.Config.close_dram_rows then begin
+    (* Hypothetical hardware support: precharge all banks so row-buffer
+       state cannot cross the switch (no current ISA offers this). *)
+    Tp_hw.Dram.close_all (Tp_hw.Machine.dram m);
+    acc := !acc + 100;
+    Tp_hw.Machine.add_cycles m ~core 100
+  end;
+  !acc
+
+let prefetch_shared sys ~core =
+  List.iter
+    (fun r -> ignore (System.touch_shared sys ~core r ~kind:Tp_hw.Defs.Read ()))
+    Layout.all_shared_regions
+
+let switch sys ~core ~to_ =
+  let cfg = System.cfg sys in
+  let m = System.machine sys in
+  let pc = System.per_core sys core in
+  let from_kernel = pc.System.cur_kernel in
+  let to_kernel =
+    match to_.Types.t_kernel with Some k -> k | None -> from_kernel
+  in
+  let kernel_switched = to_kernel.Types.ki_id <> from_kernel.Types.ki_id in
+  let domain_crossed =
+    match pc.System.cur_thread with
+    | Some cur -> cur.Types.t_domain <> to_.Types.t_domain
+    | None -> true
+  in
+  (* Protection steps run on a kernel switch; with a single shared
+     kernel (full-flush scenario) they run on domain crossings. *)
+  let protect = kernel_switched || (domain_crossed && not cfg.Config.clone_kernel) in
+  let t0 = System.now sys ~core in
+  pc.System.last_tick_start <- t0;
+  (* 1. acquire the kernel lock *)
+  ignore (System.touch_shared sys ~core Layout.Big_lock ~kind:Tp_hw.Defs.Write ());
+  Tp_hw.Machine.add_cycles m ~core lock_cost;
+  (* 2. process the timer tick normally *)
+  ignore
+    (System.touch_image sys ~core from_kernel ~region:System.Text
+       ~off:Layout.handler_tick.Layout.t_off ~len:Layout.handler_tick.Layout.t_len
+       ~kind:Tp_hw.Defs.Fetch);
+  ignore (System.touch_shared sys ~core Layout.Cur_irq ~kind:Tp_hw.Defs.Write ());
+  ignore
+    (System.touch_shared sys ~core Layout.Sched_queues ~off:(to_.Types.t_prio * 16)
+       ~len:16 ~kind:Tp_hw.Defs.Read ());
+  ignore (System.touch_shared sys ~core Layout.Sched_bitmap ~kind:Tp_hw.Defs.Read ());
+  ignore (System.touch_shared sys ~core Layout.Cur_decision ~kind:Tp_hw.Defs.Write ());
+  if protect then begin
+    (* 3. mask interrupts (and resolve the x86 mask race by acking
+       anything that already fired, §4.3). *)
+    ignore
+      (System.touch_shared sys ~core Layout.Irq_tables ~len:256
+         ~kind:Tp_hw.Defs.Write ());
+    if cfg.Config.partition_irqs then
+      Irq.drop_masked_race (System.irq sys) ~core ~now:(System.now sys ~core)
+  end;
+  if kernel_switched then begin
+    (* 4. switch the kernel stack (copy the live part across). *)
+    let p = System.platform sys in
+    let lay = Layout.image_layout p in
+    let live = min 1024 lay.Layout.stack_size in
+    ignore
+      (System.touch_image sys ~core from_kernel ~region:System.Stack ~off:0
+         ~len:live ~kind:Tp_hw.Defs.Read);
+    ignore
+      (System.touch_image sys ~core to_kernel ~region:System.Stack ~off:0 ~len:live
+         ~kind:Tp_hw.Defs.Write)
+  end;
+  (* 5. switch thread context (implicitly the kernel image: the
+     page-directory pointer changes with the address space). *)
+  (match pc.System.cur_thread with
+  | Some cur ->
+      if not cur.Types.t_is_idle then begin
+        cur.Types.t_state <- Types.Ts_ready;
+        ignore
+          (System.touch_shared sys ~core Layout.Sched_queues
+             ~off:(cur.Types.t_prio * 16) ~len:16 ~kind:Tp_hw.Defs.Write ())
+      end
+  | None -> ());
+  (* Touch the destination TCB (it holds the Kernel_Image reference the
+     kernel compares against itself to detect the stack switch). *)
+  (match to_.Types.t_frames with
+  | f :: _ ->
+      let pa = Phys.frame_addr f in
+      let asid = System.current_asid sys ~core in
+      let global = System.kernel_mappings_global sys in
+      for l = 0 to 3 do
+        let a = pa + (l * (System.platform sys).Tp_hw.Platform.line) in
+        ignore
+          (Tp_hw.Machine.access m ~core ~asid ~global ~vaddr:a ~paddr:a
+             ~kind:Tp_hw.Defs.Read ())
+      done
+  | [] -> ());
+  ignore
+    (System.touch_shared sys ~core Layout.Cur_pointers ~kind:Tp_hw.Defs.Write ());
+  from_kernel.Types.ki_running_on.(core) <- false;
+  to_kernel.Types.ki_running_on.(core) <- true;
+  pc.System.cur_thread <- Some to_;
+  pc.System.cur_kernel <- to_kernel;
+  to_.Types.t_state <- Types.Ts_running;
+  (* 6. release the kernel lock *)
+  ignore (System.touch_shared sys ~core Layout.Big_lock ~kind:Tp_hw.Defs.Write ());
+  Tp_hw.Machine.add_cycles m ~core lock_cost;
+  (* 7. unmask the interrupts of the new kernel *)
+  if protect then
+    ignore
+      (System.touch_shared sys ~core Layout.Irq_tables ~len:256
+         ~kind:Tp_hw.Defs.Write ());
+  (* 8. flush on-core microarchitectural state *)
+  let flush = if protect then do_flushes sys ~core to_kernel else 0 in
+  (* 9. pre-fetch shared kernel data (Requirement 3) *)
+  if protect && cfg.Config.prefetch_shared then prefetch_shared sys ~core;
+  (* 10. poll the cycle counter until the configured latency has
+     elapsed since the preemption interrupt; the pad is the *outgoing*
+     kernel's attribute. *)
+  let pad_wait =
+    if protect && from_kernel.Types.ki_pad_cycles > 0 then begin
+      let target = t0 + from_kernel.Types.ki_pad_cycles in
+      let nw = System.now sys ~core in
+      if nw < target then begin
+        Tp_hw.Machine.add_cycles m ~core (target - nw);
+        target - nw
+      end
+      else 0
+    end
+    else 0
+  in
+  (* 11. reprogram the timer interrupt *)
+  ignore
+    (System.touch_shared sys ~core Layout.Irq_tables ~len:64 ~kind:Tp_hw.Defs.Write ());
+  Tp_hw.Machine.add_cycles m ~core 60;
+  (* 12. restore the user stack pointer and return *)
+  Tp_hw.Machine.add_cycles m ~core 40;
+  let total = System.now sys ~core - t0 in
+  if kernel_switched then Klog.switch ~core ~from_kernel ~to_kernel ~total;
+  { total; flush; pad_wait; kernel_switched }

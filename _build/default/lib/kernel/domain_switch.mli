@@ -1,0 +1,44 @@
+(** The preemption-tick / domain-switch path (§4.3).
+
+    The steps, in the paper's order (bold = kernel-switch only):
+
+    + acquire the kernel lock
+    + process the timer tick normally
+    + {b mask interrupts}
+    + {b switch the kernel stack} (after copying it)
+    + switch thread context (implicitly switching the kernel image)
+    + release the kernel lock
+    + {b unmask interrupts of the new kernel}
+    + {b flush on-core microarchitectural state}
+    + {b pre-fetch shared kernel data}
+    + {b poll the cycle counter for the configured latency (padding)}
+    + reprogram the timer interrupt
+    + restore the user stack pointer and return
+
+    A "kernel switch" happens when the destination thread's
+    [Kernel_Image] differs from the current one; in the (uncloned)
+    full-flush configuration the flush steps run on any {e domain}
+    crossing instead.  Padding is taken from the {e outgoing} kernel's
+    configured pad. *)
+
+type cost = {
+  total : int;  (** cycles from tick arrival to user return *)
+  flush : int;  (** cycles spent in flush operations *)
+  pad_wait : int;  (** cycles spent polling for the pad target *)
+  kernel_switched : bool;
+}
+
+val switch : System.t -> core:int -> to_:Types.tcb -> cost
+(** Perform the tick: switches [per_core] state to [to_] (and its
+    kernel), running whatever protection steps the configuration and
+    the domain crossing require. *)
+
+val l1_flush_cost : System.t -> core:int -> int
+(** Perform just the platform's L1 flush operation (hardware flush on
+    Arm, the "manual" load/jump flush on x86) and return its cost —
+    the Table 2 measurement primitive.  Uses the current kernel's
+    flush buffers. *)
+
+val full_flush_cost : System.t -> core:int -> int
+(** Perform the maximal architected flush (whole hierarchy + TLB + BP)
+    and return its cost (Table 2, "full flush" row). *)

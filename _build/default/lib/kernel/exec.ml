@@ -1,0 +1,173 @@
+type body = Uctx.t -> unit
+
+(* Bodies are user-level code, not kernel state, so they live beside
+   the TCBs rather than inside them. *)
+let bodies : (int, body) Hashtbl.t = Hashtbl.create 64
+
+let set_body tcb body = Hashtbl.replace bodies tcb.Types.t_id body
+
+let make_runnable sys tcb =
+  tcb.Types.t_state <- Types.Ts_ready;
+  Sched.enqueue (System.sched sys) ~core:tcb.Types.t_core tcb
+
+let bind_sched_context tcb sc = tcb.Types.t_sc <- Some sc
+
+let default_slice_us = 10_000.0 (* 10 ms *)
+
+(* MCS budget accounting (scheduling contexts, Lyons et al. 2018):
+   a depleted thread stays off the ready queue until its replenishment
+   time; the driver re-admits it at slice boundaries. *)
+let replenish_ready sys ~core =
+  let now = System.now sys ~core in
+  List.iter
+    (fun tcb ->
+      match tcb.Types.t_sc with
+      | Some sc
+        when tcb.Types.t_core = core
+             && tcb.Types.t_state = Types.Ts_ready
+             && sc.Types.sc_remaining <= 0
+             && sc.Types.sc_replenish_at <= now
+             && not (Sched.is_queued (System.sched sys) ~core tcb) ->
+          sc.Types.sc_remaining <- sc.Types.sc_budget;
+          Sched.enqueue (System.sched sys) ~core tcb
+      | Some _ | None -> ())
+    (System.all_tcbs sys)
+
+(* Effective slice for a thread: its scheduling context may grant less
+   than the full tick. *)
+let effective_slice tcb ~slice_cycles =
+  match tcb.Types.t_sc with
+  | Some sc -> Stdlib.max 1 (Stdlib.min slice_cycles sc.Types.sc_remaining)
+  | None -> slice_cycles
+
+(* Charge the thread's scheduling context for its runtime; returns
+   whether the thread may be requeued now. *)
+let charge_budget tcb ~ran ~now =
+  match tcb.Types.t_sc with
+  | None -> true
+  | Some sc ->
+      sc.Types.sc_remaining <- sc.Types.sc_remaining - ran;
+      if sc.Types.sc_remaining <= 0 then begin
+        sc.Types.sc_replenish_at <- now - ran + sc.Types.sc_period;
+        false
+      end
+      else true
+
+let pick_next sys ~core =
+  let sched = System.sched sys in
+  match Sched.dequeue_highest sched ~core with
+  | Some tcb -> tcb
+  | None -> begin
+      (* No ready user thread: the current kernel's idle thread. *)
+      let pc = System.per_core sys core in
+      match pc.System.cur_kernel.Types.ki_idle with
+      | Some idle -> idle
+      | None -> begin
+          match (System.initial_kernel sys).Types.ki_idle with
+          | Some idle -> idle
+          | None -> assert false
+        end
+    end
+
+let one_slice sys ~core ~slice_cycles =
+  replenish_ready sys ~core;
+  let pc = System.per_core sys core in
+  let next = pick_next sys ~core in
+  ignore (Domain_switch.switch sys ~core ~to_:next);
+  let run_start = System.now sys ~core in
+  let slice_end = run_start + effective_slice next ~slice_cycles in
+  pc.System.slice_end <- slice_end;
+  let ctx = Uctx.make sys ~core next ~slice_end in
+  (try
+     (match Hashtbl.find_opt bodies next.Types.t_id with
+     | Some body -> body ctx
+     | None -> ());
+     (* Early return: idle out the remainder of the slice. *)
+     Uctx.idle_rest ctx
+   with Uctx.Preempted -> ());
+  (* Preemption tick arrives; charge the budget and requeue the thread
+     for its next turn unless its scheduling context is depleted. *)
+  let now = System.now sys ~core in
+  let may_requeue = charge_budget next ~ran:(now - run_start) ~now in
+  if (not next.Types.t_is_idle) && next.Types.t_state = Types.Ts_running then begin
+    next.Types.t_state <- Types.Ts_ready;
+    if may_requeue then Sched.enqueue (System.sched sys) ~core next
+  end
+
+let resolve_slice sys slice_cycles =
+  match slice_cycles with
+  | Some s -> s
+  | None -> Tp_hw.Platform.us_to_cycles (System.platform sys) default_slice_us
+
+let run sys ~core ?slice_cycles ~until () =
+  let slice_cycles = resolve_slice sys slice_cycles in
+  while System.now sys ~core < until do
+    one_slice sys ~core ~slice_cycles
+  done
+
+let run_slices sys ~core ?slice_cycles ~slices () =
+  let slice_cycles = resolve_slice sys slice_cycles in
+  for _ = 1 to slices do
+    one_slice sys ~core ~slice_cycles
+  done
+
+let run_concurrent sys ~cores ?slice_cycles ~rounds () =
+  let slice_cycles = resolve_slice sys slice_cycles in
+  for _ = 1 to rounds do
+    List.iter (fun core -> one_slice sys ~core ~slice_cycles) cores
+  done
+
+(* Run one slice of a specific thread (or the current kernel's idle
+   thread when [thread] is [None]) on a core. *)
+let slice_of_thread sys ~core ~slice_cycles thread =
+  let pc = System.per_core sys core in
+  let next =
+    match thread with
+    | Some tcb -> tcb
+    | None -> begin
+        match pc.System.cur_kernel.Types.ki_idle with
+        | Some idle -> idle
+        | None -> Option.get (System.initial_kernel sys).Types.ki_idle
+      end
+  in
+  ignore (Domain_switch.switch sys ~core ~to_:next);
+  let slice_end = System.now sys ~core + slice_cycles in
+  pc.System.slice_end <- slice_end;
+  let ctx = Uctx.make sys ~core next ~slice_end in
+  (try
+     (match Hashtbl.find_opt bodies next.Types.t_id with
+     | Some body -> body ctx
+     | None -> ());
+     Uctx.idle_rest ctx
+   with Uctx.Preempted -> ());
+  if (not next.Types.t_is_idle) && next.Types.t_state = Types.Ts_running then begin
+    next.Types.t_state <- Types.Ts_ready;
+    Sched.enqueue (System.sched sys) ~core next
+  end
+
+let run_coscheduled sys ~cores ?slice_cycles ~rounds () =
+  let slice_cycles = resolve_slice sys slice_cycles in
+  let sched = System.sched sys in
+  let rotation = ref [] in
+  for _ = 1 to rounds do
+    (* Refresh the domain rotation from whatever is currently ready. *)
+    (if !rotation = [] then
+       let doms =
+         List.sort_uniq compare
+           (List.concat_map (fun core -> Sched.domains_present sched ~core) cores)
+       in
+       rotation := doms);
+    match !rotation with
+    | [] ->
+        (* Nothing ready anywhere: idle a slice on every core. *)
+        List.iter
+          (fun core -> slice_of_thread sys ~core ~slice_cycles None)
+          cores
+    | dom :: rest ->
+        rotation := rest;
+        List.iter
+          (fun core ->
+            let th = Sched.dequeue_domain sched ~core ~domain:dom in
+            slice_of_thread sys ~core ~slice_cycles th)
+          cores
+  done

@@ -1,0 +1,31 @@
+(** Endpoint IPC: rendezvous semantics plus the fastpath cost model.
+
+    The Table 5 microbenchmark measures one-way cross-address-space
+    message transfer.  {!one_way} executes the fastpath's memory
+    traffic: trap, fastpath text, endpoint and TCB lines, and the
+    address-space switch.  Under a colour-ready kernel the kernel
+    window is mapped per-ASID instead of global, so on a low-
+    associativity TLB (the Sabre's 2-way L2 TLB, 1-way L1 TLBs) the
+    duplicated kernel entries conflict-miss on every switch — the
+    paper's 14% Arm overhead arises from exactly this, and emerges here
+    from the TLB model rather than from a constant. *)
+
+val one_way :
+  System.t -> core:int -> ep:Types.endpoint -> from:Types.tcb -> to_:Types.tcb ->
+  int
+(** One fastpath message transfer from [from] to [to_] (the receiver
+    must be waiting); returns its cost in cycles.  Crossing kernel
+    images performs the stack hand-over but none of the flush/pad
+    machinery (the paper's artificial inter-colour case, which defers
+    those to the partition switch). *)
+
+(** {1 Rendezvous semantics (for blocking tests)} *)
+
+val send : System.t -> core:int -> ep:Types.endpoint -> Types.tcb -> unit
+(** If a receiver waits, hand over and make it ready; otherwise block
+    the sender on the endpoint's send queue. *)
+
+val recv : System.t -> core:int -> ep:Types.endpoint -> Types.tcb -> bool
+(** If a sender waits, complete the transfer and return [true];
+    otherwise block the caller on the receive queue and return
+    [false]. *)

@@ -1,0 +1,21 @@
+let src = Logs.Src.create "tp.kernel" ~doc:"Time-protection kernel events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let kid ki =
+  Printf.sprintf "#%d%s" ki.Types.ki_id
+    (if ki.Types.ki_is_initial then "(initial)" else "")
+
+let clone ki ~cost_cycles =
+  Log.info (fun m ->
+      m "kernel_clone -> image %s (asid %d, %d cycles)" (kid ki)
+        ki.Types.ki_asid cost_cycles)
+
+let destroy ki = Log.info (fun m -> m "kernel_destroy %s" (kid ki))
+
+let set_int ki ~irq = Log.info (fun m -> m "kernel_set_int %s irq=%d" (kid ki) irq)
+
+let switch ~core ~from_kernel ~to_kernel ~total =
+  Log.debug (fun m ->
+      m "core %d: switch %s -> %s (%d cycles)" core (kid from_kernel)
+        (kid to_kernel) total)

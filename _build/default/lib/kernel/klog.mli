@@ -1,0 +1,18 @@
+(** Kernel event logging.
+
+    A [Logs] source (["tp.kernel"]) for the security-relevant kernel
+    events: clone, destruction, IRQ association, domain switches.
+    Silent unless the embedding application installs a reporter and
+    raises the level (e.g. [tpsim -v]); the experiments never enable
+    it, so logging cannot perturb measurements. *)
+
+val src : Logs.src
+
+val clone : Types.kimage -> cost_cycles:int -> unit
+val destroy : Types.kimage -> unit
+val set_int : Types.kimage -> irq:int -> unit
+
+val switch :
+  core:int -> from_kernel:Types.kimage -> to_kernel:Types.kimage ->
+  total:int -> unit
+(** Logged at debug level (one per tick — voluminous). *)

@@ -1,0 +1,131 @@
+let kernel_base_vaddr = 0x4000_0000
+
+type image_layout = {
+  text_off : int;
+  text_size : int;
+  stack_off : int;
+  stack_size : int;
+  data_off : int;
+  data_size : int;
+  flushbuf_off : int;
+  flushbuf_size : int;
+  image_bytes : int;
+}
+
+let page = Tp_hw.Defs.page_size
+let round_page n = (n + page - 1) / page * page
+
+let image_layout p =
+  let open Tp_hw.Platform in
+  let text_size = round_page p.kernel_text in
+  let stack_size = round_page p.kernel_stack in
+  let data_size = round_page p.kernel_replicated in
+  let flushbuf_size =
+    if p.has_l1_flush_instr then 0 else round_page (p.l1d.Tp_hw.Cache.size + p.l1i.Tp_hw.Cache.size)
+  in
+  let text_off = 0 in
+  let stack_off = text_off + text_size in
+  let data_off = stack_off + stack_size in
+  let flushbuf_off = data_off + data_size in
+  {
+    text_off;
+    text_size;
+    stack_off;
+    stack_size;
+    data_off;
+    data_size;
+    flushbuf_off;
+    flushbuf_size;
+    image_bytes = flushbuf_off + flushbuf_size;
+  }
+
+let image_frames p = (image_layout p).image_bytes / page
+
+type shared_region =
+  | Sched_queues
+  | Sched_bitmap
+  | Cur_decision
+  | Irq_tables
+  | Cur_irq
+  | Asid_table
+  | Ioport_table
+  | Cur_pointers
+  | Big_lock
+  | Ipi_barrier
+
+(* Offsets packed in declaration order, 64-byte aligned so regions do
+   not share cache lines (the audit of §4.1 checks exactly that kind of
+   co-residency). Sizes follow the paper's per-core x64 numbers. *)
+let region_layout =
+  let align64 n = (n + 63) / 64 * 64 in
+  let add (off, acc) (r, size) =
+    let off = align64 off in
+    (off + size, (r, (off, size)) :: acc)
+  in
+  let _, l =
+    List.fold_left add (0, [])
+      [
+        (Sched_queues, 4096);
+        (Sched_bitmap, 32);
+        (Cur_decision, 8);
+        (Irq_tables, 2252);
+        (Cur_irq, 8);
+        (Asid_table, 1126);
+        (Ioport_table, 2048);
+        (Cur_pointers, 40);
+        (Big_lock, 8);
+        (Ipi_barrier, 8);
+      ]
+  in
+  l
+
+let shared_region_off r = fst (List.assoc r region_layout)
+let shared_region_size r = snd (List.assoc r region_layout)
+
+let shared_bytes =
+  List.fold_left (fun acc (_, (off, size)) -> Stdlib.max acc (off + size)) 0
+    region_layout
+
+let shared_frames = round_page shared_bytes / page
+
+let all_shared_regions =
+  [
+    Sched_queues;
+    Sched_bitmap;
+    Cur_decision;
+    Irq_tables;
+    Cur_irq;
+    Asid_table;
+    Ioport_table;
+    Cur_pointers;
+    Big_lock;
+    Ipi_barrier;
+  ]
+
+type text_range = { t_off : int; t_len : int }
+
+(* Handlers on distinct pages => distinct colours (mod #colours), and
+   at distinct in-page offsets so that handlers whose pages share a
+   colour (and therefore alias in the physically-indexed caches) still
+   have disjoint set footprints — as a linker's continuous code layout
+   gives naturally.  All ranges fit within the smallest modelled
+   kernel text (96 KiB = 0x18000 on the Sabre). *)
+let entry_stub = { t_off = 0x0000; t_len = 0x400 }
+let handler_signal = { t_off = 0x4000; t_len = 0x800 }
+let handler_set_priority = { t_off = 0x8800; t_len = 0x800 }
+let handler_poll = { t_off = 0xC800; t_len = 0x400 }
+let handler_yield = { t_off = 0x10400; t_len = 0x400 }
+let handler_ipc = { t_off = 0x12400; t_len = 0x800 }
+let handler_tick = { t_off = 0x14C00; t_len = 0x600 }
+let handler_irq = { t_off = 0x16200; t_len = 0x400 }
+let handler_clone = { t_off = 0x17000; t_len = 0x800 }
+
+let lines ~line ~base_vaddr ~base_paddr ~off ~len =
+  assert (len > 0);
+  let first = (off / line) * line in
+  let last = (off + len - 1) / line * line in
+  let rec go o acc =
+    if o > last then List.rev acc
+    else go (o + line) ((base_vaddr + o, base_paddr + o) :: acc)
+  in
+  go first []

@@ -1,0 +1,24 @@
+(** Capability deletion and revocation with object destruction.
+
+    Deleting the {e owning} capability of an object (the one minted at
+    retype time) destroys the object and returns its frames to the
+    parent Untyped; deleting a derived copy only invalidates that copy.
+    Revocation deletes all CDT descendants of a capability — so
+    revoking an Untyped's capability reclaims everything carved from
+    it, and revoking a Kernel_Image capability destroys all kernels
+    cloned from it (§4.1). *)
+
+val delete : System.t -> core:int -> Types.cap -> unit
+(** Invalidate the capability; destroy the object if this was the
+    owning capability.  Destroying a [Kernel_Image] follows the full
+    §4.4 sequence via {!Clone.destroy}; destroying a [Kernel_Memory]
+    that has an image bound to it destroys that kernel first (§4.4:
+    "Destroying active Kernel_Memory also invalidates the kernel"). *)
+
+val revoke : System.t -> core:int -> Types.cap -> unit
+(** Delete all CDT descendants (leaves first); the capability itself
+    stays valid. *)
+
+val is_owner : Types.cap -> bool
+(** Whether this capability owns its object (its parent refers to a
+    different object, i.e. it was minted at retype/clone time). *)

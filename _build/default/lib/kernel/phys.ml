@@ -1,0 +1,105 @@
+type t = {
+  n_frames : int;
+  n_colours : int;
+  free : bool array;
+  mutable n_free : int;
+  mutable boot_reserved : bool;
+  (* Next-candidate hint per colour keeps allocation O(1) amortised. *)
+  hint : int array;
+}
+
+let create p =
+  let n_frames = p.Tp_hw.Platform.mem_bytes / Tp_hw.Defs.page_size in
+  let n_colours = Colour.n_colours p in
+  {
+    n_frames;
+    n_colours;
+    free = Array.make n_frames true;
+    n_free = n_frames;
+    boot_reserved = false;
+    hint = Array.make n_colours 0;
+  }
+
+let n_frames t = t.n_frames
+let n_colours t = t.n_colours
+let colour_of t f = Colour.colour_of_frame ~n_colours:t.n_colours f
+
+let reserve_boot t ~frames =
+  assert (not t.boot_reserved);
+  assert (frames <= t.n_frames);
+  for f = 0 to frames - 1 do
+    assert t.free.(f);
+    t.free.(f) <- false
+  done;
+  t.n_free <- t.n_free - frames;
+  t.boot_reserved <- true;
+  0
+
+let alloc t ?(colours = -1) () =
+  (* colours = -1 means "any colour" (all bits set). *)
+  let want c = colours land (1 lsl c) <> 0 in
+  let rec scan f =
+    if f >= t.n_frames then None
+    else if t.free.(f) && want (colour_of t f) then begin
+      t.free.(f) <- false;
+      t.n_free <- t.n_free - 1;
+      Some f
+    end
+    else scan (f + 1)
+  in
+  (* Start from the lowest colour hint among wanted colours. *)
+  let start =
+    let best = ref t.n_frames in
+    for c = 0 to t.n_colours - 1 do
+      if want c && t.hint.(c) < !best then best := t.hint.(c)
+    done;
+    if !best = t.n_frames then 0 else !best
+  in
+  match scan start with
+  | Some f ->
+      let c = colour_of t f in
+      t.hint.(c) <- f + 1;
+      Some f
+  | None -> (
+      match scan 0 with
+      | Some f ->
+          let c = colour_of t f in
+          t.hint.(c) <- f + 1;
+          Some f
+      | None -> None)
+
+let alloc_many t ?(colours = -1) n =
+  let rec go acc k =
+    if k = 0 then Some (List.rev acc)
+    else begin
+      match alloc t ~colours () with
+      | Some f -> go (f :: acc) (k - 1)
+      | None ->
+          List.iter
+            (fun f ->
+              t.free.(f) <- true;
+              t.n_free <- t.n_free + 1)
+            acc;
+          None
+    end
+  in
+  go [] n
+
+let free t f =
+  assert (f >= 0 && f < t.n_frames);
+  assert (not t.free.(f));
+  t.free.(f) <- true;
+  t.n_free <- t.n_free + 1;
+  let c = colour_of t f in
+  if f < t.hint.(c) then t.hint.(c) <- f
+
+let free_frames t = t.n_free
+
+let free_frames_of_colour t c =
+  let count = ref 0 in
+  for f = 0 to t.n_frames - 1 do
+    if t.free.(f) && colour_of t f = c then incr count
+  done;
+  !count
+
+let frame_addr f = f * Tp_hw.Defs.page_size

@@ -1,0 +1,76 @@
+let n_priorities = 256
+
+type t = { queues : Types.tcb Queue.t array array (* core -> prio -> q *) }
+
+let create ~cores =
+  { queues = Array.init cores (fun _ -> Array.init n_priorities (fun _ -> Queue.create ())) }
+
+let valid_prio p = p >= 0 && p < n_priorities
+
+let enqueue t ~core tcb =
+  assert (valid_prio tcb.Types.t_prio);
+  Queue.push tcb t.queues.(core).(tcb.Types.t_prio)
+
+let find_highest t ~core =
+  let qs = t.queues.(core) in
+  let rec go p =
+    if p < 0 then None
+    else if not (Queue.is_empty qs.(p)) then Some p
+    else go (p - 1)
+  in
+  go (n_priorities - 1)
+
+let dequeue_highest t ~core =
+  match find_highest t ~core with
+  | None -> None
+  | Some p -> Some (Queue.pop t.queues.(core).(p))
+
+let peek_highest t ~core =
+  match find_highest t ~core with
+  | None -> None
+  | Some p -> Some (Queue.peek t.queues.(core).(p))
+
+let dequeue_domain t ~core ~domain =
+  let qs = t.queues.(core) in
+  let rec go p =
+    if p < 0 then None
+    else begin
+      let q = qs.(p) in
+      let found = ref None in
+      let keep = Queue.create () in
+      Queue.iter
+        (fun th ->
+          if !found = None && th.Types.t_domain = domain then found := Some th
+          else Queue.push th keep)
+        q;
+      match !found with
+      | Some th ->
+          Queue.clear q;
+          Queue.transfer keep q;
+          Some th
+      | None -> go (p - 1)
+    end
+  in
+  go (n_priorities - 1)
+
+let domains_present t ~core =
+  let qs = t.queues.(core) in
+  let doms = Hashtbl.create 8 in
+  Array.iter
+    (fun q -> Queue.iter (fun th -> Hashtbl.replace doms th.Types.t_domain ()) q)
+    qs;
+  List.sort compare (Hashtbl.fold (fun d () acc -> d :: acc) doms [])
+
+let remove t ~core tcb =
+  let q = t.queues.(core).(tcb.Types.t_prio) in
+  let keep = Queue.create () in
+  Queue.iter (fun th -> if th.Types.t_id <> tcb.Types.t_id then Queue.push th keep) q;
+  Queue.clear q;
+  Queue.transfer keep q
+
+let is_queued t ~core tcb =
+  let q = t.queues.(core).(tcb.Types.t_prio) in
+  Queue.fold (fun acc th -> acc || th.Types.t_id = tcb.Types.t_id) false q
+
+let queued_count t ~core =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues.(core)

@@ -1,0 +1,40 @@
+(** Priority scheduler state (pure data structure).
+
+    seL4's scheduler: an array of per-priority FIFO ready queues plus a
+    bitmap for constant-time highest-priority lookup, kept per core.
+    This module is purely functional bookkeeping — the {e memory
+    behaviour} of the scheduler (its queue heads and bitmap live in the
+    residual shared data region and are touched on every scheduling
+    event) is performed by the callers via {!System.touch_shared},
+    keeping data structure and timing model separate. *)
+
+val n_priorities : int
+(** 256, as in seL4. *)
+
+type t
+
+val create : cores:int -> t
+
+val enqueue : t -> core:int -> Types.tcb -> unit
+(** Append to the tail of the thread's priority queue.  The thread
+    must not already be queued. *)
+
+val dequeue_highest : t -> core:int -> Types.tcb option
+(** Remove and return the head of the highest non-empty priority
+    queue. *)
+
+val dequeue_domain : t -> core:int -> domain:int -> Types.tcb option
+(** Remove and return the highest-priority ready thread belonging to
+    the given security domain (gang scheduling support). *)
+
+val domains_present : t -> core:int -> int list
+(** Distinct domain tags of queued threads, ascending. *)
+
+val peek_highest : t -> core:int -> Types.tcb option
+
+val remove : t -> core:int -> Types.tcb -> unit
+(** Remove the thread wherever it is queued (no-op if absent). *)
+
+val is_queued : t -> core:int -> Types.tcb -> bool
+
+val queued_count : t -> core:int -> int

@@ -1,0 +1,33 @@
+(** System-call execution with faithful kernel memory footprints.
+
+    Each syscall traps into the {e current} kernel image and touches:
+    the entry/exit stub and the handler's text range (image text), the
+    kernel stack, per-handler replicated globals (image data), the
+    §4.1 shared regions the real code path would touch, and the frames
+    of the dynamic objects it manipulates.  The Figure 3 covert channel
+    is exactly these footprints observed through the LLC; cloning moves
+    the text/data/stack part into the domain's own colours.
+
+    The three sender syscalls of §5.3.1 are [Signal], [Set_priority]
+    and [Poll] (plus idling), so those paths are modelled in the most
+    detail. *)
+
+type call =
+  | Signal of Types.notification
+  | Poll of Types.notification
+  | Set_priority of Types.tcb * int
+  | Yield
+  | Set_timeout of { irq : int; after : int }
+      (** program the one-shot timer device owned by the caller's
+          domain to fire [after] cycles from now (the Figure 6 Trojan) *)
+
+val execute : System.t -> core:int -> Types.tcb -> call -> unit
+(** Run the syscall on behalf of the thread; all costs are charged to
+    the core. *)
+
+val handle_irq : System.t -> core:int -> irq:int -> unit
+(** Kernel IRQ-handling path for a device interrupt (not the
+    preemption timer): entry, IRQ table walk, acknowledge, exit. *)
+
+val trap_cost : int
+(** Fixed entry+exit cycles of a trap (mode switch). *)

@@ -1,0 +1,91 @@
+exception Preempted
+
+type t = {
+  sys : System.t;
+  core : int;
+  tcb : Types.tcb;
+  slice_end : int;
+}
+
+let make sys ~core tcb ~slice_end = { sys; core; tcb; slice_end }
+let sys t = t.sys
+let core t = t.core
+let tcb t = t.tcb
+let now t = System.now t.sys ~core:t.core
+
+(* Deliver fired, unmasked timer IRQs; then enforce the slice budget. *)
+let post t =
+  let cfg = System.cfg t.sys in
+  let pc = System.per_core t.sys t.core in
+  let fired =
+    Irq.pending (System.irq t.sys) ~core:t.core ~now:(now t)
+      ~partitioned:cfg.Config.partition_irqs ~current:pc.System.cur_kernel
+  in
+  List.iter (fun irq -> Syscalls.handle_irq t.sys ~core:t.core ~irq) fired;
+  if now t >= t.slice_end then raise Preempted
+
+let read t vaddr =
+  ignore (System.user_access t.sys ~core:t.core t.tcb ~vaddr ~kind:Tp_hw.Defs.Read);
+  post t
+
+let write t vaddr =
+  ignore (System.user_access t.sys ~core:t.core t.tcb ~vaddr ~kind:Tp_hw.Defs.Write);
+  post t
+
+let fetch t vaddr =
+  ignore (System.user_access t.sys ~core:t.core t.tcb ~vaddr ~kind:Tp_hw.Defs.Fetch);
+  post t
+
+let vspace t =
+  match t.tcb.Types.t_vspace with
+  | Some vs -> vs
+  | None -> raise (Types.Kernel_error Types.Invalid_capability)
+
+let jump t ~src ~target =
+  let vs = vspace t in
+  let paddr = System.translate vs src in
+  ignore
+    (Tp_hw.Machine.jump (System.machine t.sys) ~core:t.core
+       ~asid:vs.Types.vs_asid ~vaddr:src ~paddr ~target);
+  post t
+
+let cond_branch t ~addr ~taken =
+  let vs = vspace t in
+  let paddr = System.translate vs addr in
+  ignore
+    (Tp_hw.Machine.cond_branch (System.machine t.sys) ~core:t.core
+       ~asid:vs.Types.vs_asid ~vaddr:addr ~paddr ~taken);
+  post t
+
+let clflush t vaddr =
+  let vs = vspace t in
+  let paddr = System.translate vs vaddr in
+  ignore (Tp_hw.Machine.clflush (System.machine t.sys) ~core:t.core ~paddr);
+  post t
+
+let compute t n =
+  assert (n >= 0);
+  Tp_hw.Machine.add_cycles (System.machine t.sys) ~core:t.core n;
+  post t
+
+let syscall t call =
+  Syscalls.execute t.sys ~core:t.core t.tcb call;
+  post t
+
+let remaining t = Stdlib.max 0 (t.slice_end - now t)
+
+let idle_rest t =
+  (* Advance in interrupt-latency-sized steps so timers fire at the
+     right instant even while the thread sleeps. *)
+  let step = 1000 in
+  let rec go () =
+    let left = t.slice_end - now t in
+    if left <= 0 then (post t; raise Preempted)
+    else begin
+      Tp_hw.Machine.add_cycles (System.machine t.sys) ~core:t.core
+        (Stdlib.min step left);
+      post t;
+      go ()
+    end
+  in
+  go ()

@@ -1,0 +1,60 @@
+(** User-mode execution context.
+
+    A workload body receives a [Uctx.t] and performs all its work
+    through it: memory accesses, branches, syscalls, and cycle-counter
+    reads (the attacker's clock).  After every operation the context
+
+    - delivers any unmasked device interrupt whose timer has fired
+      (charging the kernel's IRQ-handling path to this core — the
+      observable "jump" of the Figure 6 receiver), and
+    - raises {!Preempted} once the time slice is exhausted,
+
+    so preemption is involuntary from the body's point of view: any
+    operation can be its last.  Bodies therefore keep their persistent
+    state in captured refs. *)
+
+exception Preempted
+
+type t
+
+val make : System.t -> core:int -> Types.tcb -> slice_end:int -> t
+(** Used by {!Exec}; bodies never construct contexts. *)
+
+val sys : t -> System.t
+val core : t -> int
+val tcb : t -> Types.tcb
+
+val now : t -> int
+(** Read the cycle counter (rdtsc / CCNT). *)
+
+val read : t -> int -> unit
+(** Load from a virtual address. *)
+
+val write : t -> int -> unit
+(** Store to a virtual address. *)
+
+val fetch : t -> int -> unit
+(** Execute straight-line code at a virtual address (I-side access). *)
+
+val jump : t -> src:int -> target:int -> unit
+(** Taken jump from [src] to [target] (I-fetch + BTB). *)
+
+val cond_branch : t -> addr:int -> taken:bool -> unit
+(** Conditional branch (I-fetch + direction predictor). *)
+
+val clflush : t -> int -> unit
+(** Flush one cache line by virtual address (x86 [clflush] / Arm v8
+    [DC CIVAC] — user-mode instructions, the enabler of Flush+Reload
+    and DRAMA-style attacks). *)
+
+val compute : t -> int -> unit
+(** Spin for [n] cycles of pure computation (no memory traffic). *)
+
+val syscall : t -> Syscalls.call -> unit
+
+val remaining : t -> int
+(** Cycles left in the current slice (never negative). *)
+
+val idle_rest : t -> unit
+(** Sleep until the end of the slice, still accepting interrupts at
+    their fire times; always raises {!Preempted} at the slice end. *)

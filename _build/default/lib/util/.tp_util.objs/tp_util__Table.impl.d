@@ -1,0 +1,1 @@
+lib/util/table.ml: Array Format List Printf Stdlib String

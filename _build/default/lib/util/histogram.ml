@@ -1,0 +1,40 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  assert (hi > lo);
+  assert (bins > 0);
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let bins t = Array.length t.counts
+
+let bin_of t x =
+  let n = bins t in
+  let raw = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int n) in
+  if raw < 0 then 0 else if raw >= n then n - 1 else raw
+
+let add t x =
+  let i = bin_of t x in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let count t i = t.counts.(i)
+let counts t = Array.copy t.counts
+let total t = t.total
+
+let bin_center t i =
+  let w = (t.hi -. t.lo) /. float_of_int (bins t) in
+  t.lo +. ((float_of_int i +. 0.5) *. w)
+
+let pp ~width ppf t =
+  let m = Array.fold_left Stdlib.max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let bar = c * width / m in
+      Format.fprintf ppf "%10.2f | %s %d@." (bin_center t i)
+        (String.make bar '#') c)
+    t.counts

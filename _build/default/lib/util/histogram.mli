@@ -1,0 +1,33 @@
+(** Fixed-range binned counts over float samples.
+
+    The channel toolchain bins receiver timings before density
+    estimation; the benchmark harness uses histograms to render
+    figure-style distributions as text. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi\]] with [bins] equal bins.
+    Requires [hi > lo] and [bins > 0]. *)
+
+val add : t -> float -> unit
+(** Samples outside [\[lo, hi\]] are clamped into the edge bins, so the
+    total count always equals the number of [add] calls. *)
+
+val count : t -> int -> int
+(** Count in bin [i]. *)
+
+val counts : t -> int array
+(** Copy of all bin counts. *)
+
+val total : t -> int
+
+val bins : t -> int
+
+val bin_center : t -> int -> float
+
+val bin_of : t -> float -> int
+(** Bin index a value would land in (clamped). *)
+
+val pp : width:int -> Format.formatter -> t -> unit
+(** ASCII bar rendering, [width] characters for the largest bin. *)

@@ -1,0 +1,46 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomness in the simulator and the measurement toolchain flows
+    through an explicit [Rng.t] so that every experiment is reproducible
+    from a seed.  The generator is a SplitMix64 core (Steele et al.,
+    OOPSLA 2014), which has a cheap, well-distributed [split] operation:
+    independent subsystems (each core, each attack process, the shuffle
+    test) get their own split stream and cannot perturb each other by
+    consuming numbers in a different order. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator from a 64-bit seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via Box–Muller. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0..n-1]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element. Requires a non-empty array. *)

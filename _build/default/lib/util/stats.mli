@@ -1,0 +1,43 @@
+(** Descriptive statistics over float samples.
+
+    Used both by the channel-measurement toolchain (means and confidence
+    bounds of shuffled-MI estimates) and by the benchmark harness
+    (latency summaries, geometric means of slowdowns). *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singletons. *)
+
+val std : float array -> float
+(** Sample standard deviation. *)
+
+val min : float array -> float
+val max : float array -> float
+
+val median : float array -> float
+(** Median (average of middle two for even lengths). Does not mutate. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0,100\]], linear interpolation.
+    Does not mutate its argument. *)
+
+val geomean : float array -> float
+(** Geometric mean. Requires all elements positive. *)
+
+val sum : float array -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** All of the above in one pass (plus a sort for the median). *)
+
+val pp_summary : Format.formatter -> summary -> unit

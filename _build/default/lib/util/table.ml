@@ -1,0 +1,56 @@
+type row = Cells of string list | Sep
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~headers = { title; headers; rows = [] }
+
+let add_row t cells =
+  let n_head = List.length t.headers in
+  let n = List.length cells in
+  assert (n <= n_head);
+  let padded = cells @ List.init (n_head - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let widths t =
+  let ws = Array.of_list (List.map String.length t.headers) in
+  let update = function
+    | Sep -> ()
+    | Cells cs ->
+        List.iteri (fun i c -> ws.(i) <- Stdlib.max ws.(i) (String.length c)) cs
+  in
+  List.iter update t.rows;
+  ws
+
+let pad w s = s ^ String.make (w - String.length s) ' '
+
+let pp ppf t =
+  let ws = widths t in
+  let line ch =
+    let total = Array.fold_left ( + ) 0 ws + (3 * (Array.length ws - 1)) in
+    String.make total ch
+  in
+  let pp_cells cs =
+    let padded = List.mapi (fun i c -> pad ws.(i) c) cs in
+    Format.fprintf ppf "%s@." (String.concat " | " padded)
+  in
+  Format.fprintf ppf "%s@." t.title;
+  Format.fprintf ppf "%s@." (line '=');
+  pp_cells t.headers;
+  Format.fprintf ppf "%s@." (line '-');
+  List.iter
+    (function Sep -> Format.fprintf ppf "%s@." (line '-') | Cells cs -> pp_cells cs)
+    (List.rev t.rows)
+
+let print t =
+  pp Format.std_formatter t;
+  Format.printf "@."
+
+let cell_f ?(prec = 2) x = Printf.sprintf "%.*f" prec x
+let cell_i n = string_of_int n
+let cell_pct x = Printf.sprintf "%+.2f%%" x

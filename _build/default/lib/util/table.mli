@@ -1,0 +1,30 @@
+(** Aligned text tables for the benchmark harness.
+
+    Every reproduced paper table is printed through this module so the
+    bench output is uniform and diff-able across runs. *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header list are padded with empty cells;
+    longer rows are rejected with an assertion failure. *)
+
+val add_sep : t -> unit
+(** Horizontal separator between row groups. *)
+
+val pp : Format.formatter -> t -> unit
+
+val print : t -> unit
+(** [pp] to stdout, followed by a blank line. *)
+
+(** Cell formatting helpers. *)
+
+val cell_f : ?prec:int -> float -> string
+(** Fixed-point float cell, default 2 decimals. *)
+
+val cell_i : int -> string
+
+val cell_pct : float -> string
+(** Percentage with sign, 2 decimals, e.g. ["+3.50%"]. *)

@@ -1,0 +1,1 @@
+lib/workloads/splash.ml: Boot Exec List System Tp_hw Tp_kernel Tp_util Uctx

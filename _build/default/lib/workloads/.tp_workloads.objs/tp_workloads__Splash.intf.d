@@ -1,0 +1,1 @@
+lib/workloads/splash.mli: Tp_kernel Tp_util

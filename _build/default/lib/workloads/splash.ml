@@ -1,0 +1,99 @@
+type pattern =
+  | Streaming of { stride : int }
+  | Strided of { stride : int; span : int }
+  | Irregular of { span : int }
+  | Blocked of { block : int; span : int }
+
+type t = {
+  name : string;
+  ws_kib : int;
+  pattern : pattern;
+  write_ratio : float;
+}
+
+let kib = 1024
+
+(* Signatures chosen so working sets straddle the modelled caches: the
+   x86 private L2 (256 KiB, the colouring grain) and the Arm LLC
+   (1 MiB).  raytrace and ocean are the cache-hungry ones, matching
+   the paper's max-overhead observations. *)
+let all =
+  [
+    { name = "barnes"; ws_kib = 512; pattern = Irregular { span = 512 * kib }; write_ratio = 0.25 };
+    { name = "cholesky"; ws_kib = 384; pattern = Strided { stride = 320; span = 384 * kib }; write_ratio = 0.30 };
+    { name = "fft"; ws_kib = 1536; pattern = Streaming { stride = 64 }; write_ratio = 0.35 };
+    { name = "fmm"; ws_kib = 448; pattern = Irregular { span = 448 * kib }; write_ratio = 0.20 };
+    { name = "lu"; ws_kib = 160; pattern = Blocked { block = 40 * kib; span = 160 * kib }; write_ratio = 0.40 };
+    { name = "ocean"; ws_kib = 2048; pattern = Blocked { block = 160 * kib; span = 2048 * kib }; write_ratio = 0.40 };
+    { name = "radiosity"; ws_kib = 320; pattern = Irregular { span = 320 * kib }; write_ratio = 0.25 };
+    { name = "radix"; ws_kib = 1792; pattern = Streaming { stride = 64 }; write_ratio = 0.50 };
+    { name = "raytrace"; ws_kib = 640; pattern = Irregular { span = 640 * kib }; write_ratio = 0.10 };
+    { name = "waternsquared"; ws_kib = 192; pattern = Blocked { block = 48 * kib; span = 192 * kib }; write_ratio = 0.30 };
+    { name = "waterspatial"; ws_kib = 224; pattern = Blocked { block = 56 * kib; span = 224 * kib }; write_ratio = 0.30 };
+  ]
+
+let by_name n = List.find_opt (fun w -> w.name = n) all
+
+let body w ~buf ~rng ~accesses ?(stop_at = max_int) ?(finished = ref (-1)) () =
+  let open Tp_kernel in
+  let pos = ref 0 in
+  let count = ref 0 in
+  let span = w.ws_kib * kib in
+  let next () =
+    (match w.pattern with
+    | Streaming { stride } -> pos := (!pos + stride) mod span
+    | Strided { stride; span } -> pos := (!pos + stride) mod span
+    | Irregular { span } ->
+        (* Pointer-chasing codes have strong temporal locality: most
+           accesses hit a hot subset (tree tops, interaction lists),
+           the rest roam the full structure. *)
+        let hot = span / 8 in
+        if Tp_util.Rng.int rng 100 < 80 then
+          pos := Tp_util.Rng.int rng (hot / 64) * 64
+        else pos := Tp_util.Rng.int rng (span / 64) * 64
+    | Blocked { block; span } ->
+        (* Sweep within the current block; hop to the next block when
+           a pass completes. *)
+        let in_block = (!pos + 64) mod block in
+        if in_block = 0 then pos := ((!pos / block * block) + block) mod span
+        else pos := (!pos / block * block) + in_block;
+        if !pos >= span then pos := 0);
+    !pos
+  in
+  (* Real programs interleave arithmetic with their memory traffic
+     (~4 compute cycles per access here, batched to keep the simulator
+     fast); a pure back-to-back access stream would overstate memory-
+     boundness and hence every cache-related overhead. *)
+  let compute_per_access = 4 in
+  let compute_batch = 8 in
+  fun ctx ->
+    while !finished < 0 do
+      let off = next () in
+      incr count;
+      incr accesses;
+      if
+        w.write_ratio > 0.0
+        && !count mod 100 < int_of_float (w.write_ratio *. 100.0)
+      then Uctx.write ctx (buf + off)
+      else Uctx.read ctx (buf + off);
+      if !count mod compute_batch = 0 then
+        Uctx.compute ctx (compute_per_access * compute_batch);
+      if !accesses >= stop_at && !finished < 0 then
+        finished := Uctx.now ctx
+    done
+
+let run_alone b dom w ~accesses ~rng =
+  let open Tp_kernel in
+  let sys = b.Boot.sys in
+  let pages = (w.ws_kib * kib) / Tp_hw.Defs.page_size in
+  let buf = Boot.alloc_pages b dom ~pages in
+  let done_accesses = ref 0 in
+  let finished = ref (-1) in
+  ignore
+    (Boot.spawn b dom
+       (body w ~buf ~rng ~accesses:done_accesses ~stop_at:accesses ~finished ()));
+  let start = System.now sys ~core:0 in
+  while !finished < 0 do
+    Exec.run_slices sys ~core:0 ~slices:1 ()
+  done;
+  !finished - start

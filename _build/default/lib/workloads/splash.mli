@@ -1,0 +1,62 @@
+(** SPLASH-2-signature synthetic workloads (Figure 7 / Table 8).
+
+    The paper runs SPLASH-2 because "all we need is something that
+    exercises the LLC" (§5.4.4).  Each synthetic kernel here carries
+    the cache-relevant signature of the corresponding SPLASH-2
+    program — working-set size, access pattern (streaming, strided,
+    pointer-chasing-like irregular, blocked) and read/write mix — so
+    the colouring experiments see the same kind of pressure the
+    originals generate.  Parameters follow the paper's setup: ~220 MiB
+    of address space would be overkill for the simulated caches, so
+    working sets are scaled to the modelled LLC (up to several times
+    its size for the cache-hungry programs). *)
+
+type pattern =
+  | Streaming of { stride : int }
+      (** sequential sweeps (fft, radix passes) *)
+  | Strided of { stride : int; span : int }
+      (** fixed-stride sweeps over a span (lu, cholesky blocks) *)
+  | Irregular of { span : int }
+      (** pseudo-random accesses (barnes, fmm, raytrace) *)
+  | Blocked of { block : int; span : int }
+      (** repeated passes over blocks (ocean, water) *)
+
+type t = {
+  name : string;
+  ws_kib : int;  (** working-set size in KiB *)
+  pattern : pattern;
+  write_ratio : float;  (** fraction of accesses that are stores *)
+}
+
+val all : t list
+(** The eleven programs of Figure 7 (volrend is omitted, as in the
+    paper). *)
+
+val by_name : string -> t option
+
+val body :
+  t ->
+  buf:int ->
+  rng:Tp_util.Rng.t ->
+  accesses:int ref ->
+  ?stop_at:int ->
+  ?finished:int ref ->
+  unit ->
+  Tp_kernel.Exec.body
+(** A thread body that runs the workload over a buffer mapped at
+    [buf] (of size [ws_kib]), incrementing [accesses] per access.  It
+    runs slice after slice; if [stop_at] is given, the body records
+    the cycle at which that access count was reached in [finished]
+    (initially -1) and idles from then on — giving measurements exact
+    completion times instead of whole-slice quantisation. *)
+
+val run_alone :
+  Tp_kernel.Boot.booted ->
+  Tp_kernel.Boot.domain ->
+  t ->
+  accesses:int ->
+  rng:Tp_util.Rng.t ->
+  int
+(** Run the workload as the only thread on core 0 until it has issued
+    [accesses] memory accesses; returns the consumed cycles (the
+    Figure 7 measurement). *)

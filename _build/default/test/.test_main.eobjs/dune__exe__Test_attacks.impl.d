@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Array Boot Config Fun List Scenario System Tp_attacks Tp_channel Tp_core Tp_hw Tp_kernel Tp_util Uctx

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Array Capacity Float Gen Kde Leakage List Matrix Mi Printf QCheck QCheck_alcotest Tp_channel Tp_util

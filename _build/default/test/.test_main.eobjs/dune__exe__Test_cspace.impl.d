@@ -1,0 +1,1 @@
+test/test_cspace.ml: Alcotest Array Boot Capability Clone Config Cspace Objects Retype Tp_hw Tp_kernel Types

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Audit Boot Capability Clone Colour Config Domain_switch Exec Hashtbl Layout List Objects Phys Printf Retype Sched Syscalls System Tp_hw Tp_kernel Types Uctx

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Bhb Btb Cache Defs Dram Gen Hashtbl Interconnect List Machine Platform Prefetcher QCheck QCheck_alcotest Tlb Tp_hw

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Array Boot Capability Clone Colour Config Exec Irq List Objects Printf QCheck QCheck_alcotest Retype Sched String System Tp_hw Tp_kernel Types

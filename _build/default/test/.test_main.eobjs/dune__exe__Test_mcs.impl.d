@@ -1,0 +1,1 @@
+test/test_mcs.ml: Alcotest Array Boot Config Exec List Objects Printf Retype System Tp_attacks Tp_channel Tp_core Tp_hw Tp_kernel Tp_util Types Uctx

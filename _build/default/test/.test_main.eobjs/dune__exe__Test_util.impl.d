@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Format Fun Gen Histogram List QCheck QCheck_alcotest Rng Stats Stdlib String Table Tp_util

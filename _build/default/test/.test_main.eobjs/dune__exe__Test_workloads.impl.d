@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Boot Config Exec List Option Printf System Tp_hw Tp_kernel Tp_util Tp_workloads

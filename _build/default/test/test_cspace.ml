@@ -1,0 +1,171 @@
+(* Tests for CNode/CSpace: guarded address resolution, slot-to-slot
+   capability transfer, deletion semantics and CDT interaction. *)
+
+open Tp_kernel
+
+let haswell = Tp_hw.Platform.haswell
+
+let boot () =
+  Boot.boot ~platform:haswell ~config:Config.raw ~domains:1 ()
+
+let expect_error expected f =
+  match f () with
+  | _ -> Alcotest.fail "expected Kernel_error"
+  | exception Types.Kernel_error e ->
+      Alcotest.(check string) "error" (Types.error_to_string expected)
+        (Types.error_to_string e)
+
+let test_retype_cnode () =
+  let b = boot () in
+  let cap = Cspace.retype_cnode b.Boot.domains.(0).Boot.dom_pool ~radix:4 () in
+  let cn = Cspace.the_cnode cap in
+  Alcotest.(check int) "16 slots" 16 (Array.length cn.Types.cn_slots);
+  Alcotest.(check bool) "all empty" true
+    (Array.for_all (fun s -> s = None) cn.Types.cn_slots)
+
+let test_single_level_resolution () =
+  let b = boot () in
+  let root = Cspace.the_cnode (Cspace.retype_cnode b.Boot.domains.(0).Boot.dom_pool ~radix:4 ()) in
+  let node, i = Cspace.resolve root ~addr:0xA ~depth:4 in
+  Alcotest.(check bool) "same node" true (node.Types.cn_id = root.Types.cn_id);
+  Alcotest.(check int) "slot 10" 10 i
+
+let test_guard_match_and_mismatch () =
+  let b = boot () in
+  let root =
+    Cspace.the_cnode
+      (Cspace.retype_cnode b.Boot.domains.(0).Boot.dom_pool ~radix:4 ~guard:0x5
+         ~guard_bits:3 ())
+  in
+  (* Address = guard(3 bits) @ index(4 bits). *)
+  let _, i = Cspace.resolve root ~addr:((0x5 lsl 4) lor 0x3) ~depth:7 in
+  Alcotest.(check int) "slot 3 under guard" 3 i;
+  expect_error Types.Invalid_address (fun () ->
+      Cspace.resolve root ~addr:((0x4 lsl 4) lor 0x3) ~depth:7)
+
+let test_two_level_walk () =
+  let b = boot () in
+  let pool = b.Boot.domains.(0).Boot.dom_pool in
+  let root_cap = Cspace.retype_cnode pool ~radix:4 () in
+  let leaf_cap = Cspace.retype_cnode pool ~radix:4 () in
+  let root = Cspace.the_cnode root_cap in
+  let leaf = Cspace.the_cnode leaf_cap in
+  (* Install the leaf CNode capability in root slot 2. *)
+  Cspace.insert root ~addr:2 ~depth:4 leaf_cap;
+  (* Address: root index 2 (4 bits) then leaf index 9 (4 bits). *)
+  let node, i = Cspace.resolve root ~addr:((2 lsl 4) lor 9) ~depth:8 in
+  Alcotest.(check bool) "landed in leaf" true (node.Types.cn_id = leaf.Types.cn_id);
+  Alcotest.(check int) "slot 9" 9 i;
+  (* Walking through an empty interior slot fails. *)
+  expect_error Types.Invalid_address (fun () ->
+      Cspace.resolve root ~addr:((3 lsl 4) lor 9) ~depth:8)
+
+let test_depth_errors () =
+  let b = boot () in
+  let root = Cspace.the_cnode (Cspace.retype_cnode b.Boot.domains.(0).Boot.dom_pool ~radix:4 ()) in
+  expect_error Types.Invalid_address (fun () ->
+      Cspace.resolve root ~addr:1 ~depth:2);
+  (* Too much depth with a non-CNode in the slot. *)
+  let nf_cap = Retype.retype_notification b.Boot.domains.(0).Boot.dom_pool in
+  Cspace.insert root ~addr:1 ~depth:4 nf_cap;
+  expect_error Types.Invalid_address (fun () ->
+      Cspace.resolve root ~addr:(1 lsl 4) ~depth:8)
+
+let test_insert_occupied () =
+  let b = boot () in
+  let pool = b.Boot.domains.(0).Boot.dom_pool in
+  let root = Cspace.the_cnode (Cspace.retype_cnode pool ~radix:4 ()) in
+  let nf = Retype.retype_notification pool in
+  Cspace.insert root ~addr:0 ~depth:4 nf;
+  expect_error Types.Slot_occupied (fun () ->
+      Cspace.insert root ~addr:0 ~depth:4 nf)
+
+let test_copy_is_cdt_child () =
+  let b = boot () in
+  let pool = b.Boot.domains.(0).Boot.dom_pool in
+  let root = Cspace.the_cnode (Cspace.retype_cnode pool ~radix:4 ()) in
+  let nf = Retype.retype_notification pool in
+  Cspace.insert root ~addr:0 ~depth:4 nf;
+  let child = Cspace.copy ~src:(root, 0) ~dst:(root, 1) () in
+  Alcotest.(check bool) "child of source" true
+    (match child.Types.parent with Some p -> p == nf | None -> false);
+  (* Revoking the original kills the copy. *)
+  Objects.revoke b.Boot.sys ~core:0 nf;
+  Alcotest.(check bool) "copy revoked" false (Capability.is_valid child)
+
+let test_mint_reduces_rights_and_clone () =
+  let b = boot () in
+  let pool = b.Boot.domains.(0).Boot.dom_pool in
+  let root = Cspace.the_cnode (Cspace.retype_cnode pool ~radix:4 ()) in
+  (* Mint the Kernel_Image master into a domain CSpace: the §4.1
+     hand-out, clone right stripped. *)
+  Cspace.insert root ~addr:0 ~depth:4 b.Boot.master;
+  let handed =
+    Cspace.mint ~src:(root, 0) ~dst:(root, 1)
+      ~rights:{ Types.read = true; write = false; grant = false }
+      ()
+  in
+  Alcotest.(check bool) "clone right stripped" false handed.Types.clone_right;
+  Alcotest.(check bool) "rights reduced" true
+    (handed.Types.rights.Types.read && not handed.Types.rights.Types.write);
+  (* The stripped capability cannot clone. *)
+  let kmem = Retype.retype_kernel_memory pool ~platform:haswell in
+  expect_error Types.No_clone_right (fun () ->
+      Clone.clone b.Boot.sys ~core:0 ~src:handed ~kmem)
+
+let test_move_changes_slot_only () =
+  let b = boot () in
+  let pool = b.Boot.domains.(0).Boot.dom_pool in
+  let root = Cspace.the_cnode (Cspace.retype_cnode pool ~radix:4 ()) in
+  let nf = Retype.retype_notification pool in
+  Cspace.insert root ~addr:5 ~depth:4 nf;
+  Cspace.move ~src:(root, 5) ~dst:(root, 6) ();
+  Alcotest.(check bool) "source empty" true (Cspace.slot (root, 5) = None);
+  Alcotest.(check bool) "dest holds the same cap" true
+    (match Cspace.slot (root, 6) with Some c -> c == nf | None -> false)
+
+let test_delete_slot_destroys () =
+  let b = boot () in
+  let pool = b.Boot.domains.(0).Boot.dom_pool in
+  let free0 = Retype.untyped_free_frames pool in
+  let root = Cspace.the_cnode (Cspace.retype_cnode pool ~radix:4 ()) in
+  let nf = Retype.retype_notification pool in
+  Cspace.insert root ~addr:7 ~depth:4 nf;
+  Cspace.delete_slot b.Boot.sys ~core:0 (root, 7);
+  Alcotest.(check bool) "slot empty" true (Cspace.slot (root, 7) = None);
+  Alcotest.(check bool) "cap invalid" false (Capability.is_valid nf);
+  (* The notification's frame flowed back (the CNode still holds its
+     own frame). *)
+  Alcotest.(check int) "frames: only the CNode's remains out"
+    (free0 - 1)
+    (Retype.untyped_free_frames pool)
+
+let test_cnode_destruction_kills_contents () =
+  let b = boot () in
+  let pool = b.Boot.domains.(0).Boot.dom_pool in
+  let cn_cap = Cspace.retype_cnode pool ~radix:4 () in
+  let root = Cspace.the_cnode cn_cap in
+  let nf = Retype.retype_notification pool in
+  let copy = Capability.derive nf in
+  Cspace.insert root ~addr:3 ~depth:4 copy;
+  Objects.delete b.Boot.sys ~core:0 cn_cap;
+  Alcotest.(check bool) "stored cap invalidated" false (Capability.is_valid copy);
+  Alcotest.(check bool) "original object survives (derived copy died)" true
+    (Capability.is_valid nf)
+
+let suite =
+  [
+    Alcotest.test_case "retype cnode" `Quick test_retype_cnode;
+    Alcotest.test_case "single-level resolution" `Quick test_single_level_resolution;
+    Alcotest.test_case "guard match/mismatch" `Quick test_guard_match_and_mismatch;
+    Alcotest.test_case "two-level walk" `Quick test_two_level_walk;
+    Alcotest.test_case "depth errors" `Quick test_depth_errors;
+    Alcotest.test_case "insert occupied" `Quick test_insert_occupied;
+    Alcotest.test_case "copy is CDT child" `Quick test_copy_is_cdt_child;
+    Alcotest.test_case "mint reduces rights+clone" `Quick
+      test_mint_reduces_rights_and_clone;
+    Alcotest.test_case "move changes slot only" `Quick test_move_changes_slot_only;
+    Alcotest.test_case "delete slot destroys" `Quick test_delete_slot_destroys;
+    Alcotest.test_case "cnode destruction kills contents" `Quick
+      test_cnode_destruction_kills_contents;
+  ]

@@ -1,0 +1,201 @@
+(* Model-checking-flavoured property tests: random sequences of
+   kernel operations must preserve the system's global invariants.
+
+   These are the invariants the seL4 proofs establish statically; here
+   they are checked dynamically over randomised traces:
+
+   - frame conservation: every physical frame is accounted for exactly
+     once (free in some Untyped, backing an object, or boot-reserved);
+   - the initial kernel and its idle thread always survive (§4.4);
+   - active kernel images are disjoint in their backing frames;
+   - coloured pools never hold a frame of a foreign colour;
+   - destroyed kernels hold no IRQ associations;
+   - the scheduler never queues a suspended or inactive thread. *)
+
+open Tp_kernel
+
+let haswell = Tp_hw.Platform.haswell
+
+type op =
+  | Op_clone
+  | Op_destroy_last
+  | Op_retype_tcb
+  | Op_retype_notification
+  | Op_revoke_pool
+  | Op_spawn
+  | Op_run_slices
+  | Op_set_int of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Op_clone);
+        (3, return Op_destroy_last);
+        (2, return Op_retype_tcb);
+        (2, return Op_retype_notification);
+        (1, return Op_revoke_pool);
+        (3, return Op_spawn);
+        (2, return Op_run_slices);
+        (1, map (fun i -> Op_set_int (1 + (i mod 8))) small_nat);
+      ])
+
+let pp_op = function
+  | Op_clone -> "clone"
+  | Op_destroy_last -> "destroy"
+  | Op_retype_tcb -> "retype-tcb"
+  | Op_retype_notification -> "retype-ntfn"
+  | Op_revoke_pool -> "revoke-pool"
+  | Op_spawn -> "spawn"
+  | Op_run_slices -> "run"
+  | Op_set_int i -> Printf.sprintf "set-int %d" i
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 1 25) op_gen)
+
+(* Walk the CDT from the root untyped and the master cap, summing the
+   frames owned by live objects. *)
+let rec frames_of_cap_tree cap =
+  if not (Capability.is_valid cap) then 0
+  else begin
+    let own =
+      if Objects.is_owner cap then List.length (Types.obj_frames cap.Types.target)
+      else 0
+    in
+    List.fold_left
+      (fun acc child -> acc + frames_of_cap_tree child)
+      own cap.Types.children
+  end
+
+let check_invariants (b : Boot.booted) =
+  let sys = b.Boot.sys in
+  (* Initial kernel alive with an idle thread. *)
+  let ik = System.initial_kernel sys in
+  assert (ik.Types.ki_state = Types.Ki_active);
+  assert (ik.Types.ki_idle <> None);
+  (* Active kernels have pairwise-disjoint frames. *)
+  let kernels = System.kernels sys in
+  List.iteri
+    (fun i ki ->
+      List.iteri
+        (fun j kj ->
+          if i < j then begin
+            let si =
+              List.sort_uniq compare (Array.to_list ki.Types.ki_frames)
+            in
+            let sj =
+              List.sort_uniq compare (Array.to_list kj.Types.ki_frames)
+            in
+            assert (List.for_all (fun f -> not (List.mem f sj)) si)
+          end)
+        kernels)
+    kernels;
+  (* Coloured pools hold only their own colours. *)
+  Array.iter
+    (fun dom ->
+      let u = Retype.the_untyped dom.Boot.dom_pool in
+      List.iter
+        (fun f ->
+          assert
+            (Colour.mem dom.Boot.dom_colours
+               (Colour.colour_of_frame ~n_colours:(System.n_colours sys) f)))
+        u.Types.u_free)
+    b.Boot.domains;
+  (* Destroyed kernels hold no IRQs; live IRQ associations point at
+     active kernels. *)
+  for irq = 1 to Irq.n_irqs - 1 do
+    match (Irq.handler (System.irq sys) irq).Types.ih_kernel with
+    | Some k -> assert (k.Types.ki_state = Types.Ki_active)
+    | None -> ()
+  done;
+  (* Scheduler queues contain only ready threads. *)
+  List.iter
+    (fun tcb ->
+      if Sched.is_queued (System.sched sys) ~core:0 tcb then
+        assert (
+          tcb.Types.t_state = Types.Ts_ready
+          || tcb.Types.t_state = Types.Ts_running))
+    (System.all_tcbs sys)
+
+(* Frame conservation: free(phys) stayed 0 after boot (all frames went
+   to the root untyped), so the cap forest must account for everything
+   that is not boot-reserved. *)
+let check_frame_conservation (b : Boot.booted) ~total_user_frames =
+  let tree = frames_of_cap_tree b.Boot.root in
+  let master_kernels =
+    List.fold_left
+      (fun acc c -> acc + frames_of_cap_tree c)
+      0 b.Boot.master.Types.children
+  in
+  ignore master_kernels;
+  (* Kernel images are backed by Kernel_Memory frames that stay owned
+     by the kmem object in the pool's tree, so the root tree alone must
+     conserve the user frame count. *)
+  assert (tree = total_user_frames)
+
+let apply_op b op =
+  let sys = b.Boot.sys in
+  let dom = b.Boot.domains.(0) in
+  try
+    match op with
+    | Op_clone ->
+        let kmem = Retype.retype_kernel_memory dom.Boot.dom_pool ~platform:haswell in
+        ignore (Clone.clone sys ~core:0 ~src:b.Boot.master ~kmem)
+    | Op_destroy_last -> begin
+        (* Destroy the most recently cloned kernel, if any. *)
+        match
+          List.find_opt
+            (fun c ->
+              Capability.is_valid c
+              &&
+              match c.Types.target with
+              | Types.Obj_kernel_image ki -> ki.Types.ki_state = Types.Ki_active
+              | _ -> false)
+            b.Boot.master.Types.children
+        with
+        | Some cap -> Clone.destroy sys ~core:0 cap
+        | None -> ()
+      end
+    | Op_retype_tcb -> ignore (Retype.retype_tcb dom.Boot.dom_pool ~core:0 ~prio:10)
+    | Op_retype_notification -> ignore (Retype.retype_notification dom.Boot.dom_pool)
+    | Op_revoke_pool -> Objects.revoke sys ~core:0 b.Boot.domains.(1).Boot.dom_pool
+    | Op_spawn -> ignore (Boot.spawn b dom (fun _ -> ()))
+    | Op_run_slices -> Exec.run_slices sys ~core:0 ~slice_cycles:50_000 ~slices:2 ()
+    | Op_set_int irq -> Clone.set_int sys ~image:dom.Boot.dom_kernel_cap ~irq
+  with Types.Kernel_error _ -> (* rejected operations are fine *) ()
+
+let qcheck_invariants =
+  QCheck.Test.make ~name:"random op sequences preserve kernel invariants"
+    ~count:40 ops_arbitrary (fun ops ->
+      let b =
+        Boot.boot ~platform:haswell ~config:(Config.protected_ haswell)
+          ~domains:2 ()
+      in
+      List.iter
+        (fun op ->
+          apply_op b op;
+          check_invariants b)
+        ops;
+      true)
+
+let qcheck_frame_conservation =
+  QCheck.Test.make ~name:"random op sequences conserve frames" ~count:25
+    ops_arbitrary (fun ops ->
+      let b =
+        Boot.boot ~platform:haswell ~config:(Config.protected_ haswell)
+          ~domains:2 ()
+      in
+      let total =
+        frames_of_cap_tree b.Boot.root
+      in
+      List.iter (fun op -> apply_op b op) ops;
+      check_frame_conservation b ~total_user_frames:total;
+      true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_invariants;
+    QCheck_alcotest.to_alcotest qcheck_frame_conservation;
+  ]

@@ -1,0 +1,665 @@
+(* Tests for the seL4 model: colours, physical memory, capabilities,
+   retype, clone/destroy, IRQ partitioning, scheduling, domain switch,
+   IPC, boot, and the execution driver. *)
+
+open Tp_kernel
+
+let haswell = Tp_hw.Platform.haswell
+let sabre = Tp_hw.Platform.sabre
+
+let kernel_error = Alcotest.testable
+    (fun ppf e -> Format.pp_print_string ppf (Types.error_to_string e))
+    ( = )
+
+let expect_error expected f =
+  match f () with
+  | _ -> Alcotest.fail "expected Kernel_error"
+  | exception Types.Kernel_error e -> Alcotest.check kernel_error "error" expected e
+
+(* ------------------------------------------------------------------ *)
+(* Colours *)
+
+let test_colour_split_disjoint () =
+  let parts = Colour.split ~n_colours:8 ~parts:2 in
+  match parts with
+  | [ a; b ] ->
+      Alcotest.(check bool) "disjoint" true (Colour.disjoint a b);
+      Alcotest.(check int) "a has 4" 4 (Colour.count a);
+      Alcotest.(check int) "b has 4" 4 (Colour.count b);
+      Alcotest.(check int) "cover all" 255 (Colour.union a b)
+  | _ -> Alcotest.fail "expected 2 parts"
+
+let test_colour_split_uneven () =
+  let parts = Colour.split ~n_colours:16 ~parts:3 in
+  Alcotest.(check int) "3 parts" 3 (List.length parts);
+  let total = List.fold_left (fun acc s -> acc + Colour.count s) 0 parts in
+  Alcotest.(check int) "all colours used" 16 total
+
+let test_colour_fraction () =
+  Alcotest.(check int) "50% of 8" 4 (Colour.count (Colour.fraction ~n_colours:8 ~percent:50));
+  Alcotest.(check int) "75% of 8" 6 (Colour.count (Colour.fraction ~n_colours:8 ~percent:75));
+  Alcotest.(check int) "1% floors to 1" 1 (Colour.count (Colour.fraction ~n_colours:8 ~percent:1))
+
+let test_colour_of_frame () =
+  Alcotest.(check int) "frame 0" 0 (Colour.colour_of_frame ~n_colours:8 0);
+  Alcotest.(check int) "frame 9" 1 (Colour.colour_of_frame ~n_colours:8 9)
+
+(* ------------------------------------------------------------------ *)
+(* Physical memory *)
+
+let test_phys_alloc_coloured () =
+  let phys = Phys.create haswell in
+  ignore (Phys.reserve_boot phys ~frames:10);
+  let red = Colour.of_list [ 2 ] in
+  (match Phys.alloc phys ~colours:red () with
+  | Some f -> Alcotest.(check int) "colour 2" 2 (Phys.colour_of phys f)
+  | None -> Alcotest.fail "allocation failed");
+  match Phys.alloc_many phys ~colours:red 5 with
+  | Some fs ->
+      List.iter
+        (fun f -> Alcotest.(check int) "all colour 2" 2 (Phys.colour_of phys f))
+        fs
+  | None -> Alcotest.fail "alloc_many failed"
+
+let test_phys_free_and_reuse () =
+  let phys = Phys.create sabre in
+  let f = Option.get (Phys.alloc phys ()) in
+  let before = Phys.free_frames phys in
+  Phys.free phys f;
+  Alcotest.(check int) "freed" (before + 1) (Phys.free_frames phys);
+  let f' = Option.get (Phys.alloc phys ()) in
+  Alcotest.(check int) "lowest-first reuse" f f'
+
+let test_phys_exhaustion () =
+  let phys = Phys.create sabre in
+  let n = Phys.free_frames phys in
+  (match Phys.alloc_many phys n with
+  | Some _ -> ()
+  | None -> Alcotest.fail "should succeed");
+  Alcotest.(check bool) "exhausted" true (Phys.alloc phys () = None)
+
+(* ------------------------------------------------------------------ *)
+(* Capabilities and retype *)
+
+let mk_untyped ?(frames = 64) () =
+  Retype.untyped_of_frames ~n_colours:8 (List.init frames (fun i -> 100 + i))
+
+let test_retype_takes_frames () =
+  let u = mk_untyped () in
+  let before = Retype.untyped_free_frames u in
+  let _tcb = Retype.retype_tcb u ~core:0 ~prio:5 in
+  Alcotest.(check int) "one frame consumed" (before - 1)
+    (Retype.untyped_free_frames u)
+
+let test_retype_exhaustion () =
+  let u = mk_untyped ~frames:1 () in
+  ignore (Retype.retype_tcb u ~core:0 ~prio:0);
+  expect_error Types.Insufficient_untyped (fun () ->
+      Retype.retype_endpoint u)
+
+let test_split_colours () =
+  let u = Retype.untyped_of_frames ~n_colours:8 (List.init 64 Fun.id) in
+  let red = Retype.split_colours u (Colour.of_list [ 0; 1 ]) in
+  Alcotest.(check int) "red got 16 frames" 16 (Retype.untyped_free_frames red);
+  Alcotest.(check int) "parent kept 48" 48 (Retype.untyped_free_frames u);
+  (* All remaining parent frames avoid colours 0 and 1. *)
+  let parent = Retype.the_untyped u in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "colour excluded" true
+        (Colour.colour_of_frame ~n_colours:8 f >= 2))
+    parent.Types.u_free
+
+let test_split_colours_insufficient () =
+  (* Frames 0..7 cover colours 0..7 once; taking colour 0 twice fails. *)
+  let u = Retype.untyped_of_frames ~n_colours:8 [ 1; 2; 3 ] in
+  expect_error Types.Insufficient_colours (fun () ->
+      Retype.split_colours u (Colour.of_list [ 0 ]))
+
+let test_cap_derive_strips_clone_right () =
+  let u = mk_untyped () in
+  ignore u;
+  let root = Capability.mk_root ~clone_right:true (Types.Obj_irq_handler { Types.ih_irq = 1; ih_kernel = None }) in
+  let child = Capability.derive ~clone_right:false root in
+  Alcotest.(check bool) "stripped" false child.Types.clone_right;
+  let grandchild = Capability.derive ~clone_right:true child in
+  Alcotest.(check bool) "cannot regain" false grandchild.Types.clone_right
+
+let test_cap_derive_invalid_parent () =
+  let root = Capability.mk_root (Types.Obj_irq_handler { Types.ih_irq = 2; ih_kernel = None }) in
+  Capability.invalidate root;
+  expect_error Types.Invalid_capability (fun () -> Capability.derive root)
+
+let test_cap_descendants_postorder () =
+  let root = Capability.mk_root (Types.Obj_irq_handler { Types.ih_irq = 3; ih_kernel = None }) in
+  let c1 = Capability.derive root in
+  let c2 = Capability.derive c1 in
+  let ds = Capability.descendants root in
+  Alcotest.(check int) "two descendants" 2 (List.length ds);
+  (* Leaves first: c2 before c1. *)
+  Alcotest.(check bool) "postorder" true
+    (List.nth ds 0 == c2 && List.nth ds 1 == c1)
+
+(* ------------------------------------------------------------------ *)
+(* Boot / clone / destroy *)
+
+let boot_protected ?(platform = haswell) ?(domains = 2) () =
+  Boot.boot ~platform ~config:(Config.protected_ platform) ~domains ()
+
+let boot_raw ?(platform = haswell) ?(domains = 2) () =
+  Boot.boot ~platform ~config:Config.raw ~domains ()
+
+let test_boot_protected_disjoint_colours () =
+  let b = boot_protected () in
+  let d0 = b.Boot.domains.(0) and d1 = b.Boot.domains.(1) in
+  Alcotest.(check bool) "disjoint colour sets" true
+    (Colour.disjoint d0.Boot.dom_colours d1.Boot.dom_colours);
+  (* Every frame in each pool matches the pool's colour set. *)
+  let check_pool d =
+    let u = Retype.the_untyped d.Boot.dom_pool in
+    List.iter
+      (fun f ->
+        Alcotest.(check bool) "frame colour in set" true
+          (Colour.mem d.Boot.dom_colours (Colour.colour_of_frame ~n_colours:8 f)))
+      u.Types.u_free
+  in
+  check_pool d0;
+  check_pool d1
+
+let test_boot_protected_distinct_kernels () =
+  let b = boot_protected () in
+  Alcotest.(check bool) "different kernel images" true
+    (b.Boot.domains.(0).Boot.dom_kernel.Types.ki_id
+    <> b.Boot.domains.(1).Boot.dom_kernel.Types.ki_id);
+  Alcotest.(check bool) "neither is the initial kernel" true
+    (not b.Boot.domains.(0).Boot.dom_kernel.Types.ki_is_initial);
+  Alcotest.(check int) "three kernels exist" 3
+    (List.length (System.kernels b.Boot.sys))
+
+let test_boot_raw_shares_kernel () =
+  let b = boot_raw () in
+  Alcotest.(check bool) "same (initial) kernel" true
+    (b.Boot.domains.(0).Boot.dom_kernel.Types.ki_is_initial
+    && b.Boot.domains.(1).Boot.dom_kernel.Types.ki_is_initial);
+  Alcotest.(check bool) "domain caps lack clone right" true
+    (not b.Boot.domains.(0).Boot.dom_kernel_cap.Types.clone_right)
+
+let test_cloned_kernel_is_coloured () =
+  let b = boot_protected () in
+  let d0 = b.Boot.domains.(0) in
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool) "image frame has domain colour" true
+        (Colour.mem d0.Boot.dom_colours (Colour.colour_of_frame ~n_colours:8 f)))
+    d0.Boot.dom_kernel.Types.ki_frames
+
+let test_clone_has_idle_thread () =
+  let b = boot_protected () in
+  Alcotest.(check bool) "idle thread exists" true
+    (b.Boot.domains.(0).Boot.dom_kernel.Types.ki_idle <> None)
+
+let test_clone_without_right_fails () =
+  let b = boot_protected () in
+  let stripped = Capability.derive ~clone_right:false b.Boot.master in
+  let kmem = Retype.retype_kernel_memory b.Boot.domains.(0).Boot.dom_pool ~platform:haswell in
+  expect_error Types.No_clone_right (fun () ->
+      Clone.clone b.Boot.sys ~core:0 ~src:stripped ~kmem)
+
+let test_clone_cost_positive () =
+  let b = boot_protected () in
+  Alcotest.(check bool) "clone consumed cycles" true
+    (Clone.clone_cost_cycles b.Boot.sys > 0)
+
+let test_destroy_suspends_threads () =
+  let b = boot_protected () in
+  let d0 = b.Boot.domains.(0) in
+  let tcb = Boot.spawn b d0 (fun _ -> ()) in
+  Clone.destroy b.Boot.sys ~core:0 d0.Boot.dom_kernel_cap;
+  Alcotest.(check bool) "thread suspended" true
+    (tcb.Types.t_state = Types.Ts_suspended);
+  Alcotest.(check bool) "kernel destroyed" true
+    (d0.Boot.dom_kernel.Types.ki_state = Types.Ki_destroyed);
+  Alcotest.(check int) "kernel unregistered" 2
+    (List.length (System.kernels b.Boot.sys))
+
+let test_destroy_running_kernel_falls_back_to_initial () =
+  let b = boot_protected () in
+  let d0 = b.Boot.domains.(0) in
+  (* Pretend the kernel is running on core 1. *)
+  d0.Boot.dom_kernel.Types.ki_running_on.(1) <- true;
+  Clone.destroy b.Boot.sys ~core:0 d0.Boot.dom_kernel_cap;
+  let pc = System.per_core b.Boot.sys 1 in
+  Alcotest.(check bool) "core 1 now runs the initial kernel" true
+    pc.System.cur_kernel.Types.ki_is_initial;
+  Alcotest.(check bool) "core 1 runs an idle thread" true
+    (match pc.System.cur_thread with Some t -> t.Types.t_is_idle | None -> false)
+
+let test_destroy_initial_rejected () =
+  let b = boot_protected () in
+  expect_error Types.Invalid_capability (fun () ->
+      Clone.destroy b.Boot.sys ~core:0 b.Boot.master)
+
+let test_revoke_master_destroys_clones () =
+  let b = boot_protected () in
+  Objects.revoke b.Boot.sys ~core:0 b.Boot.master;
+  Alcotest.(check bool) "clones destroyed" true
+    (b.Boot.domains.(0).Boot.dom_kernel.Types.ki_state = Types.Ki_destroyed
+    && b.Boot.domains.(1).Boot.dom_kernel.Types.ki_state = Types.Ki_destroyed);
+  Alcotest.(check bool) "initial survives" true
+    ((System.initial_kernel b.Boot.sys).Types.ki_state = Types.Ki_active);
+  Alcotest.(check bool) "master still valid" true
+    (Capability.is_valid b.Boot.master)
+
+let test_asid_freed_on_destroy () =
+  let b = boot_protected () in
+  let before_asid = System.alloc_asid b.Boot.sys in
+  System.free_asid b.Boot.sys before_asid;
+  Clone.destroy b.Boot.sys ~core:0 b.Boot.domains.(0).Boot.dom_kernel_cap;
+  Clone.destroy b.Boot.sys ~core:0 b.Boot.domains.(1).Boot.dom_kernel_cap;
+  (* Freed ASIDs are reusable. *)
+  let a = System.alloc_asid b.Boot.sys in
+  Alcotest.(check bool) "asid reusable" true (a > 0)
+
+(* ------------------------------------------------------------------ *)
+(* IRQ partitioning *)
+
+let test_irq_set_int_conflict () =
+  let b = boot_protected () in
+  Clone.set_int b.Boot.sys ~image:b.Boot.domains.(0).Boot.dom_kernel_cap ~irq:5;
+  expect_error Types.Irq_in_use (fun () ->
+      Clone.set_int b.Boot.sys ~image:b.Boot.domains.(1).Boot.dom_kernel_cap ~irq:5)
+
+let test_irq_freed_on_destroy () =
+  let b = boot_protected () in
+  Clone.set_int b.Boot.sys ~image:b.Boot.domains.(0).Boot.dom_kernel_cap ~irq:5;
+  Clone.destroy b.Boot.sys ~core:0 b.Boot.domains.(0).Boot.dom_kernel_cap;
+  (* Now the other domain may claim it. *)
+  Clone.set_int b.Boot.sys ~image:b.Boot.domains.(1).Boot.dom_kernel_cap ~irq:5;
+  Alcotest.(check pass) "reclaimed" () ()
+
+let test_irq_partition_defers_foreign_timer () =
+  let b = boot_protected () in
+  let sys = b.Boot.sys in
+  let k0 = b.Boot.domains.(0).Boot.dom_kernel in
+  let k1 = b.Boot.domains.(1).Boot.dom_kernel in
+  Clone.set_int sys ~image:b.Boot.domains.(0).Boot.dom_kernel_cap ~irq:7;
+  Irq.arm_timer (System.irq sys) ~core:0 ~irq:7 ~at:0;
+  (* While kernel 1 is current, the partitioned IRQ must not fire. *)
+  Alcotest.(check (list int)) "deferred under k1" []
+    (Irq.pending (System.irq sys) ~core:0 ~now:100 ~partitioned:true ~current:k1);
+  Alcotest.(check (list int)) "delivered under k0" [ 7 ]
+    (Irq.pending (System.irq sys) ~core:0 ~now:100 ~partitioned:true ~current:k0)
+
+let test_irq_unpartitioned_delivers_anywhere () =
+  let b = boot_raw () in
+  let sys = b.Boot.sys in
+  Irq.arm_timer (System.irq sys) ~core:0 ~irq:9 ~at:0;
+  Alcotest.(check (list int)) "raw: delivered" [ 9 ]
+    (Irq.pending (System.irq sys) ~core:0 ~now:1 ~partitioned:false
+       ~current:(System.initial_kernel sys))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let mk_tcb prio =
+  {
+    Types.t_id = Types.fresh_id ();
+    t_prio = prio;
+    t_state = Types.Ts_ready;
+    t_vspace = None;
+    t_kernel = None;
+    t_core = 0;
+    t_sc = None;
+    t_domain = 0;
+    t_frames = [];
+    t_is_idle = false;
+  }
+
+let test_sched_priority_order () =
+  let s = Sched.create ~cores:1 in
+  let lo = mk_tcb 10 and hi = mk_tcb 200 in
+  Sched.enqueue s ~core:0 lo;
+  Sched.enqueue s ~core:0 hi;
+  (match Sched.dequeue_highest s ~core:0 with
+  | Some t -> Alcotest.(check int) "highest first" hi.Types.t_id t.Types.t_id
+  | None -> Alcotest.fail "empty");
+  match Sched.dequeue_highest s ~core:0 with
+  | Some t -> Alcotest.(check int) "then lower" lo.Types.t_id t.Types.t_id
+  | None -> Alcotest.fail "empty"
+
+let test_sched_fifo_within_priority () =
+  let s = Sched.create ~cores:1 in
+  let a = mk_tcb 50 and b = mk_tcb 50 in
+  Sched.enqueue s ~core:0 a;
+  Sched.enqueue s ~core:0 b;
+  (match Sched.dequeue_highest s ~core:0 with
+  | Some t -> Alcotest.(check int) "fifo" a.Types.t_id t.Types.t_id
+  | None -> Alcotest.fail "empty")
+
+let test_sched_remove () =
+  let s = Sched.create ~cores:1 in
+  let a = mk_tcb 50 and b = mk_tcb 50 in
+  Sched.enqueue s ~core:0 a;
+  Sched.enqueue s ~core:0 b;
+  Sched.remove s ~core:0 a;
+  Alcotest.(check bool) "a gone" false (Sched.is_queued s ~core:0 a);
+  Alcotest.(check int) "one left" 1 (Sched.queued_count s ~core:0)
+
+let qcheck_sched_always_highest =
+  QCheck.Test.make ~name:"dequeue always returns max priority" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_bound 255))
+    (fun prios ->
+      let s = Sched.create ~cores:1 in
+      List.iter (fun p -> Sched.enqueue s ~core:0 (mk_tcb p)) prios;
+      match Sched.dequeue_highest s ~core:0 with
+      | Some t -> t.Types.t_prio = List.fold_left max 0 prios
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Domain switch *)
+
+let test_switch_updates_current () =
+  let b = boot_protected () in
+  let d0 = b.Boot.domains.(0) in
+  let tcb = Boot.spawn b d0 (fun _ -> ()) in
+  Sched.remove (System.sched b.Boot.sys) ~core:0 tcb;
+  let cost = Domain_switch.switch b.Boot.sys ~core:0 ~to_:tcb in
+  let pc = System.per_core b.Boot.sys 0 in
+  Alcotest.(check bool) "kernel switched" true cost.Domain_switch.kernel_switched;
+  Alcotest.(check bool) "cur thread" true
+    (match pc.System.cur_thread with Some t -> t.Types.t_id = tcb.Types.t_id | None -> false);
+  Alcotest.(check bool) "cur kernel" true
+    (pc.System.cur_kernel.Types.ki_id = d0.Boot.dom_kernel.Types.ki_id)
+
+let test_switch_flushes_on_core_state () =
+  let b = boot_protected ~platform:sabre () in
+  let sys = b.Boot.sys in
+  let m = System.machine sys in
+  (* Dirty the L1 and TLB. *)
+  for i = 0 to 63 do
+    ignore
+      (Tp_hw.Machine.access m ~core:0 ~asid:7 ~vaddr:(i * 4096) ~paddr:(i * 4096)
+         ~kind:Tp_hw.Defs.Write ())
+  done;
+  let tcb = Boot.spawn b b.Boot.domains.(0) (fun _ -> ()) in
+  Sched.remove (System.sched sys) ~core:0 tcb;
+  let cost = Domain_switch.switch sys ~core:0 ~to_:tcb in
+  Alcotest.(check bool) "flush cost positive" true (cost.Domain_switch.flush > 0);
+  (* The switch's own post-flush steps (shared-data prefetch, timer
+     reprogramming) re-install a few kernel TLB entries, but every
+     pre-switch user entry must be gone. *)
+  for i = 0 to 63 do
+    Alcotest.(check bool) "user TLB entry flushed" false
+      (Tp_hw.Tlb.probe (Tp_hw.Machine.dtlb m ~core:0) ~asid:7 ~vpn:i)
+  done
+
+let test_switch_padding_makes_total_constant () =
+  (* With padding, total switch latency is the pad regardless of the
+     dirty state left behind (Requirement 4 / Table 4). *)
+  let run ~dirty =
+    let b = boot_protected ~platform:sabre () in
+    let sys = b.Boot.sys in
+    let m = System.machine sys in
+    for i = 0 to dirty - 1 do
+      ignore
+        (Tp_hw.Machine.access m ~core:0 ~asid:7 ~vaddr:(i * 32) ~paddr:(i * 32)
+           ~kind:Tp_hw.Defs.Write ())
+    done;
+    let tcb = Boot.spawn b b.Boot.domains.(0) (fun _ -> ()) in
+    Sched.remove (System.sched sys) ~core:0 tcb;
+    let d1 = b.Boot.domains.(1) in
+    let tcb1 = Boot.spawn b d1 (fun _ -> ()) in
+    Sched.remove (System.sched sys) ~core:0 tcb1;
+    ignore (Domain_switch.switch sys ~core:0 ~to_:tcb);
+    (* Second switch crosses kernels with a padded outgoing kernel. *)
+    (Domain_switch.switch sys ~core:0 ~to_:tcb1).Domain_switch.total
+  in
+  let a = run ~dirty:0 and bm = run ~dirty:1000 in
+  Alcotest.(check int) "padded totals equal" a bm
+
+let test_switch_no_pad_varies () =
+  let cfgp = { (Config.protected_ sabre) with Config.pad_cycles = 0 } in
+  let run ~dirty =
+    let b = Boot.boot ~platform:sabre ~config:cfgp ~domains:2 () in
+    let sys = b.Boot.sys in
+    let m = System.machine sys in
+    for i = 0 to dirty - 1 do
+      ignore
+        (Tp_hw.Machine.access m ~core:0 ~asid:7 ~vaddr:(i * 32) ~paddr:(i * 32)
+           ~kind:Tp_hw.Defs.Write ())
+    done;
+    let tcb = Boot.spawn b b.Boot.domains.(0) (fun _ -> ()) in
+    Sched.remove (System.sched sys) ~core:0 tcb;
+    (* Measure the first kernel-crossing switch: the one that writes
+       back the dirt the "sender" left. *)
+    (Domain_switch.switch sys ~core:0 ~to_:tcb).Domain_switch.total
+  in
+  Alcotest.(check bool) "unpadded totals vary with dirtiness" true
+    (run ~dirty:1000 > run ~dirty:0)
+
+let test_switch_raw_no_flush () =
+  let b = boot_raw () in
+  let tcb = Boot.spawn b b.Boot.domains.(0) (fun _ -> ()) in
+  Sched.remove (System.sched b.Boot.sys) ~core:0 tcb;
+  let cost = Domain_switch.switch b.Boot.sys ~core:0 ~to_:tcb in
+  Alcotest.(check int) "no flush in raw mode" 0 cost.Domain_switch.flush;
+  Alcotest.(check int) "no padding in raw mode" 0 cost.Domain_switch.pad_wait
+
+(* ------------------------------------------------------------------ *)
+(* Memory mapping and user access *)
+
+let test_alloc_pages_and_access () =
+  let b = boot_protected () in
+  let d0 = b.Boot.domains.(0) in
+  let base = Boot.alloc_pages b d0 ~pages:4 in
+  let tcb = Boot.spawn b d0 (fun _ -> ()) in
+  let lat = System.user_access b.Boot.sys ~core:0 tcb ~vaddr:base ~kind:Tp_hw.Defs.Read in
+  Alcotest.(check bool) "access works" true (lat > 0)
+
+let test_alloc_pages_coloured () =
+  let b = boot_protected () in
+  let d1 = b.Boot.domains.(1) in
+  let base = Boot.alloc_pages b d1 ~pages:8 in
+  let vs = d1.Boot.dom_vspace in
+  for i = 0 to 7 do
+    let pa = System.translate vs (base + (i * 4096)) in
+    let frame = pa / 4096 in
+    Alcotest.(check bool) "frame colour within domain" true
+      (Colour.mem d1.Boot.dom_colours (Colour.colour_of_frame ~n_colours:8 frame))
+  done
+
+let test_unmapped_access_faults () =
+  let b = boot_protected () in
+  let tcb = Boot.spawn b b.Boot.domains.(0) (fun _ -> ()) in
+  expect_error Types.Invalid_capability (fun () ->
+      System.user_access b.Boot.sys ~core:0 tcb ~vaddr:0x7000_0000
+        ~kind:Tp_hw.Defs.Read)
+
+(* ------------------------------------------------------------------ *)
+(* Exec driver *)
+
+let test_exec_runs_bodies_alternately () =
+  let b = boot_protected () in
+  let log = ref [] in
+  let mk id = fun _ctx -> log := id :: !log in
+  ignore (Boot.spawn b b.Boot.domains.(0) (mk 0));
+  ignore (Boot.spawn b b.Boot.domains.(1) (mk 1));
+  Exec.run_slices b.Boot.sys ~core:0 ~slice_cycles:200_000 ~slices:6 ();
+  let runs = List.rev !log in
+  Alcotest.(check int) "six slices" 6 (List.length runs);
+  (* Round robin: adjacent slices alternate domains. *)
+  let rec alternates = function
+    | a :: b :: rest -> a <> b && alternates (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "alternating" true (alternates runs)
+
+let test_exec_preempts_infinite_body () =
+  let b = boot_protected () in
+  let iters = ref 0 in
+  ignore
+    (Boot.spawn b b.Boot.domains.(0) (fun ctx ->
+         while true do
+           incr iters;
+           Uctx.compute ctx 100
+         done));
+  Exec.run_slices b.Boot.sys ~core:0 ~slice_cycles:100_000 ~slices:2 ();
+  Alcotest.(check bool) "body preempted, made progress" true (!iters > 100)
+
+let test_exec_slice_timing () =
+  let b = boot_protected ~platform:sabre () in
+  let sys = b.Boot.sys in
+  ignore (Boot.spawn b b.Boot.domains.(0) (fun _ -> ()));
+  let t0 = System.now sys ~core:0 in
+  Exec.run_slices sys ~core:0 ~slice_cycles:50_000 ~slices:4 ();
+  let elapsed = System.now sys ~core:0 - t0 in
+  Alcotest.(check bool) "~4 slices worth of cycles" true (elapsed >= 200_000)
+
+let test_uctx_timer_interrupts_online_time () =
+  (* A fired, unpartitioned timer interrupts the running thread and
+     shows as a cycle jump (the Figure 6 receiver's observable). *)
+  let b = boot_raw () in
+  let sys = b.Boot.sys in
+  let jumps = ref 0 in
+  ignore
+    (Boot.spawn b b.Boot.domains.(0) (fun ctx ->
+         Irq.arm_timer (System.irq sys) ~core:0 ~irq:4 ~at:(Uctx.now ctx + 20_000);
+         let last = ref (Uctx.now ctx) in
+         try
+           while true do
+             Uctx.compute ctx 10;
+             let n = Uctx.now ctx in
+             if n - !last > 1_000 then incr jumps;
+             last := n
+           done
+         with Uctx.Preempted -> ()));
+  Exec.run_slices sys ~core:0 ~slice_cycles:100_000 ~slices:1 ();
+  Alcotest.(check int) "exactly one mid-slice jump" 1 !jumps
+
+(* ------------------------------------------------------------------ *)
+(* IPC *)
+
+let test_ipc_cost_positive_and_warm () =
+  let b = boot_raw () in
+  let sys = b.Boot.sys in
+  let d0 = b.Boot.domains.(0) in
+  let ep = Boot.new_endpoint b d0 in
+  let t1 = Boot.spawn b d0 (fun _ -> ()) in
+  let t2 = Boot.spawn b d0 (fun _ -> ()) in
+  let cold = Ipc.one_way sys ~core:0 ~ep ~from:t1 ~to_:t2 in
+  let warm = Ipc.one_way sys ~core:0 ~ep ~from:t2 ~to_:t1 in
+  Alcotest.(check bool) "cold > warm" true (cold > warm);
+  Alcotest.(check bool) "warm is hundreds of cycles" true
+    (warm > 100 && warm < 5_000)
+
+let test_ipc_rendezvous_blocks_and_wakes () =
+  let b = boot_raw () in
+  let sys = b.Boot.sys in
+  let d0 = b.Boot.domains.(0) in
+  let ep = Boot.new_endpoint b d0 in
+  let t1 = Boot.spawn b d0 (fun _ -> ()) in
+  let t2 = Boot.spawn b d0 (fun _ -> ()) in
+  Sched.remove (System.sched sys) ~core:0 t1;
+  Sched.remove (System.sched sys) ~core:0 t2;
+  Alcotest.(check bool) "recv with no sender blocks" false
+    (Ipc.recv sys ~core:0 ~ep t2);
+  Alcotest.(check bool) "blocked state" true
+    (t2.Types.t_state = Types.Ts_blocked_recv);
+  Ipc.send sys ~core:0 ~ep t1;
+  Alcotest.(check bool) "receiver woken" true (t2.Types.t_state = Types.Ts_ready)
+
+let test_ipc_global_mappings_cheaper_on_arm () =
+  (* Table 5's mechanism: per-ASID kernel mappings (colour-ready) cost
+     more on the Sabre's tiny TLBs than global mappings (original). *)
+  let measure config =
+    let b = Boot.boot ~platform:sabre ~config ~domains:1 () in
+    let sys = b.Boot.sys in
+    let d0 = b.Boot.domains.(0) in
+    let ep = Boot.new_endpoint b d0 in
+    let t1 = Boot.spawn b d0 (fun _ -> ()) in
+    let t2 = Boot.spawn b d0 (fun _ -> ()) in
+    (* Give the two threads distinct address spaces. *)
+    let asid = System.alloc_asid sys in
+    let vs_cap = Retype.retype_vspace d0.Boot.dom_pool ~asid in
+    (match vs_cap.Types.target with
+    | Types.Obj_vspace vs -> t2.Types.t_vspace <- Some vs
+    | _ -> ());
+    (* Warm up, then measure the steady state of ping-pong IPC. *)
+    for _ = 1 to 10 do
+      ignore (Ipc.one_way sys ~core:0 ~ep ~from:t1 ~to_:t2);
+      ignore (Ipc.one_way sys ~core:0 ~ep ~from:t2 ~to_:t1)
+    done;
+    let t0 = System.now sys ~core:0 in
+    for _ = 1 to 50 do
+      ignore (Ipc.one_way sys ~core:0 ~ep ~from:t1 ~to_:t2);
+      ignore (Ipc.one_way sys ~core:0 ~ep ~from:t2 ~to_:t1)
+    done;
+    (System.now sys ~core:0 - t0) / 100
+  in
+  let original = measure Config.raw in
+  let colour_ready =
+    measure { Config.raw with Config.clone_kernel = true }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "colour-ready (%d) slower than original (%d)" colour_ready
+       original)
+    true
+    (colour_ready > original)
+
+let suite =
+  [
+    Alcotest.test_case "colour split disjoint" `Quick test_colour_split_disjoint;
+    Alcotest.test_case "colour split uneven" `Quick test_colour_split_uneven;
+    Alcotest.test_case "colour fraction" `Quick test_colour_fraction;
+    Alcotest.test_case "colour of frame" `Quick test_colour_of_frame;
+    Alcotest.test_case "phys coloured alloc" `Quick test_phys_alloc_coloured;
+    Alcotest.test_case "phys free/reuse" `Quick test_phys_free_and_reuse;
+    Alcotest.test_case "phys exhaustion" `Quick test_phys_exhaustion;
+    Alcotest.test_case "retype takes frames" `Quick test_retype_takes_frames;
+    Alcotest.test_case "retype exhaustion" `Quick test_retype_exhaustion;
+    Alcotest.test_case "split colours" `Quick test_split_colours;
+    Alcotest.test_case "split colours insufficient" `Quick test_split_colours_insufficient;
+    Alcotest.test_case "derive strips clone right" `Quick test_cap_derive_strips_clone_right;
+    Alcotest.test_case "derive invalid parent" `Quick test_cap_derive_invalid_parent;
+    Alcotest.test_case "descendants postorder" `Quick test_cap_descendants_postorder;
+    Alcotest.test_case "boot: disjoint colours" `Quick test_boot_protected_disjoint_colours;
+    Alcotest.test_case "boot: distinct kernels" `Quick test_boot_protected_distinct_kernels;
+    Alcotest.test_case "boot: raw shares kernel" `Quick test_boot_raw_shares_kernel;
+    Alcotest.test_case "clone: image coloured" `Quick test_cloned_kernel_is_coloured;
+    Alcotest.test_case "clone: idle thread" `Quick test_clone_has_idle_thread;
+    Alcotest.test_case "clone: needs right" `Quick test_clone_without_right_fails;
+    Alcotest.test_case "clone: costs cycles" `Quick test_clone_cost_positive;
+    Alcotest.test_case "destroy: suspends threads" `Quick test_destroy_suspends_threads;
+    Alcotest.test_case "destroy: IPI fallback" `Quick
+      test_destroy_running_kernel_falls_back_to_initial;
+    Alcotest.test_case "destroy: initial rejected" `Quick test_destroy_initial_rejected;
+    Alcotest.test_case "revoke master destroys clones" `Quick
+      test_revoke_master_destroys_clones;
+    Alcotest.test_case "asid freed on destroy" `Quick test_asid_freed_on_destroy;
+    Alcotest.test_case "irq set_int conflict" `Quick test_irq_set_int_conflict;
+    Alcotest.test_case "irq freed on destroy" `Quick test_irq_freed_on_destroy;
+    Alcotest.test_case "irq partition defers" `Quick test_irq_partition_defers_foreign_timer;
+    Alcotest.test_case "irq raw delivers" `Quick test_irq_unpartitioned_delivers_anywhere;
+    Alcotest.test_case "sched priority order" `Quick test_sched_priority_order;
+    Alcotest.test_case "sched fifo" `Quick test_sched_fifo_within_priority;
+    Alcotest.test_case "sched remove" `Quick test_sched_remove;
+    QCheck_alcotest.to_alcotest qcheck_sched_always_highest;
+    Alcotest.test_case "switch updates current" `Quick test_switch_updates_current;
+    Alcotest.test_case "switch flushes on-core" `Quick test_switch_flushes_on_core_state;
+    Alcotest.test_case "switch padding constant" `Quick
+      test_switch_padding_makes_total_constant;
+    Alcotest.test_case "switch no-pad varies" `Quick test_switch_no_pad_varies;
+    Alcotest.test_case "switch raw no flush" `Quick test_switch_raw_no_flush;
+    Alcotest.test_case "alloc+access" `Quick test_alloc_pages_and_access;
+    Alcotest.test_case "alloc pages coloured" `Quick test_alloc_pages_coloured;
+    Alcotest.test_case "unmapped faults" `Quick test_unmapped_access_faults;
+    Alcotest.test_case "exec alternates" `Quick test_exec_runs_bodies_alternately;
+    Alcotest.test_case "exec preempts" `Quick test_exec_preempts_infinite_body;
+    Alcotest.test_case "exec slice timing" `Quick test_exec_slice_timing;
+    Alcotest.test_case "uctx timer interrupt jump" `Quick
+      test_uctx_timer_interrupts_online_time;
+    Alcotest.test_case "ipc cost" `Quick test_ipc_cost_positive_and_warm;
+    Alcotest.test_case "ipc rendezvous" `Quick test_ipc_rendezvous_blocks_and_wakes;
+    Alcotest.test_case "ipc arm colour-ready slower" `Quick
+      test_ipc_global_mappings_cheaper_on_arm;
+  ]

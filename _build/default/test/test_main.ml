@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "time-protection"
+    [
+      ("util", Test_util.suite);
+      ("hw", Test_hw.suite);
+      ("channel", Test_channel.suite);
+      ("kernel", Test_kernel.suite);
+      ("extensions", Test_extensions.suite);
+      ("invariants", Test_invariants.suite);
+      ("mcs", Test_mcs.suite);
+      ("cspace", Test_cspace.suite);
+      ("attacks", Test_attacks.suite);
+      ("workloads", Test_workloads.suite);
+      ("core", Test_core.suite);
+    ]

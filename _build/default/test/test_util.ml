@@ -1,0 +1,179 @@
+(* Tests for Tp_util: PRNG determinism and distribution, statistics,
+   histogram, table rendering. *)
+
+open Tp_util
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  (* The split stream must not simply equal the parent's continuation. *)
+  let xs = Array.init 16 (fun _ -> Rng.bits64 a) in
+  let ys = Array.init 16 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "split differs" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let r = Rng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in [lo,hi]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create ~seed:6 in
+  let xs = Array.init 20_000 (fun _ -> Rng.gaussian r ~mu:3.0 ~sigma:2.0) in
+  let m = Stats.mean xs and s = Stats.std xs in
+  Alcotest.(check bool) "mean ~ 3" true (Float.abs (m -. 3.0) < 0.1);
+  Alcotest.(check bool) "std ~ 2" true (Float.abs (s -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create ~seed:8 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 Fun.id) sorted;
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 100 Fun.id)
+
+let test_rng_permutation () =
+  let r = Rng.create ~seed:9 in
+  let p = Rng.permutation r 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 Fun.id) sorted
+
+let test_stats_mean_var () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean a);
+  Alcotest.(check (float 1e-9)) "variance" (5.0 /. 3.0) (Stats.variance a);
+  Alcotest.(check (float 1e-9)) "sum" 10.0 (Stats.sum a)
+
+let test_stats_singleton () =
+  Alcotest.(check (float 1e-9)) "var of singleton" 0.0 (Stats.variance [| 5.0 |]);
+  Alcotest.(check (float 1e-9)) "median" 5.0 (Stats.median [| 5.0 |])
+
+let test_stats_median_even () =
+  Alcotest.(check (float 1e-9)) "median even" 2.5
+    (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_stats_percentile () =
+  let a = Array.init 101 float_of_int in
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.percentile a 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile a 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile a 100.0);
+  Alcotest.(check (float 1e-9)) "p25" 25.0 (Stats.percentile a 25.0)
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
+
+let test_stats_does_not_mutate () =
+  let a = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.median a);
+  ignore (Stats.percentile a 50.0);
+  Alcotest.(check (array (float 0.0))) "unchanged" [| 3.0; 1.0; 2.0 |] a
+
+let test_histogram_counts () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.6; 9.5; -3.0; 42.0 ];
+  Alcotest.(check int) "bin 0 (incl clamped low)" 2 (Histogram.count h 0);
+  Alcotest.(check int) "bin 1" 2 (Histogram.count h 1);
+  Alcotest.(check int) "bin 9 (incl clamped high)" 2 (Histogram.count h 9);
+  Alcotest.(check int) "total" 6 (Histogram.total h)
+
+let test_histogram_bin_center () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Alcotest.(check (float 1e-9)) "center of bin 0" 0.5 (Histogram.bin_center h 0)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_table_renders () =
+  let t = Table.create ~title:"T" ~headers:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_sep t;
+  Table.add_row t [ "333" ];
+  let s = Format.asprintf "%a" Table.pp t in
+  Alcotest.(check bool) "has title" true (String.length s > 0);
+  Alcotest.(check bool) "contains 333" true (contains_substring s "333")
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(pair (array_of_size Gen.(int_range 1 40) (float_range (-100.) 100.))
+              (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (a, (p1, p2)) ->
+      QCheck.assume (Array.length a > 0);
+      let lo = Stdlib.min p1 p2 and hi = Stdlib.max p1 p2 in
+      Tp_util.Stats.percentile a lo <= Tp_util.Stats.percentile a hi +. 1e-9)
+
+let qcheck_mean_bounds =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-1000.) 1000.))
+    (fun a ->
+      QCheck.assume (Array.length a > 0);
+      let m = Tp_util.Stats.mean a in
+      m >= Tp_util.Stats.min a -. 1e-9 && m <= Tp_util.Stats.max a +. 1e-9)
+
+let qcheck_shuffle_preserves_multiset =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
+    QCheck.(pair small_int (array small_int))
+    (fun (seed, a) ->
+      let b = Array.copy a in
+      Tp_util.Rng.shuffle (Tp_util.Rng.create ~seed) b;
+      let sa = Array.copy a and sb = Array.copy b in
+      Array.sort compare sa;
+      Array.sort compare sb;
+      sa = sb)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng int_in" `Quick test_rng_int_in;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
+    Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "rng permutation" `Quick test_rng_permutation;
+    Alcotest.test_case "stats mean/var" `Quick test_stats_mean_var;
+    Alcotest.test_case "stats singleton" `Quick test_stats_singleton;
+    Alcotest.test_case "stats median even" `Quick test_stats_median_even;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
+    Alcotest.test_case "stats pure" `Quick test_stats_does_not_mutate;
+    Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
+    Alcotest.test_case "histogram centers" `Quick test_histogram_bin_center;
+    Alcotest.test_case "table renders" `Quick test_table_renders;
+    QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+    QCheck_alcotest.to_alcotest qcheck_mean_bounds;
+    QCheck_alcotest.to_alcotest qcheck_shuffle_preserves_multiset;
+  ]

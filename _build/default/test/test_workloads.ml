@@ -1,0 +1,125 @@
+(* Tests for the SPLASH-2-signature workloads and their use in the
+   performance experiments. *)
+
+open Tp_kernel
+
+let haswell = Tp_hw.Platform.haswell
+
+let test_all_workloads_present () =
+  Alcotest.(check int) "eleven programs (volrend omitted)" 11
+    (List.length Tp_workloads.Splash.all);
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "ws positive" true (w.Tp_workloads.Splash.ws_kib > 0);
+      Alcotest.(check bool) "write ratio sane" true
+        (w.Tp_workloads.Splash.write_ratio >= 0.0
+        && w.Tp_workloads.Splash.write_ratio <= 1.0))
+    Tp_workloads.Splash.all
+
+let test_by_name () =
+  Alcotest.(check bool) "raytrace found" true
+    (Tp_workloads.Splash.by_name "raytrace" <> None);
+  Alcotest.(check bool) "volrend absent" true
+    (Tp_workloads.Splash.by_name "volrend" = None)
+
+let boot_one () =
+  Boot.boot ~platform:haswell ~config:Config.raw ~domains:1 ()
+
+let test_run_alone_completes () =
+  let b = boot_one () in
+  let w = Option.get (Tp_workloads.Splash.by_name "fft") in
+  let rng = Tp_util.Rng.create ~seed:1 in
+  let cycles =
+    Tp_workloads.Splash.run_alone b b.Boot.domains.(0) w ~accesses:20_000 ~rng
+  in
+  Alcotest.(check bool) "positive cycle count" true (cycles > 0);
+  (* Sanity: 20k memory accesses cannot be faster than an L1 hit each. *)
+  Alcotest.(check bool) "at least L1-hit speed" true (cycles > 20_000 * 4)
+
+let test_accesses_stay_in_span () =
+  (* The body must never touch outside its buffer: an out-of-span
+     access would fault on the unmapped page. *)
+  let b = boot_one () in
+  let w = Option.get (Tp_workloads.Splash.by_name "barnes") in
+  let rng = Tp_util.Rng.create ~seed:2 in
+  let cycles =
+    Tp_workloads.Splash.run_alone b b.Boot.domains.(0) w ~accesses:20_000 ~rng
+  in
+  Alcotest.(check bool) "no fault" true (cycles > 0)
+
+let test_colouring_halves_l2_reach () =
+  (* With 50% of colours, the workload's lines can occupy at most half
+     the physically-indexed L2. *)
+  let cfg = { Config.raw with Config.colour_user = true } in
+  let b = Boot.boot ~colour_percent:50 ~platform:haswell ~config:cfg ~domains:1 () in
+  let w = Option.get (Tp_workloads.Splash.by_name "raytrace") in
+  let rng = Tp_util.Rng.create ~seed:3 in
+  ignore (Tp_workloads.Splash.run_alone b b.Boot.domains.(0) w ~accesses:60_000 ~rng);
+  let l2 = Option.get (Tp_hw.Machine.l2 (System.machine b.Boot.sys) ~core:0) in
+  let cap = Tp_hw.Cache.capacity_lines l2 in
+  Alcotest.(check bool) "at most ~half the L2 occupied" true
+    (Tp_hw.Cache.valid_lines l2 <= (cap / 2) + 64)
+
+let test_cache_hungry_workload_slows_under_colouring () =
+  let w = Option.get (Tp_workloads.Splash.by_name "raytrace") in
+  let run config cp =
+    let b = Boot.boot ~colour_percent:cp ~platform:haswell ~config ~domains:1 () in
+    let rng = Tp_util.Rng.create ~seed:4 in
+    Tp_workloads.Splash.run_alone b b.Boot.domains.(0) w ~accesses:80_000 ~rng
+  in
+  let base = run Config.raw 100 in
+  let halved = run { Config.raw with Config.colour_user = true } 50 in
+  Alcotest.(check bool)
+    (Printf.sprintf "50%% colours slower (%d vs %d)" halved base)
+    true
+    (halved > base)
+
+let test_fitting_workload_insensitive () =
+  (* On the Sabre, waternsquared's 192 KiB working set fits even half
+     the 1 MiB LLC: colouring must cost (almost) nothing.  (On the
+     Haswell the colouring grain is the small 256 KiB L2, which no
+     modelled working set fits at 50%.) *)
+  let w = Option.get (Tp_workloads.Splash.by_name "waternsquared") in
+  let run config cp =
+    let b =
+      Boot.boot ~colour_percent:cp ~platform:Tp_hw.Platform.sabre ~config
+        ~domains:1 ()
+    in
+    let rng = Tp_util.Rng.create ~seed:5 in
+    Tp_workloads.Splash.run_alone b b.Boot.domains.(0) w ~accesses:80_000 ~rng
+  in
+  let base = run Config.raw 100 in
+  let halved = run { Config.raw with Config.colour_user = true } 50 in
+  let slowdown = float_of_int halved /. float_of_int base -. 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "slowdown %.3f%% < 2%%" (100. *. slowdown))
+    true
+    (slowdown < 0.02)
+
+let test_body_counts_accesses () =
+  let b = boot_one () in
+  let w = Option.get (Tp_workloads.Splash.by_name "lu") in
+  let pages = w.Tp_workloads.Splash.ws_kib * 1024 / 4096 in
+  let buf = Boot.alloc_pages b b.Boot.domains.(0) ~pages in
+  let acc = ref 0 in
+  let rng = Tp_util.Rng.create ~seed:6 in
+  ignore
+    (Boot.spawn b b.Boot.domains.(0)
+       (Tp_workloads.Splash.body w ~buf ~rng ~accesses:acc ()));
+  Exec.run_slices b.Boot.sys ~core:0 ~slice_cycles:100_000 ~slices:2 ();
+  Alcotest.(check bool) "counted accesses" true (!acc > 100)
+
+let suite =
+  [
+    Alcotest.test_case "all workloads present" `Quick test_all_workloads_present;
+    Alcotest.test_case "by_name" `Quick test_by_name;
+    Alcotest.test_case "run_alone completes" `Quick test_run_alone_completes;
+    Alcotest.test_case "accesses stay in span" `Quick test_accesses_stay_in_span;
+    Alcotest.test_case "colouring halves L2 reach" `Quick
+      test_colouring_halves_l2_reach;
+    Alcotest.test_case "cache-hungry slows under colouring" `Slow
+      test_cache_hungry_workload_slows_under_colouring;
+    Alcotest.test_case "fitting workload insensitive" `Slow
+      test_fitting_workload_insensitive;
+    Alcotest.test_case "body counts accesses" `Quick test_body_counts_accesses;
+  ]
