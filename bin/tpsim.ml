@@ -31,11 +31,60 @@ let verbose_arg =
   let doc = "Log kernel events (clone/destroy/switch) to stderr." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let inject_arg =
+  let doc =
+    "Arm a one-shot kernel fault at injection point $(docv) (format \
+     POINT[:HIT], e.g. clone.copy:2 for the third crossing); exercises \
+     the kernel's error paths and the harness's recovery under a real \
+     experiment.  See `tpsim faults' for the point names."
+  in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"POINT" ~doc)
+
+let budget_arg =
+  let doc =
+    "Simulated-cycle budget per measurement; when exhausted, collection \
+     stops early and the result is reported as degraded (partial) \
+     instead of running to completion."
+  in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"CYCLES" ~doc)
+
 let setup_logging verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
   end
+
+let setup_fault = function
+  | None -> ()
+  | Some s ->
+      let point, hit =
+        match String.index_opt s ':' with
+        | None -> (s, 0)
+        | Some i -> (
+            ( String.sub s 0 i,
+              match
+                int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+              with
+              | Some h when h >= 0 -> h
+              | Some _ | None ->
+                  prerr_endline
+                    "tpsim: --inject expects POINT[:HIT] with HIT a \
+                     non-negative integer, e.g. clone.copy:2";
+                  exit 1 ))
+      in
+      let known = Tp_fault.Fault.points () in
+      if not (List.mem point known) then
+        Printf.eprintf
+          "tpsim: warning: unknown injection point %s (known: %s)\n%!" point
+          (String.concat ", " known);
+      Tp_fault.Fault.arm ~point ~hit
+        (Tp_kernel.Types.Kernel_error Tp_kernel.Types.Insufficient_untyped)
+
+let setup_budget = function
+  | None -> ()
+  | Some c ->
+      Tp_attacks.Harness.set_default_budget
+        { Tp_attacks.Harness.max_cycles = Some c; max_wall_s = None }
 
 let quality_of s =
   match Quality.of_string s with
@@ -55,13 +104,23 @@ let cmd_platforms =
     Term.(const run $ const ())
 
 let mk_cmd name doc f =
-  let run plats quality seed verbose =
+  let run plats quality seed verbose inject budget =
     setup_logging verbose;
+    setup_fault inject;
+    setup_budget budget;
     let q = quality_of quality in
-    run_over plats (fun p -> f q ~seed p)
+    try run_over plats (fun p -> f q ~seed p)
+    with Tp_kernel.Types.Kernel_error e when inject <> None ->
+      (* The armed fault fired outside a recoverable loop (e.g. during
+         scenario boot) and propagated cleanly — the error path held. *)
+      Format.printf "experiment aborted by injected fault: %s@."
+        (Tp_kernel.Types.error_to_string e);
+      exit 2
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ platform_arg $ quality_arg $ seed_arg $ verbose_arg)
+    Term.(
+      const run $ platform_arg $ quality_arg $ seed_arg $ verbose_arg
+      $ inject_arg $ budget_arg)
 
 let table2 _q ~seed:_ p = Report.table2 (Exp_table2.run p)
 let fig3 q ~seed p = Report.fig3 (Exp_fig3.run q ~seed p)
@@ -216,9 +275,60 @@ let all q ~seed p =
   mls q ~seed p;
   calibrate q ~seed p
 
+let cmd_faults =
+  (* Systematic fail-at-step-N sweep: for every standard kernel
+     operation, inject every fault kind at every injection-point
+     crossing and check the global invariant suite afterwards.
+     Exits non-zero if any error path leaks state. *)
+  let run plats verbose =
+    setup_logging verbose;
+    let bad = ref 0 in
+    run_over plats (fun p ->
+        Format.printf "Fail-at-step-N sweep on %s:@." p.Tp_hw.Platform.name;
+        List.iter
+          (fun (c : Tp_fault_driver.Driver.case) ->
+            let outcomes = Tp_fault_driver.Driver.fail_at_each c in
+            let good =
+              List.length (List.filter Tp_fault_driver.Driver.ok outcomes)
+            in
+            Format.printf "  %-14s %3d injected faults, %3d left consistent@."
+              c.Tp_fault_driver.Driver.c_name (List.length outcomes) good;
+            List.iter
+              (fun (o : Tp_fault_driver.Driver.outcome) ->
+                if not (Tp_fault_driver.Driver.ok o) then begin
+                  incr bad;
+                  Format.printf
+                    "    FAIL %s:%d %s — fired=%b raised=%s@."
+                    o.Tp_fault_driver.Driver.o_point
+                    o.Tp_fault_driver.Driver.o_occurrence
+                    (Tp_kernel.Types.error_to_string
+                       o.Tp_fault_driver.Driver.o_error)
+                    o.Tp_fault_driver.Driver.o_fired
+                    (Option.value ~default:"<nothing>"
+                       o.Tp_fault_driver.Driver.o_raised);
+                  List.iter
+                    (Format.printf "      violated: %s@.")
+                    o.Tp_fault_driver.Driver.o_violations
+                end)
+              outcomes)
+          (Tp_fault_driver.Driver.standard_cases ~platform:p);
+        Format.printf "@.");
+    if !bad > 0 then begin
+      Format.printf "%d fault outcomes left the kernel inconsistent@." !bad;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault-injection sweep: fail every kernel operation at every \
+          injection point and check the global invariants.")
+    Term.(const run $ platform_arg $ verbose_arg)
+
 let cmds =
   [
     cmd_platforms;
+    cmd_faults;
     mk_cmd "table2" "Worst-case cache flush costs (Table 2)." table2;
     mk_cmd "fig3" "Kernel-image covert channel matrix (Figure 3)." fig3;
     mk_cmd "table3" "Intra-core timing channels (Table 3)." table3;

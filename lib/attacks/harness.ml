@@ -1,11 +1,17 @@
 open Tp_kernel
 
+type budget = { max_cycles : int option; max_wall_s : float option }
+
+let no_budget = { max_cycles = None; max_wall_s = None }
+
 type spec = {
   samples : int;
   symbols : int;
   slice_cycles : int;
   noise_sigma : float;
   warmup : int;
+  checkpoint_slices : int;
+  budget : budget;
 }
 
 let default_spec p =
@@ -15,9 +21,115 @@ let default_spec p =
     slice_cycles = Tp_hw.Platform.us_to_cycles p 1000.0 (* 1 ms, as in §5.3.1 *);
     noise_sigma = 8.0;
     warmup = 4;
+    checkpoint_slices = 64;
+    budget = no_budget;
   }
 
-let run_pair b ~sender ~receiver spec ~rng =
+(* Process-wide default budget, for tooling (tpsim --budget) that
+   cannot reach into every experiment's spec.  A spec's own budget
+   fields win. *)
+let default_budget = ref no_budget
+let set_default_budget b = default_budget := b
+
+let effective_budget spec =
+  let pick a b = match a with Some _ -> a | None -> b in
+  {
+    max_cycles = pick spec.budget.max_cycles !default_budget.max_cycles;
+    max_wall_s = pick spec.budget.max_wall_s !default_budget.max_wall_s;
+  }
+
+type result = {
+  data : Tp_channel.Mi.samples;
+  degraded : bool;
+  degraded_reason : string option;
+  recovered_faults : int;
+  checkpoints : int;
+}
+
+(* Re-admit a measurement thread that an aborted slice left neither
+   running nor queued, so the loop can keep collecting. *)
+let recover_thread sys tcb =
+  if
+    (not tcb.Types.t_is_idle)
+    && tcb.Types.t_state <> Types.Ts_suspended
+    && not (Sched.is_queued (System.sched sys) ~core:tcb.Types.t_core tcb)
+  then begin
+    tcb.Types.t_state <- Types.Ts_ready;
+    Sched.enqueue (System.sched sys) ~core:tcb.Types.t_core tcb
+  end
+
+(* The checkpointed collection loop shared by the single-core and
+   cross-core harnesses.  [run_chunk n] advances the simulation by [n]
+   scheduling units (slices or rounds); [collected ()] reports how
+   many samples have been recorded so far.  Returns the degradation
+   reason (if any), the number of kernel faults recovered and the
+   number of checkpoints taken.
+
+   Each chunk is a checkpoint: the sample lists only ever grow, so a
+   kernel fault mid-chunk costs at most the current chunk's partial
+   slices — everything recorded at the last checkpoint is kept and the
+   loop resumes, instead of the whole measurement aborting. *)
+let collect sys ~threads ~total ~chunk_size ~budget ~target ~collected ~run_chunk =
+  let wall0 = Sys.time () in
+  let cycles0 = System.now sys ~core:0 in
+  let stop = ref None in
+  let recovered = ref 0 in
+  let checkpoints = ref 0 in
+  let fruitless = ref 0 in
+  let done_ = ref 0 in
+  while !done_ < total && !stop = None && collected () < target do
+    let n = Stdlib.min chunk_size (total - !done_) in
+    let before = collected () in
+    (match run_chunk n with
+    | () -> fruitless := 0
+    | exception (Types.Kernel_error _ as e) ->
+        (* Partial-result recovery: keep everything collected so far,
+           re-admit the measurement threads, and carry on.  Repeated
+           faults without progress mean the system cannot make headway
+           — degrade instead of spinning. *)
+        incr recovered;
+        Klog.fault_recovered ~where:"Harness.collect" ~exn_:e;
+        List.iter (recover_thread sys) threads;
+        if collected () = before then begin
+          incr fruitless;
+          if !fruitless >= 3 then stop := Some "repeated kernel faults"
+        end
+        else fruitless := 0);
+    done_ := !done_ + n;
+    incr checkpoints;
+    Klog.harness_checkpoint ~chunk:!checkpoints ~collected:(collected ());
+    (match budget.max_cycles with
+    | Some c when System.now sys ~core:0 - cycles0 >= c ->
+        stop := Some "cycle budget exhausted"
+    | Some _ | None -> ());
+    match budget.max_wall_s with
+    | Some s when Sys.time () -. wall0 >= s -> stop := Some "wall-clock budget exhausted"
+    | Some _ | None -> ()
+  done;
+  (!stop, !recovered, !checkpoints)
+
+let finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints =
+  let input = Array.of_list (List.rev !inputs) in
+  let output = Array.of_list (List.rev !outputs) in
+  let n = Stdlib.min spec.samples (Array.length input) in
+  let shortfall = n < spec.samples in
+  let reason =
+    match stop with
+    | Some r -> Some r
+    | None -> if shortfall then Some "sample shortfall" else None
+  in
+  (match reason with
+  | Some r -> Klog.harness_degraded ~reason:r ~collected:n
+  | None -> ());
+  {
+    data = { Tp_channel.Mi.input = Array.sub input 0 n; output = Array.sub output 0 n };
+    degraded = shortfall || stop <> None;
+    degraded_reason = reason;
+    recovered_faults = recovered;
+    checkpoints;
+  }
+
+let run_pair_result b ~sender ~receiver spec ~rng =
   let sys = b.Boot.sys in
   let sym_rng = Tp_util.Rng.split rng in
   let noise_rng = Tp_util.Rng.split rng in
@@ -42,29 +154,37 @@ let run_pair b ~sender ~receiver spec ~rng =
     | Some _ | None -> ());
     incr iteration
   in
-  ignore (Boot.spawn b b.Boot.domains.(0) sender_body);
-  ignore (Boot.spawn b b.Boot.domains.(1) receiver_body);
+  let st = Boot.spawn b b.Boot.domains.(0) sender_body in
+  let rt = Boot.spawn b b.Boot.domains.(1) receiver_body in
   (* Two slices per iteration (sender then receiver), plus slack for
      warmup and the first scheduling round. *)
   let slices = 2 * (spec.samples + spec.warmup + 2) in
-  Exec.run_slices sys ~core:0 ~slice_cycles:spec.slice_cycles ~slices ();
-  let input = Array.of_list (List.rev !inputs) in
-  let output = Array.of_list (List.rev !outputs) in
-  if Array.length input = 0 then
+  let stop, recovered, checkpoints =
+    collect sys ~threads:[ st; rt ] ~total:slices
+      ~chunk_size:(Stdlib.max 1 spec.checkpoint_slices)
+      ~budget:(effective_budget spec) ~target:spec.samples
+      ~collected:(fun () -> !recorded)
+      ~run_chunk:(fun n ->
+        Exec.run_slices sys ~core:0 ~slice_cycles:spec.slice_cycles ~slices:n ())
+  in
+  finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints
+
+let run_pair b ~sender ~receiver spec ~rng =
+  let r = run_pair_result b ~sender ~receiver spec ~rng in
+  if Array.length r.data.Tp_channel.Mi.input = 0 then
     invalid_arg
       "Harness.run_pair: no samples collected — the receiver never completed \
        a measurement within its slice (slice_cycles too small for the probe?)";
-  (* Trim to the requested sample count for reproducible dataset sizes. *)
-  let n = Stdlib.min spec.samples (Array.length input) in
-  { Tp_channel.Mi.input = Array.sub input 0 n; output = Array.sub output 0 n }
+  r.data
 
-let run_pair_cross_core b ~sender ~receiver ~cosched spec ~rng =
+let run_pair_cross_core_result b ~sender ~receiver ~cosched spec ~rng =
   let sys = b.Boot.sys in
   let sym_rng = Tp_util.Rng.split rng in
   let noise_rng = Tp_util.Rng.split rng in
   let cur_sym = ref (-1) in
   let iteration = ref 0 in
   let inputs = ref [] and outputs = ref [] in
+  let recorded = ref 0 in
   let sender_body ctx =
     let s = Tp_util.Rng.int sym_rng spec.symbols in
     cur_sym := s;
@@ -76,34 +196,48 @@ let run_pair_cross_core b ~sender ~receiver ~cosched spec ~rng =
         inputs := !cur_sym :: !inputs;
         outputs :=
           (y +. Tp_util.Rng.gaussian noise_rng ~mu:0.0 ~sigma:spec.noise_sigma)
-          :: !outputs
+          :: !outputs;
+        incr recorded
     | Some _ | None -> ());
     incr iteration
   in
-  ignore (Boot.spawn b b.Boot.domains.(0) ~core:0 sender_body);
-  ignore (Boot.spawn b b.Boot.domains.(1) ~core:1 receiver_body);
+  let st = Boot.spawn b b.Boot.domains.(0) ~core:0 sender_body in
+  let rt = Boot.spawn b b.Boot.domains.(1) ~core:1 receiver_body in
   let cores = [ 0; 1 ] in
   let rounds =
     (* Concurrent: one round = one sender + one receiver slice.
        Co-scheduled: the domain rotation needs two rounds per sample. *)
     (if cosched then 2 else 1) * (spec.samples + spec.warmup + 2)
   in
-  (if cosched then
-     Tp_kernel.Exec.run_coscheduled sys ~cores ~slice_cycles:spec.slice_cycles
-       ~rounds ()
-   else
-     Tp_kernel.Exec.run_concurrent sys ~cores ~slice_cycles:spec.slice_cycles
-       ~rounds ());
-  let input = Array.of_list (List.rev !inputs) in
-  let output = Array.of_list (List.rev !outputs) in
-  if Array.length input = 0 then
+  let run_chunk n =
+    if cosched then
+      Exec.run_coscheduled sys ~cores ~slice_cycles:spec.slice_cycles ~rounds:n ()
+    else
+      Exec.run_concurrent sys ~cores ~slice_cycles:spec.slice_cycles ~rounds:n ()
+  in
+  let stop, recovered, checkpoints =
+    collect sys ~threads:[ st; rt ] ~total:rounds
+      ~chunk_size:(Stdlib.max 1 spec.checkpoint_slices)
+      ~budget:(effective_budget spec) ~target:spec.samples
+      ~collected:(fun () -> !recorded)
+      ~run_chunk
+  in
+  finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints
+
+let run_pair_cross_core b ~sender ~receiver ~cosched spec ~rng =
+  let r = run_pair_cross_core_result b ~sender ~receiver ~cosched spec ~rng in
+  if Array.length r.data.Tp_channel.Mi.input = 0 then
     invalid_arg "Harness.run_pair_cross_core: no samples collected";
-  let n = Stdlib.min spec.samples (Array.length input) in
-  { Tp_channel.Mi.input = Array.sub input 0 n; output = Array.sub output 0 n }
+  r.data
+
+let measure_leak_result b ~sender ~receiver spec ~rng =
+  let r = run_pair_result b ~sender ~receiver spec ~rng in
+  if Array.length r.data.Tp_channel.Mi.input = 0 then
+    invalid_arg "Harness.measure_leak: no samples collected";
+  (Tp_channel.Leakage.test ~rng r.data, r)
 
 let measure_leak b ~sender ~receiver spec ~rng =
-  let samples = run_pair b ~sender ~receiver spec ~rng in
-  Tp_channel.Leakage.test ~rng samples
+  fst (measure_leak_result b ~sender ~receiver spec ~rng)
 
 let timed ctx f =
   let t0 = Uctx.now ctx in

@@ -12,7 +12,19 @@
     receiver's outputs, modelling timer granularity and platform
     jitter, so the statistical test operates under realistic
     conditions (and so "no leak" results genuinely exercise the
-    shuffle bound instead of comparing exact constants). *)
+    shuffle bound instead of comparing exact constants).
+
+    The collection loop is checkpointed: slices run in chunks of
+    [checkpoint_slices], samples recorded before a kernel fault are
+    kept, and the loop recovers and resumes instead of aborting.  An
+    optional cycle or wall-clock budget stops collection early with a
+    partial, [degraded]-flagged dataset rather than failing.  An
+    uninterrupted, unbudgeted run is bit-identical to an unchunked
+    one. *)
+
+type budget = { max_cycles : int option; max_wall_s : float option }
+
+val no_budget : budget
 
 type spec = {
   samples : int;  (** channel uses to record *)
@@ -20,10 +32,25 @@ type spec = {
   slice_cycles : int;  (** time-slice length *)
   noise_sigma : float;  (** receiver measurement noise, cycles *)
   warmup : int;  (** initial iterations to discard *)
+  checkpoint_slices : int;  (** slices per checkpointed chunk *)
+  budget : budget;  (** optional collection limits *)
 }
 
 val default_spec : Tp_hw.Platform.t -> spec
-(** 1 ms slices, 1500 samples, 4 symbols, small noise. *)
+(** 1 ms slices, 1500 samples, 4 symbols, small noise, 64-slice
+    checkpoints, no budget. *)
+
+val set_default_budget : budget -> unit
+(** Process-wide fallback budget (tpsim's [--budget]); a spec's own
+    budget fields take precedence. *)
+
+type result = {
+  data : Tp_channel.Mi.samples;  (** what was collected (possibly partial) *)
+  degraded : bool;  (** fewer samples than requested *)
+  degraded_reason : string option;
+  recovered_faults : int;  (** kernel faults recovered mid-run *)
+  checkpoints : int;
+}
 
 val run_pair :
   Tp_kernel.Boot.booted ->
@@ -35,7 +62,18 @@ val run_pair :
 (** [run_pair b ~sender ~receiver spec ~rng] runs the pair in domains
     0 (sender) and 1 (receiver) of [b] on core 0 and returns the
     collected dataset.  The receiver returns [None] for slices that
-    should not produce a sample (e.g. calibration). *)
+    should not produce a sample (e.g. calibration).
+    @raise Invalid_argument if no samples at all were collected. *)
+
+val run_pair_result :
+  Tp_kernel.Boot.booted ->
+  sender:(Tp_kernel.Uctx.t -> int -> unit) ->
+  receiver:(Tp_kernel.Uctx.t -> float option) ->
+  spec ->
+  rng:Tp_util.Rng.t ->
+  result
+(** Like {!run_pair} but never raises on partial data: returns
+    whatever was collected together with degradation metadata. *)
 
 val run_pair_cross_core :
   Tp_kernel.Boot.booted ->
@@ -52,6 +90,16 @@ val run_pair_cross_core :
     executing ({!Tp_kernel.Exec.run_coscheduled}, the §3.1.1
     confinement mitigation). *)
 
+val run_pair_cross_core_result :
+  Tp_kernel.Boot.booted ->
+  sender:(Tp_kernel.Uctx.t -> int -> unit) ->
+  receiver:(Tp_kernel.Uctx.t -> float option) ->
+  cosched:bool ->
+  spec ->
+  rng:Tp_util.Rng.t ->
+  result
+(** Checkpointed cross-core variant, never raises on partial data. *)
+
 val measure_leak :
   Tp_kernel.Boot.booted ->
   sender:(Tp_kernel.Uctx.t -> int -> unit) ->
@@ -60,6 +108,16 @@ val measure_leak :
   rng:Tp_util.Rng.t ->
   Tp_channel.Leakage.result
 (** [run_pair] followed by the shuffle test. *)
+
+val measure_leak_result :
+  Tp_kernel.Boot.booted ->
+  sender:(Tp_kernel.Uctx.t -> int -> unit) ->
+  receiver:(Tp_kernel.Uctx.t -> float option) ->
+  spec ->
+  rng:Tp_util.Rng.t ->
+  Tp_channel.Leakage.result * result
+(** {!measure_leak} plus the collection metadata (degraded flag,
+    recovered fault count) for reporting. *)
 
 (** {1 Receiver helpers} *)
 

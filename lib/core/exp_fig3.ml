@@ -3,6 +3,7 @@ type side = {
   matrix : Tp_channel.Matrix.t;
   leak : Tp_channel.Leakage.result;
   capacity_bits : float;
+  degraded : bool;
 }
 
 type result = { platform : string; coloured_only : side; protected_ : side }
@@ -27,13 +28,17 @@ let run_side q ~seed kind p =
       slice_cycles = Tp_hw.Platform.us_to_cycles p slice_us;
     }
   in
-  let samples = Tp_attacks.Harness.run_pair b ~sender ~receiver spec ~rng in
+  let r = Tp_attacks.Harness.run_pair_result b ~sender ~receiver spec ~rng in
+  let samples = r.Tp_attacks.Harness.data in
+  if Array.length samples.Tp_channel.Mi.input = 0 then
+    invalid_arg "Exp_fig3.run_side: no samples collected";
   let leak = Tp_channel.Leakage.test ~rng samples in
   {
     scenario = Scenario.name kind;
     matrix = Tp_channel.Matrix.of_samples samples;
     leak;
     capacity_bits = Tp_channel.Capacity.of_samples samples;
+    degraded = r.Tp_attacks.Harness.degraded;
   }
 
 let run q ~seed p =

@@ -11,6 +11,9 @@ type side = {
       (** discrete channel capacity (Blahut–Arimoto) of the empirical
           matrix — the §5.1 companion measure: an upper bound on any
           encoding's rate, vs. [leak.m]'s uniform-input rate *)
+  degraded : bool;
+      (** the measurement ran out of budget or recovered from faults
+          and holds fewer samples than requested *)
 }
 
 type result = { platform : string; coloured_only : side; protected_ : side }

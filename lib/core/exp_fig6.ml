@@ -11,6 +11,7 @@ let measure q ~seed kind p =
   let sender, receiver = Tp_attacks.Irq_chan.prepare b in
   let spec =
     {
+      (Tp_attacks.Harness.default_spec p) with
       Tp_attacks.Harness.samples = Quality.irq_samples q;
       symbols = Tp_attacks.Irq_chan.symbols;
       (* The experiment uses a 10 ms system tick (§5.3.5). *)

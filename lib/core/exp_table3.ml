@@ -1,4 +1,8 @@
-type cell = { scenario : string; leak : Tp_channel.Leakage.result }
+type cell = {
+  scenario : string;
+  leak : Tp_channel.Leakage.result;
+  degraded : bool;
+}
 
 type row = { channel : string; cells : cell list }
 
@@ -15,8 +19,8 @@ let measure q ~seed kind p (chan : Tp_attacks.Cache_channels.t) =
       symbols = chan.Tp_attacks.Cache_channels.symbols;
     }
   in
-  let leak = Tp_attacks.Harness.measure_leak b ~sender ~receiver spec ~rng in
-  { scenario = Scenario.name kind; leak }
+  let leak, r = Tp_attacks.Harness.measure_leak_result b ~sender ~receiver spec ~rng in
+  { scenario = Scenario.name kind; leak; degraded = r.Tp_attacks.Harness.degraded }
 
 let run ?channels q ~seed p =
   let chans = Tp_attacks.Cache_channels.all p in

@@ -3,7 +3,11 @@
     protected scenarios — plus the §5.3.2 diagnosis column: the x86 L2
     residual channel re-measured with the prefetcher disabled. *)
 
-type cell = { scenario : string; leak : Tp_channel.Leakage.result }
+type cell = {
+  scenario : string;
+  leak : Tp_channel.Leakage.result;
+  degraded : bool;  (** partial measurement (budget/fault recovery) *)
+}
 
 type row = { channel : string; cells : cell list }
 

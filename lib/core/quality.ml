@@ -5,6 +5,11 @@ let irq_samples = function Quick -> 200 | Full -> 800
 let workload_accesses = function Quick -> 150_000 | Full -> 1_000_000
 let repeats = function Quick -> 30 | Full -> 320
 
+(* A degraded (partial, budget- or fault-limited) measurement is still
+   reported, but tagged so the verdict is read with appropriate
+   confidence. *)
+let degraded_tag d = if d then " [degraded]" else ""
+
 let of_string = function
   | "quick" -> Some Quick
   | "full" -> Some Full

@@ -17,4 +17,9 @@ val workload_accesses : t -> int
 val repeats : t -> int
 (** Repetitions for latency microbenchmarks. *)
 
+val degraded_tag : bool -> string
+(** [" [degraded]"] when a measurement returned partial data (cycle or
+    wall-clock budget hit, or recovered kernel faults), [""]
+    otherwise; appended to verdict cells by {!Report}. *)
+
 val of_string : string -> t option

@@ -35,11 +35,13 @@ let table2 (r : Exp_table2.result) =
   Table.print t
 
 let fig3_side (s : Exp_fig3.side) =
-  Format.printf "--- %s ---@." s.Exp_fig3.scenario;
+  Format.printf "--- %s%s ---@." s.Exp_fig3.scenario
+    (Quality.degraded_tag s.Exp_fig3.degraded);
   Tp_channel.Matrix.pp Format.std_formatter s.Exp_fig3.matrix;
-  Format.printf "%a;  discrete capacity C = %s mb@.@."
+  Format.printf "%a;  discrete capacity C = %s mb%s@.@."
     Tp_channel.Leakage.pp_result s.Exp_fig3.leak
     (mb s.Exp_fig3.capacity_bits)
+    (Quality.degraded_tag s.Exp_fig3.degraded)
 
 let fig3 (r : Exp_fig3.result) =
   Format.printf
@@ -79,7 +81,9 @@ let table3 (r : Exp_table3.result) =
         match
           List.find_opt (fun c -> c.Exp_table3.scenario = s) row.Exp_table3.cells
         with
-        | Some c -> verdict_cell c.Exp_table3.leak
+        | Some c ->
+            verdict_cell c.Exp_table3.leak
+            ^ Quality.degraded_tag c.Exp_table3.degraded
         | None -> ""
       in
       Table.add_row t (row.Exp_table3.channel :: List.map cell_for scenarios))

@@ -1,0 +1,48 @@
+(** Fail-at-step-N driver for kernel operations.
+
+    Enumerate the injection points a multi-step operation crosses,
+    re-run it on a fresh system with a fault injected at each crossing
+    (for each failure kind), and check the full invariant suite
+    ({!Tp_kernel.Invariant}) after every injected failure. *)
+
+open Tp_kernel
+
+type case = {
+  c_name : string;
+  c_make : unit -> Boot.booted * (unit -> unit);
+      (** Boot a fresh deterministic system (setup is not traced) and
+          return the operation under test as a thunk.  Determinism is
+          what aligns traced (point, occurrence) pairs with armed
+          re-runs. *)
+}
+
+type outcome = {
+  o_case : string;
+  o_point : string;  (** injection point name *)
+  o_occurrence : int;  (** which crossing of the point was armed *)
+  o_error : Types.error;  (** the injected fault *)
+  o_fired : bool;  (** the armed crossing was reached *)
+  o_raised : string option;  (** what the operation raised, if anything *)
+  o_violations : string list;  (** invariant violations after the fault *)
+}
+
+val ok : outcome -> bool
+(** The fault fired, propagated to the caller, and every invariant
+    held afterwards. *)
+
+val enumerate : case -> (string * int) list
+(** The ordered (point, occurrence) crossings of one clean run. *)
+
+val default_errors : Types.error list
+(** Allocation failure, ASID exhaustion, IRQ conflict, zombie race. *)
+
+val run_one :
+  case -> point:string -> occurrence:int -> error:Types.error -> outcome
+
+val fail_at_each : ?errors:Types.error list -> case -> outcome list
+(** The full cross product: every crossing x every fault kind. *)
+
+val standard_cases : platform:Tp_hw.Platform.t -> case list
+(** retype-kmem, retype-tcb, retype-vspace, clone, destroy (with a
+    partitioned IRQ to tear down), spawn — on a protected coloured
+    two-domain boot. *)

@@ -15,9 +15,13 @@ type booted = {
   domains : domain array;
 }
 
+let () = List.iter Tp_fault.Fault.register [ "boot.reserve"; "boot.domain"; "boot.spawn" ]
+
 let boot ?(colour_percent = 100) ?(domains = 2) ~platform ~config () =
   assert (domains >= 1);
+  Klog.init_fault_logging ();
   let sys = System.create platform config in
+  Tp_fault.Fault.hit "boot.reserve";
   let phys = System.phys sys in
   for c = 0 to Tp_hw.Machine.n_cores (System.machine sys) - 1 do
     (System.initial_kernel sys).Types.ki_running_on.(c) <- true
@@ -47,6 +51,7 @@ let boot ?(colour_percent = 100) ?(domains = 2) ~platform ~config () =
   in
   let total_free = Retype.untyped_free_frames root in
   let mk_domain d colours =
+    Tp_fault.Fault.hit "boot.domain";
     let pool =
       if config.Config.colour_user then Retype.split_colours root colours
       else Retype.split_frames root ~frames:(total_free / (domains + 1))
@@ -100,6 +105,7 @@ let boot ?(colour_percent = 100) ?(domains = 2) ~platform ~config () =
   { sys; root; master; domains = domains_arr }
 
 let spawn b dom ?(prio = 100) ?(core = 0) body =
+  Tp_fault.Fault.hit "boot.spawn";
   let cap = Retype.retype_tcb dom.dom_pool ~core ~prio in
   let tcb =
     match cap.Types.target with Types.Obj_tcb t -> t | _ -> assert false

@@ -37,6 +37,20 @@ let copy_region sys ~core ~src_pa_of ~dst_pa_of ~off ~len =
          ~kind:Tp_hw.Defs.Write ())
   done
 
+let () =
+  List.iter Tp_fault.Fault.register
+    [
+      "clone.validate";
+      "clone.copy";
+      "clone.idle";
+      "clone.commit";
+      "destroy.irq";
+      "destroy.suspend";
+      "destroy.ipi";
+      "destroy.asid";
+      "destroy.commit";
+    ]
+
 let clone sys ~core ~src ~kmem =
   let src_ki = the_image src in
   if not src.Types.clone_right then raise (Types.Kernel_error Types.No_clone_right);
@@ -49,8 +63,15 @@ let clone sys ~core ~src ~kmem =
   let needed = Layout.image_frames p in
   if List.length km.Types.km_frames < needed then
     raise (Types.Kernel_error Types.Insufficient_untyped);
+  Tp_fault.Fault.hit "clone.validate";
   let start = System.now sys ~core in
+  (* Everything from the ASID allocation on is transactional: a raise
+     anywhere below (a real error or an injected fault) releases the
+     ASID and unwinds every published side effect, so a failed clone
+     leaves no residual kernel, CDT edge or Kernel_Memory binding. *)
+  Txn.run @@ fun txn ->
   let asid = System.alloc_asid sys in
+  Txn.defer txn (fun () -> System.free_asid sys asid);
   (* The image occupies the Kernel_Memory frames in offset order.  The
      frames come from the caller's (coloured) pool, so a cloned kernel
      is exactly as coloured as the domain that created it. *)
@@ -68,9 +89,13 @@ let clone sys ~core ~src ~kmem =
       ki_pad_cycles = (System.cfg sys).Config.pad_cycles;
     }
   in
+  (* A half-built image must never look active to a concurrent
+     observer walking the registry. *)
+  Txn.defer txn (fun () -> ki.Types.ki_state <- Types.Ki_destroyed);
   (* Kernel_Clone copies code, read-only data and stack; the replicated
      globals are initialised from the source's values (a copy too). *)
   let copy ~off ~len =
+    Tp_fault.Fault.hit "clone.copy";
     copy_region sys ~core
       ~src_pa_of:(fun o -> System.image_pa src_ki ~off:o)
       ~dst_pa_of:(fun o -> System.image_pa ki ~off:o)
@@ -84,6 +109,7 @@ let clone sys ~core ~src ~kmem =
     (System.touch_image sys ~core src_ki ~region:System.Text
        ~off:Layout.handler_clone.Layout.t_off ~len:Layout.handler_clone.Layout.t_len
        ~kind:Tp_hw.Defs.Fetch);
+  Tp_fault.Fault.hit "clone.idle";
   (* New idle thread and kernel address space root. *)
   ki.Types.ki_idle <-
     Some
@@ -99,8 +125,11 @@ let clone sys ~core ~src ~kmem =
         t_frames = [];
         t_is_idle = true;
       };
+  Tp_fault.Fault.hit "clone.commit";
   km.Types.km_image <- Some ki;
+  Txn.defer txn (fun () -> km.Types.km_image <- None);
   System.register_kernel sys ki;
+  Txn.defer txn (fun () -> System.unregister_kernel sys ki);
   last_clone_cost := System.now sys ~core - start;
   Klog.clone ki ~cost_cycles:!last_clone_cost;
   (* CDT: the new image hangs off the source image capability. *)
@@ -120,6 +149,63 @@ let clone sys ~core ~src ~kmem =
 
 let ipi_cost = 1500 (* cycles: send + remote acknowledge, cf. TLB shoot-down *)
 
+(* Steps 2..5 of destruction, shared between the normal path and the
+   roll-forward recovery path.  Every step is idempotent, so a destroy
+   interrupted anywhere can simply be completed: destruction rolls
+   forward (the zombie finishes dying), it never rolls back — the
+   capability is already gone and §4.4 requires the teardown to reach
+   a quiescent state. *)
+let teardown sys ~core ki ~charge =
+  let m = System.machine sys in
+  (* 2. Release IRQ associations first: no interrupt may be delivered
+     to (or partitioned for) a dying kernel, and the IRQ tables must
+     never point at a non-active image. *)
+  Tp_fault.Fault.hit "destroy.irq";
+  List.iter (fun irq -> Irq.clear_int (System.irq sys) ~irq) ki.Types.ki_irqs;
+  ki.Types.ki_irqs <- [];
+  (* 3. Suspend all threads bound to the zombie. *)
+  Tp_fault.Fault.hit "destroy.suspend";
+  List.iter
+    (fun tcb ->
+      match tcb.Types.t_kernel with
+      | Some k when k.Types.ki_id = ki.Types.ki_id ->
+          tcb.Types.t_state <- Types.Ts_suspended;
+          Sched.remove (System.sched sys) ~core:tcb.Types.t_core tcb
+      | Some _ | None -> ())
+    (System.all_tcbs sys);
+  (* 4. system_stall + TLB_invalidate IPIs to cores running the zombie;
+     they fall back to the initial kernel's idle thread. *)
+  Tp_fault.Fault.hit "destroy.ipi";
+  Array.iteri
+    (fun c running ->
+      if running then begin
+        if charge then begin
+          ignore
+            (System.touch_shared sys ~core Layout.Ipi_barrier ~kind:Tp_hw.Defs.Write ());
+          Tp_hw.Machine.add_cycles m ~core ipi_cost;
+          Tp_hw.Machine.add_cycles m ~core:c ipi_cost
+        end;
+        ignore (Tp_hw.Machine.flush_tlbs m ~core:c);
+        let pc = System.per_core sys c in
+        pc.System.cur_kernel <- System.initial_kernel sys;
+        pc.System.cur_thread <- (System.initial_kernel sys).Types.ki_idle;
+        ki.Types.ki_running_on.(c) <- false
+      end)
+    ki.Types.ki_running_on;
+  (* 5. Release the ASID and complete the cleanup.  [ki_asid] is set
+     to -1 as the "already released" marker, making the step (and the
+     whole teardown) safely re-runnable. *)
+  Tp_fault.Fault.hit "destroy.asid";
+  if ki.Types.ki_asid > 0 then begin
+    let a = ki.Types.ki_asid in
+    ki.Types.ki_asid <- -1;
+    System.free_asid sys a
+  end;
+  Tp_fault.Fault.hit "destroy.commit";
+  ki.Types.ki_state <- Types.Ki_destroyed;
+  Klog.destroy ki;
+  System.unregister_kernel sys ki
+
 let destroy sys ~core cap =
   let ki = the_image cap in
   if ki.Types.ki_is_initial then
@@ -130,38 +216,15 @@ let destroy sys ~core cap =
   (* 1. Invalidate the capability: the kernel becomes a zombie. *)
   Capability.invalidate cap;
   ki.Types.ki_state <- Types.Ki_zombie;
-  (* 2. Suspend all threads bound to the zombie. *)
-  List.iter
-    (fun tcb ->
-      match tcb.Types.t_kernel with
-      | Some k when k.Types.ki_id = ki.Types.ki_id ->
-          tcb.Types.t_state <- Types.Ts_suspended;
-          Sched.remove (System.sched sys) ~core:tcb.Types.t_core tcb
-      | Some _ | None -> ())
-    (System.all_tcbs sys);
-  (* 3. system_stall + TLB_invalidate IPIs to cores running the zombie;
-     they fall back to the initial kernel's idle thread. *)
-  Array.iteri
-    (fun c running ->
-      if running then begin
-        ignore
-          (System.touch_shared sys ~core Layout.Ipi_barrier ~kind:Tp_hw.Defs.Write ());
-        Tp_hw.Machine.add_cycles m ~core ipi_cost;
-        Tp_hw.Machine.add_cycles m ~core:c ipi_cost;
-        ignore (Tp_hw.Machine.flush_tlbs m ~core:c);
-        let pc = System.per_core sys c in
-        pc.System.cur_kernel <- System.initial_kernel sys;
-        pc.System.cur_thread <- (System.initial_kernel sys).Types.ki_idle;
-        ki.Types.ki_running_on.(c) <- false
-      end)
-    ki.Types.ki_running_on;
-  (* 4. Release IRQ associations and the ASID; complete the cleanup. *)
-  List.iter (fun irq -> Irq.clear_int (System.irq sys) ~irq) ki.Types.ki_irqs;
-  ki.Types.ki_irqs <- [];
-  System.free_asid sys ki.Types.ki_asid;
-  ki.Types.ki_state <- Types.Ki_destroyed;
-  Klog.destroy ki;
-  System.unregister_kernel sys ki;
+  (try teardown sys ~core ki ~charge:true
+   with e ->
+     (* Crash consistency by roll-forward: complete the remaining
+        teardown steps (uncharged — the failing path's timing is no
+        longer meaningful), then propagate the original failure. *)
+     (try teardown sys ~core ki ~charge:false
+      with _ -> () (* injected one-shot faults cannot re-fire *));
+     Klog.fault_recovered ~where:"Clone.destroy" ~exn_:e;
+     raise e);
   (* Fixed bookkeeping cost of the destruction path itself. *)
   ignore
     (System.touch_shared sys ~core Layout.Cur_pointers ~kind:Tp_hw.Defs.Write ());

@@ -1,0 +1,20 @@
+(** Dynamic checking of the kernel's global invariants.
+
+    The invariants the seL4 proofs establish statically — frame
+    conservation, image disjointness, colour-pool purity, no dangling
+    IRQ associations, ASID uniqueness, scheduler sanity — checked over
+    a live {!Boot.booted} system.  Used after every step of the
+    property tests and after every injected fault in the
+    fail-at-step-N driver ([Tp_fault_driver.Driver]). *)
+
+val user_frames : Boot.booted -> int
+(** Frames accounted for by the root Untyped's capability forest;
+    capture after boot and pass as [expect_user_frames] to detect
+    leaks and double-frees. *)
+
+val check : ?expect_user_frames:int -> Boot.booted -> string list
+(** All invariant violations, human-readable; [[]] means the system is
+    consistent. *)
+
+val check_exn : ?expect_user_frames:int -> Boot.booted -> unit
+(** @raise Failure listing the violations, if any. *)

@@ -18,8 +18,11 @@ let handler t irq =
   assert (irq >= 0 && irq < n_irqs);
   t.handlers.(irq)
 
+let () = List.iter Tp_fault.Fault.register [ "irq.set_int"; "irq.clear_int" ]
+
 let set_int t ~irq ki =
   assert (irq <> preemption_irq);
+  Tp_fault.Fault.hit "irq.set_int";
   let h = handler t irq in
   (match h.Types.ih_kernel with
   | Some k when k.Types.ki_id <> ki.Types.ki_id && k.Types.ki_state = Types.Ki_active
@@ -28,7 +31,9 @@ let set_int t ~irq ki =
   | Some _ | None -> ());
   h.Types.ih_kernel <- Some ki
 
-let clear_int t ~irq = (handler t irq).Types.ih_kernel <- None
+let clear_int t ~irq =
+  Tp_fault.Fault.hit "irq.clear_int";
+  (handler t irq).Types.ih_kernel <- None
 
 let arm_timer t ~core ~irq ~at =
   let ts = t.timers.(core) in

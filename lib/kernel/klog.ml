@@ -19,3 +19,31 @@ let switch ~core ~from_kernel ~to_kernel ~total =
   Log.debug (fun m ->
       m "core %d: switch %s -> %s (%d cycles)" core (kid from_kernel)
         (kid to_kernel) total)
+
+(* Fault-injection events: every armed, injected and recovered fault
+   is a kernel-log event so injected runs are auditable. *)
+
+let fault_injected ~point ~hit =
+  Log.info (fun m -> m "fault_injected point=%s hit=%d" point hit)
+
+let fault_armed ~point ~hit =
+  Log.debug (fun m -> m "fault_armed point=%s hit=%d" point hit)
+
+let fault_recovered ~where ~exn_ =
+  Log.info (fun m ->
+      m "fault_recovered %s: %s" where (Printexc.to_string exn_))
+
+let harness_checkpoint ~chunk ~collected =
+  Log.debug (fun m -> m "harness_checkpoint chunk=%d collected=%d" chunk collected)
+
+let harness_degraded ~reason ~collected =
+  Log.info (fun m -> m "harness_degraded (%s) collected=%d" reason collected)
+
+let init_fault_logging () =
+  Tp_fault.Fault.set_observer
+    (Some
+       (function
+       | Tp_fault.Fault.Ev_armed { point; hit } -> fault_armed ~point ~hit
+       | Tp_fault.Fault.Ev_injected { point; hit } -> fault_injected ~point ~hit
+       | Tp_fault.Fault.Ev_disarmed { point; fired } ->
+           Log.debug (fun m -> m "fault_disarmed point=%s fired=%b" point fired)))

@@ -16,3 +16,19 @@ val switch :
   core:int -> from_kernel:Types.kimage -> to_kernel:Types.kimage ->
   total:int -> unit
 (** Logged at debug level (one per tick — voluminous). *)
+
+(** {1 Fault-injection events} *)
+
+val fault_injected : point:string -> hit:int -> unit
+val fault_armed : point:string -> hit:int -> unit
+
+val fault_recovered : where:string -> exn_:exn -> unit
+(** An operation or harness absorbed a fault and restored a consistent
+    state. *)
+
+val harness_checkpoint : chunk:int -> collected:int -> unit
+val harness_degraded : reason:string -> collected:int -> unit
+
+val init_fault_logging : unit -> unit
+(** Route {!Tp_fault.Fault} registry events (arm/inject/disarm) into
+    this log source.  Idempotent; called by {!Boot.boot}. *)

@@ -35,7 +35,11 @@ let reserve_boot t ~frames =
   t.boot_reserved <- true;
   0
 
+let () =
+  List.iter Tp_fault.Fault.register [ "phys.alloc"; "phys.alloc_many"; "phys.free" ]
+
 let alloc t ?(colours = -1) () =
+  Tp_fault.Fault.hit "phys.alloc";
   (* colours = -1 means "any colour" (all bits set). *)
   let want c = colours land (1 lsl c) <> 0 in
   let rec scan f =
@@ -69,6 +73,7 @@ let alloc t ?(colours = -1) () =
       | None -> None)
 
 let alloc_many t ?(colours = -1) n =
+  Tp_fault.Fault.hit "phys.alloc_many";
   let rec go acc k =
     if k = 0 then Some (List.rev acc)
     else begin
@@ -86,6 +91,7 @@ let alloc_many t ?(colours = -1) n =
   go [] n
 
 let free t f =
+  Tp_fault.Fault.hit "phys.free";
   assert (f >= 0 && f < t.n_frames);
   assert (not t.free.(f));
   t.free.(f) <- true;

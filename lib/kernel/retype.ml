@@ -4,6 +4,10 @@ let the_untyped cap =
   | Types.Obj_untyped u -> u
   | _ -> raise (Types.Kernel_error Types.Wrong_object_type)
 
+let () =
+  List.iter Tp_fault.Fault.register
+    [ "retype.take_frames"; "retype.register"; "retype.split" ]
+
 let colour_set_of ~n_colours frames =
   List.fold_left
     (fun s f -> Colour.add s (Colour.colour_of_frame ~n_colours f))
@@ -70,6 +74,7 @@ let split_colours parent_cap colours =
              mine)
       then raise (Types.Kernel_error Types.Insufficient_colours))
     (Colour.to_list colours);
+  Tp_fault.Fault.hit "retype.split";
   u.Types.u_free <- rest;
   mk_child_untyped parent_cap mine colours
 
@@ -83,11 +88,17 @@ let split_frames parent_cap ~frames =
     | f :: rest -> take (n - 1) (f :: acc) rest
   in
   let mine, rest = take frames [] u.Types.u_free in
+  Tp_fault.Fault.hit "retype.split";
   u.Types.u_free <- rest;
   mk_child_untyped parent_cap mine u.Types.u_colours
 
-let take_frames cap n =
+(* Transactional frame grab: the frames leave the untyped's free list
+   immediately, but if the enclosing operation raises before it
+   commits, the rollback returns them (in order, at the head — the
+   exact inverse of the take). *)
+let take_frames_txn txn cap n =
   let u = the_untyped cap in
+  Tp_fault.Fault.hit "retype.take_frames";
   if List.length u.Types.u_free < n then
     raise (Types.Kernel_error Types.Insufficient_untyped);
   let rec take n acc rest =
@@ -100,10 +111,14 @@ let take_frames cap n =
   in
   let mine, rest = take n [] u.Types.u_free in
   u.Types.u_free <- rest;
+  Txn.defer txn (fun () -> u.Types.u_free <- mine @ u.Types.u_free);
   mine
+
+let take_frames cap n = Txn.run (fun txn -> take_frames_txn txn cap n)
 
 let take_frames_where cap ~pred n =
   let u = the_untyped cap in
+  Tp_fault.Fault.hit "retype.take_frames";
   let matching, rest = List.partition pred u.Types.u_free in
   if List.length matching < n then
     raise (Types.Kernel_error Types.Insufficient_untyped);
@@ -121,6 +136,7 @@ let take_frames_where cap ~pred n =
 
 let register cap obj =
   let u = the_untyped cap in
+  Tp_fault.Fault.hit "retype.register";
   u.Types.u_retyped <- obj :: u.Types.u_retyped;
   let child =
     {
@@ -137,7 +153,8 @@ let register cap obj =
   child
 
 let retype_tcb cap ~core ~prio =
-  let frames = take_frames cap 1 in
+  Txn.run @@ fun txn ->
+  let frames = take_frames_txn txn cap 1 in
   let tcb =
     {
       Types.t_id = Types.fresh_id ();
@@ -155,29 +172,33 @@ let retype_tcb cap ~core ~prio =
   register cap (Types.Obj_tcb tcb)
 
 let retype_frame cap =
-  match take_frames cap 1 with
+  Txn.run @@ fun txn ->
+  match take_frames_txn txn cap 1 with
   | [ f ] ->
       register cap
         (Types.Obj_frame { Types.f_id = Types.fresh_id (); f_frame = f; f_mapping = None })
   | _ -> assert false
 
 let retype_endpoint cap =
-  let frames = take_frames cap 1 in
+  Txn.run @@ fun txn ->
+  let frames = take_frames_txn txn cap 1 in
   register cap
     (Types.Obj_endpoint
        { Types.ep_id = Types.fresh_id (); ep_send_q = []; ep_recv_q = []; ep_frames = frames })
 
 let retype_notification cap =
-  let frames = take_frames cap 1 in
+  Txn.run @@ fun txn ->
+  let frames = take_frames_txn txn cap 1 in
   register cap
     (Types.Obj_notification
        { Types.nf_id = Types.fresh_id (); nf_word = 0; nf_waiters = []; nf_frames = frames })
 
 let retype_vspace cap ~asid =
+  Txn.run @@ fun txn ->
   (* One frame for the top-level page table; leaf page tables are
      allocated on demand at map time (also from the owning pool). *)
   let root_pt =
-    match take_frames cap 1 with [ f ] -> f | _ -> assert false
+    match take_frames_txn txn cap 1 with [ f ] -> f | _ -> assert false
   in
   register cap
     (Types.Obj_vspace
@@ -192,7 +213,8 @@ let retype_vspace cap ~asid =
 
 let retype_sched_context cap ~budget ~period =
   assert (budget > 0 && budget <= period);
-  let frames = take_frames cap 1 in
+  Txn.run @@ fun txn ->
+  let frames = take_frames_txn txn cap 1 in
   register cap
     (Types.Obj_sched_context
        {
@@ -206,7 +228,8 @@ let retype_sched_context cap ~budget ~period =
 
 let retype_kernel_memory cap ~platform =
   let n = Layout.image_frames platform in
-  let frames = take_frames cap n in
+  Txn.run @@ fun txn ->
+  let frames = take_frames_txn txn cap n in
   register cap
     (Types.Obj_kernel_memory
        { Types.km_id = Types.fresh_id (); km_frames = frames; km_image = None })

@@ -110,14 +110,27 @@ let unregister_kernel t ki =
 let per_core t c = t.cores.(c)
 let n_colours t = Phys.n_colours t.phys
 
+let () = List.iter Tp_fault.Fault.register [ "asid.alloc"; "asid.free" ]
+
 let alloc_asid t =
+  Tp_fault.Fault.hit "asid.alloc";
   match t.asid_free with
   | [] -> raise (Types.Kernel_error Types.Out_of_asids)
   | a :: rest ->
       t.asid_free <- rest;
       a
 
-let free_asid t a = t.asid_free <- a :: t.asid_free
+let free_asid t a =
+  Tp_fault.Fault.hit "asid.free";
+  (* ASID 0 belongs to the initial kernel and is never allocatable;
+     re-freeing a free ASID would corrupt the free list (the same ASID
+     handed out twice aliases two protection domains). *)
+  if a <= 0 || a >= max_asids || List.mem a t.asid_free then
+    raise (Types.Kernel_error Types.Double_free);
+  t.asid_free <- a :: t.asid_free
+
+let free_asid_count t = List.length t.asid_free
+let asid_is_free t a = List.mem a t.asid_free
 
 let register_tcb t tcb = t.tcbs <- tcb :: t.tcbs
 let all_tcbs t = t.tcbs

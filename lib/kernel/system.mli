@@ -43,6 +43,15 @@ val alloc_asid : t -> int
 (** @raise Types.Kernel_error [Out_of_asids] when exhausted. *)
 
 val free_asid : t -> int -> unit
+(** @raise Types.Kernel_error [Double_free] when the ASID is already
+    free (or was never allocatable), instead of corrupting the free
+    list. *)
+
+val free_asid_count : t -> int
+(** Number of currently free ASIDs (leak detection in the fault
+    driver). *)
+
+val asid_is_free : t -> int -> bool
 
 val register_tcb : t -> Types.tcb -> unit
 val all_tcbs : t -> Types.tcb list

@@ -1,0 +1,30 @@
+(* Transactional rollback for multi-step kernel operations.
+
+   A kernel operation that claims resources in several steps (ASIDs,
+   frames, CDT edges, registry entries) registers an undo action right
+   after each claim.  If the operation later raises — a real error or
+   an injected fault — the undo actions run in reverse claim order and
+   the exception propagates; on success they are dropped.  This is
+   what makes operations like Kernel_Clone all-or-nothing, which the
+   invariant suite (and the seL4 line of proofs this models) demands. *)
+
+type t = { mutable undo : (unit -> unit) list }
+
+let defer t f = t.undo <- f :: t.undo
+
+let rollback t =
+  let us = t.undo in
+  t.undo <- [];
+  (* Undo actions must not themselves abort the rollback; a failing
+     undo would leave the remaining claims leaked. *)
+  List.iter (fun u -> try u () with _ -> ()) us
+
+let run f =
+  let t = { undo = [] } in
+  match f t with
+  | v ->
+      t.undo <- [];
+      v
+  | exception e ->
+      rollback t;
+      raise e

@@ -1,0 +1,17 @@
+(** All-or-nothing kernel operations.
+
+    [run f] passes [f] a transaction; after each resource claim, [f]
+    calls {!defer} with the matching release.  If [f] raises, the
+    deferred releases run in reverse order and the exception
+    propagates; if [f] returns, they are discarded.  Used by
+    [Clone.clone] and the [Retype] constructors so that failed
+    operations (including injected faults) leave no residual state. *)
+
+type t
+
+val defer : t -> (unit -> unit) -> unit
+(** Register an undo action for the claim just performed. *)
+
+val run : (t -> 'a) -> 'a
+(** Run an operation transactionally.  Exceptions from undo actions
+    themselves are swallowed so the rollback always completes. *)

@@ -18,6 +18,7 @@ type error =
   | Not_bound
   | Invalid_address  (** CSpace lookup failed (guard/depth/empty slot) *)
   | Slot_occupied  (** destination CNode slot already holds a capability *)
+  | Double_free  (** releasing a resource (ASID, frame) that is already free *)
 
 exception Kernel_error of error
 
@@ -33,6 +34,14 @@ let error_to_string = function
   | Not_bound -> "not bound"
   | Invalid_address -> "invalid CSpace address"
   | Slot_occupied -> "slot occupied"
+  | Double_free -> "double free"
+
+(* Uncaught kernel errors in tests and tpsim print the message, not
+   just the constructor's ordinal. *)
+let () =
+  Printexc.register_printer (function
+    | Kernel_error e -> Some (Printf.sprintf "Kernel_error(%s)" (error_to_string e))
+    | _ -> None)
 
 type rights = { read : bool; write : bool; grant : bool }
 

@@ -157,6 +157,7 @@ let measure_irq kind =
   let sender, receiver = Tp_attacks.Irq_chan.prepare b in
   let spec =
     {
+      (Tp_attacks.Harness.default_spec p) with
       Tp_attacks.Harness.samples = 100;
       symbols = Tp_attacks.Irq_chan.symbols;
       slice_cycles = Tp_hw.Platform.us_to_cycles p 10_000.0;

@@ -25,6 +25,8 @@ type op =
   | Op_spawn
   | Op_run_slices
   | Op_set_int of int
+  | Op_clone_fail of int  (* clone with a fault injected at point #n *)
+  | Op_retype_fail of int  (* retype with a fault injected at point #n *)
 
 let op_gen =
   QCheck.Gen.(
@@ -38,6 +40,8 @@ let op_gen =
         (3, return Op_spawn);
         (2, return Op_run_slices);
         (1, map (fun i -> Op_set_int (1 + (i mod 8))) small_nat);
+        (2, map (fun i -> Op_clone_fail i) small_nat);
+        (2, map (fun i -> Op_retype_fail i) small_nat);
       ])
 
 let pp_op = function
@@ -49,91 +53,27 @@ let pp_op = function
   | Op_spawn -> "spawn"
   | Op_run_slices -> "run"
   | Op_set_int i -> Printf.sprintf "set-int %d" i
+  | Op_clone_fail n -> Printf.sprintf "clone-fail %d" n
+  | Op_retype_fail n -> Printf.sprintf "retype-fail %d" n
 
 let ops_arbitrary =
   QCheck.make
     ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
     QCheck.Gen.(list_size (int_range 1 25) op_gen)
 
-(* Walk the CDT from the root untyped and the master cap, summing the
-   frames owned by live objects. *)
-let rec frames_of_cap_tree cap =
-  if not (Capability.is_valid cap) then 0
-  else begin
-    let own =
-      if Objects.is_owner cap then List.length (Types.obj_frames cap.Types.target)
-      else 0
-    in
-    List.fold_left
-      (fun acc child -> acc + frames_of_cap_tree child)
-      own cap.Types.children
-  end
-
-let check_invariants (b : Boot.booted) =
-  let sys = b.Boot.sys in
-  (* Initial kernel alive with an idle thread. *)
-  let ik = System.initial_kernel sys in
-  assert (ik.Types.ki_state = Types.Ki_active);
-  assert (ik.Types.ki_idle <> None);
-  (* Active kernels have pairwise-disjoint frames. *)
-  let kernels = System.kernels sys in
-  List.iteri
-    (fun i ki ->
-      List.iteri
-        (fun j kj ->
-          if i < j then begin
-            let si =
-              List.sort_uniq compare (Array.to_list ki.Types.ki_frames)
-            in
-            let sj =
-              List.sort_uniq compare (Array.to_list kj.Types.ki_frames)
-            in
-            assert (List.for_all (fun f -> not (List.mem f sj)) si)
-          end)
-        kernels)
-    kernels;
-  (* Coloured pools hold only their own colours. *)
-  Array.iter
-    (fun dom ->
-      let u = Retype.the_untyped dom.Boot.dom_pool in
-      List.iter
-        (fun f ->
-          assert
-            (Colour.mem dom.Boot.dom_colours
-               (Colour.colour_of_frame ~n_colours:(System.n_colours sys) f)))
-        u.Types.u_free)
-    b.Boot.domains;
-  (* Destroyed kernels hold no IRQs; live IRQ associations point at
-     active kernels. *)
-  for irq = 1 to Irq.n_irqs - 1 do
-    match (Irq.handler (System.irq sys) irq).Types.ih_kernel with
-    | Some k -> assert (k.Types.ki_state = Types.Ki_active)
-    | None -> ()
-  done;
-  (* Scheduler queues contain only ready threads. *)
-  List.iter
-    (fun tcb ->
-      if Sched.is_queued (System.sched sys) ~core:0 tcb then
-        assert (
-          tcb.Types.t_state = Types.Ts_ready
-          || tcb.Types.t_state = Types.Ts_running))
-    (System.all_tcbs sys)
+(* The invariant suite itself lives in Tp_kernel.Invariant (shared
+   with the fail-at-step-N driver); here we only turn violations into
+   test failures. *)
+let check_invariants (b : Boot.booted) = Invariant.check_exn b
 
 (* Frame conservation: free(phys) stayed 0 after boot (all frames went
    to the root untyped), so the cap forest must account for everything
-   that is not boot-reserved. *)
+   that is not boot-reserved.  Kernel images are backed by
+   Kernel_Memory frames that stay owned by the kmem object in the
+   pool's tree, so the root tree alone must conserve the user frame
+   count. *)
 let check_frame_conservation (b : Boot.booted) ~total_user_frames =
-  let tree = frames_of_cap_tree b.Boot.root in
-  let master_kernels =
-    List.fold_left
-      (fun acc c -> acc + frames_of_cap_tree c)
-      0 b.Boot.master.Types.children
-  in
-  ignore master_kernels;
-  (* Kernel images are backed by Kernel_Memory frames that stay owned
-     by the kmem object in the pool's tree, so the root tree alone must
-     conserve the user frame count. *)
-  assert (tree = total_user_frames)
+  Invariant.check_exn ~expect_user_frames:total_user_frames b
 
 let apply_op b op =
   let sys = b.Boot.sys in
@@ -164,6 +104,26 @@ let apply_op b op =
     | Op_spawn -> ignore (Boot.spawn b dom (fun _ -> ()))
     | Op_run_slices -> Exec.run_slices sys ~core:0 ~slice_cycles:50_000 ~slices:2 ()
     | Op_set_int irq -> Clone.set_int sys ~image:dom.Boot.dom_kernel_cap ~irq
+    | Op_clone_fail n ->
+        (* Clone with a one-shot fault injected somewhere along the
+           operation: it must raise and roll back completely. *)
+        let points =
+          [| "clone.validate"; "clone.copy"; "clone.idle"; "clone.commit";
+             "asid.alloc" |]
+        in
+        Tp_fault.Fault.arm ~point:points.(n mod Array.length points)
+          (Types.Kernel_error Types.Insufficient_untyped);
+        Fun.protect ~finally:Tp_fault.Fault.disarm (fun () ->
+            let kmem =
+              Retype.retype_kernel_memory dom.Boot.dom_pool ~platform:haswell
+            in
+            ignore (Clone.clone sys ~core:0 ~src:b.Boot.master ~kmem))
+    | Op_retype_fail n ->
+        let points = [| "retype.take_frames"; "retype.register"; "phys.alloc" |] in
+        Tp_fault.Fault.arm ~point:points.(n mod Array.length points)
+          (Types.Kernel_error Types.Insufficient_untyped);
+        Fun.protect ~finally:Tp_fault.Fault.disarm (fun () ->
+            ignore (Retype.retype_tcb dom.Boot.dom_pool ~core:0 ~prio:10))
   with Types.Kernel_error _ -> (* rejected operations are fine *) ()
 
 let qcheck_invariants =
@@ -187,9 +147,7 @@ let qcheck_frame_conservation =
         Boot.boot ~platform:haswell ~config:(Config.protected_ haswell)
           ~domains:2 ()
       in
-      let total =
-        frames_of_cap_tree b.Boot.root
-      in
+      let total = Invariant.user_frames b in
       List.iter (fun op -> apply_op b op) ops;
       check_frame_conservation b ~total_user_frames:total;
       true)

@@ -7,6 +7,7 @@ let () =
       ("kernel", Test_kernel.suite);
       ("extensions", Test_extensions.suite);
       ("invariants", Test_invariants.suite);
+      ("fault", Test_fault.suite);
       ("mcs", Test_mcs.suite);
       ("cspace", Test_cspace.suite);
       ("attacks", Test_attacks.suite);
