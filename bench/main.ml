@@ -179,7 +179,16 @@ let run_platform q ~seed p =
     c.Calibrate.worst_observed_cycles c.Calibrate.trials;
   Format.printf "calibrated pad: %.1f us (+25%% margin); validates: %b@."
     c.Calibrate.pad_us
-    (Calibrate.covers c p ~trials:8)
+    (Calibrate.covers c p ~trials:8);
+
+  section "Observability: kernel counter totals over this platform's run";
+  let kernel_sets =
+    List.filter_map Tp_obs.Counter.find
+      [ "kernel.switch"; "kernel.clone"; "kernel.sched" ]
+  in
+  Tp_util.Table.print (Tp_obs.Counter.table kernel_sets);
+  (* Per-platform window: the next platform starts from zero. *)
+  List.iter Tp_obs.Counter.reset kernel_sets
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the library's own operations.           *)
@@ -296,6 +305,9 @@ let () =
     | s -> failwith ("unknown platform " ^ s)
   in
   let seed = int_of_string (arg 3 "1") in
+  (* Counters are observability-only (never read by the model), so the
+     bench enables them unconditionally for its summary sections. *)
+  Tp_obs.Ctl.set_counters true;
   Format.printf
     "Time Protection (EuroSys 2019) — full evaluation reproduction@.";
   Format.printf "quality=%s seed=%d@."

@@ -5,23 +5,33 @@
 open Cmdliner
 open Tp_core
 
-let platforms_of = function
-  | "haswell" -> [ Tp_hw.Platform.haswell ]
-  | "sabre" -> [ Tp_hw.Platform.sabre ]
-  | "armv8" -> [ Tp_hw.Platform.armv8 ]
-  | "both" -> [ Tp_hw.Platform.haswell; Tp_hw.Platform.sabre ]
-  | "all" -> Tp_hw.Platform.all
-  | s -> invalid_arg ("unknown platform: " ^ s)
+(* A proper enum conv: an unknown platform is a usage error with the
+   valid alternatives listed, not an Invalid_argument backtrace. *)
+let platform_choices =
+  [
+    ("haswell", [ Tp_hw.Platform.haswell ]);
+    ("sabre", [ Tp_hw.Platform.sabre ]);
+    ("armv8", [ Tp_hw.Platform.armv8 ]);
+    ("both", [ Tp_hw.Platform.haswell; Tp_hw.Platform.sabre ]);
+    ("all", Tp_hw.Platform.all);
+  ]
 
 let platform_arg =
   let doc =
-    "Platform: haswell, sabre, armv8, both (the paper's two) or all."
+    "Platform: $(b,haswell), $(b,sabre), $(b,armv8), $(b,both) (the \
+     paper's two) or $(b,all)."
   in
-  Arg.(value & opt string "both" & info [ "p"; "platform" ] ~docv:"PLATFORM" ~doc)
+  Arg.(
+    value
+    & opt (enum platform_choices) (List.assoc "both" platform_choices)
+    & info [ "p"; "platform" ] ~docv:"PLATFORM" ~doc)
 
 let quality_arg =
-  let doc = "Experiment size: quick or full." in
-  Arg.(value & opt string "quick" & info [ "q"; "quality" ] ~docv:"QUALITY" ~doc)
+  let doc = "Experiment size: $(b,quick) or $(b,full)." in
+  Arg.(
+    value
+    & opt (enum [ ("quick", Quality.Quick); ("full", Quality.Full) ]) Quality.Quick
+    & info [ "q"; "quality" ] ~docv:"QUALITY" ~doc)
 
 let seed_arg =
   let doc = "PRNG seed (experiments are deterministic given the seed)." in
@@ -86,12 +96,67 @@ let setup_budget = function
       Tp_attacks.Harness.set_default_budget
         { Tp_attacks.Harness.max_cycles = Some c; max_wall_s = None }
 
-let quality_of s =
-  match Quality.of_string s with
-  | Some q -> q
-  | None -> invalid_arg ("unknown quality: " ^ s)
+let run_over plats f = List.iter f plats
 
-let run_over plats f = List.iter f (platforms_of plats)
+(* Global observability flags.  They are recognised anywhere on the
+   command line — also before the subcommand, which cmdliner's
+   [Cmd.group] cannot parse — so they are extracted from argv up front
+   and the exporters run from [at_exit] (covering early exits such as
+   the injected-fault abort). *)
+let obs_trace = ref None
+let obs_metrics = ref None
+let obs_counters = ref false
+
+let strip_obs_argv argv =
+  let n = Array.length argv in
+  let keep = ref [] in
+  let i = ref 0 in
+  let value_of flag =
+    if !i + 1 >= n then begin
+      Printf.eprintf "tpsim: option '%s' needs a FILE argument\n%!" flag;
+      exit 124
+    end;
+    incr i;
+    argv.(!i)
+  in
+  let prefixed ~prefix s =
+    let pl = String.length prefix in
+    if String.length s > pl && String.sub s 0 pl = prefix then
+      Some (String.sub s pl (String.length s - pl))
+    else None
+  in
+  while !i < n do
+    (match argv.(!i) with
+    | "--trace" -> obs_trace := Some (value_of "--trace")
+    | "--metrics" -> obs_metrics := Some (value_of "--metrics")
+    | "--counters" -> obs_counters := true
+    | s -> (
+        match (prefixed ~prefix:"--trace=" s, prefixed ~prefix:"--metrics=" s) with
+        | Some f, _ -> obs_trace := Some f
+        | None, Some f -> obs_metrics := Some f
+        | None, None -> keep := s :: !keep));
+    incr i
+  done;
+  Array.of_list (List.rev !keep)
+
+let setup_obs () =
+  if !obs_counters || !obs_metrics <> None then Tp_obs.Ctl.set_counters true;
+  if !obs_trace <> None then Tp_obs.Trace.start ()
+
+let finish_obs () =
+  (match !obs_trace with
+  | Some f ->
+      Tp_obs.Trace.export_chrome_file f;
+      Printf.eprintf "tpsim: wrote %d trace events (%d dropped) to %s\n%!"
+        (Tp_obs.Trace.recorded ()) (Tp_obs.Trace.dropped ()) f
+  | None -> ());
+  (match !obs_metrics with
+  | Some f ->
+      Tp_obs.Trace.export_metrics_file f;
+      Printf.eprintf "tpsim: wrote counter metrics to %s\n%!" f
+  | None -> ());
+  if !obs_counters then
+    Tp_util.Table.print (Tp_obs.Counter.table (Tp_obs.Counter.registered ()))
 
 let cmd_platforms =
   let run () =
@@ -104,11 +169,10 @@ let cmd_platforms =
     Term.(const run $ const ())
 
 let mk_cmd name doc f =
-  let run plats quality seed verbose inject budget =
+  let run plats q seed verbose inject budget =
     setup_logging verbose;
     setup_fault inject;
     setup_budget budget;
-    let q = quality_of quality in
     try run_over plats (fun p -> f q ~seed p)
     with Tp_kernel.Types.Kernel_error e when inject <> None ->
       (* The armed fault fired outside a recoverable loop (e.g. during
@@ -254,6 +318,57 @@ let calibrate _q ~seed:_ p =
     c.Calibrate.pad_us
     (Calibrate.covers c p ~trials:8)
 
+(* Microarchitectural statistics: run a steady-state domain-switching
+   workload (two domains each sweeping an L1-D-sized buffer, as in the
+   Table 6 measurement) with counters on, then dump every registered
+   counter set and the pad-slack profile. *)
+let stats q ~seed:_ p =
+  let open Tp_kernel in
+  Tp_obs.Ctl.set_counters true;
+  let b = Scenario.boot Scenario.Protected p in
+  let sys = b.Boot.sys in
+  let line = p.Tp_hw.Platform.line in
+  let page = Tp_hw.Defs.page_size in
+  let l1d = p.Tp_hw.Platform.l1d.Tp_hw.Cache.size in
+  let body buf ctx =
+    for i = 0 to (l1d / line) - 1 do
+      Uctx.write ctx (buf + (i * line))
+    done
+  in
+  let mk dom =
+    let buf = Boot.alloc_pages b dom ~pages:(Stdlib.max 1 (l1d / page)) in
+    let t = Boot.spawn b dom (fun ctx -> while true do body buf ctx done) in
+    Sched.remove (System.sched sys) ~core:0 t;
+    (t, buf)
+  in
+  let a = mk b.Boot.domains.(0) in
+  let bb = mk b.Boot.domains.(1) in
+  (* Count the steady state, not the boot traffic. *)
+  Tp_obs.Counter.reset_all ();
+  Tp_obs.Padprof.reset ();
+  let slice = Tp_hw.Platform.us_to_cycles p 1000.0 in
+  let run_slice (t, buf) =
+    ignore (Domain_switch.switch sys ~core:0 ~to_:t);
+    let ctx =
+      Uctx.make sys ~core:0 t ~slice_end:(System.now sys ~core:0 + slice)
+    in
+    try
+      while true do
+        body buf ctx
+      done
+    with Uctx.Preempted -> ()
+  in
+  for _ = 1 to Quality.repeats q do
+    run_slice a;
+    run_slice bb
+  done;
+  Format.printf "==== %s: %d switching slices ====@.@." p.Tp_hw.Platform.name
+    (2 * Quality.repeats q);
+  Tp_util.Table.print (Tp_obs.Counter.table (Tp_obs.Counter.registered ()));
+  Tp_obs.Padprof.report
+    ~cycles_to_us:(Tp_hw.Platform.cycles_to_us p)
+    Format.std_formatter ()
+
 let all q ~seed p =
   Format.printf "==================== %s ====================@.@."
     p.Tp_hw.Platform.name;
@@ -348,6 +463,9 @@ let cmds =
     mk_cmd "mls" "Bell-LaPadula padding policy demo (Sec. 4.3)." mls;
     mk_cmd "calibrate" "Empirical worst-case pad calibration (Sec. 4.3)."
       calibrate;
+    mk_cmd "stats"
+      "Performance counters and pad-slack profile of a switching workload."
+      stats;
     mk_cmd "all" "Run the complete evaluation." all;
   ]
 
@@ -357,5 +475,27 @@ let () =
       ~doc:
         "Reproduction of 'Time Protection: The Missing OS Abstraction' \
          (EuroSys 2019) on a simulated microarchitecture."
+      ~man:
+        [
+          `S Manpage.s_common_options;
+          `P
+            "$(b,--trace) $(i,FILE): record a Chrome trace (spans for \
+             domain switches, flushes, clone/destroy; instants for \
+             harness checkpoints and injected faults) and write it as \
+             Perfetto-loadable JSON on exit.  1 trace microsecond = 1 \
+             simulated cycle.";
+          `P
+            "$(b,--counters): enable the microarchitectural performance \
+             counters and print every counter set on exit.";
+          `P
+            "$(b,--metrics) $(i,FILE): enable the counters and dump them \
+             as JSONL on exit.";
+          `P
+            "These three are global: they may appear before or after the \
+             subcommand.";
+        ]
   in
-  exit (Cmd.eval (Cmd.group info cmds))
+  let argv = strip_obs_argv Sys.argv in
+  setup_obs ();
+  at_exit finish_obs;
+  exit (Cmd.eval ~argv (Cmd.group info cmds))

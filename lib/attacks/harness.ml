@@ -44,6 +44,7 @@ type result = {
   degraded_reason : string option;
   recovered_faults : int;
   checkpoints : int;
+  switch_counters : Tp_obs.Counter.snapshot;
 }
 
 (* Re-admit a measurement thread that an aborted slice left neither
@@ -72,6 +73,9 @@ let recover_thread sys tcb =
 let collect sys ~threads ~total ~chunk_size ~budget ~target ~collected ~run_chunk =
   let wall0 = Sys.time () in
   let cycles0 = System.now sys ~core:0 in
+  (* Switch-path counters over this collection, for the result's
+     checkpoint metadata (all zeros when counters are off). *)
+  let sw0 = Tp_obs.Counter.snapshot (Domain_switch.counters ()) in
   let stop = ref None in
   let recovered = ref 0 in
   let checkpoints = ref 0 in
@@ -97,7 +101,9 @@ let collect sys ~threads ~total ~chunk_size ~budget ~target ~collected ~run_chun
         else fruitless := 0);
     done_ := !done_ + n;
     incr checkpoints;
-    Klog.harness_checkpoint ~chunk:!checkpoints ~collected:(collected ());
+    Klog.harness_checkpoint
+      ~now:(System.now sys ~core:0)
+      ~chunk:!checkpoints ~collected:(collected ()) ();
     (match budget.max_cycles with
     | Some c when System.now sys ~core:0 - cycles0 >= c ->
         stop := Some "cycle budget exhausted"
@@ -106,9 +112,14 @@ let collect sys ~threads ~total ~chunk_size ~budget ~target ~collected ~run_chun
     | Some s when Sys.time () -. wall0 >= s -> stop := Some "wall-clock budget exhausted"
     | Some _ | None -> ()
   done;
-  (!stop, !recovered, !checkpoints)
+  let switch_counters =
+    Tp_obs.Counter.delta ~before:sw0
+      ~after:(Tp_obs.Counter.snapshot (Domain_switch.counters ()))
+  in
+  (!stop, !recovered, !checkpoints, switch_counters)
 
-let finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints =
+let finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints
+    ~switch_counters =
   let input = Array.of_list (List.rev !inputs) in
   let output = Array.of_list (List.rev !outputs) in
   let n = Stdlib.min spec.samples (Array.length input) in
@@ -119,7 +130,7 @@ let finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints =
     | None -> if shortfall then Some "sample shortfall" else None
   in
   (match reason with
-  | Some r -> Klog.harness_degraded ~reason:r ~collected:n
+  | Some r -> Klog.harness_degraded ~reason:r ~collected:n ()
   | None -> ());
   {
     data = { Tp_channel.Mi.input = Array.sub input 0 n; output = Array.sub output 0 n };
@@ -127,6 +138,7 @@ let finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints =
     degraded_reason = reason;
     recovered_faults = recovered;
     checkpoints;
+    switch_counters;
   }
 
 let run_pair_result b ~sender ~receiver spec ~rng =
@@ -159,7 +171,7 @@ let run_pair_result b ~sender ~receiver spec ~rng =
   (* Two slices per iteration (sender then receiver), plus slack for
      warmup and the first scheduling round. *)
   let slices = 2 * (spec.samples + spec.warmup + 2) in
-  let stop, recovered, checkpoints =
+  let stop, recovered, checkpoints, switch_counters =
     collect sys ~threads:[ st; rt ] ~total:slices
       ~chunk_size:(Stdlib.max 1 spec.checkpoint_slices)
       ~budget:(effective_budget spec) ~target:spec.samples
@@ -167,7 +179,7 @@ let run_pair_result b ~sender ~receiver spec ~rng =
       ~run_chunk:(fun n ->
         Exec.run_slices sys ~core:0 ~slice_cycles:spec.slice_cycles ~slices:n ())
   in
-  finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints
+  finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints ~switch_counters
 
 let run_pair b ~sender ~receiver spec ~rng =
   let r = run_pair_result b ~sender ~receiver spec ~rng in
@@ -215,14 +227,14 @@ let run_pair_cross_core_result b ~sender ~receiver ~cosched spec ~rng =
     else
       Exec.run_concurrent sys ~cores ~slice_cycles:spec.slice_cycles ~rounds:n ()
   in
-  let stop, recovered, checkpoints =
+  let stop, recovered, checkpoints, switch_counters =
     collect sys ~threads:[ st; rt ] ~total:rounds
       ~chunk_size:(Stdlib.max 1 spec.checkpoint_slices)
       ~budget:(effective_budget spec) ~target:spec.samples
       ~collected:(fun () -> !recorded)
       ~run_chunk
   in
-  finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints
+  finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints ~switch_counters
 
 let run_pair_cross_core b ~sender ~receiver ~cosched spec ~rng =
   let r = run_pair_cross_core_result b ~sender ~receiver ~cosched spec ~rng in

@@ -50,6 +50,9 @@ type result = {
   degraded_reason : string option;
   recovered_faults : int;  (** kernel faults recovered mid-run *)
   checkpoints : int;
+  switch_counters : Tp_obs.Counter.snapshot;
+      (** delta of the kernel switch-path counters over the collection
+          (all zeros unless counters are enabled, {!Tp_obs.Ctl}) *)
 }
 
 val run_pair :

@@ -4,12 +4,24 @@ type t = {
   g : geometry;
   pht : int array; (* 2-bit saturating counters, 0..3; >=2 predicts taken *)
   mutable history : int;
+  (* Observability only: never read by the model itself. *)
+  st : Tp_obs.Counter.set;
+  st_predicted : Tp_obs.Counter.t;
+  st_mispredicted : Tp_obs.Counter.t;
+  st_flushes : Tp_obs.Counter.t;
 }
 
-let create g =
+let create ?(name = "bhb") g =
   assert (Defs.is_pow2 g.pht_entries);
   assert (g.history_bits > 0 && g.history_bits < 30);
-  { g; pht = Array.make g.pht_entries 1; history = 0 }
+  let st = Tp_obs.Counter.make_set name in
+  let st_predicted = Tp_obs.Counter.counter st "predicted" in
+  let st_mispredicted = Tp_obs.Counter.counter st "mispredicted" in
+  let st_flushes = Tp_obs.Counter.counter st "flushes" in
+  { g; pht = Array.make g.pht_entries 1; history = 0; st; st_predicted;
+    st_mispredicted; st_flushes }
+
+let counters t = t.st
 
 type result = Predicted | Mispredicted
 
@@ -21,6 +33,9 @@ let branch t ~addr ~taken =
   let c = t.pht.(i) in
   let predicted_taken = c >= 2 in
   let result = if predicted_taken = taken then Predicted else Mispredicted in
+  (match result with
+  | Predicted -> Tp_obs.Counter.incr t.st_predicted
+  | Mispredicted -> Tp_obs.Counter.incr t.st_mispredicted);
   t.pht.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1));
   t.history <-
     ((t.history lsl 1) lor (if taken then 1 else 0))
@@ -28,5 +43,6 @@ let branch t ~addr ~taken =
   result
 
 let flush t =
+  Tp_obs.Counter.incr t.st_flushes;
   Array.fill t.pht 0 (Array.length t.pht) 1;
   t.history <- 0

@@ -14,7 +14,11 @@ type geometry = {
 
 type t
 
-val create : geometry -> t
+val create : ?name:string -> geometry -> t
+(** [name] labels the predictor's performance-counter set. *)
+
+val counters : t -> Tp_obs.Counter.set
+(** Predict/mispredict/flush counters (observability only). *)
 
 type result = Predicted | Mispredicted
 

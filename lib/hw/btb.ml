@@ -8,15 +8,24 @@ type t = {
   age : int array;
   mutable clock : int;
   mutable n_valid : int;
+  (* Observability only: never read by the model itself. *)
+  st : Tp_obs.Counter.set;
+  st_predicted : Tp_obs.Counter.t;
+  st_mispredicted : Tp_obs.Counter.t;
+  st_flushes : Tp_obs.Counter.t;
 }
 
 (* Branch addresses are instruction-granular; use 4-byte granularity for
    the index so consecutive branch slots map to consecutive sets. *)
 let index_shift = 2
 
-let create g =
+let create ?(name = "btb") g =
   assert (Defs.is_pow2 g.entries && Defs.is_pow2 g.ways);
   let n_sets = g.entries / g.ways in
+  let st = Tp_obs.Counter.make_set name in
+  let st_predicted = Tp_obs.Counter.counter st "predicted" in
+  let st_mispredicted = Tp_obs.Counter.counter st "mispredicted" in
+  let st_flushes = Tp_obs.Counter.counter st "flushes" in
   {
     g;
     n_sets;
@@ -25,7 +34,13 @@ let create g =
     age = Array.make g.entries 0;
     clock = 0;
     n_valid = 0;
+    st;
+    st_predicted;
+    st_mispredicted;
+    st_flushes;
   }
+
+let counters t = t.st
 
 type result = Predicted | Mispredicted
 
@@ -56,10 +71,12 @@ let branch t ~addr ~target =
   t.clock <- t.clock + 1;
   let i = find t addr in
   if i >= 0 && t.targets.(i) = target then begin
+    Tp_obs.Counter.incr t.st_predicted;
     t.age.(i) <- t.clock;
     Predicted
   end
   else begin
+    Tp_obs.Counter.incr t.st_mispredicted;
     let i = if i >= 0 then i else lru_way t (set_of t addr) in
     if t.tags.(i) = -1 then t.n_valid <- t.n_valid + 1;
     t.tags.(i) <- addr;
@@ -69,6 +86,7 @@ let branch t ~addr ~target =
   end
 
 let flush t =
+  Tp_obs.Counter.incr t.st_flushes;
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   t.n_valid <- 0
 

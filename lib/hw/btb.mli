@@ -11,7 +11,11 @@ type geometry = { entries : int; ways : int }
 
 type t
 
-val create : geometry -> t
+val create : ?name:string -> geometry -> t
+(** [name] labels the BTB's performance-counter set. *)
+
+val counters : t -> Tp_obs.Counter.set
+(** Predict/mispredict/flush counters (observability only). *)
 
 type result = Predicted | Mispredicted
 

@@ -16,13 +16,32 @@ type t = {
   mutable clock : int;
   mutable n_dirty : int;
   mutable n_valid : int;
+  (* Observability only: never read by the model itself. *)
+  st : Tp_obs.Counter.set;
+  st_hits : Tp_obs.Counter.t;
+  st_misses : Tp_obs.Counter.t;
+  st_writebacks : Tp_obs.Counter.t;
+  st_prefetch_fills : Tp_obs.Counter.t;
+  st_invals : Tp_obs.Counter.t;
+  st_flushes : Tp_obs.Counter.t;
+  st_flush_writebacks : Tp_obs.Counter.t;
 }
 
-let create g =
+let create ?(name = "cache") g =
   assert (Defs.is_pow2 g.size && Defs.is_pow2 g.ways && Defs.is_pow2 g.line);
   assert (g.size >= g.ways * g.line);
   let n_sets = sets g in
   let n = n_sets * g.ways in
+  let st = Tp_obs.Counter.make_set name in
+  (* Bound outside the record so the counters are declared (and hence
+     printed) in this order. *)
+  let st_hits = Tp_obs.Counter.counter st "hits" in
+  let st_misses = Tp_obs.Counter.counter st "misses" in
+  let st_writebacks = Tp_obs.Counter.counter st "writebacks" in
+  let st_prefetch_fills = Tp_obs.Counter.counter st "prefetch_fills" in
+  let st_invals = Tp_obs.Counter.counter st "invalidations" in
+  let st_flushes = Tp_obs.Counter.counter st "flushes" in
+  let st_flush_writebacks = Tp_obs.Counter.counter st "flush_writebacks" in
   {
     g;
     n_sets;
@@ -33,7 +52,17 @@ let create g =
     clock = 0;
     n_dirty = 0;
     n_valid = 0;
+    st;
+    st_hits;
+    st_misses;
+    st_writebacks;
+    st_prefetch_fills;
+    st_invals;
+    st_flushes;
+    st_flush_writebacks;
   }
+
+let counters t = t.st
 
 let geometry t = t.g
 
@@ -82,6 +111,7 @@ let alloc t set tag ~dirty ~mask =
   let i = lru_way t set mask in
   let evicted_dirty = t.tags.(i) <> -1 && t.dirty.(i) in
   let evicted = if t.tags.(i) = -1 then -1 else t.tags.(i) lsl t.line_bits in
+  if evicted_dirty then Tp_obs.Counter.incr t.st_writebacks;
   if t.tags.(i) = -1 then t.n_valid <- t.n_valid + 1;
   if evicted_dirty then t.n_dirty <- t.n_dirty - 1;
   t.tags.(i) <- tag;
@@ -100,6 +130,7 @@ let access_masked t ~alloc_ways ~vaddr ~paddr ~write =
   let tag = tag_of t ~paddr in
   let i = find_way t set tag in
   if i >= 0 then begin
+    Tp_obs.Counter.incr t.st_hits;
     touch t i;
     if write && not t.dirty.(i) then begin
       t.dirty.(i) <- true;
@@ -108,6 +139,7 @@ let access_masked t ~alloc_ways ~vaddr ~paddr ~write =
     Hit
   end
   else begin
+    Tp_obs.Counter.incr t.st_misses;
     let evicted_dirty, evicted = alloc t set tag ~dirty:write ~mask in
     Miss { evicted_dirty; evicted }
   end
@@ -125,6 +157,7 @@ let insert_clean t ~vaddr ~paddr =
   let i = find_way t set tag in
   if i >= 0 then Hit
   else begin
+    Tp_obs.Counter.incr t.st_prefetch_fills;
     let mask = (1 lsl t.g.ways) - 1 in
     let evicted_dirty, evicted = alloc t set tag ~dirty:false ~mask in
     Miss { evicted_dirty; evicted }
@@ -134,6 +167,7 @@ let invalidate_line t ~vaddr ~paddr =
   let set = set_of t ~vaddr ~paddr in
   let i = find_way t set (tag_of t ~paddr) in
   if i >= 0 then begin
+    Tp_obs.Counter.incr t.st_invals;
     if t.dirty.(i) then t.n_dirty <- t.n_dirty - 1;
     t.dirty.(i) <- false;
     t.tags.(i) <- -1;
@@ -142,6 +176,8 @@ let invalidate_line t ~vaddr ~paddr =
 
 let flush t =
   let wb = t.n_dirty in
+  Tp_obs.Counter.incr t.st_flushes;
+  Tp_obs.Counter.add t.st_flush_writebacks wb;
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.dirty 0 (Array.length t.dirty) false;
   Array.fill t.age 0 (Array.length t.age) 0;

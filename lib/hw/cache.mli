@@ -33,9 +33,16 @@ val colours : geometry -> int
 
 type t
 
-val create : geometry -> t
+val create : ?name:string -> geometry -> t
+(** [name] labels the cache's performance-counter set (default
+    ["cache"]); {!Machine} names its instances ["c0.l1d"], ["llc"], … *)
 
 val geometry : t -> geometry
+
+val counters : t -> Tp_obs.Counter.set
+(** Hit/miss/writeback/invalidation/flush counters.  Observability
+    only: the model never reads them, so recording cannot perturb
+    simulated time (see {!Tp_obs.Ctl}). *)
 
 type result =
   | Hit

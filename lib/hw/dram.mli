@@ -15,7 +15,11 @@ type config = {
 
 type t
 
-val create : config -> t
+val create : ?name:string -> config -> t
+(** [name] labels the performance-counter set. *)
+
+val counters : t -> Tp_obs.Counter.set
+(** Row hit/empty/conflict/precharge counters (observability only). *)
 
 val bank_of : config -> paddr:int -> int
 (** Bank an address maps to.  The selector hashes many address bits

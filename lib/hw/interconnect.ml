@@ -8,6 +8,11 @@ type t = {
   run_start : int array; (* start of the core's current activity run *)
   service : float; (* bus service rate, transactions/cycle *)
   mutable mode : mode;
+  (* Observability only: never read by the model itself. *)
+  st : Tp_obs.Counter.set;
+  st_transactions : Tp_obs.Counter.t;
+  st_stalled : Tp_obs.Counter.t;
+  st_stall_cycles : Tp_obs.Counter.t;
 }
 
 let ewma_alpha = 0.2
@@ -26,8 +31,12 @@ let active_window = 3_000
    preempted, sleeping, compute-bound). *)
 let run_gap = 50_000
 
-let create ~cores ~window ~slots_per_window =
+let create ?(name = "bus") ~cores ~window ~slots_per_window () =
   assert (cores > 0 && window > 0 && slots_per_window > 0);
+  let st = Tp_obs.Counter.make_set name in
+  let st_transactions = Tp_obs.Counter.counter st "transactions" in
+  let st_stalled = Tp_obs.Counter.counter st "stalled" in
+  let st_stall_cycles = Tp_obs.Counter.counter st "stall_cycles" in
   {
     cores;
     rate = Array.make cores 0.0;
@@ -36,7 +45,13 @@ let create ~cores ~window ~slots_per_window =
     run_start = Array.make cores (-1);
     service = float_of_int slots_per_window /. float_of_int window;
     mode = Open;
+    st;
+    st_transactions;
+    st_stalled;
+    st_stall_cycles;
   }
+
+let counters t = t.st
 
 let set_mode t m = t.mode <- m
 let set_partitioned t b = t.mode <- (if b then Partitioned else Open)
@@ -79,34 +94,44 @@ let record t ~core ~now =
     done;
     !acc
   in
-  match t.mode with
-  | Partitioned ->
-      let offered = t.rate.(core) *. float_of_int t.cores in
-      let overload = offered -. t.service in
-      if overload > 0.0 then int_of_float (overload /. t.service *. delay_scale)
-      else 0
-  | Open ->
-      let overload = live_sum () -. t.service in
-      if overload > 0.0 then int_of_float (overload /. t.service *. delay_scale)
-      else 0
-  | Mba limit ->
-      (* Approximate enforcement: the MBA meter is a slow average, so a
-         core pays its throttle penalty only when its {e sustained}
-         rate exceeds the cap — instantaneous bursts pass straight
-         through, and the shared queue is still shared, so the
-         contention term computed from everyone's instantaneous rate
-         remains.  That residue is why the paper's footnote 5 deems
-         MBA insufficient against covert channels. *)
-      let cap = limit *. t.service in
-      let throttle =
-        let over = t.slow_rate.(core) -. cap in
-        if over > 0.0 then int_of_float (over /. t.service *. delay_scale *. 2.0)
+  let delay =
+    match t.mode with
+    | Partitioned ->
+        let offered = t.rate.(core) *. float_of_int t.cores in
+        let overload = offered -. t.service in
+        if overload > 0.0 then int_of_float (overload /. t.service *. delay_scale)
         else 0
-      in
-      let overload = live_sum () -. t.service in
-      throttle
-      + (if overload > 0.0 then int_of_float (overload /. t.service *. delay_scale)
-         else 0)
+    | Open ->
+        let overload = live_sum () -. t.service in
+        if overload > 0.0 then int_of_float (overload /. t.service *. delay_scale)
+        else 0
+    | Mba limit ->
+        (* Approximate enforcement: the MBA meter is a slow average, so a
+           core pays its throttle penalty only when its {e sustained}
+           rate exceeds the cap — instantaneous bursts pass straight
+           through, and the shared queue is still shared, so the
+           contention term computed from everyone's instantaneous rate
+           remains.  That residue is why the paper's footnote 5 deems
+           MBA insufficient against covert channels. *)
+        let cap = limit *. t.service in
+        let throttle =
+          let over = t.slow_rate.(core) -. cap in
+          if over > 0.0 then
+            int_of_float (over /. t.service *. delay_scale *. 2.0)
+          else 0
+        in
+        let overload = live_sum () -. t.service in
+        throttle
+        + (if overload > 0.0 then
+             int_of_float (overload /. t.service *. delay_scale)
+           else 0)
+  in
+  Tp_obs.Counter.incr t.st_transactions;
+  if delay > 0 then begin
+    Tp_obs.Counter.incr t.st_stalled;
+    Tp_obs.Counter.add t.st_stall_cycles delay
+  end;
+  delay
 
 let window_traffic t ~core =
   (* Scaled to a per-mille utilisation figure for diagnostics. *)

@@ -30,9 +30,12 @@ type mode =
 
 type t
 
-val create : cores:int -> window:int -> slots_per_window:int -> t
+val create : ?name:string -> cores:int -> window:int -> slots_per_window:int -> unit -> t
 (** The service rate is [slots_per_window / window] transactions per
-    cycle. *)
+    cycle.  [name] labels the performance-counter set. *)
+
+val counters : t -> Tp_obs.Counter.set
+(** Transaction/stall counters (observability only). *)
 
 val set_mode : t -> mode -> unit
 

@@ -9,6 +9,17 @@ type core_state = {
   bhb : Bhb.t;
   prefetcher : Prefetcher.t option;
   mutable cycles : int;
+  (* Core-level performance counters (observability only; the model
+     never reads them back, see Tp_obs.Ctl). *)
+  st : Tp_obs.Counter.set;
+  st_accesses : Tp_obs.Counter.t;
+  st_l2tlb_hits : Tp_obs.Counter.t;
+  st_tlb_walks : Tp_obs.Counter.t;
+  st_walk_cycles : Tp_obs.Counter.t;
+  st_clflushes : Tp_obs.Counter.t;
+  st_prefetch_lines : Tp_obs.Counter.t;
+  st_flush_ops : Tp_obs.Counter.t;
+  st_flush_cycles : Tp_obs.Counter.t;
 }
 
 type t = {
@@ -31,44 +42,104 @@ let prefetch_issue_cost = 1
 
 let create platform =
   let open Platform in
-  let mk_core _ =
+  let mk_core i =
+    let n fmt = Printf.sprintf "c%d.%s" i fmt in
+    let st = Tp_obs.Counter.make_set (n "core") in
+    let st_accesses = Tp_obs.Counter.counter st "accesses" in
+    let st_l2tlb_hits = Tp_obs.Counter.counter st "l2tlb_hits" in
+    let st_tlb_walks = Tp_obs.Counter.counter st "tlb_walks" in
+    let st_walk_cycles = Tp_obs.Counter.counter st "walk_cycles" in
+    let st_clflushes = Tp_obs.Counter.counter st "clflushes" in
+    let st_prefetch_lines = Tp_obs.Counter.counter st "prefetch_lines" in
+    let st_flush_ops = Tp_obs.Counter.counter st "flush_ops" in
+    let st_flush_cycles = Tp_obs.Counter.counter st "flush_cycles" in
     {
-      l1d = Cache.create platform.l1d;
-      l1i = Cache.create platform.l1i;
-      l2 = Option.map Cache.create platform.l2;
-      itlb = Tlb.create platform.itlb;
-      dtlb = Tlb.create platform.dtlb;
-      l2tlb = Tlb.create platform.l2tlb;
-      btb = Btb.create platform.btb;
-      bhb = Bhb.create platform.bhb;
+      l1d = Cache.create ~name:(n "l1d") platform.l1d;
+      l1i = Cache.create ~name:(n "l1i") platform.l1i;
+      l2 = Option.map (Cache.create ~name:(n "l2")) platform.l2;
+      itlb = Tlb.create ~name:(n "itlb") platform.itlb;
+      dtlb = Tlb.create ~name:(n "dtlb") platform.dtlb;
+      l2tlb = Tlb.create ~name:(n "l2tlb") platform.l2tlb;
+      btb = Btb.create ~name:(n "btb") platform.btb;
+      bhb = Bhb.create ~name:(n "bhb") platform.bhb;
       prefetcher =
         (if platform.prefetcher_slots > 0 then
            Some
-             (Prefetcher.create ~slots:platform.prefetcher_slots
-                ~degree:platform.prefetcher_degree)
+             (Prefetcher.create ~name:(n "prefetcher")
+                ~slots:platform.prefetcher_slots
+                ~degree:platform.prefetcher_degree ())
          else None);
       cycles = 0;
+      st;
+      st_accesses;
+      st_l2tlb_hits;
+      st_tlb_walks;
+      st_walk_cycles;
+      st_clflushes;
+      st_prefetch_lines;
+      st_flush_ops;
+      st_flush_cycles;
     }
   in
-  {
-    platform;
-    cores = Array.init platform.cores mk_core;
-    llc = Cache.create platform.llc;
-    dram = Dram.create platform.dram;
-    (* Memory-bus service rate scaled to the platform: 1.3x the rate of
-       a single latency-bound DRAM stream, so one stream fits and two
-       concurrent ones contend. *)
-    bus =
-      (let stream_latency =
-         platform.lat_l1 + platform.lat_l2 + platform.lat_llc
-         + platform.dram.Dram.t_hit
-       in
-       Interconnect.create ~cores:platform.cores ~window:(10 * stream_latency)
-         ~slots_per_window:13);
-  }
+  let t =
+    {
+      platform;
+      cores = Array.init platform.cores mk_core;
+      llc = Cache.create ~name:"llc" platform.llc;
+      dram = Dram.create ~name:"dram" platform.dram;
+      (* Memory-bus service rate scaled to the platform: 1.3x the rate of
+         a single latency-bound DRAM stream, so one stream fits and two
+         concurrent ones contend. *)
+      bus =
+        (let stream_latency =
+           platform.lat_l1 + platform.lat_l2 + platform.lat_llc
+           + platform.dram.Dram.t_hit
+         in
+         Interconnect.create ~cores:platform.cores
+           ~window:(10 * stream_latency) ~slots_per_window:13 ());
+    }
+  in
+  (* Publish this machine's counter sets; a later machine with the same
+     topology replaces them, so the registry always describes the most
+     recent boot (what `tpsim stats` dumps). *)
+  Array.iter
+    (fun c ->
+      Tp_obs.Counter.register c.st;
+      Tp_obs.Counter.register (Cache.counters c.l1d);
+      Tp_obs.Counter.register (Cache.counters c.l1i);
+      (match c.l2 with
+      | Some l2 -> Tp_obs.Counter.register (Cache.counters l2)
+      | None -> ());
+      Tp_obs.Counter.register (Tlb.counters c.itlb);
+      Tp_obs.Counter.register (Tlb.counters c.dtlb);
+      Tp_obs.Counter.register (Tlb.counters c.l2tlb);
+      Tp_obs.Counter.register (Btb.counters c.btb);
+      Tp_obs.Counter.register (Bhb.counters c.bhb);
+      match c.prefetcher with
+      | Some pf -> Tp_obs.Counter.register (Prefetcher.counters pf)
+      | None -> ())
+    t.cores;
+  Tp_obs.Counter.register (Cache.counters t.llc);
+  Tp_obs.Counter.register (Dram.counters t.dram);
+  Tp_obs.Counter.register (Interconnect.counters t.bus);
+  t
 
 let platform t = t.platform
 let n_cores t = Array.length t.cores
+
+let counter_sets t =
+  let core_sets c =
+    [ c.st; Cache.counters c.l1d; Cache.counters c.l1i ]
+    @ (match c.l2 with Some l2 -> [ Cache.counters l2 ] | None -> [])
+    @ [ Tlb.counters c.itlb; Tlb.counters c.dtlb; Tlb.counters c.l2tlb;
+        Btb.counters c.btb; Bhb.counters c.bhb ]
+    @
+    match c.prefetcher with
+    | Some pf -> [ Prefetcher.counters pf ]
+    | None -> []
+  in
+  List.concat_map core_sets (Array.to_list t.cores)
+  @ [ Cache.counters t.llc; Dram.counters t.dram; Interconnect.counters t.bus ]
 
 let core t i =
   assert (i >= 0 && i < Array.length t.cores);
@@ -115,6 +186,7 @@ let shared_access t ~core_id ~llc_ways ~paddr ~write =
    private L2 and the (inclusive) LLC. *)
 let issue_prefetches t ~core_id ~llc_ways pf_addrs =
   let c = core t core_id in
+  Tp_obs.Counter.add c.st_prefetch_lines (List.length pf_addrs);
   List.fold_left
     (fun cost pf ->
       (match c.l2 with
@@ -143,15 +215,21 @@ let tlb_latency t ~core_id ~asid ~vpn ~kind ~global ~walk =
   | Tlb.Hit -> (0, 0)
   | Tlb.Miss -> begin
       match Tlb.access c.l2tlb ~asid ~vpn ~global with
-      | Tlb.Hit -> (l2_tlb_hit_extra, 0)
+      | Tlb.Hit ->
+          Tp_obs.Counter.incr c.st_l2tlb_hits;
+          (l2_tlb_hit_extra, 0)
       | Tlb.Miss -> begin
+          Tp_obs.Counter.incr c.st_tlb_walks;
           match walk with
           | Some f ->
               (* The walk's PT reads charge the core as they run; a
                  small fixed TLB-refill overhead comes on top. *)
               let w = f () in
+              Tp_obs.Counter.add c.st_walk_cycles w;
               (w + 10, w)
-          | None -> (p.Platform.tlb_walk, 0)
+          | None ->
+              Tp_obs.Counter.add c.st_walk_cycles p.Platform.tlb_walk;
+              (p.Platform.tlb_walk, 0)
         end
     end
 
@@ -160,6 +238,7 @@ let access t ~core:core_id ~asid ?(global = false) ?(llc_ways = max_int) ?walk
   let c = core t core_id in
   let p = t.platform in
   let write = match kind with Defs.Write -> true | Defs.Read | Defs.Fetch -> false in
+  Tp_obs.Counter.incr c.st_accesses;
   let vpn = Defs.page_of vaddr in
   let lat_tlb, already_charged =
     tlb_latency t ~core_id ~asid ~vpn ~kind ~global ~walk
@@ -232,6 +311,7 @@ let clflush t ~core:core_id ~paddr =
   back_invalidate t la;
   Cache.invalidate_line t.llc ~vaddr:la ~paddr:la;
   let c = core t core_id in
+  Tp_obs.Counter.incr c.st_clflushes;
   c.cycles <- c.cycles + clflush_cost;
   clflush_cost
 
@@ -240,9 +320,19 @@ let flush_cache_cost cache =
   let dirty = Cache.flush cache in
   (lines * inval_cost_per_line) + (dirty * wb_cost_per_line)
 
+(* Account a hardware flush operation: counters plus (when tracing) a
+   span covering the cycles the flush occupied the core. *)
+let note_flush c ~core_id ~what cost =
+  Tp_obs.Counter.incr c.st_flush_ops;
+  Tp_obs.Counter.add c.st_flush_cycles cost;
+  if Tp_obs.Trace.enabled () then
+    Tp_obs.Trace.span ~core:core_id ~cat:"hw" ~name:what ~ts:c.cycles ~dur:cost
+      ()
+
 let flush_l1_hw t ~core:core_id =
   let c = core t core_id in
   let cost = flush_cache_cost c.l1d + flush_cache_cost c.l1i in
+  note_flush c ~core_id ~what:"flush_l1" cost;
   c.cycles <- c.cycles + cost;
   cost
 
@@ -252,6 +342,7 @@ let flush_l2_private t ~core:core_id =
   | None -> 0
   | Some l2 ->
       let cost = flush_cache_cost l2 in
+      note_flush c ~core_id ~what:"flush_l2" cost;
       c.cycles <- c.cycles + cost;
       cost
 
@@ -265,6 +356,7 @@ let flush_llc t ~core:core_id =
       ignore (Cache.flush cc.l1i);
       match cc.l2 with Some l2 -> ignore (Cache.flush l2) | None -> ())
     t.cores;
+  note_flush c ~core_id ~what:"flush_llc" cost;
   c.cycles <- c.cycles + cost;
   cost
 
@@ -273,6 +365,7 @@ let flush_tlbs t ~core:core_id =
   Tlb.flush_all c.itlb;
   Tlb.flush_all c.dtlb;
   Tlb.flush_all c.l2tlb;
+  note_flush c ~core_id ~what:"flush_tlbs" tlb_flush_cost;
   c.cycles <- c.cycles + tlb_flush_cost;
   tlb_flush_cost
 
@@ -280,6 +373,7 @@ let flush_branch_predictor t ~core:core_id =
   let c = core t core_id in
   Btb.flush c.btb;
   Bhb.flush c.bhb;
+  note_flush c ~core_id ~what:"flush_bp" bp_flush_cost;
   c.cycles <- c.cycles + bp_flush_cost;
   bp_flush_cost
 

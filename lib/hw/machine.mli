@@ -20,6 +20,12 @@ val platform : t -> Platform.t
 
 val n_cores : t -> int
 
+val counter_sets : t -> Tp_obs.Counter.set list
+(** Every performance-counter set owned by this machine (per-core sets
+    named ["c<i>.*"], then ["llc"], ["dram"], ["bus"]).  Creating a
+    machine also {!Tp_obs.Counter.register}s them, replacing any
+    same-named sets of a previously created machine. *)
+
 (** {1 Time} *)
 
 val cycles : t -> core:int -> int

@@ -10,14 +10,25 @@ type t = {
   degree : int;
   table : tracker array;
   mutable enabled : bool;
+  (* Observability only: never read by the model itself. *)
+  st : Tp_obs.Counter.set;
+  st_issued : Tp_obs.Counter.t;
+  st_allocs : Tp_obs.Counter.t;
+  st_filtered : Tp_obs.Counter.t;
+  st_resets : Tp_obs.Counter.t;
 }
 
 let confirm = 2
 let partial_tag_bits = 2
 
-let create ~slots ~degree =
+let create ?(name = "prefetcher") ~slots ~degree () =
   assert (Defs.is_pow2 slots);
   assert (degree > 0);
+  let st = Tp_obs.Counter.make_set name in
+  let st_issued = Tp_obs.Counter.counter st "lines_issued" in
+  let st_allocs = Tp_obs.Counter.counter st "tracker_allocs" in
+  let st_filtered = Tp_obs.Counter.counter st "alloc_filtered" in
+  let st_resets = Tp_obs.Counter.counter st "hard_resets" in
   {
     slots;
     degree;
@@ -25,7 +36,14 @@ let create ~slots ~degree =
       Array.init slots (fun _ ->
           { ptag = -1; last_line = 0; dir = 1; confidence = 0 });
     enabled = true;
+    st;
+    st_issued;
+    st_allocs;
+    st_filtered;
+    st_resets;
   }
+
+let counters t = t.st
 
 (* Tracker index: a hash over the page number, not its low bits.  Real
    prefetchers fold higher address bits into their indexing, so page
@@ -72,7 +90,9 @@ let on_access t ~paddr ~line =
             end
           end
         in
-        fetch 1 []
+        let pfs = fetch 1 [] in
+        Tp_obs.Counter.add t.st_issued (List.length pfs);
+        pfs
       end
       else []
     end
@@ -86,10 +106,12 @@ let on_access t ~paddr ~line =
          extra unprefetched accesses to displace — a per-page timing
          difference the next domain can read back. *)
       if tr.ptag <> -1 && tr.confidence > 0 then begin
+        Tp_obs.Counter.incr t.st_filtered;
         tr.confidence <- tr.confidence - 1;
         []
       end
       else begin
+        Tp_obs.Counter.incr t.st_allocs;
         tr.ptag <- ptag;
         tr.last_line <- line_off;
         tr.dir <- 1;
@@ -105,6 +127,7 @@ let trained_slots t =
     0 t.table
 
 let hard_reset t =
+  Tp_obs.Counter.incr t.st_resets;
   Array.iter
     (fun tr ->
       tr.ptag <- -1;

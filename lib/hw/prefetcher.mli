@@ -23,9 +23,13 @@
 
 type t
 
-val create : slots:int -> degree:int -> t
+val create : ?name:string -> slots:int -> degree:int -> unit -> t
 (** [slots] stream trackers, prefetching [degree] lines ahead on a
-    confirmed stream.  [slots] must be a power of two. *)
+    confirmed stream.  [slots] must be a power of two.  [name] labels
+    the performance-counter set. *)
+
+val counters : t -> Tp_obs.Counter.set
+(** Issue/allocation/filter counters (observability only). *)
 
 val set_enabled : t -> bool -> unit
 

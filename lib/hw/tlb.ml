@@ -9,12 +9,23 @@ type t = {
   age : int array;
   mutable clock : int;
   mutable n_valid : int;
+  (* Observability only: never read by the model itself. *)
+  st : Tp_obs.Counter.set;
+  st_hits : Tp_obs.Counter.t;
+  st_misses : Tp_obs.Counter.t;
+  st_flushes : Tp_obs.Counter.t;
+  st_asid_flushes : Tp_obs.Counter.t;
 }
 
-let create g =
+let create ?(name = "tlb") g =
   assert (Defs.is_pow2 g.entries && Defs.is_pow2 g.ways);
   assert (g.entries >= g.ways);
   let n_sets = g.entries / g.ways in
+  let st = Tp_obs.Counter.make_set name in
+  let st_hits = Tp_obs.Counter.counter st "hits" in
+  let st_misses = Tp_obs.Counter.counter st "misses" in
+  let st_flushes = Tp_obs.Counter.counter st "flushes" in
+  let st_asid_flushes = Tp_obs.Counter.counter st "asid_flushes" in
   {
     g;
     n_sets;
@@ -24,7 +35,14 @@ let create g =
     age = Array.make g.entries 0;
     clock = 0;
     n_valid = 0;
+    st;
+    st_hits;
+    st_misses;
+    st_flushes;
+    st_asid_flushes;
   }
+
+let counters t = t.st
 
 let geometry t = t.g
 let sets t = t.n_sets
@@ -61,10 +79,12 @@ let access t ~asid ~vpn ~global =
   let i = find t ~asid ~vpn in
   t.clock <- t.clock + 1;
   if i >= 0 then begin
+    Tp_obs.Counter.incr t.st_hits;
     t.age.(i) <- t.clock;
     Hit
   end
   else begin
+    Tp_obs.Counter.incr t.st_misses;
     let i = lru_way t (set_of t vpn) in
     if t.vpns.(i) = -1 then t.n_valid <- t.n_valid + 1;
     t.vpns.(i) <- vpn;
@@ -77,11 +97,13 @@ let access t ~asid ~vpn ~global =
 let probe t ~asid ~vpn = find t ~asid ~vpn >= 0
 
 let flush_all t =
+  Tp_obs.Counter.incr t.st_flushes;
   Array.fill t.vpns 0 (Array.length t.vpns) (-1);
   Array.fill t.globals 0 (Array.length t.globals) false;
   t.n_valid <- 0
 
 let flush_asid t asid =
+  Tp_obs.Counter.incr t.st_asid_flushes;
   Array.iteri
     (fun i vpn ->
       if vpn <> -1 && (not t.globals.(i)) && t.asids.(i) = asid then begin

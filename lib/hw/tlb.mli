@@ -15,9 +15,14 @@ type geometry = { entries : int; ways : int }
 
 type t
 
-val create : geometry -> t
+val create : ?name:string -> geometry -> t
+(** [name] labels the TLB's performance-counter set. *)
 
 val geometry : t -> geometry
+
+val counters : t -> Tp_obs.Counter.set
+(** Hit/miss/flush counters (observability only, never read by the
+    model). *)
 
 type result = Hit | Miss
 

@@ -1,5 +1,14 @@
 let last_clone_cost = ref 0
 
+(* Clone/destroy performance counters (observability only). *)
+let st = Tp_obs.Counter.make_set "kernel.clone"
+let st_clones = Tp_obs.Counter.counter st "clones"
+let st_clone_cycles = Tp_obs.Counter.counter st "clone_cycles"
+let st_destroys = Tp_obs.Counter.counter st "destroys"
+let st_destroy_ipis = Tp_obs.Counter.counter st "destroy_ipis"
+let () = Tp_obs.Counter.register st
+let counters () = st
+
 let master_cap sys =
   Capability.mk_root ~clone_right:true
     (Types.Obj_kernel_image (System.initial_kernel sys))
@@ -132,6 +141,13 @@ let clone sys ~core ~src ~kmem =
   Txn.defer txn (fun () -> System.unregister_kernel sys ki);
   last_clone_cost := System.now sys ~core - start;
   Klog.clone ki ~cost_cycles:!last_clone_cost;
+  Tp_obs.Counter.incr st_clones;
+  Tp_obs.Counter.add st_clone_cycles !last_clone_cost;
+  if Tp_obs.Trace.enabled () then
+    Tp_obs.Trace.span ~core ~cat:"kernel" ~name:"kernel_clone" ~ts:start
+      ~dur:!last_clone_cost
+      ~args:[ ("ki", Tp_obs.Trace.Int ki.Types.ki_id) ]
+      ();
   (* CDT: the new image hangs off the source image capability. *)
   let cap =
     {
@@ -179,6 +195,7 @@ let teardown sys ~core ki ~charge =
   Array.iteri
     (fun c running ->
       if running then begin
+        Tp_obs.Counter.incr st_destroy_ipis;
         if charge then begin
           ignore
             (System.touch_shared sys ~core Layout.Ipi_barrier ~kind:Tp_hw.Defs.Write ());
@@ -213,6 +230,8 @@ let destroy sys ~core cap =
   if ki.Types.ki_state = Types.Ki_destroyed then
     raise (Types.Kernel_error Types.Zombie_object);
   let m = System.machine sys in
+  let start = System.now sys ~core in
+  let destroyed_ki = ki.Types.ki_id in
   (* 1. Invalidate the capability: the kernel becomes a zombie. *)
   Capability.invalidate cap;
   ki.Types.ki_state <- Types.Ki_zombie;
@@ -228,7 +247,13 @@ let destroy sys ~core cap =
   (* Fixed bookkeeping cost of the destruction path itself. *)
   ignore
     (System.touch_shared sys ~core Layout.Cur_pointers ~kind:Tp_hw.Defs.Write ());
-  Tp_hw.Machine.add_cycles m ~core 400
+  Tp_hw.Machine.add_cycles m ~core 400;
+  Tp_obs.Counter.incr st_destroys;
+  if Tp_obs.Trace.enabled () then
+    Tp_obs.Trace.span ~core ~cat:"kernel" ~name:"kernel_destroy" ~ts:start
+      ~dur:(System.now sys ~core - start)
+      ~args:[ ("ki", Tp_obs.Trace.Int destroyed_ki) ]
+      ()
 
 let set_int sys ~image ~irq =
   let ki = the_image image in

@@ -50,3 +50,7 @@ val the_image : Types.cap -> Types.kimage
 val clone_cost_cycles : System.t -> int
 (** Cycles consumed by the most recent [clone] on this system
     (diagnostic for Table 7). *)
+
+val counters : unit -> Tp_obs.Counter.set
+(** Clone/destroy performance counters (["kernel.clone"]: clones,
+    clone_cycles, destroys, destroy_ipis).  Observability only. *)

@@ -5,6 +5,18 @@ type cost = {
   kernel_switched : bool;
 }
 
+(* Switch-path performance counters (observability only: the switch
+   logic never reads them, see Tp_obs.Ctl). *)
+let st = Tp_obs.Counter.make_set "kernel.switch"
+let st_switches = Tp_obs.Counter.counter st "switches"
+let st_kernel_switches = Tp_obs.Counter.counter st "kernel_switches"
+let st_protected = Tp_obs.Counter.counter st "protected"
+let st_flush_cycles = Tp_obs.Counter.counter st "flush_cycles"
+let st_pad_wait_cycles = Tp_obs.Counter.counter st "pad_wait_cycles"
+let st_pad_overruns = Tp_obs.Counter.counter st "pad_overruns"
+let () = Tp_obs.Counter.register st
+let counters () = st
+
 let lock_cost = 30
 
 (* x86 "manual" L1 flush (§4.3): the kernel loads one word per line of
@@ -216,4 +228,26 @@ let switch sys ~core ~to_ =
   Tp_hw.Machine.add_cycles m ~core 40;
   let total = System.now sys ~core - t0 in
   if kernel_switched then Klog.switch ~core ~from_kernel ~to_kernel ~total;
+  let padded = protect && from_kernel.Types.ki_pad_cycles > 0 in
+  Tp_obs.Counter.incr st_switches;
+  if kernel_switched then Tp_obs.Counter.incr st_kernel_switches;
+  if protect then Tp_obs.Counter.incr st_protected;
+  Tp_obs.Counter.add st_flush_cycles flush;
+  Tp_obs.Counter.add st_pad_wait_cycles pad_wait;
+  if padded && pad_wait = 0 then Tp_obs.Counter.incr st_pad_overruns;
+  Tp_obs.Padprof.record ~ki:from_kernel.Types.ki_id
+    ~pad:from_kernel.Types.ki_pad_cycles ~padded ~total ~flush ~pad_wait;
+  if Tp_obs.Trace.enabled () then
+    Tp_obs.Trace.span ~core ~cat:"kernel" ~name:"domain_switch" ~ts:t0
+      ~dur:total
+      ~args:
+        [
+          ("from_ki", Tp_obs.Trace.Int from_kernel.Types.ki_id);
+          ("to_ki", Tp_obs.Trace.Int to_kernel.Types.ki_id);
+          ("flush", Tp_obs.Trace.Int flush);
+          ("pad_wait", Tp_obs.Trace.Int pad_wait);
+          ("kernel_switched", Tp_obs.Trace.Bool kernel_switched);
+          ("protected", Tp_obs.Trace.Bool protect);
+        ]
+      ();
   { total; flush; pad_wait; kernel_switched }

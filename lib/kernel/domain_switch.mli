@@ -28,6 +28,14 @@ type cost = {
   kernel_switched : bool;
 }
 
+val counters : unit -> Tp_obs.Counter.set
+(** The switch-path performance-counter set (["kernel.switch"]:
+    switches, kernel_switches, protected, flush_cycles,
+    pad_wait_cycles, pad_overruns).  Observability only — the switch
+    logic never reads it.  Every switch also feeds
+    {!Tp_obs.Padprof.record} and, when tracing, emits a
+    ["domain_switch"] span. *)
+
 val switch : System.t -> core:int -> to_:Types.tcb -> cost
 (** Perform the tick: switches [per_core] state to [to_] (and its
     kernel), running whatever protection steps the configuration and

@@ -23,21 +23,42 @@ let switch ~core ~from_kernel ~to_kernel ~total =
 (* Fault-injection events: every armed, injected and recovered fault
    is a kernel-log event so injected runs are auditable. *)
 
+(* When tracing is on, the same events also land in the trace ring as
+   instants, so harness chunk boundaries and injected faults are
+   visible on the Perfetto timeline alongside the switch spans. *)
+let trace_instant ?ts ~name args =
+  if Tp_obs.Trace.enabled () then
+    Tp_obs.Trace.instant ?ts ~core:0 ~cat:"klog" ~name ~args ()
+
 let fault_injected ~point ~hit =
-  Log.info (fun m -> m "fault_injected point=%s hit=%d" point hit)
+  Log.info (fun m -> m "fault_injected point=%s hit=%d" point hit);
+  trace_instant ~name:"fault_injected"
+    [ ("point", Tp_obs.Trace.Str point); ("hit", Tp_obs.Trace.Int hit) ]
 
 let fault_armed ~point ~hit =
   Log.debug (fun m -> m "fault_armed point=%s hit=%d" point hit)
 
 let fault_recovered ~where ~exn_ =
   Log.info (fun m ->
-      m "fault_recovered %s: %s" where (Printexc.to_string exn_))
+      m "fault_recovered %s: %s" where (Printexc.to_string exn_));
+  trace_instant ~name:"fault_recovered"
+    [
+      ("where", Tp_obs.Trace.Str where);
+      ("exn", Tp_obs.Trace.Str (Printexc.to_string exn_));
+    ]
 
-let harness_checkpoint ~chunk ~collected =
-  Log.debug (fun m -> m "harness_checkpoint chunk=%d collected=%d" chunk collected)
+let harness_checkpoint ?now ~chunk ~collected () =
+  Log.debug (fun m -> m "harness_checkpoint chunk=%d collected=%d" chunk collected);
+  trace_instant ?ts:now ~name:"harness_checkpoint"
+    [ ("chunk", Tp_obs.Trace.Int chunk); ("collected", Tp_obs.Trace.Int collected) ]
 
-let harness_degraded ~reason ~collected =
-  Log.info (fun m -> m "harness_degraded (%s) collected=%d" reason collected)
+let harness_degraded ?now ~reason ~collected () =
+  Log.info (fun m -> m "harness_degraded (%s) collected=%d" reason collected);
+  trace_instant ?ts:now ~name:"harness_degraded"
+    [
+      ("reason", Tp_obs.Trace.Str reason);
+      ("collected", Tp_obs.Trace.Int collected);
+    ]
 
 let init_fault_logging () =
   Tp_fault.Fault.set_observer

@@ -26,8 +26,12 @@ val fault_recovered : where:string -> exn_:exn -> unit
 (** An operation or harness absorbed a fault and restored a consistent
     state. *)
 
-val harness_checkpoint : chunk:int -> collected:int -> unit
-val harness_degraded : reason:string -> collected:int -> unit
+val harness_checkpoint : ?now:int -> chunk:int -> collected:int -> unit -> unit
+(** [now] is the simulated-cycle timestamp for the trace instant (the
+    log line does not need it); without it the event lands at the time
+    of the most recent span. *)
+
+val harness_degraded : ?now:int -> reason:string -> collected:int -> unit -> unit
 
 val init_fault_logging : unit -> unit
 (** Route {!Tp_fault.Fault} registry events (arm/inject/disarm) into

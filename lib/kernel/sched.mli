@@ -15,6 +15,10 @@ type t
 
 val create : cores:int -> t
 
+val counters : unit -> Tp_obs.Counter.set
+(** Scheduler-event performance counters (["kernel.sched"]: enqueues,
+    dequeues, removes).  Observability only. *)
+
 val enqueue : t -> core:int -> Types.tcb -> unit
 (** Append to the tail of the thread's priority queue.  The thread
     must not already be queued. *)

@@ -1,0 +1,71 @@
+type t = { c_name : string; mutable v : int }
+
+type set = { s_name : string; mutable items : t list (* reverse order *) }
+
+type snapshot = (string * int) list
+
+let make_set s_name = { s_name; items = [] }
+
+let counter set c_name =
+  let c = { c_name; v = 0 } in
+  set.items <- c :: set.items;
+  c
+
+let incr c = if Ctl.counters_on () then c.v <- c.v + 1
+let add c n = if Ctl.counters_on () then c.v <- c.v + n
+let value c = c.v
+let name c = c.c_name
+let set_name s = s.s_name
+let snapshot set = List.rev_map (fun c -> (c.c_name, c.v)) set.items
+let reset set = List.iter (fun c -> c.v <- 0) set.items
+
+let delta ~before ~after =
+  List.map2
+    (fun (nb, b) (na, a) ->
+      if nb <> na then
+        invalid_arg "Counter.delta: snapshots from different sets";
+      (nb, a - b))
+    before after
+
+let total snap = List.fold_left (fun acc (_, v) -> acc + v) 0 snap
+
+let registry : (string, set) Hashtbl.t = Hashtbl.create 64
+
+let register set = Hashtbl.replace registry set.s_name set
+
+let registered () =
+  Hashtbl.fold (fun _ s acc -> s :: acc) registry []
+  |> List.sort (fun a b -> compare a.s_name b.s_name)
+
+let find n = Hashtbl.find_opt registry n
+let reset_all () = Hashtbl.iter (fun _ s -> reset s) registry
+
+let pp_set ppf set =
+  Format.fprintf ppf "%s:" set.s_name;
+  List.iter
+    (fun (n, v) -> if v <> 0 then Format.fprintf ppf "@.  %-20s %d" n v)
+    (snapshot set);
+  Format.fprintf ppf "@."
+
+let table ?(skip_zero = true) sets =
+  let t =
+    Tp_util.Table.create ~title:"Performance counters"
+      ~headers:[ "component"; "counter"; "value" ]
+  in
+  let first = ref true in
+  List.iter
+    (fun set ->
+      let rows =
+        List.filter (fun (_, v) -> (not skip_zero) || v <> 0) (snapshot set)
+      in
+      if rows <> [] then begin
+        if not !first then Tp_util.Table.add_sep t;
+        first := false;
+        List.iteri
+          (fun i (n, v) ->
+            Tp_util.Table.add_row t
+              [ (if i = 0 then set.s_name else ""); n; Tp_util.Table.cell_i v ])
+          rows
+      end)
+    sets;
+  t

@@ -1,0 +1,81 @@
+(** Per-component performance counters.
+
+    A {e counter} is a named monotonic integer; a {e set} groups the
+    counters of one hardware or kernel component ("c0.l1d", "dram",
+    "kernel.switch", ...).  Recording is gated on {!Ctl.counters_on}:
+    with counters off every increment is a no-op, and in either case a
+    counter is never read by the model itself, so enabling them cannot
+    perturb a measurement.
+
+    Sets support snapshot / delta / reset, which is what the harness
+    uses to attribute counter activity to one measurement window, and
+    a process-wide registry (by name, replace-on-collision) so tooling
+    like [tpsim stats] can dump everything that is live without
+    threading component references through every layer. *)
+
+type t
+(** One named counter. *)
+
+type set
+(** A named, ordered collection of counters. *)
+
+type snapshot = (string * int) list
+(** Counter values in declaration order. *)
+
+(** {1 Building} *)
+
+val make_set : string -> set
+(** Fresh, unregistered set. *)
+
+val counter : set -> string -> t
+(** Declare a counter in a set.  Declaration order is preserved by
+    {!snapshot} and printing. *)
+
+val register : set -> unit
+(** Publish the set in the process-wide registry.  A set with the same
+    name replaces the previous one — the registry always describes the
+    most recently created machine/system. *)
+
+(** {1 Recording} *)
+
+val incr : t -> unit
+(** Add one, if {!Ctl.counters_on}. *)
+
+val add : t -> int -> unit
+(** Add [n] (expected non-negative), if {!Ctl.counters_on}. *)
+
+(** {1 Reading} *)
+
+val value : t -> int
+val name : t -> string
+val set_name : set -> string
+
+val snapshot : set -> snapshot
+val reset : set -> unit
+
+val delta : before:snapshot -> after:snapshot -> snapshot
+(** Pointwise [after - before]; both snapshots must come from the same
+    set (checked by counter name). *)
+
+val total : snapshot -> int
+(** Sum of all values (quick "did anything happen" check). *)
+
+(** {1 Registry} *)
+
+val registered : unit -> set list
+(** All registered sets, sorted by name. *)
+
+val find : string -> set option
+
+val reset_all : unit -> unit
+(** Reset every registered set (a fresh measurement window). *)
+
+(** {1 Rendering} *)
+
+val pp_set : Format.formatter -> set -> unit
+(** One line per non-zero counter, indented under the set name. *)
+
+val table : ?skip_zero:bool -> set list -> Tp_util.Table.t
+(** All sets as one aligned [component | counter | value] table with a
+    separator between components; [skip_zero] (default true) omits
+    counters that never fired. *)

@@ -1,0 +1,10 @@
+let counters = ref false
+let trace = ref false
+let counters_on () = !counters
+let trace_on () = !trace
+let set_counters b = counters := b
+let set_trace b = trace := b
+
+let all_off () =
+  counters := false;
+  trace := false

@@ -1,0 +1,22 @@
+(** Global observability switches.
+
+    Both default to off, so a plain library user pays one boolean load
+    per would-be event and nothing else.  The zero-perturbation
+    contract (enforced by [test_obs]): flipping either switch must not
+    change any simulated cycle count — counters and traces live beside
+    the machine model, never inside its arithmetic. *)
+
+val set_counters : bool -> unit
+(** Enable/disable performance-counter recording (and the pad-slack
+    profiler, which feeds off the same events). *)
+
+val counters_on : unit -> bool
+
+val set_trace : bool -> unit
+(** Enable/disable structured-trace recording.  {!Trace.start} flips
+    this on after allocating the ring. *)
+
+val trace_on : unit -> bool
+
+val all_off : unit -> unit
+(** Turn everything off (test teardown). *)

@@ -1,0 +1,51 @@
+(** Pad-slack profiler: is deterministic padding actually hiding the
+    domain-switch latency variation?
+
+    The paper's padding defence (§4.3) works only if the configured pad
+    exceeds the worst-case unpadded switch latency — otherwise the
+    switch overruns the pad and its duration is observable again.  This
+    profiler records every {!Tp_kernel.Domain_switch} cost (fed by the
+    switch path itself, gated on {!Ctl.counters_on}) keyed by the
+    {e outgoing} kernel image, whose attribute the pad is, and reports
+    per image:
+
+    - the latency distribution (total / flush / pad-wait),
+    - the worst observed {e unpadded} cost ([total - pad_wait]),
+    - the pad-slack distribution ([pad_wait], what the padding absorbed),
+    - the headroom ([pad - worst unpadded]) and the number of {e pad
+      overruns} — padded switches that hit the pad target with nothing
+      to spare, i.e. observable leaks. *)
+
+type obs = { o_total : int; o_flush : int; o_pad_wait : int; o_padded : bool }
+
+type image = {
+  im_ki : int;  (** kernel image id *)
+  mutable im_pad : int;  (** configured pad, cycles (last seen) *)
+  mutable im_n : int;  (** switches observed *)
+  mutable im_padded : int;  (** of which padded (protecting, pad > 0) *)
+  mutable im_overruns : int;  (** padded switches with zero slack *)
+  mutable im_worst_unpadded : int;
+  mutable im_worst_total : int;
+  mutable im_sum_total : int;
+  mutable im_min_slack : int;  (** over padded switches; [max_int] if none *)
+  mutable im_samples : obs list;  (** newest first, capped *)
+  mutable im_kept : int;
+}
+
+val record :
+  ki:int -> pad:int -> padded:bool -> total:int -> flush:int -> pad_wait:int ->
+  unit
+(** Called by the switch path after each domain switch; no-op unless
+    {!Ctl.counters_on}. *)
+
+val images : unit -> image list
+(** Profiles sorted by kernel image id. *)
+
+val reset : unit -> unit
+
+val headroom : image -> int option
+(** [pad - worst unpadded], if any padded switch was seen. *)
+
+val report : ?cycles_to_us:(int -> float) -> Format.formatter -> unit -> unit
+(** Per-image summary table plus a pad-slack histogram per padded
+    image.  With [cycles_to_us] the table carries a µs column. *)

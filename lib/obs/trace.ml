@@ -1,0 +1,174 @@
+type arg = Int of int | Str of string | Bool of bool
+
+type kind = Span | Instant
+
+type event = {
+  ts : int;
+  dur : int;
+  core : int;
+  cat : string;
+  name : string;
+  args : (string * arg) list;
+  kind : kind;
+}
+
+let default_capacity = 262_144
+
+type ring = {
+  buf : event option array;
+  mutable head : int; (* next write position *)
+  mutable count : int;
+  mutable n_dropped : int;
+  mutable last_ts : int;
+}
+
+let ring : ring option ref = ref None
+
+let start ?(capacity = default_capacity) () =
+  assert (capacity > 0);
+  ring :=
+    Some
+      { buf = Array.make capacity None; head = 0; count = 0; n_dropped = 0;
+        last_ts = 0 };
+  Ctl.set_trace true
+
+let stop () = Ctl.set_trace false
+
+let clear () =
+  match !ring with
+  | None -> ()
+  | Some r ->
+      Array.fill r.buf 0 (Array.length r.buf) None;
+      r.head <- 0;
+      r.count <- 0;
+      r.n_dropped <- 0;
+      r.last_ts <- 0
+
+let enabled () = Ctl.trace_on ()
+
+let push ev =
+  match !ring with
+  | None -> ()
+  | Some r ->
+      let cap = Array.length r.buf in
+      if r.count = cap then r.n_dropped <- r.n_dropped + 1
+      else r.count <- r.count + 1;
+      r.buf.(r.head) <- Some ev;
+      r.head <- (r.head + 1) mod cap;
+      r.last_ts <- Stdlib.max r.last_ts (ev.ts + ev.dur)
+
+let span ~core ~cat ~name ~ts ~dur ?(args = []) () =
+  if enabled () then push { ts; dur; core; cat; name; args; kind = Span }
+
+let instant ?ts ~core ~cat ~name ?(args = []) () =
+  if enabled () then begin
+    let ts =
+      match ts with
+      | Some t -> t
+      | None -> ( match !ring with None -> 0 | Some r -> r.last_ts)
+    in
+    push { ts; dur = 0; core; cat; name; args; kind = Instant }
+  end
+
+let events () =
+  match !ring with
+  | None -> []
+  | Some r ->
+      let cap = Array.length r.buf in
+      let first = (r.head - r.count + cap * 2) mod cap in
+      List.init r.count (fun i ->
+          match r.buf.((first + i) mod cap) with
+          | Some e -> e
+          | None -> assert false)
+
+let recorded () = match !ring with None -> 0 | Some r -> r.count
+let dropped () = match !ring with None -> 0 | Some r -> r.n_dropped
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (hand-rolled: the toolchain has no JSON library and
+   the trace-event schema is flat). *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_json = function
+  | Int i -> string_of_int i
+  | Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Bool b -> if b then "true" else "false"
+
+let args_json args =
+  String.concat ","
+    (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (arg_json v)) args)
+
+let event_json e =
+  let common =
+    Printf.sprintf "\"name\":\"%s\",\"cat\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%d"
+      (escape e.name) (escape e.cat) e.core e.ts
+  in
+  let phase =
+    match e.kind with
+    | Span -> Printf.sprintf ",\"ph\":\"X\",\"dur\":%d" e.dur
+    | Instant -> ",\"ph\":\"i\",\"s\":\"t\""
+  in
+  let args =
+    if e.args = [] then "" else Printf.sprintf ",\"args\":{%s}" (args_json e.args)
+  in
+  "{" ^ common ^ phase ^ args ^ "}"
+
+let export_chrome oc =
+  output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let evs = events () in
+  (* Name the rows: tid = simulated core. *)
+  let cores = List.sort_uniq compare (List.map (fun e -> e.core) evs) in
+  let meta =
+    List.map
+      (fun c ->
+        Printf.sprintf
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+           \"args\":{\"name\":\"core %d\"}}"
+          c c)
+      cores
+  in
+  let lines = meta @ List.map event_json evs in
+  List.iteri
+    (fun i l ->
+      if i > 0 then output_string oc ",\n";
+      output_string oc l)
+    lines;
+  output_string oc "\n]}\n"
+
+let export_chrome_file path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> export_chrome oc)
+
+let export_metrics_jsonl oc =
+  List.iter
+    (fun set ->
+      let fields =
+        List.map
+          (fun (n, v) -> Printf.sprintf "\"%s\":%d" (escape n) v)
+          (Counter.snapshot set)
+      in
+      Printf.fprintf oc "{\"set\":\"%s\",\"counters\":{%s}}\n"
+        (escape (Counter.set_name set))
+        (String.concat "," fields))
+    (Counter.registered ())
+
+let export_metrics_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> export_metrics_jsonl oc)

@@ -1,0 +1,77 @@
+(** Span-based structured tracing with a Chrome trace-event exporter.
+
+    Events go into a fixed-capacity ring buffer: tracing a long run is
+    O(1) memory and the buffer keeps the most recent window (the
+    [dropped] count says how much history was overwritten).  Timestamps
+    are simulated cycles; the exporter writes them as trace-event
+    microseconds, so {e 1 trace "µs" = 1 simulated cycle} — load the
+    file in Perfetto / [chrome://tracing] and read the time axis as
+    cycles.
+
+    Recording is gated on {!Ctl.trace_on} (set by {!start}); like the
+    counters, the trace layer only ever observes the model, so an
+    instrumented run computes bit-identical results. *)
+
+type arg = Int of int | Str of string | Bool of bool
+
+type kind = Span | Instant
+
+type event = {
+  ts : int;  (** start, simulated cycles *)
+  dur : int;  (** span length (0 for instants) *)
+  core : int;  (** trace-event tid *)
+  cat : string;  (** category: "hw", "kernel", "harness", "fault", ... *)
+  name : string;
+  args : (string * arg) list;
+  kind : kind;
+}
+
+val start : ?capacity:int -> unit -> unit
+(** Allocate the ring (default capacity 262144 events, power of two
+    not required) and enable tracing.  Restarting clears the buffer. *)
+
+val stop : unit -> unit
+(** Disable tracing; the buffered events remain exportable. *)
+
+val clear : unit -> unit
+(** Drop all buffered events (and the dropped count). *)
+
+val enabled : unit -> bool
+(** [Ctl.trace_on], re-exported so instrumentation sites can guard
+    argument construction. *)
+
+val span :
+  core:int -> cat:string -> name:string -> ts:int -> dur:int ->
+  ?args:(string * arg) list -> unit -> unit
+(** Record a completed span (trace-event phase ["X"]). *)
+
+val instant :
+  ?ts:int -> core:int -> cat:string -> name:string ->
+  ?args:(string * arg) list -> unit -> unit
+(** Record an instant event.  Without [ts] the event is placed at the
+    timestamp of the most recently recorded event — callers with no
+    clock of their own (e.g. the fault registry observer) still land
+    in causal order. *)
+
+val events : unit -> event list
+(** Buffered events, oldest first. *)
+
+val recorded : unit -> int
+(** Events currently buffered. *)
+
+val dropped : unit -> int
+(** Events overwritten since {!start}/{!clear}. *)
+
+(** {1 Export} *)
+
+val export_chrome : out_channel -> unit
+(** Write the buffer as Chrome trace-event JSON
+    ([{"traceEvents": [...]}]), loadable by Perfetto. *)
+
+val export_chrome_file : string -> unit
+
+val export_metrics_jsonl : out_channel -> unit
+(** Dump every registered counter set as one JSON object per line:
+    [{"set": "c0.l1d", "counters": {"hits": 12, ...}}]. *)
+
+val export_metrics_file : string -> unit

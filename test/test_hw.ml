@@ -185,7 +185,7 @@ let test_bhb_flush_resets () =
     (Bhb.branch h ~addr:0x40 ~taken:true = Bhb.Mispredicted)
 
 let test_prefetcher_stream_detection () =
-  let pf = Prefetcher.create ~slots:16 ~degree:2 in
+  let pf = Prefetcher.create ~slots:16 ~degree:2 () in
   let line = 64 in
   (* Sequential accesses within a page: third access confirms. *)
   Alcotest.(check (list int)) "1st: none" [] (Prefetcher.on_access pf ~paddr:0 ~line);
@@ -194,7 +194,7 @@ let test_prefetcher_stream_detection () =
   Alcotest.(check (list int)) "3rd: prefetch next two" [ 192; 256 ] pfs
 
 let test_prefetcher_page_boundary () =
-  let pf = Prefetcher.create ~slots:16 ~degree:2 in
+  let pf = Prefetcher.create ~slots:16 ~degree:2 () in
   let line = 64 in
   let last = 4096 - 64 in
   ignore (Prefetcher.on_access pf ~paddr:(last - 128) ~line);
@@ -203,7 +203,7 @@ let test_prefetcher_page_boundary () =
   Alcotest.(check (list int)) "no cross-page prefetch" [] pfs
 
 let test_prefetcher_disabled () =
-  let pf = Prefetcher.create ~slots:16 ~degree:2 in
+  let pf = Prefetcher.create ~slots:16 ~degree:2 () in
   Prefetcher.set_enabled pf false;
   for i = 0 to 5 do
     Alcotest.(check (list int)) "disabled: none" []
@@ -211,7 +211,7 @@ let test_prefetcher_disabled () =
   done
 
 let test_prefetcher_state_survives_and_aliases () =
-  let pf = Prefetcher.create ~slots:16 ~degree:2 in
+  let pf = Prefetcher.create ~slots:16 ~degree:2 () in
   let line = 64 in
   (* Domain A trains a stream on page 0. *)
   for i = 0 to 4 do
@@ -257,7 +257,7 @@ let flood bus ~core ~gap ~n =
   !d
 
 let test_interconnect_contention () =
-  let b = Interconnect.create ~cores:2 ~window:1000 ~slots_per_window:5 in
+  let b = Interconnect.create ~cores:2 ~window:1000 ~slots_per_window:5 () in
   (* A lone moderate stream fits the service rate... *)
   Alcotest.(check int) "alone: no delay" 0 (flood b ~core:0 ~gap:300 ~n:20);
   (* ...but once a second core streams concurrently, delays appear. *)
@@ -269,7 +269,7 @@ let test_interconnect_partitioned () =
   (* Under the hypothetical bandwidth partition, a core's delay is
      independent of the other core's traffic. *)
   let measure ~other_floods =
-    let b = Interconnect.create ~cores:2 ~window:1000 ~slots_per_window:5 in
+    let b = Interconnect.create ~cores:2 ~window:1000 ~slots_per_window:5 () in
     Interconnect.set_partitioned b true;
     if other_floods then ignore (flood b ~core:1 ~gap:10 ~n:50);
     flood b ~core:0 ~gap:300 ~n:20

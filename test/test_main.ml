@@ -13,4 +13,5 @@ let () =
       ("attacks", Test_attacks.suite);
       ("workloads", Test_workloads.suite);
       ("core", Test_core.suite);
+      ("obs", Test_obs.suite);
     ]

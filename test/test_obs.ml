@@ -1,0 +1,313 @@
+(* Tests for the observability layer (Tp_obs): counters, tracing,
+   pad-slack profiling — and above all the zero-cost guarantee: with
+   observability on or off, every simulated result is bit-identical. *)
+
+open Tp_obs
+
+let sabre = Tp_hw.Platform.sabre
+
+(* Every test leaves the global switches off so observability state
+   cannot leak between tests (or into other suites). *)
+let with_obs ?(counters = false) ?(trace = false) f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Ctl.all_off ();
+      Trace.stop ();
+      Trace.clear ();
+      Padprof.reset ())
+    (fun () ->
+      Ctl.set_counters counters;
+      if trace then Trace.start ~capacity:4096 ();
+      f ())
+
+(* --- zero-cost / non-perturbation ---------------------------------- *)
+
+let table2_fingerprint () =
+  let r = Tp_core.Exp_table2.run sabre in
+  List.map
+    (fun row ->
+      ( row.Tp_core.Exp_table2.which,
+        row.Tp_core.Exp_table2.direct_us,
+        row.Tp_core.Exp_table2.indirect_us,
+        row.Tp_core.Exp_table2.total_us ))
+    r.Tp_core.Exp_table2.rows
+
+let test_table2_unperturbed () =
+  Ctl.all_off ();
+  let off = table2_fingerprint () in
+  let on =
+    with_obs ~counters:true ~trace:true (fun () -> table2_fingerprint ()) ()
+  in
+  Alcotest.(check bool)
+    "table2 results bit-identical with counters+trace on" true (off = on)
+
+(* A protected switching workload: the cost record of every switch and
+   the final clock must not depend on observability. *)
+let switch_fingerprint () =
+  let open Tp_kernel in
+  let b = Tp_core.Scenario.boot Tp_core.Scenario.Protected sabre in
+  let sys = b.Boot.sys in
+  let t0 = Boot.spawn b b.Boot.domains.(0) (fun _ -> ()) in
+  let t1 = Boot.spawn b b.Boot.domains.(1) (fun _ -> ()) in
+  Sched.remove (System.sched sys) ~core:0 t0;
+  Sched.remove (System.sched sys) ~core:0 t1;
+  let costs = ref [] in
+  for i = 1 to 40 do
+    let c =
+      Domain_switch.switch sys ~core:0 ~to_:(if i land 1 = 0 then t0 else t1)
+    in
+    costs :=
+      ( c.Domain_switch.total,
+        c.Domain_switch.flush,
+        c.Domain_switch.pad_wait,
+        c.Domain_switch.kernel_switched )
+      :: !costs
+  done;
+  (List.rev !costs, System.now sys ~core:0)
+
+let test_switch_unperturbed () =
+  Ctl.all_off ();
+  let off = switch_fingerprint () in
+  let on =
+    with_obs ~counters:true ~trace:true (fun () -> switch_fingerprint ()) ()
+  in
+  Alcotest.(check bool)
+    "switch costs and clock bit-identical with counters+trace on" true
+    (off = on)
+
+let test_counters_off_never_count =
+  with_obs ~counters:false (fun () ->
+      let s = Counter.make_set "test.off" in
+      let c = Counter.counter s "c" in
+      Counter.incr c;
+      Counter.add c 41;
+      Alcotest.(check int) "disabled counter stays 0" 0 (Counter.value c))
+
+(* --- counter semantics --------------------------------------------- *)
+
+let test_counter_basics =
+  with_obs ~counters:true (fun () ->
+      let s = Counter.make_set "test.basic" in
+      let a = Counter.counter s "a" in
+      let b = Counter.counter s "b" in
+      Counter.incr a;
+      Counter.add b 5;
+      Alcotest.(check (list (pair string int)))
+        "snapshot in declaration order"
+        [ ("a", 1); ("b", 5) ]
+        (Counter.snapshot s);
+      Alcotest.(check int) "total" 6 (Counter.total (Counter.snapshot s));
+      Counter.reset s;
+      Alcotest.(check (list (pair string int)))
+        "reset zeroes, keeps names and order"
+        [ ("a", 0); ("b", 0) ]
+        (Counter.snapshot s))
+
+let test_registry_replace =
+  with_obs (fun () ->
+      let s1 = Counter.make_set "test.reg" in
+      let s2 = Counter.make_set "test.reg" in
+      Counter.register s1;
+      Counter.register s2;
+      let hits =
+        List.filter
+          (fun s -> Counter.set_name s = "test.reg")
+          (Counter.registered ())
+      in
+      Alcotest.(check int) "one survivor per name" 1 (List.length hits);
+      Alcotest.(check bool) "latest registration wins" true (List.hd hits == s2))
+
+let qcheck_delta_non_negative =
+  QCheck.Test.make ~name:"counter deltas are non-negative and sum correctly"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 50) (int_bound 1000))
+    (fun adds ->
+      with_obs ~counters:true
+        (fun () ->
+          let s = Counter.make_set "test.qc" in
+          let c = Counter.counter s "c" in
+          let before = Counter.snapshot s in
+          List.iter (Counter.add c) adds;
+          let d = Counter.delta ~before ~after:(Counter.snapshot s) in
+          List.for_all (fun (_, v) -> v >= 0) d
+          && Counter.total d = List.fold_left ( + ) 0 adds)
+        ())
+
+let qcheck_snapshot_reset_roundtrip =
+  QCheck.Test.make ~name:"snapshot/reset round-trip preserves names"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 10) (int_bound 100))
+    (fun vals ->
+      with_obs ~counters:true
+        (fun () ->
+          let s = Counter.make_set "test.rt" in
+          let cs =
+            List.mapi
+              (fun i v ->
+                let c = Counter.counter s (Printf.sprintf "c%d" i) in
+                Counter.add c v;
+                c)
+              vals
+          in
+          ignore cs;
+          let snap = Counter.snapshot s in
+          Counter.reset s;
+          let zero = Counter.snapshot s in
+          List.map fst snap = List.map fst zero
+          && List.for_all (fun (_, v) -> v = 0) zero
+          && List.map snd snap = vals)
+        ())
+
+(* --- trace ring ---------------------------------------------------- *)
+
+let test_trace_ring_overwrite =
+  with_obs (fun () ->
+      Trace.start ~capacity:8 ();
+      for i = 0 to 19 do
+        Trace.span ~core:0 ~cat:"t" ~name:"s" ~ts:i ~dur:1 ()
+      done;
+      Alcotest.(check int) "ring keeps capacity" 8 (Trace.recorded ());
+      Alcotest.(check int) "overwritten counted" 12 (Trace.dropped ());
+      let ts = List.map (fun e -> e.Trace.ts) (Trace.events ()) in
+      Alcotest.(check (list int))
+        "oldest-first, most recent window"
+        [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+        ts)
+
+let test_trace_disabled_records_nothing =
+  with_obs (fun () ->
+      Trace.span ~core:0 ~cat:"t" ~name:"s" ~ts:0 ~dur:1 ();
+      Alcotest.(check int) "no ring, no events" 0 (Trace.recorded ()))
+
+let test_trace_instant_ts_fallback =
+  with_obs ~trace:true (fun () ->
+      Trace.span ~core:0 ~cat:"t" ~name:"s" ~ts:123 ~dur:7 ();
+      Trace.instant ~core:0 ~cat:"t" ~name:"i" ();
+      match List.rev (Trace.events ()) with
+      | i :: _ ->
+          (* Un-timestamped instants land at the end of the latest event,
+             keeping causal order. *)
+          Alcotest.(check int) "instant lands after last recorded event" 130
+            i.Trace.ts
+      | [] -> Alcotest.fail "no events recorded")
+
+let test_chrome_export_shape =
+  with_obs ~trace:true (fun () ->
+      Trace.span ~core:1 ~cat:"kernel" ~name:"domain_switch" ~ts:10 ~dur:5
+        ~args:[ ("flush", Trace.Int 3); ("why", Trace.Str "a\"b\\c") ]
+        ();
+      Trace.instant ~ts:12 ~core:0 ~cat:"klog" ~name:"harness_checkpoint" ();
+      let f = Filename.temp_file "tp_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove f)
+        (fun () ->
+          Trace.export_chrome_file f;
+          let ic = open_in f in
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          let has sub =
+            let n = String.length s and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "traceEvents present" true (has "\"traceEvents\"");
+          Alcotest.(check bool) "complete span phase" true (has "\"ph\":\"X\"");
+          Alcotest.(check bool) "instant phase" true (has "\"ph\":\"i\"");
+          Alcotest.(check bool) "escaped string arg" true (has "a\\\"b\\\\c");
+          Alcotest.(check bool) "thread metadata" true (has "thread_name")))
+
+let test_klog_events_become_instants =
+  with_obs ~trace:true (fun () ->
+      Tp_kernel.Klog.harness_checkpoint ~now:55 ~chunk:2 ~collected:17 ();
+      Tp_kernel.Klog.harness_degraded ~now:90 ~reason:"test" ~collected:17 ();
+      let names =
+        List.map (fun e -> (e.Trace.name, e.Trace.ts)) (Trace.events ())
+      in
+      Alcotest.(check (list (pair string int)))
+        "harness events land in the trace at their clock"
+        [ ("harness_checkpoint", 55); ("harness_degraded", 90) ]
+        names)
+
+(* --- pad-slack profiler -------------------------------------------- *)
+
+let test_padprof_accounting =
+  with_obs ~counters:true (fun () ->
+      Padprof.record ~ki:3 ~pad:1000 ~padded:true ~total:1000 ~flush:200
+        ~pad_wait:400;
+      Padprof.record ~ki:3 ~pad:1000 ~padded:true ~total:1100 ~flush:250
+        ~pad_wait:0;
+      (* overrun *)
+      Padprof.record ~ki:7 ~pad:0 ~padded:false ~total:300 ~flush:0 ~pad_wait:0;
+      match Padprof.images () with
+      | [ a; b ] ->
+          Alcotest.(check int) "sorted by image id" 3 a.Padprof.im_ki;
+          Alcotest.(check int) "switches" 2 a.Padprof.im_n;
+          Alcotest.(check int) "padded" 2 a.Padprof.im_padded;
+          Alcotest.(check int) "overruns" 1 a.Padprof.im_overruns;
+          Alcotest.(check int) "worst unpadded" 1100 a.Padprof.im_worst_unpadded;
+          Alcotest.(check (option int))
+            "headroom = pad - worst unpadded"
+            (Some (-100))
+            (Padprof.headroom a);
+          Alcotest.(check int) "unpadded image" 0 b.Padprof.im_padded;
+          Alcotest.(check (option int))
+            "no headroom without padded switches" None (Padprof.headroom b)
+      | l -> Alcotest.failf "expected 2 images, got %d" (List.length l))
+
+let test_padprof_gated =
+  with_obs ~counters:false (fun () ->
+      Padprof.record ~ki:1 ~pad:10 ~padded:true ~total:10 ~flush:1 ~pad_wait:1;
+      Alcotest.(check int) "no recording with counters off" 0
+        (List.length (Padprof.images ())))
+
+(* --- harness metadata ---------------------------------------------- *)
+
+let test_harness_switch_counters =
+  with_obs ~counters:true (fun () ->
+      let open Tp_kernel in
+      let b = Tp_core.Scenario.boot Tp_core.Scenario.Protected sabre in
+      let spec =
+        {
+          (Tp_attacks.Harness.default_spec sabre) with
+          Tp_attacks.Harness.samples = 40;
+          noise_sigma = 0.0;
+        }
+      in
+      let rng = Tp_util.Rng.create ~seed:3 in
+      let sender _ctx _sym = () in
+      let receiver ctx = Some (float_of_int (Uctx.now ctx land 0xff)) in
+      let r = Tp_attacks.Harness.run_pair_result b ~sender ~receiver spec ~rng in
+      let sw = r.Tp_attacks.Harness.switch_counters in
+      Alcotest.(check bool)
+        "switch counters counted the collection" true
+        (Counter.total sw > 0);
+      Alcotest.(check bool)
+        "delta is per-counter non-negative" true
+        (List.for_all (fun (_, v) -> v >= 0) sw))
+
+let suite =
+  [
+    Alcotest.test_case "table2 unperturbed by observability" `Quick
+      test_table2_unperturbed;
+    Alcotest.test_case "switch path unperturbed by observability" `Quick
+      test_switch_unperturbed;
+    Alcotest.test_case "counters off never count" `Quick
+      test_counters_off_never_count;
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "registry replace-on-name" `Quick test_registry_replace;
+    Alcotest.test_case "trace ring overwrite" `Quick test_trace_ring_overwrite;
+    Alcotest.test_case "trace disabled records nothing" `Quick
+      test_trace_disabled_records_nothing;
+    Alcotest.test_case "instant ts fallback" `Quick
+      test_trace_instant_ts_fallback;
+    Alcotest.test_case "chrome export shape" `Quick test_chrome_export_shape;
+    Alcotest.test_case "klog events become instants" `Quick
+      test_klog_events_become_instants;
+    Alcotest.test_case "padprof accounting" `Quick test_padprof_accounting;
+    Alcotest.test_case "padprof gated on counters" `Quick test_padprof_gated;
+    Alcotest.test_case "harness switch-counter metadata" `Quick
+      test_harness_switch_counters;
+    QCheck_alcotest.to_alcotest qcheck_delta_non_negative;
+    QCheck_alcotest.to_alcotest qcheck_snapshot_reset_roundtrip;
+  ]
