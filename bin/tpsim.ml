@@ -440,10 +440,177 @@ let cmd_faults =
           injection point and check the global invariants.")
     Term.(const run $ platform_arg $ verbose_arg)
 
+let scenario_choices =
+  [
+    ("raw", Scenario.Raw);
+    ("full-flush", Scenario.Full_flush);
+    ("protected", Scenario.Protected);
+    ("coloured-only", Scenario.Coloured_only);
+    ("no-pad", Scenario.Protected_no_pad);
+    ("no-prefetcher", Scenario.Protected_no_prefetcher);
+    ("cat-llc", Scenario.Cat_llc);
+  ]
+
+let config_arg =
+  let doc =
+    "Scenario to lint: $(b,raw), $(b,full-flush), $(b,protected), \
+     $(b,coloured-only), $(b,no-pad), $(b,no-prefetcher) or $(b,cat-llc)."
+  in
+  Arg.(
+    value
+    & opt (enum scenario_choices) Scenario.Protected
+    & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+
+let domains_arg =
+  let doc = "Number of security domains to boot." in
+  Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N" ~doc)
+
+let json_arg =
+  let doc = "Emit the reports as a JSON array instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let out_arg =
+  let doc = "Write the output to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let expect_arg =
+  let doc =
+    "Assert the outcome: with $(b,clean) exit non-zero if any report has \
+     findings, with $(b,findings) exit non-zero if any report is clean.  \
+     This is what the CI gate uses."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("clean", `Clean); ("findings", `Findings) ])) None
+    & info [ "expect" ] ~docv:"OUTCOME" ~doc)
+
+let with_out file f =
+  match file with
+  | None -> f stdout
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let cmd_lint =
+  (* Static time-protection linter (plus the dynamic §4.1 audit): does
+     the booted configuration actually establish the isolation it
+     claims?  `--expect` turns the verdict into an exit code for CI. *)
+  let run plats kind domains json out expect verbose =
+    setup_logging verbose;
+    let reports =
+      List.map
+        (fun p ->
+          let b = Scenario.boot ~domains kind p in
+          let subject =
+            Printf.sprintf "lint %s %s" p.Tp_hw.Platform.name
+              (Scenario.name kind)
+          in
+          Tp_analysis.Lint.run ~subject b)
+        plats
+    in
+    with_out out (fun oc ->
+        if json then output_string oc (Tp_analysis.Diag.reports_to_json reports)
+        else begin
+          let ppf = Format.formatter_of_out_channel oc in
+          List.iter
+            (fun r -> Format.fprintf ppf "%a@." Tp_analysis.Diag.pp_report r)
+            reports;
+          Format.pp_print_flush ppf ()
+        end);
+    (match out with
+    | Some f ->
+        List.iter
+          (fun (r : Tp_analysis.Diag.report) ->
+            Printf.eprintf "tpsim: %s: %s\n%!" r.subject
+              (Tp_analysis.Diag.summary r))
+          reports;
+        Printf.eprintf "tpsim: wrote lint report to %s\n%!" f
+    | None -> ());
+    match expect with
+    | None -> ()
+    | Some `Clean ->
+        let dirty =
+          List.filter (fun r -> not (Tp_analysis.Diag.clean r)) reports
+        in
+        if dirty <> [] then begin
+          List.iter
+            (fun (r : Tp_analysis.Diag.report) ->
+              Printf.eprintf "tpsim: expected clean but %s: %s\n%!" r.subject
+                (Tp_analysis.Diag.summary r))
+            dirty;
+          exit 1
+        end
+    | Some `Findings ->
+        let clean = List.filter Tp_analysis.Diag.clean reports in
+        if clean <> [] then begin
+          List.iter
+            (fun (r : Tp_analysis.Diag.report) ->
+              Printf.eprintf
+                "tpsim: expected findings but %s lints clean\n%!" r.subject)
+            clean;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static time-protection linter: colour/CAT disjointness, clone \
+          coverage, IRQ partitioning and pad sufficiency against the \
+          analytic worst-case switch bound, plus the dynamic \
+          shared-data audit.")
+    Term.(
+      const run $ platform_arg $ config_arg $ domains_arg $ json_arg $ out_arg
+      $ expect_arg $ verbose_arg)
+
+let cmd_ctcheck =
+  (* Constant-time checker over the bundled fixtures: static taint
+     verdict cross-checked against a dynamic two-secret trace diff. *)
+  let run plats json out verbose =
+    setup_logging verbose;
+    let failed = ref 0 in
+    let reports =
+      List.concat_map
+        (fun p ->
+          List.map
+            (fun fx ->
+              let v = Tp_analysis.Ctcheck.check_fixture p fx in
+              if not v.Tp_analysis.Ctcheck.v_pass then incr failed;
+              Tp_analysis.Ctcheck.report p v)
+            Tp_analysis.Ctcheck.fixtures)
+        plats
+    in
+    with_out out (fun oc ->
+        if json then output_string oc (Tp_analysis.Diag.reports_to_json reports)
+        else begin
+          let ppf = Format.formatter_of_out_channel oc in
+          List.iter
+            (fun r -> Format.fprintf ppf "%a@." Tp_analysis.Diag.pp_report r)
+            reports;
+          Format.pp_print_flush ppf ()
+        end);
+    (match out with
+    | Some f -> Printf.eprintf "tpsim: wrote ctcheck report to %s\n%!" f
+    | None -> ());
+    if !failed > 0 then begin
+      Printf.eprintf "tpsim: %d constant-time verdicts failed\n%!" !failed;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "ctcheck"
+       ~doc:
+         "Constant-time checker: secret-taint dataflow over the guest IR \
+          fixtures (incl. the Sec. 5.3.3 square-and-multiply victim), \
+          cross-checked by executing each fixture under two secrets and \
+          diffing the address/branch traces.")
+    Term.(const run $ platform_arg $ json_arg $ out_arg $ verbose_arg)
+
 let cmds =
   [
     cmd_platforms;
     cmd_faults;
+    cmd_lint;
+    cmd_ctcheck;
     mk_cmd "table2" "Worst-case cache flush costs (Table 2)." table2;
     mk_cmd "fig3" "Kernel-image covert channel matrix (Figure 3)." fig3;
     mk_cmd "table3" "Intra-core timing channels (Table 3)." table3;

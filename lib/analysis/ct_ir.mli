@@ -1,0 +1,108 @@
+(** A small guest-program IR for constant-time analysis.
+
+    Programs are straight-line/structured code over integer registers
+    and named word arrays: assignments, conditionals, loops, and
+    array loads/stores.  Parameters are tainted [Public] or [Secret].
+    The IR exists to ask one question two ways:
+
+    - {b statically} ({!Ctcheck}): does a secret ever flow into a
+      branch condition or a memory address?
+    - {b dynamically}: execute the program on {!Tp_hw.Machine} under
+      two different secrets and diff the address/branch event traces.
+
+    Every [If]/[While] has a stable site id (preorder position) so
+    static findings and dynamic trace divergences refer to the same
+    program points. *)
+
+type reg = int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** raises [Division_by_zero] on 0, like the hardware would trap *)
+  | Mod
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt  (** 1 if [a < b] else 0 *)
+  | Eq  (** 1 if [a = b] else 0 *)
+
+type expr = Int of int | Reg of reg | Bin of binop * expr * expr
+
+type stmt =
+  | Set of reg * expr
+  | Load of reg * string * expr  (** [r := arr[idx]] *)
+  | Store of string * expr * expr  (** [arr[idx] := v] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+
+type taint = Public | Secret
+
+type program = {
+  p_name : string;
+  p_arrays : (string * int) list;  (** array name, length in words *)
+  p_params : (reg * string * taint) list;  (** register, name, taint *)
+  p_body : stmt list;
+}
+
+val validate : program -> unit
+(** @raise Invalid_argument on references to undeclared arrays or
+    parameters/registers never assigned. *)
+
+val n_regs : program -> int
+(** One past the highest register mentioned. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+
+(** {1 Site-annotated form}
+
+    [If]/[While] nodes numbered in preorder — the common coordinate
+    system of the static checker's findings and the dynamic trace's
+    branch events. *)
+
+type astmt =
+  | ASet of reg * expr
+  | ALoad of reg * string * expr
+  | AStore of string * expr * expr
+  | AIf of int * expr * astmt list * astmt list
+  | AWhile of int * expr * astmt list
+
+val annotate : stmt list -> astmt list
+
+(** {1 Dynamic execution} *)
+
+type event =
+  | Ev_load of int  (** virtual address *)
+  | Ev_store of int
+  | Ev_branch of int * bool  (** site id, taken *)
+
+type trace = event list
+
+type exec_result = {
+  x_trace : trace;
+  x_cycles : int;  (** machine cycles consumed *)
+  x_regs : int array;  (** final register file *)
+}
+
+val execute :
+  Tp_hw.Machine.t -> core:int -> program -> inputs:(reg * int) list -> exec_result
+(** Run the program on the machine model: loads/stores issue real
+    {!Tp_hw.Machine.access}es (arrays get disjoint page-aligned
+    buffers), conditionals issue real {!Tp_hw.Machine.cond_branch}es
+    at per-site addresses.  The event trace records addresses and
+    branch outcomes only — never latencies — so diffing two traces
+    compares the program's memory/control footprint, not the cache
+    state it happened to start from.  Array {e contents} are not
+    modelled: loads return 0 (the analysis is about where a program
+    looks, not what it finds there), so programs must not branch on
+    loaded values.
+    @raise Invalid_argument on missing inputs, out-of-bounds indices,
+    or runaway loops (>1e6 steps). *)
+
+val diff_traces : trace -> trace -> (int * string) option
+(** First divergence between two traces, as (position, description);
+    [None] if identical (including equal length). *)

@@ -1,0 +1,367 @@
+open Ct_ir
+
+let rule_branch_secret = "CT-BRANCH-SECRET"
+let rule_addr_secret = "CT-ADDR-SECRET"
+let rule_crosscheck = "CT-CROSSCHECK-DISAGREE"
+let rule_expectation = "CT-EXPECTATION"
+
+(* ------------------------------------------------------------------ *)
+(* Static taint dataflow                                               *)
+
+let is_secret = function Secret -> true | Public -> false
+let join a b = if is_secret a || is_secret b then Secret else Public
+
+let static_findings p =
+  validate p;
+  let regs = Array.make (max 1 (n_regs p)) Public in
+  List.iter (fun (r, _, t) -> regs.(r) <- t) p.p_params;
+  let arrs = Hashtbl.create 8 in
+  List.iter (fun (name, _) -> Hashtbl.replace arrs name Public) p.p_arrays;
+  (* Weak (monotone) updates only: a taint never decreases, so loop
+     fixpoints terminate and If branches need no explicit join.  [gen]
+     counts state changes; a loop iterates until an iteration leaves it
+     untouched (a flag would be clobbered by nested loops). *)
+  let gen = ref 0 in
+  let set_reg r t =
+    let t' = join regs.(r) t in
+    if t' <> regs.(r) then begin
+      regs.(r) <- t';
+      incr gen
+    end
+  in
+  let set_arr a t =
+    let cur = Hashtbl.find arrs a in
+    let t' = join cur t in
+    if t' <> cur then begin
+      Hashtbl.replace arrs a t';
+      incr gen
+    end
+  in
+  let found = Hashtbl.create 8 in
+  let order = ref [] in
+  let add ~rule ~key msg =
+    if not (Hashtbl.mem found (rule, key)) then begin
+      Hashtbl.replace found (rule, key) ();
+      order := Diag.error ~rule msg :: !order;
+      incr gen
+    end
+  in
+  let rec expr_taint = function
+    | Int _ -> Public
+    | Reg r -> regs.(r)
+    | Bin (_, a, b) -> join (expr_taint a) (expr_taint b)
+  in
+  let flag_branch site c pc =
+    let ct = expr_taint c in
+    if is_secret (join ct pc) then
+      add ~rule:rule_branch_secret ~key:(string_of_int site)
+        (Format.asprintf
+           "branch site %d: condition %a %s — execution path depends on the \
+            secret"
+           site pp_expr c
+           (if is_secret ct then "is secret-tainted"
+            else "executes under secret-dependent control flow"))
+  in
+  let flag_addr kind a i =
+    if is_secret (expr_taint i) then
+      add ~rule:rule_addr_secret
+        ~key:(Format.asprintf "%s %s[%a]" kind a pp_expr i)
+        (Format.asprintf
+           "%s of %s at secret-dependent index %a — the access footprint \
+            encodes the secret"
+           kind a pp_expr i)
+  in
+  let rec go pc s =
+    match s with
+    | ASet (r, e) -> set_reg r (join pc (expr_taint e))
+    | ALoad (r, a, i) ->
+        flag_addr "load" a i;
+        set_reg r (join pc (join (expr_taint i) (Hashtbl.find arrs a)))
+    | AStore (a, i, v) ->
+        flag_addr "store" a i;
+        set_arr a (join pc (join (expr_taint i) (expr_taint v)))
+    | AIf (site, c, t, e) ->
+        flag_branch site c pc;
+        let pc' = join pc (expr_taint c) in
+        List.iter (go pc') t;
+        List.iter (go pc') e
+    | AWhile (site, c, body) ->
+        let rec fix () =
+          let g0 = !gen in
+          flag_branch site c pc;
+          let pc' = join pc (expr_taint c) in
+          List.iter (go pc') body;
+          if !gen <> g0 then fix ()
+        in
+        fix ()
+  in
+  List.iter (go Public) (annotate p.p_body);
+  List.rev !order
+
+let static_ct p = static_findings p = []
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic cross-check                                                 *)
+
+type verdict = {
+  v_name : string;
+  v_static : Diag.finding list;
+  v_static_ct : bool;
+  v_trace_equal : bool;
+  v_divergence : (int * string) option;
+  v_events : int;
+  v_agrees : bool;
+  v_expected : bool option;
+  v_pass : bool;
+}
+
+let check plat ?expect p ~public ~secret_a ~secret_b =
+  let secret_params =
+    List.filter_map (fun (r, _, t) -> if is_secret t then Some r else None) p.p_params
+  in
+  let dom l = List.sort_uniq compare (List.map fst l) in
+  if dom secret_a <> List.sort_uniq compare secret_params
+     || dom secret_b <> List.sort_uniq compare secret_params
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Ctcheck.check: %s: secret assignments must cover exactly the secret \
+          parameters"
+         p.p_name);
+  let findings = static_findings p in
+  let m = Tp_hw.Machine.create plat in
+  let ra = execute m ~core:0 p ~inputs:(public @ secret_a) in
+  let rb = execute m ~core:0 p ~inputs:(public @ secret_b) in
+  let divergence = diff_traces ra.x_trace rb.x_trace in
+  let trace_equal = divergence = None in
+  let static_ct = findings = [] in
+  {
+    v_name = p.p_name;
+    v_static = findings;
+    v_static_ct = static_ct;
+    v_trace_equal = trace_equal;
+    v_divergence = divergence;
+    v_events = List.length ra.x_trace;
+    v_agrees = static_ct = trace_equal;
+    v_expected = expect;
+    v_pass =
+      static_ct = trace_equal
+      && (match expect with None -> true | Some e -> e = static_ct);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+
+(* The §5.3.3 victim: square-and-multiply modular exponentiation whose
+   multiply step (code and loads) only runs for 1-bits of the secret
+   exponent — the cache-footprint leak the LLC attack recovers. *)
+let sqmul =
+  {
+    p_name = "sqmul";
+    p_arrays = [ ("sq", 64); ("mul", 64) ];
+    p_params =
+      [ (0, "base", Public); (1, "exp", Secret); (2, "modulus", Public);
+        (3, "nbits", Public) ];
+    p_body =
+      [
+        Set (4, Int 1);
+        Set (5, Reg 3);
+        While
+          ( Bin (Lt, Int 0, Reg 5),
+            [
+              Set (5, Bin (Sub, Reg 5, Int 1));
+              (* square: footprint in the "sq" table *)
+              Set (6, Int 0);
+              While
+                ( Bin (Lt, Reg 6, Int 8),
+                  [ Load (7, "sq", Reg 6); Set (6, Bin (Add, Reg 6, Int 1)) ] );
+              Set (4, Bin (Mod, Bin (Mul, Reg 4, Reg 4), Reg 2));
+              (* multiply only when the current exponent bit is set *)
+              Set (8, Bin (And, Bin (Shr, Reg 1, Reg 5), Int 1));
+              If
+                ( Reg 8,
+                  [
+                    Set (9, Int 0);
+                    While
+                      ( Bin (Lt, Reg 9, Int 8),
+                        [
+                          Load (10, "mul", Reg 9);
+                          Set (9, Bin (Add, Reg 9, Int 1));
+                        ] );
+                    Set (4, Bin (Mod, Bin (Mul, Reg 4, Reg 0), Reg 2));
+                  ],
+                  [] );
+            ] );
+      ];
+  }
+
+(* Constant-time rewrite: always touch the multiply table and always
+   compute the product, then select the result arithmetically. *)
+let sqmul_ct =
+  {
+    p_name = "sqmul-ct";
+    p_arrays = [ ("sq", 64); ("mul", 64) ];
+    p_params =
+      [ (0, "base", Public); (1, "exp", Secret); (2, "modulus", Public);
+        (3, "nbits", Public) ];
+    p_body =
+      [
+        Set (4, Int 1);
+        Set (5, Reg 3);
+        While
+          ( Bin (Lt, Int 0, Reg 5),
+            [
+              Set (5, Bin (Sub, Reg 5, Int 1));
+              Set (6, Int 0);
+              While
+                ( Bin (Lt, Reg 6, Int 8),
+                  [ Load (7, "sq", Reg 6); Set (6, Bin (Add, Reg 6, Int 1)) ] );
+              Set (4, Bin (Mod, Bin (Mul, Reg 4, Reg 4), Reg 2));
+              Set (8, Bin (And, Bin (Shr, Reg 1, Reg 5), Int 1));
+              (* always touch the multiply table *)
+              Set (9, Int 0);
+              While
+                ( Bin (Lt, Reg 9, Int 8),
+                  [ Load (10, "mul", Reg 9); Set (9, Bin (Add, Reg 9, Int 1)) ]
+                );
+              (* always multiply, select with mask = -bit *)
+              Set (11, Bin (Mod, Bin (Mul, Reg 4, Reg 0), Reg 2));
+              Set (12, Bin (Sub, Int 0, Reg 8));
+              Set
+                ( 4,
+                  Bin
+                    ( Or,
+                      Bin (And, Reg 11, Reg 12),
+                      Bin (And, Reg 4, Bin (Xor, Reg 12, Int (-1))) ) );
+            ] );
+      ];
+  }
+
+(* Classic secret-indexed table lookup (an S-box). *)
+let sbox_lookup =
+  {
+    p_name = "sbox-lookup";
+    p_arrays = [ ("tab", 256) ];
+    p_params = [ (0, "key", Secret) ];
+    p_body = [ Set (1, Bin (And, Reg 0, Int 255)); Load (2, "tab", Reg 1) ];
+  }
+
+(* CT rewrite: scan the whole table, select arithmetically. *)
+let sbox_ct =
+  {
+    p_name = "sbox-ct";
+    p_arrays = [ ("tab", 256) ];
+    p_params = [ (0, "key", Secret) ];
+    p_body =
+      [
+        Set (1, Bin (And, Reg 0, Int 255));
+        Set (2, Int 0);
+        Set (3, Int 0);
+        While
+          ( Bin (Lt, Reg 3, Int 256),
+            [
+              Load (4, "tab", Reg 3);
+              Set (5, Bin (Sub, Int 0, Bin (Eq, Reg 3, Reg 1)));
+              Set
+                ( 2,
+                  Bin
+                    ( Or,
+                      Bin (And, Reg 4, Reg 5),
+                      Bin (And, Reg 2, Bin (Xor, Reg 5, Int (-1))) ) );
+              Set (3, Bin (Add, Reg 3, Int 1));
+            ] );
+      ];
+  }
+
+type fixture = {
+  fx_program : Ct_ir.program;
+  fx_public : (Ct_ir.reg * int) list;
+  fx_secret_a : (Ct_ir.reg * int) list;
+  fx_secret_b : (Ct_ir.reg * int) list;
+  fx_expect_ct : bool;
+}
+
+let sqmul_public = [ (0, 7); (2, 2047); (3, 10) ]
+let sqmul_secrets = ([ (1, 0b1010101010) ], [ (1, 0b1111111111) ])
+
+let fixtures =
+  [
+    {
+      fx_program = sqmul;
+      fx_public = sqmul_public;
+      fx_secret_a = fst sqmul_secrets;
+      fx_secret_b = snd sqmul_secrets;
+      fx_expect_ct = false;
+    };
+    {
+      fx_program = sqmul_ct;
+      fx_public = sqmul_public;
+      fx_secret_a = fst sqmul_secrets;
+      fx_secret_b = snd sqmul_secrets;
+      fx_expect_ct = true;
+    };
+    {
+      fx_program = sbox_lookup;
+      fx_public = [];
+      fx_secret_a = [ (0, 13) ];
+      fx_secret_b = [ (0, 200) ];
+      fx_expect_ct = false;
+    };
+    {
+      fx_program = sbox_ct;
+      fx_public = [];
+      fx_secret_a = [ (0, 13) ];
+      fx_secret_b = [ (0, 200) ];
+      fx_expect_ct = true;
+    };
+  ]
+
+let fixture name =
+  List.find_opt (fun f -> f.fx_program.p_name = name) fixtures
+
+let check_fixture plat f =
+  check plat ~expect:f.fx_expect_ct f.fx_program ~public:f.fx_public
+    ~secret_a:f.fx_secret_a ~secret_b:f.fx_secret_b
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let report plat v =
+  let subject =
+    Printf.sprintf "ctcheck %s %s" plat.Tp_hw.Platform.name v.v_name
+  in
+  let dynamic =
+    match v.v_divergence with
+    | Some (i, what) ->
+        [
+          Diag.info ~rule:"CT-DYNAMIC-DIVERGENCE"
+            (Printf.sprintf
+               "traces under the two secrets diverge at event %d (%s): the \
+                footprint leaks"
+               i what);
+        ]
+    | None -> []
+  in
+  let crosscheck =
+    if v.v_static_ct = v.v_trace_equal then []
+    else
+      [
+        Diag.error ~rule:rule_crosscheck
+          (Printf.sprintf
+             "static verdict (%s) contradicts the dynamic trace diff (%s)"
+             (if v.v_static_ct then "constant-time" else "leaky")
+             (if v.v_trace_equal then "traces identical" else "traces diverge"));
+      ]
+  in
+  let expectation =
+    match v.v_expected with
+    | Some e when e <> v.v_static_ct ->
+        [
+          Diag.error ~rule:rule_expectation
+            (Printf.sprintf "expected %s but the static pass says %s"
+               (if e then "constant-time" else "leaky")
+               (if v.v_static_ct then "constant-time" else "leaky"));
+        ]
+    | _ -> []
+  in
+  { Diag.subject; findings = v.v_static @ dynamic @ crosscheck @ expectation }

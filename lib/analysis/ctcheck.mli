@@ -1,0 +1,88 @@
+(** Constant-time checker: static secret-taint dataflow over the
+    {!Ct_ir} IR, cross-checked dynamically on the machine model.
+
+    The static pass propagates a two-point taint lattice
+    ([Public < Secret]) through registers, arrays and the program
+    counter and flags the two classic constant-time violations:
+
+    - ["CT-BRANCH-SECRET"]: a branch condition depends on a secret
+      (directly, or via a secret-tainted program counter);
+    - ["CT-ADDR-SECRET"]: a load/store address depends on a secret.
+
+    The dynamic cross-check runs the program twice on a fresh
+    {!Tp_hw.Machine} with different values for the secret parameters
+    and diffs the address/branch traces: a program whose footprint
+    differs under two secrets demonstrably leaks through the
+    microarchitectural channels this repo measures, and a clean static
+    verdict should imply identical traces.
+
+    {!fixtures} contains the §5.3.3 square-and-multiply victim, its
+    constant-time rewrite, and a table-lookup pair, each with two
+    secret assignments and the expected verdict. *)
+
+val rule_branch_secret : string
+val rule_addr_secret : string
+
+val rule_crosscheck : string
+(** ["CT-CROSSCHECK-DISAGREE"]: static and dynamic verdicts differ. *)
+
+val rule_expectation : string
+(** ["CT-EXPECTATION"]: verdict contradicts a fixture's ground truth. *)
+
+(** {1 Static pass} *)
+
+val static_findings : Ct_ir.program -> Diag.finding list
+(** Taint-dataflow findings, deduplicated per (rule, site).  Loops are
+    iterated to a fixpoint (the lattice is finite and the transfer
+    monotone). *)
+
+val static_ct : Ct_ir.program -> bool
+(** [static_findings] is empty. *)
+
+(** {1 Fixtures and verdicts} *)
+
+type fixture = {
+  fx_program : Ct_ir.program;
+  fx_public : (Ct_ir.reg * int) list;  (** shared public inputs *)
+  fx_secret_a : (Ct_ir.reg * int) list;  (** first secret assignment *)
+  fx_secret_b : (Ct_ir.reg * int) list;  (** second secret assignment *)
+  fx_expect_ct : bool;  (** ground truth *)
+}
+
+val fixtures : fixture list
+(** [sqmul] (the §5.3.3 square-and-multiply victim), [sqmul-ct]
+    (always-multiply + arithmetic select), [sbox-lookup]
+    (secret-indexed table), [sbox-ct] (full-table scan + arithmetic
+    select). *)
+
+val fixture : string -> fixture option
+(** Look up a fixture by program name. *)
+
+type verdict = {
+  v_name : string;
+  v_static : Diag.finding list;
+  v_static_ct : bool;
+  v_trace_equal : bool;  (** dynamic: traces identical under both secrets *)
+  v_divergence : (int * string) option;
+  v_events : int;  (** events per trace (first run) *)
+  v_agrees : bool;  (** static verdict = dynamic verdict *)
+  v_expected : bool option;  (** ground truth if known *)
+  v_pass : bool;  (** agrees, and matches ground truth when known *)
+}
+
+val check :
+  Tp_hw.Platform.t -> ?expect:bool -> Ct_ir.program ->
+  public:(Ct_ir.reg * int) list ->
+  secret_a:(Ct_ir.reg * int) list ->
+  secret_b:(Ct_ir.reg * int) list ->
+  verdict
+(** Static pass + two executions on a fresh machine + trace diff.
+    @raise Invalid_argument if the two secret assignments do not cover
+    exactly the program's [Secret] parameters. *)
+
+val check_fixture : Tp_hw.Platform.t -> fixture -> verdict
+
+val report : Tp_hw.Platform.t -> verdict -> Diag.report
+(** Render a verdict as a diagnostic report: the static findings, an
+    error if static and dynamic verdicts disagree or contradict the
+    ground truth, and an info line with the dynamic evidence. *)

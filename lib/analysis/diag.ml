@@ -1,0 +1,85 @@
+type severity = Error | Warning | Info
+
+type finding = {
+  rule : string;
+  severity : severity;
+  message : string;
+  context : (string * string) list;
+}
+
+type report = { subject : string; findings : finding list }
+
+let mk severity ?(context = []) ~rule message = { rule; severity; message; context }
+let error ?context ~rule message = mk Error ?context ~rule message
+let warning ?context ~rule message = mk Warning ?context ~rule message
+let info ?context ~rule message = mk Info ?context ~rule message
+
+let clean r = r.findings = []
+let count sev r = List.length (List.filter (fun f -> f.severity = sev) r.findings)
+
+let rules r =
+  List.sort_uniq String.compare (List.map (fun f -> f.rule) r.findings)
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let summary r =
+  if clean r then "clean"
+  else
+    let part sev name =
+      match count sev r with
+      | 0 -> None
+      | 1 -> Some ("1 " ^ name)
+      | n -> Some (Printf.sprintf "%d %ss" n name)
+    in
+    String.concat ", "
+      (List.filter_map Fun.id
+         [ part Error "error"; part Warning "warning"; part Info "info" ])
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%-7s %-22s %s" (severity_name f.severity) f.rule f.message
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s: %s@." r.subject (summary r);
+  List.iter (fun f -> Format.fprintf ppf "  %a@." pp_finding f) r.findings
+
+(* Hand-rolled JSON, same approach as Tp_obs.Trace: the dependency cone
+   has no JSON library and the shapes here are fixed. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let finding_to_json f =
+  let ctx =
+    match f.context with
+    | [] -> ""
+    | kvs ->
+        let pairs =
+          List.map
+            (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+            kvs
+        in
+        Printf.sprintf ",\"context\":{%s}" (String.concat "," pairs)
+  in
+  Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\"%s}"
+    (json_escape f.rule) (severity_name f.severity) (json_escape f.message) ctx
+
+let report_to_json r =
+  Printf.sprintf "{\"subject\":\"%s\",\"clean\":%b,\"findings\":[%s]}"
+    (json_escape r.subject) (clean r)
+    (String.concat "," (List.map finding_to_json r.findings))
+
+let reports_to_json rs =
+  Printf.sprintf "[%s]" (String.concat ",\n" (List.map report_to_json rs))

@@ -1,0 +1,47 @@
+(** Structured diagnostics shared by the analysis passes.
+
+    Every finding carries a stable rule identifier (["TP-..."] for the
+    partition linter, ["CT-..."] for the constant-time checker), a
+    severity, a human-readable message and optional key/value context.
+    Reports render either as text for the terminal or as JSON for CI
+    (hand-rolled, same style as {!Tp_obs.Trace} — no JSON library in
+    the dependency cone). *)
+
+type severity = Error | Warning | Info
+
+type finding = {
+  rule : string;  (** stable rule id, e.g. ["TP-PAD-INSUFFICIENT"] *)
+  severity : severity;
+  message : string;
+  context : (string * string) list;  (** extra key/values, JSON only *)
+}
+
+type report = {
+  subject : string;  (** what was analysed, e.g. ["lint haswell protected"] *)
+  findings : finding list;
+}
+
+val error : ?context:(string * string) list -> rule:string -> string -> finding
+val warning : ?context:(string * string) list -> rule:string -> string -> finding
+val info : ?context:(string * string) list -> rule:string -> string -> finding
+
+val clean : report -> bool
+(** No findings of any severity. *)
+
+val count : severity -> report -> int
+val rules : report -> string list
+(** Distinct rule ids present, sorted. *)
+
+val severity_name : severity -> string
+val summary : report -> string
+(** ["clean"] or e.g. ["2 errors, 1 warning"]. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val json_escape : string -> string
+val report_to_json : report -> string
+(** One JSON object: [{"subject": ..., "clean": ..., "findings": [...]}]. *)
+
+val reports_to_json : report list -> string
+(** A JSON array of reports (one element per platform/config pair). *)

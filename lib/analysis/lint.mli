@@ -1,0 +1,126 @@
+(** Static partition linter (the "prove, don't measure" pass).
+
+    Checks that a booted system actually establishes the paper's
+    protection properties its configuration claims, without running an
+    attack: colour-set disjointness across domains, CAT way-mask
+    disjointness, clone coverage (every domain a private, correctly
+    coloured kernel image), IRQ-partition completeness (no IRQ
+    deliverable to two kernels), and pad sufficiency against an
+    analytic worst-case switch cost derived from {!Tp_hw.Bounds}.
+
+    The linter operates on a pure {!view} extracted from the booted
+    system, so (a) linting never perturbs the machine — the attack
+    harness records a verdict for every run without disturbing
+    determinism — and (b) tests can mutate a view to seed
+    misconfigurations that the real capability system refuses to
+    construct.  {!run} adds two checks that go beyond the view: the
+    §4.1 shared-data audit (switch traces must not depend on what the
+    outgoing domain did) and a cross-check of the analytic bound
+    against the observed {!Tp_obs.Padprof} profile. *)
+
+(** {1 Rule identifiers} *)
+
+val rule_colour_overlap : string
+(** ["TP-COLOUR-OVERLAP"]: two domains' colour sets intersect. *)
+
+val rule_colour_off : string
+(** ["TP-COLOUR-OFF"]: no spatial LLC partitioning (neither colouring
+    nor CAT) — concurrent cross-core cache channels stay open
+    regardless of switch-time flushing. *)
+
+val rule_cat_overlap : string
+(** ["TP-CAT-OVERLAP"]: CAT way masks intersect. *)
+
+val rule_clone_missing : string
+(** ["TP-CLONE-MISSING"]: cloning is configured but a domain runs on
+    the initial kernel, shares an image with another domain, or has a
+    thread bound to a foreign kernel. *)
+
+val rule_clone_colour : string
+(** ["TP-CLONE-COLOUR"]: a domain's private kernel image is not built
+    from the domain's own colours (or is missing frames). *)
+
+val rule_kernel_shared : string
+(** ["TP-KERNEL-SHARED"]: domains share one kernel image and on-core
+    flushing is not configured — the Figure 3 kernel-text channel. *)
+
+val rule_irq_shared : string
+(** ["TP-IRQ-SHARED"]: an IRQ is deliverable to more than one kernel
+    (or routed to an inactive kernel / the preemption timer). *)
+
+val rule_irq_off : string
+(** ["TP-IRQ-OFF"]: IRQ partitioning is disabled with multiple
+    domains — the §5.3.5 interrupt channel. *)
+
+val rule_pad_insufficient : string
+(** ["TP-PAD-INSUFFICIENT"]: the effective switch pad is below the
+    analytic worst-case switch cost. *)
+
+val rule_pad_profile : string
+(** ["TP-PAD-PROFILE"]: the {!Tp_obs.Padprof} profile recorded an
+    unpadded switch cost above the analytic bound — the bound (or the
+    cost model) no longer covers observed behaviour. *)
+
+val rule_audit_nondet : string
+(** ["TP-AUDIT-NONDET"]: the shared-data access trace of a domain
+    switch depends on what the outgoing domain did (§4.1 audit). *)
+
+(** {1 The analytic pad bound} *)
+
+val pad_bound : Tp_hw.Platform.t -> Tp_kernel.Config.t -> int
+(** Worst-case protected-switch cost for this configuration: fixed
+    overheads + cold sweep of the switch-path footprint
+    ({!Tp_kernel.Layout.switch_footprint}) + configured flush bounds +
+    shared-data prefetch sweep, all from {!Tp_hw.Bounds}. *)
+
+val pad_bound_breakdown : Tp_hw.Platform.t -> Tp_kernel.Config.t -> (string * int) list
+(** The bound's components, for diagnostics ([(component, cycles)]). *)
+
+(** {1 Views} *)
+
+type kernel_view = {
+  kv_id : int;
+  kv_initial : bool;
+  kv_active : bool;
+  kv_frames : int list;
+  kv_pad : int;
+}
+
+type domain_view = {
+  dv_id : int;
+  dv_colours : Tp_kernel.Colour.set;
+  dv_kernel : int;  (** kernel image id *)
+  dv_cat_mask : int option;
+  dv_thread_kernels : (int * int) list;  (** (tcb id, kernel image id) *)
+}
+
+type view = {
+  v_platform : Tp_hw.Platform.t;
+  v_config : Tp_kernel.Config.t;
+  v_n_colours : int;
+  v_initial_kernel : int;  (** id of the boot image *)
+  v_kernels : kernel_view list;
+  v_domains : domain_view list;
+  v_irq_routes : (int * int) list;  (** (irq, kernel image id) *)
+  v_pad : int;  (** configured [pad_cycles] *)
+}
+
+val view_of_booted : Tp_kernel.Boot.booted -> view
+(** Extract the linter's view of a booted system (pure: no machine
+    traffic, no counter updates). *)
+
+(** {1 Passes} *)
+
+val lint_view : view -> Diag.finding list
+(** The pure pass over a view — the core of the linter. *)
+
+val check_static : ?subject:string -> Tp_kernel.Boot.booted -> Diag.report
+(** [lint_view] of [view_of_booted]: safe to call from inside a
+    measurement (used by the attack harness). *)
+
+val run : ?subject:string -> ?dynamic:bool -> Tp_kernel.Boot.booted -> Diag.report
+(** The full linter: the static pass, the {!Tp_obs.Padprof}
+    cross-check, and (with [dynamic], the default) the shared-data
+    audit determinism check, which spawns probe threads and performs
+    real domain switches — only use it on a system booted for
+    analysis, not mid-experiment. *)

@@ -45,6 +45,7 @@ type result = {
   recovered_faults : int;
   checkpoints : int;
   switch_counters : Tp_obs.Counter.snapshot;
+  lint : Tp_analysis.Diag.report;
 }
 
 (* Re-admit a measurement thread that an aborted slice left neither
@@ -118,7 +119,7 @@ let collect sys ~threads ~total ~chunk_size ~budget ~target ~collected ~run_chun
   in
   (!stop, !recovered, !checkpoints, switch_counters)
 
-let finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints
+let finish ~b ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints
     ~switch_counters =
   let input = Array.of_list (List.rev !inputs) in
   let output = Array.of_list (List.rev !outputs) in
@@ -139,6 +140,7 @@ let finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints
     recovered_faults = recovered;
     checkpoints;
     switch_counters;
+    lint = Tp_analysis.Lint.check_static b;
   }
 
 let run_pair_result b ~sender ~receiver spec ~rng =
@@ -179,7 +181,7 @@ let run_pair_result b ~sender ~receiver spec ~rng =
       ~run_chunk:(fun n ->
         Exec.run_slices sys ~core:0 ~slice_cycles:spec.slice_cycles ~slices:n ())
   in
-  finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints ~switch_counters
+  finish ~b ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints ~switch_counters
 
 let run_pair b ~sender ~receiver spec ~rng =
   let r = run_pair_result b ~sender ~receiver spec ~rng in
@@ -234,7 +236,8 @@ let run_pair_cross_core_result b ~sender ~receiver ~cosched spec ~rng =
       ~collected:(fun () -> !recorded)
       ~run_chunk
   in
-  finish ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints ~switch_counters
+  finish ~b ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints
+    ~switch_counters
 
 let run_pair_cross_core b ~sender ~receiver ~cosched spec ~rng =
   let r = run_pair_cross_core_result b ~sender ~receiver ~cosched spec ~rng in

@@ -53,6 +53,10 @@ type result = {
   switch_counters : Tp_obs.Counter.snapshot;
       (** delta of the kernel switch-path counters over the collection
           (all zeros unless counters are enabled, {!Tp_obs.Ctl}) *)
+  lint : Tp_analysis.Diag.report;
+      (** static partition-lint verdict ({!Tp_analysis.Lint.check_static})
+          of the configuration this result was measured under, so every
+          dataset records whether its protection claims actually held *)
 }
 
 val run_pair :

@@ -1,0 +1,63 @@
+(** Analytic worst-case cost bounds for time-protection operations.
+
+    The linter ({!Tp_analysis.Lint}) needs a static answer to "how long
+    can a protected domain switch possibly take?" so it can judge a
+    configured [pad_cycles] without running the machine.  This module
+    derives per-platform upper bounds from the {!Platform} geometry and
+    the {!Machine} cost constants — the same numbers the simulator
+    charges — for the three cost classes of the switch path:
+
+    - {b flush bounds}: full-occupancy, all-dirty flushes of each
+      structure (hardware flush instructions), or the x86 "manual"
+      load/jump flush expressed as memory sweeps;
+    - {b sweep bounds}: worst-case cost of touching [bytes] of memory
+      sequentially with a cold TLB (used for the switch-path code and
+      data footprint, the stack copy, and the shared-data prefetch);
+    - fixed costs (TLB shootdown, branch-predictor reset).
+
+    Sweeps model the DRAM component explicitly: with a stream
+    prefetcher the demand stream stalls once per DRAM row; without one
+    every line pays an open-row access.  When the configuration colours
+    the caches ([coloured]), an adversary holds at most half the
+    colours, so at most half of the swept lines can have been evicted
+    to DRAM — the bound that makes protected pads checkable without
+    assuming an impossible all-DRAM sweep. *)
+
+type sweep = {
+  sw_lines : int;  (** cache lines touched *)
+  sw_pages : int;  (** pages touched (TLB walks charged) *)
+  sw_rows : int;  (** DRAM rows crossed *)
+  sw_cycles : int;  (** worst-case total cycles *)
+}
+
+val sweep : ?fetch:bool -> ?coloured:bool -> Platform.t -> bytes:int -> unit -> sweep
+(** Worst-case cost of sequentially touching [bytes] of memory.
+    [fetch] models an instruction-side sweep through chained,
+    always-mispredicted jumps (the manual-flush I side); [coloured]
+    asserts that cache colouring confines the adversary's evictions to
+    at most half the swept lines. *)
+
+val sweep_cycles :
+  ?fetch:bool -> ?coloured:bool -> Platform.t -> bytes:int -> unit -> int
+
+val l1_flush_bound : ?coloured:bool -> Platform.t -> int
+(** Worst-case L1 I+D flush: the architected flush (full occupancy,
+    dirty D side) when the platform has one, otherwise the x86 manual
+    sweep flush over the image's L1-sized buffers. *)
+
+val l1_flush_hw_bound : Platform.t -> int
+(** The architected L1 flush bound regardless of
+    [has_l1_flush_instr] — the full-flush ([wbinvd]) path uses it on
+    every platform. *)
+
+val l1_flush_manual_bound : ?coloured:bool -> Platform.t -> int
+(** The manual load/jump displacement flush bound (§4.3). *)
+
+val l2_flush_bound : Platform.t -> int
+(** Worst-case private-L2 flush (0 if the platform has none). *)
+
+val llc_flush_bound : Platform.t -> int
+(** Worst-case shared-LLC write-back + invalidate. *)
+
+val tlb_flush_bound : Platform.t -> int
+val bp_flush_bound : Platform.t -> int

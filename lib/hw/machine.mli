@@ -115,3 +115,24 @@ val dram : t -> Dram.t
 val set_prefetcher_enabled : t -> core:int -> bool -> unit
 (** Model of the MSR 0x1A4 prefetcher disable (no-op if the platform
     has no prefetcher). *)
+
+(** {1 Cost-model constants}
+
+    The calibrated constants of the flush cost model, exported so that
+    analytic worst-case bounds ({!Bounds}) are derived from the same
+    numbers the simulator charges rather than a drifting copy. *)
+
+val inval_cost_per_line : int
+(** Tag-walk + invalidate cost per cache line flushed. *)
+
+val wb_cost_per_line : int
+(** Write-back cost per dirty line flushed. *)
+
+val tlb_flush_cost : int
+(** Fixed cost of a full TLB invalidation. *)
+
+val bp_flush_cost : int
+(** Fixed cost of a branch-predictor (BTB + BHB) reset. *)
+
+val prefetch_issue_cost : int
+(** Cycles charged to the demand stream per prefetch issued. *)

@@ -7,12 +7,24 @@ type event = {
 
 type trace = event list
 
+(* Systems with a capture in progress (physical identity).  Capturing
+   replaces the system's audit hook, so a nested capture on the same
+   system would silently steal the outer capture's events: reject it
+   outright rather than return a wrong trace. *)
+let capturing : System.t list ref = ref []
+
 let capture sys f =
+  if List.memq sys !capturing then
+    invalid_arg "Tp_kernel.Audit.capture: nested capture is not supported";
   let events = ref [] in
+  let previous = System.shared_audit sys in
+  capturing := sys :: !capturing;
   System.set_shared_audit sys
     (Some (fun region ~off ~len ~kind -> events := { region; off; len; kind } :: !events));
   Fun.protect
-    ~finally:(fun () -> System.set_shared_audit sys None)
+    ~finally:(fun () ->
+      capturing := List.filter (fun s -> s != sys) !capturing;
+      System.set_shared_audit sys previous)
     f;
   List.rev !events
 

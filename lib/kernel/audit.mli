@@ -21,8 +21,10 @@ type trace = event list
 
 val capture : System.t -> (unit -> unit) -> trace
 (** Record every shared-data access performed while the thunk runs.
-    Nesting is not supported; any previously installed audit hook is
-    restored afterwards. *)
+    Any previously installed audit hook ({!System.set_shared_audit})
+    is restored afterwards, also when the thunk raises.
+    @raise Invalid_argument on a nested capture on the same system
+    (nesting is not supported). *)
 
 val equal_traces : trace -> trace -> bool
 

@@ -18,6 +18,15 @@ let () = Tp_obs.Counter.register st
 let counters () = st
 
 let lock_cost = 30
+let timer_reprogram_cost = 60
+let return_cost = 40
+let dram_close_cost = 100
+
+(* Cycles the switch path always spends outside memory traffic: lock
+   acquire + release (steps 1 and 6), timer reprogramming (step 11) and
+   the user return (step 12).  Exported for the linter's analytic
+   worst-case switch bound. *)
+let fixed_overhead_cycles = (2 * lock_cost) + timer_reprogram_cost + return_cost
 
 (* x86 "manual" L1 flush (§4.3): the kernel loads one word per line of
    an L1-D-sized buffer, then follows a chain of jumps through an
@@ -97,8 +106,8 @@ let do_flushes sys ~core ki =
     (* Hypothetical hardware support: precharge all banks so row-buffer
        state cannot cross the switch (no current ISA offers this). *)
     Tp_hw.Dram.close_all (Tp_hw.Machine.dram m);
-    acc := !acc + 100;
-    Tp_hw.Machine.add_cycles m ~core 100
+    acc := !acc + dram_close_cost;
+    Tp_hw.Machine.add_cycles m ~core dram_close_cost
   end;
   !acc
 
@@ -223,9 +232,9 @@ let switch sys ~core ~to_ =
   (* 11. reprogram the timer interrupt *)
   ignore
     (System.touch_shared sys ~core Layout.Irq_tables ~len:64 ~kind:Tp_hw.Defs.Write ());
-  Tp_hw.Machine.add_cycles m ~core 60;
+  Tp_hw.Machine.add_cycles m ~core timer_reprogram_cost;
   (* 12. restore the user stack pointer and return *)
-  Tp_hw.Machine.add_cycles m ~core 40;
+  Tp_hw.Machine.add_cycles m ~core return_cost;
   let total = System.now sys ~core - t0 in
   if kernel_switched then Klog.switch ~core ~from_kernel ~to_kernel ~total;
   let padded = protect && from_kernel.Types.ki_pad_cycles > 0 in

@@ -28,6 +28,15 @@ type cost = {
   kernel_switched : bool;
 }
 
+val fixed_overhead_cycles : int
+(** Cycles the switch path always spends outside memory traffic (lock
+    acquire/release, timer reprogramming, user return) — a component
+    of the linter's analytic worst-case switch bound. *)
+
+val dram_close_cost : int
+(** Fixed cost charged for the hypothetical all-banks DRAM precharge
+    ([close_dram_rows]). *)
+
 val counters : unit -> Tp_obs.Counter.set
 (** The switch-path performance-counter set (["kernel.switch"]:
     switches, kernel_switches, protected, flush_cycles,

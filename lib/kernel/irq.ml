@@ -35,6 +35,13 @@ let clear_int t ~irq =
   Tp_fault.Fault.hit "irq.clear_int";
   (handler t irq).Types.ih_kernel <- None
 
+let routes t =
+  Array.to_list t.handlers
+  |> List.filter_map (fun h ->
+         match h.Types.ih_kernel with
+         | Some ki -> Some (h.Types.ih_irq, ki)
+         | None -> None)
+
 let arm_timer t ~core ~irq ~at =
   let ts = t.timers.(core) in
   ts := { tm_irq = irq; tm_at = at } :: !ts

@@ -30,6 +30,11 @@ val set_int : t -> irq:int -> Types.kimage -> unit
 
 val clear_int : t -> irq:int -> unit
 
+val routes : t -> (int * Types.kimage) list
+(** Current IRQ routing table: one [(irq, kernel)] pair per associated
+    line, in IRQ order.  Linter query ({!Tp_analysis.Lint}): the
+    controller itself guarantees at most one kernel per line. *)
+
 val arm_timer : t -> core:int -> irq:int -> at:int -> unit
 (** Program a one-shot timer on [core] to raise [irq] at cycle [at]. *)
 

@@ -120,6 +120,26 @@ let handler_tick = { t_off = 0x14C00; t_len = 0x600 }
 let handler_irq = { t_off = 0x16200; t_len = 0x400 }
 let handler_clone = { t_off = 0x17000; t_len = 0x800 }
 
+(* Distinct memory the Domain_switch path touches outside the flush and
+   prefetch steps, as (component, bytes) pairs.  The linter's analytic
+   pad bound sweeps each component cold; keeping the list here means a
+   layout or switch-path change shows up in the same diff. *)
+let switch_footprint p =
+  let lay = image_layout p in
+  let line = p.Tp_hw.Platform.line in
+  [
+    ("tick-handler-text", handler_tick.t_len);
+    ("big-lock", shared_region_size Big_lock);
+    ("cur-irq", shared_region_size Cur_irq);
+    ("sched-queue-slots", 32 (* 16 B read + 16 B write *));
+    ("sched-bitmap", shared_region_size Sched_bitmap);
+    ("cur-decision", shared_region_size Cur_decision);
+    ("cur-pointers", shared_region_size Cur_pointers);
+    ("irq-mask-unmask-reprogram", 256 + 256 + 64);
+    ("stack-copy", 2 * min 1024 lay.stack_size);
+    ("dest-tcb", 4 * line);
+  ]
+
 let lines ~line ~base_vaddr ~base_paddr ~off ~len =
   assert (len > 0);
   let first = (off / line) * line in

@@ -60,6 +60,13 @@ val shared_frames : int
 
 val all_shared_regions : shared_region list
 
+val switch_footprint : Tp_hw.Platform.t -> (string * int) list
+(** The distinct memory the {!Domain_switch} path touches outside its
+    flush and shared-prefetch steps, as [(component, bytes)] pairs:
+    tick-handler text, the shared-region slots of steps 1–7 and 11,
+    the kernel stack copy (read + write) and the destination TCB.
+    Input to the linter's analytic worst-case switch cost. *)
+
 (** {1 Syscall handler text map} *)
 
 (** Byte ranges within kernel text, one per handler, placed on distinct

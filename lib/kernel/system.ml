@@ -191,7 +191,11 @@ let touch_image t ~core ki ~region ~off ~len ~kind =
 
 let set_shared_audit t hook = t.shared_audit <- hook
 
+let shared_audit t = t.shared_audit
+
 let set_cat_masks t masks = t.cat_masks <- masks
+
+let cat_masks t = t.cat_masks
 
 let cat_mask_of_domain t dom =
   match t.cat_masks with

@@ -96,6 +96,9 @@ val cat_mask_of_domain : t -> int -> int
 (** The LLC allocation mask for a domain (all ways when CAT is off or
     the domain is out of range). *)
 
+val cat_masks : t -> int array option
+(** The installed per-domain CAT way masks, if any (linter query). *)
+
 val set_shared_audit :
   t ->
   (Layout.shared_region -> off:int -> len:int -> kind:Tp_hw.Defs.access_kind -> unit)
@@ -104,6 +107,12 @@ val set_shared_audit :
 (** Install (or remove) an observer called on every access to the
     residual shared data — the instrumentation behind {!Audit}'s
     §4.1-style audit. *)
+
+val shared_audit :
+  t ->
+  (Layout.shared_region -> off:int -> len:int -> kind:Tp_hw.Defs.access_kind -> unit)
+  option
+(** The currently installed shared-data observer, if any. *)
 
 (** {1 User memory} *)
 

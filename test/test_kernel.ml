@@ -44,6 +44,40 @@ let test_colour_of_frame () =
   Alcotest.(check int) "frame 0" 0 (Colour.colour_of_frame ~n_colours:8 0);
   Alcotest.(check int) "frame 9" 1 (Colour.colour_of_frame ~n_colours:8 9)
 
+let test_colour_empty_set () =
+  Alcotest.(check int) "count 0" 0 (Colour.count Colour.empty);
+  Alcotest.(check (list int)) "to_list []" [] (Colour.to_list Colour.empty);
+  Alcotest.(check bool) "no member" false (Colour.mem Colour.empty 0);
+  Alcotest.(check bool) "disjoint with all" true
+    (Colour.disjoint Colour.empty (Colour.all ~n_colours:8));
+  Alcotest.(check bool) "disjoint with itself" true
+    (Colour.disjoint Colour.empty Colour.empty);
+  Alcotest.(check int) "union identity" (Colour.of_list [ 2; 5 ])
+    (Colour.union Colour.empty (Colour.of_list [ 2; 5 ]))
+
+let test_colour_full_mask () =
+  let all8 = Colour.all ~n_colours:8 in
+  Alcotest.(check int) "mask 0xff" 0xff all8;
+  Alcotest.(check int) "count 8" 8 (Colour.count all8);
+  Alcotest.(check (list int)) "to_list ascending" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (Colour.to_list all8);
+  Alcotest.(check int) "inter identity" all8 (Colour.inter all8 all8);
+  Alcotest.(check int) "16 colours" 0xffff (Colour.all ~n_colours:16)
+
+let test_colour_of_list_duplicates () =
+  Alcotest.(check int) "duplicates collapse" (Colour.of_list [ 1; 2 ])
+    (Colour.of_list [ 1; 2; 2; 1; 1; 2 ]);
+  Alcotest.(check int) "count ignores duplicates" 2
+    (Colour.count (Colour.of_list [ 7; 7; 3; 3 ]))
+
+let test_colour_disjoint_reflexivity () =
+  (* A non-empty set is never disjoint from itself; only the empty set
+     is (the linter's overlap rule relies on both directions). *)
+  let s = Colour.of_list [ 3 ] in
+  Alcotest.(check bool) "non-empty not self-disjoint" false (Colour.disjoint s s);
+  Alcotest.(check bool) "symmetric" (Colour.disjoint s Colour.empty)
+    (Colour.disjoint Colour.empty s)
+
 (* ------------------------------------------------------------------ *)
 (* Physical memory *)
 
@@ -612,6 +646,12 @@ let suite =
     Alcotest.test_case "colour split uneven" `Quick test_colour_split_uneven;
     Alcotest.test_case "colour fraction" `Quick test_colour_fraction;
     Alcotest.test_case "colour of frame" `Quick test_colour_of_frame;
+    Alcotest.test_case "colour empty set" `Quick test_colour_empty_set;
+    Alcotest.test_case "colour full mask" `Quick test_colour_full_mask;
+    Alcotest.test_case "colour of_list duplicates" `Quick
+      test_colour_of_list_duplicates;
+    Alcotest.test_case "colour disjoint reflexivity" `Quick
+      test_colour_disjoint_reflexivity;
     Alcotest.test_case "phys coloured alloc" `Quick test_phys_alloc_coloured;
     Alcotest.test_case "phys free/reuse" `Quick test_phys_free_and_reuse;
     Alcotest.test_case "phys exhaustion" `Quick test_phys_exhaustion;

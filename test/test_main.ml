@@ -14,4 +14,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
+      ("analysis", Test_analysis.suite);
     ]
