@@ -469,6 +469,13 @@ let json_arg =
   let doc = "Emit the reports as a JSON array instead of text." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let sarif_arg =
+  let doc =
+    "Emit the reports as SARIF 2.1.0 (GitHub code-scanning format) \
+     instead of text.  Mutually exclusive with $(b,--json)."
+  in
+  Arg.(value & flag & info [ "sarif" ] ~doc)
+
 let out_arg =
   let doc = "Write the output to $(docv) instead of stdout." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
@@ -491,11 +498,30 @@ let with_out file f =
       let oc = open_out path in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
+(* Shared report rendering for the analysis subcommands: text, --json,
+   or --sarif (exclusive). *)
+let render_reports ~json ~sarif ~out reports =
+  if json && sarif then begin
+    Printf.eprintf "tpsim: --json and --sarif are mutually exclusive\n%!";
+    exit 2
+  end;
+  with_out out (fun oc ->
+      if json then output_string oc (Tp_analysis.Diag.reports_to_json reports)
+      else if sarif then
+        output_string oc (Tp_analysis.Diag.reports_to_sarif reports)
+      else begin
+        let ppf = Format.formatter_of_out_channel oc in
+        List.iter
+          (fun r -> Format.fprintf ppf "%a@." Tp_analysis.Diag.pp_report r)
+          reports;
+        Format.pp_print_flush ppf ()
+      end)
+
 let cmd_lint =
   (* Static time-protection linter (plus the dynamic §4.1 audit): does
      the booted configuration actually establish the isolation it
      claims?  `--expect` turns the verdict into an exit code for CI. *)
-  let run plats kind domains json out expect verbose =
+  let run plats kind domains json sarif out expect verbose =
     setup_logging verbose;
     let reports =
       List.map
@@ -508,15 +534,7 @@ let cmd_lint =
           Tp_analysis.Lint.run ~subject b)
         plats
     in
-    with_out out (fun oc ->
-        if json then output_string oc (Tp_analysis.Diag.reports_to_json reports)
-        else begin
-          let ppf = Format.formatter_of_out_channel oc in
-          List.iter
-            (fun r -> Format.fprintf ppf "%a@." Tp_analysis.Diag.pp_report r)
-            reports;
-          Format.pp_print_flush ppf ()
-        end);
+    render_reports ~json ~sarif ~out reports;
     (match out with
     | Some f ->
         List.iter
@@ -559,13 +577,13 @@ let cmd_lint =
           analytic worst-case switch bound, plus the dynamic \
           shared-data audit.")
     Term.(
-      const run $ platform_arg $ config_arg $ domains_arg $ json_arg $ out_arg
-      $ expect_arg $ verbose_arg)
+      const run $ platform_arg $ config_arg $ domains_arg $ json_arg
+      $ sarif_arg $ out_arg $ expect_arg $ verbose_arg)
 
 let cmd_ctcheck =
   (* Constant-time checker over the bundled fixtures: static taint
      verdict cross-checked against a dynamic two-secret trace diff. *)
-  let run plats json out verbose =
+  let run plats json sarif out verbose =
     setup_logging verbose;
     let failed = ref 0 in
     let reports =
@@ -579,15 +597,7 @@ let cmd_ctcheck =
             Tp_analysis.Ctcheck.fixtures)
         plats
     in
-    with_out out (fun oc ->
-        if json then output_string oc (Tp_analysis.Diag.reports_to_json reports)
-        else begin
-          let ppf = Format.formatter_of_out_channel oc in
-          List.iter
-            (fun r -> Format.fprintf ppf "%a@." Tp_analysis.Diag.pp_report r)
-            reports;
-          Format.pp_print_flush ppf ()
-        end);
+    render_reports ~json ~sarif ~out reports;
     (match out with
     | Some f -> Printf.eprintf "tpsim: wrote ctcheck report to %s\n%!" f
     | None -> ());
@@ -603,7 +613,217 @@ let cmd_ctcheck =
           fixtures (incl. the Sec. 5.3.3 square-and-multiply victim), \
           cross-checked by executing each fixture under two secrets and \
           diffing the address/branch traces.")
-    Term.(const run $ platform_arg $ json_arg $ out_arg $ verbose_arg)
+    Term.(const run $ platform_arg $ json_arg $ sarif_arg $ out_arg $ verbose_arg)
+
+let certify_configs_arg =
+  let doc =
+    "Configuration(s) to certify (repeatable): $(b,raw), $(b,full-flush), \
+     $(b,protected), $(b,coloured-only), $(b,no-pad), $(b,no-prefetcher) \
+     or $(b,cat-llc).  Default: raw, full-flush, coloured-only, no-pad \
+     and protected."
+  in
+  Arg.(
+    value
+    & opt_all (enum scenario_choices) []
+    & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+
+let exhaustive_arg =
+  let doc =
+    "Also run the small-scope model check: enumerate every two-domain \
+     schedule on the shrunken machine and require all attacker \
+     observations to be identical across victim secrets; prints the \
+     concrete distinguishing schedule when one exists."
+  in
+  Arg.(value & flag & info [ "exhaustive" ] ~doc)
+
+let fixtures_arg =
+  let doc =
+    "Additionally certify each bundled ctcheck guest program: the \
+     channel capacities are tightened to the program's abstract \
+     footprint."
+  in
+  Arg.(value & flag & info [ "fixtures" ] ~doc)
+
+let cmd_certify =
+  (* Abstract-interpretation leakage certifier: sound per-channel
+     upper bounds from the lint view (optionally tightened per guest
+     program), cross-validated by exhaustive small-scope model
+     checking. *)
+  let run plats kinds domains json sarif out expect exhaustive fixtures
+      verbose =
+    setup_logging verbose;
+    let kinds =
+      match kinds with
+      | [] ->
+          Scenario.
+            [ Raw; Full_flush; Coloured_only; Protected_no_pad; Protected ]
+      | ks -> ks
+    in
+    let entries =
+      List.concat_map
+        (fun p ->
+          List.concat_map
+            (fun kind ->
+              let b = Scenario.boot ~domains kind p in
+              let v = Tp_analysis.Lint.view_of_booted b in
+              let subject =
+                Printf.sprintf "certify %s %s" p.Tp_hw.Platform.name
+                  (Scenario.name kind)
+              in
+              let cert = Tp_analysis.Certify.certify_view ~subject v in
+              let ex =
+                if exhaustive then
+                  Some (Tp_analysis.Certify.exhaustive p (Scenario.config kind p))
+                else None
+              in
+              let report =
+                let base = Tp_analysis.Certify.report cert in
+                match ex with
+                | None -> base
+                | Some r ->
+                    {
+                      base with
+                      Tp_analysis.Diag.findings =
+                        base.Tp_analysis.Diag.findings
+                        @ Tp_analysis.Certify.exhaustive_findings r
+                        @ Tp_analysis.Certify.crosscheck cert r;
+                    }
+              in
+              let fixture_entries =
+                if not fixtures then []
+                else
+                  List.map
+                    (fun fx ->
+                      let c =
+                        Tp_analysis.Certify.certify_fixture
+                          ~subject:
+                            (Printf.sprintf "%s %s" subject
+                               fx.Tp_analysis.Ctcheck.fx_program
+                                 .Tp_analysis.Ct_ir.p_name)
+                          v fx
+                      in
+                      (c, None, Tp_analysis.Certify.report c))
+                    Tp_analysis.Ctcheck.fixtures
+              in
+              ((cert, ex, report) :: fixture_entries))
+            kinds)
+        plats
+    in
+    let reports = List.map (fun (_, _, r) -> r) entries in
+    let exhaustive_json = function
+      | None -> "null"
+      | Some (r : Tp_analysis.Certify.exhaustive_result) ->
+          Printf.sprintf
+            "{\"platform\":\"%s\",\"horizon\":%d,\"schedules\":%d,\"secrets\":%d,\"passed\":%b%s}"
+            (Tp_analysis.Diag.json_escape r.ex_platform)
+            r.ex_horizon r.ex_schedules
+            (List.length r.ex_secrets)
+            (r.ex_counterexample = None)
+            (match r.ex_counterexample with
+            | None -> ""
+            | Some cx ->
+                Printf.sprintf
+                  ",\"counterexample\":{\"schedule\":\"%s\",\"secret_a\":%d,\"secret_b\":%d,\"turn\":%d,\"index\":%d,\"obs_a\":%d,\"obs_b\":%d}"
+                  (Tp_analysis.Diag.json_escape cx.cx_schedule)
+                  cx.cx_secret_a cx.cx_secret_b cx.cx_turn cx.cx_index
+                  cx.cx_obs_a cx.cx_obs_b)
+    in
+    if json && sarif then begin
+      Printf.eprintf "tpsim: --json and --sarif are mutually exclusive\n%!";
+      exit 2
+    end;
+    with_out out (fun oc ->
+        if json then
+          output_string oc
+            (Printf.sprintf "[%s]"
+               (String.concat ",\n"
+                  (List.map
+                     (fun (c, ex, r) ->
+                       Printf.sprintf
+                         "{\"cert\":%s,\"report\":%s,\"exhaustive\":%s}"
+                         (Tp_analysis.Certify.cert_to_json c)
+                         (Tp_analysis.Diag.report_to_json r)
+                         (exhaustive_json ex))
+                     entries)))
+        else if sarif then
+          output_string oc (Tp_analysis.Diag.reports_to_sarif reports)
+        else begin
+          let ppf = Format.formatter_of_out_channel oc in
+          List.iter
+            (fun (c, ex, _) ->
+              Format.fprintf ppf "%a" Tp_analysis.Certify.pp c;
+              (match ex with
+              | None -> ()
+              | Some (r : Tp_analysis.Certify.exhaustive_result) -> (
+                  match r.ex_counterexample with
+                  | None ->
+                      Format.fprintf ppf
+                        "  exhaustive: PASS (%d schedules x %d secrets, \
+                         horizon %d, on %s)@."
+                        r.ex_schedules
+                        (List.length r.ex_secrets)
+                        r.ex_horizon r.ex_platform
+                  | Some cx ->
+                      Format.fprintf ppf
+                        "  exhaustive: FAIL -- schedule %s distinguishes \
+                         secrets %d/%d at attacker turn %d, observation %d \
+                         (%d vs %d cycles%s)@."
+                        cx.cx_schedule cx.cx_secret_a cx.cx_secret_b
+                        cx.cx_turn cx.cx_index cx.cx_obs_a cx.cx_obs_b
+                        (if cx.cx_index = 0 then "; index 0 = turn timestamp"
+                         else "")));
+              Format.fprintf ppf "@.")
+            entries;
+          Format.pp_print_flush ppf ()
+        end);
+    (match out with
+    | Some f ->
+        List.iter
+          (fun (r : Tp_analysis.Diag.report) ->
+            Printf.eprintf "tpsim: %s: %s\n%!" r.subject
+              (Tp_analysis.Diag.summary r))
+          reports;
+        Printf.eprintf "tpsim: wrote certification report to %s\n%!" f
+    | None -> ());
+    match expect with
+    | None -> ()
+    | Some `Clean ->
+        let dirty =
+          List.filter (fun r -> not (Tp_analysis.Diag.clean r)) reports
+        in
+        if dirty <> [] then begin
+          List.iter
+            (fun (r : Tp_analysis.Diag.report) ->
+              Printf.eprintf "tpsim: expected clean but %s: %s\n%!" r.subject
+                (Tp_analysis.Diag.summary r))
+            dirty;
+          exit 1
+        end
+    | Some `Findings ->
+        let clean = List.filter Tp_analysis.Diag.clean reports in
+        if clean <> [] then begin
+          List.iter
+            (fun (r : Tp_analysis.Diag.report) ->
+              Printf.eprintf
+                "tpsim: expected findings but %s certifies clean\n%!"
+                r.subject)
+            clean;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Abstract-interpretation leakage certifier: a sound per-channel \
+          upper bound in bits (L1-D, L1-I, TLB, branch predictor, LLC, \
+          plus pad timing) for each configuration, 0 under full time \
+          protection; $(b,--exhaustive) cross-validates by enumerating \
+          two-domain schedules on a shrunken machine and checking \
+          observational determinism.")
+    Term.(
+      const run $ platform_arg $ certify_configs_arg $ domains_arg $ json_arg
+      $ sarif_arg $ out_arg $ expect_arg $ exhaustive_arg $ fixtures_arg
+      $ verbose_arg)
 
 let cmds =
   [
@@ -611,6 +831,7 @@ let cmds =
     cmd_faults;
     cmd_lint;
     cmd_ctcheck;
+    cmd_certify;
     mk_cmd "table2" "Worst-case cache flush costs (Table 2)." table2;
     mk_cmd "fig3" "Kernel-image covert channel matrix (Figure 3)." fig3;
     mk_cmd "table3" "Intra-core timing channels (Table 3)." table3;

@@ -1,0 +1,47 @@
+(** Abstract interpretation of {!Ct_ir} programs over abstract
+    microarchitectural state — the program-level engine behind
+    [tpsim certify].
+
+    The value domain is an interval with a secret-taint flag; the
+    machine domains mirror {!Tp_hw} set-wise (CacheAudit-style): per
+    set, the tags possibly resident, the tags whose residency may
+    depend on the secret, and the tags definitely resident in every
+    execution.  A set's leakage is the number of possibly-resident
+    secret-dependent tags not covered by the must set, capped by the
+    associativity; a structure's leakage is the sum over its sets.
+    The result is a {e sound upper bound} on the residency information
+    the program can deposit in each structure, in bits, for the
+    {e unprotected} machine — configuration-dependent scrubbing is
+    applied on top by {!Certify}. *)
+
+type summary = {
+  sm_l1d : int;  (** L1-D residency bits *)
+  sm_l1i : int;  (** L1-I residency bits *)
+  sm_tlb : int;  (** TLB bits (I + D + unified L2, summed) *)
+  sm_bp : int;  (** branch-predictor bits (2 per secret site) *)
+  sm_llc : int;  (** physically-indexed outer levels (L2 + LLC) *)
+  sm_secret_sites : int list;
+      (** branch sites reached under secret control or with a
+          secret-dependent direction *)
+}
+
+val zero_summary : summary
+
+val analyse :
+  ?arrays_at:(string * int) list ->
+  ?code_at:int ->
+  Tp_hw.Platform.t ->
+  Ct_ir.program ->
+  public:(Ct_ir.reg * int) list ->
+  summary
+(** Analyse [p] on the given platform geometry.  [public] supplies
+    concrete values for public parameters (unlisted public parameters
+    are unknown-but-public); [Secret] parameters are unknown and
+    tainted.  [arrays_at]/[code_at] pin the data/code layout exactly as
+    {!Ct_ir.execute} does, so the abstract footprint and a dynamic run
+    see the same addresses.
+
+    Loops with interval-decided public bounds are unrolled concretely
+    (bounded by a global fuel); all other control flow runs a
+    join/widen fixpoint, so the analysis terminates on every program,
+    including ones whose dynamic execution would not. *)

@@ -1,0 +1,142 @@
+(** The leakage certifier ([tpsim certify]).
+
+    From the linter's pure {!Lint.view} of a booted system, derive a
+    {e sound upper bound} in bits on what one domain can transfer to
+    another through each microarchitectural channel, specialised by
+    the configuration: scrubbed or spatially partitioned channels
+    certify to 0 bits, open channels to their structural capacity (or
+    to the {!Absint} program footprint when a guest program is given).
+    A second, independent engine does small-scope model checking on a
+    {!Tp_hw.Shrink} machine — exhaustive two-domain schedules, checked
+    for observational determinism across victim secrets — and the two
+    cross-validate ({!crosscheck}).
+
+    The certificate covers exactly five channels (L1-D, L1-I, TLB,
+    branch predictor, physically-indexed outer caches) plus the
+    pad-slack timing pseudo-channel; {!exclusions} names what it does
+    {e not} cover (prefetcher stream state, DRAM rows, interconnect
+    contention, interrupt timing). *)
+
+(** {1 Rule identifiers} *)
+
+val rule_l1d_residue : string
+val rule_l1i_residue : string
+val rule_tlb_residue : string
+val rule_btb_residue : string
+val rule_llc_residue : string
+
+val rule_pad_timing : string
+(** ["CERT-PAD-TIMING"]: effective pad below the analytic worst-case
+    switch cost — residual timing bits. *)
+
+val rule_noninterference : string
+(** ["CERT-NONINTERFERENCE"]: the exhaustive check found a concrete
+    distinguishing schedule. *)
+
+val rule_xcheck : string
+(** ["CERT-XCHECK-EXHAUSTIVE"]: a 0-bit certificate contradicted by an
+    exhaustive counterexample — the certifier itself is unsound for
+    this configuration. *)
+
+(** {1 Certificates} *)
+
+type channel = L1d | L1i | Tlb | Bp | Llc
+
+val channel_name : channel -> string
+val channel_rule : channel -> string
+
+type bound = {
+  b_channel : channel;
+  b_raw : int;  (** bits reachable with no protection at all *)
+  b_bits : int;  (** certified bound under this configuration *)
+  b_scrubbed : bool;
+  b_note : string;
+}
+
+type cert = {
+  c_subject : string;
+  c_platform : string;
+  c_config : Tp_kernel.Config.t;
+  c_n_domains : int;
+  c_bounds : bound list;
+  c_timing_bits : int;
+  c_pad_bound : int;
+  c_pad_effective : int;
+  c_program : string option;
+  c_exclusions : string list;
+}
+
+val state_bits : cert -> int
+val total_bits : cert -> int
+
+val exclusions : string list
+
+val certify_view :
+  ?subject:string ->
+  ?program_summary:Absint.summary ->
+  ?program_name:string ->
+  Lint.view ->
+  cert
+(** Certify a configuration from its view.  With [program_summary],
+    per-channel raw capacities are tightened to the program's abstract
+    footprint.  Pure: no machine traffic. *)
+
+val certify_static : ?subject:string -> Tp_kernel.Boot.booted -> cert
+(** {!certify_view} of {!Lint.view_of_booted} — safe to call from
+    inside a measurement (the attack harness records one per run). *)
+
+val certify_fixture : ?subject:string -> Lint.view -> Ctcheck.fixture -> cert
+(** Program-level certificate: {!Absint.analyse} the fixture's program
+    and certify its footprint under the view's configuration. *)
+
+val report : cert -> Diag.report
+(** Findings for every non-zero channel bound ([CERT-*-RESIDUE]) and
+    for residual timing bits ([CERT-PAD-TIMING]); clean iff the
+    certificate is 0 bits overall. *)
+
+val pp : Format.formatter -> cert -> unit
+val cert_to_json : cert -> string
+val certs_to_json : cert list -> string
+
+(** {1 Small-scope exhaustive noninterference check} *)
+
+val small_victim : Ct_ir.program
+(** The square-and-multiply-shaped victim the check runs: every secret
+    bit gates an L1-filling sweep, extra TLB pressure, and extra
+    branch activity. *)
+
+type counterexample = {
+  cx_schedule : string;  (** e.g. ["VAVA"]: victim/attacker turns *)
+  cx_secret_a : int;
+  cx_secret_b : int;
+  cx_turn : int;  (** attacker-turn ordinal within the schedule *)
+  cx_index : int;  (** observation index; 0 is the turn timestamp *)
+  cx_obs_a : int;
+  cx_obs_b : int;
+}
+
+type exhaustive_result = {
+  ex_platform : string;  (** the shrunken platform's name *)
+  ex_horizon : int;
+  ex_schedules : int;
+  ex_secrets : int list;
+  ex_counterexample : counterexample option;  (** [None] = passed *)
+}
+
+val exhaustive : Tp_hw.Platform.t -> Tp_kernel.Config.t -> exhaustive_result
+(** Enumerate every two-domain schedule of the horizon on the
+    {!Tp_hw.Shrink.tiny} machine; run the victim under each secret;
+    require every attacker observation (timestamps, probe latencies,
+    branch latencies) to be identical across secrets.  The domain
+    switch applies the configuration's flushes ({!Tp_hw.Shrink.apply})
+    and pads each turn to [pad_cycles].  DRAM rows are always
+    precharged — the row-buffer channel is outside the certified scope
+    ({!exclusions}). *)
+
+val exhaustive_findings : exhaustive_result -> Diag.finding list
+(** [CERT-NONINTERFERENCE] with the concrete distinguishing schedule,
+    or [] when the check passed. *)
+
+val crosscheck : cert -> exhaustive_result -> Diag.finding list
+(** [CERT-XCHECK-EXHAUSTIVE] when a 0-bit certificate coexists with a
+    counterexample. *)

@@ -124,6 +124,32 @@ let data_base = 0x1000_0000
 let code_base = 0x2000_0000
 let max_steps = 1_000_000
 
+(* Disjoint page-aligned buffer per array, packed upward from
+   [data_base] in declaration order.  [arrays_at] pins individual
+   arrays to explicit page-aligned bases (the small-scope checker uses
+   this to control page colours); unpinned arrays get exactly the
+   default packing, so an empty [arrays_at] reproduces the historical
+   layout bit-for-bit. *)
+let array_layout ?(arrays_at = []) p =
+  let page = Tp_hw.Defs.page_size in
+  let next = ref data_base in
+  List.map
+    (fun (name, len) ->
+      match List.assoc_opt name arrays_at with
+      | Some base ->
+          if base land (page - 1) <> 0 then
+            invalid_arg
+              (Printf.sprintf
+                 "Ct_ir.array_layout: %s: base %#x for %s not page-aligned"
+                 p.p_name base name);
+          (name, base, len)
+      | None ->
+          let base = !next in
+          let bytes = (len * word) + page - 1 in
+          next := !next + (bytes / page * page) + page;
+          (name, base, len))
+    p.p_arrays
+
 type astmt =
   | ASet of reg * expr
   | ALoad of reg * string * expr
@@ -152,7 +178,7 @@ let annotate body =
   in
   List.map go body
 
-let execute m ~core p ~inputs =
+let execute ?arrays_at ?(code_at = code_base) m ~core p ~inputs =
   validate p;
   let regs = Array.make (max 1 (n_regs p)) 0 in
   List.iter
@@ -164,16 +190,10 @@ let execute m ~core p ~inputs =
             (Printf.sprintf "Ct_ir.execute: %s: no input for parameter %s (r%d)"
                p.p_name name r))
     p.p_params;
-  (* Disjoint page-aligned buffer per array. *)
-  let page = Tp_hw.Defs.page_size in
   let bases = Hashtbl.create 8 in
-  let next = ref data_base in
   List.iter
-    (fun (name, len) ->
-      Hashtbl.replace bases name (!next, len);
-      let bytes = (len * word) + page - 1 in
-      next := !next + (bytes / page * page) + page)
-    p.p_arrays;
+    (fun (name, base, len) -> Hashtbl.replace bases name (base, len))
+    (array_layout ?arrays_at p);
   let body = annotate p.p_body in
   let events = ref [] in
   let steps = ref 0 in
@@ -223,7 +243,7 @@ let execute m ~core p ~inputs =
       (Tp_hw.Machine.access m ~core ~asid:0 ~vaddr:a ~paddr:a ~kind ())
   in
   let branch site taken =
-    let va = code_base + (site * 64) in
+    let va = code_at + (site * 64) in
     ignore (Tp_hw.Machine.cond_branch m ~core ~asid:0 ~vaddr:va ~paddr:va ~taken);
     events := Ev_branch (site, taken) :: !events
   in

@@ -75,6 +75,26 @@ val annotate : stmt list -> astmt list
 
 (** {1 Dynamic execution} *)
 
+val word : int
+(** Bytes per array element. *)
+
+val data_base : int
+(** Default base address of the first array buffer. *)
+
+val code_base : int
+(** Default base address of branch sites (site [i] fetches from
+    [code_base + 64*i]). *)
+
+val array_layout :
+  ?arrays_at:(string * int) list -> program -> (string * int * int) list
+(** [(name, base, len)] for every declared array.  By default arrays
+    get disjoint page-aligned buffers packed upward from {!data_base}
+    in declaration order; [arrays_at] pins named arrays to explicit
+    page-aligned bases instead (unpinned arrays keep the default
+    packing), which is how the small-scope certifier controls page
+    colours.
+    @raise Invalid_argument if a pinned base is not page-aligned. *)
+
 type event =
   | Ev_load of int  (** virtual address *)
   | Ev_store of int
@@ -89,11 +109,18 @@ type exec_result = {
 }
 
 val execute :
-  Tp_hw.Machine.t -> core:int -> program -> inputs:(reg * int) list -> exec_result
+  ?arrays_at:(string * int) list ->
+  ?code_at:int ->
+  Tp_hw.Machine.t ->
+  core:int ->
+  program ->
+  inputs:(reg * int) list ->
+  exec_result
 (** Run the program on the machine model: loads/stores issue real
-    {!Tp_hw.Machine.access}es (arrays get disjoint page-aligned
-    buffers), conditionals issue real {!Tp_hw.Machine.cond_branch}es
-    at per-site addresses.  The event trace records addresses and
+    {!Tp_hw.Machine.access}es (arrays placed per {!array_layout}
+    [?arrays_at]), conditionals issue real {!Tp_hw.Machine.cond_branch}es
+    at per-site addresses starting at [code_at] (default
+    {!code_base}).  The event trace records addresses and
     branch outcomes only — never latencies — so diffing two traces
     compares the program's memory/control footprint, not the cache
     state it happened to start from.  Array {e contents} are not

@@ -56,6 +56,9 @@ let json_escape s =
       | '\\' -> Buffer.add_string b "\\\\"
       | '\n' -> Buffer.add_string b "\\n"
       | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
       | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char b c)
     s;
@@ -83,3 +86,54 @@ let report_to_json r =
 
 let reports_to_json rs =
   Printf.sprintf "[%s]" (String.concat ",\n" (List.map report_to_json rs))
+
+(* SARIF 2.1.0, the minimal shape GitHub code scanning accepts: one
+   run, one driver, rule metadata collected from the findings, one
+   result per finding.  The analyses are configuration-level, so
+   results carry a synthetic location (README.md:1) — code scanning
+   requires a location but these findings have no meaningful file/line
+   to point at. *)
+
+let severity_sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let reports_to_sarif ?(tool_name = "tpsim") rs =
+  let findings =
+    List.concat_map (fun r -> List.map (fun f -> (r.subject, f)) r.findings) rs
+  in
+  let rule_ids =
+    List.sort_uniq String.compare (List.map (fun (_, f) -> f.rule) findings)
+  in
+  let rule_json id =
+    Printf.sprintf
+      "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"}}"
+      (json_escape id) (json_escape id)
+  in
+  let rule_index id =
+    let rec go i = function
+      | [] -> 0
+      | x :: tl -> if x = id then i else go (i + 1) tl
+    in
+    go 0 rule_ids
+  in
+  let result_json (subject, f) =
+    let props =
+      (("subject", subject) :: f.context)
+      |> List.map (fun (k, v) ->
+             Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+      |> String.concat ","
+    in
+    Printf.sprintf
+      "{\"ruleId\":\"%s\",\"ruleIndex\":%d,\"level\":\"%s\",\"message\":{\"text\":\"%s\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"README.md\"},\"region\":{\"startLine\":1}}}],\"properties\":{%s}}"
+      (json_escape f.rule) (rule_index f.rule)
+      (severity_sarif_level f.severity)
+      (json_escape (Printf.sprintf "%s: %s" subject f.message))
+      props
+  in
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"%s\",\"rules\":[%s]}},\"results\":[%s]}]}"
+    (json_escape tool_name)
+    (String.concat "," (List.map rule_json rule_ids))
+    (String.concat ",\n" (List.map result_json findings))

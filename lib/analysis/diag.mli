@@ -45,3 +45,14 @@ val report_to_json : report -> string
 
 val reports_to_json : report list -> string
 (** A JSON array of reports (one element per platform/config pair). *)
+
+val severity_sarif_level : severity -> string
+(** SARIF result level: ["error"], ["warning"] or ["note"]. *)
+
+val reports_to_sarif : ?tool_name:string -> report list -> string
+(** SARIF 2.1.0 (the shape GitHub code scanning ingests): one run
+    whose driver carries the distinct rule ids, one result per
+    finding.  Findings are configuration-level, so every result points
+    at a synthetic location (README.md, line 1) — SARIF consumers
+    require one — with the real subject preserved in the message and
+    the [properties] bag. *)

@@ -46,6 +46,7 @@ type result = {
   checkpoints : int;
   switch_counters : Tp_obs.Counter.snapshot;
   lint : Tp_analysis.Diag.report;
+  cert : Tp_analysis.Certify.cert;
 }
 
 (* Re-admit a measurement thread that an aborted slice left neither
@@ -141,6 +142,7 @@ let finish ~b ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints
     checkpoints;
     switch_counters;
     lint = Tp_analysis.Lint.check_static b;
+    cert = Tp_analysis.Certify.certify_static b;
   }
 
 let run_pair_result b ~sender ~receiver spec ~rng =

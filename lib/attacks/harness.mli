@@ -57,6 +57,11 @@ type result = {
       (** static partition-lint verdict ({!Tp_analysis.Lint.check_static})
           of the configuration this result was measured under, so every
           dataset records whether its protection claims actually held *)
+  cert : Tp_analysis.Certify.cert;
+      (** certified leakage bound ({!Tp_analysis.Certify.certify_static})
+          of the same configuration: any MI later measured from [data]
+          must stay at or below [Certify.total_bits cert] — the
+          cross-validation the certifier's test suite enforces *)
 }
 
 val run_pair :

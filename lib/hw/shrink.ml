@@ -1,0 +1,143 @@
+(* Shrunken platform variants for small-scope model checking.
+
+   The exhaustive noninterference check (Tp_analysis.Certify) needs a
+   machine small enough that every two-domain schedule can be
+   enumerated, yet structurally faithful: the same cache hierarchy
+   shape as the parent platform (private L2 present iff the parent has
+   one), physically-indexed outer levels that still support two page
+   colours, fully-associative tiny TLBs (so page-granular contention is
+   observable at all), and a gshare predictor with a short history.
+
+   Two invariants matter for soundness of the shrink:
+
+   - every physically-indexed cache satisfies [sets * line =
+     colours * page_size] with [colours = 2], so placing one domain on
+     even pages and the other on odd pages is exactly the partition a
+     2-colour allocation would produce;
+   - the stream prefetcher is absent ([prefetcher_slots = 0]).  Its
+     tracker state has no architected flush (the paper's Section 5.3.2
+     residual), so it is outside the five certified channels; keeping
+     it would make even a fully-flushed machine nondeterministic and
+     the small-scope check vacuous. *)
+
+let page = Defs.page_size
+
+let tiny (p : Platform.t) =
+  let line = p.Platform.line in
+  let l1 =
+    { Cache.size = 512; ways = 2; line; indexing = Cache.Virtual }
+  in
+  (* [size = 2 * ways * page_size] gives [colours = size / (ways *
+     page_size) = 2] whatever the line size. *)
+  let outer ways =
+    { Cache.size = 2 * ways * page; ways; line; indexing = Cache.Physical }
+  in
+  {
+    p with
+    Platform.name = p.Platform.name ^ "-shrunk";
+    l1d = l1;
+    l1i = l1;
+    l2 = Option.map (fun _ -> outer 2) p.Platform.l2;
+    llc = outer 2;
+    (* Fully associative: every page contends with every other, so the
+       TLB channel is not accidentally closed by set partitioning. *)
+    itlb = { Tlb.entries = 4; ways = 4 };
+    dtlb = { Tlb.entries = 4; ways = 4 };
+    l2tlb = { Tlb.entries = 8; ways = 8 };
+    btb = { Btb.entries = 8; ways = 2 };
+    bhb = { Bhb.history_bits = 4; pht_entries = 16 };
+    prefetcher_slots = 0;
+    prefetcher_degree = 0;
+  }
+
+(* Further small geometries for property tests (the Bounds-domination
+   QCheck sweeps them): same shape constraints, different sizes and
+   associativities. *)
+let variants (p : Platform.t) =
+  let line = p.Platform.line in
+  let t = tiny p in
+  let with_l1 ways sets pp =
+    let l1 =
+      { Cache.size = ways * sets * line; ways; line; indexing = Cache.Virtual }
+    in
+    { pp with Platform.l1d = l1; l1i = l1 }
+  in
+  let with_outer ways pp =
+    let g =
+      { Cache.size = 2 * ways * page; ways; line; indexing = Cache.Physical }
+    in
+    {
+      pp with
+      Platform.l2 = Option.map (fun _ -> g) pp.Platform.l2;
+      llc = g;
+    }
+  in
+  [
+    t;
+    with_l1 1 8 t;
+    with_l1 4 4 (with_outer 4 t);
+    { (with_outer 1 t) with Platform.dtlb = { Tlb.entries = 8; ways = 2 } };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine-level switch scrub                                          *)
+
+type scrub = {
+  sc_flush_l1 : bool;
+  sc_flush_l2 : bool;
+  sc_flush_llc : bool;
+  sc_flush_tlb : bool;
+  sc_flush_bp : bool;
+  sc_close_dram : bool;
+}
+
+let no_scrub =
+  {
+    sc_flush_l1 = false;
+    sc_flush_l2 = false;
+    sc_flush_llc = false;
+    sc_flush_tlb = false;
+    sc_flush_bp = false;
+    sc_close_dram = false;
+  }
+
+(* Same fixed cost Tp_kernel.Domain_switch charges for the hypothetical
+   precharge-all operation; lib/hw cannot see the kernel layer, so the
+   constant is duplicated here and tied down by a test. *)
+let dram_close_cost = 100
+
+let apply m ~core s =
+  let cost = ref 0 in
+  (* Mirrors Tp_kernel.Domain_switch: a full-hierarchy flush runs
+     L1 + private L2 + LLC in order, otherwise the requested private
+     levels are flushed individually.  At machine scope the architected
+     L1 flush is used unconditionally — the x86 manual-flush sequence
+     is a kernel-layer construction. *)
+  if s.sc_flush_llc then begin
+    cost := !cost + Machine.flush_l1_hw m ~core;
+    cost := !cost + Machine.flush_l2_private m ~core;
+    cost := !cost + Machine.flush_llc m ~core
+  end
+  else begin
+    if s.sc_flush_l1 then cost := !cost + Machine.flush_l1_hw m ~core;
+    if s.sc_flush_l2 then cost := !cost + Machine.flush_l2_private m ~core
+  end;
+  if s.sc_flush_tlb then cost := !cost + Machine.flush_tlbs m ~core;
+  if s.sc_flush_bp then cost := !cost + Machine.flush_branch_predictor m ~core;
+  if s.sc_close_dram then begin
+    Dram.close_all (Machine.dram m);
+    Machine.add_cycles m ~core dram_close_cost;
+    cost := !cost + dram_close_cost
+  end;
+  !cost
+
+let bound (p : Platform.t) s =
+  (if s.sc_flush_llc then
+     Bounds.l1_flush_hw_bound p + Bounds.l2_flush_bound p
+     + Bounds.llc_flush_bound p
+   else
+     (if s.sc_flush_l1 then Bounds.l1_flush_hw_bound p else 0)
+     + if s.sc_flush_l2 then Bounds.l2_flush_bound p else 0)
+  + (if s.sc_flush_tlb then Bounds.tlb_flush_bound p else 0)
+  + (if s.sc_flush_bp then Bounds.bp_flush_bound p else 0)
+  + if s.sc_close_dram then dram_close_cost else 0

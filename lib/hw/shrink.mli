@@ -1,0 +1,53 @@
+(** Shrunken platforms and a machine-level switch scrub, for
+    small-scope model checking (Tp_analysis's [certify --exhaustive]).
+
+    {!tiny} keeps the parent platform's hierarchy shape but makes every
+    structure small enough that all two-domain schedules of a short
+    horizon can be enumerated.  Guarantees:
+
+    - every physically-indexed cache has exactly {e two} page colours,
+      and its sets line up with page parity (even pages are one colour,
+      odd pages the other) — so a parity placement reproduces a
+      2-colour allocation;
+    - TLBs are fully associative (page-granular contention survives the
+      shrink);
+    - no stream prefetcher: its tracker state has no architected flush
+      (the Section 5.3.2 residual) and sits outside the five certified
+      channels. *)
+
+val tiny : Platform.t -> Platform.t
+
+val variants : Platform.t -> Platform.t list
+(** [tiny p] plus a few more small geometries (different ways/sets),
+    for property tests that sweep machine configurations. *)
+
+(** {1 Switch scrub}
+
+    The machine-level image of the domain-switch flush sequence:
+    which state the switch scrubs, as plain flags (lib/hw cannot see
+    {!Tp_kernel.Config}). *)
+
+type scrub = {
+  sc_flush_l1 : bool;
+  sc_flush_l2 : bool;
+  sc_flush_llc : bool;  (** covers the whole inclusive hierarchy *)
+  sc_flush_tlb : bool;
+  sc_flush_bp : bool;
+  sc_close_dram : bool;  (** hypothetical precharge-all *)
+}
+
+val no_scrub : scrub
+
+val dram_close_cost : int
+(** Fixed cost of the precharge-all, matching
+    [Tp_kernel.Domain_switch.dram_close_cost]. *)
+
+val apply : Machine.t -> core:int -> scrub -> int
+(** Perform the scrub on the machine; returns the cycles charged.
+    Mirrors [Tp_kernel.Domain_switch]'s flush ordering ([flush_llc]
+    subsumes the private levels). *)
+
+val bound : Platform.t -> scrub -> int
+(** Worst-case cost of {!apply} from {!Bounds}: dominates the exact
+    cost of any scrub on any reachable machine state (the
+    Bounds-domination property test exercises this). *)

@@ -69,6 +69,45 @@ let full_flush _p =
     cat_llc = false;
   }
 
+(* One-step strengthenings of a configuration: each disabled mechanism
+   enabled on its own.  Enabling a flush can raise the worst-case
+   switch cost, so "more protection" only means "no more leakage" if
+   the pad keeps up: [pad_for] supplies the analytic pad requirement
+   for a candidate (callers pass [Tp_analysis.Lint.pad_bound] — this
+   module cannot, being below the analysis layer), and every candidate
+   is re-padded to cover both its own requirement and the original
+   pad.  This is the lattice walked by the certifier's monotonicity
+   property test. *)
+let strengthen ?(pad_for = fun _ -> 0) c =
+  let repad d =
+    { d with pad_cycles = max d.pad_cycles (max c.pad_cycles (pad_for d)) }
+  in
+  let flips =
+    [
+      (c.colour_user, fun d -> { d with colour_user = true });
+      (c.clone_kernel, fun d -> { d with clone_kernel = true });
+      (c.flush_l1, fun d -> { d with flush_l1 = true });
+      (c.flush_tlb, fun d -> { d with flush_tlb = true });
+      (c.flush_bp, fun d -> { d with flush_bp = true });
+      (c.flush_l2, fun d -> { d with flush_l2 = true });
+      (c.flush_llc, fun d -> { d with flush_llc = true });
+      (c.disable_prefetcher, fun d -> { d with disable_prefetcher = true });
+      (c.partition_irqs, fun d -> { d with partition_irqs = true });
+      (c.prefetch_shared, fun d -> { d with prefetch_shared = true });
+      (c.close_dram_rows, fun d -> { d with close_dram_rows = true });
+      (c.cat_llc, fun d -> { d with cat_llc = true });
+    ]
+  in
+  let padded =
+    if c.pad_cycles < pad_for c then
+      [ { c with pad_cycles = pad_for c } ]
+    else []
+  in
+  padded
+  @ List.filter_map
+      (fun (already, flip) -> if already then None else Some (repad (flip c)))
+      flips
+
 let pp ppf c =
   let flag name b = if b then Some name else None in
   let flags =

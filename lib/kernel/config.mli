@@ -44,4 +44,16 @@ val full_flush : Tp_hw.Platform.t -> t
 val pad_us : Tp_hw.Platform.t -> float
 (** The per-platform default padding latency used by [protected_]. *)
 
+val strengthen : ?pad_for:(t -> int) -> t -> t list
+(** One-step strengthenings: each disabled mechanism enabled on its
+    own (plus, when the current pad is below [pad_for t], a
+    pad-raising step).  [pad_for] supplies the analytic worst-case
+    switch cost for a candidate configuration (pass
+    [Tp_analysis.Lint.pad_bound]); every candidate is re-padded to
+    [max candidate-requirement original-pad], so enabling a flush —
+    which raises the worst-case switch cost — cannot open the timing
+    pseudo-channel that adequate padding had closed.  The certifier's
+    monotonicity property ("more protection never certifies more
+    bits") quantifies over exactly this lattice. *)
+
 val pp : Format.formatter -> t -> unit

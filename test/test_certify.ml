@@ -1,0 +1,672 @@
+(* Tests for the leakage certifier: sound per-channel bounds
+   specialised by configuration (0 bits under full time protection,
+   structural capacity when raw, program footprints when a guest is
+   given), the small-scope exhaustive noninterference check and its
+   cross-validation against the abstract bounds, the monotonicity of
+   certification along the Config.strengthen lattice, the
+   Bounds-domination of the shrunken-machine scrub, and the JSON/SARIF
+   emission (round-trip through a strict parser). *)
+
+open Tp_core
+open Tp_kernel
+module Diag = Tp_analysis.Diag
+module Lint = Tp_analysis.Lint
+module Ctcheck = Tp_analysis.Ctcheck
+module Ct_ir = Tp_analysis.Ct_ir
+module Absint = Tp_analysis.Absint
+module Certify = Tp_analysis.Certify
+module Shrink = Tp_hw.Shrink
+module Machine = Tp_hw.Machine
+
+let haswell = Tp_hw.Platform.haswell
+let sabre = Tp_hw.Platform.sabre
+let platforms = [ haswell; sabre ]
+
+let all_kinds =
+  Scenario.
+    [
+      Raw;
+      Full_flush;
+      Protected;
+      Coloured_only;
+      Protected_no_pad;
+      Protected_no_prefetcher;
+      Cat_llc;
+    ]
+
+(* Booting is the expensive part; views are reused across tests. *)
+let view =
+  let cache = Hashtbl.create 8 in
+  fun kind p ->
+    let key = Scenario.name kind ^ "/" ^ p.Tp_hw.Platform.name in
+    match Hashtbl.find_opt cache key with
+    | Some v -> v
+    | None ->
+        let v = Lint.view_of_booted (Scenario.boot kind p) in
+        Hashtbl.replace cache key v;
+        v
+
+let bound_of c ch =
+  List.find (fun b -> b.Certify.b_channel = ch) c.Certify.c_bounds
+
+(* ------------------------------------------------------------------ *)
+(* Configuration-level certificates *)
+
+let test_protected_zero () =
+  List.iter
+    (fun p ->
+      let c = Certify.certify_view (view Scenario.Protected p) in
+      Alcotest.(check int)
+        (p.Tp_hw.Platform.name ^ " state bits")
+        0 (Certify.state_bits c);
+      Alcotest.(check int) (p.Tp_hw.Platform.name ^ " timing bits") 0
+        c.Certify.c_timing_bits;
+      Alcotest.(check int)
+        (p.Tp_hw.Platform.name ^ " total bits")
+        0 (Certify.total_bits c);
+      Alcotest.(check bool)
+        (p.Tp_hw.Platform.name ^ " report clean")
+        true
+        (Diag.clean (Certify.report c)))
+    platforms
+
+let test_raw_positive () =
+  List.iter
+    (fun p ->
+      let c = Certify.certify_view (view Scenario.Raw p) in
+      (* Every channel open at its structural capacity; in particular
+         L1-D and TLB (the acceptance floor) must be strictly
+         positive. *)
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s > 0" p.Tp_hw.Platform.name
+               (Certify.channel_name b.Certify.b_channel))
+            true (b.Certify.b_bits > 0);
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s at capacity" p.Tp_hw.Platform.name
+               (Certify.channel_name b.Certify.b_channel))
+            b.Certify.b_raw b.Certify.b_bits)
+        c.Certify.c_bounds;
+      Alcotest.(check bool)
+        (p.Tp_hw.Platform.name ^ " timing open")
+        true
+        (c.Certify.c_timing_bits > 0);
+      let r = Certify.report c in
+      Alcotest.(check bool) "dirty" false (Diag.clean r);
+      List.iter
+        (fun rule ->
+          Alcotest.(check bool) (rule ^ " present") true
+            (List.mem rule (Diag.rules r)))
+        [
+          Certify.rule_l1d_residue;
+          Certify.rule_tlb_residue;
+          Certify.rule_pad_timing;
+        ])
+    platforms
+
+let test_coloured_only_channels () =
+  (* Coloured userland with a shared kernel: the kernel image defeats
+     the spatial partition (Fig. 3), so the LLC stays open — and no
+     flushing means the on-core channels stay open too. *)
+  let c = Certify.certify_view (view Scenario.Coloured_only haswell) in
+  Alcotest.(check bool) "LLC open" true ((bound_of c Certify.Llc).b_bits > 0);
+  Alcotest.(check bool) "L1-D open" true ((bound_of c Certify.L1d).b_bits > 0)
+
+let test_no_pad_timing_only () =
+  List.iter
+    (fun p ->
+      let c = Certify.certify_view (view Scenario.Protected_no_pad p) in
+      Alcotest.(check int) (p.Tp_hw.Platform.name ^ " state") 0
+        (Certify.state_bits c);
+      Alcotest.(check bool)
+        (p.Tp_hw.Platform.name ^ " timing residue")
+        true
+        (c.Certify.c_timing_bits > 0))
+    platforms
+
+(* ------------------------------------------------------------------ *)
+(* Program-level certificates (Absint footprints) *)
+
+let test_fixture_sqmul_raw () =
+  let v = view Scenario.Raw haswell in
+  let fx = Option.get (Ctcheck.fixture "sqmul") in
+  let c = Certify.certify_fixture v fx in
+  List.iter
+    (fun ch ->
+      Alcotest.(check bool)
+        (Certify.channel_name ch ^ " > 0")
+        true
+        ((bound_of c ch).Certify.b_bits > 0))
+    [ Certify.L1d; Certify.Tlb; Certify.Bp ];
+  (* Tightening: the program footprint can only shrink the structural
+     capacities. *)
+  let structural = Certify.certify_view v in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Certify.channel_name b.Certify.b_channel ^ " tightened")
+        true
+        (b.Certify.b_bits
+        <= (bound_of structural b.Certify.b_channel).Certify.b_bits))
+    c.Certify.c_bounds;
+  Alcotest.(check bool) "strictly below capacity" true
+    (Certify.total_bits c < Certify.total_bits structural)
+
+let test_fixture_ct_zero_state () =
+  (* The constant-time rewrites deposit no secret-dependent residency
+     even on the raw machine: only the timing pseudo-channel (a
+     configuration property, not a program property) remains. *)
+  let v = view Scenario.Raw haswell in
+  List.iter
+    (fun name ->
+      let fx = Option.get (Ctcheck.fixture name) in
+      let c = Certify.certify_fixture v fx in
+      Alcotest.(check int) (name ^ " state bits") 0 (Certify.state_bits c))
+    [ "sqmul-ct"; "sbox-ct" ]
+
+let test_fixtures_protected_zero () =
+  let v = view Scenario.Protected haswell in
+  List.iter
+    (fun fx ->
+      let c = Certify.certify_fixture v fx in
+      Alcotest.(check int)
+        (fx.Ctcheck.fx_program.Ct_ir.p_name ^ " total")
+        0 (Certify.total_bits c))
+    Ctcheck.fixtures
+
+(* ------------------------------------------------------------------ *)
+(* Monotonicity along the strengthening lattice (QCheck) *)
+
+let override_config v (c : Config.t) =
+  {
+    v with
+    Lint.v_config = c;
+    Lint.v_pad = c.Config.pad_cycles;
+    Lint.v_kernels =
+      List.map
+        (fun k -> { k with Lint.kv_pad = c.Config.pad_cycles })
+        v.Lint.v_kernels;
+  }
+
+let qcheck_strengthen_monotone =
+  QCheck.Test.make
+    ~name:"strengthening never increases the certified bound" ~count:60
+    QCheck.(pair (int_bound (List.length all_kinds - 1)) bool)
+    (fun (ki, on_sabre) ->
+      let p = if on_sabre then sabre else haswell in
+      let kind = List.nth all_kinds ki in
+      let v = view kind p in
+      let base_cfg = v.Lint.v_config in
+      let base = Certify.total_bits (Certify.certify_view (override_config v base_cfg)) in
+      List.for_all
+        (fun c' ->
+          let t =
+            Certify.total_bits (Certify.certify_view (override_config v c'))
+          in
+          if t > base then
+            QCheck.Test.fail_reportf
+              "%s %s: strengthened config certifies %d > base %d bits"
+              p.Tp_hw.Platform.name (Scenario.name kind) t base
+          else true)
+        (Config.strengthen ~pad_for:(Lint.pad_bound p) base_cfg))
+
+(* ------------------------------------------------------------------ *)
+(* Shrink: scrub cost domination (QCheck) *)
+
+let scrub_of_bits bits =
+  {
+    Shrink.sc_flush_l1 = bits land 1 <> 0;
+    sc_flush_l2 = bits land 2 <> 0;
+    sc_flush_llc = bits land 4 <> 0;
+    sc_flush_tlb = bits land 8 <> 0;
+    sc_flush_bp = bits land 16 <> 0;
+    sc_close_dram = bits land 32 <> 0;
+  }
+
+let qcheck_scrub_bound_dominates =
+  let geometries = Shrink.variants haswell @ Shrink.variants sabre in
+  QCheck.Test.make
+    ~name:"Shrink.bound dominates the exact scrub cost" ~count:120
+    QCheck.(
+      triple
+        (int_bound (List.length geometries - 1))
+        (int_bound 63) (small_list small_nat))
+    (fun (gi, sbits, activity) ->
+      let p = List.nth geometries gi in
+      let m = Machine.create p in
+      let scrub = scrub_of_bits sbits in
+      (* Dirty the machine with arbitrary traffic first: the bound must
+         hold from every reachable state, including dirty lines (write
+         backs) and populated TLBs/predictors. *)
+      List.iteri
+        (fun i n ->
+          let vaddr = 0x1000_0000 + (n mod 16 * 4096) + (n mod 64 * 64) in
+          let kind =
+            match n mod 3 with
+            | 0 -> Tp_hw.Defs.Read
+            | 1 -> Tp_hw.Defs.Write
+            | _ -> Tp_hw.Defs.Fetch
+          in
+          ignore
+            (Machine.access m ~core:0 ~asid:(1 + (n mod 2)) ~vaddr
+               ~paddr:vaddr ~kind ());
+          if n mod 5 = 0 then
+            ignore
+              (Machine.cond_branch m ~core:0 ~asid:1
+                 ~vaddr:(0x2000_0000 + (i mod 32 * 64))
+                 ~paddr:(0x2000_0000 + (i mod 32 * 64))
+                 ~taken:(n mod 2 = 0)))
+        activity;
+      let cost = Shrink.apply m ~core:0 scrub in
+      let bound = Shrink.bound p scrub in
+      if cost > bound then
+        QCheck.Test.fail_reportf "%s: scrub cost %d > bound %d"
+          p.Tp_hw.Platform.name cost bound
+      else true)
+
+let test_dram_close_cost_consistent () =
+  Alcotest.(check int) "Shrink mirrors Domain_switch"
+    Domain_switch.dram_close_cost Shrink.dram_close_cost
+
+(* ------------------------------------------------------------------ *)
+(* Small-scope exhaustive noninterference *)
+
+let test_exhaustive_protected_passes () =
+  List.iter
+    (fun p ->
+      let r = Certify.exhaustive p (Scenario.config Scenario.Protected p) in
+      Alcotest.(check bool)
+        (p.Tp_hw.Platform.name ^ " passes")
+        true
+        (r.Certify.ex_counterexample = None);
+      Alcotest.(check int)
+        (p.Tp_hw.Platform.name ^ " all schedules")
+        16 r.Certify.ex_schedules)
+    platforms
+
+let test_exhaustive_raw_counterexample () =
+  List.iter
+    (fun p ->
+      let r = Certify.exhaustive p (Scenario.config Scenario.Raw p) in
+      match r.Certify.ex_counterexample with
+      | None -> Alcotest.fail (p.Tp_hw.Platform.name ^ ": raw passed")
+      | Some cx ->
+          Alcotest.(check int)
+            "schedule length = horizon" r.Certify.ex_horizon
+            (String.length cx.Certify.cx_schedule);
+          String.iter
+            (fun ch ->
+              Alcotest.(check bool) "schedule alphabet" true
+                (ch = 'V' || ch = 'A'))
+            cx.Certify.cx_schedule;
+          Alcotest.(check bool) "observations differ" true
+            (cx.Certify.cx_obs_a <> cx.Certify.cx_obs_b);
+          Alcotest.(check bool) "distinct secrets" true
+            (cx.Certify.cx_secret_a <> cx.Certify.cx_secret_b))
+    platforms
+
+let test_crosscheck_all_configs () =
+  (* The soundness cross-validation the two engines owe each other: a
+     0-bit certificate must never coexist with a concrete
+     distinguishing schedule.  Quantified over every scenario on both
+     platforms. *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun kind ->
+          let c = Certify.certify_view (view kind p) in
+          let r = Certify.exhaustive p (Scenario.config kind p) in
+          let name =
+            Printf.sprintf "%s %s" p.Tp_hw.Platform.name (Scenario.name kind)
+          in
+          Alcotest.(check (list string))
+            (name ^ " crosscheck silent")
+            []
+            (List.map
+               (fun f -> f.Diag.rule)
+               (Certify.crosscheck c r));
+          if Certify.total_bits c = 0 then
+            Alcotest.(check bool)
+              (name ^ " 0 bits => noninterference")
+              true
+              (r.Certify.ex_counterexample = None))
+        all_kinds)
+    platforms
+
+(* ------------------------------------------------------------------ *)
+(* Measured MI vs certified bound (the harness contract) *)
+
+let measure_l1d kind =
+  let p = haswell in
+  let b = Scenario.boot kind p in
+  let chan = Tp_attacks.Cache_channels.l1d in
+  let sender, receiver = chan.Tp_attacks.Cache_channels.prepare b in
+  let spec =
+    {
+      (Tp_attacks.Harness.default_spec p) with
+      Tp_attacks.Harness.samples = 250;
+      symbols = chan.Tp_attacks.Cache_channels.symbols;
+    }
+  in
+  let rng = Tp_util.Rng.create ~seed:77 in
+  Tp_attacks.Harness.measure_leak_result b ~sender ~receiver spec ~rng
+
+let test_measured_mi_below_bound_raw () =
+  let leak, hr = measure_l1d Scenario.Raw in
+  let bits = Certify.total_bits hr.Tp_attacks.Harness.cert in
+  Alcotest.(check bool) "raw certifies > 0" true (bits > 0);
+  Alcotest.(check bool) "raw leaks (premise non-vacuous)" true
+    (leak.Tp_channel.Leakage.verdict = Tp_channel.Leakage.Leak);
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.3f <= certified %d bits"
+       leak.Tp_channel.Leakage.m bits)
+    true
+    (leak.Tp_channel.Leakage.m <= float_of_int bits)
+
+let test_measured_mi_below_bound_protected () =
+  (* A 0-bit certificate: any Leak verdict would exceed the bound. *)
+  let leak, hr = measure_l1d Scenario.Protected in
+  Alcotest.(check int) "protected certifies 0" 0
+    (Certify.total_bits hr.Tp_attacks.Harness.cert);
+  Alcotest.(check bool) "no leak above a 0-bit certificate" true
+    (leak.Tp_channel.Leakage.verdict <> Tp_channel.Leakage.Leak)
+
+(* ------------------------------------------------------------------ *)
+(* JSON / SARIF emission: strict parse and escape round-trip *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+(* A strict little parser — rejects trailing garbage, raw control
+   characters in strings, and unknown escapes, so it actually
+   exercises the emitter's escaping. *)
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise (Bad_json "eof") in
+  let next () =
+    let c = peek () in
+    incr pos;
+    c
+  in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if next () <> c then raise (Bad_json (Printf.sprintf "expected %c" c))
+  in
+  let lit w v =
+    String.iter (fun c -> if next () <> c then raise (Bad_json w)) w;
+    v
+  in
+  let string_ () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+          (match next () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              let h = String.init 4 (fun _ -> next ()) in
+              let code = int_of_string ("0x" ^ h) in
+              (* the emitter only uses \u00XX, for control bytes *)
+              if code > 0x7f then raise (Bad_json "unexpected high \\u");
+              Buffer.add_char b (Char.chr code)
+          | c -> raise (Bad_json (Printf.sprintf "escape \\%c" c)));
+          go ()
+      | c when Char.code c < 0x20 ->
+          raise (Bad_json "raw control character in string")
+      | c ->
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = '}' then (
+          incr pos;
+          J_obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_ () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> J_obj (List.rev ((k, v) :: acc))
+            | _ -> raise (Bad_json "object separator")
+          in
+          members []
+    | '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = ']' then (
+          incr pos;
+          J_list [])
+        else
+          let rec items acc =
+            let v = value () in
+            skip_ws ();
+            match next () with
+            | ',' -> items (v :: acc)
+            | ']' -> J_list (List.rev (v :: acc))
+            | _ -> raise (Bad_json "array separator")
+          in
+          items []
+    | '"' -> J_str (string_ ())
+    | 't' -> lit "true" (J_bool true)
+    | 'f' -> lit "false" (J_bool false)
+    | 'n' -> lit "null" J_null
+    | _ ->
+        let start = !pos in
+        while
+          !pos < n
+          &&
+          match s.[!pos] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false
+        do
+          incr pos
+        done;
+        (try J_num (float_of_string (String.sub s start (!pos - start)))
+         with _ -> raise (Bad_json "number"))
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad_json "trailing garbage");
+  v
+
+let mem k = function
+  | J_obj kvs -> (
+      match List.assoc_opt k kvs with
+      | Some v -> v
+      | None -> raise (Bad_json ("missing key " ^ k)))
+  | _ -> raise (Bad_json ("not an object at " ^ k))
+
+let jstr = function J_str s -> s | _ -> raise (Bad_json "not a string")
+let jlist = function J_list l -> l | _ -> raise (Bad_json "not a list")
+
+let nasty =
+  "q\" b\\ nl\n tab\t cr\r bs\b ff\012 nul-ish\001 s\xc2\xa7 end"
+
+let test_json_roundtrip_nasty () =
+  let r =
+    {
+      Diag.subject = "subject " ^ nasty;
+      findings =
+        [
+          Diag.error ~rule:"TEST-RULE"
+            ~context:[ (nasty, nasty) ]
+            ("message " ^ nasty);
+        ];
+    }
+  in
+  let j = parse_json (Diag.reports_to_json [ r ]) in
+  match jlist j with
+  | [ rj ] ->
+      Alcotest.(check string) "subject" ("subject " ^ nasty)
+        (jstr (mem "subject" rj));
+      let fj = List.hd (jlist (mem "findings" rj)) in
+      Alcotest.(check string) "message" ("message " ^ nasty)
+        (jstr (mem "message" fj));
+      Alcotest.(check string) "context value" nasty
+        (jstr (mem nasty (mem "context" fj)))
+  | _ -> Alcotest.fail "expected a one-report array"
+
+let test_sarif_shape () =
+  let reports =
+    [
+      Certify.report (Certify.certify_view (view Scenario.Raw haswell));
+      Certify.report (Certify.certify_view (view Scenario.Protected haswell));
+      {
+        Diag.subject = "nasty " ^ nasty;
+        findings = [ Diag.warning ~rule:"TEST-RULE" nasty ];
+      };
+    ]
+  in
+  let j = parse_json (Diag.reports_to_sarif reports) in
+  Alcotest.(check string) "version" "2.1.0" (jstr (mem "version" j));
+  let run = List.hd (jlist (mem "runs" j)) in
+  let driver = mem "driver" (mem "tool" run) in
+  Alcotest.(check string) "driver name" "tpsim" (jstr (mem "name" driver));
+  let rules = Array.of_list (jlist (mem "rules" driver)) in
+  let results = jlist (mem "results" run) in
+  let expected = List.length (List.concat_map (fun r -> r.Diag.findings) reports) in
+  Alcotest.(check int) "one result per finding" expected (List.length results);
+  List.iter
+    (fun res ->
+      let idx =
+        match mem "ruleIndex" res with
+        | J_num f -> int_of_float f
+        | _ -> raise (Bad_json "ruleIndex")
+      in
+      Alcotest.(check bool) "ruleIndex in range" true
+        (idx >= 0 && idx < Array.length rules);
+      Alcotest.(check string) "ruleId matches rules table"
+        (jstr (mem "id" rules.(idx)))
+        (jstr (mem "ruleId" res));
+      let level = jstr (mem "level" res) in
+      Alcotest.(check bool) ("level " ^ level) true
+        (List.mem level [ "error"; "warning"; "note" ]);
+      ignore (jstr (mem "text" (mem "message" res))))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Ct_ir layout hooks (the certifier's page-colour control) *)
+
+let test_layout_default_preserved () =
+  (* Pinning every array to exactly where the default packing puts it
+     must reproduce the default execution bit-for-bit: the layout hook
+     cannot have moved the historical addresses. *)
+  let fx = Option.get (Ctcheck.fixture "sqmul") in
+  let layout = Ct_ir.array_layout fx.Ctcheck.fx_program in
+  List.iter
+    (fun (name, base, _) ->
+      Alcotest.(check int) (name ^ " page-aligned") 0 (base mod 4096);
+      Alcotest.(check bool) (name ^ " above data_base") true
+        (base >= Ct_ir.data_base))
+    layout;
+  let inputs = fx.Ctcheck.fx_public @ fx.Ctcheck.fx_secret_a in
+  let r1 =
+    Ct_ir.execute (Machine.create haswell) ~core:0 fx.Ctcheck.fx_program
+      ~inputs
+  in
+  let pins = List.map (fun (nm, base, _) -> (nm, base)) layout in
+  let r2 =
+    Ct_ir.execute ~arrays_at:pins (Machine.create haswell) ~core:0
+      fx.Ctcheck.fx_program ~inputs
+  in
+  Alcotest.(check bool) "identical traces" true
+    (Ct_ir.diff_traces r1.Ct_ir.x_trace r2.Ct_ir.x_trace = None)
+
+let test_layout_pins_respected () =
+  let fx = Option.get (Ctcheck.fixture "sqmul") in
+  let p = fx.Ctcheck.fx_program in
+  let target = 0x5000_0000 in
+  let first_array = fst (List.hd p.Ct_ir.p_arrays) in
+  let layout = Ct_ir.array_layout ~arrays_at:[ (first_array, target) ] p in
+  let _, base, _ =
+    List.find (fun (nm, _, _) -> nm = first_array) layout
+  in
+  Alcotest.(check int) "pinned base" target base;
+  (* Unpinned arrays must not collide with the pin. *)
+  List.iter
+    (fun (nm, b, len) ->
+      if nm <> first_array then
+        Alcotest.(check bool) (nm ^ " disjoint from pin") true
+          (b + (len * Ct_ir.word) <= target || b >= target + 4096))
+    layout;
+  match
+    Ct_ir.array_layout ~arrays_at:[ (first_array, target + 256) ] p
+  with
+  | _ -> Alcotest.fail "unaligned pin accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "protected certifies 0 bits" `Quick test_protected_zero;
+    Alcotest.test_case "raw certifies structural capacity" `Quick
+      test_raw_positive;
+    Alcotest.test_case "coloured-only: shared kernel keeps LLC open" `Quick
+      test_coloured_only_channels;
+    Alcotest.test_case "no-pad: timing-only residue" `Quick
+      test_no_pad_timing_only;
+    Alcotest.test_case "fixture: sqmul footprint" `Quick test_fixture_sqmul_raw;
+    Alcotest.test_case "fixture: ct rewrites deposit 0 state bits" `Quick
+      test_fixture_ct_zero_state;
+    Alcotest.test_case "fixtures: protected certifies 0" `Quick
+      test_fixtures_protected_zero;
+    QCheck_alcotest.to_alcotest qcheck_strengthen_monotone;
+    QCheck_alcotest.to_alcotest qcheck_scrub_bound_dominates;
+    Alcotest.test_case "dram close cost consistent" `Quick
+      test_dram_close_cost_consistent;
+    Alcotest.test_case "exhaustive: protected passes" `Quick
+      test_exhaustive_protected_passes;
+    Alcotest.test_case "exhaustive: raw counterexample" `Quick
+      test_exhaustive_raw_counterexample;
+    Alcotest.test_case "crosscheck: abstract vs exhaustive" `Quick
+      test_crosscheck_all_configs;
+    Alcotest.test_case "measured MI <= certified bound (raw)" `Quick
+      test_measured_mi_below_bound_raw;
+    Alcotest.test_case "measured MI <= certified bound (protected)" `Quick
+      test_measured_mi_below_bound_protected;
+    Alcotest.test_case "json: escape round-trip" `Quick
+      test_json_roundtrip_nasty;
+    Alcotest.test_case "sarif: shape and rule table" `Quick test_sarif_shape;
+    Alcotest.test_case "ct_ir: default layout preserved" `Quick
+      test_layout_default_preserved;
+    Alcotest.test_case "ct_ir: pinned layout respected" `Quick
+      test_layout_pins_respected;
+  ]

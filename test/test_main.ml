@@ -15,4 +15,5 @@ let () =
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("certify", Test_certify.suite);
     ]
