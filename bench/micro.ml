@@ -1,0 +1,105 @@
+(* Hot-path microbenchmarks (bechamel).
+
+   The per-access path — Cache.access_*fast, Tlb.access, Machine.access
+   — dominates every experiment's runtime, so this suite pins its cost
+   in host ns/op: run it before and after touching lib/hw to see what a
+   change does to simulator throughput.  The working set alternates
+   between an L1-resident sweep (hit path) and a strided sweep larger
+   than the cache (miss/evict path), with counters both off and on (the
+   off case must stay cheap: the hot path hoists the enabled check).
+
+   Usage: micro.exe  (no arguments; haswell geometry) *)
+
+open Bechamel
+open Toolkit
+
+let p = Tp_hw.Platform.haswell
+
+let make_cache () = Tp_hw.Cache.create ~name:"bench" p.Tp_hw.Platform.l1d
+
+let bench_cache_hit =
+  let c = make_cache () in
+  let pos = ref 0 in
+  (* 16 KiB < 32 KiB L1: steady-state all hits. *)
+  Test.make ~name:"cache.access_fast hit"
+    (Staged.stage (fun () ->
+         pos := (!pos + 64) land 0x3FFF;
+         ignore (Tp_hw.Cache.access_fast c ~vaddr:!pos ~paddr:!pos ~write:false)))
+
+let bench_cache_miss =
+  let c = make_cache () in
+  let pos = ref 0 in
+  (* 4 MiB stride-64 sweep >> 32 KiB L1: steady-state all misses. *)
+  Test.make ~name:"cache.access_fast miss+evict"
+    (Staged.stage (fun () ->
+         pos := (!pos + 64) land 0x3FFFFF;
+         ignore (Tp_hw.Cache.access_fast c ~vaddr:!pos ~paddr:!pos ~write:true)))
+
+let bench_cache_masked =
+  let c = make_cache () in
+  let pos = ref 0 in
+  Test.make ~name:"cache.access_masked_fast (CAT mask)"
+    (Staged.stage (fun () ->
+         pos := (!pos + 64) land 0x3FFFFF;
+         ignore
+           (Tp_hw.Cache.access_masked_fast c ~alloc_ways:0x3 ~vaddr:!pos
+              ~paddr:!pos ~write:false)))
+
+let bench_tlb =
+  let t = Tp_hw.Tlb.create ~name:"bench" { Tp_hw.Tlb.entries = 64; ways = 4 } in
+  let vpn = ref 0 in
+  Test.make ~name:"tlb.access"
+    (Staged.stage (fun () ->
+         vpn := (!vpn + 1) land 0x7F;
+         ignore (Tp_hw.Tlb.access t ~asid:1 ~vpn:!vpn ~global:false)))
+
+let bench_machine ~counters =
+  let m = Tp_hw.Machine.create p in
+  let pos = ref 0 in
+  Test.make
+    ~name:
+      (Printf.sprintf "machine.access hit (counters %s)"
+         (if counters then "on" else "off"))
+    (Staged.stage (fun () ->
+         Tp_obs.Ctl.set_counters counters;
+         pos := (!pos + 64) land 0x3FFF;
+         ignore
+           (Tp_hw.Machine.access m ~core:0 ~asid:1 ~vaddr:!pos ~paddr:!pos
+              ~kind:Tp_hw.Defs.Read ())))
+
+let () =
+  let tests =
+    [
+      bench_cache_hit;
+      bench_cache_miss;
+      bench_cache_masked;
+      bench_tlb;
+      bench_machine ~counters:false;
+      bench_machine ~counters:true;
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let table =
+    Tp_util.Table.create ~title:"Simulator hot-path costs"
+      ~headers:[ "operation"; "ns/op" ]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some (v :: _) -> Printf.sprintf "%.1f" v
+            | _ -> "n/a"
+          in
+          Tp_util.Table.add_row table [ Test.Elt.name elt; ns ])
+        (Test.elements test))
+    tests;
+  Tp_obs.Ctl.set_counters false;
+  Tp_util.Table.print table

@@ -60,9 +60,47 @@ let budget_arg =
 
 let setup_logging verbose =
   if verbose then begin
-    Logs.set_reporter (Logs_fmt.reporter ());
+    (* Worker domains of the trial pool log too: serialise the
+       reporter so interleaved kernel events stay line-atomic. *)
+    let m = Mutex.create () in
+    let r = Logs_fmt.reporter () in
+    Logs.set_reporter
+      {
+        Logs.report =
+          (fun src level ~over k msgf ->
+            Mutex.lock m;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock m)
+              (fun () -> r.Logs.report src level ~over k msgf));
+      };
     Logs.set_level (Some Logs.Debug)
   end
+
+let jobs_arg =
+  let doc =
+    "Worker domains for independent trials.  Experiments fan their \
+     trials out on a deterministic pool whose output is bit-identical \
+     at every $(docv), including 1 (the sequential path).  Default: \
+     what the host offers.  Forced to 1 under $(b,--inject), whose \
+     fault plans are process-global state."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let setup_jobs jobs inject =
+  let j =
+    match jobs with
+    | Some j -> Stdlib.max 1 j
+    | None -> Tp_par.Pool.recommended_jobs ()
+  in
+  let j =
+    if inject <> None && j > 1 then begin
+      Printf.eprintf
+        "tpsim: --inject forces --jobs 1 (fault plans are process-global)\n%!";
+      1
+    end
+    else j
+  in
+  Tp_par.Pool.set_default_jobs j
 
 let setup_fault = function
   | None -> ()
@@ -169,10 +207,11 @@ let cmd_platforms =
     Term.(const run $ const ())
 
 let mk_cmd name doc f =
-  let run plats q seed verbose inject budget =
+  let run plats q seed verbose inject budget jobs =
     setup_logging verbose;
     setup_fault inject;
     setup_budget budget;
+    setup_jobs jobs inject;
     try run_over plats (fun p -> f q ~seed p)
     with Tp_kernel.Types.Kernel_error e when inject <> None ->
       (* The armed fault fired outside a recoverable loop (e.g. during
@@ -184,7 +223,7 @@ let mk_cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ platform_arg $ quality_arg $ seed_arg $ verbose_arg
-      $ inject_arg $ budget_arg)
+      $ inject_arg $ budget_arg $ jobs_arg)
 
 let table2 _q ~seed:_ p = Report.table2 (Exp_table2.run p)
 let fig3 q ~seed p = Report.fig3 (Exp_fig3.run q ~seed p)
@@ -825,10 +864,48 @@ let cmd_certify =
       $ sarif_arg $ out_arg $ expect_arg $ exhaustive_arg $ fixtures_arg
       $ verbose_arg)
 
+let cmd_bench =
+  (* Benchmark-regression harness: suite throughput at -j 1 vs -j N,
+     bit-identity between the two, JSON artifact and baseline gate. *)
+  let bench_json =
+    let doc = "Write the results as a JSON document to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let baseline =
+    let doc =
+      "Compare accesses/s per experiment against the JSON emitted by an \
+       earlier run and fail on a drop beyond $(b,--max-regress)."
+    in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let max_regress =
+    let doc = "Allowed relative throughput drop vs the baseline, percent." in
+    Arg.(value & opt float 25.0 & info [ "max-regress" ] ~docv:"PCT" ~doc)
+  in
+  let run plats q seed jobs verbose json baseline max_regress =
+    setup_logging verbose;
+    setup_jobs jobs None;
+    exit
+      (Bench.run q ~seed
+         ~jobs:(Tp_par.Pool.default_jobs ())
+         ~platforms:plats ~json_out:json ~baseline ~max_regress ())
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Benchmark the simulator: wall clock, simulated cycles/s and \
+          accesses/s over a fixed trial suite, sequential vs parallel \
+          (verified bit-identical), with optional JSON output and a \
+          baseline regression gate.")
+    Term.(
+      const run $ platform_arg $ quality_arg $ seed_arg $ jobs_arg
+      $ verbose_arg $ bench_json $ baseline $ max_regress)
+
 let cmds =
   [
     cmd_platforms;
     cmd_faults;
+    cmd_bench;
     cmd_lint;
     cmd_ctcheck;
     cmd_certify;

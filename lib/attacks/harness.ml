@@ -27,15 +27,17 @@ let default_spec p =
 
 (* Process-wide default budget, for tooling (tpsim --budget) that
    cannot reach into every experiment's spec.  A spec's own budget
-   fields win. *)
-let default_budget = ref no_budget
-let set_default_budget b = default_budget := b
+   fields win.  Atomic so the CLI can set it once and parallel workers
+   read one coherent record (never a torn default). *)
+let default_budget = Atomic.make no_budget
+let set_default_budget b = Atomic.set default_budget b
 
 let effective_budget spec =
+  let d = Atomic.get default_budget in
   let pick a b = match a with Some _ -> a | None -> b in
   {
-    max_cycles = pick spec.budget.max_cycles !default_budget.max_cycles;
-    max_wall_s = pick spec.budget.max_wall_s !default_budget.max_wall_s;
+    max_cycles = pick spec.budget.max_cycles d.max_cycles;
+    max_wall_s = pick spec.budget.max_wall_s d.max_wall_s;
   }
 
 type result = {
@@ -73,7 +75,11 @@ let recover_thread sys tcb =
    slices — everything recorded at the last checkpoint is kept and the
    loop resumes, instead of the whole measurement aborting. *)
 let collect sys ~threads ~total ~chunk_size ~budget ~target ~collected ~run_chunk =
-  let wall0 = Sys.time () in
+  (* Wall budget means wall time: Sys.time is CPU time, which both
+     undercounts when the process is descheduled and — summed across
+     domains — overcounts under -j N.  Unix.gettimeofday is the
+     monotonic-enough wall clock this toolchain has. *)
+  let wall0 = Unix.gettimeofday () in
   let cycles0 = System.now sys ~core:0 in
   (* Switch-path counters over this collection, for the result's
      checkpoint metadata (all zeros when counters are off). *)
@@ -111,7 +117,8 @@ let collect sys ~threads ~total ~chunk_size ~budget ~target ~collected ~run_chun
         stop := Some "cycle budget exhausted"
     | Some _ | None -> ());
     match budget.max_wall_s with
-    | Some s when Sys.time () -. wall0 >= s -> stop := Some "wall-clock budget exhausted"
+    | Some s when Unix.gettimeofday () -. wall0 >= s ->
+        stop := Some "wall-clock budget exhausted"
     | Some _ | None -> ()
   done;
   let switch_counters =

@@ -31,11 +31,16 @@ let estimate g ?bandwidth samples =
     | Some h -> Stdlib.max h step
     | None -> Stdlib.max (silverman_bandwidth samples) step
   in
-  (* Bin the samples onto the grid (nearest grid position, clamped). *)
+  (* Bin the samples onto the grid (nearest grid position, clamped).
+     Round half-up via floor(q + 0.5): Float.round rounds halves away
+     from zero, so a sample below [lo] landing on a -0.5 boundary would
+     truncate differently from one above it — floor keeps the
+     nearest-index rule uniform over the whole (pre-clamp) axis. *)
   let counts = Array.make g.points 0 in
   Array.iter
     (fun x ->
-      let i = int_of_float (Float.round ((x -. g.lo) /. step)) in
+      let q = (x -. g.lo) /. step in
+      let i = int_of_float (Float.floor (q +. 0.5)) in
       let i = if i < 0 then 0 else if i >= g.points then g.points - 1 else i in
       counts.(i) <- counts.(i) + 1)
     samples;

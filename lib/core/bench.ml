@@ -1,0 +1,447 @@
+(* Benchmark-regression harness (tpsim bench).
+
+   Runs a small fixed suite of simulator workloads — covert-channel
+   collections and a Splash solo run — as independent trials, once
+   sequentially (-j 1) and once on the parallel pool, and reports
+   throughput (simulated cycles/s, memory accesses/s), wall clock,
+   speedup and max RSS as a machine-readable JSON document.
+
+   Two properties make the numbers trustworthy:
+
+   - every trial returns a digest of its simulation output, and the
+     sequential and parallel digests must be bit-identical — the run
+     fails otherwise, so a reported speedup can never come from
+     computing something different;
+   - throughput is measured in simulator work units (cycles, accesses
+     from the microarchitectural counters), so a regression gate on
+     them tracks the simulator hot path rather than host noise.
+
+   The [--baseline] gate compares accesses/s against a previously
+   emitted JSON file and fails on a relative drop beyond
+   [--max-regress] percent.  Checked-in baselines should be generous
+   (see bench/baseline.json): CI hosts vary widely, the gate is there
+   to catch order-of-magnitude hot-path regressions, not 5%% noise. *)
+
+open Tp_kernel
+
+type trial_out = { t_digest : string; t_cycles : int; t_accesses : int }
+
+type exp_result = {
+  r_name : string;
+  r_platform : string;
+  r_trials : int;
+  r_wall_seq : float;
+  r_wall_par : float;
+  r_speedup : float;
+  r_cycles : int;
+  r_accesses : int;
+  r_cycles_per_sec : float;
+  r_accesses_per_sec : float;
+  r_deterministic : bool;
+}
+
+(* ---- per-trial instrumentation ---------------------------------- *)
+
+let digest_string s = Digest.to_hex (Digest.string s)
+
+let digest_samples (s : Tp_channel.Mi.samples) =
+  digest_string
+    (Marshal.to_string (s.Tp_channel.Mi.input, s.Tp_channel.Mi.output) [])
+
+(* Per-core "accesses" counters of the trial's own machine.  Each trial
+   boots a fresh system whose counters start at zero, so reading them at
+   the end gives exactly the trial's traffic — deterministic, unlike a
+   delta over the domain-global registry, where a later boot re-registers
+   same-named sets. *)
+let accesses_of sys =
+  List.fold_left
+    (fun acc set ->
+      List.fold_left
+        (fun a (n, v) -> if n = "accesses" then a + v else a)
+        acc
+        (Tp_obs.Counter.snapshot set))
+    0
+    (Tp_hw.Machine.counter_sets (System.machine sys))
+
+(* ---- the suite -------------------------------------------------- *)
+
+let bench_samples = function Quality.Quick -> 120 | Quality.Full -> 600
+let bench_trials = function Quality.Quick -> 8 | Quality.Full -> 16
+let bench_accesses = function Quality.Quick -> 40_000 | Quality.Full -> 200_000
+
+type exp_spec = {
+  x_name : string;
+  x_run : Quality.t -> seed:int -> trial:int -> Tp_hw.Platform.t -> trial_out;
+}
+
+let channel_trial ~scenario ~prepare ~symbols q ~seed ~trial p =
+  let rng = Tp_util.Rng.of_trial ~seed ~trial in
+  let b = Scenario.boot scenario p in
+  let sender, receiver = prepare b in
+  let spec =
+    {
+      (Tp_attacks.Harness.default_spec p) with
+      Tp_attacks.Harness.samples = bench_samples q;
+      symbols;
+    }
+  in
+  let s = Tp_attacks.Harness.run_pair b ~sender ~receiver spec ~rng in
+  {
+    t_digest = digest_samples s;
+    t_cycles = System.now b.Boot.sys ~core:0;
+    t_accesses = accesses_of b.Boot.sys;
+  }
+
+let suite =
+  [
+    {
+      x_name = "kernel-chan";
+      x_run =
+        (fun q ~seed ~trial p ->
+          channel_trial ~scenario:Scenario.Coloured_only
+            ~prepare:Tp_attacks.Kernel_chan.prepare
+            ~symbols:Tp_attacks.Kernel_chan.symbols q ~seed ~trial p);
+    };
+    {
+      x_name = "l1d-chan";
+      x_run =
+        (fun q ~seed ~trial p ->
+          let chan = Tp_attacks.Cache_channels.l1d in
+          channel_trial ~scenario:Scenario.Raw
+            ~prepare:chan.Tp_attacks.Cache_channels.prepare
+            ~symbols:chan.Tp_attacks.Cache_channels.symbols q ~seed ~trial p);
+    };
+    {
+      x_name = "flush-chan";
+      x_run =
+        (fun q ~seed ~trial p ->
+          channel_trial ~scenario:Scenario.Protected_no_pad
+            ~prepare:(Tp_attacks.Flush_chan.prepare Tp_attacks.Flush_chan.Offline)
+            ~symbols:Tp_attacks.Flush_chan.symbols q ~seed ~trial p);
+    };
+    {
+      x_name = "splash-solo";
+      x_run =
+        (fun q ~seed ~trial p ->
+          let w = List.hd Tp_workloads.Splash.all in
+          let b =
+            Boot.boot ~colour_percent:100 ~domains:1 ~platform:p
+              ~config:Config.raw ()
+          in
+          let rng = Tp_util.Rng.of_trial ~seed ~trial in
+          let cycles =
+            Tp_workloads.Splash.run_alone b b.Boot.domains.(0) w
+              ~accesses:(bench_accesses q) ~rng
+          in
+          {
+            t_digest = digest_string (string_of_int cycles);
+            t_cycles = cycles;
+            t_accesses = accesses_of b.Boot.sys;
+          });
+    };
+  ]
+
+(* ---- running ---------------------------------------------------- *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let run_exp q ~seed ~jobs p x =
+  let n = bench_trials q in
+  let trial i = x.x_run q ~seed ~trial:i p in
+  let seq, wall_seq = time (fun () -> Tp_par.Pool.run ~jobs:1 n trial) in
+  let par, wall_par = time (fun () -> Tp_par.Pool.run ~jobs n trial) in
+  let det = seq = par in
+  let cycles = Array.fold_left (fun a t -> a + t.t_cycles) 0 par in
+  let accesses = Array.fold_left (fun a t -> a + t.t_accesses) 0 par in
+  let per denom v = if denom > 0.0 then float_of_int v /. denom else 0.0 in
+  {
+    r_name = x.x_name;
+    r_platform = p.Tp_hw.Platform.name;
+    r_trials = n;
+    r_wall_seq = wall_seq;
+    r_wall_par = wall_par;
+    r_speedup = (if wall_par > 0.0 then wall_seq /. wall_par else 1.0);
+    r_cycles = cycles;
+    r_accesses = accesses;
+    r_cycles_per_sec = per wall_par cycles;
+    r_accesses_per_sec = per wall_par accesses;
+    r_deterministic = det;
+  }
+
+let max_rss_kib () =
+  try
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rss = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+               Scanf.sscanf
+                 (String.sub line 6 (String.length line - 6))
+                 " %d" (fun v -> rss := v)
+           done
+         with End_of_file -> ());
+        !rss)
+  with Sys_error _ -> 0
+
+(* ---- JSON out --------------------------------------------------- *)
+
+let json_of_results ~jobs ~quality results =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\n  \"schema\": \"tpsim-bench/1\",\n  \"jobs\": %d,\n  \"quality\": \
+        \"%s\",\n  \"max_rss_kib\": %d,\n  \"experiments\": [\n"
+       jobs quality (max_rss_kib ()));
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"platform\": \"%s\", \"trials\": %d,\n\
+           \     \"wall_s_seq\": %.6f, \"wall_s\": %.6f, \"speedup\": %.3f,\n\
+           \     \"cycles\": %d, \"accesses\": %d,\n\
+           \     \"cycles_per_sec\": %.1f, \"accesses_per_sec\": %.1f,\n\
+           \     \"deterministic\": %b}%s\n"
+           r.r_name r.r_platform r.r_trials r.r_wall_seq r.r_wall_par
+           r.r_speedup r.r_cycles r.r_accesses r.r_cycles_per_sec
+           r.r_accesses_per_sec r.r_deterministic
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+(* ---- minimal JSON reader (for the baseline file) ---------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !i)) in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let skip_ws () =
+    while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr i
+    done
+  in
+  let expect c =
+    if !i < n && s.[!i] = c then incr i
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then fail "unterminated string";
+      match s.[!i] with
+      | '"' -> incr i
+      | '\\' ->
+          incr i;
+          if !i >= n then fail "unterminated escape";
+          (match s.[!i] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | c -> fail (Printf.sprintf "unsupported escape '\\%c'" c));
+          incr i;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr i;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        incr i;
+        skip_ws ();
+        if peek () = Some '}' then (incr i; Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr i; members ((k, v) :: acc)
+            | Some '}' -> incr i; List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        incr i;
+        skip_ws ();
+        if peek () = Some ']' then (incr i; Arr [])
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr i; elems (v :: acc)
+            | Some ']' -> incr i; List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elems [])
+        end
+    | Some 't' -> i := !i + 4; Bool true
+    | Some 'f' -> i := !i + 5; Bool false
+    | Some 'n' -> i := !i + 4; Null
+    | Some _ ->
+        let j = ref !i in
+        while
+          !j < n
+          && (match s.[!j] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr j
+        done;
+        if !j = !i then fail "expected a value";
+        let num = String.sub s !i (!j - !i) in
+        i := !j;
+        (match float_of_string_opt num with
+        | Some f -> Num f
+        | None -> fail "bad number")
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !i <> n then fail "trailing garbage";
+  v
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+(* ---- baseline gate ---------------------------------------------- *)
+
+type regression = {
+  g_name : string;
+  g_platform : string;
+  g_current : float;
+  g_baseline : float;
+  g_drop_pct : float;
+}
+
+let check_baseline ~max_regress ~baseline results =
+  let base_exps =
+    match member "experiments" baseline with Some (Arr l) -> l | _ -> []
+  in
+  let lookup name platform =
+    List.find_map
+      (fun e ->
+        match (member "name" e, member "platform" e, member "accesses_per_sec" e) with
+        | Some (Str n), Some (Str p), Some (Num v)
+          when n = name && p = platform ->
+            Some v
+        | _ -> None)
+      base_exps
+  in
+  List.filter_map
+    (fun r ->
+      match lookup r.r_name r.r_platform with
+      | None -> None
+      | Some base when base <= 0.0 -> None
+      | Some base ->
+          let drop = 100.0 *. (1.0 -. (r.r_accesses_per_sec /. base)) in
+          if drop > max_regress then
+            Some
+              {
+                g_name = r.r_name;
+                g_platform = r.r_platform;
+                g_current = r.r_accesses_per_sec;
+                g_baseline = base;
+                g_drop_pct = drop;
+              }
+          else None)
+    results
+
+(* ---- entry point ------------------------------------------------ *)
+
+let quality_name = function Quality.Quick -> "quick" | Quality.Full -> "full"
+
+let run q ~seed ~jobs ~platforms ~json_out ~baseline ~max_regress () =
+  (* Throughput counts simulator work units, so the counters must be
+     live; toggled here, outside any parallel region (Tp_obs.Ctl). *)
+  let counters_were_on = Tp_obs.Ctl.counters_on () in
+  Tp_obs.Ctl.set_counters true;
+  let results =
+    List.concat_map
+      (fun p -> List.map (fun x -> run_exp q ~seed ~jobs p x) suite)
+      platforms
+  in
+  if not counters_were_on then Tp_obs.Ctl.set_counters false;
+  Format.printf "tpsim bench: %d jobs, quality %s, seed %d@." jobs
+    (quality_name q) seed;
+  List.iter
+    (fun r ->
+      Format.printf
+        "  %-12s %-8s %2d trials  %7.3fs seq  %7.3fs par  %5.2fx  %10.0f \
+         acc/s  %s@."
+        r.r_name r.r_platform r.r_trials r.r_wall_seq r.r_wall_par r.r_speedup
+        r.r_accesses_per_sec
+        (if r.r_deterministic then "bit-identical" else "MISMATCH"))
+    results;
+  let nondet = List.filter (fun r -> not r.r_deterministic) results in
+  List.iter
+    (fun r ->
+      Printf.eprintf
+        "tpsim bench: FAIL %s/%s: parallel output differs from sequential\n%!"
+        r.r_name r.r_platform)
+    nondet;
+  (match json_out with
+  | None -> ()
+  | Some f ->
+      let oc = open_out f in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (json_of_results ~jobs ~quality:(quality_name q) results));
+      Printf.eprintf "tpsim bench: wrote %s\n%!" f);
+  let regressions =
+    match baseline with
+    | None -> []
+    | Some f -> (
+        match
+          let ic = open_in f in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> parse_json (In_channel.input_all ic))
+        with
+        | j -> check_baseline ~max_regress ~baseline:j results
+        | exception (Sys_error msg | Bad_json msg) ->
+            Printf.eprintf "tpsim bench: cannot read baseline %s: %s\n%!" f msg;
+            [])
+  in
+  List.iter
+    (fun g ->
+      Printf.eprintf
+        "tpsim bench: REGRESSION %s/%s: %.0f accesses/s vs baseline %.0f \
+         (-%.1f%% > %.1f%% allowed)\n%!"
+        g.g_name g.g_platform g.g_current g.g_baseline g.g_drop_pct max_regress)
+    regressions;
+  if nondet <> [] || regressions <> [] then 1 else 0

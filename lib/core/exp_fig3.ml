@@ -42,8 +42,15 @@ let run_side q ~seed kind p =
   }
 
 let run q ~seed p =
+  (* The two sides are independent trials (own boot, own seed): fan
+     them out on the pool. *)
+  let sides =
+    Tp_par.Pool.run 2 (fun i ->
+        if i = 0 then run_side q ~seed Scenario.Coloured_only p
+        else run_side q ~seed:(seed + 1) Scenario.Protected p)
+  in
   {
     platform = p.Tp_hw.Platform.name;
-    coloured_only = run_side q ~seed Scenario.Coloured_only p;
-    protected_ = run_side q ~seed:(seed + 1) Scenario.Protected p;
+    coloured_only = sides.(0);
+    protected_ = sides.(1);
   }

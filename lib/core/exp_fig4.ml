@@ -9,14 +9,21 @@ let key_bits = function Quality.Quick -> 48 | Quality.Full -> 160
 
 let run q ~seed p =
   let bits = key_bits q in
-  let raw_trace =
-    let rng = Tp_util.Rng.create ~seed in
-    Tp_attacks.Crypto.run (Scenario.boot Scenario.Raw p) ~key_bits:bits ~rng
+  (* Raw and protected runs are independent (own boot, own seed). *)
+  let traces =
+    Tp_par.Pool.run 2 (fun i ->
+        if i = 0 then
+          let rng = Tp_util.Rng.create ~seed in
+          Tp_attacks.Crypto.run (Scenario.boot Scenario.Raw p) ~key_bits:bits
+            ~rng
+        else
+          let rng = Tp_util.Rng.create ~seed:(seed + 1) in
+          Tp_attacks.Crypto.run
+            (Scenario.boot Scenario.Protected p)
+            ~key_bits:bits ~rng)
   in
-  let protected_trace =
-    let rng = Tp_util.Rng.create ~seed:(seed + 1) in
-    Tp_attacks.Crypto.run (Scenario.boot Scenario.Protected p) ~key_bits:bits ~rng
-  in
+  let raw_trace = traces.(0) in
+  let protected_trace = traces.(1) in
   {
     platform = p.Tp_hw.Platform.name;
     raw_trace;

@@ -24,8 +24,14 @@ let measure q ~seed kind p =
   (samples, Tp_channel.Leakage.test ~rng samples)
 
 let run q ~seed p =
-  let raw_samples, raw_leak = measure q ~seed Scenario.Raw p in
-  let _, protected_leak = measure q ~seed:(seed + 1) Scenario.Protected p in
+  (* Both measures are independent trials (own boot, own seed). *)
+  let measures =
+    Tp_par.Pool.run 2 (fun i ->
+        if i = 0 then measure q ~seed Scenario.Raw p
+        else measure q ~seed:(seed + 1) Scenario.Protected p)
+  in
+  let raw_samples, raw_leak = measures.(0) in
+  let _, protected_leak = measures.(1) in
   let raw_series =
     Array.init
       (Array.length raw_samples.Tp_channel.Mi.input)

@@ -38,22 +38,42 @@ let run_fig7 ?workloads q ~seed p =
   let accesses = Quality.workload_accesses q in
   let coloured = { Config.raw with Config.colour_user = true } in
   let cloned = { Config.raw with Config.colour_user = true; clone_kernel = true } in
+  let wls = selected workloads in
+  (* Flatten the workload x configuration grid into independent solo
+     runs (each boots its own system), fan out, regroup per row. *)
+  let variants =
+    [
+      (Config.raw, 100);
+      (coloured, 75);
+      (coloured, 50);
+      (cloned, 100);
+      (cloned, 75);
+      (cloned, 50);
+    ]
+  in
+  let n_var = List.length variants in
+  let units =
+    List.concat_map (fun w -> List.map (fun v -> (w, v)) variants) wls
+  in
+  let cycles =
+    Array.of_list
+      (Tp_par.Pool.map_list units (fun _ (w, (config, cp)) ->
+           solo_cycles ~seed p config ~colour_percent:cp w ~accesses))
+  in
   let rows =
-    List.map
-      (fun w ->
-        let base =
-          solo_cycles ~seed p Config.raw ~colour_percent:100 w ~accesses
-        in
-        let s config cp = pct base (solo_cycles ~seed p config ~colour_percent:cp w ~accesses) in
+    List.mapi
+      (fun i w ->
+        let base = cycles.(i * n_var) in
+        let s k = pct base cycles.((i * n_var) + k) in
         {
           workload = w.Tp_workloads.Splash.name;
-          base_75 = s coloured 75;
-          base_50 = s coloured 50;
-          clone_100 = s cloned 100;
-          clone_75 = s cloned 75;
-          clone_50 = s cloned 50;
+          base_75 = s 1;
+          base_50 = s 2;
+          clone_100 = s 3;
+          clone_75 = s 4;
+          clone_50 = s 5;
         })
-      (selected workloads)
+      wls
   in
   let gm f = ratio_geomean (List.map f rows) in
   {
@@ -120,18 +140,24 @@ let run_table8 ?workloads q ~seed p =
   in
   (* Overhead = throughput loss vs. the raw time-shared system. *)
   let pct_thr base v = 100.0 *. ((base /. v) -. 1.0) in
+  let wls = selected workloads in
+  let cfgs = [ Config.raw; protected_nopad; protected_pad ] in
+  let units = List.concat_map (fun w -> List.map (fun c -> (w, c)) cfgs) wls in
+  let thr =
+    Array.of_list
+      (Tp_par.Pool.map_list units (fun _ (w, config) ->
+           timeshared_throughput ~seed p config w))
+  in
   let rows =
-    List.map
-      (fun w ->
-        let base = timeshared_throughput ~seed p Config.raw w in
-        let no_pad = timeshared_throughput ~seed p protected_nopad w in
-        let pad = timeshared_throughput ~seed p protected_pad w in
+    List.mapi
+      (fun i w ->
+        let base = thr.(i * 3) in
         {
           workload = w.Tp_workloads.Splash.name;
-          no_pad_pct = pct_thr base no_pad;
-          pad_pct = pct_thr base pad;
+          no_pad_pct = pct_thr base thr.((i * 3) + 1);
+          pad_pct = pct_thr base thr.((i * 3) + 2);
         })
-      (selected workloads)
+      wls
   in
   let by f = List.map f rows in
   let pick cmp sel =

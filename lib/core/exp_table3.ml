@@ -32,25 +32,42 @@ let run ?channels q ~seed p =
           (fun c -> List.mem c.Tp_attacks.Cache_channels.name names)
           chans
   in
+  let scenarios_for name =
+    Scenario.table3_set
+    @
+    (* The paper's diagnosis of the x86 L2 residual channel:
+       disabling the prefetcher (§5.3.2). *)
+    if name = "L2" && p.Tp_hw.Platform.prefetcher_slots > 0 then
+      [ Scenario.Protected_no_prefetcher ]
+    else []
+  in
+  (* Flatten the channel x scenario grid into independent trials (each
+     boots its own system and derives its seed from its grid position),
+     fan out on the pool, then regroup in grid order. *)
+  let units =
+    List.concat
+      (List.mapi
+         (fun i chan ->
+           List.mapi
+             (fun j kind -> (i, chan, j, kind))
+             (scenarios_for chan.Tp_attacks.Cache_channels.name))
+         chans)
+  in
+  let cells =
+    Tp_par.Pool.map_list units (fun _ (i, chan, j, kind) ->
+        measure q ~seed:(seed + (i * 13) + j) kind p chan)
+  in
+  let tagged = List.combine units cells in
   let rows =
     List.mapi
       (fun i chan ->
-        let name = chan.Tp_attacks.Cache_channels.name in
-        let scenarios =
-          Scenario.table3_set
-          @
-          (* The paper's diagnosis of the x86 L2 residual channel:
-             disabling the prefetcher (§5.3.2). *)
-          if name = "L2" && p.Tp_hw.Platform.prefetcher_slots > 0 then
-            [ Scenario.Protected_no_prefetcher ]
-          else []
-        in
-        let cells =
-          List.mapi
-            (fun j kind -> measure q ~seed:(seed + (i * 13) + j) kind p chan)
-            scenarios
-        in
-        { channel = name; cells })
+        {
+          channel = chan.Tp_attacks.Cache_channels.name;
+          cells =
+            List.filter_map
+              (fun ((i', _, _, _), c) -> if i' = i then Some c else None)
+              tagged;
+        })
       chans
   in
   { platform = p.Tp_hw.Platform.name; rows }

@@ -30,28 +30,43 @@ let obs_name = function
   | Tp_attacks.Flush_chan.Online -> "Online"
   | Tp_attacks.Flush_chan.Offline -> "Offline"
 
+let combos =
+  [
+    (false, Tp_attacks.Flush_chan.Online);
+    (false, Tp_attacks.Flush_chan.Offline);
+    (true, Tp_attacks.Flush_chan.Online);
+    (true, Tp_attacks.Flush_chan.Offline);
+  ]
+
 let run q ~seed p =
-  let cells = ref [] in
-  let fig5 = ref [||] in
-  List.iteri
-    (fun i (padded, obs) ->
-      let samples, leak = measure q ~seed:(seed + i) ~padded obs p in
-      cells := { observable = obs_name obs; padded; leak } :: !cells;
-      if (not padded) && obs = Tp_attacks.Flush_chan.Offline then
-        fig5 :=
-          Array.init
-            (Array.length samples.Tp_channel.Mi.input)
-            (fun k ->
-              (samples.Tp_channel.Mi.input.(k), samples.Tp_channel.Mi.output.(k))))
-    [
-      (false, Tp_attacks.Flush_chan.Online);
-      (false, Tp_attacks.Flush_chan.Offline);
-      (true, Tp_attacks.Flush_chan.Online);
-      (true, Tp_attacks.Flush_chan.Offline);
-    ];
+  (* Each cell boots its own system with a seed derived from its
+     position: independent trials, fanned out on the pool. *)
+  let measured =
+    Tp_par.Pool.map_list combos (fun i (padded, obs) ->
+        (padded, obs, measure q ~seed:(seed + i) ~padded obs p))
+  in
+  let cells =
+    List.map
+      (fun (padded, obs, (_, leak)) -> { observable = obs_name obs; padded; leak })
+      measured
+  in
+  let fig5 =
+    match
+      List.find_opt
+        (fun (padded, obs, _) ->
+          (not padded) && obs = Tp_attacks.Flush_chan.Offline)
+        measured
+    with
+    | Some (_, _, (samples, _)) ->
+        Array.init
+          (Array.length samples.Tp_channel.Mi.input)
+          (fun k ->
+            (samples.Tp_channel.Mi.input.(k), samples.Tp_channel.Mi.output.(k)))
+    | None -> [||]
+  in
   {
     platform = p.Tp_hw.Platform.name;
     pad_us = Tp_kernel.Config.pad_us p;
-    cells = List.rev !cells;
-    fig5_series = !fig5;
+    cells;
+    fig5_series = fig5;
   }

@@ -37,29 +37,40 @@ let measure_pair q sys b dom_a dom_b ~use_initial_kernel =
   (System.now sys ~core:0 - t0) / (2 * reps)
 
 let run q p =
-  let original =
-    let b = Boot.boot ~platform:p ~config:Config.raw ~domains:1 () in
-    measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(0)
-      ~use_initial_kernel:true
+  (* The four variants each boot their own system: independent trials,
+     fanned out on the pool. *)
+  let variants =
+    Tp_par.Pool.run 4 (fun i ->
+        match i with
+        | 0 ->
+            let b = Boot.boot ~platform:p ~config:Config.raw ~domains:1 () in
+            measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(0)
+              ~use_initial_kernel:true
+        | 1 ->
+            (* Kernel built for time protection (no global kernel
+               mappings) but not using it: everything still runs on the
+               initial kernel. *)
+            let cfg = { Config.raw with Config.clone_kernel = true } in
+            let b = Boot.boot ~platform:p ~config:cfg ~domains:1 () in
+            measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(0)
+              ~use_initial_kernel:true
+        | 2 ->
+            let b =
+              Boot.boot ~platform:p ~config:(Config.protected_ p) ~domains:1 ()
+            in
+            measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(0)
+              ~use_initial_kernel:false
+        | _ ->
+            let b =
+              Boot.boot ~platform:p ~config:(Config.protected_ p) ~domains:2 ()
+            in
+            measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(1)
+              ~use_initial_kernel:false)
   in
-  let colour_ready =
-    (* Kernel built for time protection (no global kernel mappings) but
-       not using it: everything still runs on the initial kernel. *)
-    let cfg = { Config.raw with Config.clone_kernel = true } in
-    let b = Boot.boot ~platform:p ~config:cfg ~domains:1 () in
-    measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(0)
-      ~use_initial_kernel:true
-  in
-  let intra_colour =
-    let b = Boot.boot ~platform:p ~config:(Config.protected_ p) ~domains:1 () in
-    measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(0)
-      ~use_initial_kernel:false
-  in
-  let inter_colour =
-    let b = Boot.boot ~platform:p ~config:(Config.protected_ p) ~domains:2 () in
-    measure_pair q b.Boot.sys b b.Boot.domains.(0) b.Boot.domains.(1)
-      ~use_initial_kernel:false
-  in
+  let original = variants.(0) in
+  let colour_ready = variants.(1) in
+  let intra_colour = variants.(2) in
+  let inter_colour = variants.(3) in
   let pct v =
     100.0 *. (float_of_int v -. float_of_int original) /. float_of_int original
   in

@@ -80,13 +80,24 @@ let mode_label = function
 
 let run q p =
   let wls = workloads p in
+  (* Flatten the mode x workload grid into independent cells (each
+     boots its own system), fan out, regroup per mode. *)
+  let units =
+    List.concat_map (fun kind -> List.map (fun wl -> (kind, wl)) wls) modes
+  in
+  let measured =
+    Tp_par.Pool.map_list units (fun _ (kind, (name, spec)) ->
+        (kind, name, measure_one q kind p spec))
+  in
   let rows =
     List.map
       (fun kind ->
         {
           mode = mode_label kind;
           us_by_workload =
-            List.map (fun (name, spec) -> (name, measure_one q kind p spec)) wls;
+            List.filter_map
+              (fun (k, n, v) -> if k = kind then Some (n, v) else None)
+              measured;
         })
       modes
   in

@@ -8,6 +8,8 @@ let colours g = max 1 (sets g * g.line / Defs.page_size)
 type t = {
   g : geometry;
   n_sets : int;
+  n_ways : int; (* copy of g.ways, one load instead of two on the hot path *)
+  way_mask : int; (* (1 lsl ways) - 1 *)
   line_bits : int;
   (* Flat arrays indexed by set * ways + way. tag = -1 means invalid. *)
   tags : int array;
@@ -16,6 +18,10 @@ type t = {
   mutable clock : int;
   mutable n_dirty : int;
   mutable n_valid : int;
+  (* Victim of the last allocating miss, so the allocation-free access
+     variants can report evictions without boxing a result. *)
+  mutable ev_line : int;
+  mutable ev_dirty : bool;
   (* Observability only: never read by the model itself. *)
   st : Tp_obs.Counter.set;
   st_hits : Tp_obs.Counter.t;
@@ -45,6 +51,8 @@ let create ?(name = "cache") g =
   {
     g;
     n_sets;
+    n_ways = g.ways;
+    way_mask = (1 lsl g.ways) - 1;
     line_bits = Defs.log2 g.line;
     tags = Array.make n (-1);
     dirty = Array.make n false;
@@ -52,6 +60,8 @@ let create ?(name = "cache") g =
     clock = 0;
     n_dirty = 0;
     n_valid = 0;
+    ev_line = -1;
+    ev_dirty = false;
     st;
     st_hits;
     st_misses;
@@ -76,73 +86,123 @@ let tag_of t ~paddr = paddr lsr t.line_bits
 
 type result = Hit | Miss of { evicted_dirty : bool; evicted : int }
 
+(* Way search, unrolled for the associativities the platforms actually
+   use.  unsafe_get is safe by construction: the arrays hold
+   [n_sets * ways] entries, [set] is masked by the pow-2 [n_sets - 1]
+   and [w < ways], so [base + w] cannot escape. *)
 let find_way t set tag =
-  let base = set * t.g.ways in
-  let rec go w =
-    if w = t.g.ways then -1
-    else if t.tags.(base + w) = tag then base + w
-    else go (w + 1)
-  in
-  go 0
+  let tags = t.tags in
+  let base = set * t.n_ways in
+  match t.n_ways with
+  | 1 -> if Array.unsafe_get tags base = tag then base else -1
+  | 2 ->
+      if Array.unsafe_get tags base = tag then base
+      else if Array.unsafe_get tags (base + 1) = tag then base + 1
+      else -1
+  | 4 ->
+      if Array.unsafe_get tags base = tag then base
+      else if Array.unsafe_get tags (base + 1) = tag then base + 1
+      else if Array.unsafe_get tags (base + 2) = tag then base + 2
+      else if Array.unsafe_get tags (base + 3) = tag then base + 3
+      else -1
+  | 8 ->
+      if Array.unsafe_get tags base = tag then base
+      else if Array.unsafe_get tags (base + 1) = tag then base + 1
+      else if Array.unsafe_get tags (base + 2) = tag then base + 2
+      else if Array.unsafe_get tags (base + 3) = tag then base + 3
+      else if Array.unsafe_get tags (base + 4) = tag then base + 4
+      else if Array.unsafe_get tags (base + 5) = tag then base + 5
+      else if Array.unsafe_get tags (base + 6) = tag then base + 6
+      else if Array.unsafe_get tags (base + 7) = tag then base + 7
+      else -1
+  | ways ->
+      let rec go w =
+        if w = ways then -1
+        else if Array.unsafe_get tags (base + w) = tag then base + w
+        else go (w + 1)
+      in
+      go 0
 
 (* LRU victim within the ways allowed by [mask] (a bitmask over way
-   indices); invalid allowed ways are preferred outright. *)
+   indices).  The first invalid allowed way wins outright — LRU order
+   among invalid ways is meaningless, so there is no reason to keep
+   scanning once one is found. *)
 let lru_way t set mask =
-  let base = set * t.g.ways in
+  let base = set * t.n_ways in
+  let tags = t.tags and age = t.age in
   let best = ref (-1) in
-  for w = 0 to t.g.ways - 1 do
-    if mask land (1 lsl w) <> 0 then begin
-      let i = base + w in
-      if !best = -1 then best := i
-      else if t.tags.(i) = -1 then begin
-        if t.tags.(!best) <> -1 || t.age.(i) < t.age.(!best) then best := i
-      end
-      else if t.tags.(!best) <> -1 && t.age.(i) < t.age.(!best) then best := i
-    end
+  let found = ref (-1) in
+  let w = ref 0 in
+  while !found < 0 && !w < t.n_ways do
+    (if mask land (1 lsl !w) <> 0 then begin
+       let i = base + !w in
+       if Array.unsafe_get tags i = -1 then found := i
+       else if !best < 0 || Array.unsafe_get age i < Array.unsafe_get age !best
+       then best := i
+     end);
+    incr w
   done;
-  assert (!best >= 0);
-  !best
+  if !found >= 0 then !found
+  else begin
+    assert (!best >= 0);
+    !best
+  end
 
 let touch t i =
   t.clock <- t.clock + 1;
-  t.age.(i) <- t.clock
+  Array.unsafe_set t.age i t.clock
 
-let alloc t set tag ~dirty ~mask =
+let alloc t set tag ~dirty ~mask ~obs =
   let i = lru_way t set mask in
-  let evicted_dirty = t.tags.(i) <> -1 && t.dirty.(i) in
-  let evicted = if t.tags.(i) = -1 then -1 else t.tags.(i) lsl t.line_bits in
-  if evicted_dirty then Tp_obs.Counter.incr t.st_writebacks;
-  if t.tags.(i) = -1 then t.n_valid <- t.n_valid + 1;
-  if evicted_dirty then t.n_dirty <- t.n_dirty - 1;
-  t.tags.(i) <- tag;
-  t.dirty.(i) <- dirty;
+  let old = Array.unsafe_get t.tags i in
+  let evicted_dirty = old <> -1 && Array.unsafe_get t.dirty i in
+  t.ev_dirty <- evicted_dirty;
+  t.ev_line <- (if old = -1 then -1 else old lsl t.line_bits);
+  if evicted_dirty then begin
+    if obs then Tp_obs.Counter.incr_unchecked t.st_writebacks;
+    t.n_dirty <- t.n_dirty - 1
+  end;
+  if old = -1 then t.n_valid <- t.n_valid + 1;
+  Array.unsafe_set t.tags i tag;
+  Array.unsafe_set t.dirty i dirty;
   if dirty then t.n_dirty <- t.n_dirty + 1;
-  touch t i;
-  (evicted_dirty, evicted)
+  touch t i
 
-let access_masked t ~alloc_ways ~vaddr ~paddr ~write =
-  let mask =
-    let m = alloc_ways land ((1 lsl t.g.ways) - 1) in
-    assert (m <> 0);
-    m
-  in
+(* Allocation-free access: returns [true] on hit; on miss the victim is
+   left in [ev_line]/[ev_dirty] ({!last_evicted}/{!last_evicted_dirty})
+   instead of a boxed [Miss] record.  One counters_on check covers
+   every recording of the access. *)
+let access_masked_fast t ~alloc_ways ~vaddr ~paddr ~write =
+  let mask = alloc_ways land t.way_mask in
+  assert (mask <> 0);
+  let obs = Tp_obs.Ctl.counters_on () in
   let set = set_of t ~vaddr ~paddr in
   let tag = tag_of t ~paddr in
   let i = find_way t set tag in
   if i >= 0 then begin
-    Tp_obs.Counter.incr t.st_hits;
+    if obs then Tp_obs.Counter.incr_unchecked t.st_hits;
     touch t i;
-    if write && not t.dirty.(i) then begin
-      t.dirty.(i) <- true;
+    if write && not (Array.unsafe_get t.dirty i) then begin
+      Array.unsafe_set t.dirty i true;
       t.n_dirty <- t.n_dirty + 1
     end;
-    Hit
+    true
   end
   else begin
-    Tp_obs.Counter.incr t.st_misses;
-    let evicted_dirty, evicted = alloc t set tag ~dirty:write ~mask in
-    Miss { evicted_dirty; evicted }
+    if obs then Tp_obs.Counter.incr_unchecked t.st_misses;
+    alloc t set tag ~dirty:write ~mask ~obs;
+    false
   end
+
+let access_fast t ~vaddr ~paddr ~write =
+  access_masked_fast t ~alloc_ways:max_int ~vaddr ~paddr ~write
+
+let last_evicted t = t.ev_line
+let last_evicted_dirty t = t.ev_dirty
+
+let access_masked t ~alloc_ways ~vaddr ~paddr ~write =
+  if access_masked_fast t ~alloc_ways ~vaddr ~paddr ~write then Hit
+  else Miss { evicted_dirty = t.ev_dirty; evicted = t.ev_line }
 
 let access t ~vaddr ~paddr ~write =
   access_masked t ~alloc_ways:max_int ~vaddr ~paddr ~write
@@ -151,17 +211,21 @@ let probe t ~vaddr ~paddr =
   let set = set_of t ~vaddr ~paddr in
   find_way t set (tag_of t ~paddr) >= 0
 
-let insert_clean t ~vaddr ~paddr =
+let insert_clean_fast t ~vaddr ~paddr =
   let set = set_of t ~vaddr ~paddr in
   let tag = tag_of t ~paddr in
   let i = find_way t set tag in
-  if i >= 0 then Hit
+  if i >= 0 then true
   else begin
     Tp_obs.Counter.incr t.st_prefetch_fills;
-    let mask = (1 lsl t.g.ways) - 1 in
-    let evicted_dirty, evicted = alloc t set tag ~dirty:false ~mask in
-    Miss { evicted_dirty; evicted }
+    alloc t set tag ~dirty:false ~mask:t.way_mask
+      ~obs:(Tp_obs.Ctl.counters_on ());
+    false
   end
+
+let insert_clean t ~vaddr ~paddr =
+  if insert_clean_fast t ~vaddr ~paddr then Hit
+  else Miss { evicted_dirty = t.ev_dirty; evicted = t.ev_line }
 
 let invalidate_line t ~vaddr ~paddr =
   let set = set_of t ~vaddr ~paddr in

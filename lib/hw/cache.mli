@@ -66,6 +66,33 @@ val access_masked :
     disjoint masks partition the cache by associativity instead of by
     page colour. *)
 
+(** {2 Allocation-free access}
+
+    The per-access hot path of the whole simulator.  The [_fast]
+    variants return a bare [bool] (hit?) instead of boxing a {!result};
+    on a miss the victim is available from {!last_evicted} /
+    {!last_evicted_dirty} until the next allocating operation on the
+    same cache.  {!access}/{!access_masked} are thin wrappers kept for
+    callers that want the summary value. *)
+
+val access_fast : t -> vaddr:int -> paddr:int -> write:bool -> bool
+(** [true] = hit.  Semantics of {!access}, without the result box. *)
+
+val access_masked_fast :
+  t -> alloc_ways:int -> vaddr:int -> paddr:int -> write:bool -> bool
+(** [true] = hit.  Semantics of {!access_masked}, without the box. *)
+
+val insert_clean_fast : t -> vaddr:int -> paddr:int -> bool
+(** [true] = already present.  Semantics of {!insert_clean}. *)
+
+val last_evicted : t -> int
+(** Physical line address evicted by the most recent allocating miss
+    ([-1] if it filled an invalid way).  Only meaningful directly after
+    a [_fast] call returned [false]. *)
+
+val last_evicted_dirty : t -> bool
+(** Whether that victim needed write-back. *)
+
 val probe : t -> vaddr:int -> paddr:int -> bool
 (** Non-allocating presence check (true = would hit). Does not touch
     LRU state; used by tests and by snooping logic, never by attacker

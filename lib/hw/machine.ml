@@ -9,6 +9,10 @@ type core_state = {
   bhb : Bhb.t;
   prefetcher : Prefetcher.t option;
   mutable cycles : int;
+  (* Cycles the last TLB walk already charged to [cycles] itself, so
+     [access] can report a total latency without double-charging and
+     without boxing a result tuple on the per-access path. *)
+  mutable walk_charged : int;
   (* Core-level performance counters (observability only; the model
      never reads them back, see Tp_obs.Ctl). *)
   st : Tp_obs.Counter.set;
@@ -70,6 +74,7 @@ let create platform =
                 ~degree:platform.prefetcher_degree ())
          else None);
       cycles = 0;
+      walk_charged = 0;
       st;
       st_accesses;
       st_l2tlb_hits;
@@ -174,13 +179,15 @@ let back_invalidate t line_paddr =
 let shared_access t ~core_id ~llc_ways ~paddr ~write =
   let c = core t core_id in
   let p = t.platform in
-  match Cache.access_masked t.llc ~alloc_ways:llc_ways ~vaddr:paddr ~paddr ~write with
-  | Cache.Hit -> p.Platform.lat_llc
-  | Cache.Miss { evicted_dirty; evicted } ->
-      back_invalidate t evicted;
-      let bus_delay = Interconnect.record t.bus ~core:core_id ~now:c.cycles in
-      let wb = if evicted_dirty then wb_cost_per_line else 0 in
-      p.Platform.lat_llc + Dram.access t.dram ~paddr + wb + bus_delay
+  if Cache.access_masked_fast t.llc ~alloc_ways:llc_ways ~vaddr:paddr ~paddr ~write
+  then p.Platform.lat_llc
+  else begin
+    let evicted_dirty = Cache.last_evicted_dirty t.llc in
+    back_invalidate t (Cache.last_evicted t.llc);
+    let bus_delay = Interconnect.record t.bus ~core:core_id ~now:c.cycles in
+    let wb = if evicted_dirty then wb_cost_per_line else 0 in
+    p.Platform.lat_llc + Dram.access t.dram ~paddr + wb + bus_delay
+  end
 
 (* Issue prefetches suggested by the stream prefetcher: insert into the
    private L2 and the (inclusive) LLC. *)
@@ -190,34 +197,33 @@ let issue_prefetches t ~core_id ~llc_ways pf_addrs =
   List.fold_left
     (fun cost pf ->
       (match c.l2 with
-      | Some l2 -> begin
-          match Cache.insert_clean l2 ~vaddr:pf ~paddr:pf with
-          | Cache.Hit | Cache.Miss _ -> ()
-        end
+      | Some l2 -> ignore (Cache.insert_clean_fast l2 ~vaddr:pf ~paddr:pf)
       | None -> ());
       (* Prefetches allocate under the issuing core's CAT class too. *)
-      (match
-         Cache.access_masked t.llc ~alloc_ways:llc_ways ~vaddr:pf ~paddr:pf
-           ~write:false
-       with
-      | Cache.Hit -> ()
-      | Cache.Miss { evicted; _ } -> back_invalidate t evicted);
+      if
+        not
+          (Cache.access_masked_fast t.llc ~alloc_ways:llc_ways ~vaddr:pf
+             ~paddr:pf ~write:false)
+      then back_invalidate t (Cache.last_evicted t.llc);
       cost + prefetch_issue_cost)
     0 pf_addrs
 
-(* Returns (latency to report, cycles of it already charged by the
-   walk's own memory accesses). *)
+(* Returns the latency to report; cycles of it already charged by the
+   walk's own memory accesses are left in [c.walk_charged] (a scratch
+   field rather than a result tuple: this path runs once per simulated
+   access and must not allocate). *)
 let tlb_latency t ~core_id ~asid ~vpn ~kind ~global ~walk =
   let c = core t core_id in
   let p = t.platform in
+  c.walk_charged <- 0;
   let first = match kind with Defs.Fetch -> c.itlb | Defs.Read | Defs.Write -> c.dtlb in
   match Tlb.access first ~asid ~vpn ~global with
-  | Tlb.Hit -> (0, 0)
+  | Tlb.Hit -> 0
   | Tlb.Miss -> begin
       match Tlb.access c.l2tlb ~asid ~vpn ~global with
       | Tlb.Hit ->
           Tp_obs.Counter.incr c.st_l2tlb_hits;
-          (l2_tlb_hit_extra, 0)
+          l2_tlb_hit_extra
       | Tlb.Miss -> begin
           Tp_obs.Counter.incr c.st_tlb_walks;
           match walk with
@@ -226,10 +232,11 @@ let tlb_latency t ~core_id ~asid ~vpn ~kind ~global ~walk =
                  small fixed TLB-refill overhead comes on top. *)
               let w = f () in
               Tp_obs.Counter.add c.st_walk_cycles w;
-              (w + 10, w)
+              c.walk_charged <- w;
+              w + 10
           | None ->
               Tp_obs.Counter.add c.st_walk_cycles p.Platform.tlb_walk;
-              (p.Platform.tlb_walk, 0)
+              p.Platform.tlb_walk
         end
     end
 
@@ -240,38 +247,40 @@ let access t ~core:core_id ~asid ?(global = false) ?(llc_ways = max_int) ?walk
   let write = match kind with Defs.Write -> true | Defs.Read | Defs.Fetch -> false in
   Tp_obs.Counter.incr c.st_accesses;
   let vpn = Defs.page_of vaddr in
-  let lat_tlb, already_charged =
-    tlb_latency t ~core_id ~asid ~vpn ~kind ~global ~walk
-  in
+  let lat_tlb = tlb_latency t ~core_id ~asid ~vpn ~kind ~global ~walk in
+  let already_charged = c.walk_charged in
   let l1 = match kind with Defs.Fetch -> c.l1i | Defs.Read | Defs.Write -> c.l1d in
   let lat =
-    match Cache.access l1 ~vaddr ~paddr ~write with
-    | Cache.Hit -> p.Platform.lat_l1
-    | Cache.Miss { evicted_dirty; evicted = _ } ->
-        let l1_wb = if evicted_dirty then wb_cost_per_line else 0 in
-        let inner =
-          match c.l2 with
-          | Some l2 -> begin
-              (* The stream prefetcher observes L2 traffic (L1 misses). *)
-              let pf_cost =
-                match c.prefetcher with
-                | Some pf ->
-                    let suggestions =
-                      Prefetcher.on_access pf ~paddr ~line:p.Platform.line
-                    in
-                    issue_prefetches t ~core_id ~llc_ways suggestions
-                | None -> 0
+    if Cache.access_fast l1 ~vaddr ~paddr ~write then p.Platform.lat_l1
+    else begin
+      let l1_wb = if Cache.last_evicted_dirty l1 then wb_cost_per_line else 0 in
+      let inner =
+        match c.l2 with
+        | Some l2 -> begin
+            (* The stream prefetcher observes L2 traffic (L1 misses). *)
+            let pf_cost =
+              match c.prefetcher with
+              | Some pf ->
+                  let suggestions =
+                    Prefetcher.on_access pf ~paddr ~line:p.Platform.line
+                  in
+                  issue_prefetches t ~core_id ~llc_ways suggestions
+              | None -> 0
+            in
+            if Cache.access_fast l2 ~vaddr:paddr ~paddr ~write:false then
+              p.Platform.lat_l2 + pf_cost
+            else begin
+              let l2_wb =
+                if Cache.last_evicted_dirty l2 then wb_cost_per_line else 0
               in
-              match Cache.access l2 ~vaddr:paddr ~paddr ~write:false with
-              | Cache.Hit -> p.Platform.lat_l2 + pf_cost
-              | Cache.Miss { evicted_dirty = l2_dirty; evicted = _ } ->
-                  let l2_wb = if l2_dirty then wb_cost_per_line else 0 in
-                  p.Platform.lat_l2 + l2_wb + pf_cost
-                  + shared_access t ~core_id ~llc_ways ~paddr ~write:false
+              p.Platform.lat_l2 + l2_wb + pf_cost
+              + shared_access t ~core_id ~llc_ways ~paddr ~write:false
             end
-          | None -> shared_access t ~core_id ~llc_ways ~paddr ~write:false
-        in
-        p.Platform.lat_l1 + l1_wb + inner
+          end
+        | None -> shared_access t ~core_id ~llc_ways ~paddr ~write:false
+      in
+      p.Platform.lat_l1 + l1_wb + inner
+    end
   in
   let total = lat_tlb + lat in
   c.cycles <- c.cycles + total - already_charged;

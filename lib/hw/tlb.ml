@@ -51,46 +51,61 @@ type result = Hit | Miss
 
 let set_of t vpn = vpn land (t.n_sets - 1)
 
+(* unsafe_get is in bounds by construction: the arrays hold
+   [n_sets * ways] entries, [set] is masked by the pow-2 [n_sets - 1]
+   and [w < ways]. *)
 let find t ~asid ~vpn =
   let base = set_of t vpn * t.g.ways in
+  let vpns = t.vpns and globals = t.globals and asids = t.asids in
+  let ways = t.g.ways in
   let rec go w =
-    if w = t.g.ways then -1
+    if w = ways then -1
     else begin
       let i = base + w in
-      if t.vpns.(i) = vpn && (t.globals.(i) || t.asids.(i) = asid) then i
+      if
+        Array.unsafe_get vpns i = vpn
+        && (Array.unsafe_get globals i || Array.unsafe_get asids i = asid)
+      then i
       else go (w + 1)
     end
   in
   go 0
 
+(* First invalid way wins outright (LRU among invalids is
+   meaningless); otherwise lowest age. *)
 let lru_way t set =
   let base = set * t.g.ways in
-  let best = ref base in
-  for w = 1 to t.g.ways - 1 do
-    let i = base + w in
-    if t.vpns.(i) = -1 then begin
-      if t.vpns.(!best) <> -1 || t.age.(i) < t.age.(!best) then best := i
-    end
-    else if t.vpns.(!best) <> -1 && t.age.(i) < t.age.(!best) then best := i
-  done;
-  !best
+  let vpns = t.vpns and age = t.age in
+  if Array.unsafe_get vpns base = -1 then base
+  else begin
+    let best = ref base in
+    let found = ref (-1) in
+    let w = ref 1 in
+    while !found < 0 && !w < t.g.ways do
+      let i = base + !w in
+      if Array.unsafe_get vpns i = -1 then found := i
+      else if Array.unsafe_get age i < Array.unsafe_get age !best then best := i;
+      incr w
+    done;
+    if !found >= 0 then !found else !best
+  end
 
 let access t ~asid ~vpn ~global =
   let i = find t ~asid ~vpn in
   t.clock <- t.clock + 1;
   if i >= 0 then begin
     Tp_obs.Counter.incr t.st_hits;
-    t.age.(i) <- t.clock;
+    Array.unsafe_set t.age i t.clock;
     Hit
   end
   else begin
     Tp_obs.Counter.incr t.st_misses;
     let i = lru_way t (set_of t vpn) in
-    if t.vpns.(i) = -1 then t.n_valid <- t.n_valid + 1;
-    t.vpns.(i) <- vpn;
-    t.asids.(i) <- asid;
-    t.globals.(i) <- global;
-    t.age.(i) <- t.clock;
+    if Array.unsafe_get t.vpns i = -1 then t.n_valid <- t.n_valid + 1;
+    Array.unsafe_set t.vpns i vpn;
+    Array.unsafe_set t.asids i asid;
+    Array.unsafe_set t.globals i global;
+    Array.unsafe_set t.age i t.clock;
     Miss
   end
 

@@ -10,10 +10,14 @@ type trace = event list
 (* Systems with a capture in progress (physical identity).  Capturing
    replaces the system's audit hook, so a nested capture on the same
    system would silently steal the outer capture's events: reject it
-   outright rather than return a wrong trace. *)
-let capturing : System.t list ref = ref []
+   outright rather than return a wrong trace.  Domain-local: systems
+   are never shared across domains (Tp_par rule), so each domain
+   tracks only its own captures and workers do not contend. *)
+let capturing : System.t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let capture sys f =
+  let capturing = Domain.DLS.get capturing in
   if List.memq sys !capturing then
     invalid_arg "Tp_kernel.Audit.capture: nested capture is not supported";
   let events = ref [] in

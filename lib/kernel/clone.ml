@@ -1,13 +1,34 @@
-let last_clone_cost = ref 0
+(* Domain-local so parallel workers' clones never race; each task
+   queries the cost of its own last clone. *)
+let last_clone_cost : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
-(* Clone/destroy performance counters (observability only). *)
-let st = Tp_obs.Counter.make_set "kernel.clone"
-let st_clones = Tp_obs.Counter.counter st "clones"
-let st_clone_cycles = Tp_obs.Counter.counter st "clone_cycles"
-let st_destroys = Tp_obs.Counter.counter st "destroys"
-let st_destroy_ipis = Tp_obs.Counter.counter st "destroy_ipis"
-let () = Tp_obs.Counter.register st
-let counters () = st
+(* Clone/destroy performance counters (observability only).  Per
+   domain, like the switch-path set: Tp_par.Pool sums them at join. *)
+type stats = {
+  st : Tp_obs.Counter.set;
+  st_clones : Tp_obs.Counter.t;
+  st_clone_cycles : Tp_obs.Counter.t;
+  st_destroys : Tp_obs.Counter.t;
+  st_destroy_ipis : Tp_obs.Counter.t;
+}
+
+let stats_key : stats Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let st = Tp_obs.Counter.make_set "kernel.clone" in
+      let stats =
+        {
+          st;
+          st_clones = Tp_obs.Counter.counter st "clones";
+          st_clone_cycles = Tp_obs.Counter.counter st "clone_cycles";
+          st_destroys = Tp_obs.Counter.counter st "destroys";
+          st_destroy_ipis = Tp_obs.Counter.counter st "destroy_ipis";
+        }
+      in
+      Tp_obs.Counter.register st;
+      stats)
+
+let stats () = Domain.DLS.get stats_key
+let counters () = (stats ()).st
 
 let master_cap sys =
   Capability.mk_root ~clone_right:true
@@ -139,13 +160,15 @@ let clone sys ~core ~src ~kmem =
   Txn.defer txn (fun () -> km.Types.km_image <- None);
   System.register_kernel sys ki;
   Txn.defer txn (fun () -> System.unregister_kernel sys ki);
-  last_clone_cost := System.now sys ~core - start;
-  Klog.clone ki ~cost_cycles:!last_clone_cost;
-  Tp_obs.Counter.incr st_clones;
-  Tp_obs.Counter.add st_clone_cycles !last_clone_cost;
+  let cost = System.now sys ~core - start in
+  Domain.DLS.get last_clone_cost := cost;
+  Klog.clone ki ~cost_cycles:cost;
+  let s = stats () in
+  Tp_obs.Counter.incr s.st_clones;
+  Tp_obs.Counter.add s.st_clone_cycles cost;
   if Tp_obs.Trace.enabled () then
     Tp_obs.Trace.span ~core ~cat:"kernel" ~name:"kernel_clone" ~ts:start
-      ~dur:!last_clone_cost
+      ~dur:cost
       ~args:[ ("ki", Tp_obs.Trace.Int ki.Types.ki_id) ]
       ();
   (* CDT: the new image hangs off the source image capability. *)
@@ -195,7 +218,7 @@ let teardown sys ~core ki ~charge =
   Array.iteri
     (fun c running ->
       if running then begin
-        Tp_obs.Counter.incr st_destroy_ipis;
+        Tp_obs.Counter.incr (stats ()).st_destroy_ipis;
         if charge then begin
           ignore
             (System.touch_shared sys ~core Layout.Ipi_barrier ~kind:Tp_hw.Defs.Write ());
@@ -248,7 +271,7 @@ let destroy sys ~core cap =
   ignore
     (System.touch_shared sys ~core Layout.Cur_pointers ~kind:Tp_hw.Defs.Write ());
   Tp_hw.Machine.add_cycles m ~core 400;
-  Tp_obs.Counter.incr st_destroys;
+  Tp_obs.Counter.incr (stats ()).st_destroys;
   if Tp_obs.Trace.enabled () then
     Tp_obs.Trace.span ~core ~cat:"kernel" ~name:"kernel_destroy" ~ts:start
       ~dur:(System.now sys ~core - start)
@@ -268,4 +291,4 @@ let set_pad _sys ~image ~cycles =
   let ki = the_image image in
   ki.Types.ki_pad_cycles <- cycles
 
-let clone_cost_cycles _sys = !last_clone_cost
+let clone_cost_cycles _sys = !(Domain.DLS.get last_clone_cost)

@@ -6,16 +6,38 @@ type cost = {
 }
 
 (* Switch-path performance counters (observability only: the switch
-   logic never reads them, see Tp_obs.Ctl). *)
-let st = Tp_obs.Counter.make_set "kernel.switch"
-let st_switches = Tp_obs.Counter.counter st "switches"
-let st_kernel_switches = Tp_obs.Counter.counter st "kernel_switches"
-let st_protected = Tp_obs.Counter.counter st "protected"
-let st_flush_cycles = Tp_obs.Counter.counter st "flush_cycles"
-let st_pad_wait_cycles = Tp_obs.Counter.counter st "pad_wait_cycles"
-let st_pad_overruns = Tp_obs.Counter.counter st "pad_overruns"
-let () = Tp_obs.Counter.register st
-let counters () = st
+   logic never reads them, see Tp_obs.Ctl).  One instance per domain —
+   Tp_par.Pool workers count into their own set (registered in their
+   domain-local registry) and the pool sums the sets at join. *)
+type stats = {
+  st : Tp_obs.Counter.set;
+  st_switches : Tp_obs.Counter.t;
+  st_kernel_switches : Tp_obs.Counter.t;
+  st_protected : Tp_obs.Counter.t;
+  st_flush_cycles : Tp_obs.Counter.t;
+  st_pad_wait_cycles : Tp_obs.Counter.t;
+  st_pad_overruns : Tp_obs.Counter.t;
+}
+
+let stats_key : stats Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let st = Tp_obs.Counter.make_set "kernel.switch" in
+      let stats =
+        {
+          st;
+          st_switches = Tp_obs.Counter.counter st "switches";
+          st_kernel_switches = Tp_obs.Counter.counter st "kernel_switches";
+          st_protected = Tp_obs.Counter.counter st "protected";
+          st_flush_cycles = Tp_obs.Counter.counter st "flush_cycles";
+          st_pad_wait_cycles = Tp_obs.Counter.counter st "pad_wait_cycles";
+          st_pad_overruns = Tp_obs.Counter.counter st "pad_overruns";
+        }
+      in
+      Tp_obs.Counter.register st;
+      stats)
+
+let stats () = Domain.DLS.get stats_key
+let counters () = (stats ()).st
 
 let lock_cost = 30
 let timer_reprogram_cost = 60
@@ -238,12 +260,13 @@ let switch sys ~core ~to_ =
   let total = System.now sys ~core - t0 in
   if kernel_switched then Klog.switch ~core ~from_kernel ~to_kernel ~total;
   let padded = protect && from_kernel.Types.ki_pad_cycles > 0 in
-  Tp_obs.Counter.incr st_switches;
-  if kernel_switched then Tp_obs.Counter.incr st_kernel_switches;
-  if protect then Tp_obs.Counter.incr st_protected;
-  Tp_obs.Counter.add st_flush_cycles flush;
-  Tp_obs.Counter.add st_pad_wait_cycles pad_wait;
-  if padded && pad_wait = 0 then Tp_obs.Counter.incr st_pad_overruns;
+  let s = stats () in
+  Tp_obs.Counter.incr s.st_switches;
+  if kernel_switched then Tp_obs.Counter.incr s.st_kernel_switches;
+  if protect then Tp_obs.Counter.incr s.st_protected;
+  Tp_obs.Counter.add s.st_flush_cycles flush;
+  Tp_obs.Counter.add s.st_pad_wait_cycles pad_wait;
+  if padded && pad_wait = 0 then Tp_obs.Counter.incr s.st_pad_overruns;
   Tp_obs.Padprof.record ~ki:from_kernel.Types.ki_id
     ~pad:from_kernel.Types.ki_pad_cycles ~padded ~total ~flush ~pad_wait;
   if Tp_obs.Trace.enabled () then

@@ -1,10 +1,16 @@
 type body = Uctx.t -> unit
 
 (* Bodies are user-level code, not kernel state, so they live beside
-   the TCBs rather than inside them. *)
-let bodies : (int, body) Hashtbl.t = Hashtbl.create 64
+   the TCBs rather than inside them.  The map is domain-local: a
+   Tp_par.Pool task must create (boot + spawn) every simulator it
+   drives, so bodies registered by one worker are never looked up from
+   another, and no lock is needed on this per-slice path. *)
+let bodies_key : (int, body) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
-let set_body tcb body = Hashtbl.replace bodies tcb.Types.t_id body
+let bodies () = Domain.DLS.get bodies_key
+
+let set_body tcb body = Hashtbl.replace (bodies ()) tcb.Types.t_id body
 
 let make_runnable sys tcb =
   tcb.Types.t_state <- Types.Ts_ready;
@@ -79,7 +85,7 @@ let one_slice sys ~core ~slice_cycles =
   pc.System.slice_end <- slice_end;
   let ctx = Uctx.make sys ~core next ~slice_end in
   (try
-     (match Hashtbl.find_opt bodies next.Types.t_id with
+     (match Hashtbl.find_opt (bodies ()) next.Types.t_id with
      | Some body -> body ctx
      | None -> ());
      (* Early return: idle out the remainder of the slice. *)
@@ -135,7 +141,7 @@ let slice_of_thread sys ~core ~slice_cycles thread =
   pc.System.slice_end <- slice_end;
   let ctx = Uctx.make sys ~core next ~slice_end in
   (try
-     (match Hashtbl.find_opt bodies next.Types.t_id with
+     (match Hashtbl.find_opt (bodies ()) next.Types.t_id with
      | Some body -> body ctx
      | None -> ());
      Uctx.idle_rest ctx

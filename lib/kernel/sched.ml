@@ -1,12 +1,30 @@
 let n_priorities = 256
 
-(* Scheduler-event performance counters (observability only). *)
-let st = Tp_obs.Counter.make_set "kernel.sched"
-let st_enqueues = Tp_obs.Counter.counter st "enqueues"
-let st_dequeues = Tp_obs.Counter.counter st "dequeues"
-let st_removes = Tp_obs.Counter.counter st "removes"
-let () = Tp_obs.Counter.register st
-let counters () = st
+(* Scheduler-event performance counters (observability only).  Per
+   domain — see Domain_switch for the pattern. *)
+type stats = {
+  st : Tp_obs.Counter.set;
+  st_enqueues : Tp_obs.Counter.t;
+  st_dequeues : Tp_obs.Counter.t;
+  st_removes : Tp_obs.Counter.t;
+}
+
+let stats_key : stats Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let st = Tp_obs.Counter.make_set "kernel.sched" in
+      let stats =
+        {
+          st;
+          st_enqueues = Tp_obs.Counter.counter st "enqueues";
+          st_dequeues = Tp_obs.Counter.counter st "dequeues";
+          st_removes = Tp_obs.Counter.counter st "removes";
+        }
+      in
+      Tp_obs.Counter.register st;
+      stats)
+
+let stats () = Domain.DLS.get stats_key
+let counters () = (stats ()).st
 
 type t = { queues : Types.tcb Queue.t array array (* core -> prio -> q *) }
 
@@ -17,7 +35,7 @@ let valid_prio p = p >= 0 && p < n_priorities
 
 let enqueue t ~core tcb =
   assert (valid_prio tcb.Types.t_prio);
-  Tp_obs.Counter.incr st_enqueues;
+  Tp_obs.Counter.incr (stats ()).st_enqueues;
   Queue.push tcb t.queues.(core).(tcb.Types.t_prio)
 
 let find_highest t ~core =
@@ -33,7 +51,7 @@ let dequeue_highest t ~core =
   match find_highest t ~core with
   | None -> None
   | Some p ->
-      Tp_obs.Counter.incr st_dequeues;
+      Tp_obs.Counter.incr (stats ()).st_dequeues;
       Some (Queue.pop t.queues.(core).(p))
 
 let peek_highest t ~core =
@@ -58,7 +76,7 @@ let dequeue_domain t ~core ~domain =
       | Some th ->
           Queue.clear q;
           Queue.transfer keep q;
-          Tp_obs.Counter.incr st_dequeues;
+          Tp_obs.Counter.incr (stats ()).st_dequeues;
           Some th
       | None -> go (p - 1)
     end
@@ -74,7 +92,7 @@ let domains_present t ~core =
   List.sort compare (Hashtbl.fold (fun d () acc -> d :: acc) doms [])
 
 let remove t ~core tcb =
-  Tp_obs.Counter.incr st_removes;
+  Tp_obs.Counter.incr (stats ()).st_removes;
   let q = t.queues.(core).(tcb.Types.t_prio) in
   let keep = Queue.create () in
   Queue.iter (fun th -> if th.Types.t_id <> tcb.Types.t_id then Queue.push th keep) q;

@@ -198,13 +198,21 @@ and cnode = {
     indexes a slot by the next [cn_radix] bits; interior slots hold
     further CNode capabilities. *)
 
-(* Object id generation: a single global counter is fine because ids
-   are only used for identity and debugging, never for addressing. *)
-let id_counter = ref 0
+(* Object id generation: ids are only used for identity and debugging,
+   never for addressing.  The counter is domain-local so parallel
+   workers (Tp_par.Pool) allocate ids without racing; the pool gives
+   each task a disjoint id region via {!set_id_mark} at every jobs
+   level, which keeps ids (and anything hashed on them) bit-identical
+   between sequential and parallel runs. *)
+let id_counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_id () =
-  incr id_counter;
-  !id_counter
+  let c = Domain.DLS.get id_counter in
+  incr c;
+  !c
+
+let id_mark () = !(Domain.DLS.get id_counter)
+let set_id_mark v = Domain.DLS.get id_counter := v
 
 let obj_frames = function
   | Obj_untyped u -> u.u_free

@@ -13,6 +13,11 @@ let counter set c_name =
 
 let incr c = if Ctl.counters_on () then c.v <- c.v + 1
 let add c n = if Ctl.counters_on () then c.v <- c.v + n
+
+(* For hot paths that hoist one Ctl.counters_on check over several
+   recordings (Cache/Tlb access): the caller has already checked. *)
+let incr_unchecked c = c.v <- c.v + 1
+let add_unchecked c n = c.v <- c.v + n
 let value c = c.v
 let name c = c.c_name
 let set_name s = s.s_name
@@ -29,16 +34,53 @@ let delta ~before ~after =
 
 let total snap = List.fold_left (fun acc (_, v) -> acc + v) 0 snap
 
-let registry : (string, set) Hashtbl.t = Hashtbl.create 64
+(* The registry is domain-local: each worker domain spawned by
+   Tp_par.Pool registers the sets of the simulators it creates without
+   racing the main domain (or its siblings).  Aggregation back into the
+   spawning domain happens explicitly via {!export}/{!absorb} at
+   join. *)
+let registry_key : (string, set) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
-let register set = Hashtbl.replace registry set.s_name set
+let registry () = Domain.DLS.get registry_key
+
+let register set = Hashtbl.replace (registry ()) set.s_name set
 
 let registered () =
-  Hashtbl.fold (fun _ s acc -> s :: acc) registry []
+  Hashtbl.fold (fun _ s acc -> s :: acc) (registry ()) []
   |> List.sort (fun a b -> compare a.s_name b.s_name)
 
-let find n = Hashtbl.find_opt registry n
-let reset_all () = Hashtbl.iter (fun _ s -> reset s) registry
+let find n = Hashtbl.find_opt (registry ()) n
+let reset_all () = Hashtbl.iter (fun _ s -> reset s) (registry ())
+
+let export () = List.map (fun s -> (s.s_name, snapshot s)) (registered ())
+
+let absorb exported =
+  List.iter
+    (fun (sname, snap) ->
+      match find sname with
+      | Some set when List.map (fun c -> c.c_name) (List.rev set.items)
+                      = List.map fst snap ->
+          (* Same component exists here: pointwise sum (counter values
+             commute, so absorbing workers in any fixed order is
+             deterministic). *)
+          List.iter
+            (fun c ->
+              match List.assoc_opt c.c_name snap with
+              | Some v -> c.v <- c.v + v
+              | None -> ())
+            set.items
+      | Some _ | None ->
+          (* Unknown (or shape-changed) component: materialise it so
+             [tpsim stats]-style dumps still see the worker's activity. *)
+          let set = make_set sname in
+          List.iter
+            (fun (cname, v) ->
+              let c = counter set cname in
+              c.v <- v)
+            snap;
+          register set)
+    exported
 
 let pp_set ppf set =
   Format.fprintf ppf "%s:" set.s_name;

@@ -44,6 +44,14 @@ val incr : t -> unit
 val add : t -> int -> unit
 (** Add [n] (expected non-negative), if {!Ctl.counters_on}. *)
 
+val incr_unchecked : t -> unit
+(** {!incr} without the {!Ctl.counters_on} gate — for hot paths that
+    hoist one flag check over several recordings.  Callers must only
+    reach this when counters are on, or the zero-perturbation account
+    ("off means nothing recorded") breaks. *)
+
+val add_unchecked : t -> int -> unit
+
 (** {1 Reading} *)
 
 val value : t -> int
@@ -69,6 +77,26 @@ val find : string -> set option
 
 val reset_all : unit -> unit
 (** Reset every registered set (a fresh measurement window). *)
+
+(** {1 Cross-domain aggregation}
+
+    The registry is {e domain-local} ([Domain.DLS]): a worker domain
+    spawned by [Tp_par.Pool] starts with an empty registry, registers
+    the sets of whatever simulators it creates, and its counts are
+    folded back into the spawning domain at join via {!export} /
+    {!absorb}.  Counter values are sums, so absorbing the workers in a
+    fixed order yields deterministic aggregates. *)
+
+val export : unit -> (string * snapshot) list
+(** Snapshot of every set registered in the {e current} domain, sorted
+    by set name. *)
+
+val absorb : (string * snapshot) list -> unit
+(** Fold an {!export}ed snapshot list into this domain's registry:
+    pointwise-add into a registered set of the same name and shape, or
+    materialise (and register) a new set otherwise.  Unlike {!incr},
+    absorption is unconditional — it aggregates values that were
+    already gated on {!Ctl.counters_on} when recorded. *)
 
 (** {1 Rendering} *)
 

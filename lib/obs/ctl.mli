@@ -4,7 +4,14 @@
     per would-be event and nothing else.  The zero-perturbation
     contract (enforced by [test_obs]): flipping either switch must not
     change any simulated cycle count — counters and traces live beside
-    the machine model, never inside its arithmetic. *)
+    the machine model, never inside its arithmetic.
+
+    Domain-safety rule: the switches are plain shared refs.  Toggle
+    them only outside parallel regions — [Domain.spawn] publishes the
+    value to workers, which treat it as read-only for the task's
+    duration.  The stores the switches gate ({!Counter}, {!Trace},
+    {!Padprof}) are all domain-local, so concurrent recording never
+    races. *)
 
 val set_counters : bool -> unit
 (** Enable/disable performance-counter recording (and the pad-slack

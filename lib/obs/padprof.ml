@@ -18,9 +18,17 @@ type image = {
    cap only the running aggregates keep growing. *)
 let sample_cap = 65_536
 
-let table : (int, image) Hashtbl.t = Hashtbl.create 16
+(* Domain-local, like the counter registry: each Tp_par.Pool worker
+   profiles the switches of its own simulators.  Profiles are not
+   merged at join (tpsim stats runs sequentially); the table exists so
+   worker-side recording never races the main domain. *)
+let table_key : (int, image) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let table () = Domain.DLS.get table_key
 
 let image_of ki =
+  let table = table () in
   match Hashtbl.find_opt table ki with
   | Some im -> im
   | None ->
@@ -66,10 +74,10 @@ let record ~ki ~pad ~padded ~total ~flush ~pad_wait =
   end
 
 let images () =
-  Hashtbl.fold (fun _ im acc -> im :: acc) table []
+  Hashtbl.fold (fun _ im acc -> im :: acc) (table ()) []
   |> List.sort (fun a b -> compare a.im_ki b.im_ki)
 
-let reset () = Hashtbl.reset table
+let reset () = Hashtbl.reset (table ())
 
 let headroom im =
   if im.im_padded = 0 then None else Some (im.im_pad - im.im_worst_unpadded)

@@ -22,20 +22,28 @@ type ring = {
   mutable last_ts : int;
 }
 
-let ring : ring option ref = ref None
+(* The ring is domain-local: the [Ctl.trace] flag is shared (workers
+   observe the value published at spawn), but each domain buffers into
+   its own ring, so worker domains never race the main ring.  Worker
+   events reach the main ring via {!with_capture}/{!replay} at join. *)
+let ring_key : ring option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let ring () = Domain.DLS.get ring_key
+
+let fresh_ring capacity =
+  { buf = Array.make capacity None; head = 0; count = 0; n_dropped = 0;
+    last_ts = 0 }
 
 let start ?(capacity = default_capacity) () =
   assert (capacity > 0);
-  ring :=
-    Some
-      { buf = Array.make capacity None; head = 0; count = 0; n_dropped = 0;
-        last_ts = 0 };
+  ring () := Some (fresh_ring capacity);
   Ctl.set_trace true
 
 let stop () = Ctl.set_trace false
 
 let clear () =
-  match !ring with
+  match !(ring ()) with
   | None -> ()
   | Some r ->
       Array.fill r.buf 0 (Array.length r.buf) None;
@@ -47,7 +55,7 @@ let clear () =
 let enabled () = Ctl.trace_on ()
 
 let push ev =
-  match !ring with
+  match !(ring ()) with
   | None -> ()
   | Some r ->
       let cap = Array.length r.buf in
@@ -65,13 +73,13 @@ let instant ?ts ~core ~cat ~name ?(args = []) () =
     let ts =
       match ts with
       | Some t -> t
-      | None -> ( match !ring with None -> 0 | Some r -> r.last_ts)
+      | None -> ( match !(ring ()) with None -> 0 | Some r -> r.last_ts)
     in
     push { ts; dur = 0; core; cat; name; args; kind = Instant }
   end
 
 let events () =
-  match !ring with
+  match !(ring ()) with
   | None -> []
   | Some r ->
       let cap = Array.length r.buf in
@@ -81,8 +89,29 @@ let events () =
           | Some e -> e
           | None -> assert false)
 
-let recorded () = match !ring with None -> 0 | Some r -> r.count
-let dropped () = match !ring with None -> 0 | Some r -> r.n_dropped
+let recorded () = match !(ring ()) with None -> 0 | Some r -> r.count
+let dropped () = match !(ring ()) with None -> 0 | Some r -> r.n_dropped
+
+(* Per-task capture, the deterministic-merge half of the domain-local
+   design: a pool task records into a private ring (same capacity
+   semantics, last_ts starting at 0 regardless of jobs level), and the
+   pool replays the captured events into the spawning domain's ring in
+   trial order — so a traced [-j N] run buffers the same events as
+   [-j 1]. *)
+let with_capture ?(capacity = default_capacity) f =
+  if not (enabled ()) then (f (), [])
+  else begin
+    let cell = ring () in
+    let saved = !cell in
+    cell := Some (fresh_ring capacity);
+    Fun.protect
+      ~finally:(fun () -> cell := saved)
+      (fun () ->
+        let v = f () in
+        (v, events ()))
+  end
+
+let replay evs = List.iter push evs
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering (hand-rolled: the toolchain has no JSON library and

@@ -62,6 +62,25 @@ val recorded : unit -> int
 val dropped : unit -> int
 (** Events overwritten since {!start}/{!clear}. *)
 
+(** {1 Cross-domain capture}
+
+    The ring is {e domain-local}: the [Ctl.trace] flag is shared, but
+    each domain buffers into its own ring, so a [Tp_par.Pool] worker
+    never races the main ring.  The pool wraps every task in
+    {!with_capture} (at all jobs levels) and {!replay}s the captures in
+    trial order, making a traced [-j N] run buffer the same events as
+    [-j 1]. *)
+
+val with_capture : ?capacity:int -> (unit -> 'a) -> 'a * event list
+(** Run a thunk with a fresh private ring (its [last_ts] starts at 0)
+    and return its result plus the events it recorded; the previous
+    ring is restored afterwards, even on exception.  When tracing is
+    disabled this is just [f ()] with an empty capture. *)
+
+val replay : event list -> unit
+(** Push previously captured events into the current ring (no-op when
+    no ring is allocated). *)
+
 (** {1 Export} *)
 
 val export_chrome : out_channel -> unit

@@ -1,0 +1,97 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let default = Atomic.make 1
+let set_default_jobs j = Atomic.set default (Stdlib.max 1 j)
+let default_jobs () = Atomic.get default
+
+(* Each task allocates kernel object ids from its own region so that
+   id sequences depend only on the trial index, not on worker
+   assignment.  Applied at every jobs level: a [-j 1] run uses the same
+   regions as [-j N], which is what makes id-derived values (Exec body
+   keys, debug output) bit-identical across jobs levels.  2^20 ids per
+   trial is orders of magnitude beyond what any experiment allocates;
+   the caller's own id mark is restored afterwards. *)
+let id_region_bits = 20
+
+let with_task i f =
+  let saved = Tp_kernel.Types.id_mark () in
+  Fun.protect
+    ~finally:(fun () -> Tp_kernel.Types.set_id_mark saved)
+    (fun () ->
+      Tp_kernel.Types.set_id_mark ((i + 1) lsl id_region_bits);
+      Tp_obs.Trace.with_capture (fun () -> f i))
+
+let run_seq n f =
+  (* Same capture/replay path as the parallel case so a traced [-j 1]
+     run buffers exactly what [-j N] does. *)
+  let out =
+    Array.init n (fun i ->
+        let v, evs = with_task i f in
+        Tp_obs.Trace.replay evs;
+        v)
+  in
+  out
+
+let run_par jobs n f =
+  let next = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  (* One writer per slot (the worker that claimed the index); reads
+     happen only after every worker has joined, so plain arrays are
+     race-free here. *)
+  let work () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n || Atomic.get stop then continue := false
+      else
+        match with_task i f with
+        | v -> results.(i) <- Some v
+        | exception e ->
+            errors.(i) <- Some (e, Printexc.get_raw_backtrace ());
+            Atomic.set stop true;
+            continue := false
+    done
+  in
+  let workers =
+    Array.init (jobs - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            work ();
+            Tp_obs.Counter.export ()))
+  in
+  work ();
+  let exports = Array.map Domain.join workers in
+  (* Deterministic merge: counter sums in fixed worker order (sums
+     commute, so totals equal the sequential run's), then traces in
+     trial order. *)
+  Array.iter Tp_obs.Counter.absorb exports;
+  (* Array.iter visits slots in index order, so this re-raises the
+     lowest-index failure — independent of which worker hit it. *)
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors;
+  Array.map
+    (fun slot ->
+      match slot with
+      | Some (v, evs) ->
+          Tp_obs.Trace.replay evs;
+          v
+      | None -> assert false (* no error ⇒ every slot was filled *))
+    results
+
+let run ?jobs n f =
+  if n < 0 then invalid_arg "Tp_par.Pool.run: negative task count";
+  if n = 0 then [||]
+  else begin
+    let jobs =
+      Stdlib.max 1 (Stdlib.min n (match jobs with Some j -> j | None -> default_jobs ()))
+    in
+    if jobs = 1 then run_seq n f else run_par jobs n f
+  end
+
+let map_list ?jobs xs f =
+  let arr = Array.of_list xs in
+  Array.to_list (run ?jobs (Array.length arr) (fun i -> f i arr.(i)))

@@ -1,0 +1,53 @@
+(** Deterministic parallel execution of independent trials.
+
+    The paper's evaluation is embarrassingly parallel: every table and
+    figure aggregates independent, seed-determined trials.  [run] fans
+    such trials out across [Domain.spawn] workers pulling task indices
+    from a shared atomic counter (work stealing in its simplest form:
+    whichever worker is free takes the next trial), and merges the
+    results back in trial order.
+
+    {2 Determinism contract}
+
+    A parallel run is {e bit-identical} to [~jobs:1] provided each task
+    obeys the isolation rules:
+
+    - the task creates every simulator object it uses (machine, boot,
+      threads) — never sharing mutable simulator state across tasks;
+    - all randomness comes from the task's own stream, derived from the
+      trial index ({!Tp_util.Rng.of_trial} or an equivalent pure
+      function of [(seed, index)]);
+    - observability flags ({!Tp_obs.Ctl}) are toggled only outside
+      [run].
+
+    The pool supplies the rest: kernel object ids are allocated from a
+    per-task region (at {e every} jobs level, so id-derived values
+    match between sequential and parallel runs); per-domain counter
+    registries are summed into the caller's registry at join in a fixed
+    worker order; traced events are captured per task and replayed into
+    the caller's ring in trial order.
+
+    Tasks must not themselves call [run] (no nesting), and anything
+    relying on ambient global state not listed above (e.g. an armed
+    {!Tp_fault} plan) is not parallel-safe — [tpsim] forces [~jobs:1]
+    under [--inject]. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what the host offers. *)
+
+val set_default_jobs : int -> unit
+(** Set the process default used when [?jobs] is omitted (clamped to
+    [>= 1]).  The CLI's [-j]/[--jobs] lands here. *)
+
+val default_jobs : unit -> int
+
+val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [run ~jobs n f] computes [[| f 0; ...; f (n-1) |]], evaluating the
+    tasks on [min jobs n] domains (the calling domain works too).  If
+    any task raises, the remaining tasks are abandoned after their
+    current trial and the exception of the lowest-index failing task is
+    re-raised (with its backtrace) after all workers have joined. *)
+
+val map_list : ?jobs:int -> 'a list -> (int -> 'a -> 'b) -> 'b list
+(** [map_list xs f] is {!run} over a list, preserving order: element
+    [i] is mapped by [f i x]. *)

@@ -17,6 +17,19 @@ let split t =
   let s = bits64 t in
   { state = mix64 s }
 
+(* Trial-indexed stream splitting for the parallel runner: the stream
+   for trial [i] depends only on (seed, i), never on which worker runs
+   the trial or in what order, so parallel schedules reproduce the
+   sequential streams exactly. *)
+let of_trial ~seed ~trial =
+  {
+    state =
+      mix64
+        (Int64.add
+           (mix64 (Int64.of_int seed))
+           (Int64.mul (Int64.of_int (trial + 1)) golden_gamma));
+  }
+
 let copy t = { state = t.state }
 
 let int t bound =

@@ -16,6 +16,12 @@ val create : seed:int -> t
 val split : t -> t
 (** [split t] derives an independent generator; [t] advances. *)
 
+val of_trial : seed:int -> trial:int -> t
+(** [of_trial ~seed ~trial] derives the generator for one independent
+    trial of an experiment: a pure function of [(seed, trial)], so a
+    parallel runner hands trial [i] the same stream regardless of
+    worker assignment or completion order. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (same future stream). *)
 

@@ -33,6 +33,23 @@ let test_kde_degenerate_data () =
   Alcotest.(check bool) "finite and ~1" true
     (Float.abs (integral -. 1.0) < 0.05 && Array.for_all Float.is_finite d)
 
+let test_kde_edge_binning () =
+  (* Nearest-index binning: half distances round up, uniformly over the
+     axis, and out-of-range samples clamp to the end bins.  A single
+     sample with a narrow kernel puts the density peak on its bin. *)
+  let grid = { Kde.lo = 0.0; hi = 10.0; points = 11 } in
+  let peak_of x =
+    let d = Kde.estimate grid ~bandwidth:0.1 [| x |] in
+    let peak = ref 0 in
+    Array.iteri (fun i v -> if v > d.(!peak) then peak := i) d;
+    !peak
+  in
+  Alcotest.(check int) "exact grid point" 7 (peak_of 7.0);
+  Alcotest.(check int) "half rounds up" 5 (peak_of 4.5);
+  Alcotest.(check int) "below lo clamps to 0" 0 (peak_of (-3.0));
+  Alcotest.(check int) "above hi clamps to last" 10 (peak_of 12.0);
+  Alcotest.(check int) "just below a boundary" 4 (peak_of 4.4999)
+
 let test_silverman_positive () =
   let r = rng () in
   let xs = Array.init 500 (fun _ -> Tp_util.Rng.gaussian r ~mu:0.0 ~sigma:3.0) in
@@ -263,6 +280,7 @@ let suite =
     Alcotest.test_case "kde integrates to 1" `Quick test_kde_integrates_to_one;
     Alcotest.test_case "kde peak location" `Quick test_kde_peak_location;
     Alcotest.test_case "kde degenerate data" `Quick test_kde_degenerate_data;
+    Alcotest.test_case "kde edge binning" `Quick test_kde_edge_binning;
     Alcotest.test_case "silverman positive" `Quick test_silverman_positive;
     Alcotest.test_case "mi perfect binary" `Quick test_mi_perfect_binary;
     Alcotest.test_case "mi perfect quaternary" `Quick test_mi_perfect_quaternary;

@@ -14,6 +14,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
       ("analysis", Test_analysis.suite);
       ("certify", Test_certify.suite);
     ]

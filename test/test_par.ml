@@ -1,0 +1,151 @@
+(* Tp_par.Pool: work distribution semantics and, above all, the
+   determinism contract — a parallel run must be bit-identical to
+   [~jobs:1], which is what lets every experiment take [-j N] without
+   changing any published number. *)
+
+open Tp_par
+
+let test_run_order () =
+  Alcotest.(check (array int))
+    "results in trial order"
+    (Array.init 17 (fun i -> i * i))
+    (Pool.run ~jobs:3 17 (fun i -> i * i))
+
+let test_run_degenerate () =
+  Alcotest.(check (array int)) "n = 0" [||] (Pool.run ~jobs:4 0 (fun i -> i));
+  Alcotest.(check (array int)) "n = 1" [| 7 |] (Pool.run ~jobs:4 1 (fun _ -> 7));
+  Alcotest.(check (array int))
+    "more jobs than tasks" [| 0; 1 |]
+    (Pool.run ~jobs:16 2 (fun i -> i))
+
+let test_map_list () =
+  Alcotest.(check (list string))
+    "order and index"
+    [ "0a"; "1b"; "2c"; "3d" ]
+    (Pool.map_list ~jobs:2 [ "a"; "b"; "c"; "d" ] (fun i s ->
+         string_of_int i ^ s))
+
+let test_lowest_failure_wins () =
+  let raised =
+    try
+      ignore
+        (Pool.run ~jobs:2 8 (fun i ->
+             if i >= 5 then failwith (string_of_int i) else i));
+      None
+    with Failure m -> Some m
+  in
+  Alcotest.(check (option string)) "lowest-index exception" (Some "5") raised
+
+let test_pool_absorbs_worker_counters () =
+  (* A counter set registered by a task must survive into the calling
+     domain's registry with its value intact, wherever the task ran. *)
+  Tp_obs.Ctl.set_counters true;
+  Fun.protect
+    ~finally:(fun () -> Tp_obs.Ctl.set_counters false)
+    (fun () ->
+      ignore
+        (Pool.run ~jobs:3 6 (fun i ->
+             let s =
+               Tp_obs.Counter.make_set (Printf.sprintf "par.pool.%d" i)
+             in
+             let c = Tp_obs.Counter.counter s "events" in
+             Tp_obs.Counter.register s;
+             Tp_obs.Counter.add c (i + 1)));
+      for i = 0 to 5 do
+        match Tp_obs.Counter.find (Printf.sprintf "par.pool.%d" i) with
+        | None -> Alcotest.failf "set par.pool.%d lost at join" i
+        | Some s ->
+            Alcotest.(check int)
+              (Printf.sprintf "par.pool.%d total" i)
+              (i + 1)
+              (Tp_obs.Counter.total (Tp_obs.Counter.snapshot s))
+      done)
+
+let test_trace_replayed_in_trial_order () =
+  Tp_obs.Trace.start ~capacity:64 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tp_obs.Trace.stop ();
+      Tp_obs.Trace.clear ())
+    (fun () ->
+      ignore
+        (Pool.run ~jobs:2 6 (fun i ->
+             Tp_obs.Trace.instant ~ts:i ~core:0 ~cat:"test"
+               ~name:(Printf.sprintf "t%d" i)
+               ()));
+      Alcotest.(check (list string))
+        "events land in trial order"
+        [ "t0"; "t1"; "t2"; "t3"; "t4"; "t5" ]
+        (List.map (fun e -> e.Tp_obs.Trace.name) (Tp_obs.Trace.events ())))
+
+(* ---- the determinism property ----------------------------------- *)
+
+(* One harness channel trial, digested: fresh boot, trial-derived RNG,
+   everything the bench and the experiments rely on.  The digest covers
+   the collected samples and the final simulated clock. *)
+let channel_trial ~scenario ~samples p ~seed ~trial =
+  let rng = Tp_util.Rng.of_trial ~seed ~trial in
+  let b = Tp_core.Scenario.boot scenario p in
+  let chan = Tp_attacks.Cache_channels.l1d in
+  let sender, receiver = chan.Tp_attacks.Cache_channels.prepare b in
+  let spec =
+    {
+      (Tp_attacks.Harness.default_spec p) with
+      Tp_attacks.Harness.samples;
+      symbols = chan.Tp_attacks.Cache_channels.symbols;
+    }
+  in
+  let s = Tp_attacks.Harness.run_pair b ~sender ~receiver spec ~rng in
+  ( Digest.to_hex
+      (Digest.string
+         (Marshal.to_string (s.Tp_channel.Mi.input, s.Tp_channel.Mi.output) [])),
+    Tp_kernel.System.now b.Tp_kernel.Boot.sys ~core:0 )
+
+let test_parallel_bit_identical () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun seed ->
+          let trial i =
+            channel_trial ~scenario:Tp_core.Scenario.Raw ~samples:30 p ~seed
+              ~trial:i
+          in
+          let seq = Pool.run ~jobs:1 4 trial in
+          List.iter
+            (fun jobs ->
+              let par = Pool.run ~jobs 4 trial in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s seed %d: -j %d == -j 1"
+                   p.Tp_hw.Platform.name seed jobs)
+                true (par = seq))
+            [ 2; 4 ])
+        [ 1; 42 ])
+    [ Tp_hw.Platform.haswell; Tp_hw.Platform.sabre ]
+
+let test_parallel_bit_identical_protected () =
+  (* The protected configuration drives the whole switch machinery —
+     kernel clones, flushes, padding — through the pool's id regions. *)
+  let p = Tp_hw.Platform.haswell in
+  let trial i =
+    channel_trial ~scenario:Tp_core.Scenario.Protected_no_pad ~samples:20 p
+      ~seed:7 ~trial:i
+  in
+  let seq = Pool.run ~jobs:1 3 trial in
+  let par = Pool.run ~jobs:3 3 trial in
+  Alcotest.(check bool) "protected path: -j 3 == -j 1" true (par = seq)
+
+let suite =
+  [
+    Alcotest.test_case "run preserves order" `Quick test_run_order;
+    Alcotest.test_case "run degenerate sizes" `Quick test_run_degenerate;
+    Alcotest.test_case "map_list order and index" `Quick test_map_list;
+    Alcotest.test_case "lowest failure wins" `Quick test_lowest_failure_wins;
+    Alcotest.test_case "counters absorbed at join" `Quick
+      test_pool_absorbs_worker_counters;
+    Alcotest.test_case "trace replayed in trial order" `Quick
+      test_trace_replayed_in_trial_order;
+    Alcotest.test_case "parallel bit-identical (raw, both platforms)" `Quick
+      test_parallel_bit_identical;
+    Alcotest.test_case "parallel bit-identical (protected)" `Quick
+      test_parallel_bit_identical_protected;
+  ]
