@@ -81,26 +81,21 @@ let jobs_arg =
     "Worker domains for independent trials.  Experiments fan their \
      trials out on a deterministic pool whose output is bit-identical \
      at every $(docv), including 1 (the sequential path).  Default: \
-     what the host offers.  Forced to 1 under $(b,--inject), whose \
-     fault plans are process-global state."
+     what the host offers.  Incompatible with $(b,--inject), whose \
+     fault plans are process-global state: the combination is \
+     rejected."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+(* Resolve -j against --inject via the pool's validator; an explicit
+   parallel request under injection is a usage error (`Error in a
+   Term.ret term), never a silent downgrade. *)
 let setup_jobs jobs inject =
-  let j =
-    match jobs with
-    | Some j -> Stdlib.max 1 j
-    | None -> Tp_par.Pool.recommended_jobs ()
-  in
-  let j =
-    if inject <> None && j > 1 then begin
-      Printf.eprintf
-        "tpsim: --inject forces --jobs 1 (fault plans are process-global)\n%!";
-      1
-    end
-    else j
-  in
-  Tp_par.Pool.set_default_jobs j
+  match Tp_par.Pool.validate_jobs ~jobs ~inject:(inject <> None) with
+  | Ok j ->
+      Tp_par.Pool.set_default_jobs j;
+      Ok ()
+  | Error msg -> Error msg
 
 let setup_fault = function
   | None -> ()
@@ -208,22 +203,28 @@ let cmd_platforms =
 
 let mk_cmd name doc f =
   let run plats q seed verbose inject budget jobs =
-    setup_logging verbose;
-    setup_fault inject;
-    setup_budget budget;
-    setup_jobs jobs inject;
-    try run_over plats (fun p -> f q ~seed p)
-    with Tp_kernel.Types.Kernel_error e when inject <> None ->
-      (* The armed fault fired outside a recoverable loop (e.g. during
-         scenario boot) and propagated cleanly — the error path held. *)
-      Format.printf "experiment aborted by injected fault: %s@."
-        (Tp_kernel.Types.error_to_string e);
-      exit 2
+    match setup_jobs jobs inject with
+    | Error msg -> `Error (false, msg)
+    | Ok () -> (
+        setup_logging verbose;
+        setup_fault inject;
+        setup_budget budget;
+        try
+          run_over plats (fun p -> f q ~seed p);
+          `Ok ()
+        with Tp_kernel.Types.Kernel_error e when inject <> None ->
+          (* The armed fault fired outside a recoverable loop (e.g.
+             during scenario boot) and propagated cleanly — the error
+             path held. *)
+          Format.printf "experiment aborted by injected fault: %s@."
+            (Tp_kernel.Types.error_to_string e);
+          exit 2)
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const run $ platform_arg $ quality_arg $ seed_arg $ verbose_arg
-      $ inject_arg $ budget_arg $ jobs_arg)
+      ret
+        (const run $ platform_arg $ quality_arg $ seed_arg $ verbose_arg
+       $ inject_arg $ budget_arg $ jobs_arg))
 
 let table2 _q ~seed:_ p = Report.table2 (Exp_table2.run p)
 let fig3 q ~seed p = Report.fig3 (Exp_fig3.run q ~seed p)
@@ -429,6 +430,30 @@ let all q ~seed p =
   mls q ~seed p;
   calibrate q ~seed p
 
+(* Fresh scratch directory under the system temp dir.  /tmp, not
+   _build: Unix-domain socket paths (serve-smoke) are limited to ~107
+   bytes. *)
+let mkdtemp prefix =
+  let base = Filename.get_temp_dir_name () in
+  let rec go n =
+    let d =
+      Filename.concat base
+        (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) n)
+    in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (EEXIST, _, _) -> go (n + 1)
+  in
+  go 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (ENOENT, _, _) -> ()
+
 let cmd_faults =
   (* Systematic fail-at-step-N sweep: for every standard kernel
      operation, inject every fault kind at every injection-point
@@ -466,6 +491,124 @@ let cmd_faults =
                 end)
               outcomes)
           (Tp_fault_driver.Driver.standard_cases ~platform:p);
+        Format.printf "@.");
+    (* Crash-consistency sweep over the result store's persistence
+       path: fail every store_write/store_fsync/store_rename crossing
+       of a commit batch and check completed entries survive. *)
+    let scratch = mkdtemp "tpsim-faults" in
+    Fun.protect
+      ~finally:(fun () -> try rm_rf scratch with Unix.Unix_error _ -> ())
+      (fun () ->
+        Format.printf "Fail-at-step-N sweep over the result store:@.";
+        let outcomes =
+          Tp_store.Sweep.fail_at_each
+            ~dir:(Filename.concat scratch "store-sweep")
+        in
+        let good = List.length (List.filter Tp_store.Sweep.ok outcomes) in
+        Format.printf "  %-14s %3d injected faults, %3d left consistent@."
+          "store" (List.length outcomes) good;
+        List.iter
+          (fun (o : Tp_store.Sweep.outcome) ->
+            if not (Tp_store.Sweep.ok o) then begin
+              incr bad;
+              Format.printf "    FAIL %s:%d — fired=%b committed=%d@."
+                o.Tp_store.Sweep.o_point o.Tp_store.Sweep.o_occurrence
+                o.Tp_store.Sweep.o_fired o.Tp_store.Sweep.o_committed;
+              List.iter
+                (Format.printf "      violated: %s@.")
+                o.Tp_store.Sweep.o_violations
+            end)
+          outcomes;
+        Format.printf "@.";
+        (* Harness recovery surfaced as the same JSON the campaign
+           service reports: a fault injected mid-collection must be
+           recovered (not fatal), and a cycle budget must degrade the
+           result rather than abort it. *)
+        let p = List.hd plats in
+        let measure ~budget ~inject =
+          let b = Scenario.boot Scenario.Protected p in
+          let sender, receiver = Tp_attacks.Kernel_chan.prepare b in
+          let spec =
+            {
+              (Tp_attacks.Harness.default_spec p) with
+              Tp_attacks.Harness.samples = 200;
+              symbols = Tp_attacks.Kernel_chan.symbols;
+              budget =
+                { Tp_attacks.Harness.max_cycles = budget; max_wall_s = None };
+            }
+          in
+          (match inject with
+          | None -> ()
+          | Some hit ->
+              Tp_fault.Fault.arm ~point:Tp_attacks.Harness.point_chunk ~hit
+                (Tp_kernel.Types.Kernel_error
+                   Tp_kernel.Types.Insufficient_untyped));
+          let r =
+            Tp_attacks.Harness.run_pair_result b ~sender ~receiver spec
+              ~rng:(Tp_util.Rng.create ~seed:1)
+          in
+          Tp_fault.Fault.disarm ();
+          r
+        in
+        Format.printf "Harness recovery status (%s, kernel channel):@."
+          p.Tp_hw.Platform.name;
+        let recovered = measure ~budget:None ~inject:(Some 2) in
+        Format.printf "  injected harness.chunk:2 -> %s@."
+          (Tp_attacks.Harness.status_json recovered);
+        if recovered.Tp_attacks.Harness.recovered_faults < 1 then begin
+          incr bad;
+          Format.printf "    FAIL: mid-collection fault was not recovered@."
+        end;
+        let degraded = measure ~budget:(Some 2_000_000) ~inject:None in
+        Format.printf "  cycle budget 2000000   -> %s@."
+          (Tp_attacks.Harness.status_json degraded);
+        if not degraded.Tp_attacks.Harness.degraded then begin
+          incr bad;
+          Format.printf "    FAIL: cycle budget did not degrade the result@."
+        end;
+        Format.printf "@.";
+        (* Crash-resume across the campaign engine's dispatch loop:
+           crash a tiny sweep at every job_dispatch crossing, resume
+           into the same store, and require the final digest to match
+           an uninterrupted run. *)
+        Format.printf "Crash-resume across job_dispatch:@.";
+        let job =
+          Tp_serve.Protocol.job ~id:"faults-resume"
+            ~platforms:[ "haswell" ] ~configs:[ "protected" ]
+            ~channels:[ "l1d"; "kernel" ] ~trials:2 ~samples:120 ()
+        in
+        let digest_of dir =
+          let st = Tp_store.Store.open_ ~dir in
+          Fun.protect
+            ~finally:(fun () -> Tp_store.Store.close st)
+            (fun () ->
+              match Tp_serve.Engine.run_job ~store:st ~jobs:1 job with
+              | Ok r -> r.Tp_serve.Protocol.r_digest
+              | Error e -> failwith e)
+        in
+        let reference = digest_of (Filename.concat scratch "ref") in
+        let crash_dir = Filename.concat scratch "crash" in
+        let fired = ref 0 in
+        for hit = 0 to 3 do
+          let st = Tp_store.Store.open_ ~dir:crash_dir in
+          Tp_fault.Fault.arm ~point:Tp_serve.Engine.point_dispatch ~hit
+            (Failure "injected dispatch crash");
+          (match Tp_serve.Engine.run_job ~store:st ~jobs:1 job with
+          | Ok _ | Error _ -> ()
+          | exception Failure _ -> incr fired);
+          Tp_fault.Fault.disarm ();
+          Tp_store.Store.close st
+        done;
+        let resumed = digest_of crash_dir in
+        Format.printf
+          "  4 armed dispatch crossings, %d crashed; resumed digest %s \
+           uninterrupted reference@."
+          !fired
+          (if resumed = reference then "==" else "<>");
+        if resumed <> reference then begin
+          incr bad;
+          Format.printf "    FAIL: crash-resume digest mismatch@."
+        end;
         Format.printf "@.");
     if !bad > 0 then begin
       Format.printf "%d fault outcomes left the kernel inconsistent@." !bad;
@@ -884,7 +1027,7 @@ let cmd_bench =
   in
   let run plats q seed jobs verbose json baseline max_regress =
     setup_logging verbose;
-    setup_jobs jobs None;
+    Result.get_ok (setup_jobs jobs None);
     exit
       (Bench.run q ~seed
          ~jobs:(Tp_par.Pool.default_jobs ())
@@ -901,11 +1044,329 @@ let cmd_bench =
       const run $ platform_arg $ quality_arg $ seed_arg $ jobs_arg
       $ verbose_arg $ bench_json $ baseline $ max_regress)
 
+let socket_arg =
+  let doc = "Unix-domain socket path of the campaign daemon." in
+  Arg.(
+    required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let store_arg =
+  let doc =
+    "Result-store directory (created as needed; fsck'd on open, so a \
+     directory a crashed daemon left behind is fine)."
+  in
+  Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let cmd_serve =
+  let run socket store jobs verbose =
+    match setup_jobs jobs None with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
+        setup_logging verbose;
+        Tp_serve.Serve.run ~socket ~store_dir:store
+          ~jobs:(Tp_par.Pool.default_jobs ())
+          ~log:(fun s -> Printf.eprintf "tpsim-serve: %s\n%!" s)
+          ();
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Campaign daemon: accept JSON jobs over a Unix-domain socket, \
+          shard trials across worker domains, memoize every trial in a \
+          crash-safe content-addressed result store, and stream \
+          progress to the submitting client.  Survives kill -9: a \
+          restarted daemon resumes mid-sweep bit-identically.")
+    Term.(ret (const run $ socket_arg $ store_arg $ jobs_arg $ verbose_arg))
+
+let cmd_sweep =
+  let strings_arg names ~default ~doc ~docv =
+    Arg.(value & opt_all string default & info names ~docv ~doc)
+  in
+  let platforms_arg =
+    strings_arg [ "p"; "platform" ] ~default:[ "haswell" ] ~docv:"PLATFORM"
+      ~doc:
+        "Platform slug (repeatable): $(b,haswell), $(b,sabre) or \
+         $(b,armv8)."
+  in
+  let configs_arg =
+    strings_arg [ "c"; "config" ] ~default:[ "protected" ] ~docv:"CONFIG"
+      ~doc:
+        "Scenario slug (repeatable): $(b,raw), $(b,full-flush), \
+         $(b,protected), $(b,coloured-only), $(b,no-pad), \
+         $(b,no-prefetcher) or $(b,cat-llc)."
+  in
+  let channels_arg =
+    strings_arg [ "channel" ] ~default:[ "l1d" ] ~docv:"CHANNEL"
+      ~doc:
+        "Channel slug (repeatable): $(b,l1d), $(b,l1i), $(b,tlb), \
+         $(b,btb), $(b,bhb), $(b,l2), $(b,kernel) or $(b,flush)."
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "trials" ] ~docv:"N" ~doc:"Trials per matrix cell.")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "samples" ] ~docv:"N" ~doc:"Harness samples per trial.")
+  in
+  let cycle_budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cycle-budget" ] ~docv:"CYCLES"
+          ~doc:
+            "Deterministic simulated-cycle budget per trial (part of \
+             the cache key); an exhausted trial is kept, marked \
+             degraded.")
+  in
+  let trial_timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "trial-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock timeout per trial attempt.  Timed-out trials \
+             are reported failed and recomputed on resubmission — \
+             wall time is host-dependent, so they are never cached.")
+  in
+  let wall_budget_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "wall-budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget per job; when exhausted the job \
+             degrades gracefully, returning everything computed so \
+             far.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts per faulted trial (exponential backoff \
+             between attempts).")
+  in
+  let run socket platforms configs channels trials seed samples cycle_budget
+      trial_timeout wall_budget retries json =
+    let failures = ref 0 in
+    let batches =
+      List.concat_map
+        (fun p -> List.map (fun c -> (p, c)) configs)
+        platforms
+    in
+    let results =
+      List.filter_map
+        (fun (p, c) ->
+          let job =
+            Tp_serve.Protocol.job
+              ~id:(Printf.sprintf "sweep-%s-%s" p c)
+              ~platforms:[ p ] ~configs:[ c ] ~channels ~trials ~seed
+              ~samples ?trial_cycle_budget:cycle_budget
+              ?trial_timeout_s:trial_timeout ?wall_budget_s:wall_budget
+              ~max_retries:retries ()
+          in
+          match
+            Tp_serve.Client.submit ~socket
+              ~on_progress:(fun pr ->
+                Printf.eprintf
+                  "tpsim-sweep: %s %d/%d (%d cached, %d failed, %d \
+                   retried)\n\
+                   %!"
+                  job.Tp_serve.Protocol.j_id pr.Tp_serve.Protocol.p_done
+                  pr.Tp_serve.Protocol.p_total pr.Tp_serve.Protocol.p_cached
+                  pr.Tp_serve.Protocol.p_failed
+                  pr.Tp_serve.Protocol.p_retried)
+              job
+          with
+          | Ok r ->
+              if r.Tp_serve.Protocol.r_status = Tp_serve.Protocol.Failed then
+                incr failures;
+              Some r
+          | Error why ->
+              Printf.eprintf "tpsim-sweep: %s: %s\n%!"
+                job.Tp_serve.Protocol.j_id why;
+              incr failures;
+              None)
+        batches
+    in
+    if json then
+      print_endline
+        (Tp_util.Json.to_string
+           (Tp_util.Json.Arr
+              (List.map Tp_serve.Protocol.result_to_json results)))
+    else
+      List.iter
+        (fun (r : Tp_serve.Protocol.job_result) ->
+          Printf.printf
+            "%s: %s — %d trials (%d computed, %d cached, %d degraded, %d \
+             failed, %d retried), digest %s%s\n"
+            r.Tp_serve.Protocol.r_id
+            (Tp_serve.Protocol.status_name r.Tp_serve.Protocol.r_status)
+            r.Tp_serve.Protocol.r_total r.Tp_serve.Protocol.r_computed
+            r.Tp_serve.Protocol.r_cached r.Tp_serve.Protocol.r_degraded
+            r.Tp_serve.Protocol.r_failed r.Tp_serve.Protocol.r_retried
+            r.Tp_serve.Protocol.r_digest
+            (match r.Tp_serve.Protocol.r_reason with
+            | None -> ""
+            | Some why -> " (" ^ why ^ ")");
+          List.iter
+            (fun (t : Tp_serve.Protocol.trial) ->
+              Printf.printf "  %s %s %s#%d: %s M=%.4f M0=%.4f n=%d%s%s%s\n"
+                t.Tp_serve.Protocol.t_platform t.Tp_serve.Protocol.t_config
+                t.Tp_serve.Protocol.t_channel t.Tp_serve.Protocol.t_trial
+                t.Tp_serve.Protocol.t_verdict t.Tp_serve.Protocol.t_mi_bits
+                t.Tp_serve.Protocol.t_m0_bits t.Tp_serve.Protocol.t_n
+                (if t.Tp_serve.Protocol.t_cached then " [cached]" else "")
+                (if t.Tp_serve.Protocol.t_retries > 0 then
+                   Printf.sprintf " [%d retries]"
+                     t.Tp_serve.Protocol.t_retries
+                 else "")
+                (match t.Tp_serve.Protocol.t_degraded_reason with
+                | None -> ""
+                | Some why -> " [" ^ why ^ "]"))
+            r.Tp_serve.Protocol.r_trials)
+        results;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Submit the platform x config x channel x trial matrix to a \
+          running campaign daemon in per-(platform, config) batches and \
+          render the streamed results.  Resubmitting a finished sweep \
+          is answered entirely from the daemon's result store.")
+    Term.(
+      const run $ socket_arg $ platforms_arg $ configs_arg $ channels_arg
+      $ trials_arg $ seed_arg $ samples_arg $ cycle_budget_arg
+      $ trial_timeout_arg $ wall_budget_arg $ retries_arg $ json_arg)
+
+let cmd_serve_smoke =
+  (* End-to-end crash-resume gate, self-contained so CI can run it as
+     one command: reference run in-process, then daemon runs that are
+     SIGKILLed mid-sweep, resumed, and resubmitted, gating on digest
+     bit-identity and cache-hit latency. *)
+  let run verbose =
+    setup_logging verbose;
+    let dir = mkdtemp "tpsim-smoke" in
+    let socket = Filename.concat dir "sock" in
+    let store = Filename.concat dir "store" in
+    let exe = Sys.executable_name in
+    let fails = ref 0 in
+    let check name cond detail =
+      if cond then Printf.printf "  ok   %s\n%!" name
+      else begin
+        incr fails;
+        Printf.printf "  FAIL %s: %s\n%!" name detail
+      end
+    in
+    let spawn () =
+      Unix.create_process exe
+        [| exe; "serve"; "--socket"; socket; "--store"; store; "-j"; "1" |]
+        Unix.stdin Unix.stderr Unix.stderr
+    in
+    let job =
+      Tp_serve.Protocol.job ~id:"smoke" ~platforms:[ "haswell" ]
+        ~configs:[ "protected" ]
+        ~channels:[ "l1d"; "kernel" ]
+        ~trials:2 ~samples:150 ()
+    in
+    Printf.printf "serve-smoke: uninterrupted reference run (-j 1)\n%!";
+    let ref_digest =
+      let st = Tp_store.Store.open_ ~dir:(Filename.concat dir "ref") in
+      Fun.protect
+        ~finally:(fun () -> Tp_store.Store.close st)
+        (fun () ->
+          match Tp_serve.Engine.run_job ~store:st ~jobs:1 job with
+          | Ok r -> r.Tp_serve.Protocol.r_digest
+          | Error e ->
+              Printf.eprintf "serve-smoke: reference run rejected: %s\n%!" e;
+              exit 1)
+    in
+    Printf.printf "serve-smoke: daemon run, SIGKILL at first progress\n%!";
+    let pid1 = spawn () in
+    (match Tp_serve.Client.ping ~socket with
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "serve-smoke: daemon never came up: %s\n%!" e;
+        Unix.kill pid1 Sys.sigkill;
+        exit 1);
+    let killed = ref false in
+    let r1 =
+      Tp_serve.Client.submit ~socket
+        ~on_progress:(fun pr ->
+          if
+            (not !killed)
+            && pr.Tp_serve.Protocol.p_done < pr.Tp_serve.Protocol.p_total
+          then begin
+            killed := true;
+            Unix.kill pid1 Sys.sigkill
+          end)
+        job
+    in
+    ignore (Unix.waitpid [] pid1);
+    check "daemon SIGKILLed mid-sweep"
+      (!killed && Result.is_error r1)
+      "the job finished before the kill landed";
+    Printf.printf "serve-smoke: restarted daemon resumes the sweep\n%!";
+    let pid2 = spawn () in
+    (match Tp_serve.Client.submit ~socket job with
+    | Error e -> check "resumed submit" false e
+    | Ok r ->
+        check "resumed job completes"
+          (r.Tp_serve.Protocol.r_status = Tp_serve.Protocol.Complete)
+          (Tp_serve.Protocol.status_name r.Tp_serve.Protocol.r_status);
+        check "resume digest bit-identical to uninterrupted run"
+          (r.Tp_serve.Protocol.r_digest = ref_digest)
+          (r.Tp_serve.Protocol.r_digest ^ " <> " ^ ref_digest);
+        check "pre-crash trials answered from cache"
+          (r.Tp_serve.Protocol.r_cached >= 2)
+          (string_of_int r.Tp_serve.Protocol.r_cached);
+        check "no failed trials"
+          (r.Tp_serve.Protocol.r_failed = 0)
+          (string_of_int r.Tp_serve.Protocol.r_failed));
+    let t0 = Unix.gettimeofday () in
+    (match Tp_serve.Client.submit ~socket job with
+    | Error e -> check "resubmission" false e
+    | Ok r ->
+        let dt = Unix.gettimeofday () -. t0 in
+        check "resubmission fully cached"
+          (r.Tp_serve.Protocol.r_cached = r.Tp_serve.Protocol.r_total
+          && r.Tp_serve.Protocol.r_computed = 0)
+          (Printf.sprintf "%d/%d cached" r.Tp_serve.Protocol.r_cached
+             r.Tp_serve.Protocol.r_total);
+        check "resubmission digest stable"
+          (r.Tp_serve.Protocol.r_digest = ref_digest)
+          r.Tp_serve.Protocol.r_digest;
+        check "cache-hit latency under 1s" (dt < 1.0)
+          (Printf.sprintf "%.3fs" dt));
+    (match Tp_serve.Client.shutdown ~socket with
+    | Ok () -> ()
+    | Error e -> check "daemon shutdown" false e);
+    ignore (Unix.waitpid [] pid2);
+    (try rm_rf dir with Unix.Unix_error _ -> ());
+    if !fails > 0 then begin
+      Printf.printf "serve-smoke: %d checks FAILED\n%!" !fails;
+      exit 1
+    end
+    else Printf.printf "serve-smoke: PASS\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve-smoke"
+       ~doc:
+         "Crash-resume smoke test of the campaign service: start the \
+          daemon, SIGKILL it mid-sweep, restart, and gate on digest \
+          bit-identity with an uninterrupted run plus fully-cached \
+          resubmission.  This is the CI gate.")
+    Term.(const run $ verbose_arg)
+
 let cmds =
   [
     cmd_platforms;
     cmd_faults;
     cmd_bench;
+    cmd_serve;
+    cmd_sweep;
+    cmd_serve_smoke;
     cmd_lint;
     cmd_ctcheck;
     cmd_certify;

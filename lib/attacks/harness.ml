@@ -74,6 +74,14 @@ let recover_thread sys tcb =
    kernel fault mid-chunk costs at most the current chunk's partial
    slices — everything recorded at the last checkpoint is kept and the
    loop resumes, instead of the whole measurement aborting. *)
+(* Injection point crossed once per checkpointed chunk: arming it lets
+   the fail-at-step-N machinery strike the collection loop itself (not
+   just kernel setup paths) and exercise the recovery/degradation
+   contract below — the same proof obligation PR 1 imposed on kernel
+   operations, extended to the serving layer. *)
+let point_chunk = "harness.chunk"
+let () = Tp_fault.Fault.register point_chunk
+
 let collect sys ~threads ~total ~chunk_size ~budget ~target ~collected ~run_chunk =
   (* Wall budget means wall time: Sys.time is CPU time, which both
      undercounts when the process is descheduled and — summed across
@@ -92,7 +100,10 @@ let collect sys ~threads ~total ~chunk_size ~budget ~target ~collected ~run_chun
   while !done_ < total && !stop = None && collected () < target do
     let n = Stdlib.min chunk_size (total - !done_) in
     let before = collected () in
-    (match run_chunk n with
+    (match
+       Tp_fault.Fault.hit point_chunk;
+       run_chunk n
+     with
     | () -> fruitless := 0
     | exception (Types.Kernel_error _ as e) ->
         (* Partial-result recovery: keep everything collected so far,
@@ -262,6 +273,19 @@ let measure_leak_result b ~sender ~receiver spec ~rng =
 
 let measure_leak b ~sender ~receiver spec ~rng =
   fst (measure_leak_result b ~sender ~receiver spec ~rng)
+
+(* Collection metadata as one JSON object, so `tpsim faults` and the
+   campaign service report the degradation contract in the same
+   machine-readable shape. *)
+let status_json r =
+  Printf.sprintf
+    "{\"degraded\":%b,\"degraded_reason\":%s,\"recovered_faults\":%d,\"checkpoints\":%d,\"samples\":%d}"
+    r.degraded
+    (match r.degraded_reason with
+    | None -> "null"
+    | Some s -> "\"" ^ Tp_util.Json.escape s ^ "\"")
+    r.recovered_faults r.checkpoints
+    (Array.length r.data.Tp_channel.Mi.input)
 
 let timed ctx f =
   let t0 = Uctx.now ctx in

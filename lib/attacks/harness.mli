@@ -131,6 +131,18 @@ val measure_leak_result :
 (** {!measure_leak} plus the collection metadata (degraded flag,
     recovered fault count) for reporting. *)
 
+val status_json : result -> string
+(** The collection metadata of a result — degraded flag and reason,
+    recovered fault count, checkpoints, samples kept — as one JSON
+    object, the shape [tpsim faults] and the campaign-service
+    job-result JSON both report. *)
+
+val point_chunk : string
+(** ["harness.chunk"]: injection point crossed once per checkpointed
+    collection chunk.  Arming it (e.g. [--inject harness.chunk:2])
+    makes a kernel fault strike {e mid-collection}, driving the
+    recover-and-resume path rather than a setup path. *)
+
 (** {1 Receiver helpers} *)
 
 val timed : Tp_kernel.Uctx.t -> (unit -> unit) -> int

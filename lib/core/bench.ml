@@ -216,125 +216,10 @@ let json_of_results ~jobs ~quality results =
   Buffer.add_string b "  ]\n}\n";
   Buffer.contents b
 
-(* ---- minimal JSON reader (for the baseline file) ---------------- *)
+(* The baseline file is read back with the shared minimal JSON reader
+   (Tp_util.Json, which started life here). *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-exception Bad_json of string
-
-let parse_json s =
-  let n = String.length s in
-  let i = ref 0 in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !i)) in
-  let peek () = if !i < n then Some s.[!i] else None in
-  let skip_ws () =
-    while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      incr i
-    done
-  in
-  let expect c =
-    if !i < n && s.[!i] = c then incr i
-    else fail (Printf.sprintf "expected '%c'" c)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !i >= n then fail "unterminated string";
-      match s.[!i] with
-      | '"' -> incr i
-      | '\\' ->
-          incr i;
-          if !i >= n then fail "unterminated escape";
-          (match s.[!i] with
-          | '"' -> Buffer.add_char b '"'
-          | '\\' -> Buffer.add_char b '\\'
-          | '/' -> Buffer.add_char b '/'
-          | 'n' -> Buffer.add_char b '\n'
-          | 't' -> Buffer.add_char b '\t'
-          | 'r' -> Buffer.add_char b '\r'
-          | c -> fail (Printf.sprintf "unsupported escape '\\%c'" c));
-          incr i;
-          go ()
-      | c ->
-          Buffer.add_char b c;
-          incr i;
-          go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Str (parse_string ())
-    | Some '{' ->
-        incr i;
-        skip_ws ();
-        if peek () = Some '}' then (incr i; Obj [])
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> incr i; members ((k, v) :: acc)
-            | Some '}' -> incr i; List.rev ((k, v) :: acc)
-            | _ -> fail "expected ',' or '}'"
-          in
-          Obj (members [])
-        end
-    | Some '[' ->
-        incr i;
-        skip_ws ();
-        if peek () = Some ']' then (incr i; Arr [])
-        else begin
-          let rec elems acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> incr i; elems (v :: acc)
-            | Some ']' -> incr i; List.rev (v :: acc)
-            | _ -> fail "expected ',' or ']'"
-          in
-          Arr (elems [])
-        end
-    | Some 't' -> i := !i + 4; Bool true
-    | Some 'f' -> i := !i + 5; Bool false
-    | Some 'n' -> i := !i + 4; Null
-    | Some _ ->
-        let j = ref !i in
-        while
-          !j < n
-          && (match s.[!j] with
-             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-             | _ -> false)
-        do
-          incr j
-        done;
-        if !j = !i then fail "expected a value";
-        let num = String.sub s !i (!j - !i) in
-        i := !j;
-        (match float_of_string_opt num with
-        | Some f -> Num f
-        | None -> fail "bad number")
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !i <> n then fail "trailing garbage";
-  v
-
-let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+module Json = Tp_util.Json
 
 (* ---- baseline gate ---------------------------------------------- *)
 
@@ -348,13 +233,19 @@ type regression = {
 
 let check_baseline ~max_regress ~baseline results =
   let base_exps =
-    match member "experiments" baseline with Some (Arr l) -> l | _ -> []
+    match Json.member "experiments" baseline with
+    | Some (Json.Arr l) -> l
+    | _ -> []
   in
   let lookup name platform =
     List.find_map
       (fun e ->
-        match (member "name" e, member "platform" e, member "accesses_per_sec" e) with
-        | Some (Str n), Some (Str p), Some (Num v)
+        match
+          ( Json.member "name" e,
+            Json.member "platform" e,
+            Json.member "accesses_per_sec" e )
+        with
+        | Some (Json.Str n), Some (Json.Str p), Some (Json.Num v)
           when n = name && p = platform ->
             Some v
         | _ -> None)
@@ -430,10 +321,10 @@ let run q ~seed ~jobs ~platforms ~json_out ~baseline ~max_regress () =
           let ic = open_in f in
           Fun.protect
             ~finally:(fun () -> close_in_noerr ic)
-            (fun () -> parse_json (In_channel.input_all ic))
+            (fun () -> Json.parse (In_channel.input_all ic))
         with
         | j -> check_baseline ~max_regress ~baseline:j results
-        | exception (Sys_error msg | Bad_json msg) ->
+        | exception (Sys_error msg | Json.Bad msg) ->
             Printf.eprintf "tpsim bench: cannot read baseline %s: %s\n%!" f msg;
             [])
   in

@@ -4,6 +4,19 @@ let default = Atomic.make 1
 let set_default_jobs j = Atomic.set default (Stdlib.max 1 j)
 let default_jobs () = Atomic.get default
 
+let validate_jobs ~jobs ~inject =
+  match jobs with
+  | Some j when inject && j > 1 ->
+      Error
+        (Printf.sprintf
+           "--inject is incompatible with --jobs %d: fault plans are \
+            process-global (one armed crossing per process), so parallel \
+            worker domains would race the injection point; drop --jobs or \
+            pass --jobs 1"
+           j)
+  | Some j -> Ok (Stdlib.max 1 j)
+  | None -> Ok (if inject then 1 else recommended_jobs ())
+
 (* Each task allocates kernel object ids from its own region so that
    id sequences depend only on the trial index, not on worker
    assignment.  Applied at every jobs level: a [-j 1] run uses the same

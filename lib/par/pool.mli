@@ -41,6 +41,15 @@ val set_default_jobs : int -> unit
 
 val default_jobs : unit -> int
 
+val validate_jobs : jobs:int option -> inject:bool -> (int, string) result
+(** Resolve a CLI jobs request against the fault-injection constraint.
+    [Ok j] is the jobs level to install ([recommended_jobs] when
+    unspecified, 1 when unspecified under injection).  An {e explicit}
+    request for more than one worker while a fault plan is armed is
+    [Error msg]: fault plans are process-global one-shot state, so
+    concurrent workers would race the armed crossing — the combination
+    is rejected, not silently downgraded. *)
+
 val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [run ~jobs n f] computes [[| f 0; ...; f (n-1) |]], evaluating the
     tasks on [min jobs n] domains (the calling domain works too).  If

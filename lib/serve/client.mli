@@ -1,0 +1,31 @@
+(** Client side of the campaign service ([tpsim sweep]).
+
+    Thin, synchronous wrappers over the {!Protocol} wire format.  Each
+    call opens its own connection; [connect]'s bounded retry loop
+    absorbs the window where the daemon is still booting (or was just
+    SIGKILLed and restarted — the crash-resume path). *)
+
+val connect :
+  socket:string -> ?attempts:int -> ?backoff_s:float -> unit ->
+  (Unix.file_descr, string) result
+(** Connect with up to [attempts] tries (default 20), sleeping
+    [backoff_s] (default 0.05 s, doubling, capped at 1 s) between
+    tries while the socket is absent or refusing. *)
+
+val ping : socket:string -> (unit, string) result
+
+val status : socket:string -> (Tp_util.Json.t, string) result
+(** The daemon's status object (store dir, entry count, jobs). *)
+
+val submit :
+  socket:string ->
+  ?on_progress:(Protocol.progress -> unit) ->
+  Protocol.job ->
+  (Protocol.job_result, string) result
+(** Submit and block until the final event, feeding each streamed
+    progress event to [on_progress].  [Error] covers connection
+    failure, daemon-side rejection and a connection dropped mid-job
+    (e.g. the daemon was SIGKILLed) — resubmitting after a restart is
+    the intended recovery, and is answered mostly from cache. *)
+
+val shutdown : socket:string -> (unit, string) result

@@ -1,0 +1,451 @@
+module Store = Tp_store.Store
+module Scenario = Tp_core.Scenario
+module Harness = Tp_attacks.Harness
+
+type cell = {
+  cl_platform : string;
+  cl_plat : Tp_hw.Platform.t;
+  cl_config : string;
+  cl_kind : Scenario.kind;
+  cl_channel : string;
+  cl_trial : int;
+}
+
+let point_dispatch = "job_dispatch"
+let () = Tp_fault.Fault.register point_dispatch
+let circuit_threshold = 5
+
+let platform_slugs =
+  [
+    ("haswell", Tp_hw.Platform.haswell);
+    ("sabre", Tp_hw.Platform.sabre);
+    ("armv8", Tp_hw.Platform.armv8);
+  ]
+
+let config_slugs =
+  [
+    ("raw", Scenario.Raw);
+    ("full-flush", Scenario.Full_flush);
+    ("protected", Scenario.Protected);
+    ("coloured-only", Scenario.Coloured_only);
+    ("no-pad", Scenario.Protected_no_pad);
+    ("no-prefetcher", Scenario.Protected_no_prefetcher);
+    ("cat-llc", Scenario.Cat_llc);
+  ]
+
+let channel_slugs =
+  [ "l1d"; "l1i"; "tlb"; "btb"; "bhb"; "l2"; "kernel"; "flush" ]
+
+let code_rev =
+  (* Hashing the executable once per process: any rebuild invalidates
+     every cache entry, so a stale store can never answer for changed
+     measurement code. *)
+  let rev =
+    lazy
+      (try Digest.to_hex (Digest.file Sys.executable_name)
+       with Sys_error _ -> "unknown-code-rev")
+  in
+  fun () -> Lazy.force rev
+
+let lookup what table s =
+  match List.assoc_opt s table with
+  | Some v -> Ok v
+  | None ->
+      Error
+        (Printf.sprintf "unknown %s %S (expected one of: %s)" what s
+           (String.concat ", " (List.map fst table)))
+
+let ( let* ) = Result.bind
+
+let rec all_ok f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* v = f x in
+      let* vs = all_ok f xs in
+      Ok (v :: vs)
+
+let cells_of_job (j : Protocol.job) =
+  let* () =
+    if j.Protocol.j_platforms = [] then Error "job names no platforms"
+    else if j.Protocol.j_configs = [] then Error "job names no configs"
+    else if j.Protocol.j_channels = [] then Error "job names no channels"
+    else Ok ()
+  in
+  let* plats =
+    all_ok
+      (fun s ->
+        let* p = lookup "platform" platform_slugs s in
+        Ok (s, p))
+      j.Protocol.j_platforms
+  in
+  let* kinds =
+    all_ok
+      (fun s ->
+        let* k = lookup "config" config_slugs s in
+        Ok (s, k))
+      j.Protocol.j_configs
+  in
+  let* chans =
+    all_ok
+      (fun s ->
+        if List.mem s channel_slugs then Ok s
+        else
+          Error
+            (Printf.sprintf "unknown channel %S (expected one of: %s)" s
+               (String.concat ", " channel_slugs)))
+      j.Protocol.j_channels
+  in
+  Ok
+    (List.concat_map
+       (fun (pslug, plat) ->
+         List.concat_map
+           (fun (cslug, kind) ->
+             List.concat_map
+               (fun chan ->
+                 List.init j.Protocol.j_trials (fun t ->
+                     {
+                       cl_platform = pslug;
+                       cl_plat = plat;
+                       cl_config = cslug;
+                       cl_kind = kind;
+                       cl_channel = chan;
+                       cl_trial = t;
+                     }))
+               chans)
+           kinds)
+       plats)
+
+let cell_key ~code_rev (j : Protocol.job) c =
+  Store.key ~code_rev
+    ~parts:
+      [
+        "tpsim-store/1";
+        c.cl_platform;
+        c.cl_config;
+        c.cl_channel;
+        string_of_int j.Protocol.j_seed;
+        string_of_int j.Protocol.j_samples;
+        (match j.Protocol.j_trial_cycle_budget with
+        | None -> "unbounded"
+        | Some b -> string_of_int b);
+        string_of_int c.cl_trial;
+      ]
+
+(* The cell's RNG stream depends only on (seed, platform, config,
+   channel, trial) — never on the cell's position in the job, the job's
+   shape, or the code rev — so a cell computed by a 1-cell job is
+   bit-identical to the same cell inside a full-matrix sweep. *)
+let cell_rng (j : Protocol.job) c =
+  let tag =
+    String.concat "\x00"
+      [
+        "tpsim-cell-rng";
+        c.cl_platform;
+        c.cl_config;
+        c.cl_channel;
+        string_of_int j.Protocol.j_seed;
+        string_of_int c.cl_trial;
+      ]
+  in
+  let d = Digest.string tag in
+  Tp_util.Rng.create ~seed:(Int64.to_int (String.get_int64_le d 0))
+
+let prepare_channel c b =
+  let module Cc = Tp_attacks.Cache_channels in
+  match c.cl_channel with
+  | "kernel" ->
+      (Tp_attacks.Kernel_chan.prepare b, Tp_attacks.Kernel_chan.symbols)
+  | "flush" ->
+      (Tp_attacks.Flush_chan.(prepare Offline) b, Tp_attacks.Flush_chan.symbols)
+  | slug ->
+      let ch =
+        match slug with
+        | "l1d" -> Cc.l1d
+        | "l1i" -> Cc.l1i
+        | "tlb" -> Cc.tlb
+        | "btb" -> Cc.btb c.cl_plat
+        | "bhb" -> Cc.bhb
+        | "l2" -> Cc.l2
+        | _ -> invalid_arg ("Tp_serve.Engine: unknown channel " ^ slug)
+      in
+      (ch.Cc.prepare b, ch.Cc.symbols)
+
+let verdict_name = function
+  | Tp_channel.Leakage.Leak -> "leak"
+  | Tp_channel.Leakage.No_evidence -> "no-evidence"
+  | Tp_channel.Leakage.Negligible -> "negligible"
+
+let wall_reason = "wall-clock budget exhausted"
+
+let compute_cell (j : Protocol.job) c =
+  let b = Scenario.boot c.cl_kind c.cl_plat in
+  let (sender, receiver), symbols = prepare_channel c b in
+  let spec =
+    {
+      (Harness.default_spec c.cl_plat) with
+      Harness.samples = j.Protocol.j_samples;
+      symbols;
+      budget =
+        {
+          Harness.max_cycles = j.Protocol.j_trial_cycle_budget;
+          max_wall_s = j.Protocol.j_trial_timeout_s;
+        };
+    }
+  in
+  let rng = cell_rng j c in
+  let r = Harness.run_pair_result b ~sender ~receiver spec ~rng in
+  let n = Array.length r.Harness.data.Tp_channel.Mi.input in
+  (* Wall-clock truncation depends on host load, so its partial dataset
+     must never enter the content-addressed store: report it as a
+     recomputable failure.  Cycle-budget truncation is a deterministic
+     function of the key and is cached like any complete result. *)
+  if r.Harness.degraded_reason = Some wall_reason then
+    Error (Printf.sprintf "trial wall timeout after %d samples" n)
+  else if n = 0 then
+    Error
+      (Printf.sprintf "no samples collected%s"
+         (match r.Harness.degraded_reason with
+         | Some why -> ": " ^ why
+         | None -> ""))
+  else
+    let leak = Tp_channel.Leakage.test ~rng r.Harness.data in
+    Ok
+      (Protocol.stored_of_trial
+         {
+           Protocol.t_platform = c.cl_platform;
+           t_config = c.cl_config;
+           t_channel = c.cl_channel;
+           t_trial = c.cl_trial;
+           t_key = "";
+           t_status =
+             (if r.Harness.degraded then Protocol.Degraded
+              else Protocol.Complete);
+           t_mi_bits = leak.Tp_channel.Leakage.m;
+           t_m0_bits = leak.Tp_channel.Leakage.m0;
+           t_verdict = verdict_name leak.Tp_channel.Leakage.verdict;
+           t_n = n;
+           t_degraded_reason = r.Harness.degraded_reason;
+           t_recovered_faults = r.Harness.recovered_faults;
+           t_checkpoints = r.Harness.checkpoints;
+           t_retries = 0;
+           t_cached = false;
+         })
+
+(* ---- job execution ----------------------------------------------- *)
+
+let failed_trial c ~key ~retries reason =
+  {
+    Protocol.t_platform = c.cl_platform;
+    t_config = c.cl_config;
+    t_channel = c.cl_channel;
+    t_trial = c.cl_trial;
+    t_key = key;
+    t_status = Protocol.Failed;
+    t_mi_bits = 0.0;
+    t_m0_bits = 0.0;
+    t_verdict = "no-data";
+    t_n = 0;
+    t_degraded_reason = Some reason;
+    t_recovered_faults = 0;
+    t_checkpoints = 0;
+    t_retries = retries;
+    t_cached = false;
+  }
+
+(* One attempt plus up to [j_max_retries] retries with exponential
+   backoff.  Traps everything: a worker fault must surface as a Failed
+   trial, not tear down the pool. *)
+let attempt_cell ~compute (j : Protocol.job) c =
+  let rec go attempt =
+    let outcome =
+      match compute j c with
+      | r -> r
+      | exception e -> Error ("worker fault: " ^ Printexc.to_string e)
+    in
+    match outcome with
+    | Ok blob -> (Ok blob, attempt)
+    | Error why ->
+        if attempt >= j.Protocol.j_max_retries then (Error why, attempt)
+        else begin
+          let backoff =
+            j.Protocol.j_retry_backoff_s *. (2.0 ** float_of_int attempt)
+          in
+          if backoff > 0.0 then Unix.sleepf backoff;
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+let job_digest ~store trials =
+  let pairs =
+    List.filter_map
+      (fun (t : Protocol.trial) ->
+        if t.Protocol.t_status = Protocol.Failed then None
+        else
+          Option.map
+            (fun d -> t.Protocol.t_key ^ "=" ^ d)
+            (Store.content_digest store t.Protocol.t_key))
+      trials
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" (List.sort compare pairs)))
+
+let rec take n = function
+  | [] -> ([], [])
+  | xs when n <= 0 -> ([], xs)
+  | x :: xs ->
+      let hd, tl = take (n - 1) xs in
+      (x :: hd, tl)
+
+let run_job ~store ?code_rev:rev ?jobs ?progress ?(compute = compute_cell)
+    (j : Protocol.job) =
+  let* cells = cells_of_job j in
+  let rev = match rev with Some r -> r | None -> code_rev () in
+  let jobs_n =
+    match jobs with
+    | Some n -> Stdlib.max 1 n
+    | None -> Tp_par.Pool.default_jobs ()
+  in
+  let total = List.length cells in
+  let keyed = List.map (fun c -> (c, cell_key ~code_rev:rev j c)) cells in
+  let trials = Array.make total None in
+  let cached = ref 0 and failed = ref 0 and retried = ref 0 in
+  let done_ = ref 0 in
+  let consecutive = ref 0 in
+  let stop_reason = ref None in
+  let record i t =
+    trials.(i) <- Some t;
+    incr done_;
+    (match t.Protocol.t_status with
+    | Protocol.Failed ->
+        incr failed;
+        incr consecutive
+    | Protocol.Complete | Protocol.Degraded -> consecutive := 0);
+    retried := !retried + t.Protocol.t_retries;
+    if t.Protocol.t_cached then incr cached
+  in
+  let emit () =
+    match progress with
+    | None -> ()
+    | Some f ->
+        f
+          {
+            Protocol.p_done = !done_;
+            p_total = total;
+            p_cached = !cached;
+            p_failed = !failed;
+            p_retried = !retried;
+          }
+  in
+  (* Answer everything the store already holds; a resubmission of a
+     completed job is nothing but this scan. *)
+  let pending = ref [] in
+  List.iteri
+    (fun i (c, key) ->
+      match Store.find store key with
+      | None -> pending := (i, c, key) :: !pending
+      | Some blob -> (
+          match Protocol.trial_of_stored ~key blob with
+          | Ok t -> record i t
+          | Error why ->
+              (* Digest-valid but unparseable: a schema change without a
+                 code-rev change.  Fail loudly rather than recompute
+                 into a key [put] would refuse to overwrite. *)
+              record i
+                (failed_trial c ~key ~retries:0
+                   ("stored trial unreadable: " ^ why))))
+    keyed;
+  let pending = List.rev !pending in
+  consecutive := 0;
+  if !done_ > 0 then emit ();
+  let wave = Stdlib.max 1 (jobs_n * 2) in
+  let deadline =
+    Option.map
+      (fun s -> Unix.gettimeofday () +. s)
+      j.Protocol.j_wall_budget_s
+  in
+  let rec waves rest =
+    match rest with
+    | [] -> ()
+    | _ when !stop_reason <> None ->
+        (* Graceful degradation: everything already computed (and
+           stored) is kept; the remainder is reported failed with the
+           stop reason and recomputed on resubmission. *)
+        List.iter
+          (fun (i, c, key) ->
+            record i (failed_trial c ~key ~retries:0 (Option.get !stop_reason)))
+          rest;
+        emit ()
+    | _
+      when Option.fold ~none:false
+             ~some:(fun d -> Unix.gettimeofday () >= d)
+             deadline ->
+        stop_reason := Some "job wall budget exhausted";
+        waves rest
+    | _ ->
+        let chunk, rest = take wave rest in
+        (* Dispatch crossings happen here in the coordinating thread —
+           one per cell — so fail-at-step-N can crash a sweep between
+           any two dispatches. *)
+        List.iter (fun _ -> Tp_fault.Fault.hit point_dispatch) chunk;
+        let arr = Array.of_list chunk in
+        let outs =
+          Tp_par.Pool.run ~jobs:jobs_n (Array.length arr) (fun k ->
+              let _, c, _ = arr.(k) in
+              attempt_cell ~compute j c)
+        in
+        Array.iteri
+          (fun k (out, retries) ->
+            let i, c, key = arr.(k) in
+            match out with
+            | Ok blob -> (
+                (* Store before anything depends on the result: a crash
+                   after this put resumes with the cell already
+                   answered. *)
+                Store.put store ~key blob;
+                match Protocol.trial_of_stored ~key blob with
+                | Ok t ->
+                    record i
+                      { t with Protocol.t_cached = false; t_retries = retries }
+                | Error why ->
+                    record i
+                      (failed_trial c ~key ~retries
+                         ("computed trial unreadable: " ^ why)))
+            | Error why -> record i (failed_trial c ~key ~retries why))
+          outs;
+        if !consecutive >= circuit_threshold && !stop_reason = None then
+          stop_reason :=
+            Some
+              (Printf.sprintf
+                 "circuit open after %d consecutive trial failures"
+                 !consecutive);
+        emit ();
+        waves rest
+  in
+  waves pending;
+  let trials = Array.to_list trials |> List.map Option.get in
+  let degraded =
+    List.length
+      (List.filter
+         (fun (t : Protocol.trial) -> t.Protocol.t_status = Protocol.Degraded)
+         trials)
+  in
+  let status =
+    if !failed = total then Protocol.Failed
+    else if !failed > 0 || degraded > 0 || !stop_reason <> None then
+      Protocol.Degraded
+    else Protocol.Complete
+  in
+  Ok
+    {
+      Protocol.r_id = j.Protocol.j_id;
+      r_status = status;
+      r_reason = !stop_reason;
+      r_total = total;
+      r_computed = total - !cached - !failed;
+      r_cached = !cached;
+      r_degraded = degraded;
+      r_failed = !failed;
+      r_retried = !retried;
+      r_digest = job_digest ~store trials;
+      r_trials = trials;
+    }

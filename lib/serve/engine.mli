@@ -1,0 +1,85 @@
+(** Job execution engine of the campaign service.
+
+    Expands a {!Protocol.job} into its deterministic cell list
+    (platform × config × channel × trial, in job order), answers
+    already-stored cells from the result store, and shards the rest
+    across {!Tp_par.Pool} in small waves so progress can stream and
+    budgets/circuit state are checked at deterministic points.
+
+    Robustness contract (the headline of this subsystem):
+
+    - {e retry with backoff}: a trial that raises (worker fault) or
+      times out is retried up to [j_max_retries] times with exponential
+      backoff before being reported [Failed];
+    - {e circuit breaking}: after {!circuit_threshold} consecutive
+      trial failures (post-retry), remaining cells are skipped and the
+      job degrades — a sick worker pool cannot burn the whole budget;
+    - {e graceful degradation}: a job that exhausts its wall budget
+      returns everything computed so far, marked [Degraded] with a
+      reason, mirroring the PR 1 harness contract;
+    - {e idempotent resubmission}: every completed cell is stored
+      before the next wave is dispatched, so resubmitting after any
+      interruption (including [kill -9] — see the crash-resume tests)
+      continues from the store and converges to a result bit-identical
+      to an uninterrupted run;
+    - {e honest caching}: only deterministic outcomes are stored.
+      Wall-clock-degraded trials are host-dependent, so they are
+      reported [Failed] (recomputable) and never written back.
+
+    The dispatch loop crosses the {!Tp_fault} point [job_dispatch]
+    once per cell (in the coordinating thread), so the fail-at-step-N
+    driver can crash a sweep between any two dispatches and prove
+    crash-resume bit-identity. *)
+
+type cell = {
+  cl_platform : string;  (** platform slug, e.g. ["haswell"] *)
+  cl_plat : Tp_hw.Platform.t;
+  cl_config : string;  (** scenario slug *)
+  cl_kind : Tp_core.Scenario.kind;
+  cl_channel : string;
+  cl_trial : int;
+}
+
+val point_dispatch : string
+(** ["job_dispatch"] *)
+
+val circuit_threshold : int
+(** Consecutive post-retry failures that open the circuit (5). *)
+
+val config_slugs : (string * Tp_core.Scenario.kind) list
+(** CLI-stable scenario slugs ([raw], [full-flush], [protected], ...),
+    shared with [tpsim]'s [-c] argument. *)
+
+val channel_slugs : string list
+(** [l1d; l1i; tlb; btb; bhb; l2; kernel; flush]. *)
+
+val code_rev : unit -> string
+(** Digest of the running executable: the "code rev" component of
+    every cache key, so results never survive a rebuild. *)
+
+val cells_of_job : Protocol.job -> (cell list, string) result
+(** Validate names and expand, preserving job list order. *)
+
+val cell_key : code_rev:string -> Protocol.job -> cell -> string
+(** The store key of one cell: digest over schema, platform, config,
+    channel, seed, samples, cycle budget and trial index. *)
+
+val compute_cell : Protocol.job -> cell -> (string, string) result
+(** Run one trial (fresh boot, per-cell RNG stream) and return its
+    stored blob, or [Error reason] for non-cacheable outcomes (wall
+    timeout, empty collection). *)
+
+val run_job :
+  store:Tp_store.Store.t ->
+  ?code_rev:string ->
+  ?jobs:int ->
+  ?progress:(Protocol.progress -> unit) ->
+  ?compute:(Protocol.job -> cell -> (string, string) result) ->
+  Protocol.job ->
+  (Protocol.job_result, string) result
+(** Execute a job.  [Error] only for invalid jobs (unknown platform /
+    config / channel names); execution trouble degrades the result
+    instead.  [compute] is a test seam (defaults to {!compute_cell});
+    [jobs] defaults to the pool default.  Store write failures and
+    armed [job_dispatch] faults propagate as exceptions — they are the
+    simulated crashes of the crash-resume tests. *)

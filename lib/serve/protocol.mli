@@ -1,0 +1,116 @@
+(** Wire protocol of the campaign service.
+
+    Requests and responses are newline-delimited JSON objects over a
+    Unix-domain socket.  Requests carry an ["op"] field ([ping],
+    [status], [submit], [shutdown]); responses carry an ["event"]
+    field.  A [submit] streams zero or more [progress] events before
+    its final [result] (or [error]) event, so clients can render
+    completion live.
+
+    A {e job} names the sub-matrix to measure (platforms × protection
+    configs × channels × trials) plus its robustness envelope: retry
+    bound with exponential backoff for faulted trials, a deterministic
+    per-trial simulated-cycle budget (degrades the trial, and is part
+    of its cache key), a per-trial wall timeout and a per-job wall
+    budget (which stop work but never poison the store — wall time is
+    host-dependent, so wall-degraded trials are reported [failed] and
+    recomputed on resume rather than cached).
+
+    A trial's {e stored} form (what the result store files under the
+    trial's key) contains only deterministic fields; per-execution
+    metadata (retries, cache hit) ride the wire but never the disk, so
+    a resumed sweep is bit-identical to an uninterrupted one. *)
+
+type job = {
+  j_id : string;
+  j_platforms : string list;  (** platform names, e.g. ["haswell"] *)
+  j_configs : string list;  (** scenario slugs, e.g. ["protected"] *)
+  j_channels : string list;  (** channel slugs, e.g. ["l1d"; "kernel"] *)
+  j_trials : int;  (** trials per (platform, config, channel) cell *)
+  j_seed : int;
+  j_samples : int;  (** harness samples per trial *)
+  j_trial_cycle_budget : int option;
+      (** deterministic per-trial simulated-cycle budget; in the key *)
+  j_trial_timeout_s : float option;  (** wall timeout per trial attempt *)
+  j_wall_budget_s : float option;  (** wall budget for the whole job *)
+  j_max_retries : int;  (** extra attempts per faulted trial *)
+  j_retry_backoff_s : float;  (** base backoff (doubles per attempt) *)
+}
+
+val job : ?id:string -> ?platforms:string list -> ?configs:string list ->
+  ?channels:string list -> ?trials:int -> ?seed:int -> ?samples:int ->
+  ?trial_cycle_budget:int -> ?trial_timeout_s:float -> ?wall_budget_s:float ->
+  ?max_retries:int -> ?retry_backoff_s:float -> unit -> job
+(** A job with service defaults: haswell × protected × l1d, 1 trial,
+    seed 1, 300 samples, 2 retries, 50 ms base backoff, no budgets. *)
+
+type status = Complete | Degraded | Failed
+
+val status_name : status -> string
+val status_of_name : string -> status option
+
+type trial = {
+  t_platform : string;
+  t_config : string;
+  t_channel : string;
+  t_trial : int;
+  t_key : string;  (** content-address in the result store *)
+  t_status : status;
+  t_mi_bits : float;
+  t_m0_bits : float;
+  t_verdict : string;  (** "leak" / "no-evidence" / "negligible" / "no-data" *)
+  t_n : int;  (** samples the verdict is based on *)
+  t_degraded_reason : string option;
+  t_recovered_faults : int;  (** harness recoveries (PR 1 contract) *)
+  t_checkpoints : int;
+  t_retries : int;  (** execution metadata — never stored *)
+  t_cached : bool;  (** execution metadata — never stored *)
+}
+
+type job_result = {
+  r_id : string;
+  r_status : status;  (** [Complete] iff every trial is [Complete] *)
+  r_reason : string option;
+  r_total : int;
+  r_computed : int;
+  r_cached : int;
+  r_degraded : int;
+  r_failed : int;
+  r_retried : int;  (** total retry attempts across trials *)
+  r_digest : string;
+      (** digest over the sorted (key, stored-content digest) pairs of
+          all non-failed trials: bit-identity anchor for crash-resume *)
+  r_trials : trial list;  (** in deterministic cell order *)
+}
+
+type progress = {
+  p_done : int;
+  p_total : int;
+  p_cached : int;
+  p_failed : int;
+  p_retried : int;
+}
+
+(** {1 Stored form (result-store blobs)} *)
+
+val stored_of_trial : trial -> string
+(** Canonical JSON blob for the store: deterministic fields only. *)
+
+val trial_of_stored : key:string -> string -> (trial, string) result
+(** Parse a store blob back ([t_cached = true], [t_retries = 0]). *)
+
+(** {1 Wire form} *)
+
+val job_to_json : job -> Tp_util.Json.t
+val job_of_json : Tp_util.Json.t -> (job, string) result
+val trial_to_json : trial -> Tp_util.Json.t
+val result_to_json : job_result -> Tp_util.Json.t
+val result_of_json : Tp_util.Json.t -> (job_result, string) result
+val progress_to_json : progress -> Tp_util.Json.t
+val progress_of_json : Tp_util.Json.t -> (progress, string) result
+
+val submit_line : job -> string
+val ping_line : string
+val status_line : string
+val shutdown_line : string
+(** Complete request lines (no trailing newline). *)

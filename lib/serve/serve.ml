@@ -1,0 +1,161 @@
+module Json = Tp_util.Json
+module Store = Tp_store.Store
+
+(* Swallow a dead peer: the job (and its store commits) must outlive
+   the client that asked for it. *)
+let send fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  try
+    let rec loop off =
+      if off < Bytes.length data then
+        loop (off + Unix.write fd data off (Bytes.length data - off))
+    in
+    loop 0;
+    true
+  with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> false
+
+let event name fields = Json.to_string (Json.Obj (("event", Json.Str name) :: fields))
+
+let error_line msg = event "error" [ ("message", Json.Str msg) ]
+
+(* One request line -> zero or more progress lines -> one final line.
+   [true] keeps the daemon alive, [false] is a shutdown. *)
+let handle ~store ~jobs ~log fd line =
+  match Json.parse_opt line with
+  | None ->
+      ignore (send fd (error_line "request is not valid JSON"));
+      true
+  | Some req -> (
+      match Option.bind (Json.member "op" req) Json.str with
+      | Some "ping" ->
+          ignore (send fd (event "pong" []));
+          true
+      | Some "status" ->
+          ignore
+            (send fd
+               (event "status"
+                  [
+                    ("store_dir", Json.Str (Store.dir store));
+                    ("entries", Json.Num (float_of_int (Store.count store)));
+                    ("jobs", Json.Num (float_of_int jobs));
+                    ("code_rev", Json.Str (Engine.code_rev ()));
+                  ]));
+          true
+      | Some "shutdown" ->
+          ignore (send fd (event "bye" []));
+          false
+      | Some "submit" -> (
+          match Json.member "job" req with
+          | None ->
+              ignore (send fd (error_line "submit carries no job"));
+              true
+          | Some jj -> (
+              match Protocol.job_of_json jj with
+              | Error why ->
+                  ignore (send fd (error_line ("bad job: " ^ why)));
+                  true
+              | Ok job ->
+                  log
+                    (Printf.sprintf "job %s: %d platform(s) x %d config(s) x \
+                                     %d channel(s) x %d trial(s)"
+                       job.Protocol.j_id
+                       (List.length job.Protocol.j_platforms)
+                       (List.length job.Protocol.j_configs)
+                       (List.length job.Protocol.j_channels)
+                       job.Protocol.j_trials);
+                  let progress p =
+                    ignore
+                      (send fd
+                         (event "progress"
+                            [ ("progress", Protocol.progress_to_json p) ]))
+                  in
+                  (match Engine.run_job ~store ~jobs ~progress job with
+                  | Ok r ->
+                      log
+                        (Printf.sprintf
+                           "job %s: %s (%d computed, %d cached, %d failed)"
+                           r.Protocol.r_id
+                           (Protocol.status_name r.Protocol.r_status)
+                           r.Protocol.r_computed r.Protocol.r_cached
+                           r.Protocol.r_failed);
+                      ignore
+                        (send fd
+                           (event "result"
+                              [ ("result", Protocol.result_to_json r) ]))
+                  | Error why ->
+                      log (Printf.sprintf "job %s rejected: %s"
+                             job.Protocol.j_id why);
+                      ignore (send fd (error_line why)));
+                  true))
+      | Some op ->
+          ignore (send fd (error_line ("unknown op " ^ op)));
+          true
+      | None ->
+          ignore (send fd (error_line "request carries no op"));
+          true)
+
+(* Buffered line reader over a raw fd (no in_channel: we keep the fd
+   for writes on the same socket). *)
+let read_lines fd f =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> true (* peer closed; daemon lives on *)
+    | n ->
+        let continue = ref true in
+        for i = 0 to n - 1 do
+          let c = Bytes.get chunk i in
+          if c = '\n' then begin
+            let line = Buffer.contents buf in
+            Buffer.clear buf;
+            if !continue && String.trim line <> "" then
+              continue := f line
+          end
+          else Buffer.add_char buf c
+        done;
+        if !continue then loop () else false
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> true
+  in
+  loop ()
+
+let run ~socket ~store_dir ?jobs ?(log = ignore) () =
+  let jobs =
+    match jobs with
+    | Some j -> Stdlib.max 1 j
+    | None -> Tp_par.Pool.default_jobs ()
+  in
+  (* A client that vanishes mid-stream must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let store = Store.open_ ~dir:store_dir in
+  let r = Store.fsck_report store in
+  log
+    (Printf.sprintf
+       "store %s: %d entries (fsck: %d torn, %d missing, %d corrupt, %d \
+        orphans, %d staging)"
+       store_dir r.Store.f_entries r.Store.f_torn r.Store.f_missing
+       r.Store.f_corrupt r.Store.f_orphans r.Store.f_staging);
+  if Sys.file_exists socket then Unix.unlink socket;
+  let srv = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+      Store.close store)
+    (fun () ->
+      Unix.bind srv (ADDR_UNIX socket);
+      Unix.listen srv 8;
+      log (Printf.sprintf "listening on %s (%d worker domains)" socket jobs);
+      let alive = ref true in
+      while !alive do
+        let fd, _ = Unix.accept srv in
+        let keep_going =
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> read_lines fd (handle ~store ~jobs ~log fd))
+        in
+        alive := keep_going
+      done;
+      log "shutdown requested, store closed")

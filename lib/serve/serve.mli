@@ -1,0 +1,28 @@
+(** The [tpsim serve] daemon.
+
+    A long-running campaign service: accepts newline-delimited JSON
+    requests ({!Protocol}) over a Unix-domain socket, executes jobs
+    through {!Engine.run_job} against one crash-safe result store, and
+    streams progress events back to the submitting client.
+
+    Connections are served one at a time — parallelism lives {e inside}
+    a job (trials shard across {!Tp_par.Pool}), which keeps job
+    execution deterministic.  A client that disconnects mid-job does
+    not hurt the job: writes to a dead peer are swallowed and the job
+    runs to completion, its trials committed to the store, so the
+    resubmission that follows a client crash is answered from cache.
+    The daemon itself may be [kill -9]ed at any moment: the store's
+    journal protocol guarantees completed trials survive, and a
+    restarted daemon resumes mid-sweep bit-identically. *)
+
+val run :
+  socket:string ->
+  store_dir:string ->
+  ?jobs:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  unit
+(** Serve until a [shutdown] request.  Creates [store_dir] as needed
+    and replaces a stale socket file.  [jobs] is the worker-domain
+    count handed to every job (default: the pool default); [log]
+    receives one human-readable line per lifecycle event. *)

@@ -1,0 +1,255 @@
+(* Content-addressed result store: objects/<key> files plus an
+   append-only journal of commits.  The journal is the source of truth;
+   fsck on open drops torn tails and quarantines mismatches, so a crash
+   mid-write can lose at most the entry being written, never a
+   completed one. *)
+
+let point_write = "store_write"
+let point_fsync = "store_fsync"
+let point_rename = "store_rename"
+
+let () =
+  List.iter Tp_fault.Fault.register [ point_write; point_fsync; point_rename ]
+
+type entry = { e_digest : string; e_len : int }
+
+type fsck_report = {
+  f_entries : int;
+  f_torn : int;
+  f_missing : int;
+  f_corrupt : int;
+  f_orphans : int;
+  f_staging : int;
+}
+
+type t = {
+  t_dir : string;
+  t_tbl : (string, entry) Hashtbl.t;
+  mutable t_journal : Unix.file_descr option;  (* None once closed *)
+  t_fsck : fsck_report;
+}
+
+let dir t = t.t_dir
+let fsck_report t = t.t_fsck
+let objects_dir dir = Filename.concat dir "objects"
+let staging_dir dir = Filename.concat dir "staging"
+let journal_path dir = Filename.concat dir "journal"
+let object_path dir key = Filename.concat (objects_dir dir) key
+
+let is_hex_key k =
+  String.length k = 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       k
+
+let key ~code_rev ~parts =
+  Digest.to_hex (Digest.string (String.concat "\x00" (code_rev :: parts)))
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* fsync a directory so a rename inside it is durable; best-effort on
+   filesystems that refuse directory fsync. *)
+let fsync_dir d =
+  match Unix.openfile d [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+(* Staged durable write: the injection points make every step of the
+   commit protocol a crash site the fail-at-step-N sweep can hit. *)
+let write_file_sync path data =
+  Tp_fault.Fault.hit point_write;
+  let fd =
+    Unix.openfile path
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+      0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      write_all fd data;
+      Tp_fault.Fault.hit point_fsync;
+      Unix.fsync fd)
+
+let rename_durable src dst =
+  Tp_fault.Fault.hit point_rename;
+  Unix.rename src dst;
+  fsync_dir (Filename.dirname dst)
+
+let journal_line key e =
+  Printf.sprintf "C %s %s %d\n" key e.e_digest e.e_len
+
+(* One committed entry per line; anything that does not parse exactly
+   is treated as the torn tail of a crashed append and every later
+   line is distrusted too. *)
+let parse_line line =
+  match String.split_on_char ' ' line with
+  | [ "C"; k; d; l ] when is_hex_key k && is_hex_key d -> (
+      match int_of_string_opt l with
+      | Some len when len >= 0 -> Some (k, { e_digest = d; e_len = len })
+      | _ -> None)
+  | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> In_channel.input_all ic)
+
+let list_files d =
+  match Sys.readdir d with
+  | a ->
+      Array.sort compare a;
+      Array.to_list a
+  | exception Sys_error _ -> []
+
+let open_ ~dir =
+  mkdir_p dir;
+  mkdir_p (objects_dir dir);
+  mkdir_p (staging_dir dir);
+  let tbl = Hashtbl.create 256 in
+  let torn = ref 0 and missing = ref 0 and corrupt = ref 0 in
+  (* Replay: last line wins for a duplicated key (appends are ordered);
+     the first malformed line marks the crash point — drop the rest. *)
+  (match read_file (journal_path dir) with
+  | raw ->
+      let lines = String.split_on_char '\n' raw in
+      let rec replay = function
+        | [] | [ "" ] -> ()
+        | line :: rest -> (
+            match parse_line line with
+            | Some (k, e) ->
+                Hashtbl.replace tbl k e;
+                replay rest
+            | None ->
+                torn := !torn + 1 + List.length (List.filter (( <> ) "") rest))
+      in
+      replay lines
+  | exception Sys_error _ -> ());
+  (* Verify every journalled object; drop (and delete) mismatches. *)
+  Hashtbl.iter
+    (fun k e ->
+      let path = object_path dir k in
+      match Unix.stat path with
+      | exception Unix.Unix_error _ ->
+          incr missing;
+          Hashtbl.remove tbl k
+      | st ->
+          if
+            st.Unix.st_size <> e.e_len
+            || Digest.to_hex (Digest.file path) <> e.e_digest
+          then begin
+            incr corrupt;
+            Hashtbl.remove tbl k;
+            try Sys.remove path with Sys_error _ -> ()
+          end)
+    (Hashtbl.copy tbl);
+  (* Orphans: renamed into place but never journalled (crash between
+     rename and commit).  The commit never happened — remove them so a
+     resume recomputes instead of trusting an unverifiable file. *)
+  let orphans =
+    List.filter (fun f -> not (Hashtbl.mem tbl f)) (list_files (objects_dir dir))
+  in
+  List.iter
+    (fun f -> try Sys.remove (object_path dir f) with Sys_error _ -> ())
+    orphans;
+  let stage = list_files (staging_dir dir) in
+  List.iter
+    (fun f ->
+      try Sys.remove (Filename.concat (staging_dir dir) f) with Sys_error _ -> ())
+    stage;
+  (* Rewrite the journal compacted, through the same atomic path as a
+     commit, so repeated crash/open cycles converge instead of growing
+     the journal or re-reporting the same damage. *)
+  let b = Buffer.create 4096 in
+  let live = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []) in
+  List.iter (fun k -> Buffer.add_string b (journal_line k (Hashtbl.find tbl k))) live;
+  let jtmp = Filename.concat (staging_dir dir) "journal.tmp" in
+  write_file_sync jtmp (Buffer.contents b);
+  rename_durable jtmp (journal_path dir);
+  let jfd =
+    Unix.openfile (journal_path dir)
+      [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CLOEXEC ]
+      0o644
+  in
+  {
+    t_dir = dir;
+    t_tbl = tbl;
+    t_journal = Some jfd;
+    t_fsck =
+      {
+        f_entries = Hashtbl.length tbl;
+        f_torn = !torn;
+        f_missing = !missing;
+        f_corrupt = !corrupt;
+        f_orphans = List.length orphans;
+        f_staging = List.length stage;
+      };
+  }
+
+let journal_fd t =
+  match t.t_journal with
+  | Some fd -> fd
+  | None -> invalid_arg "Tp_store.Store: store is closed"
+
+let close t =
+  match t.t_journal with
+  | None -> ()
+  | Some fd ->
+      t.t_journal <- None;
+      Unix.close fd
+
+let mem t k = Hashtbl.mem t.t_tbl k
+let count t = Hashtbl.length t.t_tbl
+
+let keys t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.t_tbl [])
+
+let content_digest t k =
+  Option.map (fun e -> e.e_digest) (Hashtbl.find_opt t.t_tbl k)
+
+let find t k =
+  match Hashtbl.find_opt t.t_tbl k with
+  | None -> None
+  | Some e -> (
+      match read_file (object_path t.t_dir k) with
+      | data when Digest.to_hex (Digest.string data) = e.e_digest -> Some data
+      | _ | (exception Sys_error _) ->
+          (* Bit rot after open: surface as a miss, not wrong data. *)
+          Hashtbl.remove t.t_tbl k;
+          None)
+
+let put t ~key data =
+  if not (is_hex_key key) then
+    invalid_arg (Printf.sprintf "Tp_store.Store.put: malformed key %S" key);
+  ignore (journal_fd t);
+  if not (mem t key) then begin
+    let tmp = Filename.concat (staging_dir t.t_dir) (key ^ ".tmp") in
+    write_file_sync tmp data;
+    rename_durable tmp (object_path t.t_dir key);
+    let e =
+      { e_digest = Digest.to_hex (Digest.string data); e_len = String.length data }
+    in
+    (* Journal append commits the entry; its own write/fsync crossings
+       mean a fault here leaves an orphan object for fsck to reap. *)
+    let fd = journal_fd t in
+    Tp_fault.Fault.hit point_write;
+    write_all fd (journal_line key e);
+    Tp_fault.Fault.hit point_fsync;
+    Unix.fsync fd;
+    Hashtbl.replace t.t_tbl key e
+  end

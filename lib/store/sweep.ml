@@ -1,0 +1,91 @@
+(* Fail-at-step-N sweep over the store commit protocol.  Mirrors
+   Tp_fault_driver.Driver: trace a clean batch to enumerate crossings,
+   then crash (raise) at each crossing and verify the reopened store. *)
+
+exception Crash
+
+type outcome = {
+  o_point : string;
+  o_occurrence : int;
+  o_fired : bool;
+  o_committed : int;
+  o_violations : string list;
+}
+
+let ok o = o.o_fired && o.o_violations = []
+let batch_size = 4
+
+let batch_keys =
+  List.init batch_size (fun i ->
+      Store.key ~code_rev:"store-sweep" ~parts:[ "entry"; string_of_int i ])
+
+let batch_data i =
+  Printf.sprintf "store-sweep payload %d: %s" i (String.make (64 + (17 * i)) 'x')
+
+(* The operation under test: open (itself a journal rewrite, so its
+   crossings are swept too), commit the batch, close. *)
+let run_batch dir =
+  let s = Store.open_ ~dir in
+  Fun.protect
+    ~finally:(fun () -> Store.close s)
+    (fun () ->
+      List.iteri (fun i k -> Store.put s ~key:k (batch_data i)) batch_keys)
+
+let check dir =
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  let s = Store.open_ ~dir in
+  let present = List.map (Store.mem s) batch_keys in
+  (* Prefix property: a crash loses a suffix of the batch, never an
+     interior entry. *)
+  let rec prefix_ok = function
+    | true :: rest -> prefix_ok rest
+    | false :: rest -> List.for_all not rest
+    | [] -> true
+  in
+  if not (prefix_ok present) then
+    violate "committed set is not a prefix of the batch: [%s]"
+      (String.concat ";" (List.map string_of_bool present));
+  List.iteri
+    (fun i k ->
+      if Store.mem s k then
+        match Store.find s k with
+        | Some data when data = batch_data i -> ()
+        | Some _ -> violate "entry %d readable but content differs" i
+        | None -> violate "entry %d journalled but unreadable" i)
+    batch_keys;
+  let committed = List.length (List.filter Fun.id present) in
+  let r1 = Store.fsck_report s in
+  Store.close s;
+  (* fsck must converge: a second open of the repaired store finds the
+     same entries and nothing left to repair. *)
+  let s2 = Store.open_ ~dir in
+  let r2 = Store.fsck_report s2 in
+  if r2.Store.f_entries <> r1.Store.f_entries then
+    violate "fsck not stable: %d entries then %d" r1.Store.f_entries
+      r2.Store.f_entries;
+  if
+    r2.Store.f_torn + r2.Store.f_missing + r2.Store.f_corrupt
+    + r2.Store.f_orphans + r2.Store.f_staging
+    <> 0
+  then
+    violate "second fsck still repairing (torn=%d missing=%d corrupt=%d orphans=%d staging=%d)"
+      r2.Store.f_torn r2.Store.f_missing r2.Store.f_corrupt r2.Store.f_orphans
+      r2.Store.f_staging;
+  Store.close s2;
+  (committed, List.rev !violations)
+
+let fail_at_each ~dir =
+  let clean_dir = Filename.concat dir "clean" in
+  let (), steps = Tp_fault.Fault.trace (fun () -> run_batch clean_dir) in
+  List.mapi
+    (fun i (point, occurrence) ->
+      let run_dir = Filename.concat dir (Printf.sprintf "crash-%d" i) in
+      Tp_fault.Fault.arm ~point ~hit:occurrence Crash;
+      (match run_batch run_dir with () -> () | exception Crash -> ());
+      let fired = Tp_fault.Fault.fired () in
+      Tp_fault.Fault.disarm ();
+      let committed, violations = check run_dir in
+      { o_point = point; o_occurrence = occurrence; o_fired = fired;
+        o_committed = committed; o_violations = violations })
+    steps

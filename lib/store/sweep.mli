@@ -1,0 +1,34 @@
+(** Fail-at-step-N crash-consistency sweep over the store write path.
+
+    The persistence analogue of [Tp_fault_driver.Driver]: trace one
+    clean batch of commits to enumerate every [store_write] /
+    [store_fsync] / [store_rename] crossing, then re-run the batch
+    once per crossing with a one-shot fault armed there (a simulated
+    crash at that step), reopen the store, and check the
+    crash-consistency contract:
+
+    - every key the reopened store reports present holds exactly the
+      content originally committed under it;
+    - the present set is a {e prefix} of the batch (commits are
+      sequential — a crash can lose the in-flight entry and everything
+      after, never an earlier one);
+    - no staging litter survives;
+    - a second reopen finds the identical set (fsck converges). *)
+
+type outcome = {
+  o_point : string;
+  o_occurrence : int;
+  o_fired : bool;  (** the armed crossing was reached *)
+  o_committed : int;  (** entries present after crash + reopen *)
+  o_violations : string list;
+}
+
+val ok : outcome -> bool
+(** Fired and no violations. *)
+
+val batch_size : int
+(** Entries committed per traced batch (4). *)
+
+val fail_at_each : dir:string -> outcome list
+(** Run the sweep under [dir] (a scratch directory; one fresh subdir
+    per armed run).  Leaves the armed fault disarmed. *)

@@ -1,0 +1,216 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !i)) in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let skip_ws () =
+    while
+      !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr i
+    done
+  in
+  let expect c =
+    if !i < n && s.[!i] = c then incr i
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad hex digit in \\u escape"
+  in
+  (* Encode a BMP code point as UTF-8; surrogate pairs are not
+     reassembled (each half encodes separately), which is enough for
+     the control-character escapes this repo's printers emit. *)
+  let add_code_point b cp =
+    if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then fail "unterminated string";
+      match s.[!i] with
+      | '"' -> incr i
+      | '\\' ->
+          incr i;
+          if !i >= n then fail "unterminated escape";
+          (match s.[!i] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'u' ->
+              if !i + 4 >= n then fail "truncated \\u escape";
+              let cp =
+                (hex_digit s.[!i + 1] lsl 12)
+                lor (hex_digit s.[!i + 2] lsl 8)
+                lor (hex_digit s.[!i + 3] lsl 4)
+                lor hex_digit s.[!i + 4]
+              in
+              i := !i + 4;
+              add_code_point b cp
+          | c -> fail (Printf.sprintf "unsupported escape '\\%c'" c));
+          incr i;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr i;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        incr i;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr i;
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr i;
+                members ((k, v) :: acc)
+            | Some '}' ->
+                incr i;
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+    | Some '[' ->
+        incr i;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr i;
+          Arr []
+        end
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr i;
+                elems (v :: acc)
+            | Some ']' ->
+                incr i;
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elems [])
+    | Some 't' ->
+        i := !i + 4;
+        Bool true
+    | Some 'f' ->
+        i := !i + 5;
+        Bool false
+    | Some 'n' ->
+        i := !i + 4;
+        Null
+    | Some _ ->
+        let j = ref !i in
+        while
+          !j < n
+          && (match s.[!j] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr j
+        done;
+        if !j = !i then fail "expected a value";
+        let num = String.sub s !i (!j - !i) in
+        i := !j;
+        (match float_of_string_opt num with
+        | Some f -> Num f
+        | None -> fail "bad number")
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !i <> n then fail "trailing garbage";
+  v
+
+let parse_opt s = match parse s with v -> Some v | exception Bad _ -> None
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let str = function Str s -> Some s | _ -> None
+let num = function Num f -> Some f | _ -> None
+
+let int_ = function
+  | Num f -> Some (int_of_float (Float.round f))
+  | _ -> None
+
+let bool_ = function Bool b -> Some b | _ -> None
+let arr = function Arr l -> Some l | _ -> None
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else Printf.sprintf "%.17g" f
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num f -> float_to_string f
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Arr l -> "[" ^ String.concat "," (List.map to_string l) ^ "]"
+  | Obj kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ to_string v) kvs)
+      ^ "}"

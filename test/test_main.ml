@@ -15,6 +15,8 @@ let () =
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
+      ("store", Test_store.suite);
+      ("serve", Test_serve.suite);
       ("analysis", Test_analysis.suite);
       ("certify", Test_certify.suite);
     ]

@@ -134,9 +134,43 @@ let test_parallel_bit_identical_protected () =
   let par = Pool.run ~jobs:3 3 trial in
   Alcotest.(check bool) "protected path: -j 3 == -j 1" true (par = seq)
 
+let test_validate_jobs () =
+  (* Explicit parallelism under fault injection is a hard error whose
+     message names the constraint — never a silent downgrade. *)
+  (match Pool.validate_jobs ~jobs:(Some 4) ~inject:true with
+  | Error msg ->
+      let has sub =
+        let n = String.length msg and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "message names --inject" true (has "--inject");
+      Alcotest.(check bool)
+        "message states the constraint" true (has "process-global");
+      Alcotest.(check bool)
+        "message offers the fix" true (has "--jobs 1")
+  | Ok _ -> Alcotest.fail "--inject with -j 4 accepted");
+  Alcotest.(check (result int string))
+    "explicit -j 1 under injection is fine" (Ok 1)
+    (Pool.validate_jobs ~jobs:(Some 1) ~inject:true);
+  Alcotest.(check (result int string))
+    "unspecified jobs under injection resolve to 1" (Ok 1)
+    (Pool.validate_jobs ~jobs:None ~inject:true);
+  Alcotest.(check (result int string))
+    "explicit jobs pass through" (Ok 6)
+    (Pool.validate_jobs ~jobs:(Some 6) ~inject:false);
+  Alcotest.(check (result int string))
+    "jobs clamped to >= 1" (Ok 1)
+    (Pool.validate_jobs ~jobs:(Some 0) ~inject:false);
+  match Pool.validate_jobs ~jobs:None ~inject:false with
+  | Ok j -> Alcotest.(check bool) "default is positive" true (j >= 1)
+  | Error e -> Alcotest.fail e
+
 let suite =
   [
     Alcotest.test_case "run preserves order" `Quick test_run_order;
+    Alcotest.test_case "validate_jobs rejects --inject with -j N" `Quick
+      test_validate_jobs;
     Alcotest.test_case "run degenerate sizes" `Quick test_run_degenerate;
     Alcotest.test_case "map_list order and index" `Quick test_map_list;
     Alcotest.test_case "lowest failure wins" `Quick test_lowest_failure_wins;

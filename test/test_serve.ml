@@ -1,0 +1,406 @@
+(* Campaign-service protocol and engine: wire round-trips, cache
+   semantics, retry/circuit/budget robustness, and crash-resume
+   bit-identity under injected dispatch and store faults. *)
+
+module P = Tp_serve.Protocol
+module E = Tp_serve.Engine
+module Store = Tp_store.Store
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tp-test-serve-%d-%d" (Unix.getpid ()) !n)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (ENOENT, _, _) -> ()
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let with_store dir f =
+  let s = Store.open_ ~dir in
+  Fun.protect ~finally:(fun () -> Store.close s) (fun () -> f s)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* A deterministic stand-in for the measurement: blob content is a
+   pure function of the cell, so digests are comparable across runs
+   without paying for real trials. *)
+let stub_trial (c : E.cell) =
+  {
+    P.t_platform = c.E.cl_platform;
+    t_config = c.E.cl_config;
+    t_channel = c.E.cl_channel;
+    t_trial = c.E.cl_trial;
+    t_key = "";
+    t_status = P.Complete;
+    t_mi_bits = float_of_int c.E.cl_trial *. 0.125;
+    t_m0_bits = 0.25;
+    t_verdict = "no-evidence";
+    t_n = 100;
+    t_degraded_reason = None;
+    t_recovered_faults = 0;
+    t_checkpoints = 3;
+    t_retries = 0;
+    t_cached = false;
+  }
+
+let stub_compute _job c = Ok (P.stored_of_trial (stub_trial c))
+
+let job ?(channels = [ "l1d"; "kernel" ]) ?(trials = 2) ?max_retries
+    ?wall_budget_s ?retry_backoff_s () =
+  P.job ~id:"test" ~platforms:[ "haswell" ] ~configs:[ "protected" ]
+    ~channels ~trials ~seed:7 ~samples:100 ?max_retries ?wall_budget_s
+    ?retry_backoff_s ()
+
+let run_stub ?compute store j =
+  match
+    E.run_job ~store ~code_rev:"test-rev" ~jobs:1
+      ~compute:(Option.value compute ~default:stub_compute)
+      j
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("run_job rejected: " ^ e)
+
+(* ---- protocol ---------------------------------------------------- *)
+
+let test_job_roundtrip () =
+  let j =
+    P.job ~id:"rt" ~platforms:[ "haswell"; "sabre" ] ~configs:[ "raw" ]
+      ~channels:[ "l1d" ] ~trials:3 ~seed:9 ~samples:42 ~trial_cycle_budget:5000
+      ~trial_timeout_s:1.5 ~wall_budget_s:30.0 ~max_retries:4
+      ~retry_backoff_s:0.25 ()
+  in
+  match P.job_of_json (P.job_to_json j) with
+  | Ok j' -> Alcotest.(check bool) "job round-trips" true (j = j')
+  | Error e -> Alcotest.fail e
+
+let test_job_validation () =
+  let bad = P.job_to_json (P.job ~trials:0 ()) in
+  (match P.job_of_json bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trials=0 accepted");
+  match P.job_of_json (Tp_util.Json.Obj [ ("id", Tp_util.Json.Str "x") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "field-less job accepted"
+
+let test_stored_blob_roundtrip () =
+  let t =
+    { (stub_trial { E.cl_platform = "haswell"; cl_plat = Tp_hw.Platform.haswell;
+                    cl_config = "protected"; cl_kind = Tp_core.Scenario.Protected;
+                    cl_channel = "l1d"; cl_trial = 1 })
+      with P.t_status = P.Degraded;
+           t_degraded_reason = Some "cycle budget exhausted";
+           t_recovered_faults = 2;
+           t_retries = 5;
+           t_cached = false }
+  in
+  let blob = P.stored_of_trial t in
+  match P.trial_of_stored ~key:"k" blob with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+      (* Deterministic fields survive; execution metadata does not. *)
+      Alcotest.(check bool)
+        "deterministic fields equal" true
+        ({ t with P.t_key = "k"; t_retries = 0; t_cached = true } = t');
+      Alcotest.(check int) "retries not stored" 0 t'.P.t_retries;
+      Alcotest.(check bool) "reads as cached" true t'.P.t_cached;
+      Alcotest.(check string)
+        "blob is canonical" blob
+        (P.stored_of_trial { t' with P.t_key = ""; t_cached = false })
+
+let test_result_roundtrip () =
+  with_dir (fun dir ->
+      with_store dir (fun store ->
+          let r = run_stub store (job ()) in
+          match P.result_of_json (P.result_to_json r) with
+          | Ok r' -> Alcotest.(check bool) "result round-trips" true (r = r')
+          | Error e -> Alcotest.fail e))
+
+(* ---- engine ------------------------------------------------------ *)
+
+let test_bad_job_rejected () =
+  with_dir (fun dir ->
+      with_store dir (fun store ->
+          match
+            E.run_job ~store ~code_rev:"r" ~jobs:1 ~compute:stub_compute
+              (P.job ~platforms:[ "pdp11" ] ())
+          with
+          | Error e ->
+              Alcotest.(check bool)
+                "names the bad platform" true
+                (contains_sub e "pdp11")
+          | Ok _ -> Alcotest.fail "unknown platform accepted"))
+
+let test_complete_then_cached () =
+  with_dir (fun dir ->
+      with_store dir (fun store ->
+          let j = job () in
+          let progress = ref [] in
+          let r =
+            match
+              E.run_job ~store ~code_rev:"test-rev" ~jobs:1
+                ~compute:stub_compute
+                ~progress:(fun p -> progress := p :: !progress)
+                j
+            with
+            | Ok r -> r
+            | Error e -> Alcotest.fail e
+          in
+          Alcotest.(check bool) "complete" true (r.P.r_status = P.Complete);
+          Alcotest.(check int) "total" 4 r.P.r_total;
+          Alcotest.(check int) "computed" 4 r.P.r_computed;
+          Alcotest.(check int) "cached" 0 r.P.r_cached;
+          Alcotest.(check int) "failed" 0 r.P.r_failed;
+          Alcotest.(check int) "trials listed" 4 (List.length r.P.r_trials);
+          Alcotest.(check bool) "progress streamed" true (!progress <> []);
+          Alcotest.(check bool)
+            "final progress is total" true
+            ((List.hd !progress).P.p_done = 4);
+          Alcotest.(check int) "store holds the trials" 4 (Store.count store);
+          (* Resubmission: answered entirely from the store, same
+             digest, trials flagged cached. *)
+          let r2 = run_stub store j in
+          Alcotest.(check int) "all cached" 4 r2.P.r_cached;
+          Alcotest.(check int) "nothing recomputed" 0 r2.P.r_computed;
+          Alcotest.(check string) "digest stable" r.P.r_digest r2.P.r_digest;
+          Alcotest.(check bool)
+            "every trial flagged cached" true
+            (List.for_all (fun t -> t.P.t_cached) r2.P.r_trials)))
+
+let test_cell_key_independent_of_job_shape () =
+  let j1 = job ~channels:[ "l1d" ] ~trials:1 () in
+  let j4 = job ~channels:[ "kernel"; "l1d" ] ~trials:2 () in
+  let cell c = List.nth (Result.get_ok (E.cells_of_job c)) 0 in
+  let c1 = cell j1 in
+  let c4 =
+    List.find
+      (fun c -> c.E.cl_channel = "l1d" && c.E.cl_trial = 0)
+      (Result.get_ok (E.cells_of_job j4))
+  in
+  Alcotest.(check string)
+    "same cell, same key, any job shape"
+    (E.cell_key ~code_rev:"r" j1 c1)
+    (E.cell_key ~code_rev:"r" j4 c4)
+
+let test_retry_recovers_transient () =
+  with_dir (fun dir ->
+      with_store dir (fun store ->
+          (* Every cell fails once, then succeeds: with one retry the
+             job completes and reports the attempts. *)
+          let attempts = Hashtbl.create 8 in
+          let flaky j (c : E.cell) =
+            let key = (c.E.cl_channel, c.E.cl_trial) in
+            let n = Option.value ~default:0 (Hashtbl.find_opt attempts key) in
+            Hashtbl.replace attempts key (n + 1);
+            if n = 0 then Error "transient worker fault"
+            else stub_compute j c
+          in
+          let r =
+            run_stub ~compute:flaky store
+              (job ~max_retries:2 ~retry_backoff_s:0.0 ())
+          in
+          Alcotest.(check bool) "complete" true (r.P.r_status = P.Complete);
+          Alcotest.(check int) "failed" 0 r.P.r_failed;
+          Alcotest.(check int) "one retry per cell" 4 r.P.r_retried;
+          Alcotest.(check bool)
+            "trials carry their retry count" true
+            (List.for_all (fun t -> t.P.t_retries = 1) r.P.r_trials)))
+
+let test_retries_exhausted_fails_trial () =
+  with_dir (fun dir ->
+      with_store dir (fun store ->
+          let always_fail _ _ = Error "permanent fault" in
+          let r =
+            run_stub ~compute:always_fail store
+              (job ~channels:[ "l1d" ] ~trials:1 ~max_retries:2
+                 ~retry_backoff_s:0.0 ())
+          in
+          Alcotest.(check bool) "failed" true (r.P.r_status = P.Failed);
+          Alcotest.(check int) "retries burned" 2 r.P.r_retried;
+          Alcotest.(check int) "nothing stored" 0 (Store.count store)))
+
+let test_circuit_breaker () =
+  with_dir (fun dir ->
+      with_store dir (fun store ->
+          let calls = ref 0 in
+          let always_fail _ _ =
+            incr calls;
+            Error "sick worker"
+          in
+          let r =
+            run_stub ~compute:always_fail store
+              (job ~channels:[ "l1d" ] ~trials:16 ~max_retries:0 ())
+          in
+          Alcotest.(check bool) "failed" true (r.P.r_status = P.Failed);
+          Alcotest.(check bool)
+            "reason names the circuit" true
+            (match r.P.r_reason with
+            | Some why -> contains_sub why "circuit open"
+            | None -> false);
+          Alcotest.(check int) "every trial reported" 16 r.P.r_total;
+          Alcotest.(check bool)
+            (Printf.sprintf "breaker saved work (%d calls)" !calls)
+            true (!calls < 16)))
+
+let test_wall_budget_degrades () =
+  with_dir (fun dir ->
+      with_store dir (fun store ->
+          let r = run_stub store (job ~wall_budget_s:0.0 ()) in
+          Alcotest.(check bool)
+            "reason is the wall budget" true
+            (r.P.r_reason = Some "job wall budget exhausted");
+          Alcotest.(check int) "all trials reported" 4 r.P.r_total;
+          Alcotest.(check int) "all failed" 4 r.P.r_failed;
+          (* Failed-by-budget trials are recomputable: nothing was
+             poisoned in the store, and a resubmission with budget
+             completes. *)
+          Alcotest.(check int) "store untouched" 0 (Store.count store);
+          let r2 = run_stub store (job ()) in
+          Alcotest.(check bool) "resubmission completes" true
+            (r2.P.r_status = P.Complete)))
+
+(* Crash the dispatch loop at every job_dispatch crossing (simulated
+   process death), resume into the same store, and require the final
+   digest to match an uninterrupted run into a fresh store. *)
+let test_crash_resume_dispatch () =
+  with_dir (fun dir ->
+      let j = job () in
+      let reference =
+        with_store (Filename.concat dir "ref") (fun s -> (run_stub s j).P.r_digest)
+      in
+      let crash_dir = Filename.concat dir "crash" in
+      let fired = ref 0 in
+      for hit = 0 to 3 do
+        let st = Store.open_ ~dir:crash_dir in
+        Tp_fault.Fault.arm ~point:E.point_dispatch ~hit
+          (Failure "injected dispatch crash");
+        (match
+           E.run_job ~store:st ~code_rev:"test-rev" ~jobs:1
+             ~compute:stub_compute j
+         with
+        | Ok _ | Error _ -> ()
+        | exception Failure _ -> incr fired);
+        Tp_fault.Fault.disarm ();
+        Store.close st
+      done;
+      Alcotest.(check bool) "some crossings crashed" true (!fired > 0);
+      let resumed =
+        with_store crash_dir (fun s -> (run_stub s j).P.r_digest)
+      in
+      Alcotest.(check string) "digest bit-identical" reference resumed)
+
+(* Same property under persistence-path faults: crash inside the store
+   commit protocol at every write/fsync/rename crossing of the sweep's
+   first commits, resume, compare digests. *)
+let test_crash_resume_store_faults () =
+  with_dir (fun dir ->
+      let j = job () in
+      let reference =
+        with_store (Filename.concat dir "ref") (fun s -> (run_stub s j).P.r_digest)
+      in
+      let crash_dir = Filename.concat dir "crash" in
+      let fired = ref 0 in
+      List.iter
+        (fun point ->
+          for hit = 0 to 4 do
+            let st = Store.open_ ~dir:crash_dir in
+            Tp_fault.Fault.arm ~point ~hit (Failure "injected store crash");
+            (match
+               E.run_job ~store:st ~code_rev:"test-rev" ~jobs:1
+                 ~compute:stub_compute j
+             with
+            | Ok _ | Error _ -> ()
+            | exception Failure _ -> incr fired);
+            Tp_fault.Fault.disarm ();
+            (try Store.close st with Unix.Unix_error _ -> ())
+          done)
+        [ Store.point_write; Store.point_fsync; Store.point_rename ];
+      Alcotest.(check bool) "some store steps crashed" true (!fired > 0);
+      let resumed =
+        with_store crash_dir (fun s -> (run_stub s j).P.r_digest)
+      in
+      Alcotest.(check string) "digest bit-identical" reference resumed)
+
+(* Real measurement semantics of the two budget kinds: a simulated-
+   cycle budget degrades deterministically and is cached; a wall-clock
+   timeout fails the trial and stores nothing. *)
+let test_cycle_budget_cached_wall_timeout_not () =
+  with_dir (fun dir ->
+      with_store dir (fun store ->
+          let base =
+            P.job ~id:"real" ~platforms:[ "haswell" ] ~configs:[ "protected" ]
+              ~channels:[ "l1d" ] ~trials:1 ~seed:3 ~samples:60
+          in
+          let budgeted = base ~trial_cycle_budget:2_000_000 () in
+          let r =
+            match E.run_job ~store ~jobs:1 budgeted with
+            | Ok r -> r
+            | Error e -> Alcotest.fail e
+          in
+          let t = List.hd r.P.r_trials in
+          Alcotest.(check bool) "trial degraded" true (t.P.t_status = P.Degraded);
+          Alcotest.(check bool)
+            "reason is the cycle budget" true
+            (t.P.t_degraded_reason = Some "cycle budget exhausted");
+          Alcotest.(check int) "degraded result cached" 1 (Store.count store);
+          let r2 =
+            match E.run_job ~store ~jobs:1 budgeted with
+            | Ok r -> r
+            | Error e -> Alcotest.fail e
+          in
+          Alcotest.(check int) "cache hit" 1 r2.P.r_cached;
+          Alcotest.(check string) "digest stable" r.P.r_digest r2.P.r_digest;
+          (* Wall timeout: host-dependent, so failed and never stored. *)
+          let timed_out = base ~trial_timeout_s:0.0 ~max_retries:0 () in
+          let r3 =
+            match E.run_job ~store ~jobs:1 timed_out with
+            | Ok r -> r
+            | Error e -> Alcotest.fail e
+          in
+          Alcotest.(check bool) "trial failed" true (r3.P.r_status = P.Failed);
+          Alcotest.(check bool)
+            "reason names the timeout" true
+            (match (List.hd r3.P.r_trials).P.t_degraded_reason with
+            | Some why -> contains_sub why "wall timeout"
+            | None -> false);
+          Alcotest.(check int)
+            "wall-degraded data never stored" 1 (Store.count store)))
+
+let suite =
+  [
+    Alcotest.test_case "job wire round-trip" `Quick test_job_roundtrip;
+    Alcotest.test_case "job validation" `Quick test_job_validation;
+    Alcotest.test_case "stored blob round-trip" `Quick
+      test_stored_blob_roundtrip;
+    Alcotest.test_case "result wire round-trip" `Quick test_result_roundtrip;
+    Alcotest.test_case "bad job rejected" `Quick test_bad_job_rejected;
+    Alcotest.test_case "complete then cached" `Quick test_complete_then_cached;
+    Alcotest.test_case "cell key independent of job shape" `Quick
+      test_cell_key_independent_of_job_shape;
+    Alcotest.test_case "retry recovers transient faults" `Quick
+      test_retry_recovers_transient;
+    Alcotest.test_case "retries exhausted fails the trial" `Quick
+      test_retries_exhausted_fails_trial;
+    Alcotest.test_case "circuit breaker opens" `Quick test_circuit_breaker;
+    Alcotest.test_case "wall budget degrades gracefully" `Quick
+      test_wall_budget_degrades;
+    Alcotest.test_case "crash-resume: dispatch faults" `Quick
+      test_crash_resume_dispatch;
+    Alcotest.test_case "crash-resume: store faults" `Quick
+      test_crash_resume_store_faults;
+    Alcotest.test_case "cycle budget cached, wall timeout not" `Slow
+      test_cycle_budget_cached_wall_timeout_not;
+  ]
