@@ -407,7 +407,13 @@ let stats q ~seed:_ p =
   Tp_util.Table.print (Tp_obs.Counter.table (Tp_obs.Counter.registered ()));
   Tp_obs.Padprof.report
     ~cycles_to_us:(Tp_hw.Platform.cycles_to_us p)
-    Format.std_formatter ()
+    Format.std_formatter ();
+  let dropped = Tp_obs.Trace.dropped () in
+  if dropped > 0 then
+    Format.printf
+      "warning: %d trace spans were dropped (ring full) — the trace \
+       under-reports; trace a shorter window@."
+      dropped
 
 let all q ~seed p =
   Format.printf "==================== %s ====================@.@."
@@ -1056,16 +1062,30 @@ let store_arg =
   in
   Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
 
+let event_log_arg =
+  let doc =
+    "Append a structured JSONL event log (daemon lifecycle, job \
+     received/done/rejected, dropped-span warnings and leakage-drift \
+     alerts) to $(docv), rotated at about 1 MiB with 3 generations \
+     kept."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "event-log" ] ~docv:"FILE" ~doc)
+
 let cmd_serve =
-  let run socket store jobs verbose =
+  let run socket store jobs event_log verbose =
     match setup_jobs jobs None with
     | Error msg -> `Error (false, msg)
     | Ok () ->
         setup_logging verbose;
-        Tp_serve.Serve.run ~socket ~store_dir:store
-          ~jobs:(Tp_par.Pool.default_jobs ())
-          ~log:(fun s -> Printf.eprintf "tpsim-serve: %s\n%!" s)
-          ();
+        let elog = Option.map Tp_obs.Eventlog.open_ event_log in
+        Fun.protect
+          ~finally:(fun () -> Option.iter Tp_obs.Eventlog.close elog)
+          (fun () ->
+            Tp_serve.Serve.run ~socket ~store_dir:store
+              ~jobs:(Tp_par.Pool.default_jobs ())
+              ~log:(fun s -> Printf.eprintf "tpsim-serve: %s\n%!" s)
+              ?event_log:elog ());
         `Ok ()
   in
   Cmd.v
@@ -1075,8 +1095,14 @@ let cmd_serve =
           shard trials across worker domains, memoize every trial in a \
           crash-safe content-addressed result store, and stream \
           progress to the submitting client.  Survives kill -9: a \
-          restarted daemon resumes mid-sweep bit-identically.")
-    Term.(ret (const run $ socket_arg $ store_arg $ jobs_arg $ verbose_arg))
+          restarted daemon resumes mid-sweep bit-identically.  Exposes \
+          campaign telemetry: any client can scrape an OpenMetrics \
+          snapshot with the metrics request (see $(b,tpsim top)), and \
+          $(b,--event-log) records a rotated JSONL lifecycle stream.")
+    Term.(
+      ret
+        (const run $ socket_arg $ store_arg $ jobs_arg $ event_log_arg
+       $ verbose_arg))
 
 let cmd_sweep =
   let strings_arg names ~default ~doc ~docv =
@@ -1170,12 +1196,17 @@ let cmd_sweep =
               ~on_progress:(fun pr ->
                 Printf.eprintf
                   "tpsim-sweep: %s %d/%d (%d cached, %d failed, %d \
-                   retried)\n\
+                   retried)%s\n\
                    %!"
                   job.Tp_serve.Protocol.j_id pr.Tp_serve.Protocol.p_done
                   pr.Tp_serve.Protocol.p_total pr.Tp_serve.Protocol.p_cached
                   pr.Tp_serve.Protocol.p_failed
-                  pr.Tp_serve.Protocol.p_retried)
+                  pr.Tp_serve.Protocol.p_retried
+                  (if pr.Tp_serve.Protocol.p_dropped_spans > 0 then
+                     Printf.sprintf
+                       " [warning: %d trace spans dropped daemon-side]"
+                       pr.Tp_serve.Protocol.p_dropped_spans
+                   else ""))
               job
           with
           | Ok r ->
@@ -1359,6 +1390,211 @@ let cmd_serve_smoke =
           resubmission.  This is the CI gate.")
     Term.(const run $ verbose_arg)
 
+
+let cmd_top =
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between scrapes of the daemon's metrics request.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render a single frame and exit (no screen clearing).")
+  in
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Print the raw OpenMetrics exposition text instead of the \
+             dashboard (pipe it to a file and any Prometheus tooling \
+             can ingest it).")
+  in
+  let run socket interval once raw =
+    match
+      Tp_serve.Top.run ~socket ~interval
+        ?frames:(if once then Some 1 else None)
+        ~raw ()
+    with
+    | Ok () -> `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running campaign daemon: scrape the \
+          metrics request every few seconds and render trial \
+          throughput, latency percentiles (p50/p90/p99/max from the \
+          exposition histograms), store hit rate, per-domain pool \
+          utilisation and the leakage-drift monitor (measured MI vs \
+          the certified bound recorded with each trial).")
+    Term.(ret (const run $ socket_arg $ interval_arg $ once_arg $ raw_arg))
+
+let cmd_top_smoke =
+  (* Telemetry end-to-end gate, self-contained like serve-smoke: boot
+     the daemon with an event log, run a small sweep, scrape the
+     metrics request, and assert the exposition carries every family
+     the dashboard renders plus a parseable JSONL lifecycle stream. *)
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Copy the scraped metrics snapshot (metrics.txt) and the \
+             daemon's event log (events.jsonl) into $(docv), created \
+             as needed — the CI artifact path.")
+  in
+  let run out verbose =
+    setup_logging verbose;
+    let dir = mkdtemp "tpsim-topsmoke" in
+    let socket = Filename.concat dir "sock" in
+    let store = Filename.concat dir "store" in
+    let elog = Filename.concat dir "events.jsonl" in
+    let exe = Sys.executable_name in
+    let fails = ref 0 in
+    let check name cond detail =
+      if cond then Printf.printf "  ok   %s\n%!" name
+      else begin
+        incr fails;
+        Printf.printf "  FAIL %s: %s\n%!" name detail
+      end
+    in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+      in
+      nn = 0 || go 0
+    in
+    Printf.printf "top-smoke: daemon + small sweep + metrics scrape\n%!";
+    let pid =
+      Unix.create_process exe
+        [|
+          exe; "serve"; "--socket"; socket; "--store"; store; "-j"; "2";
+          "--event-log"; elog;
+        |]
+        Unix.stdin Unix.stderr Unix.stderr
+    in
+    (match Tp_serve.Client.ping ~socket with
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "top-smoke: daemon never came up: %s\n%!" e;
+        Unix.kill pid Sys.sigkill;
+        exit 1);
+    let job =
+      Tp_serve.Protocol.job ~id:"top-smoke" ~platforms:[ "haswell" ]
+        ~configs:[ "protected" ] ~channels:[ "l1d" ] ~trials:2 ~samples:120 ()
+    in
+    (match Tp_serve.Client.submit ~socket job with
+    | Error e -> check "sweep completes" false e
+    | Ok r ->
+        check "sweep completes"
+          (r.Tp_serve.Protocol.r_status = Tp_serve.Protocol.Complete)
+          (Tp_serve.Protocol.status_name r.Tp_serve.Protocol.r_status));
+    let metrics_text =
+      match Tp_serve.Client.metrics ~socket with
+      | Error e ->
+          check "metrics scrape answers" false e;
+          ""
+      | Ok text ->
+          check "metrics scrape answers" true "";
+          text
+    in
+    List.iter
+      (fun (what, family) ->
+        check
+          (Printf.sprintf "exposition carries %s" what)
+          (contains metrics_text family)
+          (family ^ " not found"))
+      [
+        ("engine latency histogram", "tpsim_engine_trial_us_bucket");
+        ("engine trial counters", "tpsim_engine_trials_total");
+        ("store hits", "tpsim_store_hits_total");
+        ("store misses", "tpsim_store_misses_total");
+        ("pool tasks", "tpsim_pool_tasks_total");
+        ("pool busy time", "tpsim_pool_busy_us_total");
+        ("drift counter type", "# TYPE tpsim_engine_mi_over_cert_total");
+        ("OpenMetrics terminator", "# EOF");
+      ];
+    let e = Tp_serve.Top.parse metrics_text in
+    check "exposition parses into samples" (e.Tp_serve.Top.e_samples <> [])
+      "no samples";
+    check "engine recorded the sweep's trials"
+      (Tp_serve.Top.total e "tpsim_engine_trials_total" >= 2.0)
+      (string_of_float (Tp_serve.Top.total e "tpsim_engine_trials_total"));
+    let frame = Tp_serve.Top.render ~now:(Unix.gettimeofday ()) e in
+    check "dashboard frame renders"
+      (contains frame "latency" && contains frame "store"
+     && contains frame "pool" && contains frame "leakage")
+      frame;
+    (match Tp_serve.Client.shutdown ~socket with
+    | Ok () -> ()
+    | Error e -> check "daemon shutdown" false e);
+    ignore (Unix.waitpid [] pid);
+    check "event log written" (Sys.file_exists elog) elog;
+    let events =
+      match open_in elog with
+      | exception Sys_error _ -> []
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              In_channel.input_lines ic
+              |> List.filter_map (fun l ->
+                     Option.bind
+                       (Tp_util.Json.parse_opt l)
+                       (fun j ->
+                         Option.bind
+                           (Tp_util.Json.member "event" j)
+                           Tp_util.Json.str)))
+    in
+    check "every event-log line is valid JSON with an event field"
+      (events <> []) "no parseable events";
+    List.iter
+      (fun ev ->
+        check
+          (Printf.sprintf "event log records %s" ev)
+          (List.mem ev events)
+          (String.concat "," events))
+      [ "daemon_start"; "job_received"; "job_done"; "shutdown" ];
+    (match out with
+    | None -> ()
+    | Some out ->
+        (if not (Sys.file_exists out) then
+           try Unix.mkdir out 0o755 with Unix.Unix_error _ -> ());
+        let save name data =
+          let oc = open_out (Filename.concat out name) in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc data)
+        in
+        save "metrics.txt" metrics_text;
+        (match open_in_bin elog with
+        | exception Sys_error _ -> ()
+        | ic ->
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> save "events.jsonl" (In_channel.input_all ic))));
+    (try rm_rf dir with Unix.Unix_error _ -> ());
+    if !fails > 0 then begin
+      Printf.printf "top-smoke: %d checks FAILED\n%!" !fails;
+      exit 1
+    end
+    else Printf.printf "top-smoke: PASS\n%!"
+  in
+  Cmd.v
+    (Cmd.info "top-smoke"
+       ~doc:
+         "Telemetry smoke test: boot the daemon with an event log, run \
+          a small sweep, scrape the metrics request, and gate on the \
+          OpenMetrics exposition carrying the engine/store/pool \
+          families the dashboard renders plus a parseable JSONL event \
+          log.  This is the CI gate.")
+    Term.(const run $ out_arg $ verbose_arg)
+
 let cmds =
   [
     cmd_platforms;
@@ -1367,6 +1603,8 @@ let cmds =
     cmd_serve;
     cmd_sweep;
     cmd_serve_smoke;
+    cmd_top;
+    cmd_top_smoke;
     cmd_lint;
     cmd_ctcheck;
     cmd_certify;

@@ -1,0 +1,92 @@
+(* Structured JSONL event log with size-based rotation.
+
+   One JSON object per line, append-only; when the file would exceed
+   [max_bytes] it is rotated (path -> path.1 -> path.2 ...) before the
+   write, so a single log never grows past the cap and the newest
+   [keep] generations survive.  Writes are mutex-serialised — the serve
+   daemon logs from the accept loop only, but the lock makes the module
+   safe to call from anywhere. *)
+
+module Json = Tp_util.Json
+
+type t = {
+  e_path : string;
+  e_max_bytes : int;
+  e_keep : int;
+  e_lock : Mutex.t;
+  mutable e_oc : out_channel option; (* None once closed *)
+}
+
+let open_ ?(max_bytes = 1_048_576) ?(keep = 3) path =
+  if max_bytes < 1024 then
+    invalid_arg "Tp_obs.Eventlog.open_: max_bytes must be >= 1024";
+  if keep < 1 then invalid_arg "Tp_obs.Eventlog.open_: keep must be >= 1";
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  {
+    e_path = path;
+    e_max_bytes = max_bytes;
+    e_keep = keep;
+    e_lock = Mutex.create ();
+    e_oc = Some oc;
+  }
+
+let path t = t.e_path
+
+let gen_path t n = t.e_path ^ "." ^ string_of_int n
+
+(* Caller holds the lock and has closed the current channel. *)
+let rotate t =
+  (try Sys.remove (gen_path t t.e_keep) with Sys_error _ -> ());
+  for n = t.e_keep - 1 downto 1 do
+    if Sys.file_exists (gen_path t n) then
+      try Sys.rename (gen_path t n) (gen_path t (n + 1)) with Sys_error _ -> ()
+  done;
+  if Sys.file_exists t.e_path then
+    try Sys.rename t.e_path (gen_path t 1) with Sys_error _ -> ()
+
+let write t ~event fields =
+  Mutex.lock t.e_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.e_lock)
+    (fun () ->
+      match t.e_oc with
+      | None -> ()
+      | Some oc ->
+          let line =
+            Json.to_string
+              (Json.Obj
+                 (("ts", Json.Num (Unix.gettimeofday ()))
+                 :: ("event", Json.Str event)
+                 :: fields))
+          in
+          let len = String.length line + 1 in
+          let oc =
+            if pos_out oc + len > t.e_max_bytes && pos_out oc > 0 then begin
+              close_out_noerr oc;
+              rotate t;
+              let oc =
+                open_out_gen
+                  [ Open_append; Open_creat; Open_binary ]
+                  0o644 t.e_path
+              in
+              t.e_oc <- Some oc;
+              oc
+            end
+            else oc
+          in
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+
+let close t =
+  Mutex.lock t.e_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.e_lock)
+    (fun () ->
+      match t.e_oc with
+      | None -> ()
+      | Some oc ->
+          t.e_oc <- None;
+          close_out_noerr oc)

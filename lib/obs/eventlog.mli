@@ -1,0 +1,25 @@
+(** Structured JSONL event log with size-based rotation.
+
+    The serve daemon's durable activity record: one JSON object per
+    line ([{"ts": <unix seconds>, "event": "<name>", ...fields}]),
+    appended and flushed per event so a tail survives a crash.  Before
+    a write would push the file past [max_bytes], generations rotate
+    ([path] → [path.1] → ... → [path.keep], oldest deleted), bounding
+    total disk use at roughly [(keep + 1) * max_bytes].
+
+    Event names used by [Tp_serve]: [daemon_start], [job_received],
+    [job_done], [job_rejected], [spans_dropped], [mi_over_cert] (the
+    leakage-drift alert) and [shutdown]. *)
+
+type t
+
+val open_ : ?max_bytes:int -> ?keep:int -> string -> t
+(** Open (append) an event log at a path.  [max_bytes] defaults to
+    1 MiB (minimum 1024), [keep] to 3 rotated generations. *)
+
+val write : t -> event:string -> (string * Tp_util.Json.t) list -> unit
+(** Append one event; a timestamp is added automatically.  No-op after
+    {!close}.  Thread-safe. *)
+
+val path : t -> string
+val close : t -> unit

@@ -1,0 +1,156 @@
+(* Log-bucketed (HDR-style) histogram over non-negative integers.
+
+   Bucket layout: values below [sub_count] get one bucket each (exact);
+   above that, each power-of-two octave is split into [sub_count]
+   sub-buckets, so the relative error of any reconstructed quantile is
+   bounded by 1/sub_count (~12.5%) while the whole histogram is one
+   fixed 488-slot array regardless of range.  Recording is a couple of
+   shifts plus an increment — cheap enough for per-trial latencies.
+
+   Merging is pointwise addition (plus min/max/sum combination), which
+   commutes and associates, so absorbing worker histograms in any fixed
+   order yields identical aggregates — the same property that makes
+   [Counter.absorb] safe at a pool join. *)
+
+let sub_bits = 3
+let sub_count = 1 lsl sub_bits (* 8 *)
+
+(* Highest index reachable for a 62-bit value: (62 - sub_bits) *
+   sub_count + (sub_count - 1) extra inside the top octave. *)
+let n_buckets = 488
+
+let floor_log2 v =
+  let e = ref 0 and v = ref v in
+  while !v > 1 do
+    incr e;
+    v := !v lsr 1
+  done;
+  !e
+
+let index_of v =
+  if v < sub_count then v
+  else begin
+    let e = floor_log2 v in
+    let m = v lsr (e - sub_bits) in
+    (* m in [sub_count, 2*sub_count) *)
+    let i = ((e - sub_bits) * sub_count) + m in
+    if i >= n_buckets then n_buckets - 1 else i
+  end
+
+(* Largest value a bucket covers (inclusive); the quantile estimate. *)
+let upper_of i =
+  if i < sub_count then i
+  else
+    let e = sub_bits + ((i - sub_count) / sub_count) in
+    let m = i - ((e - sub_bits) * sub_count) in
+    (* m in [sub_count, 2*sub_count) *)
+    ((m + 1) lsl (e - sub_bits)) - 1
+
+type t = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int; (* max_int while empty *)
+  mutable h_max : int;
+  h_counts : int array;
+}
+
+type snapshot = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;
+  s_max : int;
+  s_buckets : (int * int) list; (* (bucket index, count), ascending, non-zero *)
+}
+
+let create () =
+  {
+    h_count = 0;
+    h_sum = 0;
+    h_min = max_int;
+    h_max = 0;
+    h_counts = Array.make n_buckets 0;
+  }
+
+let clear h =
+  h.h_count <- 0;
+  h.h_sum <- 0;
+  h.h_min <- max_int;
+  h.h_max <- 0;
+  Array.fill h.h_counts 0 n_buckets 0
+
+let record h v =
+  let v = if v < 0 then 0 else v in
+  let i = index_of v in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let count h = h.h_count
+let sum h = h.h_sum
+let min_ h = if h.h_count = 0 then 0 else h.h_min
+let max_ h = h.h_max
+
+let mean h =
+  if h.h_count = 0 then 0.0
+  else float_of_int h.h_sum /. float_of_int h.h_count
+
+(* Nearest-rank quantile from the cumulative bucket counts; the bucket
+   upper bound, clamped to the observed extremes so p100 is exact. *)
+let percentile h p =
+  if h.h_count = 0 then 0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int h.h_count)) in
+      if r < 1 then 1 else r
+    in
+    let i = ref 0 and seen = ref 0 in
+    while !seen < rank && !i < n_buckets do
+      seen := !seen + h.h_counts.(!i);
+      if !seen < rank then incr i
+    done;
+    let u = upper_of !i in
+    if u > h.h_max then h.h_max else if u < h.h_min then h.h_min else u
+  end
+
+let merge ~into src =
+  Array.iteri
+    (fun i c -> if c > 0 then into.h_counts.(i) <- into.h_counts.(i) + c)
+    src.h_counts;
+  into.h_count <- into.h_count + src.h_count;
+  into.h_sum <- into.h_sum + src.h_sum;
+  if src.h_count > 0 then begin
+    if src.h_min < into.h_min then into.h_min <- src.h_min;
+    if src.h_max > into.h_max then into.h_max <- src.h_max
+  end
+
+let buckets h =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.h_counts.(i) > 0 then acc := (upper_of i, h.h_counts.(i)) :: !acc
+  done;
+  !acc
+
+let snapshot h =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.h_counts.(i) > 0 then acc := (i, h.h_counts.(i)) :: !acc
+  done;
+  {
+    s_count = h.h_count;
+    s_sum = h.h_sum;
+    s_min = h.h_min;
+    s_max = h.h_max;
+    s_buckets = !acc;
+  }
+
+let of_snapshot s =
+  let h = create () in
+  List.iter (fun (i, c) -> h.h_counts.(i) <- c) s.s_buckets;
+  h.h_count <- s.s_count;
+  h.h_sum <- s.s_sum;
+  h.h_min <- s.s_min;
+  h.h_max <- s.s_max;
+  h

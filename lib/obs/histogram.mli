@@ -1,0 +1,70 @@
+(** Log-bucketed (HDR-style) latency histogram.
+
+    Fixed memory (one 488-slot array) over any non-negative integer
+    range: exact below 8, then 8 sub-buckets per power-of-two octave,
+    so quantiles reconstructed from the buckets carry at most ~12.5%
+    relative error.  Negative values clamp to 0.
+
+    Histograms are {e observational}: nothing in the simulator reads
+    one back, so recording cannot perturb a measurement.  Recording is
+    unconditional — callers gate on their own switch ({!Ctl.counters_on},
+    [Metrics.enabled]) exactly like {!Counter.incr_unchecked}.
+
+    {!merge} is pointwise addition plus min/max/sum combination; it
+    commutes and associates, so folding worker histograms into the
+    coordinator in {e any} fixed order yields identical aggregates —
+    the property that keeps [-j N] runs bit-identical to [-j 1]
+    (mirrors {!Counter.export} / {!Counter.absorb}). *)
+
+type t
+
+type snapshot = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;  (** [max_int] while empty *)
+  s_max : int;
+  s_buckets : (int * int) list;
+      (** (bucket index, count), ascending, non-zero entries only *)
+}
+
+val create : unit -> t
+val clear : t -> unit
+
+val record : t -> int -> unit
+(** Add one observation (clamped to 0 if negative). *)
+
+(** {1 Reading} *)
+
+val count : t -> int
+val sum : t -> int
+
+val min_ : t -> int
+(** 0 when empty. *)
+
+val max_ : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile h p] for [p] in [0..100]: nearest-rank quantile as the
+    matching bucket's upper bound, clamped to the observed min/max (so
+    [percentile h 100.0 = max_ h] exactly).  0 when empty. *)
+
+val buckets : t -> (int * int) list
+(** (inclusive upper bound, count) per non-empty bucket, ascending —
+    the OpenMetrics [le] series before cumulation. *)
+
+(** {1 Cross-domain aggregation} *)
+
+val merge : into:t -> t -> unit
+(** Pointwise add [src] into [into]; order-independent. *)
+
+val snapshot : t -> snapshot
+val of_snapshot : snapshot -> t
+
+(**/**)
+
+val index_of : int -> int
+(** Bucket index of a value (exposed for the property tests). *)
+
+val upper_of : int -> int
+(** Inclusive upper bound of a bucket index (exposed for tests). *)

@@ -1,0 +1,57 @@
+(** Typed metric registry with Prometheus/OpenMetrics text exposition.
+
+    The campaign telemetry layer: named families of counters, gauges
+    and {!Histogram}s, each fanned out over label sets, rendered as the
+    text exposition format any Prometheus-compatible scraper (and
+    [tpsim top]) understands.
+
+    Unlike the {!Counter} registry this one is process-global and
+    mutex-guarded: metric events are low-rate (per trial, per store
+    commit, per pool join), so worker domains simply take the lock.
+
+    Zero-perturbation contract: every recording call is gated on
+    {!enabled} (default off; one atomic load when off), recorded values
+    are never read back by the model, and the metrics-on/off digest
+    bit-identity is enforced by [test_serve].  The daemon ([tpsim
+    serve]) flips {!set_enabled} on at boot; plain CLI runs leave it
+    off. *)
+
+type family
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** {1 Declaring}
+
+    Declaration is idempotent by name (the existing family is
+    returned); redeclaring a name with a different kind is a
+    programming error ([Invalid_argument]).  Counter family names
+    should end in [_total] per the OpenMetrics convention. *)
+
+val counter : ?help:string -> string -> family
+val gauge : ?help:string -> string -> family
+val histogram : ?help:string -> string -> family
+
+(** {1 Recording} — no-ops unless {!enabled}. *)
+
+val inc : ?labels:(string * string) list -> ?by:int -> family -> unit
+val set : ?labels:(string * string) list -> family -> float -> unit
+val observe : ?labels:(string * string) list -> family -> int -> unit
+
+(** {1 Reading back} — for tests and the drift monitor. *)
+
+val value : ?labels:(string * string) list -> family -> float option
+(** Current counter/gauge value of one series, if it exists. *)
+
+val histogram_of : ?labels:(string * string) list -> family -> Histogram.t option
+
+val reset : unit -> unit
+(** Drop every series (families stay declared) — test isolation. *)
+
+(** {1 Exposition} *)
+
+val render : unit -> string
+(** The whole registry in the text exposition format: [# HELP] /
+    [# TYPE] per family (sorted by name), one sample line per series
+    (sorted by label set), histograms as cumulative [_bucket{le=...}]
+    series plus [_sum] / [_count], terminated by [# EOF]. *)

@@ -82,6 +82,17 @@ let reset () = Hashtbl.reset (table ())
 let headroom im =
   if im.im_padded = 0 then None else Some (im.im_pad - im.im_worst_unpadded)
 
+(* Pad-slack quantiles from the log-bucketed histogram: p50 tells us
+   where the padding typically sits, p99 how close the tail gets to an
+   overrun.  Built on demand from the retained samples. *)
+let slack_percentiles im =
+  let h = Histogram.create () in
+  List.iter
+    (fun o -> if o.o_padded then Histogram.record h o.o_pad_wait)
+    im.im_samples;
+  if Histogram.count h = 0 then None
+  else Some (Histogram.percentile h 50.0, Histogram.percentile h 99.0)
+
 let report ?cycles_to_us ppf () =
   let ims = images () in
   if ims = [] then
@@ -92,7 +103,8 @@ let report ?cycles_to_us ppf () =
       Tp_util.Table.create ~title:"Pad-slack profile (per kernel image, cycles)"
         ~headers:
           ([ "image"; "switches"; "padded"; "pad"; "worst unpadded";
-             "mean total"; "min slack"; "headroom"; "overruns" ]
+             "mean total"; "min slack"; "slack p50"; "slack p99"; "headroom";
+             "overruns" ]
           @ match cycles_to_us with Some _ -> [ "pad (us)" ] | None -> [])
     in
     List.iter
@@ -107,6 +119,12 @@ let report ?cycles_to_us ppf () =
              Tp_util.Table.cell_i mean;
              (if im.im_min_slack = max_int then "-"
               else Tp_util.Table.cell_i im.im_min_slack);
+             (match slack_percentiles im with
+             | None -> "-"
+             | Some (p50, _) -> Tp_util.Table.cell_i p50);
+             (match slack_percentiles im with
+             | None -> "-"
+             | Some (_, p99) -> Tp_util.Table.cell_i p99);
              (match headroom im with
              | None -> "-"
              | Some h -> Tp_util.Table.cell_i h);

@@ -46,6 +46,12 @@ val reset : unit -> unit
 val headroom : image -> int option
 (** [pad - worst unpadded], if any padded switch was seen. *)
 
+val slack_percentiles : image -> (int * int) option
+(** (p50, p99) of the pad-wait over padded switches, from a
+    log-bucketed {!Histogram} over the retained samples; [None] if no
+    padded switch was seen. *)
+
 val report : ?cycles_to_us:(int -> float) -> Format.formatter -> unit -> unit
-(** Per-image summary table plus a pad-slack histogram per padded
-    image.  With [cycles_to_us] the table carries a µs column. *)
+(** Per-image summary table (including pad-slack p50/p99 columns)
+    plus a pad-slack histogram per padded image.  With [cycles_to_us]
+    the table carries a µs column. *)

@@ -1,5 +1,50 @@
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+(* Campaign telemetry (no-ops unless Tp_obs.Metrics is enabled): how
+   work spread across domains and how busy each slot was.  Slot 0 is
+   the calling domain; spawned workers are slots 1..jobs-1, and every
+   task they claim is a "steal" off the shared counter.  Workers keep
+   plain per-slot tallies (one writer each) and the coordinator folds
+   them into the registry at join, so recording never races. *)
+let m_runs =
+  Tp_obs.Metrics.counter ~help:"Pool invocations (waves dispatched)."
+    "tpsim_pool_runs_total"
+
+let m_tasks =
+  Tp_obs.Metrics.counter ~help:"Tasks executed, per domain slot."
+    "tpsim_pool_tasks_total"
+
+let m_steals =
+  Tp_obs.Metrics.counter
+    ~help:"Tasks claimed by spawned workers (slot > 0)."
+    "tpsim_pool_steals_total"
+
+let m_busy_us =
+  Tp_obs.Metrics.counter ~help:"Wall microseconds spent inside tasks, per \
+                                domain slot."
+    "tpsim_pool_busy_us_total"
+
+let m_idle_us =
+  Tp_obs.Metrics.counter
+    ~help:"Wall microseconds a slot spent idle within its pool run."
+    "tpsim_pool_idle_us_total"
+
+let us f = int_of_float (f *. 1e6)
+
+let record_slots ~wall tasks busy =
+  let n = Array.length tasks in
+  for slot = 0 to n - 1 do
+    let labels = [ ("domain", string_of_int slot) ] in
+    Tp_obs.Metrics.inc m_tasks ~labels ~by:tasks.(slot);
+    Tp_obs.Metrics.inc m_busy_us ~labels ~by:(us busy.(slot));
+    Tp_obs.Metrics.inc m_idle_us ~labels
+      ~by:(Stdlib.max 0 (us (wall -. busy.(slot))))
+  done;
+  for slot = 1 to n - 1 do
+    Tp_obs.Metrics.inc m_steals ~by:tasks.(slot)
+  done;
+  Tp_obs.Metrics.inc m_runs
+
 let default = Atomic.make 1
 let set_default_jobs j = Atomic.set default (Stdlib.max 1 j)
 let default_jobs () = Atomic.get default
@@ -37,12 +82,21 @@ let with_task i f =
 let run_seq n f =
   (* Same capture/replay path as the parallel case so a traced [-j 1]
      run buffers exactly what [-j N] does. *)
+  let inst = Tp_obs.Metrics.enabled () in
+  let t_start = if inst then Unix.gettimeofday () else 0.0 in
+  let busy = ref 0.0 in
   let out =
     Array.init n (fun i ->
+        let t0 = if inst then Unix.gettimeofday () else 0.0 in
         let v, evs = with_task i f in
+        if inst then busy := !busy +. (Unix.gettimeofday () -. t0);
         Tp_obs.Trace.replay evs;
         v)
   in
+  if inst then
+    record_slots
+      ~wall:(Unix.gettimeofday () -. t_start)
+      [| n |] [| !busy |];
   out
 
 let run_par jobs n f =
@@ -50,35 +104,47 @@ let run_par jobs n f =
   let stop = Atomic.make false in
   let results = Array.make n None in
   let errors = Array.make n None in
+  let inst = Tp_obs.Metrics.enabled () in
+  let t_start = if inst then Unix.gettimeofday () else 0.0 in
+  let tasks = Array.make jobs 0 in
+  let busy = Array.make jobs 0.0 in
   (* One writer per slot (the worker that claimed the index); reads
      happen only after every worker has joined, so plain arrays are
-     race-free here. *)
-  let work () =
+     race-free here.  Same story for the per-slot telemetry tallies. *)
+  let work slot =
     let continue = ref true in
     while !continue do
       let i = Atomic.fetch_and_add next 1 in
       if i >= n || Atomic.get stop then continue := false
-      else
-        match with_task i f with
+      else begin
+        let t0 = if inst then Unix.gettimeofday () else 0.0 in
+        (match with_task i f with
         | v -> results.(i) <- Some v
         | exception e ->
             errors.(i) <- Some (e, Printexc.get_raw_backtrace ());
             Atomic.set stop true;
-            continue := false
+            continue := false);
+        if inst then begin
+          tasks.(slot) <- tasks.(slot) + 1;
+          busy.(slot) <- busy.(slot) +. (Unix.gettimeofday () -. t0)
+        end
+      end
     done
   in
   let workers =
-    Array.init (jobs - 1) (fun _ ->
+    Array.init (jobs - 1) (fun k ->
         Domain.spawn (fun () ->
-            work ();
+            work (k + 1);
             Tp_obs.Counter.export ()))
   in
-  work ();
+  work 0;
   let exports = Array.map Domain.join workers in
   (* Deterministic merge: counter sums in fixed worker order (sums
      commute, so totals equal the sequential run's), then traces in
      trial order. *)
   Array.iter Tp_obs.Counter.absorb exports;
+  if inst then
+    record_slots ~wall:(Unix.gettimeofday () -. t_start) tasks busy;
   (* Array.iter visits slots in index order, so this re-raises the
      lowest-index failure — independent of which worker hit it. *)
   Array.iter

@@ -95,6 +95,13 @@ let ping ~socket =
 
 let status ~socket = request ~socket Protocol.status_line ~expect:"status"
 
+let metrics ~socket =
+  Result.bind
+    (request ~socket Protocol.metrics_line ~expect:"metrics")
+    (fun j ->
+      Option.to_result ~none:"metrics event carries no text"
+        (Option.bind (Json.member "text" j) Json.str))
+
 let shutdown ~socket =
   Result.map (fun _ -> ())
     (request ~socket Protocol.shutdown_line ~expect:"bye")

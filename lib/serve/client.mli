@@ -17,6 +17,11 @@ val ping : socket:string -> (unit, string) result
 val status : socket:string -> (Tp_util.Json.t, string) result
 (** The daemon's status object (store dir, entry count, jobs). *)
 
+val metrics : socket:string -> (string, string) result
+(** Scrape a point-in-time OpenMetrics snapshot (the text exposition
+    {!Tp_obs.Metrics.render} produced daemon-side).  This is what
+    [tpsim top] refreshes on. *)
+
 val submit :
   socket:string ->
   ?on_progress:(Protocol.progress -> unit) ->

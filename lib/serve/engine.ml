@@ -15,6 +15,63 @@ let point_dispatch = "job_dispatch"
 let () = Tp_fault.Fault.register point_dispatch
 let circuit_threshold = 5
 
+(* Campaign telemetry (no-ops unless Tp_obs.Metrics is enabled).
+   Latency clocks only tick when metrics are on, and nothing recorded
+   here is ever read back by the engine, so a metrics-off run is
+   bit-identical (enforced by test_serve). *)
+module Metrics = Tp_obs.Metrics
+
+let m_trials =
+  Metrics.counter
+    ~help:"Trials recorded, by outcome (complete, degraded, failed, cached)."
+    "tpsim_engine_trials_total"
+
+let m_retries =
+  Metrics.counter ~help:"Retry attempts across all trials."
+    "tpsim_engine_retries_total"
+
+let m_jobs =
+  Metrics.counter ~help:"Jobs finished, by final status."
+    "tpsim_engine_jobs_total"
+
+let m_circuit_opens =
+  Metrics.counter ~help:"Circuit-breaker openings."
+    "tpsim_engine_circuit_opens_total"
+
+let m_circuit =
+  Metrics.gauge ~help:"1 while the current job's circuit breaker is open."
+    "tpsim_engine_circuit_open"
+
+let m_trial_us =
+  Metrics.histogram
+    ~help:"Wall latency of one trial dispatch incl. retries, microseconds."
+    "tpsim_engine_trial_us"
+
+let m_wave_us =
+  Metrics.histogram ~help:"Wall latency of one dispatch wave, microseconds."
+    "tpsim_engine_wave_us"
+
+let m_job_us =
+  Metrics.histogram ~help:"Wall latency of one job, microseconds."
+    "tpsim_engine_job_us"
+
+let m_drift =
+  Metrics.counter
+    ~help:
+      "Leakage drift: trials whose measured MI exceeded their recorded \
+       certified bound, by channel."
+    "tpsim_engine_mi_over_cert_total"
+
+let us_since t0 = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+
+(* The drift monitor's predicate: a leak verdict above the bound the
+   certifier recorded for this very trial (PR 4's cert, stored with the
+   result).  Degraded/complete only — a failed trial has no data. *)
+let drifting (t : Protocol.trial) =
+  t.Protocol.t_status <> Protocol.Failed
+  && t.Protocol.t_verdict = "leak"
+  && t.Protocol.t_mi_bits > float_of_int t.Protocol.t_cert_bits
+
 let platform_slugs =
   [
     ("haswell", Tp_hw.Platform.haswell);
@@ -119,7 +176,7 @@ let cell_key ~code_rev (j : Protocol.job) c =
   Store.key ~code_rev
     ~parts:
       [
-        "tpsim-store/1";
+        "tpsim-store/2";
         c.cl_platform;
         c.cl_config;
         c.cl_channel;
@@ -224,6 +281,7 @@ let compute_cell (j : Protocol.job) c =
            t_m0_bits = leak.Tp_channel.Leakage.m0;
            t_verdict = verdict_name leak.Tp_channel.Leakage.verdict;
            t_n = n;
+           t_cert_bits = Tp_analysis.Certify.total_bits r.Harness.cert;
            t_degraded_reason = r.Harness.degraded_reason;
            t_recovered_faults = r.Harness.recovered_faults;
            t_checkpoints = r.Harness.checkpoints;
@@ -245,6 +303,7 @@ let failed_trial c ~key ~retries reason =
     t_m0_bits = 0.0;
     t_verdict = "no-data";
     t_n = 0;
+    t_cert_bits = 0;
     t_degraded_reason = Some reason;
     t_recovered_faults = 0;
     t_checkpoints = 0;
@@ -308,6 +367,8 @@ let run_job ~store ?code_rev:rev ?jobs ?progress ?(compute = compute_cell)
   let total = List.length cells in
   let keyed = List.map (fun c -> (c, cell_key ~code_rev:rev j c)) cells in
   let trials = Array.make total None in
+  let t_job = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
+  Metrics.set m_circuit 0.0;
   let cached = ref 0 and failed = ref 0 and retried = ref 0 in
   let done_ = ref 0 in
   let consecutive = ref 0 in
@@ -321,7 +382,16 @@ let run_job ~store ?code_rev:rev ?jobs ?progress ?(compute = compute_cell)
         incr consecutive
     | Protocol.Complete | Protocol.Degraded -> consecutive := 0);
     retried := !retried + t.Protocol.t_retries;
-    if t.Protocol.t_cached then incr cached
+    if t.Protocol.t_cached then incr cached;
+    let outcome =
+      if t.Protocol.t_cached then "cached"
+      else Protocol.status_name t.Protocol.t_status
+    in
+    Metrics.inc m_trials ~labels:[ ("outcome", outcome) ];
+    if t.Protocol.t_retries > 0 then
+      Metrics.inc m_retries ~by:t.Protocol.t_retries;
+    if drifting t then
+      Metrics.inc m_drift ~labels:[ ("channel", t.Protocol.t_channel) ]
   in
   let emit () =
     match progress with
@@ -334,6 +404,7 @@ let run_job ~store ?code_rev:rev ?jobs ?progress ?(compute = compute_cell)
             p_cached = !cached;
             p_failed = !failed;
             p_retried = !retried;
+            p_dropped_spans = Tp_obs.Trace.dropped ();
           }
   in
   (* Answer everything the store already holds; a resubmission of a
@@ -388,11 +459,19 @@ let run_job ~store ?code_rev:rev ?jobs ?progress ?(compute = compute_cell)
            any two dispatches. *)
         List.iter (fun _ -> Tp_fault.Fault.hit point_dispatch) chunk;
         let arr = Array.of_list chunk in
+        let t_wave = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
         let outs =
           Tp_par.Pool.run ~jobs:jobs_n (Array.length arr) (fun k ->
               let _, c, _ = arr.(k) in
-              attempt_cell ~compute j c)
+              if Metrics.enabled () then begin
+                let t0 = Unix.gettimeofday () in
+                let out = attempt_cell ~compute j c in
+                Metrics.observe m_trial_us (us_since t0);
+                out
+              end
+              else attempt_cell ~compute j c)
         in
+        if Metrics.enabled () then Metrics.observe m_wave_us (us_since t_wave);
         Array.iteri
           (fun k (out, retries) ->
             let i, c, key = arr.(k) in
@@ -412,12 +491,15 @@ let run_job ~store ?code_rev:rev ?jobs ?progress ?(compute = compute_cell)
                          ("computed trial unreadable: " ^ why)))
             | Error why -> record i (failed_trial c ~key ~retries why))
           outs;
-        if !consecutive >= circuit_threshold && !stop_reason = None then
+        if !consecutive >= circuit_threshold && !stop_reason = None then begin
           stop_reason :=
             Some
               (Printf.sprintf
                  "circuit open after %d consecutive trial failures"
                  !consecutive);
+          Metrics.inc m_circuit_opens;
+          Metrics.set m_circuit 1.0
+        end;
         emit ();
         waves rest
   in
@@ -435,6 +517,10 @@ let run_job ~store ?code_rev:rev ?jobs ?progress ?(compute = compute_cell)
       Protocol.Degraded
     else Protocol.Complete
   in
+  if Metrics.enabled () then begin
+    Metrics.observe m_job_us (us_since t_job);
+    Metrics.inc m_jobs ~labels:[ ("status", Protocol.status_name status) ]
+  end;
   Ok
     {
       Protocol.r_id = j.Protocol.j_id;

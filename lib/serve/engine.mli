@@ -67,7 +67,16 @@ val cell_key : code_rev:string -> Protocol.job -> cell -> string
 val compute_cell : Protocol.job -> cell -> (string, string) result
 (** Run one trial (fresh boot, per-cell RNG stream) and return its
     stored blob, or [Error reason] for non-cacheable outcomes (wall
-    timeout, empty collection). *)
+    timeout, empty collection).  The blob records the trial's certified
+    leakage bound ({!Tp_analysis.Certify.total_bits} of the harness
+    cert) so the drift monitor can compare measured MI against it
+    forever after. *)
+
+val drifting : Protocol.trial -> bool
+(** The leakage-drift predicate: a non-failed trial with a leak verdict
+    whose measured MI exceeds its recorded certified bound.  Such
+    trials bump [tpsim_engine_mi_over_cert_total] and raise an
+    [mi_over_cert] event-log alert. *)
 
 val run_job :
   store:Tp_store.Store.t ->

@@ -58,6 +58,7 @@ type trial = {
   t_m0_bits : float;
   t_verdict : string;
   t_n : int;
+  t_cert_bits : int;
   t_degraded_reason : string option;
   t_recovered_faults : int;
   t_checkpoints : int;
@@ -85,6 +86,7 @@ type progress = {
   p_cached : int;
   p_failed : int;
   p_retried : int;
+  p_dropped_spans : int;
 }
 
 (* ---- helpers ----------------------------------------------------- *)
@@ -185,7 +187,7 @@ let job_of_json j =
    trial's cache key: no retries, no cache flag, no wall-clock times. *)
 let stored_fields t =
   [
-    ("schema", Json.Str "tpsim-trial/1");
+    ("schema", Json.Str "tpsim-trial/2");
     ("platform", Json.Str t.t_platform);
     ("config", Json.Str t.t_config);
     ("channel", Json.Str t.t_channel);
@@ -195,6 +197,7 @@ let stored_fields t =
     ("m0_bits", Json.Num t.t_m0_bits);
     ("verdict", Json.Str t.t_verdict);
     ("n", Json.Num (float_of_int t.t_n));
+    ("cert_bits", Json.Num (float_of_int t.t_cert_bits));
     ("degraded_reason", opt_json (fun s -> Json.Str s) t.t_degraded_reason);
     ("recovered_faults", Json.Num (float_of_int t.t_recovered_faults));
     ("checkpoints", Json.Num (float_of_int t.t_checkpoints));
@@ -216,6 +219,7 @@ let trial_of_fields ~key ~retries ~cached j =
   let* m0 = get_num j "m0_bits" in
   let* verdict = get_str j "verdict" in
   let* n = get_int j "n" in
+  let* cert_bits = get_int j "cert_bits" in
   let* recovered = get_int j "recovered_faults" in
   let* checkpoints = get_int j "checkpoints" in
   Ok
@@ -230,6 +234,7 @@ let trial_of_fields ~key ~retries ~cached j =
       t_m0_bits = m0;
       t_verdict = verdict;
       t_n = n;
+      t_cert_bits = cert_bits;
       t_degraded_reason = opt_str j "degraded_reason";
       t_recovered_faults = recovered;
       t_checkpoints = checkpoints;
@@ -326,6 +331,7 @@ let progress_to_json p =
       ("cached", Json.Num (float_of_int p.p_cached));
       ("failed", Json.Num (float_of_int p.p_failed));
       ("retried", Json.Num (float_of_int p.p_retried));
+      ("dropped_spans", Json.Num (float_of_int p.p_dropped_spans));
     ]
 
 let progress_of_json j =
@@ -341,6 +347,7 @@ let progress_of_json j =
       p_cached = cached;
       p_failed = failed;
       p_retried = retried;
+      p_dropped_spans = Option.value ~default:0 (opt_int j "dropped_spans");
     }
 
 (* ---- request lines ----------------------------------------------- *)
@@ -349,5 +356,6 @@ let submit_line j =
   Json.to_string (Json.Obj [ ("op", Json.Str "submit"); ("job", job_to_json j) ])
 
 let ping_line = Json.to_string (Json.Obj [ ("op", Json.Str "ping") ])
+let metrics_line = Json.to_string (Json.Obj [ ("op", Json.Str "metrics") ])
 let status_line = Json.to_string (Json.Obj [ ("op", Json.Str "status") ])
 let shutdown_line = Json.to_string (Json.Obj [ ("op", Json.Str "shutdown") ])

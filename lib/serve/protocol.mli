@@ -2,7 +2,7 @@
 
     Requests and responses are newline-delimited JSON objects over a
     Unix-domain socket.  Requests carry an ["op"] field ([ping],
-    [status], [submit], [shutdown]); responses carry an ["event"]
+    [status], [metrics], [submit], [shutdown]); responses carry an ["event"]
     field.  A [submit] streams zero or more [progress] events before
     its final [result] (or [error]) event, so clients can render
     completion live.
@@ -60,6 +60,10 @@ type trial = {
   t_m0_bits : float;
   t_verdict : string;  (** "leak" / "no-evidence" / "negligible" / "no-data" *)
   t_n : int;  (** samples the verdict is based on *)
+  t_cert_bits : int;
+      (** certified leakage bound recorded at compute time
+          ({!Tp_analysis.Certify.total_bits}); the drift monitor flags a
+          leak verdict whose measured MI exceeds it *)
   t_degraded_reason : string option;
   t_recovered_faults : int;  (** harness recoveries (PR 1 contract) *)
   t_checkpoints : int;
@@ -89,6 +93,8 @@ type progress = {
   p_cached : int;
   p_failed : int;
   p_retried : int;
+  p_dropped_spans : int;
+      (** trace-ring spans overwritten so far (0 unless tracing) *)
 }
 
 (** {1 Stored form (result-store blobs)} *)
@@ -112,5 +118,8 @@ val progress_of_json : Tp_util.Json.t -> (progress, string) result
 val submit_line : job -> string
 val ping_line : string
 val status_line : string
+val metrics_line : string
 val shutdown_line : string
-(** Complete request lines (no trailing newline). *)
+(** Complete request lines (no trailing newline).  [metrics_line]
+    requests a point-in-time OpenMetrics snapshot; the daemon answers
+    with a single [metrics] event carrying the exposition text. *)

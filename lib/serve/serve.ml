@@ -18,9 +18,26 @@ let event name fields = Json.to_string (Json.Obj (("event", Json.Str name) :: fi
 
 let error_line msg = event "error" [ ("message", Json.Str msg) ]
 
+let elog event_log ~event:name fields =
+  match event_log with
+  | None -> ()
+  | Some l -> Tp_obs.Eventlog.write l ~event:name fields
+
+(* The drift alert carries everything a pager needs to reproduce. *)
+let alert_fields (t : Protocol.trial) =
+  [
+    ("platform", Json.Str t.Protocol.t_platform);
+    ("config", Json.Str t.Protocol.t_config);
+    ("channel", Json.Str t.Protocol.t_channel);
+    ("trial", Json.Num (float_of_int t.Protocol.t_trial));
+    ("mi_bits", Json.Num t.Protocol.t_mi_bits);
+    ("cert_bits", Json.Num (float_of_int t.Protocol.t_cert_bits));
+    ("key", Json.Str t.Protocol.t_key);
+  ]
+
 (* One request line -> zero or more progress lines -> one final line.
    [true] keeps the daemon alive, [false] is a shutdown. *)
-let handle ~store ~jobs ~log fd line =
+let handle ~store ~jobs ~log ?event_log fd line =
   match Json.parse_opt line with
   | None ->
       ignore (send fd (error_line "request is not valid JSON"));
@@ -29,6 +46,13 @@ let handle ~store ~jobs ~log fd line =
       match Option.bind (Json.member "op" req) Json.str with
       | Some "ping" ->
           ignore (send fd (event "pong" []));
+          true
+      | Some "metrics" ->
+          (* Point-in-time OpenMetrics snapshot over the same socket
+             the jobs ride; any client can scrape it (tpsim top). *)
+          ignore
+            (send fd
+               (event "metrics" [ ("text", Json.Str (Tp_obs.Metrics.render ())) ]));
           true
       | Some "status" ->
           ignore
@@ -42,6 +66,7 @@ let handle ~store ~jobs ~log fd line =
                   ]));
           true
       | Some "shutdown" ->
+          elog event_log ~event:"shutdown" [];
           ignore (send fd (event "bye" []));
           false
       | Some "submit" -> (
@@ -63,6 +88,11 @@ let handle ~store ~jobs ~log fd line =
                        (List.length job.Protocol.j_configs)
                        (List.length job.Protocol.j_channels)
                        job.Protocol.j_trials);
+                  elog event_log ~event:"job_received"
+                    [
+                      ("id", Json.Str job.Protocol.j_id);
+                      ("job", Protocol.job_to_json job);
+                    ];
                   let progress p =
                     ignore
                       (send fd
@@ -78,6 +108,44 @@ let handle ~store ~jobs ~log fd line =
                            (Protocol.status_name r.Protocol.r_status)
                            r.Protocol.r_computed r.Protocol.r_cached
                            r.Protocol.r_failed);
+                      List.iter
+                        (fun t ->
+                          if Engine.drifting t then begin
+                            log
+                              (Printf.sprintf
+                                 "ALERT job %s: %s %s %s#%d measured MI \
+                                  %.4f b exceeds certified bound %d b"
+                                 r.Protocol.r_id t.Protocol.t_platform
+                                 t.Protocol.t_config t.Protocol.t_channel
+                                 t.Protocol.t_trial t.Protocol.t_mi_bits
+                                 t.Protocol.t_cert_bits);
+                            elog event_log ~event:"mi_over_cert"
+                              (("id", Json.Str r.Protocol.r_id)
+                              :: alert_fields t)
+                          end)
+                        r.Protocol.r_trials;
+                      let dropped = Tp_obs.Trace.dropped () in
+                      if dropped > 0 then
+                        elog event_log ~event:"spans_dropped"
+                          [
+                            ("id", Json.Str r.Protocol.r_id);
+                            ("dropped", Json.Num (float_of_int dropped));
+                          ];
+                      elog event_log ~event:"job_done"
+                        [
+                          ("id", Json.Str r.Protocol.r_id);
+                          ( "status",
+                            Json.Str (Protocol.status_name r.Protocol.r_status)
+                          );
+                          ("total", Json.Num (float_of_int r.Protocol.r_total));
+                          ( "computed",
+                            Json.Num (float_of_int r.Protocol.r_computed) );
+                          ( "cached",
+                            Json.Num (float_of_int r.Protocol.r_cached) );
+                          ( "failed",
+                            Json.Num (float_of_int r.Protocol.r_failed) );
+                          ("digest", Json.Str r.Protocol.r_digest);
+                        ];
                       ignore
                         (send fd
                            (event "result"
@@ -85,6 +153,11 @@ let handle ~store ~jobs ~log fd line =
                   | Error why ->
                       log (Printf.sprintf "job %s rejected: %s"
                              job.Protocol.j_id why);
+                      elog event_log ~event:"job_rejected"
+                        [
+                          ("id", Json.Str job.Protocol.j_id);
+                          ("reason", Json.Str why);
+                        ];
                       ignore (send fd (error_line why)));
                   true))
       | Some op ->
@@ -119,12 +192,19 @@ let read_lines fd f =
   in
   loop ()
 
-let run ~socket ~store_dir ?jobs ?(log = ignore) () =
+let run ~socket ~store_dir ?jobs ?(log = ignore) ?event_log ?(metrics = true)
+    () =
   let jobs =
     match jobs with
     | Some j -> Stdlib.max 1 j
     | None -> Tp_par.Pool.default_jobs ()
   in
+  (* The daemon is the one place metrics default on: it owns the
+     process, and the bit-identity contract is enforced regardless
+     (test_serve runs the same jobs with metrics off and compares
+     digests).  Enable before the store opens so fsck and journal
+     replay are counted. *)
+  if metrics then Tp_obs.Metrics.set_enabled true;
   (* A client that vanishes mid-stream must not kill the daemon. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
@@ -136,6 +216,14 @@ let run ~socket ~store_dir ?jobs ?(log = ignore) () =
         orphans, %d staging)"
        store_dir r.Store.f_entries r.Store.f_torn r.Store.f_missing
        r.Store.f_corrupt r.Store.f_orphans r.Store.f_staging);
+  elog event_log ~event:"daemon_start"
+    [
+      ("socket", Json.Str socket);
+      ("store_dir", Json.Str store_dir);
+      ("jobs", Json.Num (float_of_int jobs));
+      ("entries", Json.Num (float_of_int r.Store.f_entries));
+      ("code_rev", Json.Str (Engine.code_rev ()));
+    ];
   if Sys.file_exists socket then Unix.unlink socket;
   let srv = Unix.socket PF_UNIX SOCK_STREAM 0 in
   Fun.protect
@@ -154,7 +242,7 @@ let run ~socket ~store_dir ?jobs ?(log = ignore) () =
           Fun.protect
             ~finally:(fun () ->
               try Unix.close fd with Unix.Unix_error _ -> ())
-            (fun () -> read_lines fd (handle ~store ~jobs ~log fd))
+            (fun () -> read_lines fd (handle ~store ~jobs ~log ?event_log fd))
         in
         alive := keep_going
       done;

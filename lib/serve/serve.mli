@@ -20,9 +20,20 @@ val run :
   store_dir:string ->
   ?jobs:int ->
   ?log:(string -> unit) ->
+  ?event_log:Tp_obs.Eventlog.t ->
+  ?metrics:bool ->
   unit ->
   unit
 (** Serve until a [shutdown] request.  Creates [store_dir] as needed
     and replaces a stale socket file.  [jobs] is the worker-domain
     count handed to every job (default: the pool default); [log]
-    receives one human-readable line per lifecycle event. *)
+    receives one human-readable line per lifecycle event.
+
+    [metrics] (default [true]) enables {!Tp_obs.Metrics} for the
+    daemon process, making the [metrics] request answer a live
+    OpenMetrics snapshot (engine latency histograms, store hit/miss,
+    pool utilisation) — recording is observational only, so job
+    digests are bit-identical either way.  [event_log] (optional)
+    receives the structured JSONL lifecycle stream: [daemon_start],
+    [job_received], [job_done], [job_rejected], [spans_dropped],
+    [mi_over_cert] drift alerts and [shutdown]. *)

@@ -1,0 +1,61 @@
+(** The [tpsim top] live dashboard.
+
+    Scrapes the daemon's [metrics] request ({!Client.metrics}) on a
+    refresh loop and renders a one-screen view: trial throughput
+    (counter delta between scrapes), engine latency percentiles
+    reconstructed from the histogram buckets, store hit rate, per-
+    domain pool utilisation, and the leakage-drift monitor (trials
+    whose measured MI exceeded their recorded certified bound).
+
+    The exposition parser and renderer are exposed so the pipeline is
+    unit-testable without a live socket. *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+type exposition = {
+  e_types : (string * string) list;  (** family name → kind *)
+  e_samples : sample list;
+}
+
+val empty : exposition
+
+val parse : string -> exposition
+(** Parse the text exposition {!Tp_obs.Metrics.render} emits.
+    Unparseable lines are skipped, never fatal — a dashboard must not
+    die mid-scrape. *)
+
+val value :
+  ?labels:(string * string) list -> exposition -> string -> float option
+(** First sample with the name whose labels include all of [labels]. *)
+
+val total : exposition -> string -> float
+(** Sum over every label set of one sample name (0 if absent). *)
+
+val by_label : exposition -> string -> string -> (string * float) list
+(** [(label value, sample value)] pairs of one name keyed by one label. *)
+
+val quantile : exposition -> string -> float -> float option
+(** Nearest-rank quantile (p in 0..100) of a histogram family,
+    reconstructed from its cumulative [_bucket{le=...}] samples. *)
+
+val render : ?prev:exposition * float -> now:float -> exposition -> string
+(** One dashboard frame.  [prev] is the previous scrape and the
+    seconds elapsed since it — what turns monotonic counters into
+    rates. *)
+
+val run :
+  socket:string ->
+  ?interval:float ->
+  ?frames:int ->
+  ?raw:bool ->
+  unit ->
+  (unit, string) result
+(** Scrape/render loop against a live daemon: every [interval]
+    (default 2 s) seconds, forever — or [frames] times — clearing the
+    screen between frames (except single-frame and [raw] mode, which
+    prints the exposition text verbatim).  [Error] on connection loss
+    or daemon rejection. *)

@@ -11,6 +11,47 @@ let point_rename = "store_rename"
 let () =
   List.iter Tp_fault.Fault.register [ point_write; point_fsync; point_rename ]
 
+(* Campaign telemetry (no-ops unless Tp_obs.Metrics is enabled, which
+   only the serve daemon does): cache effectiveness, commit-protocol
+   traffic, and what fsck had to repair. *)
+module Metrics = Tp_obs.Metrics
+
+let m_hits =
+  Metrics.counter ~help:"Store lookups answered with verified content."
+    "tpsim_store_hits_total"
+
+let m_misses =
+  Metrics.counter
+    ~help:"Store lookups that found nothing (or dropped bit-rot)."
+    "tpsim_store_misses_total"
+
+let m_puts =
+  Metrics.counter ~help:"Objects committed through the staged-write path."
+    "tpsim_store_puts_total"
+
+let m_stage_writes =
+  Metrics.counter ~help:"Staged durable file writes (objects and journals)."
+    "tpsim_store_stage_writes_total"
+
+let m_fsyncs =
+  Metrics.counter ~help:"File fsyncs issued by the commit protocol."
+    "tpsim_store_fsyncs_total"
+
+let m_journal_replayed =
+  Metrics.counter ~help:"Journal entries replayed across store opens."
+    "tpsim_store_journal_replayed_total"
+
+let m_fsck =
+  Metrics.counter
+    ~help:
+      "Damage repaired on open, by kind (torn, missing, corrupt, orphan, \
+       staging)."
+    "tpsim_store_fsck_total"
+
+let m_entries =
+  Metrics.gauge ~help:"Live entries in the most recently touched store."
+    "tpsim_store_entries"
+
 type entry = { e_digest : string; e_len : int }
 
 type fsck_report = {
@@ -83,7 +124,9 @@ let write_file_sync path data =
     (fun () ->
       write_all fd data;
       Tp_fault.Fault.hit point_fsync;
-      Unix.fsync fd)
+      Unix.fsync fd);
+  Metrics.inc m_stage_writes;
+  Metrics.inc m_fsyncs
 
 let rename_durable src dst =
   Tp_fault.Fault.hit point_rename;
@@ -186,6 +229,18 @@ let open_ ~dir =
       [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CLOEXEC ]
       0o644
   in
+  Metrics.inc m_journal_replayed ~by:(Hashtbl.length tbl);
+  List.iter
+    (fun (kind, n) ->
+      if n > 0 then Metrics.inc m_fsck ~labels:[ ("kind", kind) ] ~by:n)
+    [
+      ("torn", !torn);
+      ("missing", !missing);
+      ("corrupt", !corrupt);
+      ("orphan", List.length orphans);
+      ("staging", List.length stage);
+    ];
+  Metrics.set m_entries (float_of_int (Hashtbl.length tbl));
   {
     t_dir = dir;
     t_tbl = tbl;
@@ -224,13 +279,18 @@ let content_digest t k =
 
 let find t k =
   match Hashtbl.find_opt t.t_tbl k with
-  | None -> None
+  | None ->
+      Metrics.inc m_misses;
+      None
   | Some e -> (
       match read_file (object_path t.t_dir k) with
-      | data when Digest.to_hex (Digest.string data) = e.e_digest -> Some data
+      | data when Digest.to_hex (Digest.string data) = e.e_digest ->
+          Metrics.inc m_hits;
+          Some data
       | _ | (exception Sys_error _) ->
           (* Bit rot after open: surface as a miss, not wrong data. *)
           Hashtbl.remove t.t_tbl k;
+          Metrics.inc m_misses;
           None)
 
 let put t ~key data =
@@ -251,5 +311,8 @@ let put t ~key data =
     write_all fd (journal_line key e);
     Tp_fault.Fault.hit point_fsync;
     Unix.fsync fd;
-    Hashtbl.replace t.t_tbl key e
+    Hashtbl.replace t.t_tbl key e;
+    Metrics.inc m_puts;
+    Metrics.inc m_fsyncs;
+    Metrics.set m_entries (float_of_int (Hashtbl.length t.t_tbl))
   end

@@ -261,6 +261,331 @@ let test_padprof_gated =
       Alcotest.(check int) "no recording with counters off" 0
         (List.length (Padprof.images ())))
 
+(* --- log-bucketed histogram ---------------------------------------- *)
+
+let test_histogram_basics () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  Alcotest.(check int) "empty percentile" 0 (Histogram.percentile h 50.0);
+  List.iter (Histogram.record h) [ 0; 1; 7; 8; 100; 100; 5000; -3 ];
+  Alcotest.(check int) "count" 8 (Histogram.count h);
+  Alcotest.(check int) "negative clamped into sum" 5216 (Histogram.sum h);
+  Alcotest.(check int) "min" 0 (Histogram.min_ h);
+  Alcotest.(check int) "max" 5000 (Histogram.max_ h);
+  Alcotest.(check int) "p100 is exact max" 5000 (Histogram.percentile h 100.0);
+  Alcotest.(check int) "p0 is exact min" 0 (Histogram.percentile h 0.0);
+  (* Small values are exact buckets. *)
+  Alcotest.(check int) "value 7 exact" 7 (Histogram.upper_of (Histogram.index_of 7));
+  (* Bucket upper bound carries <= 12.5% relative error. *)
+  let p90 = Histogram.percentile h 90.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p90 (%d) within an octave-eighth of 5000" p90)
+    true
+    (float_of_int p90 >= 5000.0 *. 0.875 && p90 <= 5000)
+
+let qcheck_histogram_bucket_invariants =
+  QCheck.Test.make ~name:"histogram buckets contain their values" ~count:500
+    QCheck.(int_bound 2_000_000_000)
+    (fun v ->
+      let i = Histogram.index_of v in
+      let upper = Histogram.upper_of i in
+      (* v lands in bucket i: upper bound covers it, previous doesn't. *)
+      v <= upper && (i = 0 || Histogram.upper_of (i - 1) < v))
+
+let qcheck_histogram_merge_order_independent =
+  QCheck.Test.make
+    ~name:"histogram merge is order-independent (any worker order)" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 5)
+           (list_of_size Gen.(int_range 0 30) (int_bound 100_000)))
+        (list_of_size Gen.(int_range 0 20) small_nat))
+    (fun (worker_values, shuffle_seed) ->
+      let workers =
+        List.map
+          (fun vs ->
+            let h = Histogram.create () in
+            List.iter (Histogram.record h) vs;
+            h)
+          worker_values
+      in
+      let fold order =
+        let into = Histogram.create () in
+        List.iter (fun h -> Histogram.merge ~into h) order;
+        Histogram.snapshot into
+      in
+      (* A deterministic permutation derived from the seed list. *)
+      let permuted =
+        List.fold_left
+          (fun acc s ->
+            let n = List.length acc in
+            if n < 2 then acc
+            else
+              let k = s mod n in
+              let x = List.nth acc k in
+              x :: List.filteri (fun i _ -> i <> k) acc)
+          workers shuffle_seed
+      in
+      fold workers = fold permuted)
+
+let qcheck_histogram_snapshot_roundtrip =
+  QCheck.Test.make ~name:"histogram snapshot/of_snapshot round-trips"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 50) (int_bound 1_000_000))
+    (fun vs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) vs;
+      let s = Histogram.snapshot h in
+      Histogram.snapshot (Histogram.of_snapshot s) = s)
+
+(* Absorbing worker counter exports in any fixed order yields identical
+   snapshots — the determinism contract behind [-j N].  Each ordering
+   runs in a fresh spawned domain because the counter registry is
+   domain-local. *)
+let qcheck_counter_absorb_order_independent =
+  QCheck.Test.make ~name:"counter absorb is order-independent" ~count:30
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 4)
+           (list_of_size Gen.(int_range 0 10) (int_bound 100)))
+        (list_of_size Gen.(int_range 0 8) small_nat))
+    (fun (worker_adds, shuffle_seed) ->
+      let snapshot_after order =
+        Domain.join
+          (Domain.spawn (fun () ->
+               Ctl.set_counters true;
+               Fun.protect
+                 ~finally:(fun () -> Ctl.all_off ())
+                 (fun () ->
+                   let s = Counter.make_set "test.absorb" in
+                   let _c = Counter.counter s "c" in
+                   Counter.register s;
+                   let exports =
+                     List.map
+                       (fun adds ->
+                         Domain.join
+                           (Domain.spawn (fun () ->
+                                Ctl.set_counters true;
+                                let ws = Counter.make_set "test.absorb" in
+                                let wc = Counter.counter ws "c" in
+                                Counter.register ws;
+                                List.iter (Counter.add wc) adds;
+                                Counter.export ())))
+                       order
+                   in
+                   List.iter Counter.absorb exports;
+                   Counter.snapshot s)))
+      in
+      let permuted =
+        List.fold_left
+          (fun acc s ->
+            let n = List.length acc in
+            if n < 2 then acc
+            else
+              let k = s mod n in
+              let x = List.nth acc k in
+              x :: List.filteri (fun i _ -> i <> k) acc)
+          worker_adds shuffle_seed
+      in
+      snapshot_after worker_adds = snapshot_after permuted)
+
+(* --- metrics registry ----------------------------------------------- *)
+
+let with_metrics f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    (fun () ->
+      Metrics.reset ();
+      Metrics.set_enabled true;
+      f ())
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_metrics_disabled_no_op () =
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  let c = Metrics.counter "tpsim_test_off_total" in
+  Metrics.inc c;
+  Metrics.inc c ~by:41;
+  Alcotest.(check (option (float 0.0)))
+    "disabled counter records nothing" None (Metrics.value c)
+
+let test_metrics_render_shape =
+  with_metrics (fun () ->
+      let c = Metrics.counter ~help:"A counter." "tpsim_test_total" in
+      let g = Metrics.gauge ~help:"A gauge." "tpsim_test_gauge" in
+      let h = Metrics.histogram ~help:"A histogram." "tpsim_test_us" in
+      Metrics.inc c ~labels:[ ("k", "a\"b\\c\nd") ] ~by:3;
+      Metrics.inc c ~labels:[ ("k", "plain") ];
+      Metrics.set g 2.5;
+      List.iter (Metrics.observe h) [ 1; 10; 100 ];
+      let text = Metrics.render () in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool)
+            (Printf.sprintf "render has %s" (String.escaped sub))
+            true (contains_sub text sub))
+        [
+          "# TYPE tpsim_test_total counter";
+          "# HELP tpsim_test_total A counter.";
+          "tpsim_test_total{k=\"a\\\"b\\\\c\\nd\"} 3";
+          "tpsim_test_total{k=\"plain\"} 1";
+          "# TYPE tpsim_test_gauge gauge";
+          "tpsim_test_gauge 2.5";
+          "# TYPE tpsim_test_us histogram";
+          "tpsim_test_us_bucket{le=\"+Inf\"} 3";
+          "tpsim_test_us_sum 111";
+          "tpsim_test_us_count 3";
+          "# EOF";
+        ];
+      (* Cumulative buckets must be monotone and end at the count. *)
+      let e = Tp_serve.Top.parse text in
+      let les =
+        List.filter_map
+          (fun s ->
+            if s.Tp_serve.Top.s_name = "tpsim_test_us_bucket" then
+              Some s.Tp_serve.Top.s_value
+            else None)
+          e.Tp_serve.Top.e_samples
+      in
+      Alcotest.(check bool)
+        "bucket series is monotone non-decreasing" true
+        (les <> []
+        && fst
+             (List.fold_left
+                (fun (ok, prev) v -> (ok && v >= prev, v))
+                (true, 0.0) les))
+      |> ignore;
+      Alcotest.(check bool) "kind mismatch rejected" true
+        (match Metrics.gauge "tpsim_test_total" with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+let test_metrics_roundtrip_via_top =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "tpsim_rt_us" in
+      for _ = 1 to 60 do Metrics.observe h 100 done;
+      for _ = 1 to 40 do Metrics.observe h 10_000 done;
+      let e = Tp_serve.Top.parse (Metrics.render ()) in
+      let q p = Tp_serve.Top.quantile e "tpsim_rt_us" p in
+      (* p50 lands in the 100-cycle bucket, p99 in the 10k one, with
+         bucket-granularity (12.5%) error. *)
+      (match q 50.0 with
+      | Some v -> Alcotest.(check bool) "p50 near 100" true (v >= 100.0 && v < 120.0)
+      | None -> Alcotest.fail "no p50");
+      match q 99.0 with
+      | Some v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "p99 (%g) near 10000" v)
+            true
+            (v >= 10_000.0 *. 0.875 && v <= 10_000.0 *. 1.125)
+      | None -> Alcotest.fail "no p99")
+
+(* --- event log ------------------------------------------------------ *)
+
+let test_eventlog_rotation () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tp-test-elog-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat dir "events.jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let t = Eventlog.open_ ~max_bytes:1024 ~keep:2 path in
+      let payload = String.make 100 'x' in
+      for i = 1 to 60 do
+        Eventlog.write t ~event:"tick"
+          [ ("i", Tp_util.Json.Num (float_of_int i));
+            ("pad", Tp_util.Json.Str payload) ]
+      done;
+      Eventlog.close t;
+      Alcotest.(check bool) "live file exists" true (Sys.file_exists path);
+      Alcotest.(check bool)
+        "rotated generation exists" true
+        (Sys.file_exists (path ^ ".1"));
+      Alcotest.(check bool)
+        "keep bounds generations" false
+        (Sys.file_exists (path ^ ".3"));
+      (* Every line of every generation parses and carries ts+event. *)
+      let files =
+        List.filter Sys.file_exists [ path; path ^ ".1"; path ^ ".2" ]
+      in
+      let lines =
+        List.concat_map
+          (fun f ->
+            let ic = open_in f in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> In_channel.input_lines ic))
+          files
+      in
+      Alcotest.(check bool) "rotation kept a bounded tail" true
+        (List.length lines < 60);
+      List.iter
+        (fun l ->
+          match Tp_util.Json.parse_opt l with
+          | Some j ->
+              Alcotest.(check bool) "line has ts and event" true
+                (Tp_util.Json.member "ts" j <> None
+                && Tp_util.Json.member "event" j <> None)
+          | None -> Alcotest.failf "unparseable event line: %s" l)
+        lines;
+      (* Writes after close are silent no-ops. *)
+      Eventlog.write t ~event:"late" [])
+
+(* --- pad-slack percentiles ------------------------------------------ *)
+
+let test_padprof_slack_percentiles =
+  with_obs ~counters:true (fun () ->
+      for slack = 1 to 100 do
+        Padprof.record ~ki:5 ~pad:1000 ~padded:true ~total:1000 ~flush:0
+          ~pad_wait:slack
+      done;
+      match Padprof.images () with
+      | [ im ] -> (
+          match Padprof.slack_percentiles im with
+          | None -> Alcotest.fail "no percentiles from padded switches"
+          | Some (p50, p99) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "p50 (%d) near 50" p50)
+                true
+                (p50 >= 44 && p50 <= 57);
+              Alcotest.(check bool)
+                (Printf.sprintf "p99 (%d) near 99" p99)
+                true
+                (p99 >= 87 && p99 <= 100);
+              let b = Buffer.create 512 in
+              let ppf = Format.formatter_of_buffer b in
+              Padprof.report ppf ();
+              Format.pp_print_flush ppf ();
+              Alcotest.(check bool)
+                "report carries the slack columns" true
+                (contains_sub (Buffer.contents b) "slack p50"
+                && contains_sub (Buffer.contents b) "slack p99"))
+      | l -> Alcotest.failf "expected 1 image, got %d" (List.length l))
+
+let test_padprof_no_padded_no_percentiles =
+  with_obs ~counters:true (fun () ->
+      Padprof.record ~ki:2 ~pad:0 ~padded:false ~total:300 ~flush:0 ~pad_wait:0;
+      match Padprof.images () with
+      | [ im ] ->
+          Alcotest.(check bool)
+            "unpadded image has no slack percentiles" true
+            (Padprof.slack_percentiles im = None)
+      | l -> Alcotest.failf "expected 1 image, got %d" (List.length l))
+
 (* --- harness metadata ---------------------------------------------- *)
 
 let test_harness_switch_counters =
@@ -308,6 +633,21 @@ let suite =
     Alcotest.test_case "padprof gated on counters" `Quick test_padprof_gated;
     Alcotest.test_case "harness switch-counter metadata" `Quick
       test_harness_switch_counters;
+    Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+    Alcotest.test_case "metrics disabled records nothing" `Quick
+      test_metrics_disabled_no_op;
+    Alcotest.test_case "metrics render shape" `Quick test_metrics_render_shape;
+    Alcotest.test_case "metrics quantiles round-trip via top" `Quick
+      test_metrics_roundtrip_via_top;
+    Alcotest.test_case "event log rotation" `Quick test_eventlog_rotation;
+    Alcotest.test_case "padprof slack percentiles" `Quick
+      test_padprof_slack_percentiles;
+    Alcotest.test_case "padprof slack absent without padding" `Quick
+      test_padprof_no_padded_no_percentiles;
     QCheck_alcotest.to_alcotest qcheck_delta_non_negative;
     QCheck_alcotest.to_alcotest qcheck_snapshot_reset_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_histogram_bucket_invariants;
+    QCheck_alcotest.to_alcotest qcheck_histogram_merge_order_independent;
+    QCheck_alcotest.to_alcotest qcheck_histogram_snapshot_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_counter_absorb_order_independent;
   ]

@@ -50,6 +50,7 @@ let stub_trial (c : E.cell) =
     t_m0_bits = 0.25;
     t_verdict = "no-evidence";
     t_n = 100;
+    t_cert_bits = 0;
     t_degraded_reason = None;
     t_recovered_faults = 0;
     t_checkpoints = 3;
@@ -379,6 +380,179 @@ let test_cycle_budget_cached_wall_timeout_not () =
           Alcotest.(check int)
             "wall-degraded data never stored" 1 (Store.count store)))
 
+(* ---- telemetry --------------------------------------------------- *)
+
+(* The zero-perturbation gate for the metrics layer: the same sweep
+   (raw + protected, real compute) run with metrics recording on and
+   off must produce bit-identical campaign digests. *)
+let test_metrics_digest_identical () =
+  with_dir (fun dir ->
+      let j =
+        P.job ~id:"mt" ~platforms:[ "haswell" ]
+          ~configs:[ "raw"; "protected" ] ~channels:[ "l1d" ] ~trials:1
+          ~seed:11 ~samples:60 ()
+      in
+      let digest sub =
+        with_store (Filename.concat dir sub) (fun store ->
+            match E.run_job ~store ~jobs:1 j with
+            | Ok r -> r.P.r_digest
+            | Error e -> Alcotest.fail e)
+      in
+      Tp_obs.Metrics.set_enabled false;
+      let off = digest "off" in
+      let on =
+        Fun.protect
+          ~finally:(fun () ->
+            Tp_obs.Metrics.set_enabled false;
+            Tp_obs.Metrics.reset ())
+          (fun () ->
+            Tp_obs.Metrics.set_enabled true;
+            digest "on")
+      in
+      Alcotest.(check string)
+        "digests bit-identical with metrics on/off" off on)
+
+(* The leakage-drift predicate: fires only on a non-failed leak verdict
+   whose measured MI exceeds the recorded certified bound. *)
+let test_drift_predicate () =
+  let base =
+    stub_trial
+      {
+        E.cl_platform = "haswell";
+        cl_plat = Tp_hw.Platform.haswell;
+        cl_config = "protected";
+        cl_kind = Tp_core.Scenario.Protected;
+        cl_channel = "l1d";
+        cl_trial = 0;
+      }
+  in
+  let t = { base with P.t_verdict = "leak"; t_mi_bits = 3.5; t_cert_bits = 2 } in
+  Alcotest.(check bool) "leak over bound drifts" true (E.drifting t);
+  Alcotest.(check bool)
+    "leak within bound ok" false
+    (E.drifting { t with P.t_cert_bits = 4 });
+  Alcotest.(check bool)
+    "no-evidence verdict never drifts" false
+    (E.drifting { t with P.t_verdict = "no-evidence" });
+  Alcotest.(check bool)
+    "failed trials never drift" false
+    (E.drifting { t with P.t_status = P.Failed })
+
+(* An engine run with metrics on populates the drift counter for
+   trials whose stored cert bound is below the measured MI. *)
+let test_drift_counter_increments () =
+  with_dir (fun dir ->
+      with_store dir (fun store ->
+          Fun.protect
+            ~finally:(fun () ->
+              Tp_obs.Metrics.set_enabled false;
+              Tp_obs.Metrics.reset ())
+            (fun () ->
+              Tp_obs.Metrics.set_enabled true;
+              Tp_obs.Metrics.reset ();
+              let leaky j c =
+                Result.map
+                  (fun blob ->
+                    match P.trial_of_stored ~key:"" blob with
+                    | Ok t ->
+                        P.stored_of_trial
+                          {
+                            t with
+                            P.t_verdict = "leak";
+                            t_mi_bits = 9.0;
+                            t_cert_bits = 1;
+                          }
+                    | Error _ -> blob)
+                  (stub_compute j c)
+              in
+              let r =
+                run_stub ~compute:leaky store
+                  (job ~channels:[ "l1d" ] ~trials:2 ())
+              in
+              Alcotest.(check bool)
+                "trials drifted" true
+                (List.for_all E.drifting r.P.r_trials);
+              let fam = Tp_obs.Metrics.counter "tpsim_engine_mi_over_cert_total" in
+              Alcotest.(check (option (float 0.0)))
+                "drift counter counted both trials" (Some 2.0)
+                (Tp_obs.Metrics.value ~labels:[ ("channel", "l1d") ] fam))))
+
+(* ---- top: exposition parsing and quantiles ----------------------- *)
+
+module Top = Tp_serve.Top
+
+let synthetic_exposition =
+  String.concat "\n"
+    [
+      "# HELP tpsim_engine_trials_total Trials.";
+      "# TYPE tpsim_engine_trials_total counter";
+      "tpsim_engine_trials_total{outcome=\"complete\"} 7";
+      "tpsim_engine_trials_total{outcome=\"failed\"} 1";
+      "# TYPE tpsim_engine_trial_us histogram";
+      "tpsim_engine_trial_us_bucket{le=\"100\"} 2";
+      "tpsim_engine_trial_us_bucket{le=\"1000\"} 7";
+      "tpsim_engine_trial_us_bucket{le=\"+Inf\"} 8";
+      "tpsim_engine_trial_us_sum 4242";
+      "tpsim_engine_trial_us_count 8";
+      "# TYPE tpsim_store_entries gauge";
+      "tpsim_store_entries 42";
+      "this line is garbage and must be skipped";
+      "# EOF";
+    ]
+
+let test_top_parse () =
+  let e = Top.parse synthetic_exposition in
+  Alcotest.(check (option string))
+    "type recorded" (Some "histogram")
+    (List.assoc_opt "tpsim_engine_trial_us" e.Top.e_types);
+  Alcotest.(check (option (float 0.0)))
+    "labelled lookup" (Some 7.0)
+    (Top.value ~labels:[ ("outcome", "complete") ] e
+       "tpsim_engine_trials_total");
+  Alcotest.(check (float 0.0))
+    "total sums label sets" 8.0
+    (Top.total e "tpsim_engine_trials_total");
+  Alcotest.(check (option (float 0.0)))
+    "gauge" (Some 42.0)
+    (Top.value e "tpsim_store_entries");
+  Alcotest.(check
+              (list (pair string (float 0.0))))
+    "by_label in exposition order"
+    [ ("complete", 7.0); ("failed", 1.0) ]
+    (Top.by_label e "tpsim_engine_trials_total" "outcome")
+
+let test_top_quantile () =
+  let e = Top.parse synthetic_exposition in
+  (* count=8: ranks 1..2 -> le 100, 3..7 -> le 1000, 8 -> +Inf (last
+     finite bucket answers). *)
+  Alcotest.(check (option (float 0.0)))
+    "p25 in first bucket" (Some 100.0)
+    (Top.quantile e "tpsim_engine_trial_us" 25.0);
+  Alcotest.(check (option (float 0.0)))
+    "p50 in second bucket" (Some 1000.0)
+    (Top.quantile e "tpsim_engine_trial_us" 50.0);
+  Alcotest.(check (option (float 0.0)))
+    "p100 clamps to last finite bucket" (Some 1000.0)
+    (Top.quantile e "tpsim_engine_trial_us" 100.0);
+  Alcotest.(check (option (float 0.0)))
+    "empty family has no quantile" None
+    (Top.quantile e "tpsim_engine_wave_us" 50.0)
+
+let test_top_render () =
+  let e = Top.parse synthetic_exposition in
+  let frame = Top.render ~now:0.0 e in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "frame mentions %s" sub)
+        true (contains_sub frame sub))
+    [ "throughput"; "latency"; "store"; "pool"; "leakage"; "p99" ];
+  (* Second frame with a prev scrape turns counters into a rate. *)
+  let frame2 = Top.render ~prev:(Top.empty, 2.0) ~now:2.0 e in
+  Alcotest.(check bool)
+    "rate appears with a previous scrape" true
+    (contains_sub frame2 "trials/s")
+
 let suite =
   [
     Alcotest.test_case "job wire round-trip" `Quick test_job_roundtrip;
@@ -403,4 +577,12 @@ let suite =
       test_crash_resume_store_faults;
     Alcotest.test_case "cycle budget cached, wall timeout not" `Slow
       test_cycle_budget_cached_wall_timeout_not;
+    Alcotest.test_case "metrics on/off digests bit-identical" `Slow
+      test_metrics_digest_identical;
+    Alcotest.test_case "leakage-drift predicate" `Quick test_drift_predicate;
+    Alcotest.test_case "drift counter increments" `Quick
+      test_drift_counter_increments;
+    Alcotest.test_case "top: exposition parse" `Quick test_top_parse;
+    Alcotest.test_case "top: histogram quantiles" `Quick test_top_quantile;
+    Alcotest.test_case "top: dashboard render" `Quick test_top_render;
   ]
