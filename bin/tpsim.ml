@@ -639,6 +639,11 @@ let scenario_choices =
     ("cat-llc", Scenario.Cat_llc);
   ]
 
+(* Stable slug for a scenario kind: the CLI spelling, reused for
+   certificate artifact names and the daemon's config column. *)
+let slug_of_kind kind =
+  fst (List.find (fun (_, k) -> k = kind) scenario_choices)
+
 let config_arg =
   let doc =
     "Scenario to lint: $(b,raw), $(b,full-flush), $(b,protected), \
@@ -719,7 +724,18 @@ let cmd_lint =
             Printf.sprintf "lint %s %s" p.Tp_hw.Platform.name
               (Scenario.name kind)
           in
-          Tp_analysis.Lint.run ~subject b)
+          let r = Tp_analysis.Lint.run ~subject b in
+          (* Kernel-certifier unsoundness canary (TP-KCERT-UNSOUND):
+             the certified switch-path bound must stay inside its
+             Bounds-derived analytic envelope. *)
+          let kc =
+            Tp_analysis.Kcert.lint_crosscheck p
+              ~config_name:(slug_of_kind kind) (Scenario.config kind p)
+          in
+          {
+            r with
+            Tp_analysis.Diag.findings = r.Tp_analysis.Diag.findings @ kc;
+          })
         plats
     in
     render_reports ~json ~sarif ~out reports;
@@ -832,14 +848,187 @@ let fixtures_arg =
   in
   Arg.(value & flag & info [ "fixtures" ] ~doc)
 
+let kernel_arg =
+  let doc =
+    "Certify the kernel's own domain-switch path instead of guest \
+     programs: lift the 12-step $(b,Domain_switch) sequence into an \
+     access trace, derive a sound per-switch leakage bound per \
+     (platform, configuration), and cross-validate it with the \
+     3-domain small-scope model check.  Without $(b,-c), all seven \
+     scenario configurations are certified."
+  in
+  Arg.(value & flag & info [ "kernel" ] ~doc)
+
+let certs_arg =
+  let doc =
+    "With $(b,--kernel): directory of golden certificate artifacts \
+     ($(b,<platform>-<config>.cert.json)).  Alone, (re)writes every \
+     certificate into it; with $(b,--check), byte-compares instead and \
+     exits non-zero on any drift or missing file (the CI gate)."
+  in
+  Arg.(value & opt (some string) None & info [ "certs" ] ~docv:"DIR" ~doc)
+
+let check_arg =
+  let doc = "Byte-compare against the goldens in $(b,--certs) (no writes)." in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+(* `certify --kernel`: per-(platform, config) switch-path certificates,
+   each cross-validated by the 3-domain exhaustive check, emitted as
+   deterministic content-digested artifacts and optionally byte-diffed
+   against the checked-in goldens. *)
+let certify_kernel plats kinds ~json ~sarif ~out ~expect ~certs_dir ~check =
+  let kinds =
+    match kinds with [] -> List.map snd scenario_choices | ks -> ks
+  in
+  let entries =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun kind ->
+            let cfg = Scenario.config kind p in
+            let ex = Tp_analysis.Certify.exhaustive3 p cfg in
+            let cert =
+              Tp_analysis.Kcert.certify ~exhaustive:ex p
+                ~config_name:(slug_of_kind kind) cfg
+            in
+            (cert, Tp_analysis.Kcert.report cert))
+          kinds)
+      plats
+  in
+  let reports = List.map snd entries in
+  (match (certs_dir, check) with
+  | None, true ->
+      Printf.eprintf "tpsim: --check needs --certs DIR\n%!";
+      exit 2
+  | None, false -> ()
+  | Some dir, true ->
+      let bad = ref 0 in
+      List.iter
+        (fun (c, _) ->
+          let path =
+            Filename.concat dir (Tp_analysis.Kcert.artifact_name c)
+          in
+          let want = Tp_analysis.Kcert.to_json c in
+          match
+            try
+              Some (In_channel.with_open_bin path In_channel.input_all)
+            with Sys_error _ -> None
+          with
+          | None ->
+              incr bad;
+              Printf.eprintf "tpsim: missing golden certificate %s\n%!" path
+          | Some got when not (String.equal got want) ->
+              incr bad;
+              Printf.eprintf
+                "tpsim: golden certificate drift: %s (regenerated digest \
+                 %s)\n\
+                 %!"
+                path
+                (Tp_analysis.Kcert.digest c)
+          | Some _ -> ())
+        entries;
+      if !bad > 0 then begin
+        Printf.eprintf
+          "tpsim: %d golden certificate(s) out of date; regenerate with \
+           `tpsim certify --kernel -p all --certs %s`\n\
+           %!"
+          !bad dir;
+        exit 1
+      end
+      else
+        Printf.eprintf
+          "tpsim: %d golden certificates verified byte-identical\n%!"
+          (List.length entries)
+  | Some dir, false ->
+      mkdir_p dir;
+      List.iter
+        (fun (c, _) ->
+          let path =
+            Filename.concat dir (Tp_analysis.Kcert.artifact_name c)
+          in
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc (Tp_analysis.Kcert.to_json c)))
+        entries;
+      Printf.eprintf "tpsim: wrote %d certificates to %s\n%!"
+        (List.length entries) dir);
+  if json && sarif then begin
+    Printf.eprintf "tpsim: --json and --sarif are mutually exclusive\n%!";
+    exit 2
+  end;
+  with_out out (fun oc ->
+      if json then
+        output_string oc
+          (Printf.sprintf "[%s]"
+             (String.concat ",\n"
+                (List.map
+                   (fun (c, r) ->
+                     Printf.sprintf "{\"cert\":%s,\"report\":%s}"
+                       (Tp_analysis.Kcert.to_json c)
+                       (Tp_analysis.Diag.report_to_json r))
+                   entries)))
+      else if sarif then
+        output_string oc (Tp_analysis.Diag.reports_to_sarif reports)
+      else begin
+        let ppf = Format.formatter_of_out_channel oc in
+        List.iter
+          (fun (c, _) ->
+            Format.fprintf ppf "%a" Tp_analysis.Kcert.pp c;
+            Format.fprintf ppf "  digest: %s@.@."
+              (Tp_analysis.Kcert.digest c))
+          entries;
+        Format.pp_print_flush ppf ()
+      end);
+  (match out with
+  | Some f ->
+      List.iter
+        (fun (r : Tp_analysis.Diag.report) ->
+          Printf.eprintf "tpsim: %s: %s\n%!" r.subject
+            (Tp_analysis.Diag.summary r))
+        reports;
+      Printf.eprintf "tpsim: wrote kernel certification report to %s\n%!" f
+  | None -> ());
+  match expect with
+  | None -> ()
+  | Some `Clean ->
+      let dirty =
+        List.filter (fun r -> not (Tp_analysis.Diag.clean r)) reports
+      in
+      if dirty <> [] then begin
+        List.iter
+          (fun (r : Tp_analysis.Diag.report) ->
+            Printf.eprintf "tpsim: expected clean but %s: %s\n%!" r.subject
+              (Tp_analysis.Diag.summary r))
+          dirty;
+        exit 1
+      end
+  | Some `Findings ->
+      let clean = List.filter Tp_analysis.Diag.clean reports in
+      if clean <> [] then begin
+        List.iter
+          (fun (r : Tp_analysis.Diag.report) ->
+            Printf.eprintf
+              "tpsim: expected findings but %s certifies clean\n%!" r.subject)
+          clean;
+        exit 1
+      end
+
 let cmd_certify =
   (* Abstract-interpretation leakage certifier: sound per-channel
      upper bounds from the lint view (optionally tightened per guest
      program), cross-validated by exhaustive small-scope model
      checking. *)
   let run plats kinds domains json sarif out expect exhaustive fixtures
-      verbose =
+      kernel certs_dir check verbose =
     setup_logging verbose;
+    if kernel then
+      certify_kernel plats kinds ~json ~sarif ~out ~expect ~certs_dir ~check
+    else begin
     let kinds =
       match kinds with
       | [] ->
@@ -900,21 +1089,7 @@ let cmd_certify =
     let reports = List.map (fun (_, _, r) -> r) entries in
     let exhaustive_json = function
       | None -> "null"
-      | Some (r : Tp_analysis.Certify.exhaustive_result) ->
-          Printf.sprintf
-            "{\"platform\":\"%s\",\"horizon\":%d,\"schedules\":%d,\"secrets\":%d,\"passed\":%b%s}"
-            (Tp_analysis.Diag.json_escape r.ex_platform)
-            r.ex_horizon r.ex_schedules
-            (List.length r.ex_secrets)
-            (r.ex_counterexample = None)
-            (match r.ex_counterexample with
-            | None -> ""
-            | Some cx ->
-                Printf.sprintf
-                  ",\"counterexample\":{\"schedule\":\"%s\",\"secret_a\":%d,\"secret_b\":%d,\"turn\":%d,\"index\":%d,\"obs_a\":%d,\"obs_b\":%d}"
-                  (Tp_analysis.Diag.json_escape cx.cx_schedule)
-                  cx.cx_secret_a cx.cx_secret_b cx.cx_turn cx.cx_index
-                  cx.cx_obs_a cx.cx_obs_b)
+      | Some r -> Tp_analysis.Certify.exhaustive_to_json r
     in
     if json && sarif then begin
       Printf.eprintf "tpsim: --json and --sarif are mutually exclusive\n%!";
@@ -998,6 +1173,7 @@ let cmd_certify =
             clean;
           exit 1
         end
+    end
   in
   Cmd.v
     (Cmd.info "certify"
@@ -1007,11 +1183,14 @@ let cmd_certify =
           plus pad timing) for each configuration, 0 under full time \
           protection; $(b,--exhaustive) cross-validates by enumerating \
           two-domain schedules on a shrunken machine and checking \
-          observational determinism.")
+          observational determinism.  $(b,--kernel) certifies the \
+          kernel's own domain-switch path instead, with 3-domain \
+          cross-validation and content-digested golden artifacts \
+          ($(b,--certs)/$(b,--check)).")
     Term.(
       const run $ platform_arg $ certify_configs_arg $ domains_arg $ json_arg
       $ sarif_arg $ out_arg $ expect_arg $ exhaustive_arg $ fixtures_arg
-      $ verbose_arg)
+      $ kernel_arg $ certs_arg $ check_arg $ verbose_arg)
 
 let cmd_bench =
   (* Benchmark-regression harness: suite throughput at -j 1 vs -j N,

@@ -415,6 +415,7 @@ type counterexample = {
 
 type exhaustive_result = {
   ex_platform : string;
+  ex_domains : int;
   ex_horizon : int;
   ex_schedules : int;
   ex_secrets : int list;
@@ -423,11 +424,6 @@ type exhaustive_result = {
 
 let horizon = 4
 let secrets = [ 0; 5; 10; 15 ]
-
-let schedules =
-  List.init (1 lsl horizon) (fun i ->
-      String.init horizon (fun j ->
-          if (i lsr j) land 1 = 1 then 'V' else 'A'))
 
 (* One attacker turn: the absolute timestamp, a prime+probe pass over
    two even pages (its colour under the 2-colour shrink), and four
@@ -455,6 +451,31 @@ let attacker_turn m ~core tiny =
       :: !obs
   done;
   List.rev !obs
+
+(* One turn of the deterministic public neighbour (domain D of the
+   3-domain check): a fixed sweep of one even page and two always-taken
+   branches, independent of every secret.  D makes no observations —
+   it exists so that secret-dependent state left by the victim can
+   perturb D's timing, and D's perturbed footprint in turn shift a
+   {e later} attacker turn: the transitive V→D→A channel a two-domain
+   enumeration cannot exhibit.  Even-page parity is deliberate: the
+   2-colour shrink cannot give three domains disjoint colours, so D
+   shares the attacker's colour (a coloured victim stays isolated on
+   the odd pages, exactly as a real 2-colour allocation would fold the
+   extra domain onto an existing colour). *)
+let neighbour_turn m ~core tiny =
+  let base = 0x5000_0000 in
+  let lines = Tp_hw.Defs.page_size / tiny.P.line in
+  for i = 0 to lines - 1 do
+    let a = base + (i * tiny.P.line) in
+    ignore
+      (Tp_hw.Machine.access m ~core ~asid:2 ~vaddr:a ~paddr:a
+         ~kind:Tp_hw.Defs.Read ())
+  done;
+  for i = 0 to 1 do
+    let a = base + (2 * Tp_hw.Defs.page_size) + (i * 64) in
+    ignore (Tp_hw.Machine.cond_branch m ~core ~asid:2 ~vaddr:a ~paddr:a ~taken:true)
+  done
 
 let scrub_of_config (cfg : C.t) =
   {
@@ -492,6 +513,7 @@ let run_schedule tiny (cfg : C.t) sched secret =
           ignore
             (Ct_ir.execute ~arrays_at ~code_at m ~core small_victim
                ~inputs:[ (0, secret); (1, horizon) ])
+      | 'D' -> neighbour_turn m ~core tiny
       | _ -> obs := attacker_turn m ~core tiny :: !obs);
       ignore (Tp_hw.Shrink.apply m ~core scrub);
       (* Pad the whole turn (work + scrub) to the configured slice
@@ -521,8 +543,9 @@ let diff_observations a b =
   in
   turn 0 a b
 
-let exhaustive (p : P.t) (cfg : C.t) =
+let exhaustive_for ~domains (p : P.t) (cfg : C.t) =
   let tiny = Tp_hw.Shrink.tiny p in
+  let schedules = Tp_hw.Shrink.schedules ~domains ~horizon in
   let cx = ref None in
   List.iter
     (fun sched ->
@@ -552,11 +575,16 @@ let exhaustive (p : P.t) (cfg : C.t) =
     schedules;
   {
     ex_platform = tiny.name;
+    ex_domains = domains;
     ex_horizon = horizon;
     ex_schedules = List.length schedules;
     ex_secrets = secrets;
     ex_counterexample = !cx;
   }
+
+let exhaustive p cfg = exhaustive_for ~domains:2 p cfg
+
+let exhaustive3 p cfg = exhaustive_for ~domains:3 p cfg
 
 let exhaustive_findings (r : exhaustive_result) =
   match r.ex_counterexample with
@@ -582,6 +610,22 @@ let exhaustive_findings (r : exhaustive_result) =
              (if cx.cx_index = 0 then "; index 0 is the turn timestamp"
               else ""));
       ]
+
+let exhaustive_to_json (r : exhaustive_result) =
+  Printf.sprintf
+    "{\"platform\":\"%s\",\"domains\":%d,\"horizon\":%d,\"schedules\":%d,\"secrets\":[%s],\"passed\":%b%s}"
+    (Diag.json_escape r.ex_platform)
+    r.ex_domains r.ex_horizon r.ex_schedules
+    (String.concat "," (List.map string_of_int r.ex_secrets))
+    (r.ex_counterexample = None)
+    (match r.ex_counterexample with
+    | None -> ""
+    | Some cx ->
+        Printf.sprintf
+          ",\"counterexample\":{\"schedule\":\"%s\",\"secret_a\":%d,\"secret_b\":%d,\"turn\":%d,\"index\":%d,\"obs_a\":%d,\"obs_b\":%d}"
+          (Diag.json_escape cx.cx_schedule)
+          cx.cx_secret_a cx.cx_secret_b cx.cx_turn cx.cx_index cx.cx_obs_a
+          cx.cx_obs_b)
 
 let crosscheck (c : cert) (r : exhaustive_result) =
   let certified_zero = total_bits c = 0 in

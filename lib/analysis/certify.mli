@@ -69,6 +69,12 @@ type cert = {
 val state_bits : cert -> int
 val total_bits : cert -> int
 
+val ceil_log2 : int -> int
+(** Bits needed to index [n] distinguishable outcomes:
+    [ceil_log2 n = ⌈log₂ n⌉], with [ceil_log2 n = 0] for [n <= 1].
+    Shared by the pad-slack bound here and the kernel-path certifier
+    ({!Kcert}). *)
+
 val exclusions : string list
 
 val certify_view :
@@ -117,6 +123,7 @@ type counterexample = {
 
 type exhaustive_result = {
   ex_platform : string;  (** the shrunken platform's name *)
+  ex_domains : int;  (** 2, or 3 with the public neighbour *)
   ex_horizon : int;
   ex_schedules : int;
   ex_secrets : int list;
@@ -133,6 +140,21 @@ val exhaustive : Tp_hw.Platform.t -> Tp_kernel.Config.t -> exhaustive_result
     precharged — the row-buffer channel is outside the certified scope
     ({!exclusions}). *)
 
+val exhaustive3 : Tp_hw.Platform.t -> Tp_kernel.Config.t -> exhaustive_result
+(** {!exhaustive} over {e three}-domain schedules: victim, attacker,
+    and a deterministic public neighbour that makes no observations but
+    whose secret-perturbed footprint can relay state to a later
+    attacker turn (the transitive V→D→A channel).  The neighbour runs
+    on the attacker's page parity — the 2-colour shrink cannot give
+    three domains disjoint colours, exactly as a real 2-colour
+    allocation folds extra domains onto existing colours.  This is the
+    confirmation required for kernel-path certificates. *)
+
+val exhaustive_for :
+  domains:int -> Tp_hw.Platform.t -> Tp_kernel.Config.t -> exhaustive_result
+(** Generalisation behind {!exhaustive}/{!exhaustive3}
+    ([2 <= domains <= 3]). *)
+
 val exhaustive_findings : exhaustive_result -> Diag.finding list
 (** [CERT-NONINTERFERENCE] with the concrete distinguishing schedule,
     or [] when the check passed. *)
@@ -140,3 +162,7 @@ val exhaustive_findings : exhaustive_result -> Diag.finding list
 val crosscheck : cert -> exhaustive_result -> Diag.finding list
 (** [CERT-XCHECK-EXHAUSTIVE] when a 0-bit certificate coexists with a
     counterexample. *)
+
+val exhaustive_to_json : exhaustive_result -> string
+(** Canonical JSON for an exhaustive result, embedded in certificate
+    artifacts and the [certify --json] output. *)

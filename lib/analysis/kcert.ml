@@ -1,0 +1,585 @@
+(* Kernel switch-path certifier: `tpsim certify --kernel`.
+
+   {!Certify} proves leakage bounds for guest [Ct_ir] programs; this
+   module proves them for the kernel's own domain-switch sequence —
+   the mechanism the paper contributes, and until now the only part of
+   the system that was measured rather than certified.
+
+   The approach lifts [Tp_kernel.Domain_switch.switch] into an
+   analysable access trace ({!lift}): the paper-ordered 12 steps, each
+   with the exact shared-region / image accesses the implementation
+   performs, at the exact virtual addresses [Tp_kernel.Layout] assigns
+   them.  Abstract interpretation is then set-wise must-coverage, the
+   dual of CacheAudit's may/must domains: the switch path's
+   {e deterministic} accesses (marked [a_must]) pin ways to public
+   content — touching [k] distinct lines of a [w]-way set leaves at
+   most [w - min k w] ways whose state can still depend on the
+   outgoing domain's secrets.  The certified residue of a channel is
+   its structural capacity minus that coverage, or 0 when the
+   configuration closes the channel outright (flush or spatial
+   partition).
+
+   Soundness notes, per channel:
+
+   - accesses whose address varies across switches (the destination
+     thread's priority slot, the destination TCB at a user-chosen
+     physical frame) are marked [a_must = false] and contribute {e no}
+     coverage — under-approximating coverage over-approximates residue;
+   - virtual-indexed structures (both L1s, the TLBs) take coverage
+     from virtual addresses, which the layout fixes; physically-indexed
+     outer caches and the branch predictor get {e zero} coverage
+     because image physical placement and branch-target hashing are
+     allocation-dependent;
+   - the x86 manual L1 flush appears in the trace as its real
+     flush-buffer sweep (one read per L1-D line, one fetch per L1-I
+     line), so its full-coverage effect is {e derived}, not asserted;
+   - aliasing between kernel images (all mapped at the same virtual
+     base) dedups to single virtual lines, which matches the
+     virtually-indexed structures the coverage feeds.
+
+   Cross-validation is {!Certify.exhaustive3}: observational
+   determinism across secrets under all three-domain schedules of the
+   shrunken machine — the transitive victim→neighbour→attacker relay a
+   two-domain enumeration cannot exhibit.  A 0-bit kernel certificate
+   contradicted by a 3-domain counterexample is a certifier bug and
+   fails CI ([CERT-K-XCHECK-EXHAUSTIVE]); a certificate exceeding the
+   [Tp_hw.Bounds]-derived analytic worst case trips the linter's
+   unsoundness canary ([TP-KCERT-UNSOUND]).
+
+   Certificates serialise to deterministic, content-digested JSON
+   artifacts ({!to_json} / {!digest}); CI regenerates them and
+   byte-diffs against the checked-in goldens under [certs/kernel/]. *)
+
+module C = Tp_kernel.Config
+module P = Tp_hw.Platform
+module L = Tp_kernel.Layout
+
+let schema = "tpsim-kcert/1"
+
+(* ------------------------------------------------------------------ *)
+(* Rule identifiers                                                    *)
+
+let rule_l1d_residue = "CERT-K-L1D-RESIDUE"
+let rule_l1i_residue = "CERT-K-L1I-RESIDUE"
+let rule_tlb_residue = "CERT-K-TLB-RESIDUE"
+let rule_btb_residue = "CERT-K-BTB-RESIDUE"
+let rule_llc_residue = "CERT-K-LLC-RESIDUE"
+let rule_pad_timing = "CERT-K-PAD-TIMING"
+let rule_xcheck = "CERT-K-XCHECK-EXHAUSTIVE"
+
+let channel_rule = function
+  | Certify.L1d -> rule_l1d_residue
+  | Certify.L1i -> rule_l1i_residue
+  | Certify.Tlb -> rule_tlb_residue
+  | Certify.Bp -> rule_btb_residue
+  | Certify.Llc -> rule_llc_residue
+
+(* ------------------------------------------------------------------ *)
+(* The lifted switch trace                                             *)
+
+type access = {
+  a_what : string;
+  a_vaddr : int;
+  a_bytes : int;
+  a_kind : Tp_hw.Defs.access_kind;
+  a_must : bool;
+      (** address identical on every switch: counts toward coverage *)
+}
+
+type step = {
+  s_index : int;
+  s_name : string;
+  s_accesses : access list;
+  s_flushes : string list;
+}
+
+let acc ?(must = true) what vaddr bytes kind =
+  { a_what = what; a_vaddr = vaddr; a_bytes = bytes; a_kind = kind; a_must = must }
+
+(* The 12 paper-ordered steps of [Domain_switch.switch], lifted for a
+   domain-crossing switch under [cfg].  For a domain crossing,
+   [protect = kernel_switched || not clone_kernel] is true in every
+   configuration (with cloned kernels the crossing switches kernels;
+   without, the fallback triggers), so the protection steps 3/7 are
+   unconditional here; the stack copy (step 4) runs exactly when
+   kernels are cloned. *)
+let lift (p : P.t) (cfg : C.t) =
+  let shared r = L.shared_vaddr + L.shared_region_off r in
+  let ssize = L.shared_region_size in
+  let base = L.kernel_base_vaddr in
+  let lay = L.image_layout p in
+  let r = Tp_hw.Defs.Read and w = Tp_hw.Defs.Write and f = Tp_hw.Defs.Fetch in
+  let step i name ?(flushes = []) accesses =
+    { s_index = i; s_name = name; s_accesses = accesses; s_flushes = flushes }
+  in
+  let manual_l1 =
+    cfg.flush_l1 && (not cfg.flush_llc) && not p.P.has_l1_flush_instr
+  in
+  let flush_names =
+    (if cfg.flush_llc then [ "l1-hw"; "l2-private"; "llc" ]
+     else if cfg.flush_l1 then
+       (if manual_l1 then [ "l1-manual" ] else [ "l1-hw" ])
+       @ (if cfg.flush_l2 then [ "l2-private" ] else [])
+     else [])
+    @ (if cfg.flush_tlb then [ "tlb" ] else [])
+    @ (if cfg.flush_bp then [ "bp" ] else [])
+    @ if cfg.close_dram_rows then [ "dram-close" ] else []
+  in
+  (* The manual flush's buffer sweep is real memory traffic at fixed
+     per-image virtual addresses: one load per L1-D line, one fetched
+     jump per L1-I line ([Domain_switch.manual_l1_flush]). *)
+  let manual_accesses =
+    if not manual_l1 then []
+    else
+      [
+        acc "flushbuf-d-sweep" (base + lay.L.flushbuf_off) p.P.l1d.Tp_hw.Cache.size r;
+        acc "flushbuf-i-sweep"
+          (base + lay.L.flushbuf_off + p.P.l1d.Tp_hw.Cache.size)
+          p.P.l1i.Tp_hw.Cache.size f;
+      ]
+  in
+  let live_stack = min 1024 lay.L.stack_size in
+  [
+    step 1 "acquire-kernel-lock" [ acc "big-lock" (shared L.Big_lock) 8 w ];
+    step 2 "process-tick"
+      [
+        acc "tick-handler-text"
+          (base + L.handler_tick.L.t_off)
+          L.handler_tick.L.t_len f;
+        acc "cur-irq" (shared L.Cur_irq) 8 w;
+        (* Destination priority chooses the slot: address varies. *)
+        acc ~must:false "sched-queue-slot" (shared L.Sched_queues) 16 r;
+        acc "sched-bitmap" (shared L.Sched_bitmap) (ssize L.Sched_bitmap) r;
+        acc "cur-decision" (shared L.Cur_decision) 8 w;
+      ];
+    step 3 "mask-irqs" [ acc "irq-tables" (shared L.Irq_tables) 256 w ];
+    step 4 "stack-copy"
+      (if cfg.clone_kernel then
+         (* Both images map their stacks at the same virtual offset —
+            the virtual lines alias, exactly as in the L1. *)
+         [
+           acc "from-stack" (base + lay.L.stack_off) live_stack r;
+           acc "to-stack" (base + lay.L.stack_off) live_stack w;
+         ]
+       else []);
+    step 5 "thread-context"
+      [
+        acc ~must:false "sched-queue-slot" (shared L.Sched_queues) 16 w;
+        (* The destination TCB lives at a user-allocated physical
+           frame: no fixed address, no coverage. *)
+        acc ~must:false "dest-tcb" 0 (4 * p.P.line) r;
+        acc "cur-pointers" (shared L.Cur_pointers) (ssize L.Cur_pointers) w;
+      ];
+    step 6 "release-kernel-lock" [ acc "big-lock" (shared L.Big_lock) 8 w ];
+    step 7 "unmask-irqs" [ acc "irq-tables" (shared L.Irq_tables) 256 w ];
+    step 8 "flush" ~flushes:flush_names manual_accesses;
+    step 9 "prefetch-shared"
+      (if cfg.prefetch_shared then
+         List.map
+           (fun reg ->
+             acc
+               (Printf.sprintf "shared-%d" (L.shared_region_off reg))
+               (shared reg) (ssize reg) r)
+           L.all_shared_regions
+       else []);
+    step 10 "pad" [];
+    step 11 "timer-reprogram" [ acc "irq-tables" (shared L.Irq_tables) 64 w ];
+    step 12 "return" [];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Set-wise must-coverage                                              *)
+
+let distinct_per_bucket pairs =
+  (* [(bucket, id)] pairs -> bucket -> distinct-id count, as a sorted
+     association list (determinism of the fold does not matter for the
+     sums below, but sorted output keeps debugging sane). *)
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (b, id) ->
+      let ids = Option.value (Hashtbl.find_opt tbl b) ~default:[] in
+      if not (List.mem id ids) then Hashtbl.replace tbl b (id :: ids))
+    pairs;
+  Hashtbl.fold (fun b ids l -> (b, List.length ids) :: l) tbl []
+  |> List.sort compare
+
+let covered_cache (g : Tp_hw.Cache.geometry) accs =
+  let sets = Tp_hw.Cache.sets g in
+  let pairs =
+    List.concat_map
+      (fun a ->
+        let first = a.a_vaddr / g.line
+        and last = (a.a_vaddr + a.a_bytes - 1) / g.line in
+        List.init (last - first + 1) (fun i ->
+            let l = first + i in
+            (l mod sets, l)))
+      accs
+  in
+  List.fold_left
+    (fun t (_, k) -> t + min k g.ways)
+    0
+    (distinct_per_bucket pairs)
+
+let covered_tlb (t : Tp_hw.Tlb.geometry) pages =
+  let sets = max 1 (t.entries / t.ways) in
+  let pairs = List.map (fun vpn -> (vpn mod sets, vpn)) pages in
+  List.fold_left
+    (fun tot (_, k) -> tot + min k t.ways)
+    0
+    (distinct_per_bucket pairs)
+
+let pages_of accs =
+  List.concat_map
+    (fun a ->
+      let first = a.a_vaddr / Tp_hw.Defs.page_size
+      and last = (a.a_vaddr + a.a_bytes - 1) / Tp_hw.Defs.page_size in
+      List.init (last - first + 1) (fun i -> first + i))
+    accs
+
+(* ------------------------------------------------------------------ *)
+(* Certificates                                                        *)
+
+type bound = {
+  kb_channel : Certify.channel;
+  kb_raw : int;  (** structural capacity: bits with no protection *)
+  kb_covered : int;  (** ways pinned to public content by the trace *)
+  kb_bits : int;  (** certified per-switch bound *)
+  kb_scrubbed : bool;
+  kb_note : string;
+}
+
+type cert = {
+  k_platform : string;
+  k_config_name : string;
+  k_config : C.t;
+  k_steps : step list;
+  k_bounds : bound list;
+  k_timing_bits : int;
+  k_pad_bound : int;
+  k_pad_effective : int;
+  k_exhaustive : Certify.exhaustive_result option;
+  k_exclusions : string list;
+}
+
+let state_bits c = List.fold_left (fun a b -> a + b.kb_bits) 0 c.k_bounds
+let total_bits c = state_bits c + c.k_timing_bits
+
+let cache_lines (g : Tp_hw.Cache.geometry) = Tp_hw.Cache.sets g * g.ways
+
+let certify ?exhaustive (p : P.t) ~config_name (cfg : C.t) =
+  let steps = lift p cfg in
+  let accs = List.concat_map (fun s -> s.s_accesses) steps in
+  let must = List.filter (fun a -> a.a_must) accs in
+  let data =
+    List.filter (fun a -> a.a_kind <> Tp_hw.Defs.Fetch) must
+  in
+  let fetch = List.filter (fun a -> a.a_kind = Tp_hw.Defs.Fetch) must in
+  (* Config-level partition claim; whether the booted allocation
+     honours it is the linter's job (the TP-COLOUR and TP-CLONE
+     rules), and the 3-domain exhaustive check exercises the coloured
+     placement. *)
+  let partitioned = cfg.colour_user && cfg.clone_kernel in
+  let l1_closed = cfg.flush_l1 || cfg.flush_llc in
+  let l2_closed =
+    cfg.flush_llc || (cfg.flush_l1 && cfg.flush_l2) || partitioned
+  in
+  let llc_closed = cfg.flush_llc || partitioned || cfg.cat_llc in
+  let cap_l2 = match p.P.l2 with Some g -> cache_lines g | None -> 0 in
+  let mk ch raw covered closed note =
+    let covered = min covered raw in
+    {
+      kb_channel = ch;
+      kb_raw = raw;
+      kb_covered = covered;
+      kb_bits = (if closed then 0 else raw - covered);
+      kb_scrubbed = closed;
+      kb_note = note;
+    }
+  in
+  let flush_note flag = Printf.sprintf "scrubbed on every switch (%s)" flag in
+  let cover_note what =
+    Printf.sprintf
+      "open: residue after the switch path's deterministic %s coverage" what
+  in
+  let bounds =
+    [
+      mk Certify.L1d (cache_lines p.P.l1d)
+        (covered_cache p.P.l1d data)
+        l1_closed
+        (if l1_closed then flush_note "flush_l1" else cover_note "data-line");
+      mk Certify.L1i (cache_lines p.P.l1i)
+        (covered_cache p.P.l1i fetch)
+        l1_closed
+        (if l1_closed then flush_note "flush_l1"
+         else cover_note "instruction-line");
+      (let dpages = pages_of data and fpages = pages_of fetch in
+       mk Certify.Tlb
+         (p.P.itlb.entries + p.P.dtlb.entries + p.P.l2tlb.entries)
+         (covered_tlb p.P.dtlb dpages
+         + covered_tlb p.P.itlb fpages
+         + covered_tlb p.P.l2tlb (dpages @ fpages))
+         cfg.flush_tlb
+         (if cfg.flush_tlb then flush_note "flush_tlb"
+          else cover_note "translation"));
+      mk Certify.Bp
+        (p.P.btb.entries + p.P.bhb.pht_entries)
+        0 cfg.flush_bp
+        (if cfg.flush_bp then flush_note "flush_bp"
+         else
+           "open: branch-target hashing is not derivable from the \
+            layout, so the trace covers nothing");
+      (let raw = cap_l2 + cache_lines p.P.llc in
+       let bits =
+         (if l2_closed then 0 else cap_l2)
+         + if llc_closed then 0 else cache_lines p.P.llc
+       in
+       let note =
+         if cfg.flush_llc then flush_note "flush_llc"
+         else if partitioned then
+           "partitioned by page colour (coloured userland + cloned kernel)"
+         else if llc_closed && not l2_closed then
+           "CAT masks partition the LLC ways but leave the private L2 open"
+         else if bits = 0 then "flushed/partitioned at every level"
+         else
+           "open: physically-indexed, image placement is \
+            allocation-dependent — zero coverage"
+       in
+       {
+         kb_channel = Certify.Llc;
+         kb_raw = raw;
+         kb_covered = 0;
+         kb_bits = bits;
+         kb_scrubbed = (bits = 0);
+         kb_note = note;
+       });
+    ]
+  in
+  let pad_bound = Lint.pad_bound p cfg in
+  let timing_bits =
+    if cfg.pad_cycles < pad_bound then
+      Certify.ceil_log2 (pad_bound - cfg.pad_cycles + 1)
+    else 0
+  in
+  {
+    k_platform = p.P.name;
+    k_config_name = config_name;
+    k_config = cfg;
+    k_steps = steps;
+    k_bounds = bounds;
+    k_timing_bits = timing_bits;
+    k_pad_bound = pad_bound;
+    k_pad_effective = cfg.pad_cycles;
+    k_exhaustive = exhaustive;
+    k_exclusions = Certify.exclusions;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Soundness canary                                                    *)
+
+let analytic_worst_bits (p : P.t) (cfg : C.t) =
+  let cap_l2 = match p.P.l2 with Some g -> cache_lines g | None -> 0 in
+  cache_lines p.P.l1d + cache_lines p.P.l1i
+  + (p.P.itlb.entries + p.P.dtlb.entries + p.P.l2tlb.entries)
+  + (p.P.btb.entries + p.P.bhb.pht_entries)
+  + cap_l2 + cache_lines p.P.llc
+  + Certify.ceil_log2 (Lint.pad_bound p cfg + 1)
+
+let check_sound (p : P.t) (c : cert) =
+  let bad =
+    List.filter_map
+      (fun b ->
+        if b.kb_bits > b.kb_raw then
+          Some
+            (Printf.sprintf "%s: certified %d bits > structural capacity %d"
+               (Certify.channel_name b.kb_channel)
+               b.kb_bits b.kb_raw)
+        else None)
+      c.k_bounds
+  in
+  let bad =
+    if c.k_timing_bits > Certify.ceil_log2 (c.k_pad_bound + 1) then
+      Printf.sprintf "timing: certified %d bits > pad-bound capacity %d"
+        c.k_timing_bits
+        (Certify.ceil_log2 (c.k_pad_bound + 1))
+      :: bad
+    else bad
+  in
+  let worst = analytic_worst_bits p c.k_config in
+  let bad =
+    if total_bits c > worst then
+      Printf.sprintf
+        "total: certified %d bits > Bounds-derived analytic worst case %d"
+        (total_bits c) worst
+      :: bad
+    else bad
+  in
+  List.map
+    (fun msg ->
+      Diag.error ~rule:Lint.rule_kcert_unsound
+        ~context:
+          [ ("platform", c.k_platform); ("config", c.k_config_name) ]
+        (Printf.sprintf
+           "kernel certificate for %s/%s exceeds its analytic envelope — \
+            the certifier is unsound: %s"
+           c.k_platform c.k_config_name msg))
+    bad
+
+let lint_crosscheck (p : P.t) ~config_name (cfg : C.t) =
+  check_sound p (certify p ~config_name cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+
+let subject c = Printf.sprintf "certify-kernel %s %s" c.k_platform c.k_config_name
+
+let report (c : cert) =
+  let findings =
+    List.filter_map
+      (fun b ->
+        if b.kb_bits = 0 then None
+        else
+          Some
+            (Diag.error ~rule:(channel_rule b.kb_channel)
+               ~context:
+                 [
+                   ("bits", string_of_int b.kb_bits);
+                   ("raw_bits", string_of_int b.kb_raw);
+                   ("covered", string_of_int b.kb_covered);
+                   ("note", b.kb_note);
+                 ]
+               (Printf.sprintf
+                  "%s channel not closed across the kernel switch: certified \
+                   bound %d bits (%s)"
+                  (Certify.channel_name b.kb_channel)
+                  b.kb_bits b.kb_note)))
+      c.k_bounds
+  in
+  let findings =
+    if c.k_timing_bits = 0 then findings
+    else
+      findings
+      @ [
+          Diag.error ~rule:rule_pad_timing
+            ~context:
+              [
+                ("bits", string_of_int c.k_timing_bits);
+                ("pad_effective", string_of_int c.k_pad_effective);
+                ("pad_bound", string_of_int c.k_pad_bound);
+              ]
+            (Printf.sprintf
+               "kernel switch underpadded: configured pad %d < worst-case %d \
+                \xe2\x87\x92 up to %d timing bits per switch"
+               c.k_pad_effective c.k_pad_bound c.k_timing_bits);
+        ]
+  in
+  let findings =
+    match c.k_exhaustive with
+    | Some r when total_bits c = 0 && r.Certify.ex_counterexample <> None ->
+        findings
+        @ [
+            Diag.error ~rule:rule_xcheck
+              (Printf.sprintf
+                 "kernel certificate claims 0 bits but the %d-domain \
+                  small-scope check found a distinguishing schedule (%s) on %s"
+                 r.Certify.ex_domains
+                 (match r.Certify.ex_counterexample with
+                 | Some cx -> cx.Certify.cx_schedule
+                 | None -> "?")
+                 r.Certify.ex_platform);
+          ]
+    | _ -> findings
+  in
+  { Diag.subject = subject c; findings }
+
+let pp ppf (c : cert) =
+  Format.fprintf ppf
+    "%s: certified per-switch leakage bound %d bits (%s)@." (subject c)
+    (total_bits c)
+    (if total_bits c = 0 then "tight: noninterference" else "residue");
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "  %-16s %5d bits (raw %5d, covered %4d)  %s@."
+        (Certify.channel_name b.kb_channel)
+        b.kb_bits b.kb_raw b.kb_covered b.kb_note)
+    c.k_bounds;
+  Format.fprintf ppf "  %-16s %5d bits (pad %d vs bound %d)@." "timing"
+    c.k_timing_bits c.k_pad_effective c.k_pad_bound;
+  (match c.k_exhaustive with
+  | None -> ()
+  | Some r ->
+      Format.fprintf ppf
+        "  exhaustive: %d domains, %d schedules x %d secrets on %s: %s@."
+        r.Certify.ex_domains r.Certify.ex_schedules
+        (List.length r.Certify.ex_secrets)
+        r.Certify.ex_platform
+        (match r.Certify.ex_counterexample with
+        | None -> "pass"
+        | Some cx -> "COUNTEREXAMPLE " ^ cx.Certify.cx_schedule));
+  Format.fprintf ppf "  steps: %d (lifted from Domain_switch.switch)@."
+    (List.length c.k_steps)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic artifact JSON + digest                                *)
+
+let kind_name = function
+  | Tp_hw.Defs.Read -> "R"
+  | Tp_hw.Defs.Write -> "W"
+  | Tp_hw.Defs.Fetch -> "F"
+
+let access_json a =
+  Printf.sprintf
+    "{\"what\":\"%s\",\"vaddr\":\"0x%x\",\"bytes\":%d,\"kind\":\"%s\",\"must\":%b}"
+    (Diag.json_escape a.a_what) a.a_vaddr a.a_bytes (kind_name a.a_kind)
+    a.a_must
+
+let step_json s =
+  Printf.sprintf "{\"index\":%d,\"name\":\"%s\",\"flushes\":[%s],\"accesses\":[%s]}"
+    s.s_index
+    (Diag.json_escape s.s_name)
+    (String.concat ","
+       (List.map (fun fl -> "\"" ^ Diag.json_escape fl ^ "\"") s.s_flushes))
+    (String.concat "," (List.map access_json s.s_accesses))
+
+let bound_json b =
+  Printf.sprintf
+    "{\"channel\":\"%s\",\"bits\":%d,\"raw_bits\":%d,\"covered\":%d,\"scrubbed\":%b,\"note\":\"%s\"}"
+    (Diag.json_escape (Certify.channel_name b.kb_channel))
+    b.kb_bits b.kb_raw b.kb_covered b.kb_scrubbed
+    (Diag.json_escape b.kb_note)
+
+let config_json (cfg : C.t) =
+  Printf.sprintf
+    "{\"colour_user\":%b,\"clone_kernel\":%b,\"flush_l1\":%b,\"flush_tlb\":%b,\"flush_bp\":%b,\"flush_l2\":%b,\"flush_llc\":%b,\"disable_prefetcher\":%b,\"pad_cycles\":%d,\"partition_irqs\":%b,\"prefetch_shared\":%b,\"close_dram_rows\":%b,\"cat_llc\":%b}"
+    cfg.colour_user cfg.clone_kernel cfg.flush_l1 cfg.flush_tlb cfg.flush_bp
+    cfg.flush_l2 cfg.flush_llc cfg.disable_prefetcher cfg.pad_cycles
+    cfg.partition_irqs cfg.prefetch_shared cfg.close_dram_rows cfg.cat_llc
+
+(* The digested core: everything except the exhaustive block, so that
+   a consumer that cannot afford the model check (the campaign daemon
+   records a digest per trial) still computes the identical digest. *)
+let core_json (c : cert) =
+  Printf.sprintf
+    "{\"schema\":\"%s\",\"platform\":\"%s\",\"config_name\":\"%s\",\"config\":%s,\"certified_bits\":%d,\"state_bits\":%d,\"timing_bits\":%d,\"pad_effective\":%d,\"pad_bound\":%d,\"channels\":[%s],\"steps\":[%s],\"exclusions\":[%s]}"
+    (Diag.json_escape schema)
+    (Diag.json_escape c.k_platform)
+    (Diag.json_escape c.k_config_name)
+    (config_json c.k_config) (total_bits c) (state_bits c) c.k_timing_bits
+    c.k_pad_effective c.k_pad_bound
+    (String.concat "," (List.map bound_json c.k_bounds))
+    (String.concat "," (List.map step_json c.k_steps))
+    (String.concat ","
+       (List.map (fun e -> "\"" ^ Diag.json_escape e ^ "\"") c.k_exclusions))
+
+let digest c = Digest.to_hex (Digest.string (core_json c))
+
+let to_json (c : cert) =
+  let core = core_json c in
+  let body = String.sub core 0 (String.length core - 1) in
+  Printf.sprintf "%s,%s\"digest\":\"%s\"}" body
+    (match c.k_exhaustive with
+    | None -> ""
+    | Some r ->
+        Printf.sprintf "\"exhaustive\":%s," (Certify.exhaustive_to_json r))
+    (digest c)
+
+let artifact_name c = Printf.sprintf "%s-%s.cert.json" c.k_platform c.k_config_name

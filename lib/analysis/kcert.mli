@@ -1,0 +1,156 @@
+(** Kernel switch-path certifier ([tpsim certify --kernel]).
+
+    Lifts the paper-ordered 12-step
+    [Tp_kernel.Domain_switch.switch] sequence into an analysable
+    access trace ({!lift}) and abstract-interprets it with set-wise
+    {e must-coverage}: deterministic accesses at layout-fixed virtual
+    addresses pin ways of the virtually-indexed structures to public
+    content, and the certified per-switch residue of each channel is
+    its structural capacity minus that coverage — or 0 when the
+    configuration closes the channel (flush or spatial partition).
+    Variable-address accesses contribute no coverage;
+    physically-indexed caches and the branch predictor get zero
+    coverage (sound under-approximation).
+
+    Cross-validated two ways: {!Certify.exhaustive3} (observational
+    determinism under all 3-domain schedules of the shrunken machine,
+    [CERT-K-XCHECK-EXHAUSTIVE] on contradiction) and {!check_sound}
+    (the certificate must stay inside its [Tp_hw.Bounds]-derived
+    analytic envelope, [TP-KCERT-UNSOUND] otherwise — the linter runs
+    this per platform/config).
+
+    Certificates serialise to deterministic, content-digested JSON
+    ({!to_json}); the digest covers everything {e except} the
+    exhaustive block ({!digest}), so the campaign daemon can stamp
+    trials with the same digest without model checking. *)
+
+val schema : string
+(** ["tpsim-kcert/1"], embedded in every artifact. *)
+
+(** {1 Rule identifiers} *)
+
+val rule_l1d_residue : string
+val rule_l1i_residue : string
+val rule_tlb_residue : string
+val rule_btb_residue : string
+val rule_llc_residue : string
+
+val rule_pad_timing : string
+(** ["CERT-K-PAD-TIMING"]: configured pad below the analytic
+    worst-case switch cost. *)
+
+val rule_xcheck : string
+(** ["CERT-K-XCHECK-EXHAUSTIVE"]: a 0-bit kernel certificate
+    contradicted by a 3-domain exhaustive counterexample. *)
+
+val channel_rule : Certify.channel -> string
+
+(** {1 The lifted switch trace} *)
+
+type access = {
+  a_what : string;
+  a_vaddr : int;
+  a_bytes : int;
+  a_kind : Tp_hw.Defs.access_kind;
+  a_must : bool;
+      (** address identical on every switch: counts toward coverage *)
+}
+
+type step = {
+  s_index : int;  (** 1-based paper step number *)
+  s_name : string;
+  s_accesses : access list;
+  s_flushes : string list;  (** step 8's flush operations, by name *)
+}
+
+val lift : Tp_hw.Platform.t -> Tp_kernel.Config.t -> step list
+(** The 12 steps of a domain-crossing switch under this configuration,
+    with the exact accesses [Domain_switch.switch] performs at the
+    virtual addresses [Tp_kernel.Layout] fixes.  The x86 manual L1
+    flush appears as its real flush-buffer sweep, so its scrubbing
+    effect is derived from coverage rather than asserted. *)
+
+(** {1 Certificates} *)
+
+type bound = {
+  kb_channel : Certify.channel;
+  kb_raw : int;  (** structural capacity: bits with no protection *)
+  kb_covered : int;  (** ways pinned to public content by the trace *)
+  kb_bits : int;  (** certified per-switch bound *)
+  kb_scrubbed : bool;
+  kb_note : string;
+}
+
+type cert = {
+  k_platform : string;
+  k_config_name : string;  (** scenario slug, e.g. ["protected"] *)
+  k_config : Tp_kernel.Config.t;
+  k_steps : step list;
+  k_bounds : bound list;
+  k_timing_bits : int;
+  k_pad_bound : int;
+  k_pad_effective : int;
+  k_exhaustive : Certify.exhaustive_result option;
+  k_exclusions : string list;
+}
+
+val state_bits : cert -> int
+val total_bits : cert -> int
+
+val certify :
+  ?exhaustive:Certify.exhaustive_result ->
+  Tp_hw.Platform.t ->
+  config_name:string ->
+  Tp_kernel.Config.t ->
+  cert
+(** Certify the switch path for one (platform, configuration).  Pure:
+    no machine traffic.  Pass [exhaustive] (from
+    {!Certify.exhaustive3}) to embed the cross-validation result in
+    the certificate (outside the digest). *)
+
+(** {1 Soundness canary} *)
+
+val analytic_worst_bits : Tp_hw.Platform.t -> Tp_kernel.Config.t -> int
+(** The analytic envelope: every channel at full structural capacity
+    plus the pad-slack capacity of {!Lint.pad_bound}.  No sound
+    certificate can exceed it. *)
+
+val check_sound : Tp_hw.Platform.t -> cert -> Diag.finding list
+(** [TP-KCERT-UNSOUND] findings when the certificate escapes its
+    envelope: a channel above its structural capacity, timing bits
+    above the pad-bound capacity, or the total above
+    {!analytic_worst_bits}.  Empty on every sound certificate. *)
+
+val lint_crosscheck :
+  Tp_hw.Platform.t -> config_name:string -> Tp_kernel.Config.t ->
+  Diag.finding list
+(** {!certify} then {!check_sound} — the linter's per-configuration
+    unsoundness canary. *)
+
+(** {1 Diagnostics} *)
+
+val report : cert -> Diag.report
+(** Findings for every non-zero channel residue ([CERT-K-*-RESIDUE]),
+    residual timing bits ([CERT-K-PAD-TIMING]) and an exhaustive
+    contradiction ([CERT-K-XCHECK-EXHAUSTIVE]); clean iff the
+    certificate is 0 bits and uncontradicted. *)
+
+val pp : Format.formatter -> cert -> unit
+
+(** {1 Deterministic artifact JSON + digest} *)
+
+val core_json : cert -> string
+(** The digested payload: schema, platform, config, bits, per-channel
+    bounds, the lifted steps and the exclusions — everything except
+    the exhaustive block. *)
+
+val digest : cert -> string
+(** MD5 hex of {!core_json}.  Identical whether or not the exhaustive
+    check ran. *)
+
+val to_json : cert -> string
+(** {!core_json} plus the exhaustive result (when present) and the
+    {!digest} — the golden-certificate artifact format. *)
+
+val artifact_name : cert -> string
+(** ["<platform>-<config_name>.cert.json"]. *)

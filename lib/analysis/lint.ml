@@ -12,6 +12,12 @@ let rule_pad_insufficient = "TP-PAD-INSUFFICIENT"
 let rule_pad_profile = "TP-PAD-PROFILE"
 let rule_audit_nondet = "TP-AUDIT-NONDET"
 
+(* Fired by the kernel-path certifier's soundness canary (Kcert lives
+   above Lint, so only the identifier is declared here): a certified
+   kernel-switch bound that exceeds the Bounds-derived analytic worst
+   case means the certifier, not the kernel, is broken. *)
+let rule_kcert_unsound = "TP-KCERT-UNSOUND"
+
 (* ------------------------------------------------------------------ *)
 (* Analytic pad bound                                                  *)
 

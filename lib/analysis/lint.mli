@@ -65,6 +65,12 @@ val rule_audit_nondet : string
 (** ["TP-AUDIT-NONDET"]: the shared-data access trace of a domain
     switch depends on what the outgoing domain did (§4.1 audit). *)
 
+val rule_kcert_unsound : string
+(** ["TP-KCERT-UNSOUND"]: the kernel-path certificate ({!Kcert})
+    claims more bits than the {!Tp_hw.Bounds} analytic worst case
+    admits — an unsoundness canary for the certifier itself, checked
+    per (platform, config) by [tpsim lint]. *)
+
 (** {1 The analytic pad bound} *)
 
 val pad_bound : Tp_hw.Platform.t -> Tp_kernel.Config.t -> int

@@ -80,6 +80,30 @@ let variants (p : Platform.t) =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Schedule enumeration                                                *)
+
+(* Letter d of the alphabet acts for domain d.  'A' (the attacker) is
+   digit 0 so that, with [domains = 2], schedule i spells bit j of i as
+   'V' when set and 'A' when clear — exactly the enumeration the
+   original two-domain exhaustive check used, keeping its golden
+   counterexamples stable. *)
+let schedule_letters = "AVD"
+
+let schedules ~domains ~horizon =
+  if domains < 2 || domains > String.length schedule_letters then
+    invalid_arg "Shrink.schedules: domains out of range";
+  if horizon < 1 || horizon > 16 then
+    invalid_arg "Shrink.schedules: horizon out of range";
+  let total =
+    let rec pow acc n = if n = 0 then acc else pow (acc * domains) (n - 1) in
+    pow 1 horizon
+  in
+  List.init total (fun i ->
+      String.init horizon (fun j ->
+          let rec digit v k = if k = 0 then v mod domains else digit (v / domains) (k - 1) in
+          schedule_letters.[digit i j]))
+
+(* ------------------------------------------------------------------ *)
 (* Machine-level switch scrub                                          *)
 
 type scrub = {

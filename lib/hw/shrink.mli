@@ -21,6 +21,21 @@ val variants : Platform.t -> Platform.t list
 (** [tiny p] plus a few more small geometries (different ways/sets),
     for property tests that sweep machine configurations. *)
 
+(** {1 Schedule enumeration} *)
+
+val schedule_letters : string
+(** Letter assigned to each domain index: ['A'] (attacker) is domain 0,
+    ['V'] (victim) domain 1, ['D'] (deterministic public neighbour)
+    domain 2. *)
+
+val schedules : domains:int -> horizon:int -> string list
+(** All [domains^horizon] turn orders of length [horizon] over the
+    first [domains] letters of {!schedule_letters}, in a fixed order.
+    With [domains = 2] this reproduces the original two-domain
+    enumeration bit for bit (schedule [i] spells bit [j] of [i] as
+    ['V'] when set).  Raises [Invalid_argument] outside
+    [2 <= domains <= 3] or [1 <= horizon <= 16]. *)
+
 (** {1 Switch scrub}
 
     The machine-level image of the domain-switch flush sequence:

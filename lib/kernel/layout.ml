@@ -1,5 +1,10 @@
 let kernel_base_vaddr = 0x4000_0000
 
+(* The residual shared static data block lives well above any kernel
+   image in the window; System maps it here and Tp_analysis.Kcert
+   lifts the switch path's accesses against the same base. *)
+let shared_vaddr = kernel_base_vaddr + 0x0800_0000
+
 type image_layout = {
   text_off : int;
   text_size : int;

@@ -17,6 +17,12 @@
 val kernel_base_vaddr : int
 (** Base of the kernel virtual window. *)
 
+val shared_vaddr : int
+(** Virtual base of the residual shared static data block ({!shared_region}
+    offsets are relative to it).  {!System} maps the block here and the
+    kernel-path certifier ({!Tp_analysis.Kcert}) lifts the switch
+    trace against the same base, so the two cannot drift. *)
+
 (** {1 Per-image layout} *)
 
 type image_layout = {

@@ -50,7 +50,7 @@ let create platform cfg =
   let shared_paddr = Phys.frame_addr (base + img_frames) in
   (* The kernel window maps the image at the canonical base and the
      shared block well past the image area. *)
-  let shared_vaddr = Layout.kernel_base_vaddr + 0x0800_0000 in
+  let shared_vaddr = Layout.shared_vaddr in
   let initial_kernel =
     {
       Types.ki_id = Types.fresh_id ();

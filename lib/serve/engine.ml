@@ -64,13 +64,24 @@ let m_drift =
 
 let us_since t0 = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
 
+(* Channels that exercise the kernel's domain-switch path: their
+   measured MI is bounded by the switch-path certificate, not the
+   guest-level one. *)
+let switch_path_channels = [ "kernel"; "flush" ]
+
 (* The drift monitor's predicate: a leak verdict above the bound the
-   certifier recorded for this very trial (PR 4's cert, stored with the
+   certifier recorded for this very trial (PR 4's guest cert, or the
+   kernel switch-path cert for kernel/flush channels, stored with the
    result).  Degraded/complete only — a failed trial has no data. *)
 let drifting (t : Protocol.trial) =
+  let bound =
+    if List.mem t.Protocol.t_channel switch_path_channels then
+      t.Protocol.t_kcert_bits
+    else t.Protocol.t_cert_bits
+  in
   t.Protocol.t_status <> Protocol.Failed
   && t.Protocol.t_verdict = "leak"
-  && t.Protocol.t_mi_bits > float_of_int t.Protocol.t_cert_bits
+  && t.Protocol.t_mi_bits > float_of_int bound
 
 let platform_slugs =
   [
@@ -176,7 +187,7 @@ let cell_key ~code_rev (j : Protocol.job) c =
   Store.key ~code_rev
     ~parts:
       [
-        "tpsim-store/2";
+        "tpsim-store/3";
         c.cl_platform;
         c.cl_config;
         c.cl_channel;
@@ -266,6 +277,15 @@ let compute_cell (j : Protocol.job) c =
          | None -> ""))
   else
     let leak = Tp_channel.Leakage.test ~rng r.Harness.data in
+    (* The kernel switch-path certificate for this cell, recomputed at
+       compute time (pure, sub-millisecond): its bound and digest are
+       stored with the trial so a result can always be traced back to
+       the golden certificate and code revision it was measured
+       under. *)
+    let kcert =
+      Tp_analysis.Kcert.certify c.cl_plat ~config_name:c.cl_config
+        (Scenario.config c.cl_kind c.cl_plat)
+    in
     Ok
       (Protocol.stored_of_trial
          {
@@ -282,6 +302,9 @@ let compute_cell (j : Protocol.job) c =
            t_verdict = verdict_name leak.Tp_channel.Leakage.verdict;
            t_n = n;
            t_cert_bits = Tp_analysis.Certify.total_bits r.Harness.cert;
+           t_kcert_bits = Tp_analysis.Kcert.total_bits kcert;
+           t_kcert_digest = Tp_analysis.Kcert.digest kcert;
+           t_code_rev = code_rev ();
            t_degraded_reason = r.Harness.degraded_reason;
            t_recovered_faults = r.Harness.recovered_faults;
            t_checkpoints = r.Harness.checkpoints;
@@ -304,6 +327,9 @@ let failed_trial c ~key ~retries reason =
     t_verdict = "no-data";
     t_n = 0;
     t_cert_bits = 0;
+    t_kcert_bits = 0;
+    t_kcert_digest = "";
+    t_code_rev = "";
     t_degraded_reason = Some reason;
     t_recovered_faults = 0;
     t_checkpoints = 0;

@@ -68,15 +68,22 @@ val compute_cell : Protocol.job -> cell -> (string, string) result
 (** Run one trial (fresh boot, per-cell RNG stream) and return its
     stored blob, or [Error reason] for non-cacheable outcomes (wall
     timeout, empty collection).  The blob records the trial's certified
-    leakage bound ({!Tp_analysis.Certify.total_bits} of the harness
-    cert) so the drift monitor can compare measured MI against it
-    forever after. *)
+    leakage bounds — {!Tp_analysis.Certify.total_bits} of the harness
+    cert plus the kernel switch-path bound, certificate digest and
+    code rev ({!Tp_analysis.Kcert}) — so the drift monitor can compare
+    measured MI against them forever after. *)
+
+val switch_path_channels : string list
+(** [kernel; flush]: the channels whose measurements exercise the
+    kernel's domain-switch path, bounded by the {!Tp_analysis.Kcert}
+    certificate rather than the guest-level one. *)
 
 val drifting : Protocol.trial -> bool
 (** The leakage-drift predicate: a non-failed trial with a leak verdict
-    whose measured MI exceeds its recorded certified bound.  Such
-    trials bump [tpsim_engine_mi_over_cert_total] and raise an
-    [mi_over_cert] event-log alert. *)
+    whose measured MI exceeds its recorded certified bound — the kernel
+    switch-path bound for {!switch_path_channels}, the guest bound
+    otherwise.  Such trials bump [tpsim_engine_mi_over_cert_total] and
+    raise an [mi_over_cert] event-log alert. *)
 
 val run_job :
   store:Tp_store.Store.t ->

@@ -59,6 +59,9 @@ type trial = {
   t_verdict : string;
   t_n : int;
   t_cert_bits : int;
+  t_kcert_bits : int;  (** certified kernel switch-path bound *)
+  t_kcert_digest : string;  (** Kcert certificate content digest *)
+  t_code_rev : string;  (** executable digest the trial ran under *)
   t_degraded_reason : string option;
   t_recovered_faults : int;
   t_checkpoints : int;
@@ -187,7 +190,7 @@ let job_of_json j =
    trial's cache key: no retries, no cache flag, no wall-clock times. *)
 let stored_fields t =
   [
-    ("schema", Json.Str "tpsim-trial/2");
+    ("schema", Json.Str "tpsim-trial/3");
     ("platform", Json.Str t.t_platform);
     ("config", Json.Str t.t_config);
     ("channel", Json.Str t.t_channel);
@@ -198,6 +201,9 @@ let stored_fields t =
     ("verdict", Json.Str t.t_verdict);
     ("n", Json.Num (float_of_int t.t_n));
     ("cert_bits", Json.Num (float_of_int t.t_cert_bits));
+    ("kcert_bits", Json.Num (float_of_int t.t_kcert_bits));
+    ("kcert_digest", Json.Str t.t_kcert_digest);
+    ("code_rev", Json.Str t.t_code_rev);
     ("degraded_reason", opt_json (fun s -> Json.Str s) t.t_degraded_reason);
     ("recovered_faults", Json.Num (float_of_int t.t_recovered_faults));
     ("checkpoints", Json.Num (float_of_int t.t_checkpoints));
@@ -220,6 +226,9 @@ let trial_of_fields ~key ~retries ~cached j =
   let* verdict = get_str j "verdict" in
   let* n = get_int j "n" in
   let* cert_bits = get_int j "cert_bits" in
+  let* kcert_bits = get_int j "kcert_bits" in
+  let* kcert_digest = get_str j "kcert_digest" in
+  let* code_rev = get_str j "code_rev" in
   let* recovered = get_int j "recovered_faults" in
   let* checkpoints = get_int j "checkpoints" in
   Ok
@@ -235,6 +244,9 @@ let trial_of_fields ~key ~retries ~cached j =
       t_verdict = verdict;
       t_n = n;
       t_cert_bits = cert_bits;
+      t_kcert_bits = kcert_bits;
+      t_kcert_digest = kcert_digest;
+      t_code_rev = code_rev;
       t_degraded_reason = opt_str j "degraded_reason";
       t_recovered_faults = recovered;
       t_checkpoints = checkpoints;

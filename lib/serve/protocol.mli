@@ -64,6 +64,18 @@ type trial = {
       (** certified leakage bound recorded at compute time
           ({!Tp_analysis.Certify.total_bits}); the drift monitor flags a
           leak verdict whose measured MI exceeds it *)
+  t_kcert_bits : int;
+      (** certified kernel switch-path bound
+          ({!Tp_analysis.Kcert.total_bits}); the drift monitor uses
+          this bound instead for trials that exercise the switch path
+          (kernel/flush channels) *)
+  t_kcert_digest : string;
+      (** content digest of the kernel certificate the trial ran under
+          ({!Tp_analysis.Kcert.digest}) — ties every stored trial to a
+          checked-in golden certificate *)
+  t_code_rev : string;
+      (** executable digest ({!Engine.code_rev}) recorded next to the
+          certificate digest *)
   t_degraded_reason : string option;
   t_recovered_faults : int;  (** harness recoveries (PR 1 contract) *)
   t_checkpoints : int;

@@ -32,6 +32,9 @@ let alert_fields (t : Protocol.trial) =
     ("trial", Json.Num (float_of_int t.Protocol.t_trial));
     ("mi_bits", Json.Num t.Protocol.t_mi_bits);
     ("cert_bits", Json.Num (float_of_int t.Protocol.t_cert_bits));
+    ("kcert_bits", Json.Num (float_of_int t.Protocol.t_kcert_bits));
+    ("kcert_digest", Json.Str t.Protocol.t_kcert_digest);
+    ("code_rev", Json.Str t.Protocol.t_code_rev);
     ("key", Json.Str t.Protocol.t_key);
   ]
 
@@ -111,14 +114,21 @@ let handle ~store ~jobs ~log ?event_log fd line =
                       List.iter
                         (fun t ->
                           if Engine.drifting t then begin
+                            let kernel_bound =
+                              List.mem t.Protocol.t_channel
+                                Engine.switch_path_channels
+                            in
                             log
                               (Printf.sprintf
                                  "ALERT job %s: %s %s %s#%d measured MI \
-                                  %.4f b exceeds certified bound %d b"
+                                  %.4f b exceeds certified %s bound %d b"
                                  r.Protocol.r_id t.Protocol.t_platform
                                  t.Protocol.t_config t.Protocol.t_channel
                                  t.Protocol.t_trial t.Protocol.t_mi_bits
-                                 t.Protocol.t_cert_bits);
+                                 (if kernel_bound then "kernel switch-path"
+                                  else "guest")
+                                 (if kernel_bound then t.Protocol.t_kcert_bits
+                                  else t.Protocol.t_cert_bits));
                             elog event_log ~event:"mi_over_cert"
                               (("id", Json.Str r.Protocol.r_id)
                               :: alert_fields t)

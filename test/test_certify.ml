@@ -15,6 +15,7 @@ module Ctcheck = Tp_analysis.Ctcheck
 module Ct_ir = Tp_analysis.Ct_ir
 module Absint = Tp_analysis.Absint
 module Certify = Tp_analysis.Certify
+module Kcert = Tp_analysis.Kcert
 module Shrink = Tp_hw.Shrink
 module Machine = Tp_hw.Machine
 
@@ -633,6 +634,251 @@ let test_layout_pins_respected () =
   | exception Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Kernel switch-path certificates (Kcert) *)
+
+let kcert_platforms = Tp_hw.Platform.all
+
+let kcert kind p =
+  Kcert.certify p ~config_name:(Scenario.name kind) (Scenario.config kind p)
+
+let test_kcert_protected_zero () =
+  List.iter
+    (fun p ->
+      let c = kcert Scenario.Protected p in
+      Alcotest.(check int)
+        (p.Tp_hw.Platform.name ^ " state bits")
+        0 (Kcert.state_bits c);
+      Alcotest.(check int)
+        (p.Tp_hw.Platform.name ^ " total bits")
+        0 (Kcert.total_bits c);
+      Alcotest.(check bool)
+        (p.Tp_hw.Platform.name ^ " report clean")
+        true
+        (Diag.clean (Kcert.report c));
+      Alcotest.(check int)
+        (p.Tp_hw.Platform.name ^ " 12 steps")
+        12
+        (List.length c.Kcert.k_steps))
+    kcert_platforms
+
+let test_kcert_raw_capacity () =
+  List.iter
+    (fun p ->
+      let c = kcert Scenario.Raw p in
+      Alcotest.(check bool)
+        (p.Tp_hw.Platform.name ^ " residue")
+        true
+        (Kcert.total_bits c > 0);
+      List.iter
+        (fun b ->
+          let name =
+            Printf.sprintf "%s %s" p.Tp_hw.Platform.name
+              (Certify.channel_name b.Kcert.kb_channel)
+          in
+          Alcotest.(check bool) (name ^ " nothing scrubbed") false
+            b.Kcert.kb_scrubbed;
+          Alcotest.(check int)
+            (name ^ " bits = capacity - coverage")
+            (b.Kcert.kb_raw - b.Kcert.kb_covered)
+            b.Kcert.kb_bits;
+          (* The branch predictor and the physically-indexed LLC get no
+             must-coverage from the trace: full structural capacity. *)
+          if b.Kcert.kb_channel = Certify.Bp || b.Kcert.kb_channel = Certify.Llc
+          then
+            Alcotest.(check int) (name ^ " zero coverage") 0
+              b.Kcert.kb_covered)
+        c.Kcert.k_bounds;
+      let r = Kcert.report c in
+      Alcotest.(check bool) (p.Tp_hw.Platform.name ^ " dirty") false
+        (Diag.clean r);
+      List.iter
+        (fun rule ->
+          Alcotest.(check bool) (rule ^ " present") true
+            (List.mem rule (Diag.rules r)))
+        [ Kcert.rule_l1d_residue; Kcert.rule_tlb_residue; Kcert.rule_pad_timing ])
+    kcert_platforms
+
+let test_kcert_sound_all_configs () =
+  (* The lint cross-check (TP-KCERT-UNSOUND) must stay silent on every
+     honestly produced certificate: each channel within its structural
+     capacity, timing within the pad-bound capacity, the total within
+     the Bounds-derived analytic envelope. *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun kind ->
+          let c = kcert kind p in
+          let name =
+            Printf.sprintf "%s %s" p.Tp_hw.Platform.name (Scenario.name kind)
+          in
+          List.iter
+            (fun b ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s within capacity" name
+                   (Certify.channel_name b.Kcert.kb_channel))
+                true
+                (b.Kcert.kb_bits >= 0 && b.Kcert.kb_bits <= b.Kcert.kb_raw))
+            c.Kcert.k_bounds;
+          Alcotest.(check bool)
+            (name ^ " within analytic envelope")
+            true
+            (Kcert.total_bits c <= Kcert.analytic_worst_bits p c.Kcert.k_config);
+          Alcotest.(check int) (name ^ " canary silent") 0
+            (List.length (Kcert.check_sound p c));
+          Alcotest.(check int)
+            (name ^ " lint crosscheck silent")
+            0
+            (List.length
+               (Kcert.lint_crosscheck p ~config_name:(Scenario.name kind)
+                  (Scenario.config kind p))))
+        all_kinds)
+    kcert_platforms
+
+let test_kcert_canary_fires () =
+  (* Sabotage a certificate and the canary must notice: that is the
+     whole point of carrying the analytic envelope separately. *)
+  let c = kcert Scenario.Raw haswell in
+  let inflated =
+    {
+      c with
+      Kcert.k_bounds =
+        List.map
+          (fun b ->
+            if b.Kcert.kb_channel = Certify.L1d then
+              { b with Kcert.kb_bits = b.Kcert.kb_raw + 1 }
+            else b)
+          c.Kcert.k_bounds;
+    }
+  in
+  let findings = Kcert.check_sound haswell inflated in
+  Alcotest.(check bool) "inflated channel flagged" true (findings <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "rule id" Lint.rule_kcert_unsound f.Diag.rule)
+    findings;
+  let overtimed =
+    { c with Kcert.k_timing_bits = Certify.ceil_log2 (c.Kcert.k_pad_bound + 1) + 3 }
+  in
+  Alcotest.(check bool) "inflated timing flagged" true
+    (Kcert.check_sound haswell overtimed <> [])
+
+let qcheck_kcert_strengthen_monotone =
+  QCheck.Test.make
+    ~name:"strengthening never increases the kernel switch-path bound"
+    ~count:60
+    QCheck.(
+      pair
+        (int_bound (List.length all_kinds - 1))
+        (int_bound (List.length Tp_hw.Platform.all - 1)))
+    (fun (ki, pi) ->
+      let p = List.nth Tp_hw.Platform.all pi in
+      let kind = List.nth all_kinds ki in
+      let cfg = Scenario.config kind p in
+      let base = Kcert.total_bits (kcert kind p) in
+      List.for_all
+        (fun c' ->
+          let t =
+            Kcert.total_bits
+              (Kcert.certify p ~config_name:"strengthened" c')
+          in
+          if t > base then
+            QCheck.Test.fail_reportf
+              "%s %s: strengthened kernel cert %d > base %d bits"
+              p.Tp_hw.Platform.name (Scenario.name kind) t base
+          else true)
+        (Config.strengthen ~pad_for:(Lint.pad_bound p) cfg))
+
+let test_schedules_enumeration () =
+  (* 2-domain schedules must reproduce the original bit enumeration
+     (PR 6) exactly: 'A' for a 0 bit, 'V' for a 1 bit, least
+     significant turn first. *)
+  let two = Shrink.schedules ~domains:2 ~horizon:4 in
+  Alcotest.(check int) "2^4 schedules" 16 (List.length two);
+  List.iteri
+    (fun i s ->
+      Alcotest.(check string) (Printf.sprintf "schedule %d" i)
+        (String.init 4 (fun j -> if i lsr j land 1 = 1 then 'V' else 'A'))
+        s)
+    two;
+  let three = Shrink.schedules ~domains:3 ~horizon:4 in
+  Alcotest.(check int) "3^4 schedules" 81 (List.length three);
+  Alcotest.(check int) "all distinct" 81
+    (List.length (List.sort_uniq compare three));
+  List.iter
+    (fun s ->
+      String.iter
+        (fun ch ->
+          Alcotest.(check bool) "alphabet AVD" true
+            (ch = 'A' || ch = 'V' || ch = 'D'))
+        s)
+    three;
+  (match Shrink.schedules ~domains:4 ~horizon:2 with
+  | _ -> Alcotest.fail "4 domains accepted"
+  | exception Invalid_argument _ -> ());
+  match Shrink.schedules ~domains:2 ~horizon:0 with
+  | _ -> Alcotest.fail "0 horizon accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_kcert_exhaustive3_agreement () =
+  (* The 3-domain small-scope check must agree with the abstract
+     kernel certificate on every platform: protected (0 bits) passes,
+     raw produces a concrete 3-party distinguishing schedule, and the
+     certificate embedding never reports a contradiction. *)
+  List.iter
+    (fun p ->
+      let name = p.Tp_hw.Platform.name in
+      let cfg = Scenario.config Scenario.Protected p in
+      let ex = Certify.exhaustive3 p cfg in
+      Alcotest.(check int) (name ^ " domains") 3 ex.Certify.ex_domains;
+      Alcotest.(check int) (name ^ " schedules") 81 ex.Certify.ex_schedules;
+      Alcotest.(check bool) (name ^ " protected passes") true
+        (ex.Certify.ex_counterexample = None);
+      let c =
+        Kcert.certify ~exhaustive:ex p ~config_name:"protected" cfg
+      in
+      Alcotest.(check int) (name ^ " certified 0") 0 (Kcert.total_bits c);
+      Alcotest.(check bool) (name ^ " no contradiction") false
+        (List.mem Kcert.rule_xcheck (Diag.rules (Kcert.report c)));
+      let raw = Certify.exhaustive3 p (Scenario.config Scenario.Raw p) in
+      match raw.Certify.ex_counterexample with
+      | None -> Alcotest.fail (name ^ ": raw passed the 3-domain check")
+      | Some cx ->
+          String.iter
+            (fun ch ->
+              Alcotest.(check bool) "alphabet AVD" true
+                (ch = 'A' || ch = 'V' || ch = 'D'))
+            cx.Certify.cx_schedule)
+    kcert_platforms
+
+let test_kcert_artifact_deterministic () =
+  let p = haswell in
+  let cfg = Scenario.config Scenario.Protected p in
+  let plain = Kcert.certify p ~config_name:"protected" cfg in
+  let again = Kcert.certify p ~config_name:"protected" cfg in
+  Alcotest.(check string) "core json deterministic" (Kcert.core_json plain)
+    (Kcert.core_json again);
+  let ex = Certify.exhaustive3 p cfg in
+  let full = Kcert.certify ~exhaustive:ex p ~config_name:"protected" cfg in
+  Alcotest.(check string) "digest ignores the exhaustive block"
+    (Kcert.digest plain) (Kcert.digest full);
+  Alcotest.(check string) "artifact name" "haswell-protected.cert.json"
+    (Kcert.artifact_name full);
+  let j = parse_json (Kcert.to_json full) in
+  Alcotest.(check string) "schema" Kcert.schema (jstr (mem "schema" j));
+  Alcotest.(check string) "embedded digest" (Kcert.digest full)
+    (jstr (mem "digest" j));
+  Alcotest.(check string) "platform" "haswell" (jstr (mem "platform" j));
+  (match mem "certified_bits" j with
+  | J_num f -> Alcotest.(check int) "certified_bits" 0 (int_of_float f)
+  | _ -> Alcotest.fail "certified_bits not a number");
+  let exj = mem "exhaustive" j in
+  (match mem "domains" exj with
+  | J_num f -> Alcotest.(check int) "exhaustive domains" 3 (int_of_float f)
+  | _ -> Alcotest.fail "exhaustive domains not a number");
+  Alcotest.(check int) "12 steps serialised" 12
+    (List.length (jlist (mem "steps" j)))
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -669,4 +915,19 @@ let suite =
       test_layout_default_preserved;
     Alcotest.test_case "ct_ir: pinned layout respected" `Quick
       test_layout_pins_respected;
+    Alcotest.test_case "kcert: protected certifies 0 bits" `Quick
+      test_kcert_protected_zero;
+    Alcotest.test_case "kcert: raw residue = capacity - coverage" `Quick
+      test_kcert_raw_capacity;
+    Alcotest.test_case "kcert: sound on every platform x config" `Quick
+      test_kcert_sound_all_configs;
+    Alcotest.test_case "kcert: unsoundness canary fires" `Quick
+      test_kcert_canary_fires;
+    QCheck_alcotest.to_alcotest qcheck_kcert_strengthen_monotone;
+    Alcotest.test_case "shrink: schedule enumeration" `Quick
+      test_schedules_enumeration;
+    Alcotest.test_case "kcert: 3-domain exhaustive agreement" `Quick
+      test_kcert_exhaustive3_agreement;
+    Alcotest.test_case "kcert: deterministic digested artifact" `Quick
+      test_kcert_artifact_deterministic;
   ]

@@ -51,6 +51,9 @@ let stub_trial (c : E.cell) =
     t_verdict = "no-evidence";
     t_n = 100;
     t_cert_bits = 0;
+    t_kcert_bits = 0;
+    t_kcert_digest = "stub-kcert-digest";
+    t_code_rev = "test-rev";
     t_degraded_reason = None;
     t_recovered_faults = 0;
     t_checkpoints = 3;
@@ -109,6 +112,12 @@ let test_stored_blob_roundtrip () =
            t_cached = false }
   in
   let blob = P.stored_of_trial t in
+  Alcotest.(check bool)
+    "blob carries the v3 schema tag" true
+    (contains_sub blob "tpsim-trial/3");
+  Alcotest.(check bool)
+    "blob records the kernel cert digest" true
+    (contains_sub blob "stub-kcert-digest");
   match P.trial_of_stored ~key:"k" blob with
   | Error e -> Alcotest.fail e
   | Ok t' ->
@@ -436,7 +445,20 @@ let test_drift_predicate () =
     (E.drifting { t with P.t_verdict = "no-evidence" });
   Alcotest.(check bool)
     "failed trials never drift" false
-    (E.drifting { t with P.t_status = P.Failed })
+    (E.drifting { t with P.t_status = P.Failed });
+  (* Switch-path channels are judged against the recorded kernel
+     switch-path certificate bound, not the guest-level one. *)
+  let k =
+    { t with P.t_channel = "kernel"; t_cert_bits = 0; t_kcert_bits = 4 }
+  in
+  Alcotest.(check bool)
+    "kernel channel within kcert bound ok" false (E.drifting k);
+  Alcotest.(check bool)
+    "kernel channel over kcert bound drifts" true
+    (E.drifting { k with P.t_kcert_bits = 2 });
+  Alcotest.(check bool)
+    "flush channel judged by kcert bound too" true
+    (E.drifting { k with P.t_channel = "flush"; t_kcert_bits = 2 })
 
 (* An engine run with metrics on populates the drift counter for
    trials whose stored cert bound is below the measured MI. *)
