@@ -850,21 +850,39 @@ let fixtures_arg =
 
 let kernel_arg =
   let doc =
-    "Certify the kernel's own domain-switch path instead of guest \
-     programs: lift the 12-step $(b,Domain_switch) sequence into an \
-     access trace, derive a sound per-switch leakage bound per \
-     (platform, configuration), and cross-validate it with the \
-     3-domain small-scope model check.  Without $(b,-c), all seven \
-     scenario configurations are certified."
+    "Certify the kernel's own lifecycle paths instead of guest \
+     programs: lift the 12-step $(b,Domain_switch) sequence, the \
+     $(b,Clone.clone) image copy and the $(b,Clone.destroy) teardown \
+     into access traces, derive a sound per-execution leakage bound \
+     per (platform, configuration, path), and cross-validate each with \
+     the 3-domain small-scope model check.  Without $(b,-c), all seven \
+     scenario configurations are certified; without $(b,--path), all \
+     three paths."
   in
   Arg.(value & flag & info [ "kernel" ] ~doc)
+
+let paths_arg =
+  let doc =
+    "With $(b,--kernel): lifecycle path(s) to certify (repeatable): \
+     $(b,switch), $(b,clone) or $(b,destroy).  Default: all three."
+  in
+  Arg.(
+    value
+    & opt_all
+        (enum
+           (List.map
+              (fun pa -> (Tp_analysis.Kcert.path_slug pa, pa))
+              Tp_analysis.Kcert.all_paths))
+        []
+    & info [ "path" ] ~docv:"PATH" ~doc)
 
 let certs_arg =
   let doc =
     "With $(b,--kernel): directory of golden certificate artifacts \
-     ($(b,<platform>-<config>.cert.json)).  Alone, (re)writes every \
-     certificate into it; with $(b,--check), byte-compares instead and \
-     exits non-zero on any drift or missing file (the CI gate)."
+     ($(b,<platform>-<config>-<path>.cert.json)).  Alone, (re)writes \
+     every certificate into it; with $(b,--check), byte-compares \
+     instead and exits non-zero on any drift, missing file, or (when \
+     checking the full matrix) stale leftover artifact (the CI gate)."
   in
   Arg.(value & opt (some string) None & info [ "certs" ] ~docv:"DIR" ~doc)
 
@@ -878,26 +896,38 @@ let rec mkdir_p dir =
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
   end
 
-(* `certify --kernel`: per-(platform, config) switch-path certificates,
-   each cross-validated by the 3-domain exhaustive check, emitted as
+(* `certify --kernel`: per-(platform, config, path) lifecycle
+   certificates, each cross-validated by the 3-domain exhaustive check
+   (with the neighbour performing that path's operation), emitted as
    deterministic content-digested artifacts and optionally byte-diffed
    against the checked-in goldens. *)
-let certify_kernel plats kinds ~json ~sarif ~out ~expect ~certs_dir ~check =
+let certify_kernel plats kinds paths ~json ~sarif ~out ~expect ~certs_dir
+    ~check =
+  let full_matrix =
+    (* The complete golden matrix was requested: -p all, every config,
+       every path.  Only then can --check also flag stale leftovers. *)
+    kinds = [] && paths = []
+    && List.length plats = List.length Tp_hw.Platform.all
+  in
   let kinds =
     match kinds with [] -> List.map snd scenario_choices | ks -> ks
   in
+  let paths = match paths with [] -> Tp_analysis.Kcert.all_paths | ps -> ps in
   let entries =
     List.concat_map
       (fun p ->
-        List.map
+        List.concat_map
           (fun kind ->
             let cfg = Scenario.config kind p in
-            let ex = Tp_analysis.Certify.exhaustive3 p cfg in
-            let cert =
-              Tp_analysis.Kcert.certify ~exhaustive:ex p
-                ~config_name:(slug_of_kind kind) cfg
-            in
-            (cert, Tp_analysis.Kcert.report cert))
+            List.map
+              (fun path ->
+                let ex = Tp_analysis.Certify.exhaustive3_path path p cfg in
+                let cert =
+                  Tp_analysis.Kcert.certify ~exhaustive:ex ~path p
+                    ~config_name:(slug_of_kind kind) cfg
+                in
+                (cert, Tp_analysis.Kcert.report cert))
+              paths)
           kinds)
       plats
   in
@@ -933,6 +963,28 @@ let certify_kernel plats kinds ~json ~sarif ~out ~expect ~certs_dir ~check =
                 (Tp_analysis.Kcert.digest c)
           | Some _ -> ())
         entries;
+      (if full_matrix then
+         (* Stale leftovers (e.g. artifacts under a retired naming
+            scheme) would silently bypass the byte-diff gate. *)
+         let expected =
+           List.map
+             (fun (c, _) -> Tp_analysis.Kcert.artifact_name c)
+             entries
+         in
+         Array.iter
+           (fun f ->
+             if
+               Filename.check_suffix f ".cert.json"
+               && not (List.mem f expected)
+             then begin
+               incr bad;
+               Printf.eprintf
+                 "tpsim: stale certificate artifact %s (not part of the \
+                  current golden matrix)\n\
+                  %!"
+                 (Filename.concat dir f)
+             end)
+           (try Sys.readdir dir with Sys_error _ -> [||]));
       if !bad > 0 then begin
         Printf.eprintf
           "tpsim: %d golden certificate(s) out of date; regenerate with \
@@ -1023,11 +1075,12 @@ let cmd_certify =
      upper bounds from the lint view (optionally tightened per guest
      program), cross-validated by exhaustive small-scope model
      checking. *)
-  let run plats kinds domains json sarif out expect exhaustive fixtures
+  let run plats kinds paths domains json sarif out expect exhaustive fixtures
       kernel certs_dir check verbose =
     setup_logging verbose;
     if kernel then
-      certify_kernel plats kinds ~json ~sarif ~out ~expect ~certs_dir ~check
+      certify_kernel plats kinds paths ~json ~sarif ~out ~expect ~certs_dir
+        ~check
     else begin
     let kinds =
       match kinds with
@@ -1184,13 +1237,13 @@ let cmd_certify =
           protection; $(b,--exhaustive) cross-validates by enumerating \
           two-domain schedules on a shrunken machine and checking \
           observational determinism.  $(b,--kernel) certifies the \
-          kernel's own domain-switch path instead, with 3-domain \
-          cross-validation and content-digested golden artifacts \
-          ($(b,--certs)/$(b,--check)).")
+          kernel's own lifecycle paths (switch, clone, destroy) \
+          instead, with 3-domain cross-validation and content-digested \
+          golden artifacts ($(b,--certs)/$(b,--check)).")
     Term.(
-      const run $ platform_arg $ certify_configs_arg $ domains_arg $ json_arg
-      $ sarif_arg $ out_arg $ expect_arg $ exhaustive_arg $ fixtures_arg
-      $ kernel_arg $ certs_arg $ check_arg $ verbose_arg)
+      const run $ platform_arg $ certify_configs_arg $ paths_arg $ domains_arg
+      $ json_arg $ sarif_arg $ out_arg $ expect_arg $ exhaustive_arg
+      $ fixtures_arg $ kernel_arg $ certs_arg $ check_arg $ verbose_arg)
 
 let cmd_bench =
   (* Benchmark-regression harness: suite throughput at -j 1 vs -j N,

@@ -350,9 +350,11 @@ let struct_bits a must_rows =
 
 let fuel_budget = 200_000
 
-let analyse ?arrays_at ?(code_at = Ct_ir.code_base) (plat : Tp_hw.Platform.t)
-    (p : Ct_ir.program) ~public =
-  Ct_ir.validate p;
+(* The abstract machine structures for a platform, shared between the
+   Ct_ir analysis below and the kernel-trace back-end ({!cover_trace}):
+   one constructor, so the two entry points cannot disagree about
+   geometry or granularity. *)
+let machine_structs (plat : Tp_hw.Platform.t) =
   let line_shift = Tp_hw.Defs.log2 plat.line in
   let page_shift = Tp_hw.Defs.page_bits in
   let cache_struct name (g : Tp_hw.Cache.geometry) =
@@ -361,28 +363,32 @@ let analyse ?arrays_at ?(code_at = Ct_ir.code_base) (plat : Tp_hw.Platform.t)
   let tlb_struct name (g : Tp_hw.Tlb.geometry) =
     make_struct name ~sets:(g.entries / g.ways) ~ways:g.ways ~shift:page_shift
   in
-  let named =
-    [
-      ("l1d", cache_struct "l1d" plat.l1d);
-      ("l1i", cache_struct "l1i" plat.l1i);
-      ("dtlb", tlb_struct "dtlb" plat.dtlb);
-      ("itlb", tlb_struct "itlb" plat.itlb);
-      ("l2tlb", tlb_struct "l2tlb" plat.l2tlb);
-    ]
-    @ (match plat.l2 with
-      | Some g -> [ ("l2", cache_struct "l2" g) ]
-      | None -> [])
-    @ [ ("llc", cache_struct "llc" plat.llc) ]
+  [
+    ("l1d", cache_struct "l1d" plat.l1d);
+    ("l1i", cache_struct "l1i" plat.l1i);
+    ("dtlb", tlb_struct "dtlb" plat.dtlb);
+    ("itlb", tlb_struct "itlb" plat.itlb);
+    ("l2tlb", tlb_struct "l2tlb" plat.l2tlb);
+  ]
+  @ (match plat.l2 with
+    | Some g -> [ ("l2", cache_struct "l2" g) ]
+    | None -> [])
+  @ [ ("llc", cache_struct "llc" plat.llc) ]
+
+let struct_index named name =
+  let rec go i = function
+    | [] -> assert false
+    | (n, _) :: _ when n = name -> i
+    | _ :: tl -> go (i + 1) tl
   in
+  go 0 named
+
+let analyse ?arrays_at ?(code_at = Ct_ir.code_base) (plat : Tp_hw.Platform.t)
+    (p : Ct_ir.program) ~public =
+  Ct_ir.validate p;
+  let named = machine_structs plat in
   let structs = Array.of_list (List.map snd named) in
-  let index name =
-    let rec go i = function
-      | [] -> assert false
-      | (n, _) :: _ when n = name -> i
-      | _ :: tl -> go (i + 1) tl
-    in
-    go 0 named
-  in
+  let index = struct_index named in
   let outer =
     (match plat.l2 with Some _ -> [ index "l2" ] | None -> [])
     @ [ index "llc" ]
@@ -429,3 +435,156 @@ let analyse ?arrays_at ?(code_at = Ct_ir.code_base) (plat : Tp_hw.Platform.t)
       (match plat.l2 with Some _ -> bits "l2" | None -> 0) + bits "llc";
     sm_secret_sites = Iset.elements env.bp_sites;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-trace back-end (the engine behind Tp_analysis.Kcert)         *)
+
+(* The kernel certifier lifts Domain_switch / Clone paths into flat
+   access traces.  Driving them through the same [touch] and the same
+   [machine_structs] as the Ct_ir analysis gives the must-coverage a
+   single soundness argument: a fixed access pins its granule in every
+   execution (a must fact); a variable access ([ka_fixed = false], an
+   allocation- or schedule-dependent address) contributes may-residency
+   only — it can neither earn coverage nor destroy a must fact, the
+   standard under-approximation (joins intersect must). *)
+
+type kaccess = {
+  ka_vaddr : int;
+  ka_bytes : int;
+  ka_fetch : bool;  (* instruction side *)
+  ka_fixed : bool;  (* same address in every execution of the path *)
+}
+
+type kcoverage = {
+  kc_l1d : int;
+  kc_l1i : int;
+  kc_dtlb : int;
+  kc_itlb : int;
+  kc_l2tlb : int;
+  kc_l2 : int;  (* 0 when the platform has no private L2 *)
+  kc_llc : int;
+}
+
+let cover_trace (plat : Tp_hw.Platform.t) (accs : kaccess list) =
+  let named = machine_structs plat in
+  let structs = Array.of_list (List.map snd named) in
+  let index = struct_index named in
+  let outer =
+    (match plat.l2 with Some _ -> [ index "l2" ] | None -> [])
+    @ [ index "llc" ]
+  in
+  let data = [ index "l1d"; index "dtlb"; index "l2tlb" ] @ outer in
+  let code = [ index "l1i"; index "itlb"; index "l2tlb" ] @ outer in
+  let env =
+    { structs; data; code; arrays = []; code_at = 0; bp_sites = Iset.empty;
+      fuel = 0 }
+  in
+  let st =
+    {
+      regs = [||];
+      must = Array.map (fun a -> Array.make a.st_sets Iset.empty) structs;
+    }
+  in
+  let definite = { c_definite = true; c_secret = false } in
+  let variable = { c_definite = false; c_secret = false } in
+  List.iter
+    (fun ka ->
+      let sis = if ka.ka_fetch then code else data in
+      let ahi = ka.ka_vaddr + ka.ka_bytes - 1 in
+      if ka.ka_fixed then
+        (* Granule by granule: [touch] only records a must fact when the
+           range pins a single granule, and every granule of a fixed
+           multi-byte access is pinned. *)
+        List.iter
+          (fun si ->
+            let a = env.structs.(si) in
+            let gl = ka.ka_vaddr asr a.st_shift
+            and gh = ahi asr a.st_shift in
+            for g = gl to gh do
+              let b = g lsl a.st_shift in
+              touch env st si ~ctx:definite ~secidx:false b b
+            done)
+          sis
+      else touch_many env st sis ~ctx:variable ~secidx:false ka.ka_vaddr ahi)
+    accs;
+  let cover name =
+    let i = index name in
+    let ways = structs.(i).st_ways in
+    Array.fold_left
+      (fun acc row -> acc + min (Iset.cardinal row) ways)
+      0 st.must.(i)
+  in
+  {
+    kc_l1d = cover "l1d";
+    kc_l1i = cover "l1i";
+    kc_dtlb = cover "dtlb";
+    kc_itlb = cover "itlb";
+    kc_l2tlb = cover "l2tlb";
+    kc_l2 = (match plat.l2 with Some _ -> cover "l2" | None -> 0);
+    kc_llc = cover "llc";
+  }
+
+(* BTB must-coverage of the kernel's own deterministic jumps: executing
+   a taken jump at a fixed site leaves that (site, target) pair MRU in
+   its set whatever the prior state — so k distinct fixed sites in a
+   w-way set pin min(k, w) ways, the same set-wise counting as the
+   caches, through the model's own index hash. *)
+let btb_coverage (g : Tp_hw.Btb.geometry) sites =
+  let n_sets = Tp_hw.Btb.geometry_sets g in
+  let per_set = Array.make n_sets Iset.empty in
+  List.iter
+    (fun s ->
+      let set = Tp_hw.Btb.set_of_addr g s in
+      per_set.(set) <- Iset.add s per_set.(set))
+    sites;
+  Array.fold_left
+    (fun acc ss -> acc + min (Iset.cardinal ss) g.Tp_hw.Btb.ways)
+    0 per_set
+
+(* PHT must-coverage of a deterministic conditional-branch trace, via
+   an interval abstraction of the 2-bit counters.  Initially every
+   counter and the global history register are unknown (victim-trained):
+   each entry starts at [0,3].  While fewer than [history_bits]
+   outcomes have been shifted in, the gshare index is unknown and each
+   update widens every entry to the hull of updated/not-updated (a
+   no-op on [0,3]).  Once the history is determined by the trace
+   itself, updates land on computed indices and move both interval ends
+   with the saturating +/-1.  An entry is covered when its final
+   interval decides the prediction — entirely at or above the taken
+   threshold, or entirely below — because the attacker observes
+   predictions, not raw counter values.  The trace is run-length
+   encoded as (site, taken, repeat) triples so multi-thousand-iteration
+   copy loops stay cheap to carry around. *)
+let pht_coverage (g : Tp_hw.Bhb.geometry) trace =
+  let n = g.Tp_hw.Bhb.pht_entries in
+  let lo = Array.make n 0 and hi = Array.make n 3 in
+  let history = ref 0 and seen = ref 0 in
+  let step site taken =
+    if !seen >= g.Tp_hw.Bhb.history_bits then begin
+      let i = Tp_hw.Bhb.index_of g ~history:!history site in
+      if taken then begin
+        lo.(i) <- min 3 (lo.(i) + 1);
+        hi.(i) <- min 3 (hi.(i) + 1)
+      end
+      else begin
+        lo.(i) <- max 0 (lo.(i) - 1);
+        hi.(i) <- max 0 (hi.(i) - 1)
+      end
+    end
+    else
+      for i = 0 to n - 1 do
+        if taken then hi.(i) <- min 3 (hi.(i) + 1)
+        else lo.(i) <- max 0 (lo.(i) - 1)
+      done;
+    history :=
+      ((!history lsl 1) lor (if taken then 1 else 0))
+      land ((1 lsl g.Tp_hw.Bhb.history_bits) - 1);
+    incr seen
+  in
+  List.iter (fun (site, taken, count) -> for _ = 1 to count do step site taken done) trace;
+  let covered = ref 0 in
+  for i = 0 to n - 1 do
+    if lo.(i) >= Tp_hw.Bhb.taken_threshold || hi.(i) < Tp_hw.Bhb.taken_threshold
+    then incr covered
+  done;
+  !covered

@@ -45,3 +45,50 @@ val analyse :
     (bounded by a global fuel); all other control flow runs a
     join/widen fixpoint, so the analysis terminates on every program,
     including ones whose dynamic execution would not. *)
+
+(** {1 Kernel-trace back-end}
+
+    The engine behind {!Kcert}: the lifted switch/clone/destroy access
+    traces are driven through the same abstract structures and the same
+    touch/join rules as the Ct_ir analysis, so the must-coverage
+    soundness argument lives in one place.  A fixed access pins its
+    granules in every execution; a variable access (allocation- or
+    schedule-dependent address) contributes may-residency only — it
+    neither earns coverage nor destroys a must fact. *)
+
+type kaccess = {
+  ka_vaddr : int;
+  ka_bytes : int;
+  ka_fetch : bool;  (** instruction side (L1-I/ITLB) vs data side *)
+  ka_fixed : bool;  (** same address in every execution of the path *)
+}
+
+type kcoverage = {
+  kc_l1d : int;
+  kc_l1i : int;
+  kc_dtlb : int;
+  kc_itlb : int;
+  kc_l2tlb : int;
+  kc_l2 : int;  (** 0 when the platform has no private L2 *)
+  kc_llc : int;
+}
+
+val cover_trace : Tp_hw.Platform.t -> kaccess list -> kcoverage
+(** Set-wise must-coverage of a lifted kernel trace: per structure,
+    [sum over sets of min(|must granules|, ways)] — k distinct
+    deterministic granules in a w-way set pin [min(k, w)] ways. *)
+
+val btb_coverage : Tp_hw.Btb.geometry -> int list -> int
+(** Must-coverage earned by the kernel's deterministic taken jumps:
+    each fixed site leaves its (site, target) entry MRU in the set
+    {!Tp_hw.Btb.set_of_addr} places it in, so k distinct sites in a
+    w-way set pin [min(k, w)] ways. *)
+
+val pht_coverage : Tp_hw.Bhb.geometry -> (int * bool * int) list -> int
+(** Must-coverage earned by a deterministic conditional-branch trace
+    (run-length encoded as [(site, taken, repeat)] triples), via an
+    interval abstraction of the 2-bit counters under the gshare hash
+    {!Tp_hw.Bhb.index_of}.  Starting from unknown counters and an
+    unknown global history, an entry counts as covered when the trace
+    forces its final prediction regardless of prior state.  Never
+    exceeds [pht_entries] (QCheck-tested). *)

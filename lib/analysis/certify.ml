@@ -477,6 +477,41 @@ let neighbour_turn m ~core tiny =
     ignore (Tp_hw.Machine.cond_branch m ~core ~asid:2 ~vaddr:a ~paddr:a ~taken:true)
   done
 
+(* Which lifted kernel path a certificate (and its exhaustive
+   cross-check) covers.  The 'D' turn of the 3-domain schedule model is
+   the kernel operating on the neighbour's behalf: a plain switch, a
+   clone of its image, or the teardown of one — each with its own
+   deterministic footprint. *)
+type kernel_path = Switch | Clone | Destroy
+
+let kernel_path_slug = function
+  | Switch -> "switch"
+  | Clone -> "clone"
+  | Destroy -> "destroy"
+
+let all_kernel_paths = [ Switch; Clone; Destroy ]
+
+(* The neighbour's turn under each lifecycle path.  Clone performs the
+   coloured-pool page copy ({!Tp_hw.Shrink.clone_op}) plus the clone
+   handler's two always-taken loop branches; Destroy performs the
+   IPI-barrier write + shootdown ({!Tp_hw.Shrink.destroy_op}).  All
+   addresses stay on the neighbour's (even) parity, like
+   {!neighbour_turn}. *)
+let lifecycle_turn m ~core tiny = function
+  | Switch -> neighbour_turn m ~core tiny
+  | Clone ->
+      let page = Tp_hw.Defs.page_size in
+      let base = 0x5000_0000 in
+      ignore (Tp_hw.Shrink.clone_op m ~core ~asid:2 ~src:base ~dst:(base + (2 * page)));
+      for i = 0 to 1 do
+        let a = base + (4 * page) + (i * 64) in
+        ignore (Tp_hw.Machine.cond_branch m ~core ~asid:2 ~vaddr:a ~paddr:a ~taken:true)
+      done
+  | Destroy ->
+      ignore
+        (Tp_hw.Shrink.destroy_op m ~core ~asid:2
+           ~barrier:(0x5000_0000 + (6 * Tp_hw.Defs.page_size)))
+
 let scrub_of_config (cfg : C.t) =
   {
     Tp_hw.Shrink.sc_flush_l1 = cfg.flush_l1;
@@ -499,7 +534,7 @@ let victim_layout (cfg : C.t) =
   ( [ ("a", page 0); ("b", page 1); ("c", page 2); ("d", page 3) ],
     0x2000_0000 + parity )
 
-let run_schedule tiny (cfg : C.t) sched secret =
+let run_schedule ?(path = Switch) tiny (cfg : C.t) sched secret =
   let m = Tp_hw.Machine.create tiny in
   let core = 0 in
   let scrub = scrub_of_config cfg in
@@ -513,7 +548,7 @@ let run_schedule tiny (cfg : C.t) sched secret =
           ignore
             (Ct_ir.execute ~arrays_at ~code_at m ~core small_victim
                ~inputs:[ (0, secret); (1, horizon) ])
-      | 'D' -> neighbour_turn m ~core tiny
+      | 'D' -> lifecycle_turn m ~core tiny path
       | _ -> obs := attacker_turn m ~core tiny :: !obs);
       ignore (Tp_hw.Shrink.apply m ~core scrub);
       (* Pad the whole turn (work + scrub) to the configured slice
@@ -543,7 +578,7 @@ let diff_observations a b =
   in
   turn 0 a b
 
-let exhaustive_for ~domains (p : P.t) (cfg : C.t) =
+let exhaustive_for ?(path = Switch) ~domains (p : P.t) (cfg : C.t) =
   let tiny = Tp_hw.Shrink.tiny p in
   let schedules = Tp_hw.Shrink.schedules ~domains ~horizon in
   let cx = ref None in
@@ -553,11 +588,13 @@ let exhaustive_for ~domains (p : P.t) (cfg : C.t) =
         match secrets with
         | [] -> ()
         | s0 :: rest ->
-            let base = run_schedule tiny cfg sched s0 in
+            let base = run_schedule ~path tiny cfg sched s0 in
             List.iter
               (fun s ->
                 if !cx = None then
-                  match diff_observations base (run_schedule tiny cfg sched s) with
+                  match
+                    diff_observations base (run_schedule ~path tiny cfg sched s)
+                  with
                   | None -> ()
                   | Some (turn, idx, va, vb) ->
                       cx :=
@@ -585,6 +622,8 @@ let exhaustive_for ~domains (p : P.t) (cfg : C.t) =
 let exhaustive p cfg = exhaustive_for ~domains:2 p cfg
 
 let exhaustive3 p cfg = exhaustive_for ~domains:3 p cfg
+
+let exhaustive3_path path p cfg = exhaustive_for ~path ~domains:3 p cfg
 
 let exhaustive_findings (r : exhaustive_result) =
   match r.ex_counterexample with

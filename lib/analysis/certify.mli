@@ -130,6 +130,23 @@ type exhaustive_result = {
   ex_counterexample : counterexample option;  (** [None] = passed *)
 }
 
+(** {2 Kernel lifecycle paths}
+
+    Which lifted kernel path a kernel certificate (and its exhaustive
+    cross-check) covers.  The 'D' turn of a 3-domain schedule is the
+    kernel acting on the neighbour's behalf: a plain domain switch, a
+    clone of its kernel image ({!Tp_hw.Shrink.clone_op}), or the
+    teardown of one ({!Tp_hw.Shrink.destroy_op}). *)
+
+type kernel_path = Switch | Clone | Destroy
+
+val kernel_path_slug : kernel_path -> string
+(** ["switch"] / ["clone"] / ["destroy"] — the artifact-name and JSON
+    spelling. *)
+
+val all_kernel_paths : kernel_path list
+(** [[Switch; Clone; Destroy]], the full certification matrix. *)
+
 val exhaustive : Tp_hw.Platform.t -> Tp_kernel.Config.t -> exhaustive_result
 (** Enumerate every two-domain schedule of the horizon on the
     {!Tp_hw.Shrink.tiny} machine; run the victim under each secret;
@@ -150,10 +167,17 @@ val exhaustive3 : Tp_hw.Platform.t -> Tp_kernel.Config.t -> exhaustive_result
     allocation folds extra domains onto existing colours.  This is the
     confirmation required for kernel-path certificates. *)
 
+val exhaustive3_path :
+  kernel_path -> Tp_hw.Platform.t -> Tp_kernel.Config.t -> exhaustive_result
+(** {!exhaustive3} with the neighbour's 'D' turn replaced by the given
+    lifecycle operation ([Switch] is exactly {!exhaustive3}): the
+    cross-check for clone- and destroy-path kernel certificates. *)
+
 val exhaustive_for :
+  ?path:kernel_path ->
   domains:int -> Tp_hw.Platform.t -> Tp_kernel.Config.t -> exhaustive_result
 (** Generalisation behind {!exhaustive}/{!exhaustive3}
-    ([2 <= domains <= 3]). *)
+    ([2 <= domains <= 3]; [path] defaults to [Switch]). *)
 
 val exhaustive_findings : exhaustive_result -> Diag.finding list
 (** [CERT-NONINTERFERENCE] with the concrete distinguishing schedule,

@@ -1,35 +1,46 @@
-(* Kernel switch-path certifier: `tpsim certify --kernel`.
+(* Kernel lifecycle certifier: `tpsim certify --kernel`.
 
    {!Certify} proves leakage bounds for guest [Ct_ir] programs; this
-   module proves them for the kernel's own domain-switch sequence —
-   the mechanism the paper contributes, and until now the only part of
-   the system that was measured rather than certified.
+   module proves them for the kernel's own lifecycle paths — the
+   mechanisms the paper contributes, and until now the only part of
+   the system that was measured rather than certified.  Three paths
+   are certified per (platform, configuration): the paper-ordered
+   12-step domain switch ([Tp_kernel.Domain_switch.switch]), the
+   kernel-image clone ([Tp_kernel.Clone.clone]) and its teardown
+   ([Tp_kernel.Clone.destroy]).
 
-   The approach lifts [Tp_kernel.Domain_switch.switch] into an
-   analysable access trace ({!lift}): the paper-ordered 12 steps, each
-   with the exact shared-region / image accesses the implementation
-   performs, at the exact virtual addresses [Tp_kernel.Layout] assigns
-   them.  Abstract interpretation is then set-wise must-coverage, the
-   dual of CacheAudit's may/must domains: the switch path's
-   {e deterministic} accesses (marked [a_must]) pin ways to public
-   content — touching [k] distinct lines of a [w]-way set leaves at
-   most [w - min k w] ways whose state can still depend on the
-   outgoing domain's secrets.  The certified residue of a channel is
-   its structural capacity minus that coverage, or 0 when the
-   configuration closes the channel outright (flush or spatial
-   partition).
+   The approach lifts each path into an analysable access trace
+   ({!lift}): the exact shared-region / image accesses the
+   implementation performs, at the exact virtual addresses
+   [Tp_kernel.Layout] assigns them, plus the path's deterministic
+   branch behaviour (run-length-encoded conditional branches and fixed
+   taken jumps).  Abstract interpretation is then set-wise
+   must-coverage via the unified {!Absint} kernel-trace back-end — the
+   same touch/join rules as the program-level analysis, so the
+   soundness argument lives in one place: a path's {e deterministic}
+   accesses ([a_must]) pin ways to public content — touching [k]
+   distinct lines of a [w]-way set leaves at most [w - min k w] ways
+   whose state can still depend on the outgoing domain's secrets.  The
+   certified residue of a channel is its structural capacity minus
+   that coverage, or 0 when the configuration closes the channel
+   outright (flush or spatial partition).
 
    Soundness notes, per channel:
 
-   - accesses whose address varies across switches (the destination
-     thread's priority slot, the destination TCB at a user-chosen
-     physical frame) are marked [a_must = false] and contribute {e no}
+   - accesses whose address varies across executions (the destination
+     thread's priority slot, TCBs and image frames at user-chosen
+     physical frames) are marked [a_must = false] and contribute {e no}
      coverage — under-approximating coverage over-approximates residue;
    - virtual-indexed structures (both L1s, the TLBs) take coverage
      from virtual addresses, which the layout fixes; physically-indexed
-     outer caches and the branch predictor get {e zero} coverage
-     because image physical placement and branch-target hashing are
-     allocation-dependent;
+     outer caches get {e zero} coverage because image physical
+     placement is allocation-dependent;
+   - the branch predictor takes coverage through the model's own index
+     hashes ({!Tp_hw.Btb.set_of_addr} for the BTB,
+     {!Tp_hw.Bhb.index_of} for the gshare PHT): deterministic kernel
+     branches at layout-fixed sites pin BTB ways set-wise, and pin PHT
+     counters whose final prediction the trace forces regardless of
+     prior (victim-trained) state;
    - the x86 manual L1 flush appears in the trace as its real
      flush-buffer sweep (one read per L1-D line, one fetch per L1-I
      line), so its full-coverage effect is {e derived}, not asserted;
@@ -37,24 +48,34 @@
      base) dedups to single virtual lines, which matches the
      virtually-indexed structures the coverage feeds.
 
-   Cross-validation is {!Certify.exhaustive3}: observational
+   The clone and destroy paths additionally carry a duration bound
+   ([k_op_bound], from {!Lint.clone_bound}/{!Lint.destroy_bound}):
+   unlike the padded switch, their latency is visible to the caller,
+   so when the configuration leaves stateful channels open the
+   operation's cost varies with incoming microarchitectural state and
+   contributes [ceil_log2 (bound + 1)] timing bits; with every
+   stateful channel scrubbed or partitioned the cost is deterministic
+   and contributes none.
+
+   Cross-validation is {!Certify.exhaustive3_path}: observational
    determinism across secrets under all three-domain schedules of the
-   shrunken machine — the transitive victim→neighbour→attacker relay a
-   two-domain enumeration cannot exhibit.  A 0-bit kernel certificate
+   shrunken machine, with the neighbour's turn performing this
+   certificate's lifecycle operation.  A 0-bit kernel certificate
    contradicted by a 3-domain counterexample is a certifier bug and
    fails CI ([CERT-K-XCHECK-EXHAUSTIVE]); a certificate exceeding the
-   [Tp_hw.Bounds]-derived analytic worst case trips the linter's
+   [Tp_hw.Bounds]-derived analytic envelope trips the linter's
    unsoundness canary ([TP-KCERT-UNSOUND]).
 
    Certificates serialise to deterministic, content-digested JSON
-   artifacts ({!to_json} / {!digest}); CI regenerates them and
-   byte-diffs against the checked-in goldens under [certs/kernel/]. *)
+   artifacts ({!to_json} / {!digest}); CI regenerates all 63 (3
+   platforms x 7 configs x 3 paths) and byte-diffs against the
+   checked-in goldens under [certs/kernel/]. *)
 
 module C = Tp_kernel.Config
 module P = Tp_hw.Platform
 module L = Tp_kernel.Layout
 
-let schema = "tpsim-kcert/1"
+let schema = "tpsim-kcert/2"
 
 (* ------------------------------------------------------------------ *)
 (* Rule identifiers                                                    *)
@@ -75,7 +96,15 @@ let channel_rule = function
   | Certify.Llc -> rule_llc_residue
 
 (* ------------------------------------------------------------------ *)
-(* The lifted switch trace                                             *)
+(* Paths                                                               *)
+
+type path = Certify.kernel_path = Switch | Clone | Destroy
+
+let path_slug = Certify.kernel_path_slug
+let all_paths = Certify.all_kernel_paths
+
+(* ------------------------------------------------------------------ *)
+(* The lifted traces                                                   *)
 
 type access = {
   a_what : string;
@@ -83,7 +112,7 @@ type access = {
   a_bytes : int;
   a_kind : Tp_hw.Defs.access_kind;
   a_must : bool;
-      (** address identical on every switch: counts toward coverage *)
+      (** address identical on every execution: counts toward coverage *)
 }
 
 type step = {
@@ -91,10 +120,32 @@ type step = {
   s_name : string;
   s_accesses : access list;
   s_flushes : string list;
+  s_branches : (int * bool * int) list;
+      (** deterministic conditional branches, RLE [(site, taken, repeat)] *)
+  s_jumps : int list;  (** fixed taken-jump sites (BTB) *)
 }
 
 let acc ?(must = true) what vaddr bytes kind =
   { a_what = what; a_vaddr = vaddr; a_bytes = bytes; a_kind = kind; a_must = must }
+
+let step i name ?(flushes = []) ?(branches = []) ?(jumps = []) accesses =
+  {
+    s_index = i;
+    s_name = name;
+    s_accesses = accesses;
+    s_flushes = flushes;
+    s_branches = branches;
+    s_jumps = jumps;
+  }
+
+(* Fixed jump sites every handler shares: the entry stub's dispatch
+   jump into the handler, and the handler's return jump back to the
+   stub.  Both are layout-fixed kernel-text addresses, so they earn
+   BTB coverage through the model's own set hash. *)
+let dispatch_site = L.kernel_base_vaddr + L.entry_stub.L.t_off + 0x10
+
+let return_site (h : L.text_range) =
+  L.kernel_base_vaddr + h.L.t_off + h.L.t_len - 8
 
 (* The 12 paper-ordered steps of [Domain_switch.switch], lifted for a
    domain-crossing switch under [cfg].  For a domain crossing,
@@ -103,15 +154,12 @@ let acc ?(must = true) what vaddr bytes kind =
    without, the fallback triggers), so the protection steps 3/7 are
    unconditional here; the stack copy (step 4) runs exactly when
    kernels are cloned. *)
-let lift (p : P.t) (cfg : C.t) =
+let lift_switch (p : P.t) (cfg : C.t) =
   let shared r = L.shared_vaddr + L.shared_region_off r in
   let ssize = L.shared_region_size in
   let base = L.kernel_base_vaddr in
   let lay = L.image_layout p in
   let r = Tp_hw.Defs.Read and w = Tp_hw.Defs.Write and f = Tp_hw.Defs.Fetch in
-  let step i name ?(flushes = []) accesses =
-    { s_index = i; s_name = name; s_accesses = accesses; s_flushes = flushes }
-  in
   let manual_l1 =
     cfg.flush_l1 && (not cfg.flush_llc) && not p.P.has_l1_flush_instr
   in
@@ -138,10 +186,28 @@ let lift (p : P.t) (cfg : C.t) =
           p.P.l1i.Tp_hw.Cache.size f;
       ]
   in
+  (* The tick handler's two scheduler scan loops: 32 iterations each
+     over the priority bitmap words, back edge taken then one
+     fall-through exit.  Long enough that the gshare history settles
+     to all-ones mid-run on every modelled platform, after which the
+     repeated updates land on one computed PHT index per site and pin
+     its prediction. *)
+  let tick_loop_a = base + L.handler_tick.L.t_off + 0x40 in
+  let tick_loop_b = base + L.handler_tick.L.t_off + 0x80 in
+  let tick_branches =
+    [
+      (tick_loop_a, true, 32);
+      (tick_loop_a, false, 1);
+      (tick_loop_b, true, 32);
+      (tick_loop_b, false, 1);
+    ]
+  in
   let live_stack = min 1024 lay.L.stack_size in
   [
-    step 1 "acquire-kernel-lock" [ acc "big-lock" (shared L.Big_lock) 8 w ];
-    step 2 "process-tick"
+    step 1 "acquire-kernel-lock"
+      ~jumps:[ dispatch_site ]
+      [ acc "big-lock" (shared L.Big_lock) 8 w ];
+    step 2 "process-tick" ~branches:tick_branches
       [
         acc "tick-handler-text"
           (base + L.handler_tick.L.t_off)
@@ -184,11 +250,101 @@ let lift (p : P.t) (cfg : C.t) =
        else []);
     step 10 "pad" [];
     step 11 "timer-reprogram" [ acc "irq-tables" (shared L.Irq_tables) 64 w ];
-    step 12 "return" [];
+    step 12 "return" ~jumps:[ return_site L.handler_tick ] [];
   ]
 
+(* [Clone.clone], lifted: capability validation, the ASID-table scan,
+   the coloured-pool image copy (text + stack + replicated data; the
+   frames come from the caller's pool, so source and destination
+   physical-window addresses are allocation-dependent — no coverage),
+   the clone handler's own text, idle-thread initialisation and the
+   CDT commit.  The copy loop's back edge is a fixed handler-text
+   site taken once per copied line. *)
+let lift_clone (p : P.t) (_cfg : C.t) =
+  let shared r = L.shared_vaddr + L.shared_region_off r in
+  let ssize = L.shared_region_size in
+  let base = L.kernel_base_vaddr in
+  let lay = L.image_layout p in
+  let r = Tp_hw.Defs.Read and w = Tp_hw.Defs.Write and f = Tp_hw.Defs.Fetch in
+  let copied = lay.L.text_size + lay.L.stack_size + lay.L.data_size in
+  let copy_loop = base + L.handler_clone.L.t_off + 0x40 in
+  [
+    step 1 "validate-caps"
+      ~jumps:[ dispatch_site ]
+      [ acc ~must:false "src-and-kmem-caps" 0 (2 * p.P.line) r ];
+    step 2 "alloc-asid"
+      [ acc "asid-table" (shared L.Asid_table) (ssize L.Asid_table) r ];
+    step 3 "image-copy"
+      ~branches:[ (copy_loop, true, copied / p.P.line); (copy_loop, false, 1) ]
+      [
+        (* Frames are user-allocated: the physical-window addresses of
+           both sides vary per clone — may-residency only. *)
+        acc ~must:false "image-copy-read" 0 copied r;
+        acc ~must:false "image-copy-write" 0 copied w;
+      ];
+    step 4 "clone-handler-text"
+      [
+        acc "clone-handler-text"
+          (base + L.handler_clone.L.t_off)
+          L.handler_clone.L.t_len f;
+      ];
+    step 5 "init-idle" [ acc ~must:false "idle-tcb" 0 (4 * p.P.line) w ];
+    step 6 "commit-cdt"
+      ~jumps:[ return_site L.handler_clone ]
+      [ acc ~must:false "cdt-slot" 0 p.P.line w ];
+  ]
+
+(* [Clone.destroy], lifted: capability validation, the destroy
+   handler's own text, IRQ disassociation and thread suspension (slot
+   choice depends on the dying domain — no coverage), the per-core
+   IPI-shootdown scan loop, and the ASID release + registry commit
+   (fixed shared-region writes, matching the execution's
+   [touch_shared] calls). *)
+let lift_destroy (p : P.t) (_cfg : C.t) =
+  let shared r = L.shared_vaddr + L.shared_region_off r in
+  let ssize = L.shared_region_size in
+  let base = L.kernel_base_vaddr in
+  let r = Tp_hw.Defs.Read and w = Tp_hw.Defs.Write and f = Tp_hw.Defs.Fetch in
+  let scan_loop = base + L.handler_destroy.L.t_off + 0x40 in
+  [
+    step 1 "validate-zombie"
+      ~jumps:[ dispatch_site ]
+      [ acc ~must:false "image-cap" 0 p.P.line r ];
+    step 2 "destroy-handler-text"
+      [
+        acc "destroy-handler-text"
+          (base + L.handler_destroy.L.t_off)
+          L.handler_destroy.L.t_len f;
+      ];
+    step 3 "detach-irqs"
+      [ acc ~must:false "irq-tables" (shared L.Irq_tables) 256 w ];
+    step 4 "suspend-threads"
+      [ acc ~must:false "sched-queue-slot" (shared L.Sched_queues) 16 w ];
+    step 5 "ipi-shootdown" ~flushes:[ "tlb-shootdown" ]
+      ~branches:[ (scan_loop, true, p.P.cores); (scan_loop, false, 1) ]
+      [ acc ~must:false "ipi-barrier" (shared L.Ipi_barrier) 8 w ];
+    step 6 "release-asid-commit"
+      ~jumps:[ return_site L.handler_destroy ]
+      [
+        acc "asid-table" (shared L.Asid_table) (ssize L.Asid_table) w;
+        acc "cur-pointers" (shared L.Cur_pointers) (ssize L.Cur_pointers) w;
+      ];
+  ]
+
+let lift ?(path = Switch) (p : P.t) (cfg : C.t) =
+  match path with
+  | Switch -> lift_switch p cfg
+  | Clone -> lift_clone p cfg
+  | Destroy -> lift_destroy p cfg
+
 (* ------------------------------------------------------------------ *)
-(* Set-wise must-coverage                                              *)
+(* Set-wise must-coverage — reference implementation                   *)
+
+(* The original (pre-lifecycle) switch-path coverage pass, kept as an
+   independent reference implementation: the differential test checks
+   that the unified {!Absint.cover_trace} back-end reproduces these
+   sums bit-for-bit on every lifted trace.  New code should use the
+   Absint back-end. *)
 
 let distinct_per_bucket pairs =
   (* [(bucket, id)] pairs -> bucket -> distinct-id count, as a sorted
@@ -243,7 +399,7 @@ type bound = {
   kb_channel : Certify.channel;
   kb_raw : int;  (** structural capacity: bits with no protection *)
   kb_covered : int;  (** ways pinned to public content by the trace *)
-  kb_bits : int;  (** certified per-switch bound *)
+  kb_bits : int;  (** certified per-execution bound *)
   kb_scrubbed : bool;
   kb_note : string;
 }
@@ -252,11 +408,15 @@ type cert = {
   k_platform : string;
   k_config_name : string;
   k_config : C.t;
+  k_path : path;
   k_steps : step list;
   k_bounds : bound list;
   k_timing_bits : int;
   k_pad_bound : int;
   k_pad_effective : int;
+  k_op_bound : int;
+      (** analytic duration bound of the lifecycle operation; 0 for
+          the (padded) switch path *)
   k_exhaustive : Certify.exhaustive_result option;
   k_exclusions : string list;
 }
@@ -266,14 +426,36 @@ let total_bits c = state_bits c + c.k_timing_bits
 
 let cache_lines (g : Tp_hw.Cache.geometry) = Tp_hw.Cache.sets g * g.ways
 
-let certify ?exhaustive (p : P.t) ~config_name (cfg : C.t) =
-  let steps = lift p cfg in
+let op_bound_of path (p : P.t) (cfg : C.t) =
+  match path with
+  | Switch -> 0
+  | Clone -> Lint.clone_bound p cfg
+  | Destroy -> Lint.destroy_bound p cfg
+
+let certify ?exhaustive ?(path = Switch) (p : P.t) ~config_name (cfg : C.t) =
+  let steps = lift ~path p cfg in
   let accs = List.concat_map (fun s -> s.s_accesses) steps in
-  let must = List.filter (fun a -> a.a_must) accs in
-  let data =
-    List.filter (fun a -> a.a_kind <> Tp_hw.Defs.Fetch) must
+  (* Unified back-end: the same abstract structures and touch/join
+     rules as the program-level analysis.  Fixed accesses earn must
+     facts granule by granule; variable accesses are may-residency
+     only. *)
+  let cov =
+    Absint.cover_trace p
+      (List.map
+         (fun a ->
+           {
+             Absint.ka_vaddr = a.a_vaddr;
+             ka_bytes = a.a_bytes;
+             ka_fetch = a.a_kind = Tp_hw.Defs.Fetch;
+             ka_fixed = a.a_must;
+           })
+         accs)
   in
-  let fetch = List.filter (fun a -> a.a_kind = Tp_hw.Defs.Fetch) must in
+  let branches = List.concat_map (fun s -> s.s_branches) steps in
+  let jumps = List.concat_map (fun s -> s.s_jumps) steps in
+  let bp_covered =
+    Absint.btb_coverage p.P.btb jumps + Absint.pht_coverage p.P.bhb branches
+  in
   (* Config-level partition claim; whether the booted allocation
      honours it is the linter's job (the TP-COLOUR and TP-CLONE
      rules), and the 3-domain exhaustive check exercises the coloured
@@ -299,35 +481,28 @@ let certify ?exhaustive (p : P.t) ~config_name (cfg : C.t) =
   let flush_note flag = Printf.sprintf "scrubbed on every switch (%s)" flag in
   let cover_note what =
     Printf.sprintf
-      "open: residue after the switch path's deterministic %s coverage" what
+      "open: residue after the path's deterministic %s coverage" what
   in
   let bounds =
     [
-      mk Certify.L1d (cache_lines p.P.l1d)
-        (covered_cache p.P.l1d data)
-        l1_closed
+      mk Certify.L1d (cache_lines p.P.l1d) cov.Absint.kc_l1d l1_closed
         (if l1_closed then flush_note "flush_l1" else cover_note "data-line");
-      mk Certify.L1i (cache_lines p.P.l1i)
-        (covered_cache p.P.l1i fetch)
-        l1_closed
+      mk Certify.L1i (cache_lines p.P.l1i) cov.Absint.kc_l1i l1_closed
         (if l1_closed then flush_note "flush_l1"
          else cover_note "instruction-line");
-      (let dpages = pages_of data and fpages = pages_of fetch in
-       mk Certify.Tlb
-         (p.P.itlb.entries + p.P.dtlb.entries + p.P.l2tlb.entries)
-         (covered_tlb p.P.dtlb dpages
-         + covered_tlb p.P.itlb fpages
-         + covered_tlb p.P.l2tlb (dpages @ fpages))
-         cfg.flush_tlb
-         (if cfg.flush_tlb then flush_note "flush_tlb"
-          else cover_note "translation"));
+      mk Certify.Tlb
+        (p.P.itlb.entries + p.P.dtlb.entries + p.P.l2tlb.entries)
+        (cov.Absint.kc_dtlb + cov.Absint.kc_itlb + cov.Absint.kc_l2tlb)
+        cfg.flush_tlb
+        (if cfg.flush_tlb then flush_note "flush_tlb"
+         else cover_note "translation");
       mk Certify.Bp
         (p.P.btb.entries + p.P.bhb.pht_entries)
-        0 cfg.flush_bp
+        bp_covered cfg.flush_bp
         (if cfg.flush_bp then flush_note "flush_bp"
          else
-           "open: branch-target hashing is not derivable from the \
-            layout, so the trace covers nothing");
+           "open: residue after BTB/PHT coverage of the path's \
+            deterministic branches through the modelled index hashes");
       (let raw = cap_l2 + cache_lines p.P.llc in
        let bits =
          (if l2_closed then 0 else cap_l2)
@@ -355,20 +530,35 @@ let certify ?exhaustive (p : P.t) ~config_name (cfg : C.t) =
     ]
   in
   let pad_bound = Lint.pad_bound p cfg in
-  let timing_bits =
+  let pad_slack =
     if cfg.pad_cycles < pad_bound then
       Certify.ceil_log2 (pad_bound - cfg.pad_cycles + 1)
     else 0
+  in
+  let op_bound = op_bound_of path p cfg in
+  (* The clone/destroy duration is visible to the caller (it is not
+     padded away like the switch).  From a fully scrubbed/partitioned
+     machine state the cost is deterministic — every sweep runs cold —
+     so it encodes nothing; otherwise it varies with the incoming
+     cache/TLB/BP state the configuration left open. *)
+  let op_deterministic =
+    l1_closed && l2_closed && llc_closed && cfg.flush_tlb && cfg.flush_bp
+  in
+  let op_entropy =
+    if path = Switch || op_deterministic then 0
+    else Certify.ceil_log2 (op_bound + 1)
   in
   {
     k_platform = p.P.name;
     k_config_name = config_name;
     k_config = cfg;
+    k_path = path;
     k_steps = steps;
     k_bounds = bounds;
-    k_timing_bits = timing_bits;
+    k_timing_bits = pad_slack + op_entropy;
     k_pad_bound = pad_bound;
     k_pad_effective = cfg.pad_cycles;
+    k_op_bound = op_bound;
     k_exhaustive = exhaustive;
     k_exclusions = Certify.exclusions;
   }
@@ -376,13 +566,19 @@ let certify ?exhaustive (p : P.t) ~config_name (cfg : C.t) =
 (* ------------------------------------------------------------------ *)
 (* Soundness canary                                                    *)
 
-let analytic_worst_bits (p : P.t) (cfg : C.t) =
+let timing_capacity ~path (p : P.t) (cfg : C.t) =
+  Certify.ceil_log2 (Lint.pad_bound p cfg + 1)
+  + (match path with
+    | Switch -> 0
+    | Clone | Destroy -> Certify.ceil_log2 (op_bound_of path p cfg + 1))
+
+let analytic_worst_bits ?(path = Switch) (p : P.t) (cfg : C.t) =
   let cap_l2 = match p.P.l2 with Some g -> cache_lines g | None -> 0 in
   cache_lines p.P.l1d + cache_lines p.P.l1i
   + (p.P.itlb.entries + p.P.dtlb.entries + p.P.l2tlb.entries)
   + (p.P.btb.entries + p.P.bhb.pht_entries)
   + cap_l2 + cache_lines p.P.llc
-  + Certify.ceil_log2 (Lint.pad_bound p cfg + 1)
+  + timing_capacity ~path p cfg
 
 let check_sound (p : P.t) (c : cert) =
   let bad =
@@ -396,15 +592,15 @@ let check_sound (p : P.t) (c : cert) =
         else None)
       c.k_bounds
   in
+  let tcap = timing_capacity ~path:c.k_path p c.k_config in
   let bad =
-    if c.k_timing_bits > Certify.ceil_log2 (c.k_pad_bound + 1) then
-      Printf.sprintf "timing: certified %d bits > pad-bound capacity %d"
-        c.k_timing_bits
-        (Certify.ceil_log2 (c.k_pad_bound + 1))
+    if c.k_timing_bits > tcap then
+      Printf.sprintf "timing: certified %d bits > pad+operation capacity %d"
+        c.k_timing_bits tcap
       :: bad
     else bad
   in
-  let worst = analytic_worst_bits p c.k_config in
+  let worst = analytic_worst_bits ~path:c.k_path p c.k_config in
   let bad =
     if total_bits c > worst then
       Printf.sprintf
@@ -417,20 +613,28 @@ let check_sound (p : P.t) (c : cert) =
     (fun msg ->
       Diag.error ~rule:Lint.rule_kcert_unsound
         ~context:
-          [ ("platform", c.k_platform); ("config", c.k_config_name) ]
+          [
+            ("platform", c.k_platform);
+            ("config", c.k_config_name);
+            ("path", path_slug c.k_path);
+          ]
         (Printf.sprintf
-           "kernel certificate for %s/%s exceeds its analytic envelope — \
+           "kernel certificate for %s/%s/%s exceeds its analytic envelope — \
             the certifier is unsound: %s"
-           c.k_platform c.k_config_name msg))
+           c.k_platform c.k_config_name (path_slug c.k_path) msg))
     bad
 
 let lint_crosscheck (p : P.t) ~config_name (cfg : C.t) =
-  check_sound p (certify p ~config_name cfg)
+  List.concat_map
+    (fun path -> check_sound p (certify ~path p ~config_name cfg))
+    all_paths
 
 (* ------------------------------------------------------------------ *)
 (* Diagnostics                                                         *)
 
-let subject c = Printf.sprintf "certify-kernel %s %s" c.k_platform c.k_config_name
+let subject c =
+  Printf.sprintf "certify-kernel %s %s %s" c.k_platform c.k_config_name
+    (path_slug c.k_path)
 
 let report (c : cert) =
   let findings =
@@ -442,16 +646,17 @@ let report (c : cert) =
             (Diag.error ~rule:(channel_rule b.kb_channel)
                ~context:
                  [
+                   ("path", path_slug c.k_path);
                    ("bits", string_of_int b.kb_bits);
                    ("raw_bits", string_of_int b.kb_raw);
                    ("covered", string_of_int b.kb_covered);
                    ("note", b.kb_note);
                  ]
                (Printf.sprintf
-                  "%s channel not closed across the kernel switch: certified \
+                  "%s channel not closed across the kernel %s path: certified \
                    bound %d bits (%s)"
                   (Certify.channel_name b.kb_channel)
-                  b.kb_bits b.kb_note)))
+                  (path_slug c.k_path) b.kb_bits b.kb_note)))
       c.k_bounds
   in
   let findings =
@@ -462,14 +667,18 @@ let report (c : cert) =
           Diag.error ~rule:rule_pad_timing
             ~context:
               [
+                ("path", path_slug c.k_path);
                 ("bits", string_of_int c.k_timing_bits);
                 ("pad_effective", string_of_int c.k_pad_effective);
                 ("pad_bound", string_of_int c.k_pad_bound);
+                ("op_bound", string_of_int c.k_op_bound);
               ]
             (Printf.sprintf
-               "kernel switch underpadded: configured pad %d < worst-case %d \
-                \xe2\x87\x92 up to %d timing bits per switch"
-               c.k_pad_effective c.k_pad_bound c.k_timing_bits);
+               "kernel %s path timing not closed: pad %d vs bound %d, \
+                operation bound %d \xe2\x87\x92 up to %d timing bits per \
+                execution"
+               (path_slug c.k_path) c.k_pad_effective c.k_pad_bound
+               c.k_op_bound c.k_timing_bits);
         ]
   in
   let findings =
@@ -479,9 +688,9 @@ let report (c : cert) =
         @ [
             Diag.error ~rule:rule_xcheck
               (Printf.sprintf
-                 "kernel certificate claims 0 bits but the %d-domain \
+                 "kernel %s-path certificate claims 0 bits but the %d-domain \
                   small-scope check found a distinguishing schedule (%s) on %s"
-                 r.Certify.ex_domains
+                 (path_slug c.k_path) r.Certify.ex_domains
                  (match r.Certify.ex_counterexample with
                  | Some cx -> cx.Certify.cx_schedule
                  | None -> "?")
@@ -493,7 +702,7 @@ let report (c : cert) =
 
 let pp ppf (c : cert) =
   Format.fprintf ppf
-    "%s: certified per-switch leakage bound %d bits (%s)@." (subject c)
+    "%s: certified per-execution leakage bound %d bits (%s)@." (subject c)
     (total_bits c)
     (if total_bits c = 0 then "tight: noninterference" else "residue");
   List.iter
@@ -502,8 +711,8 @@ let pp ppf (c : cert) =
         (Certify.channel_name b.kb_channel)
         b.kb_bits b.kb_raw b.kb_covered b.kb_note)
     c.k_bounds;
-  Format.fprintf ppf "  %-16s %5d bits (pad %d vs bound %d)@." "timing"
-    c.k_timing_bits c.k_pad_effective c.k_pad_bound;
+  Format.fprintf ppf "  %-16s %5d bits (pad %d vs bound %d, op bound %d)@."
+    "timing" c.k_timing_bits c.k_pad_effective c.k_pad_bound c.k_op_bound;
   (match c.k_exhaustive with
   | None -> ()
   | Some r ->
@@ -515,8 +724,8 @@ let pp ppf (c : cert) =
         (match r.Certify.ex_counterexample with
         | None -> "pass"
         | Some cx -> "COUNTEREXAMPLE " ^ cx.Certify.cx_schedule));
-  Format.fprintf ppf "  steps: %d (lifted from Domain_switch.switch)@."
-    (List.length c.k_steps)
+  Format.fprintf ppf "  steps: %d (lifted from the kernel %s path)@."
+    (List.length c.k_steps) (path_slug c.k_path)
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic artifact JSON + digest                                *)
@@ -533,12 +742,19 @@ let access_json a =
     a.a_must
 
 let step_json s =
-  Printf.sprintf "{\"index\":%d,\"name\":\"%s\",\"flushes\":[%s],\"accesses\":[%s]}"
+  Printf.sprintf
+    "{\"index\":%d,\"name\":\"%s\",\"flushes\":[%s],\"accesses\":[%s],\"branches\":[%s],\"jumps\":[%s]}"
     s.s_index
     (Diag.json_escape s.s_name)
     (String.concat ","
        (List.map (fun fl -> "\"" ^ Diag.json_escape fl ^ "\"") s.s_flushes))
     (String.concat "," (List.map access_json s.s_accesses))
+    (String.concat ","
+       (List.map
+          (fun (site, taken, n) -> Printf.sprintf "[\"0x%x\",%b,%d]" site taken n)
+          s.s_branches))
+    (String.concat ","
+       (List.map (fun site -> Printf.sprintf "\"0x%x\"" site) s.s_jumps))
 
 let bound_json b =
   Printf.sprintf
@@ -559,12 +775,13 @@ let config_json (cfg : C.t) =
    records a digest per trial) still computes the identical digest. *)
 let core_json (c : cert) =
   Printf.sprintf
-    "{\"schema\":\"%s\",\"platform\":\"%s\",\"config_name\":\"%s\",\"config\":%s,\"certified_bits\":%d,\"state_bits\":%d,\"timing_bits\":%d,\"pad_effective\":%d,\"pad_bound\":%d,\"channels\":[%s],\"steps\":[%s],\"exclusions\":[%s]}"
+    "{\"schema\":\"%s\",\"platform\":\"%s\",\"config_name\":\"%s\",\"path\":\"%s\",\"config\":%s,\"certified_bits\":%d,\"state_bits\":%d,\"timing_bits\":%d,\"pad_effective\":%d,\"pad_bound\":%d,\"op_bound\":%d,\"channels\":[%s],\"steps\":[%s],\"exclusions\":[%s]}"
     (Diag.json_escape schema)
     (Diag.json_escape c.k_platform)
     (Diag.json_escape c.k_config_name)
+    (Diag.json_escape (path_slug c.k_path))
     (config_json c.k_config) (total_bits c) (state_bits c) c.k_timing_bits
-    c.k_pad_effective c.k_pad_bound
+    c.k_pad_effective c.k_pad_bound c.k_op_bound
     (String.concat "," (List.map bound_json c.k_bounds))
     (String.concat "," (List.map step_json c.k_steps))
     (String.concat ","
@@ -582,4 +799,6 @@ let to_json (c : cert) =
         Printf.sprintf "\"exhaustive\":%s," (Certify.exhaustive_to_json r))
     (digest c)
 
-let artifact_name c = Printf.sprintf "%s-%s.cert.json" c.k_platform c.k_config_name
+let artifact_name c =
+  Printf.sprintf "%s-%s-%s.cert.json" c.k_platform c.k_config_name
+    (path_slug c.k_path)

@@ -1,23 +1,36 @@
-(** Kernel switch-path certifier ([tpsim certify --kernel]).
+(** Kernel lifecycle certifier ([tpsim certify --kernel]).
 
-    Lifts the paper-ordered 12-step
-    [Tp_kernel.Domain_switch.switch] sequence into an analysable
-    access trace ({!lift}) and abstract-interprets it with set-wise
-    {e must-coverage}: deterministic accesses at layout-fixed virtual
-    addresses pin ways of the virtually-indexed structures to public
-    content, and the certified per-switch residue of each channel is
-    its structural capacity minus that coverage — or 0 when the
+    Lifts the three kernel lifecycle paths — the paper-ordered 12-step
+    [Tp_kernel.Domain_switch.switch] sequence, the image clone
+    ([Tp_kernel.Clone.clone]) and its teardown
+    ([Tp_kernel.Clone.destroy]) — into analysable access traces
+    ({!lift}) and abstract-interprets them with set-wise
+    {e must-coverage} through the unified {!Absint} kernel-trace
+    back-end: deterministic accesses at layout-fixed virtual addresses
+    pin ways of the virtually-indexed structures to public content,
+    and the certified per-execution residue of each channel is its
+    structural capacity minus that coverage — or 0 when the
     configuration closes the channel (flush or spatial partition).
     Variable-address accesses contribute no coverage;
-    physically-indexed caches and the branch predictor get zero
-    coverage (sound under-approximation).
+    physically-indexed caches get zero coverage (sound
+    under-approximation).  The branch predictor earns coverage through
+    the model's own index hashes ({!Tp_hw.Btb.set_of_addr},
+    {!Tp_hw.Bhb.index_of}) from each path's deterministic jump sites
+    and run-length-encoded conditional-branch trace.
 
-    Cross-validated two ways: {!Certify.exhaustive3} (observational
-    determinism under all 3-domain schedules of the shrunken machine,
-    [CERT-K-XCHECK-EXHAUSTIVE] on contradiction) and {!check_sound}
-    (the certificate must stay inside its [Tp_hw.Bounds]-derived
-    analytic envelope, [TP-KCERT-UNSOUND] otherwise — the linter runs
-    this per platform/config).
+    Clone/destroy certificates also carry the operation's analytic
+    duration bound ([k_op_bound]): their latency is caller-visible, so
+    with stateful channels left open it contributes
+    [ceil_log2 (bound + 1)] timing bits, and with every channel
+    scrubbed/partitioned it is deterministic and contributes none.
+
+    Cross-validated two ways: {!Certify.exhaustive3_path}
+    (observational determinism under all 3-domain schedules of the
+    shrunken machine with the neighbour performing this path's
+    operation, [CERT-K-XCHECK-EXHAUSTIVE] on contradiction) and
+    {!check_sound} (the certificate must stay inside its
+    [Tp_hw.Bounds]-derived analytic envelope, [TP-KCERT-UNSOUND]
+    otherwise — the linter runs this per platform/config/path).
 
     Certificates serialise to deterministic, content-digested JSON
     ({!to_json}); the digest covers everything {e except} the
@@ -25,7 +38,8 @@
     trials with the same digest without model checking. *)
 
 val schema : string
-(** ["tpsim-kcert/1"], embedded in every artifact. *)
+(** ["tpsim-kcert/2"], embedded in every artifact.  v2 added the
+    [path] / [op_bound] fields and per-step [branches] / [jumps]. *)
 
 (** {1 Rule identifiers} *)
 
@@ -36,8 +50,9 @@ val rule_btb_residue : string
 val rule_llc_residue : string
 
 val rule_pad_timing : string
-(** ["CERT-K-PAD-TIMING"]: configured pad below the analytic
-    worst-case switch cost. *)
+(** ["CERT-K-PAD-TIMING"]: residual timing bits — configured pad below
+    the analytic worst-case switch cost, or an unscrubbed lifecycle
+    operation's state-dependent duration. *)
 
 val rule_xcheck : string
 (** ["CERT-K-XCHECK-EXHAUSTIVE"]: a 0-bit kernel certificate
@@ -45,7 +60,17 @@ val rule_xcheck : string
 
 val channel_rule : Certify.channel -> string
 
-(** {1 The lifted switch trace} *)
+(** {1 Paths} *)
+
+type path = Certify.kernel_path = Switch | Clone | Destroy
+
+val path_slug : path -> string
+(** ["switch"] / ["clone"] / ["destroy"]. *)
+
+val all_paths : path list
+(** [[Switch; Clone; Destroy]] — the full certification matrix. *)
+
+(** {1 The lifted traces} *)
 
 type access = {
   a_what : string;
@@ -53,22 +78,43 @@ type access = {
   a_bytes : int;
   a_kind : Tp_hw.Defs.access_kind;
   a_must : bool;
-      (** address identical on every switch: counts toward coverage *)
+      (** address identical on every execution: counts toward coverage *)
 }
 
 type step = {
-  s_index : int;  (** 1-based paper step number *)
+  s_index : int;  (** 1-based step number (paper order for the switch) *)
   s_name : string;
   s_accesses : access list;
-  s_flushes : string list;  (** step 8's flush operations, by name *)
+  s_flushes : string list;  (** flush operations, by name *)
+  s_branches : (int * bool * int) list;
+      (** deterministic conditional branches, RLE [(site, taken, repeat)] *)
+  s_jumps : int list;  (** fixed taken-jump sites (BTB coverage) *)
 }
 
-val lift : Tp_hw.Platform.t -> Tp_kernel.Config.t -> step list
-(** The 12 steps of a domain-crossing switch under this configuration,
-    with the exact accesses [Domain_switch.switch] performs at the
-    virtual addresses [Tp_kernel.Layout] fixes.  The x86 manual L1
-    flush appears as its real flush-buffer sweep, so its scrubbing
-    effect is derived from coverage rather than asserted. *)
+val lift : ?path:path -> Tp_hw.Platform.t -> Tp_kernel.Config.t -> step list
+(** The lifted trace of the given path (default [Switch]) under this
+    configuration: the 12 steps of a domain-crossing switch, the 6
+    steps of a clone, or the 6 steps of a destroy, with the exact
+    accesses the implementation performs at the virtual addresses
+    [Tp_kernel.Layout] fixes.  The x86 manual L1 flush appears as its
+    real flush-buffer sweep, so its scrubbing effect is derived from
+    coverage rather than asserted. *)
+
+(** {1 Reference coverage (differential-test oracle)} *)
+
+val covered_cache : Tp_hw.Cache.geometry -> access list -> int
+(** The original standalone set-wise must-coverage of a cache by a
+    (pre-filtered, must-only) access list.  Kept as an independent
+    reference implementation: the differential test checks that the
+    unified {!Absint.cover_trace} back-end reproduces it bit-for-bit.
+    New code should use the Absint back-end. *)
+
+val covered_tlb : Tp_hw.Tlb.geometry -> int list -> int
+(** Reference TLB coverage from a virtual-page-number list. *)
+
+val pages_of : access list -> int list
+(** Virtual page numbers overlapped by the accesses (with
+    duplicates). *)
 
 (** {1 Certificates} *)
 
@@ -76,7 +122,7 @@ type bound = {
   kb_channel : Certify.channel;
   kb_raw : int;  (** structural capacity: bits with no protection *)
   kb_covered : int;  (** ways pinned to public content by the trace *)
-  kb_bits : int;  (** certified per-switch bound *)
+  kb_bits : int;  (** certified per-execution bound *)
   kb_scrubbed : bool;
   kb_note : string;
 }
@@ -85,11 +131,16 @@ type cert = {
   k_platform : string;
   k_config_name : string;  (** scenario slug, e.g. ["protected"] *)
   k_config : Tp_kernel.Config.t;
+  k_path : path;
   k_steps : step list;
   k_bounds : bound list;
   k_timing_bits : int;
   k_pad_bound : int;
   k_pad_effective : int;
+  k_op_bound : int;
+      (** analytic duration bound of the lifecycle operation
+          ({!Lint.clone_bound} / {!Lint.destroy_bound}); 0 for the
+          (padded) switch path *)
   k_exhaustive : Certify.exhaustive_result option;
   k_exclusions : string list;
 }
@@ -99,33 +150,38 @@ val total_bits : cert -> int
 
 val certify :
   ?exhaustive:Certify.exhaustive_result ->
+  ?path:path ->
   Tp_hw.Platform.t ->
   config_name:string ->
   Tp_kernel.Config.t ->
   cert
-(** Certify the switch path for one (platform, configuration).  Pure:
-    no machine traffic.  Pass [exhaustive] (from
-    {!Certify.exhaustive3}) to embed the cross-validation result in
-    the certificate (outside the digest). *)
+(** Certify one (platform, configuration, path) — [path] defaults to
+    [Switch].  Pure: no machine traffic.  Pass [exhaustive] (from
+    {!Certify.exhaustive3_path} with the same path) to embed the
+    cross-validation result in the certificate (outside the
+    digest). *)
 
 (** {1 Soundness canary} *)
 
-val analytic_worst_bits : Tp_hw.Platform.t -> Tp_kernel.Config.t -> int
+val analytic_worst_bits :
+  ?path:path -> Tp_hw.Platform.t -> Tp_kernel.Config.t -> int
 (** The analytic envelope: every channel at full structural capacity
-    plus the pad-slack capacity of {!Lint.pad_bound}.  No sound
+    plus the pad-slack capacity of {!Lint.pad_bound} and (for
+    clone/destroy) the operation-duration capacity.  No sound
     certificate can exceed it. *)
 
 val check_sound : Tp_hw.Platform.t -> cert -> Diag.finding list
 (** [TP-KCERT-UNSOUND] findings when the certificate escapes its
     envelope: a channel above its structural capacity, timing bits
-    above the pad-bound capacity, or the total above
-    {!analytic_worst_bits}.  Empty on every sound certificate. *)
+    above the pad+operation capacity, or the total above
+    {!analytic_worst_bits} for the certificate's path.  Empty on every
+    sound certificate. *)
 
 val lint_crosscheck :
   Tp_hw.Platform.t -> config_name:string -> Tp_kernel.Config.t ->
   Diag.finding list
-(** {!certify} then {!check_sound} — the linter's per-configuration
-    unsoundness canary. *)
+(** {!certify} then {!check_sound} for {e all three} paths — the
+    linter's per-configuration unsoundness canary. *)
 
 (** {1 Diagnostics} *)
 
@@ -140,9 +196,9 @@ val pp : Format.formatter -> cert -> unit
 (** {1 Deterministic artifact JSON + digest} *)
 
 val core_json : cert -> string
-(** The digested payload: schema, platform, config, bits, per-channel
-    bounds, the lifted steps and the exclusions — everything except
-    the exhaustive block. *)
+(** The digested payload: schema, platform, config, path, bits,
+    per-channel bounds, the lifted steps (with branches and jumps) and
+    the exclusions — everything except the exhaustive block. *)
 
 val digest : cert -> string
 (** MD5 hex of {!core_json}.  Identical whether or not the exhaustive
@@ -153,4 +209,4 @@ val to_json : cert -> string
     {!digest} — the golden-certificate artifact format. *)
 
 val artifact_name : cert -> string
-(** ["<platform>-<config_name>.cert.json"]. *)
+(** ["<platform>-<config_name>-<path>.cert.json"]. *)

@@ -57,6 +57,53 @@ let pad_bound p cfg =
   List.fold_left (fun acc (_, c) -> acc + c) 0 (pad_bound_breakdown p cfg)
 
 (* ------------------------------------------------------------------ *)
+(* Analytic lifecycle bounds (clone / destroy)                         *)
+
+(* Worst-case Clone.clone cost: a cold sweep of every footprint
+   component (the copy loop's read and write sides dominate).  The
+   coloured flag matters: a coloured pool restricts the copy to the
+   domain's colours, which costs extra DRAM row misses exactly as the
+   switch-footprint sweep does. *)
+(* Dirty-victim write-backs a footprint's demand sweeps can trigger —
+   the sweeps themselves only charge the lines they bring in. *)
+let eviction_component p footprint =
+  let line = p.Tp_hw.Platform.line in
+  let lines =
+    List.fold_left (fun acc (_, bytes) -> acc + ((bytes + line - 1) / line)) 0
+      footprint
+  in
+  ("dirty-evictions", Tp_hw.Bounds.eviction_wb_bound p ~lines)
+
+let clone_bound_breakdown p (cfg : Config.t) =
+  let coloured = cfg.Config.colour_user in
+  List.map
+    (fun (name, bytes) -> (name, Tp_hw.Bounds.sweep_cycles ~coloured p ~bytes ()))
+    (Layout.clone_footprint p)
+  @ [ eviction_component p (Layout.clone_footprint p) ]
+
+let clone_bound p cfg =
+  List.fold_left (fun acc (_, c) -> acc + c) 0 (clone_bound_breakdown p cfg)
+
+(* Worst-case Clone.destroy cost: cold sweeps of the teardown footprint
+   plus the fixed costs the sweeps cannot see — the IPI round-trip
+   stall per remote core, every core's TLB shootdown, and the registry
+   bookkeeping ({!Tp_hw.Bounds}). *)
+let destroy_bound_breakdown p (cfg : Config.t) =
+  let coloured = cfg.Config.colour_user in
+  List.map
+    (fun (name, bytes) -> (name, Tp_hw.Bounds.sweep_cycles ~coloured p ~bytes ()))
+    (Layout.destroy_footprint p)
+  @ [
+      eviction_component p (Layout.destroy_footprint p);
+      ("ipi-stall", p.Tp_hw.Platform.cores * 2 * Tp_hw.Bounds.ipi_cost);
+      ("tlb-shootdown", p.Tp_hw.Platform.cores * Tp_hw.Bounds.tlb_flush_bound p);
+      ("bookkeeping", Tp_hw.Bounds.destroy_bookkeeping_cost);
+    ]
+
+let destroy_bound p cfg =
+  List.fold_left (fun acc (_, c) -> acc + c) 0 (destroy_bound_breakdown p cfg)
+
+(* ------------------------------------------------------------------ *)
 (* Views                                                               *)
 
 type kernel_view = {

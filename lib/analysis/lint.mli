@@ -82,6 +82,30 @@ val pad_bound : Tp_hw.Platform.t -> Tp_kernel.Config.t -> int
 val pad_bound_breakdown : Tp_hw.Platform.t -> Tp_kernel.Config.t -> (string * int) list
 (** The bound's components, for diagnostics ([(component, cycles)]). *)
 
+(** {2 Lifecycle bounds}
+
+    Analytic worst-case costs of the other two kernel lifecycle paths,
+    feeding the clone/destroy kernel certificates
+    ({!Tp_analysis.Kcert}): a duration bound turns into the timing
+    entropy [ceil_log2 (bound + 1)] when the path's cost can vary. *)
+
+val clone_bound : Tp_hw.Platform.t -> Tp_kernel.Config.t -> int
+(** Worst-case [Clone.clone] cost: cold sweeps of
+    {!Tp_kernel.Layout.clone_footprint} (the image copy loop's read and
+    write sides dominate), coloured-pool aware. *)
+
+val clone_bound_breakdown :
+  Tp_hw.Platform.t -> Tp_kernel.Config.t -> (string * int) list
+
+val destroy_bound : Tp_hw.Platform.t -> Tp_kernel.Config.t -> int
+(** Worst-case [Clone.destroy] cost: cold sweeps of
+    {!Tp_kernel.Layout.destroy_footprint} plus the fixed per-core IPI
+    stalls, TLB shootdowns and registry bookkeeping from
+    {!Tp_hw.Bounds}. *)
+
+val destroy_bound_breakdown :
+  Tp_hw.Platform.t -> Tp_kernel.Config.t -> (string * int) list
+
 (** {1 Views} *)
 
 type kernel_view = {

@@ -11,6 +11,17 @@ type t = {
   st_flushes : Tp_obs.Counter.t;
 }
 
+(* 2-bit saturating counters: reset value (weakly not-taken) and the
+   predict-taken threshold, exposed for the certifier's PHT-interval
+   abstraction. *)
+let init_counter = 1
+let taken_threshold = 2
+
+(* The pure gshare index hash, exposed so the certifier can fold a
+   lifted branch trace through the same placement function. *)
+let index_of g ~history addr =
+  (history lxor (addr lsr 2)) land (g.pht_entries - 1)
+
 let create ?(name = "bhb") g =
   assert (Defs.is_pow2 g.pht_entries);
   assert (g.history_bits > 0 && g.history_bits < 30);
@@ -18,20 +29,19 @@ let create ?(name = "bhb") g =
   let st_predicted = Tp_obs.Counter.counter st "predicted" in
   let st_mispredicted = Tp_obs.Counter.counter st "mispredicted" in
   let st_flushes = Tp_obs.Counter.counter st "flushes" in
-  { g; pht = Array.make g.pht_entries 1; history = 0; st; st_predicted;
-    st_mispredicted; st_flushes }
+  { g; pht = Array.make g.pht_entries init_counter; history = 0; st;
+    st_predicted; st_mispredicted; st_flushes }
 
 let counters t = t.st
 
 type result = Predicted | Mispredicted
 
-let index t addr =
-  (t.history lxor (addr lsr 2)) land (t.g.pht_entries - 1)
+let index t addr = index_of t.g ~history:t.history addr
 
 let branch t ~addr ~taken =
   let i = index t addr in
   let c = t.pht.(i) in
-  let predicted_taken = c >= 2 in
+  let predicted_taken = c >= taken_threshold in
   let result = if predicted_taken = taken then Predicted else Mispredicted in
   (match result with
   | Predicted -> Tp_obs.Counter.incr t.st_predicted
@@ -44,5 +54,5 @@ let branch t ~addr ~taken =
 
 let flush t =
   Tp_obs.Counter.incr t.st_flushes;
-  Array.fill t.pht 0 (Array.length t.pht) 1;
+  Array.fill t.pht 0 (Array.length t.pht) init_counter;
   t.history <- 0

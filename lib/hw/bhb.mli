@@ -12,6 +12,18 @@ type geometry = {
   pht_entries : int;  (** pattern history table size; power of two *)
 }
 
+val init_counter : int
+(** Counter reset value (weakly not-taken). *)
+
+val taken_threshold : int
+(** Counters at or above this predict taken. *)
+
+val index_of : geometry -> history:int -> int -> int
+(** The pure gshare index hash
+    [(history lxor (addr lsr 2)) land (pht_entries - 1)] — the same
+    placement function {!branch} uses, exposed so the certifier can
+    fold a lifted branch trace through it. *)
+
 type t
 
 val create : ?name:string -> geometry -> t

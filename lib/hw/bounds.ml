@@ -89,3 +89,37 @@ let l2_flush_bound (p : Platform.t) =
 let llc_flush_bound (p : Platform.t) = flush_cost ~dirty:true p.Platform.llc
 let tlb_flush_bound (_ : Platform.t) = Machine.tlb_flush_cost
 let bp_flush_bound (_ : Platform.t) = Machine.bp_flush_cost
+
+(* A demand access that allocates can evict a dirty victim at every
+   cache level it passes through (Machine charges wb_cost_per_line per
+   level on eviction).  The flush bounds above charge their own
+   writebacks; a sweep of [lines] demand accesses must also budget the
+   victims'. *)
+let hierarchy_levels (p : Platform.t) =
+  2 + match p.Platform.l2 with Some _ -> 1 | None -> 0
+
+let eviction_wb_bound (p : Platform.t) ~lines =
+  lines * hierarchy_levels p * Machine.wb_cost_per_line
+
+(* Fixed costs of the kernel lifecycle operations.  This is the single
+   table both sides read: Tp_kernel.Domain_switch / Tp_kernel.Clone
+   charge these exact constants when executing, and the analytic
+   envelopes here and in Tp_analysis.Lint sum the same names — so the
+   executed sequence and its certified bound cannot silently drift. *)
+
+let lock_cost = 30
+let timer_reprogram_cost = 60
+let return_cost = 40
+let dram_close_cost = 100
+
+(* Lock acquire + release, timer reprogram, return-from-kernel: the
+   unconditional per-switch overhead outside any flush or sweep. *)
+let switch_fixed_overhead = (2 * lock_cost) + timer_reprogram_cost + return_cost
+
+(* Inter-processor interrupt round trip: the destroy path stalls both
+   the initiating and each remote core for one IPI while remote TLBs
+   are shot down. *)
+let ipi_cost = 1500
+
+(* Capability/registry bookkeeping charged at the end of a destroy. *)
+let destroy_bookkeeping_cost = 400

@@ -61,3 +61,40 @@ val llc_flush_bound : Platform.t -> int
 
 val tlb_flush_bound : Platform.t -> int
 val bp_flush_bound : Platform.t -> int
+
+val eviction_wb_bound : Platform.t -> lines:int -> int
+(** Worst-case dirty-victim write-back cost of [lines] demand accesses:
+    each allocation can evict a dirty line at every level of the cache
+    hierarchy.  The flush bounds charge their own write-backs; sweeps
+    must budget the victims' separately. *)
+
+(** {2 Lifecycle cost table}
+
+    The fixed cycle costs of the kernel lifecycle operations, shared
+    between the executing kernel ({!Tp_kernel.Domain_switch},
+    {!Tp_kernel.Clone} alias them) and the analytic envelopes
+    ({!Tp_analysis.Lint}, {!Tp_analysis.Kcert} sum them) — one table,
+    so the certified bound cannot drift from the executed sequence. *)
+
+val lock_cost : int
+(** Acquire or release the big kernel lock once. *)
+
+val timer_reprogram_cost : int
+(** Reprogram the preemption timer for the incoming domain. *)
+
+val return_cost : int
+(** Return-from-kernel trap overhead. *)
+
+val dram_close_cost : int
+(** Close all open DRAM rows (the pad's deterministic-DRAM step). *)
+
+val switch_fixed_overhead : int
+(** [2*lock + timer_reprogram + return]: the unconditional per-switch
+    overhead outside any flush or sweep. *)
+
+val ipi_cost : int
+(** One inter-processor-interrupt round trip (destroy's TLB shootdown
+    stalls initiator and remote for one each). *)
+
+val destroy_bookkeeping_cost : int
+(** Capability/registry bookkeeping at the end of a destroy. *)

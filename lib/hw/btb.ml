@@ -19,6 +19,12 @@ type t = {
    the index so consecutive branch slots map to consecutive sets. *)
 let index_shift = 2
 
+let geometry_sets g = g.entries / g.ways
+
+(* The pure index hash, exposed so the certifier can fold a lifted
+   branch trace through the same placement function the model uses. *)
+let set_of_addr g addr = (addr lsr index_shift) land (geometry_sets g - 1)
+
 let create ?(name = "btb") g =
   assert (Defs.is_pow2 g.entries && Defs.is_pow2 g.ways);
   let n_sets = g.entries / g.ways in

@@ -9,6 +9,17 @@
 
 type geometry = { entries : int; ways : int }
 
+val index_shift : int
+(** Branch addresses are indexed at 4-byte granularity. *)
+
+val geometry_sets : geometry -> int
+(** Number of sets ([entries / ways]). *)
+
+val set_of_addr : geometry -> int -> int
+(** The pure index hash [(addr lsr index_shift) land (sets - 1)] — the
+    same placement function {!branch} uses, exposed so the certifier
+    can fold a lifted branch trace through it. *)
+
 type t
 
 val create : ?name:string -> geometry -> t

@@ -126,9 +126,8 @@ let no_scrub =
   }
 
 (* Same fixed cost Tp_kernel.Domain_switch charges for the hypothetical
-   precharge-all operation; lib/hw cannot see the kernel layer, so the
-   constant is duplicated here and tied down by a test. *)
-let dram_close_cost = 100
+   precharge-all operation, read from the shared lifecycle cost table. *)
+let dram_close_cost = Bounds.dram_close_cost
 
 let apply m ~core s =
   let cost = ref 0 in
@@ -165,3 +164,49 @@ let bound (p : Platform.t) s =
   + (if s.sc_flush_tlb then Bounds.tlb_flush_bound p else 0)
   + (if s.sc_flush_bp then Bounds.bp_flush_bound p else 0)
   + if s.sc_close_dram then dram_close_cost else 0
+
+(* ------------------------------------------------------------------ *)
+(* Machine-level lifecycle operations                                  *)
+
+(* The per-path exhaustive check replaces the neutral neighbour turn
+   with a machine-level image of the kernel operation under test.  The
+   ops are deliberately sequential (whole-page read sweep, then a
+   whole-page write sweep) so the analytic bounds below — built from
+   the same sequential Bounds.sweep model the pad bound uses — dominate
+   them on any reachable machine state. *)
+
+let clone_op m ~core ~asid ~src ~dst =
+  let p = Machine.platform m in
+  let line = p.Platform.line in
+  let lines = page / line in
+  let cost = ref 0 in
+  for i = 0 to lines - 1 do
+    let a = src + (i * line) in
+    cost := !cost + Machine.access m ~core ~asid ~vaddr:a ~paddr:a ~kind:Defs.Read ()
+  done;
+  for i = 0 to lines - 1 do
+    let a = dst + (i * line) in
+    cost := !cost + Machine.access m ~core ~asid ~vaddr:a ~paddr:a ~kind:Defs.Write ()
+  done;
+  !cost
+
+let clone_op_bound (p : Platform.t) =
+  let lines = 2 * (page / p.Platform.line) in
+  (2 * Bounds.sweep_cycles p ~bytes:page ())
+  + Bounds.eviction_wb_bound p ~lines
+
+let destroy_op m ~core ~asid ~barrier =
+  let cost = ref 0 in
+  cost :=
+    !cost
+    + Machine.access m ~core ~asid ~vaddr:barrier ~paddr:barrier
+        ~kind:Defs.Write ();
+  cost := !cost + Machine.flush_tlbs m ~core;
+  Machine.add_cycles m ~core Bounds.ipi_cost;
+  cost := !cost + Bounds.ipi_cost;
+  !cost
+
+let destroy_op_bound (p : Platform.t) =
+  Bounds.sweep_cycles p ~bytes:p.Platform.line ()
+  + Bounds.eviction_wb_bound p ~lines:1
+  + Bounds.tlb_flush_bound p + Bounds.ipi_cost

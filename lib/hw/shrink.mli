@@ -66,3 +66,27 @@ val bound : Platform.t -> scrub -> int
 (** Worst-case cost of {!apply} from {!Bounds}: dominates the exact
     cost of any scrub on any reachable machine state (the
     Bounds-domination property test exercises this). *)
+
+(** {1 Lifecycle operations}
+
+    Machine-level images of the kernel clone/destroy paths, used by the
+    per-path exhaustive cross-check: the neutral neighbour turn is
+    replaced with the operation under test.  Both are sequential sweeps
+    so the analytic [*_op_bound] (built from {!Bounds.sweep}) dominates
+    them on any reachable machine state. *)
+
+val clone_op : Machine.t -> core:int -> asid:int -> src:int -> dst:int -> int
+(** The coloured-pool copy loop of [Clone.clone], shrunk to one page:
+    a read sweep of the page at [src] followed by a write sweep of the
+    page at [dst].  Returns the cycles charged. *)
+
+val clone_op_bound : Platform.t -> int
+(** Analytic worst case of {!clone_op}. *)
+
+val destroy_op : Machine.t -> core:int -> asid:int -> barrier:int -> int
+(** The teardown of [Clone.destroy], shrunk: one write to the IPI
+    barrier line at [barrier], a TLB shootdown, and the fixed
+    {!Bounds.ipi_cost} stall.  Returns the cycles charged. *)
+
+val destroy_op_bound : Platform.t -> int
+(** Analytic worst case of {!destroy_op}. *)

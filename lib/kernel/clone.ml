@@ -100,6 +100,9 @@ let clone sys ~core ~src ~kmem =
      ASID and unwinds every published side effect, so a failed clone
      leaves no residual kernel, CDT edge or Kernel_Memory binding. *)
   Txn.run @@ fun txn ->
+  (* ASID allocation scans the shared first-level ASID table — the
+     lifted clone trace (Tp_analysis.Kcert) models this same read. *)
+  ignore (System.touch_shared sys ~core Layout.Asid_table ~kind:Tp_hw.Defs.Read ());
   let asid = System.alloc_asid sys in
   Txn.defer txn (fun () -> System.free_asid sys asid);
   (* The image occupies the Kernel_Memory frames in offset order.  The
@@ -186,7 +189,9 @@ let clone sys ~core ~src ~kmem =
   src.Types.children <- cap :: src.Types.children;
   cap
 
-let ipi_cost = 1500 (* cycles: send + remote acknowledge, cf. TLB shoot-down *)
+(* Send + remote acknowledge, cf. TLB shoot-down; from the shared
+   lifecycle cost table so the analytic destroy envelope cannot drift. *)
+let ipi_cost = Tp_hw.Bounds.ipi_cost
 
 (* Steps 2..5 of destruction, shared between the normal path and the
    roll-forward recovery path.  Every step is idempotent, so a destroy
@@ -237,6 +242,12 @@ let teardown sys ~core ki ~charge =
      whole teardown) safely re-runnable. *)
   Tp_fault.Fault.hit "destroy.asid";
   if ki.Types.ki_asid > 0 then begin
+    (* Releasing the ASID clears the shared first-level table slot —
+       the lifted destroy trace (Tp_analysis.Kcert) models this same
+       write. *)
+    if charge then
+      ignore
+        (System.touch_shared sys ~core Layout.Asid_table ~kind:Tp_hw.Defs.Write ());
     let a = ki.Types.ki_asid in
     ki.Types.ki_asid <- -1;
     System.free_asid sys a
@@ -255,6 +266,13 @@ let destroy sys ~core cap =
   let m = System.machine sys in
   let start = System.now sys ~core in
   let destroyed_ki = ki.Types.ki_id in
+  (* Destroy handler's own text execution (on the kernel performing the
+     destruction, not the dying image). *)
+  ignore
+    (System.touch_image sys ~core
+       (System.per_core sys core).System.cur_kernel ~region:System.Text
+       ~off:Layout.handler_destroy.Layout.t_off
+       ~len:Layout.handler_destroy.Layout.t_len ~kind:Tp_hw.Defs.Fetch);
   (* 1. Invalidate the capability: the kernel becomes a zombie. *)
   Capability.invalidate cap;
   ki.Types.ki_state <- Types.Ki_zombie;
@@ -270,7 +288,7 @@ let destroy sys ~core cap =
   (* Fixed bookkeeping cost of the destruction path itself. *)
   ignore
     (System.touch_shared sys ~core Layout.Cur_pointers ~kind:Tp_hw.Defs.Write ());
-  Tp_hw.Machine.add_cycles m ~core 400;
+  Tp_hw.Machine.add_cycles m ~core Tp_hw.Bounds.destroy_bookkeeping_cost;
   Tp_obs.Counter.incr (stats ()).st_destroys;
   if Tp_obs.Trace.enabled () then
     Tp_obs.Trace.span ~core ~cat:"kernel" ~name:"kernel_destroy" ~ts:start

@@ -39,16 +39,19 @@ let stats_key : stats Domain.DLS.key =
 let stats () = Domain.DLS.get stats_key
 let counters () = (stats ()).st
 
-let lock_cost = 30
-let timer_reprogram_cost = 60
-let return_cost = 40
-let dram_close_cost = 100
+(* Fixed switch-step costs, read from the shared lifecycle table in
+   Tp_hw.Bounds — the same table the analytic envelope sums, so the
+   executed sequence and the certified bound cannot drift. *)
+let lock_cost = Tp_hw.Bounds.lock_cost
+let timer_reprogram_cost = Tp_hw.Bounds.timer_reprogram_cost
+let return_cost = Tp_hw.Bounds.return_cost
+let dram_close_cost = Tp_hw.Bounds.dram_close_cost
 
 (* Cycles the switch path always spends outside memory traffic: lock
    acquire + release (steps 1 and 6), timer reprogramming (step 11) and
    the user return (step 12).  Exported for the linter's analytic
    worst-case switch bound. *)
-let fixed_overhead_cycles = (2 * lock_cost) + timer_reprogram_cost + return_cost
+let fixed_overhead_cycles = Tp_hw.Bounds.switch_fixed_overhead
 
 (* x86 "manual" L1 flush (§4.3): the kernel loads one word per line of
    an L1-D-sized buffer, then follows a chain of jumps through an

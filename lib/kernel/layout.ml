@@ -124,6 +124,7 @@ let handler_ipc = { t_off = 0x12400; t_len = 0x800 }
 let handler_tick = { t_off = 0x14C00; t_len = 0x600 }
 let handler_irq = { t_off = 0x16200; t_len = 0x400 }
 let handler_clone = { t_off = 0x17000; t_len = 0x800 }
+let handler_destroy = { t_off = 0x13400; t_len = 0x600 }
 
 (* Distinct memory the Domain_switch path touches outside the flush and
    prefetch steps, as (component, bytes) pairs.  The linter's analytic
@@ -143,6 +144,36 @@ let switch_footprint p =
     ("irq-mask-unmask-reprogram", 256 + 256 + 64);
     ("stack-copy", 2 * min 1024 lay.stack_size);
     ("dest-tcb", 4 * line);
+  ]
+
+(* Distinct memory the Clone.clone path touches, same convention as
+   switch_footprint.  The copy loop reads every byte of the template's
+   text, stack and replicated-data regions out of the coloured pool and
+   writes them into the new image's frames. *)
+let clone_footprint p =
+  let lay = image_layout p in
+  let copied = lay.text_size + lay.stack_size + lay.data_size in
+  [
+    ("clone-handler-text", handler_clone.t_len);
+    ("asid-table", shared_region_size Asid_table);
+    ("image-copy-read", copied);
+    ("image-copy-write", copied);
+  ]
+
+(* Distinct memory the Clone.destroy path touches: the destroy handler,
+   IRQ disassociation over the IRQ tables, suspension of bound threads
+   through the scheduler structures, the IPI barrier used for the
+   remote TLB shootdown, the ASID release and the final registry
+   bookkeeping. *)
+let destroy_footprint (_ : Tp_hw.Platform.t) =
+  [
+    ("destroy-handler-text", handler_destroy.t_len);
+    ("irq-tables", shared_region_size Irq_tables);
+    ("sched-queues", shared_region_size Sched_queues);
+    ("sched-bitmap", shared_region_size Sched_bitmap);
+    ("ipi-barrier", shared_region_size Ipi_barrier);
+    ("asid-table", shared_region_size Asid_table);
+    ("cur-pointers", shared_region_size Cur_pointers);
   ]
 
 let lines ~line ~base_vaddr ~base_paddr ~off ~len =

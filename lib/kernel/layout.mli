@@ -73,6 +73,19 @@ val switch_footprint : Tp_hw.Platform.t -> (string * int) list
     the kernel stack copy (read + write) and the destination TCB.
     Input to the linter's analytic worst-case switch cost. *)
 
+val clone_footprint : Tp_hw.Platform.t -> (string * int) list
+(** The distinct memory the [Clone.clone] path touches: clone-handler
+    text, the ASID table, and the coloured-pool copy loop's read and
+    write sides (text + stack + replicated data of one image each).
+    Input to the linter's analytic worst-case clone cost. *)
+
+val destroy_footprint : Tp_hw.Platform.t -> (string * int) list
+(** The distinct memory the [Clone.destroy] path touches:
+    destroy-handler text, IRQ tables, scheduler structures, the IPI
+    barrier, the ASID table and the registry bookkeeping.  Input to
+    the linter's analytic worst-case destroy cost (which adds the
+    fixed IPI-stall and bookkeeping costs from {!Tp_hw.Bounds}). *)
+
 (** {1 Syscall handler text map} *)
 
 (** Byte ranges within kernel text, one per handler, placed on distinct
@@ -90,6 +103,7 @@ val handler_ipc : text_range
 val handler_tick : text_range
 val handler_irq : text_range
 val handler_clone : text_range
+val handler_destroy : text_range
 
 (** {1 Line enumeration} *)
 

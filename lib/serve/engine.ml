@@ -187,7 +187,7 @@ let cell_key ~code_rev (j : Protocol.job) c =
   Store.key ~code_rev
     ~parts:
       [
-        "tpsim-store/3";
+        "tpsim-store/4";
         c.cl_platform;
         c.cl_config;
         c.cl_channel;
@@ -277,15 +277,16 @@ let compute_cell (j : Protocol.job) c =
          | None -> ""))
   else
     let leak = Tp_channel.Leakage.test ~rng r.Harness.data in
-    (* The kernel switch-path certificate for this cell, recomputed at
-       compute time (pure, sub-millisecond): its bound and digest are
-       stored with the trial so a result can always be traced back to
-       the golden certificate and code revision it was measured
-       under. *)
-    let kcert =
-      Tp_analysis.Kcert.certify c.cl_plat ~config_name:c.cl_config
-        (Scenario.config c.cl_kind c.cl_plat)
+    (* The kernel lifecycle certificates for this cell, recomputed at
+       compute time (pure, sub-millisecond): the switch-path bound and
+       all three per-path digests are stored with the trial so a
+       result can always be traced back to the golden certificates and
+       code revision it was measured under. *)
+    let cfg = Scenario.config c.cl_kind c.cl_plat in
+    let kpath path =
+      Tp_analysis.Kcert.certify ~path c.cl_plat ~config_name:c.cl_config cfg
     in
+    let kcert = kpath Tp_analysis.Kcert.Switch in
     Ok
       (Protocol.stored_of_trial
          {
@@ -304,6 +305,10 @@ let compute_cell (j : Protocol.job) c =
            t_cert_bits = Tp_analysis.Certify.total_bits r.Harness.cert;
            t_kcert_bits = Tp_analysis.Kcert.total_bits kcert;
            t_kcert_digest = Tp_analysis.Kcert.digest kcert;
+           t_kcert_clone_digest =
+             Tp_analysis.Kcert.digest (kpath Tp_analysis.Kcert.Clone);
+           t_kcert_destroy_digest =
+             Tp_analysis.Kcert.digest (kpath Tp_analysis.Kcert.Destroy);
            t_code_rev = code_rev ();
            t_degraded_reason = r.Harness.degraded_reason;
            t_recovered_faults = r.Harness.recovered_faults;
@@ -329,6 +334,8 @@ let failed_trial c ~key ~retries reason =
     t_cert_bits = 0;
     t_kcert_bits = 0;
     t_kcert_digest = "";
+    t_kcert_clone_digest = "";
+    t_kcert_destroy_digest = "";
     t_code_rev = "";
     t_degraded_reason = Some reason;
     t_recovered_faults = 0;

@@ -60,7 +60,10 @@ type trial = {
   t_n : int;
   t_cert_bits : int;
   t_kcert_bits : int;  (** certified kernel switch-path bound *)
-  t_kcert_digest : string;  (** Kcert certificate content digest *)
+  t_kcert_digest : string;  (** switch-path Kcert certificate digest *)
+  t_kcert_clone_digest : string;  (** clone-path Kcert certificate digest *)
+  t_kcert_destroy_digest : string;
+      (** destroy-path Kcert certificate digest *)
   t_code_rev : string;  (** executable digest the trial ran under *)
   t_degraded_reason : string option;
   t_recovered_faults : int;
@@ -190,7 +193,7 @@ let job_of_json j =
    trial's cache key: no retries, no cache flag, no wall-clock times. *)
 let stored_fields t =
   [
-    ("schema", Json.Str "tpsim-trial/3");
+    ("schema", Json.Str "tpsim-trial/4");
     ("platform", Json.Str t.t_platform);
     ("config", Json.Str t.t_config);
     ("channel", Json.Str t.t_channel);
@@ -203,6 +206,8 @@ let stored_fields t =
     ("cert_bits", Json.Num (float_of_int t.t_cert_bits));
     ("kcert_bits", Json.Num (float_of_int t.t_kcert_bits));
     ("kcert_digest", Json.Str t.t_kcert_digest);
+    ("kcert_clone_digest", Json.Str t.t_kcert_clone_digest);
+    ("kcert_destroy_digest", Json.Str t.t_kcert_destroy_digest);
     ("code_rev", Json.Str t.t_code_rev);
     ("degraded_reason", opt_json (fun s -> Json.Str s) t.t_degraded_reason);
     ("recovered_faults", Json.Num (float_of_int t.t_recovered_faults));
@@ -228,6 +233,8 @@ let trial_of_fields ~key ~retries ~cached j =
   let* cert_bits = get_int j "cert_bits" in
   let* kcert_bits = get_int j "kcert_bits" in
   let* kcert_digest = get_str j "kcert_digest" in
+  let* kcert_clone_digest = get_str j "kcert_clone_digest" in
+  let* kcert_destroy_digest = get_str j "kcert_destroy_digest" in
   let* code_rev = get_str j "code_rev" in
   let* recovered = get_int j "recovered_faults" in
   let* checkpoints = get_int j "checkpoints" in
@@ -246,6 +253,8 @@ let trial_of_fields ~key ~retries ~cached j =
       t_cert_bits = cert_bits;
       t_kcert_bits = kcert_bits;
       t_kcert_digest = kcert_digest;
+      t_kcert_clone_digest = kcert_clone_digest;
+      t_kcert_destroy_digest = kcert_destroy_digest;
       t_code_rev = code_rev;
       t_degraded_reason = opt_str j "degraded_reason";
       t_recovered_faults = recovered;

@@ -70,9 +70,13 @@ type trial = {
           this bound instead for trials that exercise the switch path
           (kernel/flush channels) *)
   t_kcert_digest : string;
-      (** content digest of the kernel certificate the trial ran under
-          ({!Tp_analysis.Kcert.digest}) — ties every stored trial to a
-          checked-in golden certificate *)
+      (** content digest of the switch-path kernel certificate the
+          trial ran under ({!Tp_analysis.Kcert.digest}) — ties every
+          stored trial to a checked-in golden certificate *)
+  t_kcert_clone_digest : string;
+      (** digest of the clone-path kernel certificate (schema v4) *)
+  t_kcert_destroy_digest : string;
+      (** digest of the destroy-path kernel certificate (schema v4) *)
   t_code_rev : string;
       (** executable digest ({!Engine.code_rev}) recorded next to the
           certificate digest *)

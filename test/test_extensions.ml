@@ -183,6 +183,7 @@ let test_layout_handlers_fit_text () =
       Layout.entry_stub; Layout.handler_signal; Layout.handler_set_priority;
       Layout.handler_poll; Layout.handler_yield; Layout.handler_ipc;
       Layout.handler_tick; Layout.handler_irq; Layout.handler_clone;
+      Layout.handler_destroy;
     ]
   in
   List.iter

@@ -53,6 +53,8 @@ let stub_trial (c : E.cell) =
     t_cert_bits = 0;
     t_kcert_bits = 0;
     t_kcert_digest = "stub-kcert-digest";
+    t_kcert_clone_digest = "stub-kcert-clone-digest";
+    t_kcert_destroy_digest = "stub-kcert-destroy-digest";
     t_code_rev = "test-rev";
     t_degraded_reason = None;
     t_recovered_faults = 0;
@@ -113,11 +115,15 @@ let test_stored_blob_roundtrip () =
   in
   let blob = P.stored_of_trial t in
   Alcotest.(check bool)
-    "blob carries the v3 schema tag" true
-    (contains_sub blob "tpsim-trial/3");
+    "blob carries the v4 schema tag" true
+    (contains_sub blob "tpsim-trial/4");
   Alcotest.(check bool)
     "blob records the kernel cert digest" true
     (contains_sub blob "stub-kcert-digest");
+  Alcotest.(check bool)
+    "blob records the clone and destroy cert digests" true
+    (contains_sub blob "stub-kcert-clone-digest"
+    && contains_sub blob "stub-kcert-destroy-digest");
   match P.trial_of_stored ~key:"k" blob with
   | Error e -> Alcotest.fail e
   | Ok t' ->
