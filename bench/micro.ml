@@ -67,6 +67,37 @@ let bench_machine ~counters =
            (Tp_hw.Machine.access m ~core:0 ~asid:1 ~vaddr:!pos ~paddr:!pos
               ~kind:Tp_hw.Defs.Read ())))
 
+let bench_snapshot =
+  let m = Tp_hw.Machine.create p in
+  Test.make ~name:"machine.snapshot"
+    (Staged.stage (fun () -> ignore (Tp_hw.Machine.snapshot m)))
+
+let bench_restore =
+  let m = Tp_hw.Machine.create p in
+  let snap = Tp_hw.Machine.snapshot m in
+  Test.make ~name:"machine.restore"
+    (Staged.stage (fun () -> Tp_hw.Machine.restore m snap))
+
+(* Cost of one replayed op, amortised over a 64-access stream: the
+   per-op figure the >=5x sweep-throughput floor rests on. *)
+let replay_ops = 64
+
+let bench_replay_step =
+  let m = Tp_hw.Machine.create p in
+  let r = Tp_hw.Replay.create () in
+  for i = 0 to replay_ops - 1 do
+    Tp_hw.Replay.append_access r ~kind:Tp_hw.Defs.Read
+      ~vaddr:(i * 64 land 0x3FFF)
+      ~paddr:(i * 64 land 0x3FFF)
+      ~root_pa:0 ~leaf_pa:(-1)
+  done;
+  Tp_hw.Replay.append_idle r;
+  Test.make ~name:(Printf.sprintf "replay.step (x%d)" replay_ops)
+    (Staged.stage (fun () ->
+         ignore
+           (Tp_hw.Replay.replay m ~core:0 ~asid:1 ~llc_ways:(lnot 0)
+              ~until:max_int r)))
+
 let () =
   let tests =
     [
@@ -76,6 +107,9 @@ let () =
       bench_tlb;
       bench_machine ~counters:false;
       bench_machine ~counters:true;
+      bench_snapshot;
+      bench_restore;
+      bench_replay_step;
     ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in

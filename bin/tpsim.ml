@@ -573,6 +573,85 @@ let cmd_faults =
           Format.printf "    FAIL: cycle budget did not degrade the result@."
         end;
         Format.printf "@.";
+        (* Torn-state sweep over whole-machine restore: the
+           snapshot_restore point is crossed once per component
+           loaded, so arming every crossing crashes the restore
+           between every pair of components.  Recovery is restoring
+           again — load_state overwrites everything it touches — and
+           the recovered machine must digest identically to the
+           snapshot, with no torn state surviving the crash. *)
+        Format.printf "Fail-at-step-N sweep over snapshot restore (%s):@."
+          p.Tp_hw.Platform.name;
+        let sb = Scenario.boot Scenario.Raw p in
+        let m = Tp_kernel.System.machine sb.Tp_kernel.Boot.sys in
+        let perturb () =
+          for i = 0 to 63 do
+            ignore
+              (Tp_hw.Machine.access m ~core:0 ~asid:0 ~global:false
+                 ~vaddr:(i * 4096) ~paddr:(i * 4096) ~kind:Tp_hw.Defs.Read
+                 () : int)
+          done
+        in
+        let snap = Tp_hw.Machine.snapshot m in
+        let want = Tp_hw.Machine.snapshot_digest snap in
+        perturb ();
+        let (), crossings =
+          Tp_fault.Fault.trace (fun () -> Tp_hw.Machine.restore m snap)
+        in
+        let steps = List.length crossings in
+        let torn = ref 0 and restore_fired = ref 0 in
+        for hit = 0 to steps - 1 do
+          perturb ();
+          Tp_fault.Fault.arm ~point:Tp_hw.Machine.point_restore ~hit
+            (Failure "injected restore crash");
+          (match Tp_hw.Machine.restore m snap with
+          | () -> ()
+          | exception Failure _ -> incr restore_fired);
+          Tp_fault.Fault.disarm ();
+          Tp_hw.Machine.restore m snap;
+          if Tp_hw.Machine.state_digest m <> want then incr torn
+        done;
+        Format.printf
+          "  %3d armed restore crossings, %3d crashed, %3d left torn state@."
+          steps !restore_fired !torn;
+        if !torn > 0 || !restore_fired <> steps then begin
+          incr bad;
+          Format.printf
+            "    FAIL: crash mid-restore not recovered bit-identically@."
+        end;
+        (* A fault striking the replay path mid-collection must be
+           recovered by the harness exactly like a live-slice kernel
+           fault: the trial degrades to recover-and-resume, never
+           aborts. *)
+        let rb = Scenario.boot Scenario.Protected p in
+        let chan = Tp_attacks.Cache_channels.l1d in
+        let sender, receiver = chan.Tp_attacks.Cache_channels.prepare rb in
+        let spec =
+          {
+            (Tp_attacks.Harness.default_spec p) with
+            Tp_attacks.Harness.samples = 200;
+            symbols = chan.Tp_attacks.Cache_channels.symbols;
+          }
+        in
+        Tp_fault.Fault.arm ~point:Tp_hw.Replay.point_step ~hit:3
+          (Tp_kernel.Types.Kernel_error Tp_kernel.Types.Insufficient_untyped);
+        let rr =
+          Tp_attacks.Harness.run_pair_result rb ~sender ~receiver spec
+            ~rng:(Tp_util.Rng.create ~seed:1)
+        in
+        let replay_fired = Tp_fault.Fault.fired () in
+        Tp_fault.Fault.disarm ();
+        Format.printf "  injected replay_step:3   -> %s@."
+          (Tp_attacks.Harness.status_json rr);
+        if not replay_fired then begin
+          incr bad;
+          Format.printf "    FAIL: replay_step fault never fired@."
+        end;
+        if rr.Tp_attacks.Harness.recovered_faults < 1 then begin
+          incr bad;
+          Format.printf "    FAIL: mid-replay fault was not recovered@."
+        end;
+        Format.printf "@.";
         (* Crash-resume across the campaign engine's dispatch loop:
            crash a tiny sweep at every job_dispatch crossing, resume
            into the same store, and require the final digest to match
@@ -1245,6 +1324,15 @@ let cmd_certify =
       $ json_arg $ sarif_arg $ out_arg $ expect_arg $ exhaustive_arg
       $ fixtures_arg $ kernel_arg $ certs_arg $ check_arg $ verbose_arg)
 
+let no_replay_arg =
+  let doc =
+    "Disable record-once / replay-many sender slices and run every \
+     trial slice live.  Replay is bit-identical to live execution by \
+     construction, so flipping this flag must never change a result — \
+     it exists for A/B debugging and for measuring the speedup."
+  in
+  Arg.(value & flag & info [ "no-replay" ] ~doc)
+
 let cmd_bench =
   (* Benchmark-regression harness: suite throughput at -j 1 vs -j N,
      bit-identity between the two, JSON artifact and baseline gate. *)
@@ -1263,9 +1351,10 @@ let cmd_bench =
     let doc = "Allowed relative throughput drop vs the baseline, percent." in
     Arg.(value & opt float 25.0 & info [ "max-regress" ] ~docv:"PCT" ~doc)
   in
-  let run plats q seed jobs verbose json baseline max_regress =
+  let run plats q seed jobs verbose json baseline max_regress no_replay =
     setup_logging verbose;
     Result.get_ok (setup_jobs jobs None);
+    Tp_attacks.Harness.set_replay_enabled (not no_replay);
     exit
       (Bench.run q ~seed
          ~jobs:(Tp_par.Pool.default_jobs ())
@@ -1280,7 +1369,7 @@ let cmd_bench =
           baseline regression gate.")
     Term.(
       const run $ platform_arg $ quality_arg $ seed_arg $ jobs_arg
-      $ verbose_arg $ bench_json $ baseline $ max_regress)
+      $ verbose_arg $ bench_json $ baseline $ max_regress $ no_replay_arg)
 
 let socket_arg =
   let doc = "Unix-domain socket path of the campaign daemon." in
@@ -1405,7 +1494,7 @@ let cmd_sweep =
              between attempts).")
   in
   let run socket platforms configs channels trials seed samples cycle_budget
-      trial_timeout wall_budget retries json =
+      trial_timeout wall_budget retries json no_replay =
     let failures = ref 0 in
     let batches =
       List.concat_map
@@ -1421,7 +1510,7 @@ let cmd_sweep =
               ~platforms:[ p ] ~configs:[ c ] ~channels ~trials ~seed
               ~samples ?trial_cycle_budget:cycle_budget
               ?trial_timeout_s:trial_timeout ?wall_budget_s:wall_budget
-              ~max_retries:retries ()
+              ~max_retries:retries ~replay:(not no_replay) ()
           in
           match
             Tp_serve.Client.submit ~socket
@@ -1501,7 +1590,8 @@ let cmd_sweep =
     Term.(
       const run $ socket_arg $ platforms_arg $ configs_arg $ channels_arg
       $ trials_arg $ seed_arg $ samples_arg $ cycle_budget_arg
-      $ trial_timeout_arg $ wall_budget_arg $ retries_arg $ json_arg)
+      $ trial_timeout_arg $ wall_budget_arg $ retries_arg $ json_arg
+      $ no_replay_arg)
 
 let cmd_serve_smoke =
   (* End-to-end crash-resume gate, self-contained so CI can run it as
@@ -1622,6 +1712,78 @@ let cmd_serve_smoke =
           resubmission.  This is the CI gate.")
     Term.(const run $ verbose_arg)
 
+let cmd_replay_smoke =
+  (* Bit-identity A/B gate for record-once / replay-many: the same
+     small collection run twice — replay on, then forced fully live —
+     must produce byte-identical datasets and leave the machine in a
+     byte-identical state, per config and channel.  This is the CI
+     gate behind the sweep hot path's correctness claim. *)
+  let run plats verbose =
+    setup_logging verbose;
+    let fails = ref 0 in
+    let check name cond detail =
+      if cond then Printf.printf "  ok   %s\n%!" name
+      else begin
+        incr fails;
+        Printf.printf "  FAIL %s: %s\n%!" name detail
+      end
+    in
+    Fun.protect
+      ~finally:(fun () -> Tp_attacks.Harness.set_replay_enabled true)
+      (fun () ->
+        run_over plats (fun p ->
+            Printf.printf "replay-smoke: %s\n%!" p.Tp_hw.Platform.name;
+            List.iter
+              (fun (cfg, slug) ->
+                List.iter
+                  (fun (chan : Tp_attacks.Cache_channels.t) ->
+                    let collect replay_on =
+                      Tp_attacks.Harness.set_replay_enabled replay_on;
+                      let b = Scenario.boot cfg p in
+                      let sender, receiver =
+                        chan.Tp_attacks.Cache_channels.prepare b
+                      in
+                      let spec =
+                        {
+                          (Tp_attacks.Harness.default_spec p) with
+                          Tp_attacks.Harness.samples = 150;
+                          symbols = chan.Tp_attacks.Cache_channels.symbols;
+                        }
+                      in
+                      let data =
+                        Tp_attacks.Harness.run_pair b ~sender ~receiver spec
+                          ~rng:(Tp_util.Rng.create ~seed:7)
+                      in
+                      ( data,
+                        Tp_hw.Machine.state_digest
+                          (Tp_kernel.System.machine b.Tp_kernel.Boot.sys) )
+                    in
+                    let d_rep, m_rep = collect true in
+                    let d_live, m_live = collect false in
+                    let name = Printf.sprintf "%s/%s" slug
+                        chan.Tp_attacks.Cache_channels.name in
+                    check (name ^ ": dataset bit-identical")
+                      (d_rep = d_live) "replayed dataset differs from live";
+                    check (name ^ ": machine state bit-identical")
+                      (m_rep = m_live) (m_rep ^ " <> " ^ m_live))
+                  [ Tp_attacks.Cache_channels.l1d;
+                    Tp_attacks.Cache_channels.tlb ])
+              [ (Scenario.Raw, "raw"); (Scenario.Protected, "protected") ]);
+        if !fails > 0 then begin
+          Printf.printf "replay-smoke: %d checks FAILED\n%!" !fails;
+          exit 1
+        end
+        else Printf.printf "replay-smoke: PASS\n%!")
+  in
+  Cmd.v
+    (Cmd.info "replay-smoke"
+       ~doc:
+         "Bit-identity A/B smoke test of record-once / replay-many: \
+          run the same small collection with replay enabled and with \
+          $(b,--no-replay) semantics forced, and gate on the datasets \
+          and final machine states being byte-identical.  This is the \
+          CI gate.")
+    Term.(const run $ platform_arg $ verbose_arg)
 
 let cmd_top =
   let interval_arg =
@@ -1835,6 +1997,7 @@ let cmds =
     cmd_serve;
     cmd_sweep;
     cmd_serve_smoke;
+    cmd_replay_smoke;
     cmd_top;
     cmd_top_smoke;
     cmd_lint;

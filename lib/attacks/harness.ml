@@ -12,6 +12,8 @@ type spec = {
   warmup : int;
   checkpoint_slices : int;
   budget : budget;
+  replay : bool;
+  replay_seed : Tp_hw.Replay.t array option;
 }
 
 let default_spec p =
@@ -23,7 +25,16 @@ let default_spec p =
     warmup = 4;
     checkpoint_slices = 64;
     budget = no_budget;
+    replay = true;
+    replay_seed = None;
   }
+
+(* Process-wide replay kill switch (tpsim --no-replay), for A/B
+   debugging: replay is bit-identical by construction, so flipping it
+   must never change a result — this switch is how one proves that on
+   a live discrepancy. *)
+let replay_enabled = Atomic.make true
+let set_replay_enabled v = Atomic.set replay_enabled v
 
 (* Process-wide default budget, for tooling (tpsim --budget) that
    cannot reach into every experiment's spec.  A spec's own budget
@@ -163,6 +174,75 @@ let finish ~b ~spec ~inputs ~outputs ~stop ~recovered ~checkpoints
     cert = Tp_analysis.Certify.certify_static b;
   }
 
+(* Per-symbol record-once / replay-many state for the sender side of a
+   trial loop.  The first slice sending symbol [s] runs live with a
+   recorder attached; every later slice for [s] replays the recorded
+   stream ({!Uctx.replay}), bit-identical to live execution by
+   construction.  Senders whose op sequence the stream cannot capture
+   (clock reads, syscalls) poison their recording and permanently fall
+   back to live execution — the kernel and flush channels take this
+   path on their first slice and are never replayed. *)
+type sym_state =
+  | Fresh
+  | Pending of Tp_hw.Replay.t
+  | Recorded of Tp_hw.Replay.t
+  | Live
+
+let replayed_sender spec ~sender =
+  if not (spec.replay && Atomic.get replay_enabled) then sender
+  else begin
+    let streams =
+      match spec.replay_seed with
+      | Some a when Array.length a = spec.symbols ->
+          Array.map
+            (fun r -> if Tp_hw.Replay.complete r then Recorded r else Live)
+            a
+      | Some _ | None -> Array.make spec.symbols Fresh
+    in
+    fun ctx s ->
+      (* Settle the previous slice's recording: only now, at the next
+         scheduling of the sender, is it known whether that slice ran
+         to quiescence (complete) or was cut short or poisoned. *)
+      Array.iteri
+        (fun i st ->
+          match st with
+          | Pending r ->
+              streams.(i) <-
+                (if Tp_hw.Replay.complete r then Recorded r else Live)
+          | Fresh | Recorded _ | Live -> ())
+        streams;
+      match streams.(s) with
+      | Recorded r ->
+          (* A transient refusal (e.g. a timer due within this slice)
+             runs live this once; the stream stays good. *)
+          if not (Uctx.replay ctx r) then sender ctx s
+      | Live -> sender ctx s
+      | Fresh ->
+          let r = Tp_hw.Replay.create () in
+          streams.(s) <- Pending r;
+          Uctx.set_recorder ctx (Some r);
+          sender ctx s
+      | Pending _ -> sender ctx s (* unreachable: settled above *)
+  end
+
+let record_streams b ~sender ~symbols ~slice_cycles =
+  let sys = b.Boot.sys in
+  let streams = Array.init symbols (fun _ -> Tp_hw.Replay.create ()) in
+  let idx = ref 0 in
+  let body ctx =
+    if !idx < symbols then begin
+      let s = !idx in
+      incr idx;
+      Uctx.set_recorder ctx (Some streams.(s));
+      sender ctx s
+    end
+  in
+  ignore (Boot.spawn b b.Boot.domains.(0) body);
+  (* A couple of slack slices in case setup left another thread
+     runnable; once every symbol is recorded the body is a no-op. *)
+  Exec.run_slices sys ~core:0 ~slice_cycles ~slices:(symbols + 2) ();
+  streams
+
 let run_pair_result b ~sender ~receiver spec ~rng =
   let sys = b.Boot.sys in
   let sym_rng = Tp_util.Rng.split rng in
@@ -171,10 +251,11 @@ let run_pair_result b ~sender ~receiver spec ~rng =
   let iteration = ref 0 in
   let inputs = ref [] and outputs = ref [] in
   let recorded = ref 0 in
+  let send = replayed_sender spec ~sender in
   let sender_body ctx =
     let s = Tp_util.Rng.int sym_rng spec.symbols in
     cur_sym := s;
-    sender ctx s
+    send ctx s
   in
   let receiver_body ctx =
     let m = receiver ctx in
@@ -219,10 +300,11 @@ let run_pair_cross_core_result b ~sender ~receiver ~cosched spec ~rng =
   let iteration = ref 0 in
   let inputs = ref [] and outputs = ref [] in
   let recorded = ref 0 in
+  let send = replayed_sender spec ~sender in
   let sender_body ctx =
     let s = Tp_util.Rng.int sym_rng spec.symbols in
     cur_sym := s;
-    sender ctx s
+    send ctx s
   in
   let receiver_body ctx =
     (match receiver ctx with

@@ -34,11 +34,41 @@ type spec = {
   warmup : int;  (** initial iterations to discard *)
   checkpoint_slices : int;  (** slices per checkpointed chunk *)
   budget : budget;  (** optional collection limits *)
+  replay : bool;
+      (** allow record-once / replay-many sender slices ({!Tp_hw.Replay}).
+          Bit-identical to live execution for senders whose entire
+          observable behaviour goes through their [Uctx.t] (true of
+          every shipped channel; clock/syscall use self-disqualifies by
+          poisoning).  A sender that communicates through host-side
+          state the machine never sees must set this to [false]. *)
+  replay_seed : Tp_hw.Replay.t array option;
+      (** pre-recorded per-symbol sender streams (e.g. from
+          {!record_streams}), replayed from the very first slice;
+          [None] records lazily on each symbol's first send *)
 }
 
 val default_spec : Tp_hw.Platform.t -> spec
 (** 1 ms slices, 1500 samples, 4 symbols, small noise, 64-slice
-    checkpoints, no budget. *)
+    checkpoints, no budget, replay on (unseeded). *)
+
+val set_replay_enabled : bool -> unit
+(** Process-wide replay kill switch (tpsim's [--no-replay]); off means
+    every sender slice runs live regardless of spec.  For A/B
+    debugging — flipping it must never change any result. *)
+
+val record_streams :
+  Tp_kernel.Boot.booted ->
+  sender:(Tp_kernel.Uctx.t -> int -> unit) ->
+  symbols:int ->
+  slice_cycles:int ->
+  Tp_hw.Replay.t array
+(** Record one sender slice per symbol (0, 1, …) in domain 0 on core 0
+    of [b] — the campaign engine's scratch pre-pass.  Streams record op
+    identities only, so a stream recorded on one freshly booted system
+    replays bit-identically on any identically booted one.  Streams of
+    senders that poison their recording, or that overrun the slice,
+    come back incomplete ({!Tp_hw.Replay.complete} is false); callers
+    must check before seeding. *)
 
 val set_default_budget : budget -> unit
 (** Process-wide fallback budget (tpsim's [--budget]); a spec's own

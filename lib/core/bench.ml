@@ -141,6 +141,88 @@ let suite =
     };
   ]
 
+(* ---- the replay-sweep experiment --------------------------------- *)
+
+(* Victim-execution-shaped measurement of the record-once/replay-many
+   hot path: record one op stream per symbol, snapshot the machine,
+   then drive the same schedule of sender slices twice from the same
+   restored state — once live (the body re-executes, then idles to the
+   slice boundary in interrupt-latency steps) and once replayed
+   (Tp_hw.Replay re-executes the ops and collapses the idle span).
+   The final machine-state digests must be bit-identical — a speedup
+   that computes something different is a failure, same rule as the
+   parallel suite above — and the replay leg must clear the 5x
+   throughput floor the sweep hot path is built on. *)
+let replay_speedup_floor = 5.0
+
+let replay_sweep_exp q p =
+  let module H = Tp_attacks.Harness in
+  let b = Scenario.boot Scenario.Raw p in
+  let chan = Tp_attacks.Cache_channels.tlb in
+  let sender, _receiver = chan.Tp_attacks.Cache_channels.prepare b in
+  let symbols = chan.Tp_attacks.Cache_channels.symbols in
+  let slice_cycles = (H.default_spec p).H.slice_cycles in
+  let sys = b.Boot.sys in
+  let m = System.machine sys in
+  let streams = Array.init symbols (fun _ -> Tp_hw.Replay.create ()) in
+  let mode = ref `Nop in
+  let body ctx =
+    match !mode with
+    | `Nop -> ()
+    | `Record s ->
+        Uctx.set_recorder ctx (Some streams.(s));
+        sender ctx s
+    | `Live s -> sender ctx s
+    | `Replay s ->
+        if not (Uctx.replay ctx streams.(s)) then
+          failwith "tpsim bench: replay-sweep: replay refused a complete stream"
+  in
+  ignore (Boot.spawn b b.Boot.domains.(0) body);
+  let slice md =
+    mode := md;
+    Exec.run_slices sys ~core:0 ~slice_cycles ~slices:1 ()
+  in
+  for s = 0 to symbols - 1 do
+    slice (`Record s)
+  done;
+  Array.iter
+    (fun r ->
+      if not (Tp_hw.Replay.complete r) then
+        failwith "tpsim bench: replay-sweep: recording came back incomplete")
+    streams;
+  let snap = Tp_hw.Machine.snapshot m in
+  let rounds = bench_trials q in
+  let leg md =
+    Tp_hw.Machine.restore m snap;
+    let c0 = System.now sys ~core:0 in
+    let a0 = accesses_of sys in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to (rounds * symbols) - 1 do
+      slice (md (i mod symbols))
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    ( Tp_hw.Machine.state_digest m,
+      System.now sys ~core:0 - c0,
+      accesses_of sys - a0,
+      wall )
+  in
+  let d_live, _, _, wall_live = leg (fun s -> `Live s) in
+  let d_rep, cycles, accesses, wall_rep = leg (fun s -> `Replay s) in
+  let per denom v = if denom > 0.0 then float_of_int v /. denom else 0.0 in
+  {
+    r_name = "replay-sweep";
+    r_platform = p.Tp_hw.Platform.name;
+    r_trials = rounds * symbols;
+    r_wall_seq = wall_live;
+    r_wall_par = wall_rep;
+    r_speedup = (if wall_rep > 0.0 then wall_live /. wall_rep else 1.0);
+    r_cycles = cycles;
+    r_accesses = accesses;
+    r_cycles_per_sec = per wall_rep cycles;
+    r_accesses_per_sec = per wall_rep accesses;
+    r_deterministic = d_live = d_rep;
+  }
+
 (* ---- running ---------------------------------------------------- *)
 
 let time f =
@@ -281,7 +363,9 @@ let run q ~seed ~jobs ~platforms ~json_out ~baseline ~max_regress () =
   Tp_obs.Ctl.set_counters true;
   let results =
     List.concat_map
-      (fun p -> List.map (fun x -> run_exp q ~seed ~jobs p x) suite)
+      (fun p ->
+        List.map (fun x -> run_exp q ~seed ~jobs p x) suite
+        @ [ replay_sweep_exp q p ])
       platforms
   in
   if not counters_were_on then Tp_obs.Ctl.set_counters false;
@@ -299,10 +383,31 @@ let run q ~seed ~jobs ~platforms ~json_out ~baseline ~max_regress () =
   let nondet = List.filter (fun r -> not r.r_deterministic) results in
   List.iter
     (fun r ->
-      Printf.eprintf
-        "tpsim bench: FAIL %s/%s: parallel output differs from sequential\n%!"
-        r.r_name r.r_platform)
+      if r.r_name = "replay-sweep" then
+        Printf.eprintf
+          "tpsim bench: FAIL %s/%s: replayed machine state differs from live \
+           execution\n\
+           %!"
+          r.r_name r.r_platform
+      else
+        Printf.eprintf
+          "tpsim bench: FAIL %s/%s: parallel output differs from sequential\n%!"
+          r.r_name r.r_platform)
     nondet;
+  (* The sweep hot path exists to buy this factor; losing it is a
+     regression even if absolute throughput still clears the baseline. *)
+  let slow_replay =
+    List.filter
+      (fun r ->
+        r.r_name = "replay-sweep" && r.r_speedup < replay_speedup_floor)
+      results
+  in
+  List.iter
+    (fun r ->
+      Printf.eprintf
+        "tpsim bench: FAIL %s/%s: replay speedup %.2fx below the %.0fx floor\n%!"
+        r.r_name r.r_platform r.r_speedup replay_speedup_floor)
+    slow_replay;
   (match json_out with
   | None -> ()
   | Some f ->
@@ -335,4 +440,4 @@ let run q ~seed ~jobs ~platforms ~json_out ~baseline ~max_regress () =
          (-%.1f%% > %.1f%% allowed)\n%!"
         g.g_name g.g_platform g.g_current g.g_baseline g.g_drop_pct max_regress)
     regressions;
-  if nondet <> [] || regressions <> [] then 1 else 0
+  if nondet <> [] || slow_replay <> [] || regressions <> [] then 1 else 0

@@ -56,3 +56,15 @@ let flush t =
   Tp_obs.Counter.incr t.st_flushes;
   Array.fill t.pht 0 (Array.length t.pht) init_counter;
   t.history <- 0
+
+let state_words t = Array.length t.pht + 1 + Blob.counters_words t.st
+
+let save_state t blob off =
+  let off = Blob.save_ints blob off t.pht in
+  blob.{off} <- t.history;
+  Blob.save_counters blob (off + 1) t.st
+
+let load_state t blob off =
+  let off = Blob.load_ints blob off t.pht in
+  t.history <- blob.{off};
+  Blob.load_counters blob (off + 1) t.st

@@ -39,3 +39,11 @@ val branch : t -> addr:int -> taken:bool -> result
 
 val flush : t -> unit
 (** Clear history and reset all counters to weakly-not-taken. *)
+
+(** {2 Snapshot} — see {!Cache.state_words}: sizes, saves and restores
+    this component's complete mutable state (including its performance
+    counters) in a machine snapshot blob at a threaded offset. *)
+
+val state_words : t -> int
+val save_state : t -> Blob.t -> int -> int
+val load_state : t -> Blob.t -> int -> int

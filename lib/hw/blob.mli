@@ -1,0 +1,44 @@
+(** Flat integer state blobs.
+
+    The storage format shared by {!Machine.snapshot} and {!Replay}
+    streams: one contiguous [Bigarray.Array1] of native ints.  Each
+    component saves into (and loads from) the blob at a threaded
+    offset, so whole-machine layouts are plain concatenation; int
+    arrays are stored verbatim, bool arrays as 0/1 and floats as two
+    32-bit halves of their bit pattern (native ints are 63-bit). *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+val length : t -> int
+
+(** Each [save_*] writes at [off] and returns the offset past what it
+    wrote; [load_*] walks the same layout back. *)
+
+val save_ints : t -> int -> int array -> int
+val load_ints : t -> int -> int array -> int
+val save_bools : t -> int -> bool array -> int
+val load_bools : t -> int -> bool array -> int
+
+val save_float : t -> int -> float -> int
+val load_float : t -> int -> float
+(** [load_float b off] reads the two words at [off] (no offset
+    threading: callers advance by {!float_words}). *)
+
+val float_words : int
+
+val save_counters : t -> int -> Tp_obs.Counter.set -> int
+val load_counters : t -> int -> Tp_obs.Counter.set -> int
+(** Counter values are machine state for snapshot purposes: restoring
+    a snapshot must also roll the observability counters back, or a
+    replayed trial's counter-derived metrics would diverge from a
+    fresh run's. *)
+
+val counters_words : Tp_obs.Counter.set -> int
+
+val digest : t -> string
+(** MD5 (hex) over the blob's words in little-endian byte order. *)
+
+val digest_sub : t -> len:int -> string
+(** Digest of the first [len] words only (replay streams are grown
+    capacity-doubling, so the live prefix is what identifies them). *)

@@ -97,3 +97,22 @@ let flush t =
   t.n_valid <- 0
 
 let valid_entries t = t.n_valid
+
+let state_words t =
+  (3 * Array.length t.tags) + 2 + Blob.counters_words t.st
+
+let save_state t blob off =
+  let off = Blob.save_ints blob off t.tags in
+  let off = Blob.save_ints blob off t.targets in
+  let off = Blob.save_ints blob off t.age in
+  blob.{off} <- t.clock;
+  blob.{off + 1} <- t.n_valid;
+  Blob.save_counters blob (off + 2) t.st
+
+let load_state t blob off =
+  let off = Blob.load_ints blob off t.tags in
+  let off = Blob.load_ints blob off t.targets in
+  let off = Blob.load_ints blob off t.age in
+  t.clock <- blob.{off};
+  t.n_valid <- blob.{off + 1};
+  Blob.load_counters blob (off + 2) t.st

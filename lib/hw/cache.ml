@@ -249,6 +249,31 @@ let flush t =
   t.n_valid <- 0;
   wb
 
+let state_words t =
+  (3 * Array.length t.tags) + 5 + Blob.counters_words t.st
+
+let save_state t blob off =
+  let off = Blob.save_ints blob off t.tags in
+  let off = Blob.save_bools blob off t.dirty in
+  let off = Blob.save_ints blob off t.age in
+  blob.{off} <- t.clock;
+  blob.{off + 1} <- t.n_dirty;
+  blob.{off + 2} <- t.n_valid;
+  blob.{off + 3} <- t.ev_line;
+  blob.{off + 4} <- (if t.ev_dirty then 1 else 0);
+  Blob.save_counters blob (off + 5) t.st
+
+let load_state t blob off =
+  let off = Blob.load_ints blob off t.tags in
+  let off = Blob.load_bools blob off t.dirty in
+  let off = Blob.load_ints blob off t.age in
+  t.clock <- blob.{off};
+  t.n_dirty <- blob.{off + 1};
+  t.n_valid <- blob.{off + 2};
+  t.ev_line <- blob.{off + 3};
+  t.ev_dirty <- blob.{off + 4} <> 0;
+  Blob.load_counters blob (off + 5) t.st
+
 let dirty_lines t = t.n_dirty
 let valid_lines t = t.n_valid
 

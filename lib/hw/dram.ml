@@ -58,3 +58,13 @@ let access t ~paddr =
 let close_all t =
   Tp_obs.Counter.incr t.st_precharge_all;
   Array.fill t.open_rows 0 (Array.length t.open_rows) (-1)
+
+let state_words t = Array.length t.open_rows + Blob.counters_words t.st
+
+let save_state t blob off =
+  let off = Blob.save_ints blob off t.open_rows in
+  Blob.save_counters blob off t.st
+
+let load_state t blob off =
+  let off = Blob.load_ints blob off t.open_rows in
+  Blob.load_counters blob off t.st

@@ -31,3 +31,11 @@ val access : t -> paddr:int -> int
 
 val close_all : t -> unit
 (** Precharge all banks (e.g. after self-refresh); all rows closed. *)
+
+(** {2 Snapshot} — see {!Cache.state_words}: sizes, saves and restores
+    this component's complete mutable state (including its performance
+    counters) in a machine snapshot blob at a threaded offset. *)
+
+val state_words : t -> int
+val save_state : t -> Blob.t -> int -> int
+val load_state : t -> Blob.t -> int -> int

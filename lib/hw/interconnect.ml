@@ -142,3 +142,43 @@ let drain t =
   Array.fill t.slow_rate 0 t.cores 0.0;
   Array.fill t.last 0 t.cores (-1);
   Array.fill t.run_start 0 t.cores (-1)
+
+let state_words t =
+  (2 * t.cores * Blob.float_words) (* rate, slow_rate *)
+  + (2 * t.cores) (* last, run_start *)
+  + 1 + Blob.float_words (* mode tag + Mba limit *)
+  + Blob.counters_words t.st
+
+let save_floats blob off a =
+  Array.fold_left (fun off f -> Blob.save_float blob off f) off a
+
+let load_floats blob off (a : float array) =
+  let o = ref off in
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- Blob.load_float blob !o;
+    o := !o + Blob.float_words
+  done;
+  !o
+
+let save_state t blob off =
+  let off = save_floats blob off t.rate in
+  let off = save_floats blob off t.slow_rate in
+  let off = Blob.save_ints blob off t.last in
+  let off = Blob.save_ints blob off t.run_start in
+  let tag, limit =
+    match t.mode with Open -> (0, 0.0) | Partitioned -> (1, 0.0) | Mba l -> (2, l)
+  in
+  blob.{off} <- tag;
+  let off = Blob.save_float blob (off + 1) limit in
+  Blob.save_counters blob off t.st
+
+let load_state t blob off =
+  let off = load_floats blob off t.rate in
+  let off = load_floats blob off t.slow_rate in
+  let off = Blob.load_ints blob off t.last in
+  let off = Blob.load_ints blob off t.run_start in
+  let tag = blob.{off} in
+  let limit = Blob.load_float blob (off + 1) in
+  t.mode <-
+    (match tag with 0 -> Open | 1 -> Partitioned | _ -> Mba limit);
+  Blob.load_counters blob (off + 1 + Blob.float_words) t.st

@@ -56,3 +56,11 @@ val window_traffic : t -> core:int -> int
 val drain : t -> unit
 (** Clear all load state (models a quiescent gap much longer than the
     bus's queueing horizon). *)
+
+(** {2 Snapshot} — see {!Cache.state_words}: sizes, saves and restores
+    this component's complete mutable state (including its performance
+    counters) in a machine snapshot blob at a threaded offset. *)
+
+val state_words : t -> int
+val save_state : t -> Blob.t -> int -> int
+val load_state : t -> Blob.t -> int -> int

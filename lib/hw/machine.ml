@@ -403,3 +403,113 @@ let set_prefetcher_enabled t ~core:i b =
   match (core t i).prefetcher with
   | Some pf -> Prefetcher.set_enabled pf b
   | None -> ()
+
+(* ---- whole-machine snapshot / restore --------------------------- *)
+
+(* Crossed once per component restored, so the fail-at-step-N driver
+   can crash a restore between any two components.  Recovery is simply
+   restoring again: load_state overwrites everything it touches, so a
+   re-restore from the same snapshot is idempotent and no torn state
+   survives. *)
+let point_restore = "snapshot_restore"
+let () = Tp_fault.Fault.register point_restore
+
+type snapshot = {
+  snap_platform : string;
+  snap_data : Blob.t;
+  mutable snap_digest : string option; (* computed lazily, cached *)
+}
+
+let core_state_words c =
+  2 (* cycles, walk_charged *)
+  + Blob.counters_words c.st
+  + Cache.state_words c.l1d + Cache.state_words c.l1i
+  + (match c.l2 with Some l2 -> Cache.state_words l2 | None -> 0)
+  + Tlb.state_words c.itlb + Tlb.state_words c.dtlb + Tlb.state_words c.l2tlb
+  + Btb.state_words c.btb + Bhb.state_words c.bhb
+  +
+  match c.prefetcher with Some pf -> Prefetcher.state_words pf | None -> 0
+
+let snapshot_words t =
+  Array.fold_left (fun acc c -> acc + core_state_words c) 0 t.cores
+  + Cache.state_words t.llc + Dram.state_words t.dram
+  + Interconnect.state_words t.bus
+
+let save_core c blob off =
+  blob.{off} <- c.cycles;
+  blob.{off + 1} <- c.walk_charged;
+  let off = Blob.save_counters blob (off + 2) c.st in
+  let off = Cache.save_state c.l1d blob off in
+  let off = Cache.save_state c.l1i blob off in
+  let off =
+    match c.l2 with Some l2 -> Cache.save_state l2 blob off | None -> off
+  in
+  let off = Tlb.save_state c.itlb blob off in
+  let off = Tlb.save_state c.dtlb blob off in
+  let off = Tlb.save_state c.l2tlb blob off in
+  let off = Btb.save_state c.btb blob off in
+  let off = Bhb.save_state c.bhb blob off in
+  match c.prefetcher with
+  | Some pf -> Prefetcher.save_state pf blob off
+  | None -> off
+
+let load_core c blob off =
+  Tp_fault.Fault.hit point_restore;
+  c.cycles <- blob.{off};
+  c.walk_charged <- blob.{off + 1};
+  let off = Blob.load_counters blob (off + 2) c.st in
+  let off = Cache.load_state c.l1d blob off in
+  let off = Cache.load_state c.l1i blob off in
+  let off =
+    match c.l2 with Some l2 -> Cache.load_state l2 blob off | None -> off
+  in
+  let off = Tlb.load_state c.itlb blob off in
+  let off = Tlb.load_state c.dtlb blob off in
+  let off = Tlb.load_state c.l2tlb blob off in
+  let off = Btb.load_state c.btb blob off in
+  let off = Bhb.load_state c.bhb blob off in
+  match c.prefetcher with
+  | Some pf -> Prefetcher.load_state pf blob off
+  | None -> off
+
+let snapshot t =
+  let n = snapshot_words t in
+  let blob = Blob.create n in
+  let off = Array.fold_left (fun off c -> save_core c blob off) 0 t.cores in
+  let off = Cache.save_state t.llc blob off in
+  let off = Dram.save_state t.dram blob off in
+  let off = Interconnect.save_state t.bus blob off in
+  assert (off = n);
+  {
+    snap_platform = t.platform.Platform.name;
+    snap_data = blob;
+    snap_digest = None;
+  }
+
+let restore t s =
+  if s.snap_platform <> t.platform.Platform.name then
+    invalid_arg
+      (Printf.sprintf
+         "Machine.restore: snapshot of platform %s applied to a %s machine"
+         s.snap_platform t.platform.Platform.name);
+  if Blob.length s.snap_data <> snapshot_words t then
+    invalid_arg "Machine.restore: snapshot size does not match this machine";
+  let blob = s.snap_data in
+  let off = Array.fold_left (fun off c -> load_core c blob off) 0 t.cores in
+  Tp_fault.Fault.hit point_restore;
+  let off = Cache.load_state t.llc blob off in
+  Tp_fault.Fault.hit point_restore;
+  let off = Dram.load_state t.dram blob off in
+  Tp_fault.Fault.hit point_restore;
+  let off = Interconnect.load_state t.bus blob off in
+  ignore (off : int)
+
+let snapshot_digest s =
+  match s.snap_digest with
+  | Some d -> d
+  | None ->
+      let d = Blob.digest s.snap_data in
+      s.snap_digest <- Some d;
+      d
+
+let state_digest t = snapshot_digest (snapshot t)

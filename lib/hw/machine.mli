@@ -116,6 +116,43 @@ val set_prefetcher_enabled : t -> core:int -> bool -> unit
 (** Model of the MSR 0x1A4 prefetcher disable (no-op if the platform
     has no prefetcher). *)
 
+(** {1 Snapshot / restore}
+
+    O(state) capture of the {e entire} microarchitectural state — all
+    caches' tags/dirty/age, TLBs, BTB/BHB, prefetcher trackers, DRAM
+    row buffers, interconnect load estimators, per-core cycle counters
+    and every performance-counter value — into one contiguous flat
+    int blob.  Restoring rolls the machine back bit-identically, which
+    is what lets a trial loop execute a victim once and replay it per
+    attacker variant ({!Replay}).  Snapshots are machine-shaped, not
+    machine-bound: a snapshot taken on one machine restores onto any
+    other machine of the same platform. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** @raise Invalid_argument if the snapshot's platform or state size
+    does not match this machine.  Crossing {!point_restore} once per
+    component, so fault injection can crash a restore midway; a
+    re-restore from the same snapshot is idempotent, so recovery
+    leaves no torn state. *)
+
+val snapshot_words : t -> int
+(** Size of this machine's snapshot in words. *)
+
+val snapshot_digest : snapshot -> string
+(** Content digest (MD5 hex) of the snapshot blob; computed lazily and
+    cached.  Equal digests mean bit-identical machine state. *)
+
+val state_digest : t -> string
+(** Digest of the machine's current state ([snapshot] + digest) — the
+    bit-identity oracle used by the replay gates. *)
+
+val point_restore : string
+(** ["snapshot_restore"]: fault-injection point crossed once per
+    component during {!restore}. *)
+
 (** {1 Cost-model constants}
 
     The calibrated constants of the flush cost model, exported so that

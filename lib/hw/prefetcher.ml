@@ -135,3 +135,33 @@ let hard_reset t =
       tr.dir <- 1;
       tr.confidence <- 0)
     t.table
+
+let state_words t = (4 * Array.length t.table) + 1 + Blob.counters_words t.st
+
+let save_state t blob off =
+  let n = Array.length t.table in
+  for i = 0 to n - 1 do
+    let tr = t.table.(i) in
+    let o = off + (4 * i) in
+    blob.{o} <- tr.ptag;
+    blob.{o + 1} <- tr.last_line;
+    blob.{o + 2} <- tr.dir;
+    blob.{o + 3} <- tr.confidence
+  done;
+  let off = off + (4 * n) in
+  blob.{off} <- (if t.enabled then 1 else 0);
+  Blob.save_counters blob (off + 1) t.st
+
+let load_state t blob off =
+  let n = Array.length t.table in
+  for i = 0 to n - 1 do
+    let tr = t.table.(i) in
+    let o = off + (4 * i) in
+    tr.ptag <- blob.{o};
+    tr.last_line <- blob.{o + 1};
+    tr.dir <- blob.{o + 2};
+    tr.confidence <- blob.{o + 3}
+  done;
+  let off = off + (4 * n) in
+  t.enabled <- blob.{off} <> 0;
+  Blob.load_counters blob (off + 1) t.st

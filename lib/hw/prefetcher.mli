@@ -54,3 +54,11 @@ val hard_reset : t -> unit
     the OS model can invoke: contemporary ISAs expose no such
     operation, which is the paper's hardware-contract complaint.  Used
     only by tests and by explicit "what if hardware helped" ablations. *)
+
+(** {2 Snapshot} — see {!Cache.state_words}: sizes, saves and restores
+    this component's complete mutable state (including its performance
+    counters) in a machine snapshot blob at a threaded offset. *)
+
+val state_words : t -> int
+val save_state : t -> Blob.t -> int -> int
+val load_state : t -> Blob.t -> int -> int

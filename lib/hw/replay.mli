@@ -1,0 +1,91 @@
+(** Record-once / replay-many victim op streams.
+
+    A {!t} records the {e identity} of every operation a domain issues
+    through the {!Machine} API — vaddr/paddr/kind for accesses (plus
+    the page-table lines its walk resolved), direction for branches,
+    targets for jumps, cycle counts for pure compute — as fixed-width
+    records in a growable flat {!Blob.t}.  It does {e not} record
+    latencies or cache outcomes: replaying re-executes the operations
+    against a machine, so state evolution, latencies and counters are
+    exactly those of live execution.  Bit-identity is by construction
+    and is additionally enforced by digest gates in the test suite and
+    [@ci].
+
+    Streams are position-independent (no absolute times), so a stream
+    recorded against a freshly booted system is valid against any
+    other identically booted system of the same platform.  Once
+    recorded a stream is immutable; {!replay} only reads, so many
+    domains can replay one stream concurrently. *)
+
+type t
+
+val create : ?initial_ops:int -> unit -> t
+val clear : t -> unit
+
+val length : t -> int
+(** Number of recorded operations. *)
+
+(** {2 Recording} *)
+
+val append_access :
+  t ->
+  kind:Defs.access_kind ->
+  vaddr:int ->
+  paddr:int ->
+  root_pa:int ->
+  leaf_pa:int ->
+  unit
+(** [leaf_pa = -1] when the walk reads no leaf page-table line. *)
+
+val append_cond_branch : t -> vaddr:int -> paddr:int -> taken:bool -> unit
+val append_jump : t -> vaddr:int -> paddr:int -> target:int -> unit
+val append_clflush : t -> paddr:int -> unit
+val append_add_cycles : t -> int -> unit
+
+val append_idle : t -> unit
+(** Marks the recorded body as done with its slice: live execution
+    idled from here to the slice boundary.  Replay collapses the idle
+    span into one clock advance (idling has no machine effect beyond
+    the clock), which is where most of the replay speedup of
+    idle-heavy victims comes from. *)
+
+val poison : t -> unit
+(** Mark the stream as unreplayable.  Called by the recorder when the
+    recorded body does something whose machine effect is not captured
+    by the op stream (reads the clock, enters the kernel, …). *)
+
+val poisoned : t -> bool
+
+val complete : t -> bool
+(** An unpoisoned stream that ends in the idle marker — i.e. the
+    recorded body ran a full slice to quiescence.  Only complete
+    streams may be replayed in place of live execution. *)
+
+val digest : t -> string
+(** Content digest of the recorded stream (cached, invalidated by
+    appends); poisoned streams digest distinctly. *)
+
+(** {2 Replay} *)
+
+val replay :
+  Machine.t ->
+  core:int ->
+  asid:int ->
+  llc_ways:int ->
+  until:int ->
+  ?on_latency:(int -> unit) ->
+  t ->
+  [ `Done_idle | `Budget | `Incomplete ]
+(** Re-execute the recorded operations on [core] of [m], stopping
+    after the first op that pushes the core clock to [until] or later
+    (the same post-op budget check live execution performs).
+    [`Done_idle]: the idle marker was reached with budget to spare —
+    the caller should advance the clock to the slice boundary.
+    [`Budget]: the budget check fired mid-stream.  [`Incomplete]: the
+    stream ran out without an idle marker (only possible on incomplete
+    streams).  [on_latency] observes each replayed op's latency, in
+    op order — the hook the latency-equality property tests use.
+    Crosses the {!point_step} fault point once per call. *)
+
+val point_step : string
+(** ["replay_step"]: fault-injection point crossed at replay entry. *)

@@ -1,0 +1,12 @@
+(* Thin façade over the machine-resident snapshot implementation: the
+   capture/restore logic lives in Machine (it needs the machine's
+   internals), this module gives the feature a stable standalone name
+   (Tp_hw.Snapshot) for callers that deal in snapshots only. *)
+
+type t = Machine.snapshot
+
+let capture = Machine.snapshot
+let restore = Machine.restore
+let words = Machine.snapshot_words
+let digest = Machine.snapshot_digest
+let point_restore = Machine.point_restore

@@ -1,0 +1,18 @@
+(** Whole-machine microarchitectural snapshots.
+
+    A façade over {!Machine.snapshot} / {!Machine.restore}: O(state)
+    capture of every cache, TLB, predictor, prefetcher, DRAM row
+    buffer, interconnect estimator, core clock and performance-counter
+    value into one flat {!Blob.t} with a content digest.  See the
+    {!Machine} documentation for the restore/fault-injection
+    contract. *)
+
+type t = Machine.snapshot
+
+val capture : Machine.t -> t
+val restore : Machine.t -> t -> unit
+val words : Machine.t -> int
+val digest : t -> string
+
+val point_restore : string
+(** ["snapshot_restore"] — fault point crossed per component restored. *)

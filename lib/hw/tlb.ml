@@ -128,3 +128,24 @@ let flush_asid t asid =
     t.vpns
 
 let valid_entries t = t.n_valid
+
+let state_words t =
+  (4 * Array.length t.vpns) + 2 + Blob.counters_words t.st
+
+let save_state t blob off =
+  let off = Blob.save_ints blob off t.vpns in
+  let off = Blob.save_ints blob off t.asids in
+  let off = Blob.save_bools blob off t.globals in
+  let off = Blob.save_ints blob off t.age in
+  blob.{off} <- t.clock;
+  blob.{off + 1} <- t.n_valid;
+  Blob.save_counters blob (off + 2) t.st
+
+let load_state t blob off =
+  let off = Blob.load_ints blob off t.vpns in
+  let off = Blob.load_ints blob off t.asids in
+  let off = Blob.load_bools blob off t.globals in
+  let off = Blob.load_ints blob off t.age in
+  t.clock <- blob.{off};
+  t.n_valid <- blob.{off + 1};
+  Blob.load_counters blob (off + 2) t.st

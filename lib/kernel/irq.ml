@@ -72,6 +72,11 @@ let pending t ~core ~now ~partitioned ~current =
   ts := rest;
   List.map (fun tm -> tm.tm_irq) (List.sort (fun a b -> compare a.tm_at b.tm_at) fired)
 
+let next_timer t ~core =
+  List.fold_left
+    (fun acc tm -> Stdlib.min acc tm.tm_at)
+    max_int !(t.timers.(core))
+
 let drop_masked_race t ~core ~now =
   let ts = t.timers.(core) in
   ts := List.filter (fun tm -> tm.tm_at > now) !ts

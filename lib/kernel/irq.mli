@@ -48,6 +48,12 @@ val pending :
     with [current] are deliverable — others stay pending (masked at
     the source) until their kernel is switched in. *)
 
+val next_timer : t -> core:int -> int
+(** Earliest armed timer fire time on [core] ([max_int] if none),
+    regardless of deliverability.  The replay gate uses it: a slice
+    with no timer due before its end is interrupt-free, so replay
+    need not model IRQ delivery. *)
+
 val drop_masked_race : t -> core:int -> now:int -> unit
 (** Model of the §4.3 x86 mask race resolution: after masking, probe
     and acknowledge any interrupt already accepted by the CPU.  Drops

@@ -252,6 +252,22 @@ let walk_cost t ~core vs vpn =
   | Some leaf -> root_lat + read_pt_entry leaf (vpn land 511)
   | None -> root_lat
 
+(* Pure mirror of [walk_cost]: the physical addresses of the PT lines
+   a walk of [vpn] would read, without performing the reads.  The
+   replay recorder stores these so a replayed access's TLB-miss walk
+   touches the same lines the live walk did. *)
+let walk_lines t vs vpn =
+  let line = t.platform.Tp_hw.Platform.line in
+  let entry_line frame idx = Phys.frame_addr frame + (idx * 8 / line * line) in
+  let pti = pt_index vpn in
+  let root = entry_line vs.Types.vs_root_pt (pti land 511) in
+  let leaf =
+    match Hashtbl.find_opt vs.Types.vs_leaf_pts pti with
+    | Some l -> entry_line l (vpn land 511)
+    | None -> -1
+  in
+  (root, leaf)
+
 let user_access t ~core tcb ~vaddr ~kind =
   match tcb.Types.t_vspace with
   | None -> raise (Types.Kernel_error Types.Invalid_capability)

@@ -141,6 +141,13 @@ val user_access :
     with the rest of the pool), then the data access.  Returns and
     charges the total latency. *)
 
+val walk_lines : t -> Types.vspace -> int -> int * int
+(** [(root_line_pa, leaf_line_pa)] — the physical addresses of the PT
+    lines a page-table walk of this vpn reads ([leaf = -1] if the leaf
+    table does not exist).  Pure: no machine traffic.  The replay
+    recorder ({!Uctx.set_recorder}) stores these with each access so
+    replayed TLB-miss walks touch the exact lines live walks did. *)
+
 val current_asid : t -> core:int -> int
 (** ASID used for kernel accesses on this core: the current thread's
     address space (kernel mappings live in every AS). *)

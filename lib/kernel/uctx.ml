@@ -5,45 +5,80 @@ type t = {
   core : int;
   tcb : Types.tcb;
   slice_end : int;
+  mutable recorder : Tp_hw.Replay.t option;
 }
 
-let make sys ~core tcb ~slice_end = { sys; core; tcb; slice_end }
-let sys t = t.sys
+let make sys ~core tcb ~slice_end = { sys; core; tcb; slice_end; recorder = None }
+
+(* Internal clock read — used by the slice machinery itself, which is
+   part of what a replay reproduces, so it must not poison. *)
+let now_ t = System.now t.sys ~core:t.core
+
+(* A recorded stream replays only the body's Machine-level operations.
+   Any behaviour that could make the body's op sequence depend on
+   something the stream does not capture — the clock, kernel entry,
+   direct system access — poisons the recording: the stream stays
+   unreplayable and the trial loop falls back to live execution. *)
+let taint t =
+  match t.recorder with
+  | Some r -> Tp_hw.Replay.poison r
+  | None -> ()
+
+let set_recorder t r = t.recorder <- r
+
+let sys t = taint t; t.sys
 let core t = t.core
-let tcb t = t.tcb
-let now t = System.now t.sys ~core:t.core
+let tcb t = taint t; t.tcb
+let now t = taint t; now_ t
 
 (* Deliver fired, unmasked timer IRQs; then enforce the slice budget. *)
 let post t =
   let cfg = System.cfg t.sys in
   let pc = System.per_core t.sys t.core in
   let fired =
-    Irq.pending (System.irq t.sys) ~core:t.core ~now:(now t)
+    Irq.pending (System.irq t.sys) ~core:t.core ~now:(now_ t)
       ~partitioned:cfg.Config.partition_irqs ~current:pc.System.cur_kernel
   in
   List.iter (fun irq -> Syscalls.handle_irq t.sys ~core:t.core ~irq) fired;
-  if now t >= t.slice_end then raise Preempted
-
-let read t vaddr =
-  ignore (System.user_access t.sys ~core:t.core t.tcb ~vaddr ~kind:Tp_hw.Defs.Read);
-  post t
-
-let write t vaddr =
-  ignore (System.user_access t.sys ~core:t.core t.tcb ~vaddr ~kind:Tp_hw.Defs.Write);
-  post t
-
-let fetch t vaddr =
-  ignore (System.user_access t.sys ~core:t.core t.tcb ~vaddr ~kind:Tp_hw.Defs.Fetch);
-  post t
+  if now_ t >= t.slice_end then raise Preempted
 
 let vspace t =
   match t.tcb.Types.t_vspace with
   | Some vs -> vs
   | None -> raise (Types.Kernel_error Types.Invalid_capability)
 
+let record_access t ~kind vaddr =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+      let vs = vspace t in
+      let paddr = System.translate vs vaddr in
+      let root_pa, leaf_pa =
+        System.walk_lines t.sys vs (Tp_hw.Defs.page_of vaddr)
+      in
+      Tp_hw.Replay.append_access r ~kind ~vaddr ~paddr ~root_pa ~leaf_pa
+
+let read t vaddr =
+  record_access t ~kind:Tp_hw.Defs.Read vaddr;
+  ignore (System.user_access t.sys ~core:t.core t.tcb ~vaddr ~kind:Tp_hw.Defs.Read);
+  post t
+
+let write t vaddr =
+  record_access t ~kind:Tp_hw.Defs.Write vaddr;
+  ignore (System.user_access t.sys ~core:t.core t.tcb ~vaddr ~kind:Tp_hw.Defs.Write);
+  post t
+
+let fetch t vaddr =
+  record_access t ~kind:Tp_hw.Defs.Fetch vaddr;
+  ignore (System.user_access t.sys ~core:t.core t.tcb ~vaddr ~kind:Tp_hw.Defs.Fetch);
+  post t
+
 let jump t ~src ~target =
   let vs = vspace t in
   let paddr = System.translate vs src in
+  (match t.recorder with
+  | Some r -> Tp_hw.Replay.append_jump r ~vaddr:src ~paddr ~target
+  | None -> ());
   ignore
     (Tp_hw.Machine.jump (System.machine t.sys) ~core:t.core
        ~asid:vs.Types.vs_asid ~vaddr:src ~paddr ~target);
@@ -52,6 +87,9 @@ let jump t ~src ~target =
 let cond_branch t ~addr ~taken =
   let vs = vspace t in
   let paddr = System.translate vs addr in
+  (match t.recorder with
+  | Some r -> Tp_hw.Replay.append_cond_branch r ~vaddr:addr ~paddr ~taken
+  | None -> ());
   ignore
     (Tp_hw.Machine.cond_branch (System.machine t.sys) ~core:t.core
        ~asid:vs.Types.vs_asid ~vaddr:addr ~paddr ~taken);
@@ -60,26 +98,41 @@ let cond_branch t ~addr ~taken =
 let clflush t vaddr =
   let vs = vspace t in
   let paddr = System.translate vs vaddr in
+  (match t.recorder with
+  | Some r -> Tp_hw.Replay.append_clflush r ~paddr
+  | None -> ());
   ignore (Tp_hw.Machine.clflush (System.machine t.sys) ~core:t.core ~paddr);
   post t
 
 let compute t n =
   assert (n >= 0);
+  (match t.recorder with
+  | Some r -> Tp_hw.Replay.append_add_cycles r n
+  | None -> ());
   Tp_hw.Machine.add_cycles (System.machine t.sys) ~core:t.core n;
   post t
 
 let syscall t call =
+  taint t;
   Syscalls.execute t.sys ~core:t.core t.tcb call;
   post t
 
-let remaining t = Stdlib.max 0 (t.slice_end - now t)
+let remaining t =
+  taint t;
+  Stdlib.max 0 (t.slice_end - now_ t)
 
 let idle_rest t =
+  (* Idling has no machine effect beyond the clock, so the recording is
+     a single marker; replay collapses the whole span into one clock
+     advance. *)
+  (match t.recorder with
+  | Some r -> Tp_hw.Replay.append_idle r
+  | None -> ());
   (* Advance in interrupt-latency-sized steps so timers fire at the
      right instant even while the thread sleeps. *)
   let step = 1000 in
   let rec go () =
-    let left = t.slice_end - now t in
+    let left = t.slice_end - now_ t in
     if left <= 0 then (post t; raise Preempted)
     else begin
       Tp_hw.Machine.add_cycles (System.machine t.sys) ~core:t.core
@@ -89,3 +142,33 @@ let idle_rest t =
     end
   in
   go ()
+
+let replay t r =
+  if not (Tp_hw.Replay.complete r) then false
+  else if Irq.next_timer (System.irq t.sys) ~core:t.core <= t.slice_end then
+    (* A timer due within the slice would be delivered at a mid-slice
+       [post] live; the replay loop performs no IRQ delivery, so the
+       states would diverge.  Run live instead. *)
+    false
+  else
+    match t.tcb.Types.t_vspace with
+    | None -> false
+    | Some vs ->
+        let llc_ways = System.cat_mask_of_domain t.sys t.tcb.Types.t_domain in
+        (match
+           Tp_hw.Replay.replay (System.machine t.sys) ~core:t.core
+             ~asid:vs.Types.vs_asid ~llc_ways ~until:t.slice_end r
+         with
+        | `Done_idle ->
+            (* The recorded body idled out its slice; do the same in one
+               step, then run the normal end-of-slice post (which also
+               delivers any timer landing exactly on the boundary,
+               matching live idle_rest). *)
+            let left = t.slice_end - now_ t in
+            if left > 0 then
+              Tp_hw.Machine.add_cycles (System.machine t.sys) ~core:t.core left
+        | `Budget | `Incomplete -> ());
+        (* The clock is at or past the slice end either way. *)
+        post t;
+        (* Unreachable: [post] raises [Preempted] at the slice end. *)
+        true

@@ -58,3 +58,29 @@ val remaining : t -> int
 val idle_rest : t -> unit
 (** Sleep until the end of the slice, still accepting interrupts at
     their fire times; always raises {!Preempted} at the slice end. *)
+
+(** {1 Record / replay}
+
+    The record-once / replay-many machinery of the sweep hot path.
+    With a recorder attached, every operation the body performs
+    through this context is also appended to the stream — by identity
+    (addresses, directions, cycle counts), not by outcome — so the
+    stream replayed against a machine in the same pre-slice state
+    reproduces the slice bit-identically.  Context operations whose
+    influence on the body's op sequence the stream cannot capture
+    ({!now}, {!remaining}, {!syscall}, {!sys}, {!tcb}) poison the
+    recording, permanently disqualifying the stream; such bodies
+    simply always run live. *)
+
+val set_recorder : t -> Tp_hw.Replay.t option -> unit
+(** Attach (or detach) a recording stream.  Used by the attack
+    harness at slice start; bodies never call it. *)
+
+val replay : t -> Tp_hw.Replay.t -> bool
+(** Execute this slice by replaying [r] instead of running the body.
+    Returns [false] — caller must run the body live — if the stream is
+    not {!Tp_hw.Replay.complete}, the thread has no vspace, or a timer
+    is due within the slice (replay performs no mid-slice interrupt
+    delivery).  Otherwise replays to the slice boundary and raises
+    {!Preempted} exactly as live execution would; it never returns
+    [true] normally. *)

@@ -23,6 +23,20 @@ let name c = c.c_name
 let set_name s = s.s_name
 let snapshot set = List.rev_map (fun c -> (c.c_name, c.v)) set.items
 let reset set = List.iter (fun c -> c.v <- 0) set.items
+let length set = List.length set.items
+let values set = Array.of_list (List.rev_map (fun c -> c.v) set.items)
+
+let set_values set vs =
+  let n = List.length set.items in
+  if Array.length vs <> n then
+    invalid_arg "Counter.set_values: value count does not match the set";
+  (* [items] is reverse declaration order; [vs] is declaration order. *)
+  let i = ref n in
+  List.iter
+    (fun c ->
+      decr i;
+      c.v <- vs.(!i))
+    set.items
 
 let delta ~before ~after =
   List.map2

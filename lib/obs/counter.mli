@@ -61,6 +61,21 @@ val set_name : set -> string
 val snapshot : set -> snapshot
 val reset : set -> unit
 
+val length : set -> int
+(** Number of counters declared in the set. *)
+
+val values : set -> int array
+(** Counter values in declaration order — the array counterpart of
+    {!snapshot}, used by machine snapshot/restore where counter values
+    are part of the saved state. *)
+
+val set_values : set -> int array -> unit
+(** Overwrite every counter from an array in declaration order (the
+    inverse of {!values}).  Unlike {!incr} this is unconditional: it
+    restores values that were already gated on {!Ctl.counters_on} when
+    recorded.
+    @raise Invalid_argument on an arity mismatch. *)
+
 val delta : before:snapshot -> after:snapshot -> snapshot
 (** Pointwise [after - before]; both snapshots must come from the same
     set (checked by counter name). *)

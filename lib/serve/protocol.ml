@@ -13,12 +13,13 @@ type job = {
   j_wall_budget_s : float option;
   j_max_retries : int;
   j_retry_backoff_s : float;
+  j_replay : bool;
 }
 
 let job ?(id = "job") ?(platforms = [ "haswell" ]) ?(configs = [ "protected" ])
     ?(channels = [ "l1d" ]) ?(trials = 1) ?(seed = 1) ?(samples = 300)
     ?trial_cycle_budget ?trial_timeout_s ?wall_budget_s ?(max_retries = 2)
-    ?(retry_backoff_s = 0.05) () =
+    ?(retry_backoff_s = 0.05) ?(replay = true) () =
   {
     j_id = id;
     j_platforms = platforms;
@@ -32,6 +33,7 @@ let job ?(id = "job") ?(platforms = [ "haswell" ]) ?(configs = [ "protected" ])
     j_wall_budget_s = wall_budget_s;
     j_max_retries = max_retries;
     j_retry_backoff_s = retry_backoff_s;
+    j_replay = replay;
   }
 
 type status = Complete | Degraded | Failed
@@ -155,6 +157,7 @@ let job_to_json j =
       ("wall_budget_s", opt_json (fun f -> Json.Num f) j.j_wall_budget_s);
       ("max_retries", Json.Num (float_of_int j.j_max_retries));
       ("retry_backoff_s", Json.Num j.j_retry_backoff_s);
+      ("replay", Json.Bool j.j_replay);
     ]
 
 let job_of_json j =
@@ -185,6 +188,12 @@ let job_of_json j =
         j_max_retries = max_retries;
         j_retry_backoff_s =
           Option.value ~default:0.05 (opt_num j "retry_backoff_s");
+        (* Absent in pre-replay clients' jobs: default on (replay is
+           bit-identical, so the default is safe). *)
+        j_replay =
+          (match Option.bind (Json.member "replay" j) Json.bool_ with
+          | Some b -> b
+          | None -> true);
       }
 
 (* ---- trial ------------------------------------------------------- *)

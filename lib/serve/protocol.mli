@@ -35,14 +35,19 @@ type job = {
   j_wall_budget_s : float option;  (** wall budget for the whole job *)
   j_max_retries : int;  (** extra attempts per faulted trial *)
   j_retry_backoff_s : float;  (** base backoff (doubles per attempt) *)
+  j_replay : bool;
+      (** allow record-once / replay-many sender slices (bit-identical
+          to live execution; [--no-replay] turns it off for A/B
+          debugging).  In the cache key. *)
 }
 
 val job : ?id:string -> ?platforms:string list -> ?configs:string list ->
   ?channels:string list -> ?trials:int -> ?seed:int -> ?samples:int ->
   ?trial_cycle_budget:int -> ?trial_timeout_s:float -> ?wall_budget_s:float ->
-  ?max_retries:int -> ?retry_backoff_s:float -> unit -> job
+  ?max_retries:int -> ?retry_backoff_s:float -> ?replay:bool -> unit -> job
 (** A job with service defaults: haswell × protected × l1d, 1 trial,
-    seed 1, 300 samples, 2 retries, 50 ms base backoff, no budgets. *)
+    seed 1, 300 samples, 2 retries, 50 ms base backoff, no budgets,
+    replay on. *)
 
 type status = Complete | Degraded | Failed
 

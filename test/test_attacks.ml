@@ -337,6 +337,11 @@ let test_harness_pairs_symbols () =
       (Tp_attacks.Harness.default_spec haswell) with
       Tp_attacks.Harness.samples = 50;
       noise_sigma = 0.0;
+      (* This sender communicates through a host-side ref, not through
+         the machine — exactly the kind of body the record/replay
+         contract excludes (replay re-executes machine ops only), so
+         it must opt out. *)
+      replay = false;
     }
   in
   let rng = Tp_util.Rng.create ~seed:1 in

@@ -1,0 +1,307 @@
+(* Record-once / replay-many: snapshot round-trip properties, replay
+   latency/state equality against live execution, and harness-level
+   bit-identity of replayed collections (the PR 10 contract). *)
+
+open Tp_hw
+open Tp_core
+
+let haswell = Platform.haswell
+let sabre = Platform.sabre
+
+(* ---- snapshot / restore ----------------------------------------- *)
+
+let warm m =
+  for i = 0 to 99 do
+    ignore
+      (Machine.access m ~core:0 ~asid:1 ~vaddr:(i * 4096) ~paddr:(i * 4096)
+         ~kind:Defs.Read ()
+        : int)
+  done
+
+let test_snapshot_roundtrip () =
+  List.iter
+    (fun p ->
+      let m = Machine.create p in
+      warm m;
+      let snap = Machine.snapshot m in
+      let want = Machine.snapshot_digest snap in
+      Alcotest.(check string)
+        (p.Platform.name ^ ": state digest = snapshot digest")
+        want (Machine.state_digest m);
+      (* Perturbation must be visible (the clock alone guarantees it),
+         and a restore must erase it bit-for-bit. *)
+      ignore (Machine.clflush m ~core:0 ~paddr:0 : int);
+      ignore
+        (Machine.access m ~core:0 ~asid:2 ~vaddr:12345 ~paddr:12345
+           ~kind:Defs.Write ()
+          : int);
+      Alcotest.(check bool)
+        (p.Platform.name ^ ": perturbation changes the digest")
+        true
+        (Machine.state_digest m <> want);
+      Machine.restore m snap;
+      Alcotest.(check string)
+        (p.Platform.name ^ ": restore round-trips bit-identically")
+        want (Machine.state_digest m);
+      (* Restore is idempotent (the torn-state recovery story). *)
+      Machine.restore m snap;
+      Alcotest.(check string)
+        (p.Platform.name ^ ": re-restore is idempotent")
+        want (Machine.state_digest m))
+    [ haswell; sabre ]
+
+let test_snapshot_wrong_platform_rejected () =
+  let m = Machine.create haswell in
+  let s = Machine.snapshot (Machine.create sabre) in
+  Alcotest.check_raises "cross-platform restore rejected"
+    (Invalid_argument
+       "Machine.restore: snapshot of platform sabre applied to a haswell \
+        machine") (fun () -> Machine.restore m s)
+
+(* Random op streams, shared by the QCheck properties below.  Each op
+   is encoded as (selector, a, b) and decoded into one Machine-API
+   call; access walks read a root page-table line (and, for odd b, a
+   leaf line) exactly the way Replay.replay issues them, so live and
+   replayed walks hit the same lines. *)
+
+let ops_gen =
+  QCheck.(
+    list_of_size
+      Gen.(int_range 1 120)
+      (triple (int_bound 6) (int_bound 1_000_000) (int_bound 1_000_000)))
+
+let line_of x = x land lnot 63
+
+let decode (sel, a, b) =
+  match sel with
+  | 0 -> `Access (Defs.Read, a, line_of b, if b land 1 = 1 then line_of (b / 2) else -1)
+  | 1 -> `Access (Defs.Write, a, line_of b, -1)
+  | 2 -> `Access (Defs.Fetch, a, line_of b, -1)
+  | 3 -> `Cond_branch (a, b land 1 = 1)
+  | 4 -> `Jump (a, b)
+  | 5 -> `Clflush (line_of a)
+  | _ -> `Add_cycles (1 + (b mod 997))
+
+let all_ways = lnot 0
+
+let run_live m ops =
+  let root = ref (-1) and leaf = ref (-1) in
+  let walk () =
+    let lat =
+      Machine.access m ~core:0 ~asid:0 ~global:true ~vaddr:!root ~paddr:!root
+        ~kind:Defs.Read ()
+    in
+    if !leaf >= 0 then
+      lat
+      + Machine.access m ~core:0 ~asid:0 ~global:true ~vaddr:!leaf ~paddr:!leaf
+          ~kind:Defs.Read ()
+    else lat
+  in
+  List.map
+    (fun op ->
+      match decode op with
+      | `Access (kind, vaddr, root_pa, leaf_pa) ->
+          root := root_pa;
+          leaf := leaf_pa;
+          Machine.access m ~core:0 ~asid:1 ~global:false ~llc_ways:all_ways
+            ~walk ~vaddr ~paddr:vaddr ~kind ()
+      | `Cond_branch (vaddr, taken) ->
+          Machine.cond_branch m ~core:0 ~asid:1 ~vaddr ~paddr:vaddr ~taken
+      | `Jump (vaddr, target) ->
+          Machine.jump m ~core:0 ~asid:1 ~vaddr ~paddr:vaddr ~target
+      | `Clflush paddr -> Machine.clflush m ~core:0 ~paddr
+      | `Add_cycles n ->
+          Machine.add_cycles m ~core:0 n;
+          n)
+    ops
+
+let record ops =
+  let r = Replay.create () in
+  List.iter
+    (fun op ->
+      match decode op with
+      | `Access (kind, vaddr, root_pa, leaf_pa) ->
+          Replay.append_access r ~kind ~vaddr ~paddr:vaddr ~root_pa ~leaf_pa
+      | `Cond_branch (vaddr, taken) ->
+          Replay.append_cond_branch r ~vaddr ~paddr:vaddr ~taken
+      | `Jump (vaddr, target) -> Replay.append_jump r ~vaddr ~paddr:vaddr ~target
+      | `Clflush paddr -> Replay.append_clflush r ~paddr
+      | `Add_cycles n -> Replay.append_add_cycles r n)
+    ops;
+  Replay.append_idle r;
+  r
+
+let qcheck_snapshot_roundtrip =
+  QCheck.Test.make ~name:"snapshot -> perturb -> restore is bit-identical"
+    ~count:30
+    QCheck.(pair ops_gen ops_gen)
+    (fun (pre, perturb) ->
+      let m = Machine.create haswell in
+      ignore (run_live m pre : int list);
+      let snap = Machine.snapshot m in
+      ignore (run_live m perturb : int list);
+      Machine.restore m snap;
+      Machine.state_digest m = Machine.snapshot_digest snap)
+
+let qcheck_replay_matches_live =
+  QCheck.Test.make
+    ~name:"replay reproduces live per-op latencies and final state" ~count:30
+    ops_gen
+    (fun ops ->
+      let m_live = Machine.create haswell in
+      let lats_live = run_live m_live ops in
+      let m_rep = Machine.create haswell in
+      let lats_rep = ref [] in
+      let r = record ops in
+      let res =
+        Replay.replay m_rep ~core:0 ~asid:1 ~llc_ways:all_ways ~until:max_int
+          ~on_latency:(fun l -> lats_rep := l :: !lats_rep)
+          r
+      in
+      res = `Done_idle
+      && List.rev !lats_rep = lats_live
+      && Machine.state_digest m_rep = Machine.state_digest m_live)
+
+let qcheck_replay_budget_stops =
+  QCheck.Test.make ~name:"replay stops at the first op crossing the budget"
+    ~count:30
+    QCheck.(pair ops_gen (int_bound 10_000))
+    (fun (ops, budget) ->
+      let m = Machine.create haswell in
+      let n = ref 0 in
+      let r = record ops in
+      let res =
+        Replay.replay m ~core:0 ~asid:1 ~llc_ways:all_ways ~until:budget
+          ~on_latency:(fun _ -> incr n)
+          r
+      in
+      match res with
+      | `Budget -> !n <= List.length ops && Machine.cycles m ~core:0 >= budget
+      | `Done_idle -> !n = List.length ops
+      | `Incomplete -> false)
+
+(* ---- stream lifecycle ------------------------------------------- *)
+
+let test_stream_lifecycle () =
+  let r = Replay.create () in
+  Alcotest.(check bool) "empty stream not complete" false (Replay.complete r);
+  Replay.append_add_cycles r 10;
+  Alcotest.(check bool) "no idle marker: not complete" false (Replay.complete r);
+  Alcotest.(check int) "length counts ops" 1 (Replay.length r);
+  Replay.append_idle r;
+  Alcotest.(check bool) "idle-terminated stream complete" true
+    (Replay.complete r);
+  let d = Replay.digest r in
+  Alcotest.(check string) "digest cached and stable" d (Replay.digest r);
+  Replay.poison r;
+  Alcotest.(check bool) "poisoned stream not complete" false (Replay.complete r);
+  Alcotest.(check bool) "poisoned stream digests distinctly" true
+    (Replay.digest r <> d);
+  Replay.clear r;
+  Alcotest.(check int) "clear empties" 0 (Replay.length r);
+  Alcotest.(check bool) "clear unpoisons" false (Replay.poisoned r)
+
+(* ---- recording determinism across identical boots ---------------- *)
+
+let test_record_streams_deterministic () =
+  let record_once () =
+    let b = Scenario.boot Scenario.Raw haswell in
+    let chan = Tp_attacks.Cache_channels.tlb in
+    let sender, _ = chan.Tp_attacks.Cache_channels.prepare b in
+    Tp_attacks.Harness.record_streams b ~sender
+      ~symbols:chan.Tp_attacks.Cache_channels.symbols
+      ~slice_cycles:
+        (Tp_attacks.Harness.default_spec haswell)
+          .Tp_attacks.Harness.slice_cycles
+  in
+  let s1 = record_once () and s2 = record_once () in
+  Alcotest.(check int) "same stream count" (Array.length s1) (Array.length s2);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stream %d complete" i)
+        true (Replay.complete r);
+      Alcotest.(check string)
+        (Printf.sprintf "stream %d digest boot-independent" i)
+        (Replay.digest r) (Replay.digest s2.(i)))
+    s1
+
+(* ---- harness-level bit-identity --------------------------------- *)
+
+let collect ~replay kind =
+  Tp_attacks.Harness.set_replay_enabled replay;
+  let b = Scenario.boot kind haswell in
+  let chan = Tp_attacks.Cache_channels.tlb in
+  let sender, receiver = chan.Tp_attacks.Cache_channels.prepare b in
+  let spec =
+    {
+      (Tp_attacks.Harness.default_spec haswell) with
+      Tp_attacks.Harness.samples = 120;
+      symbols = chan.Tp_attacks.Cache_channels.symbols;
+    }
+  in
+  let data =
+    Tp_attacks.Harness.run_pair b ~sender ~receiver spec
+      ~rng:(Tp_util.Rng.create ~seed:11)
+  in
+  ( data,
+    Machine.state_digest (Tp_kernel.System.machine b.Tp_kernel.Boot.sys) )
+
+let test_harness_replay_bit_identical () =
+  Fun.protect
+    ~finally:(fun () -> Tp_attacks.Harness.set_replay_enabled true)
+    (fun () ->
+      List.iter
+        (fun (kind, name) ->
+          let d_rep, m_rep = collect ~replay:true kind in
+          let d_live, m_live = collect ~replay:false kind in
+          Alcotest.(check bool)
+            (name ^ ": replayed dataset = live dataset")
+            true (d_rep = d_live);
+          Alcotest.(check string)
+            (name ^ ": replayed machine state = live machine state")
+            m_live m_rep)
+        [ (Scenario.Raw, "raw"); (Scenario.Protected, "protected") ])
+
+(* The kernel-channel sender enters the kernel for symbols 0-2, so
+   those recordings must poison themselves (replay can't reproduce a
+   syscall's machine effect) — while symbol 3, pure compute, is
+   machine-mediated and legitimately replayable. *)
+let test_poisoning_self_disqualifies () =
+  let b = Scenario.boot Scenario.Raw haswell in
+  let sender, _ = Tp_attacks.Kernel_chan.prepare b in
+  let streams =
+    Tp_attacks.Harness.record_streams b ~sender
+      ~symbols:Tp_attacks.Kernel_chan.symbols
+      ~slice_cycles:
+        (Tp_attacks.Harness.default_spec haswell)
+          .Tp_attacks.Harness.slice_cycles
+  in
+  Array.iteri
+    (fun i r ->
+      let replayable = i = 3 in
+      Alcotest.(check bool)
+        (Printf.sprintf "kernel-chan stream %d replayable=%b" i replayable)
+        replayable (Replay.complete r);
+      if not replayable then
+        Alcotest.(check bool)
+          (Printf.sprintf "kernel-chan stream %d poisoned" i)
+          true (Replay.poisoned r))
+    streams
+
+let suite =
+  [
+    Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot platform check" `Quick
+      test_snapshot_wrong_platform_rejected;
+    QCheck_alcotest.to_alcotest qcheck_snapshot_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_replay_matches_live;
+    QCheck_alcotest.to_alcotest qcheck_replay_budget_stops;
+    Alcotest.test_case "stream lifecycle" `Quick test_stream_lifecycle;
+    Alcotest.test_case "recording deterministic across boots" `Quick
+      test_record_streams_deterministic;
+    Alcotest.test_case "harness replay bit-identical" `Quick
+      test_harness_replay_bit_identical;
+    Alcotest.test_case "kernel-chan sender self-disqualifies" `Quick
+      test_poisoning_self_disqualifies;
+  ]
